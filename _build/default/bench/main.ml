@@ -1,0 +1,137 @@
+(* Benchmark entry point.
+
+   Two layers, as DESIGN.md explains:
+
+   1. Bechamel micro-benchmarks (wall-clock): raw OCaml-side cost of the
+      basic operations on each tree. Wall-clock on DRAM hardware cannot
+      express PM latency, so these only sanity-check the implementations.
+
+   2. Figure reproductions (simulated clock): one section per table and
+      figure of the paper's evaluation (Figs. 4-10d), using the paper's
+      own methodology of charging configured PM latencies to counted
+      memory events.
+
+   Usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]
+     EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation *)
+
+module Latency = Hart_pmem.Latency
+module Keygen = Hart_workloads.Keygen
+module Runner = Hart_harness.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let micro_tests () =
+  let open Bechamel in
+  let n = 10_000 in
+  let keys = Keygen.generate Keygen.Random n in
+  let shuffled = Array.copy keys in
+  Hart_util.Rng.shuffle (Hart_util.Rng.create 17L) shuffled;
+  let per_tree tree =
+    let name = Runner.tree_name tree in
+    let built =
+      lazy
+        (let inst = Runner.make tree Latency.c300_100 in
+         Runner.preload inst keys Keygen.value_for;
+         inst)
+    in
+    let idx = ref 0 in
+    let next () =
+      let i = !idx in
+      idx := (i + 1) mod n;
+      i
+    in
+    [
+      Test.make ~name:(name ^ "/insert")
+        (Staged.stage (fun () ->
+             let inst = Lazy.force built in
+             let i = next () in
+             inst.Runner.ops.Hart_baselines.Index_intf.insert ~key:keys.(i)
+               ~value:"bench77"));
+      Test.make ~name:(name ^ "/search")
+        (Staged.stage (fun () ->
+             let inst = Lazy.force built in
+             ignore
+               (inst.Runner.ops.Hart_baselines.Index_intf.search
+                  shuffled.(next ())
+                 : string option)));
+      Test.make ~name:(name ^ "/update")
+        (Staged.stage (fun () ->
+             let inst = Lazy.force built in
+             ignore
+               (inst.Runner.ops.Hart_baselines.Index_intf.update
+                  ~key:shuffled.(next ()) ~value:"bench88"
+                 : bool)));
+    ]
+  in
+  Bechamel.Test.make_grouped ~name:"micro"
+    (List.concat_map per_tree Runner.all_trees)
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "\n=== Bechamel micro-benchmarks (wall-clock ns/op, DRAM host) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some [ est ] -> Printf.printf "  %-28s %10.0f ns/op\n" name est
+         | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+
+(* ------------------------------------------------------------------ *)
+(* Argument handling                                                   *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]\n\
+    \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation";
+  exit 2
+
+let () =
+  let scale = ref 1.0 in
+  let only = ref [] in
+  let skip_micro = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0. -> scale := f
+        | Some _ | None -> usage ());
+        parse rest
+    | "--only" :: v :: rest ->
+        only := !only @ String.split_on_char ',' (String.lowercase_ascii v);
+        parse rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale = !scale in
+  let wants exp = !only = [] || List.mem exp !only in
+  Printf.printf
+    "HART reproduction benchmark harness (scale %.2f)\n\
+     Times below are on the simulated clock: configured PM/DRAM latencies\n\
+     charged to counted memory events (the paper's emulation methodology).\n"
+    scale;
+  if (not !skip_micro) && !only = [] then run_micro ();
+  if
+    wants "fig4567" || wants "fig4" || wants "fig5" || wants "fig6"
+    || wants "fig7"
+  then Hart_harness.Exp_basic_ops.run ~scale;
+  if wants "fig8" then Hart_harness.Exp_scaling.run ~scale;
+  if wants "fig9" then Hart_harness.Exp_mixed.run ~scale;
+  if wants "fig10a" then Hart_harness.Exp_range.run ~scale;
+  if wants "fig10b" then Hart_harness.Exp_memory.run ~scale;
+  if wants "fig10c" then Hart_harness.Exp_recovery.run ~scale;
+  if wants "fig10d" then Hart_harness.Exp_scalability.run ~scale;
+  if wants "ablation" then Hart_harness.Exp_ablation.run ~scale;
+  print_newline ()

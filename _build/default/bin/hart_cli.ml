@@ -1,0 +1,181 @@
+(* hart_cli — a persistent key-value store CLI over HART.
+
+   The simulated PM pool is saved to / loaded from a host file, so data
+   survives across invocations the way a PM device survives reboots:
+   every run that opens an existing store exercises HART's recovery path
+   (Algorithm 7).
+
+   Examples:
+     hart_cli set user:1 alice --db /tmp/store.pm
+     hart_cli get user:1 --db /tmp/store.pm
+     hart_cli range user: user:~ --db /tmp/store.pm
+     hart_cli bench --records 50000 --db /tmp/store.pm
+     hart_cli stats --db /tmp/store.pm *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Hart = Hart_core.Hart
+open Cmdliner
+
+let open_store db =
+  let meter = Meter.create Latency.c300_300 in
+  if Sys.file_exists db then begin
+    let pool = Pmem.load meter db in
+    (pool, Hart.recover pool)
+  end
+  else
+    let pool = Pmem.create meter in
+    (pool, Hart.create pool)
+
+let close_store pool db =
+  Pmem.persist_all pool;
+  Pmem.save pool db
+
+let db_arg =
+  let doc = "Path of the persistent pool image." in
+  Arg.(value & opt string "hart.pm" & info [ "db" ] ~docv:"FILE" ~doc)
+
+let ok_or_die = function
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+
+let wrap f db =
+  ok_or_die
+    (try
+       let pool, hart = open_store db in
+       let r = f pool hart in
+       close_store pool db;
+       r
+     with
+    | Invalid_argument m | Failure m -> Error m
+    | Sys_error m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let set_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let value = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
+  let run key value db =
+    wrap
+      (fun _ hart ->
+        Hart.insert hart ~key ~value;
+        Ok ())
+      db
+  in
+  Cmd.v
+    (Cmd.info "set" ~doc:"Insert or update a key (1-24 byte key, 0-31 byte value).")
+    Term.(const run $ key $ value $ db_arg)
+
+let get_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let run key db =
+    wrap
+      (fun _ hart ->
+        match Hart.search hart key with
+        | Some v ->
+            print_endline v;
+            Ok ()
+        | None -> Error (Printf.sprintf "key %S not found" key))
+      db
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Look a key up.") Term.(const run $ key $ db_arg)
+
+let del_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let run key db =
+    wrap
+      (fun _ hart ->
+        if Hart.delete hart key then Ok ()
+        else Error (Printf.sprintf "key %S not found" key))
+      db
+  in
+  Cmd.v (Cmd.info "del" ~doc:"Delete a key.") Term.(const run $ key $ db_arg)
+
+let range_cmd =
+  let lo = Arg.(required & pos 0 (some string) None & info [] ~docv:"LO") in
+  let hi = Arg.(required & pos 1 (some string) None & info [] ~docv:"HI") in
+  let run lo hi db =
+    wrap
+      (fun _ hart ->
+        Hart.range hart ~lo ~hi (fun k v -> Printf.printf "%s\t%s\n" k v);
+        Ok ())
+      db
+  in
+  Cmd.v
+    (Cmd.info "range" ~doc:"List keys in [LO, HI] in order.")
+    Term.(const run $ lo $ hi $ db_arg)
+
+let list_cmd =
+  let run db =
+    wrap
+      (fun _ hart ->
+        Hart.iter hart (fun k v -> Printf.printf "%s\t%s\n" k v);
+        Ok ())
+      db
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Dump every binding.") Term.(const run $ db_arg)
+
+let stats_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full structural statistics.")
+  in
+  let run verbose db =
+    wrap
+      (fun pool hart ->
+        if verbose then
+          Format.printf "%a@." Hart_core.Hart_stats.pp
+            (Hart_core.Hart_stats.collect hart)
+        else begin
+          Printf.printf "keys            %d\n" (Hart.count hart);
+          Printf.printf "ARTs            %d\n" (Hart.art_count hart);
+          Printf.printf "hash-key bytes  %d\n" (Hart.kh hart);
+          Printf.printf "PM bytes        %d\n" (Hart.pm_bytes hart);
+          Printf.printf "DRAM bytes      %d\n" (Hart.dram_bytes hart)
+        end;
+        let c = Meter.counters (Pmem.meter pool) in
+        Printf.printf "session events  %d flushes, %d allocations, %.1f us simulated\n"
+          c.Meter.flushes c.Meter.pm_allocs (c.Meter.sim_ns /. 1000.);
+        Hart.check_integrity hart;
+        Printf.printf "integrity       OK\n";
+        Ok ())
+      db
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show store statistics and verify integrity.")
+    Term.(const run $ verbose $ db_arg)
+
+let bench_cmd =
+  let records =
+    Arg.(value & opt int 10_000 & info [ "records" ] ~docv:"N" ~doc:"Records to load.")
+  in
+  let run records db =
+    wrap
+      (fun pool hart ->
+        let keys = Hart_workloads.Keygen.generate Hart_workloads.Keygen.Random records in
+        let t0 = Meter.sim_ns (Pmem.meter pool) in
+        Array.iteri
+          (fun i key ->
+            Hart.insert hart ~key ~value:(Hart_workloads.Keygen.value_for i))
+          keys;
+        let dt = Meter.sim_ns (Pmem.meter pool) -. t0 in
+        Printf.printf "loaded %d records in %.3f simulated s (%.3f us/op)\n" records
+          (dt /. 1e9)
+          (dt /. float_of_int records /. 1000.);
+        Ok ())
+      db
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Bulk-load random records and report simulated cost.")
+    Term.(const run $ records $ db_arg)
+
+let () =
+  let doc = "persistent key-value store over HART (simulated PM)" in
+  let info = Cmd.info "hart_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ set_cmd; get_cmd; del_cmd; range_cmd; list_cmd; stats_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/concurrent_counter.ml: Array Domain Hart_core Hart_pmem Hart_util Int64 List Option Printf

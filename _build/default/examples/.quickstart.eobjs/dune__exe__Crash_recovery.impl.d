@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Hart_core Hart_pmem Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hart_core Hart_pmem Option Printf

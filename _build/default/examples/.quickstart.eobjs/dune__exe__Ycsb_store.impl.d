@@ -1,0 +1,1 @@
+examples/ycsb_store.ml: Array Hart_baselines Hart_core Hart_pmem Hart_workloads List Printf

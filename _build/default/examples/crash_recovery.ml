@@ -1,0 +1,62 @@
+(* Crash-recovery drill: power-fail a HART in the middle of operations,
+   then recover (Algorithm 7) and show that every completed operation
+   survived, the in-flight one is atomic, and no PM leaks.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Hart = Hart_core.Hart
+
+let () =
+  let meter = Meter.create Latency.c300_300 in
+  let pool = Pmem.create meter in
+  let hart = Hart.create pool in
+
+  (* Phase 1: a committed population. *)
+  for i = 0 to 999 do
+    Hart.insert hart ~key:(Printf.sprintf "user:%04d" i)
+      ~value:(Printf.sprintf "bal=%03d" (i mod 500))
+  done;
+  Printf.printf "before crash : %d keys in %d ARTs\n" (Hart.count hart)
+    (Hart.art_count hart);
+
+  (* Phase 2: crash in the middle of an insertion. We arm the crash point
+     three cache-line flushes into the operation — inside Algorithm 1's
+     window where the value object is persistent but the leaf bit is not. *)
+  Pmem.arm_crash pool ~after_flushes:3;
+  (try Hart.insert hart ~key:"user:victim" ~value:"partial"
+   with Pmem.Crash_injected -> print_endline "power failure : injected mid-insert");
+
+  (* The machine is gone. All DRAM state (hash table, ART inner nodes)
+     is lost; only flushed PM cache lines survive in the pool. *)
+
+  (* Phase 3: recovery — rebuild everything from the PM leaf chunks. *)
+  let recovered = Hart.recover pool in
+  Printf.printf "after recover: %d keys in %d ARTs\n" (Hart.count recovered)
+    (Hart.art_count recovered);
+  assert (Hart.count recovered = 1000);
+  (match Hart.search recovered "user:victim" with
+  | None -> print_endline "victim key   : cleanly absent (atomic insertion)"
+  | Some v -> Printf.printf "victim key   : fully present = %S\n" v);
+
+  (* Every committed key is intact. *)
+  for i = 0 to 999 do
+    let k = Printf.sprintf "user:%04d" i in
+    match Hart.search recovered k with
+    | Some v when v = Printf.sprintf "bal=%03d" (i mod 500) -> ()
+    | _ -> failwith ("lost or corrupted: " ^ k)
+  done;
+  print_endline "data check   : all 1000 committed keys intact";
+
+  (* Leak check: the value object the crashed insert allocated was
+     reclaimed by the attach-time repair sweep (Algorithm 2 lines 12-16),
+     so the strict no-leak contract holds. *)
+  Hart.check_integrity recovered;
+  print_endline "leak check   : no persistent memory leaks";
+
+  (* The recovered tree is fully operational. *)
+  Hart.insert recovered ~key:"user:victim" ~value:"retried";
+  assert (Hart.search recovered "user:victim" = Some "retried");
+  print_endline "post-recovery: insert/search work; drill complete"

@@ -1,0 +1,1 @@
+lib/art/art.ml: Array Bytes Char Hart_pmem Printf String

@@ -1,0 +1,1 @@
+lib/art/art.mli: Hart_pmem

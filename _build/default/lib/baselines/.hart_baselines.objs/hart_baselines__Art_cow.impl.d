@@ -1,0 +1,1 @@
+lib/baselines/art_cow.ml: Hart_art Hart_core Hart_pmem Hashtbl Index_intf Pm_value

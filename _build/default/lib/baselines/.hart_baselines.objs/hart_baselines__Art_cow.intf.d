@@ -1,0 +1,1 @@
+lib/baselines/art_cow.mli: Hart_pmem Index_intf

@@ -1,0 +1,1 @@
+lib/baselines/cdds_btree.ml: Array Hart_pmem Index_intf List Printf String

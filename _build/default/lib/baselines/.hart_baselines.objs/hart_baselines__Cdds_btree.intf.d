@@ -1,0 +1,1 @@
+lib/baselines/cdds_btree.mli: Hart_pmem Index_intf

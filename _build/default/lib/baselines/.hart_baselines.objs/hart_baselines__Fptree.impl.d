@@ -1,0 +1,1 @@
+lib/baselines/fptree.ml: Array Char Hart_pmem Hart_util Index_intf Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/fptree.mli: Hart_pmem Index_intf

@@ -1,0 +1,1 @@
+lib/baselines/hart_index.ml: Hart_core Index_intf

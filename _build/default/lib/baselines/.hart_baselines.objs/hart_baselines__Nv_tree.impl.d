@@ -1,0 +1,1 @@
+lib/baselines/nv_tree.ml: Array Hart_pmem Hashtbl Index_intf Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/nv_tree.mli: Hart_pmem Index_intf

@@ -1,0 +1,1 @@
+lib/baselines/pm_value.ml: Hart_core Hart_pmem String

@@ -1,0 +1,1 @@
+lib/baselines/wb_tree.ml: Array Hart_pmem Index_intf Printf String

@@ -1,0 +1,1 @@
+lib/baselines/wb_tree.mli: Hart_pmem Index_intf

@@ -1,0 +1,1 @@
+lib/baselines/woart.ml: Hart_art Hart_core Hart_pmem Index_intf Pm_value

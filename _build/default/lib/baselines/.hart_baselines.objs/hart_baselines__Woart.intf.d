@@ -1,0 +1,1 @@
+lib/baselines/woart.mli: Hart_pmem Index_intf

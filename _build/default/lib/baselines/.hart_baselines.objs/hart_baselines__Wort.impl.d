@@ -1,0 +1,1 @@
+lib/baselines/wort.ml: Array Char Hart_core Hart_pmem Index_intf List Pm_value Printf String

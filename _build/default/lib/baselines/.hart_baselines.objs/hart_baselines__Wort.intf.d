@@ -1,0 +1,1 @@
+lib/baselines/wort.mli: Hart_pmem Index_intf

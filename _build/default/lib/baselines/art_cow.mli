@@ -1,0 +1,24 @@
+(** ART+CoW — an ART made persistent through copy-on-write (Lee et al.,
+    FAST 2017; the paper's third radix baseline).
+
+    Pure-PM layout like {!Woart}, but consistency comes from copying:
+    every structural mutation of an inner node is modelled as writing a
+    fresh copy of the whole node, persisting it, and swapping the
+    parent's 8-byte pointer — the copy cost is what makes ART+CoW the
+    slowest writer in most of Figs. 4, 6 and 7 (a NODE256 copy alone is
+    33 cache-line flushes). Reads are plain PM descents. *)
+
+type t
+
+val create : Hart_pmem.Pmem.t -> t
+val insert : t -> key:string -> value:string -> unit
+val search : t -> string -> string option
+val update : t -> key:string -> value:string -> bool
+val delete : t -> string -> bool
+val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
+val count : t -> int
+val dram_bytes : t -> int
+(** 0: pure PM tree. *)
+
+val pm_bytes : t -> int
+val ops : t -> Index_intf.ops

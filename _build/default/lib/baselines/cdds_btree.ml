@@ -1,0 +1,378 @@
+module Pmem = Hart_pmem.Pmem
+module Meter = Hart_pmem.Meter
+
+let leaf_cap = 32
+let entry_bytes = 64 (* key + value + [start, end) version pair *)
+let node_bytes = 16 + (leaf_cap * entry_bytes)
+let live_version = max_int
+
+type entry = {
+  e_key : string;
+  e_value : string;
+  e_start : int;
+  mutable e_end : int;  (* [live_version] while current *)
+}
+
+type node = LeafC of leafc | InnerC of innerc
+
+and leafc = {
+  mutable entries : entry array;  (* append-ordered, leaf_cap slots *)
+  mutable l_n : int;
+  mutable l_next : leafc option;
+  l_addr : int;
+}
+
+and innerc = {
+  mutable i_keys : string array;
+  mutable i_kids : node array;
+  mutable i_n : int;
+  i_addr : int;
+}
+
+type t = {
+  pool : Pmem.t;
+  meter : Meter.t;
+  mutable root : node;
+  mutable first_leaf : leafc;
+  mutable version : int;  (* committed global version *)
+  mutable count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Charged protocol: entry writes persist their slot; every mutation
+   commits with one 8-byte atomic persist of the version counter (the
+   version record lives at pool offset 8). *)
+
+let touch t addr = Meter.access t.meter Pm ~addr ~write:false
+
+let charge_entry_write t addr slot =
+  Meter.write_range t.meter Pm ~addr:(addr + 16 + (slot * entry_bytes)) ~len:entry_bytes;
+  Meter.persist_range t.meter ~addr:(addr + 16 + (slot * entry_bytes)) ~len:entry_bytes
+
+let charge_end_stamp t addr slot =
+  (* end-dating an entry is one 8-byte field persist *)
+  Meter.write_range t.meter Pm ~addr:(addr + 16 + (slot * entry_bytes) + 56) ~len:8;
+  Meter.persist_range t.meter ~addr:(addr + 16 + (slot * entry_bytes) + 56) ~len:8
+
+let commit_version t =
+  t.version <- t.version + 1;
+  Meter.write_range t.meter Pm ~addr:8 ~len:8;
+  Meter.persist_range t.meter ~addr:8 ~len:8
+
+let charge_new_node t addr =
+  Meter.write_range t.meter Pm ~addr ~len:node_bytes;
+  Meter.persist_range t.meter ~addr ~len:node_bytes
+
+let new_leaf t =
+  let l =
+    {
+      entries = Array.make leaf_cap { e_key = ""; e_value = ""; e_start = 0; e_end = 0 };
+      l_n = 0;
+      l_next = None;
+      l_addr = Pmem.alloc t.pool node_bytes;
+    }
+  in
+  charge_new_node t l.l_addr;
+  l
+
+let new_inner t =
+  {
+    i_keys = Array.make (leaf_cap + 1) "";
+    i_kids =
+      Array.make (leaf_cap + 2)
+        (LeafC { entries = [||]; l_n = 0; l_next = None; l_addr = 0 });
+    i_n = 0;
+    i_addr = Pmem.alloc t.pool node_bytes;
+  }
+
+let create pool =
+  let meter = Pmem.meter pool in
+  let dummy = { entries = [||]; l_n = 0; l_next = None; l_addr = 0 } in
+  let t = { pool; meter; root = LeafC dummy; first_leaf = dummy; version = 0; count = 0 } in
+  let leaf = new_leaf t in
+  t.root <- LeafC leaf;
+  t.first_leaf <- leaf;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Descent                                                             *)
+
+let inner_child_index t inn key =
+  touch t inn.i_addr;
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      touch t (inn.i_addr + 16 + (mid * entry_bytes));
+      if inn.i_keys.(mid) <= key then go (mid + 1) hi else go lo mid
+  in
+  go 0 inn.i_n
+
+let rec find_leaf t node key =
+  match node with
+  | LeafC l -> l
+  | InnerC inn -> find_leaf t inn.i_kids.(inner_child_index t inn key) key
+
+(* scan the append-ordered entries, skipping dead versions: the cost of
+   multi-versioning the paper points at *)
+let leaf_find_live t l key =
+  let found = ref None in
+  for i = 0 to l.l_n - 1 do
+    touch t (l.l_addr + 16 + (i * entry_bytes));
+    let e = l.entries.(i) in
+    if e.e_end = live_version && String.equal e.e_key key then found := Some e
+  done;
+  !found
+
+let live_count l =
+  let n = ref 0 in
+  for i = 0 to l.l_n - 1 do
+    if l.entries.(i).e_end = live_version then incr n
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+
+let append_entry t l key value =
+  let e = { e_key = key; e_value = value; e_start = t.version + 1; e_end = live_version } in
+  l.entries.(l.l_n) <- e;
+  charge_entry_write t l.l_addr l.l_n;
+  l.l_n <- l.l_n + 1
+
+(* Versioned split: the live entries are copied out, the lower half
+   rewrites this node in place (a fresh versioned copy, charged as a new
+   node so the parent pointer stays valid), the upper half goes to a new
+   right sibling. Dead versions are finally collected here — until a
+   split, they keep occupying slots, the space behaviour the paper
+   criticises. Returns the separator, or [None] when compaction freed
+   enough room that no split was needed. *)
+let split_leaf t l =
+  let live =
+    List.sort
+      (fun a b -> String.compare a.e_key b.e_key)
+      (List.filter
+         (fun e -> e.e_end = live_version)
+         (Array.to_list (Array.sub l.entries 0 l.l_n)))
+  in
+  let n = List.length live in
+  if n < leaf_cap / 2 then begin
+    (* mostly corpses: compact in place, no structural split *)
+    l.entries <- Array.make leaf_cap (List.hd (live @ [ { e_key = ""; e_value = ""; e_start = 0; e_end = 0 } ]));
+    l.l_n <- 0;
+    List.iter
+      (fun e ->
+        l.entries.(l.l_n) <- e;
+        l.l_n <- l.l_n + 1)
+      live;
+    charge_new_node t l.l_addr;
+    commit_version t;
+    None
+  end
+  else begin
+    let right = new_leaf t in
+    let mid = n / 2 in
+    let fresh = Array.make leaf_cap l.entries.(0) in
+    let ln = ref 0 in
+    List.iteri
+      (fun i e ->
+        if i < mid then begin
+          fresh.(!ln) <- e;
+          incr ln
+        end
+        else begin
+          right.entries.(right.l_n) <- e;
+          right.l_n <- right.l_n + 1
+        end)
+      live;
+    l.entries <- fresh;
+    l.l_n <- !ln;
+    charge_new_node t l.l_addr;
+    right.l_next <- l.l_next;
+    l.l_next <- Some right;
+    commit_version t;
+    Some (right.entries.(0).e_key, right)
+  end
+
+let rec ins t node key value : (string * node) option =
+  match node with
+  | LeafC l -> (
+      match leaf_find_live t l key with
+      | Some e when l.l_n < leaf_cap ->
+          (* update: end-date the old version, append the new one *)
+          e.e_end <- t.version + 1;
+          charge_end_stamp t l.l_addr 0;
+          append_entry t l key value;
+          commit_version t;
+          None
+      | None when l.l_n < leaf_cap ->
+          append_entry t l key value;
+          commit_version t;
+          t.count <- t.count + 1;
+          None
+      | _ -> (
+          match split_leaf t l with
+          | None ->
+              (* compaction made room: retry in place *)
+              ins t node key value
+          | Some (sep, right) ->
+              let target = if key < sep then l else right in
+              (match ins t (LeafC target) key value with
+              | None -> ()
+              | Some _ -> assert false);
+              Some (sep, LeafC right)))
+  | InnerC inn -> (
+      let i = inner_child_index t inn key in
+      match ins t inn.i_kids.(i) key value with
+      | None -> None
+      | Some (sep, right) ->
+          for j = inn.i_n downto i + 1 do
+            inn.i_keys.(j) <- inn.i_keys.(j - 1);
+            inn.i_kids.(j + 1) <- inn.i_kids.(j)
+          done;
+          inn.i_keys.(i) <- sep;
+          inn.i_kids.(i + 1) <- right;
+          inn.i_n <- inn.i_n + 1;
+          charge_entry_write t inn.i_addr (inn.i_n - 1);
+          if inn.i_n <= leaf_cap then None
+          else begin
+            let rinn = new_inner t in
+            charge_new_node t rinn.i_addr;
+            let mid = inn.i_n / 2 in
+            let promoted = inn.i_keys.(mid) in
+            let rn = inn.i_n - mid - 1 in
+            Array.blit inn.i_keys (mid + 1) rinn.i_keys 0 rn;
+            Array.blit inn.i_kids (mid + 1) rinn.i_kids 0 (rn + 1);
+            rinn.i_n <- rn;
+            inn.i_n <- mid;
+            Some (promoted, InnerC rinn)
+          end)
+
+let check_limits key value =
+  if String.length key < 1 || String.length key > 24 then
+    invalid_arg "Cdds_btree: keys must be 1..24 bytes";
+  if String.length value > 31 then
+    invalid_arg "Cdds_btree: values must be <= 31 bytes"
+
+let insert t ~key ~value =
+  check_limits key value;
+  match ins t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+      let inn = new_inner t in
+      charge_new_node t inn.i_addr;
+      inn.i_keys.(0) <- sep;
+      inn.i_kids.(0) <- t.root;
+      inn.i_kids.(1) <- right;
+      inn.i_n <- 1;
+      t.root <- InnerC inn
+
+let search t key =
+  if String.length key < 1 || String.length key > 24 then None
+  else
+    match leaf_find_live t (find_leaf t t.root key) key with
+    | Some e -> Some e.e_value
+    | None -> None
+
+let update t ~key ~value =
+  if search t key = None then false
+  else begin
+    insert t ~key ~value;
+    true
+  end
+
+let delete t key =
+  if String.length key < 1 || String.length key > 24 then false
+  else
+    let l = find_leaf t t.root key in
+    match leaf_find_live t l key with
+    | None -> false
+    | Some e ->
+        e.e_end <- t.version + 1;
+        charge_end_stamp t l.l_addr 0;
+        commit_version t;
+        t.count <- t.count - 1;
+        true
+
+let range t ~lo ~hi f =
+  let rec walk (l : leafc option) =
+    match l with
+    | None -> ()
+    | Some l ->
+        let live =
+          List.sort
+            (fun a b -> String.compare a.e_key b.e_key)
+            (List.filter
+               (fun e -> e.e_end = live_version)
+               (Array.to_list (Array.sub l.entries 0 l.l_n)))
+        in
+        let stop = ref false in
+        List.iter
+          (fun e ->
+            if e.e_key > hi then stop := true
+            else if e.e_key >= lo then f e.e_key e.e_value)
+          live;
+        if not !stop then walk l.l_next
+  in
+  walk (Some (find_leaf t t.root lo))
+
+let count t = t.count
+let version t = t.version
+
+let dead_entries t =
+  let n = ref 0 in
+  let rec walk (l : leafc option) =
+    match l with
+    | None -> ()
+    | Some l ->
+        n := !n + (l.l_n - live_count l);
+        walk l.l_next
+  in
+  walk (Some t.first_leaf);
+  !n
+
+let dram_bytes _ = 0
+let pm_bytes t = Pmem.live_bytes t.pool
+
+let check_integrity t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let seen = ref 0 in
+  let rec walk (l : leafc option) prev =
+    match l with
+    | None -> ()
+    | Some l ->
+        let live =
+          List.sort
+            (fun a b -> String.compare a.e_key b.e_key)
+            (List.filter
+               (fun e -> e.e_end = live_version)
+               (Array.to_list (Array.sub l.entries 0 l.l_n)))
+        in
+        seen := !seen + List.length live;
+        let p = ref prev in
+        List.iter
+          (fun e ->
+            if e.e_key <= !p then fail "chain unsorted at %S" e.e_key;
+            p := e.e_key;
+            if find_leaf t t.root e.e_key != l then
+              fail "index does not route %S home" e.e_key;
+            if e.e_start > t.version then fail "entry from the future";
+            ())
+          live;
+        walk l.l_next !p
+  in
+  walk (Some t.first_leaf) "";
+  if !seen <> t.count then fail "count %d but %d live entries" t.count !seen
+
+let ops t =
+  {
+    Index_intf.name = "CDDS";
+    insert = (fun ~key ~value -> insert t ~key ~value);
+    search = (fun k -> search t k);
+    update = (fun ~key ~value -> update t ~key ~value);
+    delete = (fun k -> delete t k);
+    range = (fun ~lo ~hi f -> range t ~lo ~hi f);
+    count = (fun () -> count t);
+    dram_bytes = (fun () -> dram_bytes t);
+    pm_bytes = (fun () -> pm_bytes t);
+  }

@@ -1,0 +1,36 @@
+(** CDDS B-Tree (Venkataraman et al., FAST 2011) — the last tree of the
+    paper's §II-C inventory: a {e multi-version} B-tree for PM.
+
+    Consistency through versioning instead of logging: every entry
+    carries a [start, end) version interval; a mutation writes new
+    versioned entries and commits by atomically persisting the global
+    version counter — a crash simply falls back to the last committed
+    version. The side effect the HART paper quotes: "it could generate
+    many dead entries and dead nodes" — reproduced here: updates and
+    deletes only end-date entries, so leaves fill with dead versions
+    until a split garbage-collects the live ones, and searches pay to
+    skip the corpses ({!dead_entries} exposes the growth).
+
+    Pure-PM; node contents are charge-modelled at pool addresses like
+    the other §II-C baselines (DESIGN.md); values inline (≤ 31 bytes). *)
+
+type t
+
+val leaf_cap : int
+val create : Hart_pmem.Pmem.t -> t
+val insert : t -> key:string -> value:string -> unit
+val search : t -> string -> string option
+val update : t -> key:string -> value:string -> bool
+val delete : t -> string -> bool
+val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
+val count : t -> int
+val version : t -> int
+(** The committed global version (one bump per mutation). *)
+
+val dead_entries : t -> int
+(** Versioned corpses currently occupying leaf slots. *)
+
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val check_integrity : t -> unit
+val ops : t -> Index_intf.ops

@@ -1,0 +1,17 @@
+(** {!Index_intf.ops} adapter for HART itself, so the harness treats the
+    four trees uniformly. *)
+
+module Hart = Hart_core.Hart
+
+let ops (t : Hart.t) =
+  {
+    Index_intf.name = "HART";
+    insert = (fun ~key ~value -> Hart.insert t ~key ~value);
+    search = (fun k -> Hart.search t k);
+    update = (fun ~key ~value -> Hart.update t ~key ~value);
+    delete = (fun k -> Hart.delete t k);
+    range = (fun ~lo ~hi f -> Hart.range t ~lo ~hi f);
+    count = (fun () -> Hart.count t);
+    dram_bytes = (fun () -> Hart.dram_bytes t);
+    pm_bytes = (fun () -> Hart.pm_bytes t);
+  }

@@ -1,0 +1,16 @@
+(** Uniform operations record over the four persistent indexes, so the
+    benchmark harness drives HART, WOART, ART+CoW and FPTree through the
+    same code paths. Implementations come from [Woart.ops], [Art_cow.ops],
+    [Fptree.ops] and [Hart_index.ops]. *)
+
+type ops = {
+  name : string;
+  insert : key:string -> value:string -> unit;
+  search : string -> string option;
+  update : key:string -> value:string -> bool;  (** false when absent *)
+  delete : string -> bool;  (** false when absent *)
+  range : lo:string -> hi:string -> (string -> string -> unit) -> unit;
+  count : unit -> int;
+  dram_bytes : unit -> int;  (** modelled DRAM footprint (Fig. 10b) *)
+  pm_bytes : unit -> int;  (** live PM pool bytes (Fig. 10b) *)
+}

@@ -1,0 +1,37 @@
+(** NV-Tree (Yang et al., FAST 2015) — extra baseline from the paper's
+    §II-C: the first selective-consistency tree, kept here to complete
+    the B+-tree lineage the radix trees were measured against.
+
+    Design, as the HART paper summarises it: leaf nodes on PM use an
+    {e append-only} update strategy — every insert, update or delete
+    appends an entry (deletes append a negation marker) and commits by
+    persisting a single entry counter; internal nodes are
+    {e inconsistent by design} (DRAM-rebuildable, no persistence cost).
+    Its known weakness, quoted by the paper: "each split of the parent
+    of the leaf node leads to the reconstruction of the entire internal
+    nodes, which incurs a high overhead" — reproduced literally: a leaf
+    split here rebuilds the whole DRAM index over the leaves.
+
+    Entries carry the value inline (≤ 31 bytes). Pure-PM leaves +
+    volatile inner nodes; recovery is possible by rescanning leaves but
+    is not part of the paper's evaluation and is not implemented. *)
+
+type t
+
+val leaf_cap : int
+(** Entries per PM leaf (including appended tombstones). *)
+
+val create : Hart_pmem.Pmem.t -> t
+val insert : t -> key:string -> value:string -> unit
+val search : t -> string -> string option
+val update : t -> key:string -> value:string -> bool
+val delete : t -> string -> bool
+val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
+val count : t -> int
+val rebuild_count : t -> int
+(** How many full inner-index reconstructions splits have caused. *)
+
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val check_integrity : t -> unit
+val ops : t -> Index_intf.ops

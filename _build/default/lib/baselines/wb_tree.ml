@@ -1,0 +1,329 @@
+module Pmem = Hart_pmem.Pmem
+module Meter = Hart_pmem.Meter
+
+let node_cap = 32
+let entry_bytes = 64
+
+(* Modelled node layout: 8-byte bitmap, node_cap-byte slot array,
+   node_cap 64-byte entries (key + inline value, or separator + child
+   pointer in inner nodes). *)
+let node_bytes = 8 + node_cap + (node_cap * entry_bytes)
+let bitmap_off = 0
+let slots_off = 8
+let entry_off i = 8 + node_cap + (i * entry_bytes)
+
+type node = LeafW of leaf | InnerW of inner
+
+and leaf = {
+  mutable l_keys : string array;  (* sorted logical view *)
+  mutable l_vals : string array;
+  mutable l_n : int;
+  mutable l_next : leaf option;
+  l_addr : int;
+}
+
+and inner = {
+  mutable i_keys : string array;  (* n separators *)
+  mutable i_kids : node array;  (* n + 1 children *)
+  mutable i_n : int;
+  i_addr : int;
+}
+
+type t = {
+  pool : Pmem.t;
+  meter : Meter.t;
+  mutable root : node;
+  mutable first_leaf : leaf;
+  mutable count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Charged write protocol                                              *)
+
+let touch t addr = Meter.access t.meter Pm ~addr ~write:false
+
+(* small update: entry write, slot-array write, atomic bitmap flip *)
+let charge_small_insert t addr slot =
+  Meter.write_range t.meter Pm ~addr:(addr + entry_off slot) ~len:entry_bytes;
+  Meter.persist_range t.meter ~addr:(addr + entry_off slot) ~len:entry_bytes;
+  Meter.write_range t.meter Pm ~addr:(addr + slots_off) ~len:node_cap;
+  Meter.persist_range t.meter ~addr:(addr + slots_off) ~len:node_cap;
+  Meter.write_range t.meter Pm ~addr:(addr + bitmap_off) ~len:8;
+  Meter.persist_range t.meter ~addr:(addr + bitmap_off) ~len:8
+
+(* deletion: slot-array rewrite + bitmap flip *)
+let charge_small_delete t addr =
+  Meter.write_range t.meter Pm ~addr:(addr + slots_off) ~len:node_cap;
+  Meter.persist_range t.meter ~addr:(addr + slots_off) ~len:node_cap;
+  Meter.write_range t.meter Pm ~addr:(addr + bitmap_off) ~len:8;
+  Meter.persist_range t.meter ~addr:(addr + bitmap_off) ~len:8
+
+(* "expensive logging for a node split": redo-log writes guarding the
+   rearrangement, the full new node, and both touched headers *)
+let charge_split t ~old_addr ~new_addr =
+  (* redo log: begin record + commit *)
+  Meter.persist_range t.meter ~addr:8 ~len:24;
+  Meter.write_range t.meter Pm ~addr:new_addr ~len:node_bytes;
+  Meter.persist_range t.meter ~addr:new_addr ~len:node_bytes;
+  Meter.write_range t.meter Pm ~addr:(old_addr + bitmap_off) ~len:(8 + node_cap);
+  Meter.persist_range t.meter ~addr:(old_addr + bitmap_off) ~len:(8 + node_cap);
+  Meter.persist_range t.meter ~addr:8 ~len:8
+
+let alloc_node t = Pmem.alloc t.pool node_bytes
+
+let new_leaf t =
+  {
+    l_keys = Array.make node_cap "";
+    l_vals = Array.make node_cap "";
+    l_n = 0;
+    l_next = None;
+    l_addr = alloc_node t;
+  }
+
+let new_inner t =
+  {
+    i_keys = Array.make (node_cap + 1) "";
+    i_kids = Array.make (node_cap + 2) (LeafW { l_keys = [||]; l_vals = [||]; l_n = 0; l_next = None; l_addr = 0 });
+    i_n = 0;
+    i_addr = alloc_node t;
+  }
+
+let create pool =
+  let meter = Pmem.meter pool in
+  let t =
+    {
+      pool;
+      meter;
+      root = LeafW { l_keys = [||]; l_vals = [||]; l_n = 0; l_next = None; l_addr = 0 };
+      first_leaf = { l_keys = [||]; l_vals = [||]; l_n = 0; l_next = None; l_addr = 0 };
+      count = 0;
+    }
+  in
+  let leaf = new_leaf t in
+  t.root <- LeafW leaf;
+  t.first_leaf <- leaf;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Descent                                                             *)
+
+(* The indirect binary search: one slot-array read, then one entry-key
+   read per probed position — each a PM access at the probed slot's real
+   address, so locality is what the layout gives, not an artefact. *)
+let inner_child_index t inn key =
+  touch t (inn.i_addr + slots_off);
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      touch t (inn.i_addr + entry_off mid);
+      if inn.i_keys.(mid) <= key then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 inn.i_n
+
+let rec find_leaf t node key =
+  match node with
+  | LeafW l -> l
+  | InnerW inn -> find_leaf t inn.i_kids.(inner_child_index t inn key) key
+
+let leaf_find t l key =
+  touch t (l.l_addr + slots_off);
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      touch t (l.l_addr + entry_off mid);
+      let c = String.compare l.l_keys.(mid) key in
+      if c = 0 then Some mid else if c < 0 then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 l.l_n
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+
+let leaf_insert_at t l pos key value =
+  Array.blit l.l_keys pos l.l_keys (pos + 1) (l.l_n - pos);
+  Array.blit l.l_vals pos l.l_vals (pos + 1) (l.l_n - pos);
+  l.l_keys.(pos) <- key;
+  l.l_vals.(pos) <- value;
+  l.l_n <- l.l_n + 1;
+  charge_small_insert t l.l_addr (l.l_n - 1)
+
+let lower_bound keys n key =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) < key then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let rec ins t node key value : (string * node) option =
+  match node with
+  | LeafW l -> (
+      match leaf_find t l key with
+      | Some i ->
+          (* out-of-place value rewrite committed by the slot flip *)
+          l.l_vals.(i) <- value;
+          charge_small_insert t l.l_addr i;
+          None
+      | None ->
+          if l.l_n < node_cap then begin
+            leaf_insert_at t l (lower_bound l.l_keys l.l_n key) key value;
+            t.count <- t.count + 1;
+            None
+          end
+          else begin
+            (* logged leaf split *)
+            let right = new_leaf t in
+            charge_split t ~old_addr:l.l_addr ~new_addr:right.l_addr;
+            let mid = l.l_n / 2 in
+            Array.blit l.l_keys mid right.l_keys 0 (l.l_n - mid);
+            Array.blit l.l_vals mid right.l_vals 0 (l.l_n - mid);
+            right.l_n <- l.l_n - mid;
+            l.l_n <- mid;
+            right.l_next <- l.l_next;
+            l.l_next <- Some right;
+            let sep = right.l_keys.(0) in
+            let target = if key < sep then l else right in
+            (match ins t (LeafW target) key value with
+            | None -> ()
+            | Some _ -> assert false);
+            Some (sep, LeafW right)
+          end)
+  | InnerW inn -> (
+      let i = inner_child_index t inn key in
+      match ins t inn.i_kids.(i) key value with
+      | None -> None
+      | Some (sep, right) ->
+          for j = inn.i_n downto i + 1 do
+            inn.i_keys.(j) <- inn.i_keys.(j - 1);
+            inn.i_kids.(j + 1) <- inn.i_kids.(j)
+          done;
+          inn.i_keys.(i) <- sep;
+          inn.i_kids.(i + 1) <- right;
+          inn.i_n <- inn.i_n + 1;
+          charge_small_insert t inn.i_addr (inn.i_n - 1);
+          if inn.i_n <= node_cap then None
+          else begin
+            let rinn = new_inner t in
+            charge_split t ~old_addr:inn.i_addr ~new_addr:rinn.i_addr;
+            let mid = inn.i_n / 2 in
+            let promoted = inn.i_keys.(mid) in
+            let rn = inn.i_n - mid - 1 in
+            Array.blit inn.i_keys (mid + 1) rinn.i_keys 0 rn;
+            Array.blit inn.i_kids (mid + 1) rinn.i_kids 0 (rn + 1);
+            rinn.i_n <- rn;
+            inn.i_n <- mid;
+            Some (promoted, InnerW rinn)
+          end)
+
+let check_limits key value =
+  if String.length key < 1 || String.length key > 24 then
+    invalid_arg "Wb_tree: keys must be 1..24 bytes";
+  if String.length value > 31 then invalid_arg "Wb_tree: values must be <= 31 bytes"
+
+let insert t ~key ~value =
+  check_limits key value;
+  match ins t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+      let inn = new_inner t in
+      inn.i_keys.(0) <- sep;
+      inn.i_kids.(0) <- t.root;
+      inn.i_kids.(1) <- right;
+      inn.i_n <- 1;
+      charge_small_insert t inn.i_addr 0;
+      t.root <- InnerW inn
+
+(* ------------------------------------------------------------------ *)
+(* Search / update / delete / range                                    *)
+
+let search t key =
+  if String.length key < 1 || String.length key > 24 then None
+  else
+    let l = find_leaf t t.root key in
+    match leaf_find t l key with None -> None | Some i -> Some (l.l_vals.(i))
+
+let update t ~key ~value =
+  check_limits key value;
+  let l = find_leaf t t.root key in
+  match leaf_find t l key with
+  | None -> false
+  | Some i ->
+      l.l_vals.(i) <- value;
+      charge_small_insert t l.l_addr i;
+      true
+
+let delete t key =
+  if String.length key < 1 || String.length key > 24 then false
+  else
+    let l = find_leaf t t.root key in
+    match leaf_find t l key with
+    | None -> false
+    | Some i ->
+        Array.blit l.l_keys (i + 1) l.l_keys i (l.l_n - i - 1);
+        Array.blit l.l_vals (i + 1) l.l_vals i (l.l_n - i - 1);
+        l.l_n <- l.l_n - 1;
+        charge_small_delete t l.l_addr;
+        t.count <- t.count - 1;
+        true
+
+let range t ~lo ~hi f =
+  let rec walk (l : leaf option) =
+    match l with
+    | None -> ()
+    | Some l ->
+        let stop = ref false in
+        for i = 0 to l.l_n - 1 do
+          let k = l.l_keys.(i) in
+          if k > hi then stop := true else if k >= lo then f k l.l_vals.(i)
+        done;
+        if not !stop then walk l.l_next
+  in
+  walk (Some (find_leaf t t.root lo))
+
+let count t = t.count
+
+let height t =
+  let rec go = function LeafW _ -> 1 | InnerW inn -> 1 + go inn.i_kids.(0) in
+  go t.root
+
+let dram_bytes _ = 0
+let pm_bytes t = Pmem.live_bytes t.pool
+
+let check_integrity t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let seen = ref 0 in
+  let rec chain (l : leaf option) prev =
+    match l with
+    | None -> ()
+    | Some l ->
+        seen := !seen + l.l_n;
+        let p = ref prev in
+        for i = 0 to l.l_n - 1 do
+          if l.l_keys.(i) <= !p then
+            fail "leaf chain unsorted at %S (prev %S)" l.l_keys.(i) !p;
+          p := l.l_keys.(i);
+          let routed = find_leaf t t.root l.l_keys.(i) in
+          if routed != l then fail "index does not route %S home" l.l_keys.(i)
+        done;
+        chain l.l_next !p
+  in
+  chain (Some t.first_leaf) "";
+  if !seen <> t.count then fail "count %d but %d chained entries" t.count !seen
+
+let ops t =
+  {
+    Index_intf.name = "wB+Tree";
+    insert = (fun ~key ~value -> insert t ~key ~value);
+    search = (fun k -> search t k);
+    update = (fun ~key ~value -> update t ~key ~value);
+    delete = (fun k -> delete t k);
+    range = (fun ~lo ~hi f -> range t ~lo ~hi f);
+    count = (fun () -> count t);
+    dram_bytes = (fun () -> dram_bytes t);
+    pm_bytes = (fun () -> pm_bytes t);
+  }

@@ -1,0 +1,32 @@
+(** wB+-Tree (Chen & Jin, VLDB 2015) — extra baseline from the paper's
+    §II-C: a write-atomic B+-tree for pure PM.
+
+    Every node (inner and leaf) lives on PM and keeps its entries
+    {e unsorted}, with sorted order restored through an indirection
+    {e slot array} and occupancy through a bitmap; a small insert then
+    commits with entry-write → slot-array write → atomic bitmap flip
+    (three ordered persists), no logging. The cost the HART paper quotes
+    ("requires expensive logging or CoW for a node split") appears on
+    splits: a redo log guards the multi-node rearrangement.
+
+    Node contents are charge-modelled at pool addresses like the other
+    pure-PM baselines (DESIGN.md); values are stored inline (≤ 31
+    bytes). Being pure-PM it needs no recovery procedure. *)
+
+type t
+
+val node_cap : int
+val create : Hart_pmem.Pmem.t -> t
+val insert : t -> key:string -> value:string -> unit
+val search : t -> string -> string option
+val update : t -> key:string -> value:string -> bool
+val delete : t -> string -> bool
+val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
+val count : t -> int
+val height : t -> int
+val dram_bytes : t -> int
+(** 0: pure-PM tree. *)
+
+val pm_bytes : t -> int
+val check_integrity : t -> unit
+val ops : t -> Index_intf.ops

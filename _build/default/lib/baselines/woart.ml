@@ -1,0 +1,102 @@
+module Pmem = Hart_pmem.Pmem
+module Meter = Hart_pmem.Meter
+module Art = Hart_art.Art
+module Leaf = Hart_core.Leaf
+
+type t = {
+  pool : Pmem.t;
+  meter : Meter.t;
+  art : int Art.t;  (* full key -> PM leaf offset *)
+}
+
+
+(* WOART's per-mutation consistency protocol, driven by ART structural
+   events. Node contents are charge-modelled (see DESIGN.md): stores and
+   flushes are reported to the meter at the node's PM address. *)
+let protocol meter = function
+  | Art.Node_created { addr; bytes } ->
+      Meter.write_range meter Pm ~addr ~len:bytes;
+      Meter.persist_range meter ~addr ~len:bytes;
+      (* 8-byte atomic link of the node into its parent *)
+      Meter.persist_range meter ~addr ~len:8
+  | Art.Node_freed _ -> ()
+  | Art.Child_added { addr; slot_off; kind = _ } ->
+      (* pointer slot first, then the key/index byte: two ordered
+         8-byte-or-less persists *)
+      Meter.write_range meter Pm ~addr:(addr + slot_off) ~len:8;
+      Meter.persist_range meter ~addr:(addr + slot_off) ~len:8;
+      Meter.write_range meter Pm ~addr ~len:1;
+      Meter.persist_range meter ~addr ~len:1
+  | Art.Child_replaced { addr; slot_off; kind = _ }
+  | Art.Child_removed { addr; slot_off; kind = _ } ->
+      Meter.write_range meter Pm ~addr:(addr + slot_off) ~len:8;
+      Meter.persist_range meter ~addr:(addr + slot_off) ~len:8
+  | Art.Prefix_changed { addr } ->
+      Meter.write_range meter Pm ~addr ~len:16;
+      Meter.persist_range meter ~addr ~len:16
+  | Art.Here_changed { addr } ->
+      Meter.write_range meter Pm ~addr ~len:8;
+      Meter.persist_range meter ~addr ~len:8
+
+let create pool =
+  let meter = Pmem.meter pool in
+  let art =
+    Art.create ~meter ~space:Pm
+      ~alloc_node:(fun size -> Pmem.alloc pool size)
+      ~free_node:(fun ~addr ~size -> Pmem.free pool ~off:addr ~len:size)
+      ~on_event:(protocol meter) ()
+  in
+  { pool; meter; art }
+
+let update_leaf t ~leaf value = Pm_value.update_leaf t.pool ~leaf value
+
+let insert t ~key ~value =
+  match Art.find t.art key with
+  | Some leaf -> update_leaf t ~leaf value
+  | None -> (
+      let leaf = Pm_value.new_leaf t.pool ~key ~payload:value in
+      match Art.insert t.art key leaf with
+      | `Inserted -> ()
+      | `Replaced _ -> assert false)
+
+let read_leaf t ~leaf key = Pm_value.read_leaf t.pool ~leaf key
+
+let search t key =
+  match Art.find t.art key with
+  | None -> None
+  | Some leaf -> read_leaf t ~leaf key
+
+let update t ~key ~value =
+  match Art.find t.art key with
+  | None -> false
+  | Some leaf ->
+      update_leaf t ~leaf value;
+      true
+
+let delete t key =
+  match Art.delete t.art key with
+  | None -> false
+  | Some leaf ->
+      Pm_value.free_leaf t.pool ~leaf;
+      true
+
+let range t ~lo ~hi f =
+  Art.range t.art ~lo ~hi (fun key leaf ->
+      match read_leaf t ~leaf key with Some v -> f key v | None -> ())
+
+let count t = Art.count t.art
+let dram_bytes _ = 0
+let pm_bytes t = Pmem.live_bytes t.pool
+
+let ops t =
+  {
+    Index_intf.name = "WOART";
+    insert = (fun ~key ~value -> insert t ~key ~value);
+    search = (fun k -> search t k);
+    update = (fun ~key ~value -> update t ~key ~value);
+    delete = (fun k -> delete t k);
+    range = (fun ~lo ~hi f -> range t ~lo ~hi f);
+    count = (fun () -> count t);
+    dram_bytes = (fun () -> dram_bytes t);
+    pm_bytes = (fun () -> pm_bytes t);
+  }

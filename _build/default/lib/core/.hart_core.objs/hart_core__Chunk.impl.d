@@ -1,0 +1,1 @@
+lib/core/chunk.ml: Format Hart_pmem Hart_util Int64 Printf

@@ -1,0 +1,1 @@
+lib/core/chunk.mli: Format Hart_pmem

@@ -1,0 +1,1 @@
+lib/core/epalloc.ml: Array Chunk Hart_pmem Hart_util Hashtbl Int64 Leaf List Microlog Printf

@@ -1,0 +1,1 @@
+lib/core/epalloc.mli: Chunk Hart_pmem Microlog

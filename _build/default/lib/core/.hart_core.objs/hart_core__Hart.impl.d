@@ -1,0 +1,1 @@
+lib/core/hart.ml: Chunk Epalloc Hart_art Hart_pmem Hash_dir Hashtbl Leaf List Microlog Printf String Value_obj

@@ -1,0 +1,1 @@
+lib/core/hart.mli: Epalloc Hart_art Hart_pmem

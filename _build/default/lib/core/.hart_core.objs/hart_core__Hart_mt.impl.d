@@ -1,0 +1,1 @@
+lib/core/hart_mt.ml: Fun Hart Hashtbl Mutex Rwlock

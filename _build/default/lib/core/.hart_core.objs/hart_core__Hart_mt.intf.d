@@ -1,0 +1,1 @@
+lib/core/hart_mt.mli: Hart Hart_pmem Rwlock

@@ -1,0 +1,1 @@
+lib/core/hart_stats.ml: Chunk Epalloc Format Hart Hart_art

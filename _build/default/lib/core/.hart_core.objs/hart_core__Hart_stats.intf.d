@@ -1,0 +1,1 @@
+lib/core/hart_stats.mli: Format Hart

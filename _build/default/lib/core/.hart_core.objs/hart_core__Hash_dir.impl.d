@@ -1,0 +1,1 @@
+lib/core/hash_dir.ml: Array Char Hart_pmem Int64 Printf String

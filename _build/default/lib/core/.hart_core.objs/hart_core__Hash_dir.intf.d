@@ -1,0 +1,1 @@
+lib/core/hash_dir.mli: Hart_pmem

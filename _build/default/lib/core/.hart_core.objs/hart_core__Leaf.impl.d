@@ -1,0 +1,1 @@
+lib/core/leaf.ml: Hart_pmem Int64 Printf String

@@ -1,0 +1,1 @@
+lib/core/leaf.mli: Hart_pmem

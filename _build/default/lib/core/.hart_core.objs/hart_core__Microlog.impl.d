@@ -1,0 +1,1 @@
+lib/core/microlog.ml: Chunk Hart_pmem Int64 Printf String

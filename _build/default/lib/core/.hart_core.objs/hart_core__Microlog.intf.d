@@ -1,0 +1,1 @@
+lib/core/microlog.mli: Chunk Hart_pmem

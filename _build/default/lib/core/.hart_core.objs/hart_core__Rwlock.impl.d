@@ -1,0 +1,1 @@
+lib/core/rwlock.ml: Condition Fun Mutex

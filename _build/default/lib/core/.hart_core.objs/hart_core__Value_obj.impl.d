@@ -1,0 +1,1 @@
+lib/core/value_obj.ml: Chunk Hart_pmem String

@@ -1,0 +1,1 @@
+lib/core/value_obj.mli: Chunk Hart_pmem

@@ -1,0 +1,439 @@
+module Pmem = Hart_pmem.Pmem
+module Bits = Hart_util.Bits
+
+let magic = 0x484152545F763031L (* "HART_v01" *)
+let root_off = 64 (* first allocation of a fresh pool *)
+let n_classes = 4
+
+let cls_id = function
+  | Chunk.Leaf_c -> 0
+  | Chunk.Val8 -> 1
+  | Chunk.Val16 -> 2
+  | Chunk.Val32 -> 3
+
+let cls_of_id = function
+  | 0 -> Chunk.Leaf_c
+  | 1 -> Chunk.Val8
+  | 2 -> Chunk.Val16
+  | 3 -> Chunk.Val32
+  | _ -> assert false
+
+(* Root block layout: magic@0, kh@8, heads@16+8*cls, micro-logs after. *)
+let head_field cls = root_off + 16 + (8 * cls_id cls)
+let log_base = root_off + 16 + (8 * n_classes)
+let root_bytes = 16 + (8 * n_classes) + Microlog.region_bytes
+
+(* Sorted dynamic array of chunk offsets: the volatile registry that
+   resolves an object offset to its chunk. *)
+module Registry = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 8 0; n = 0 }
+
+  (* greatest index with a.(i) <= x, or -1 *)
+  let find_le t x =
+    let rec go lo hi =
+      if lo > hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if t.a.(mid) <= x then go (mid + 1) hi else go lo (mid - 1)
+    in
+    go 0 (t.n - 1)
+
+  let mem t x = t.n > 0 && (let i = find_le t x in i >= 0 && t.a.(i) = x)
+
+  let insert t x =
+    if not (mem t x) then begin
+      if t.n = Array.length t.a then begin
+        let a = Array.make (t.n * 2) 0 in
+        Array.blit t.a 0 a 0 t.n;
+        t.a <- a
+      end;
+      let i = find_le t x + 1 in
+      Array.blit t.a i t.a (i + 1) (t.n - i);
+      t.a.(i) <- x;
+      t.n <- t.n + 1
+    end
+
+  let remove t x =
+    if t.n > 0 then begin
+      let i = find_le t x in
+      if i >= 0 && t.a.(i) = x then begin
+        Array.blit t.a (i + 1) t.a i (t.n - i - 1);
+        t.n <- t.n - 1
+      end
+    end
+
+  let iter t f =
+    for i = 0 to t.n - 1 do
+      f t.a.(i)
+    done
+end
+
+type t = {
+  pool : Pmem.t;
+  kh : int;
+  logs : Microlog.t;
+  heads : int array;  (* volatile mirror of the persistent list heads *)
+  registry : Registry.t array;
+  reserved : (int, int ref) Hashtbl.t;  (* chunk -> 56-bit reservation mask *)
+  avail : (int, unit) Hashtbl.t array;  (* chunks with a free slot, per class *)
+}
+
+let pool t = t.pool
+let kh t = t.kh
+let logs t = t.logs
+
+let full_mask = (1 lsl Chunk.objs_per_chunk) - 1
+
+let reserved_mask t chunk =
+  match Hashtbl.find_opt t.reserved chunk with Some r -> !r | None -> 0
+
+let occupancy t chunk =
+  Int64.to_int (Chunk.bitmap t.pool ~chunk) lor reserved_mask t chunk
+
+let refresh_avail t cls chunk =
+  if occupancy t chunk land full_mask = full_mask then
+    Hashtbl.remove t.avail.(cls_id cls) chunk
+  else Hashtbl.replace t.avail.(cls_id cls) chunk ()
+
+let set_head t cls v =
+  Pmem.set_u64 t.pool (head_field cls) (Int64.of_int v);
+  Pmem.persist t.pool ~off:(head_field cls) ~len:8;
+  t.heads.(cls_id cls) <- v
+
+let create ?(kh = 2) pool =
+  if kh < 1 || kh > 8 then invalid_arg "Epalloc.create: kh must be in [1,8]";
+  let off = Pmem.alloc pool root_bytes in
+  if off <> root_off then
+    invalid_arg "Epalloc.create: the root block must be the pool's first allocation";
+  Pmem.set_u64 pool root_off magic;
+  Pmem.set_u64 pool (root_off + 8) (Int64.of_int kh);
+  for id = 0 to n_classes - 1 do
+    Pmem.set_u64 pool (head_field (cls_of_id id)) 0L
+  done;
+  Pmem.persist pool ~off:root_off ~len:(16 + (8 * n_classes));
+  let logs = Microlog.create pool ~base:log_base in
+  {
+    pool;
+    kh;
+    logs;
+    heads = Array.make n_classes 0;
+    registry = Array.init n_classes (fun _ -> Registry.create ());
+    reserved = Hashtbl.create 64;
+    avail = Array.init n_classes (fun _ -> Hashtbl.create 64);
+  }
+
+let chunk_of_obj t cls obj =
+  let reg = t.registry.(cls_id cls) in
+  let i = Registry.find_le reg obj in
+  if i < 0 then raise Not_found;
+  let chunk = reg.Registry.a.(i) in
+  if obj < chunk + 16 || obj >= chunk + Chunk.chunk_bytes cls then raise Not_found;
+  chunk
+
+let class_of_value_obj t obj =
+  let fits cls = match chunk_of_obj t cls obj with _ -> true | exception Not_found -> false in
+  List.find_opt fits [ Chunk.Val8; Chunk.Val16; Chunk.Val32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Allocation (Algorithm 2)                                            *)
+
+let reserve t cls chunk idx =
+  let r =
+    match Hashtbl.find_opt t.reserved chunk with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.reserved chunk r;
+        r
+  in
+  r := !r lor (1 lsl idx);
+  refresh_avail t cls chunk
+
+let unreserve t cls chunk idx =
+  (match Hashtbl.find_opt t.reserved chunk with
+  | Some r ->
+      r := !r land lnot (1 lsl idx);
+      if !r = 0 then Hashtbl.remove t.reserved chunk
+  | None -> ());
+  refresh_avail t cls chunk
+
+(* First free slot considering both the durable bitmap and volatile
+   reservations, preferring the persistent next-free hint. *)
+let get_free_object t chunk =
+  let occ = occupancy t chunk in
+  if occ land full_mask = full_mask then None
+  else begin
+    let hint = Chunk.next_free_hint t.pool ~chunk in
+    let free i = occ land (1 lsl i) = 0 in
+    let idx =
+      if hint < Chunk.objs_per_chunk && free hint then hint
+      else
+        let rec scan i = if free i then i else scan (i + 1) in
+        scan 0
+    in
+    Some idx
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bit commitment                                                      *)
+
+let set_obj_bit t cls ~obj =
+  let chunk = chunk_of_obj t cls obj in
+  let idx = Chunk.idx_of_obj cls ~chunk ~obj in
+  Chunk.set_bit t.pool ~chunk ~idx;
+  unreserve t cls chunk idx
+
+let reset_obj_bit t cls ~obj =
+  let chunk = chunk_of_obj t cls obj in
+  let idx = Chunk.idx_of_obj cls ~chunk ~obj in
+  Chunk.reset_bit t.pool ~chunk ~idx;
+  refresh_avail t cls chunk
+
+let obj_bit t cls ~obj =
+  let chunk = chunk_of_obj t cls obj in
+  Chunk.test_bit t.pool ~chunk ~idx:(Chunk.idx_of_obj cls ~chunk ~obj)
+
+let cancel_reservation t cls ~obj =
+  let chunk = chunk_of_obj t cls obj in
+  unreserve t cls chunk (Chunk.idx_of_obj cls ~chunk ~obj)
+
+(* ------------------------------------------------------------------ *)
+(* Recycling (Algorithm 6)                                             *)
+
+let find_prev t cls chunk =
+  let rec walk c =
+    if c = 0 then 0
+    else if Chunk.pnext t.pool ~chunk:c = chunk then c
+    else walk (Chunk.pnext t.pool ~chunk:c)
+  in
+  walk t.heads.(cls_id cls)
+
+let eprecycle t cls ~chunk =
+  let id = cls_id cls in
+  if
+    Registry.mem t.registry.(id) chunk
+    && Chunk.is_empty t.pool ~chunk
+    && reserved_mask t chunk = 0
+  then begin
+    let slot = Microlog.Recycle.acquire t.logs in
+    Microlog.Recycle.set_pcurrent t.logs ~slot ~cls chunk;
+    (if t.heads.(id) = chunk then set_head t cls (Chunk.pnext t.pool ~chunk)
+     else begin
+       let prev = find_prev t cls chunk in
+       if prev <> 0 then begin
+         Microlog.Recycle.set_pprev t.logs ~slot prev;
+         Chunk.set_pnext t.pool ~chunk:prev (Chunk.pnext t.pool ~chunk)
+       end
+     end);
+    Chunk.release t.pool cls ~chunk;
+    Registry.remove t.registry.(id) chunk;
+    Hashtbl.remove t.avail.(id) chunk;
+    Microlog.Recycle.reclaim t.logs ~slot
+  end
+
+(* Lines 12-16 of Algorithm 2: a free leaf slot still pointing at a
+   committed value object is the footprint of a crashed insertion or
+   deletion; release the value before handing the slot out. *)
+let repair_leaf_slot t obj =
+  let p_value = Leaf.p_value t.pool ~leaf:obj in
+  if p_value <> 0 then begin
+    (match class_of_value_obj t p_value with
+    | Some vcls ->
+        let vchunk = chunk_of_obj t vcls p_value in
+        let vidx = Chunk.idx_of_obj vcls ~chunk:vchunk ~obj:p_value in
+        if Chunk.test_bit t.pool ~chunk:vchunk ~idx:vidx then begin
+          Chunk.reset_bit t.pool ~chunk:vchunk ~idx:vidx;
+          refresh_avail t vcls vchunk;
+          eprecycle t vcls ~chunk:vchunk
+        end
+    | None -> ());
+    Leaf.clear t.pool ~leaf:obj;
+    Pmem.persist t.pool ~off:obj ~len:8
+  end
+
+let epmalloc t cls =
+  let id = cls_id cls in
+  (* The volatile available-chunk cache replaces Algorithm 2's PM list
+     walk (lines 1-7): it is complete — rebuilt by [attach], updated on
+     every bitmap or reservation change — so a miss here means no chunk
+     has a free slot. The paper's walk re-scans every full chunk once the
+     head fills, which is quadratic over a large store; caching which
+     chunks have room is exactly the kind of DRAM acceleration
+     EPallocator exists for (§III-A.4). *)
+  let found = ref 0 in
+  (try
+     Hashtbl.iter
+       (fun chunk () ->
+         if occupancy t chunk land full_mask <> full_mask then begin
+           found := chunk;
+           raise Exit
+         end)
+       t.avail.(id)
+   with Exit -> ());
+  let chunk =
+    if !found <> 0 then !found
+    else begin
+      (* lines 8-10: grow the list at its head *)
+      let chunk = Chunk.alloc t.pool cls in
+      Chunk.set_pnext t.pool ~chunk t.heads.(id);
+      set_head t cls chunk;
+      Registry.insert t.registry.(id) chunk;
+      Hashtbl.replace t.avail.(id) chunk ();
+      chunk
+    end
+  in
+  match get_free_object t chunk with
+  | None -> assert false (* the chunk was verified non-full above *)
+  | Some idx ->
+      let obj = Chunk.obj_off cls ~chunk ~idx in
+      if cls = Chunk.Leaf_c then repair_leaf_slot t obj;
+      reserve t cls chunk idx;
+      obj
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let recover_recycle_log t ~slot =
+  let logs = t.logs in
+  let chunk = Microlog.Recycle.pcurrent logs ~slot in
+  let cls = Microlog.Recycle.cls logs ~slot in
+  let id = cls_id cls in
+  let prev = Microlog.Recycle.pprev logs ~slot in
+  let reachable =
+    let rec walk c = c <> 0 && (c = chunk || walk (Chunk.pnext t.pool ~chunk:c)) in
+    walk t.heads.(id)
+  in
+  if reachable then begin
+    (* resume the unlink from where it stopped *)
+    (if t.heads.(id) = chunk then set_head t cls (Chunk.pnext t.pool ~chunk)
+     else begin
+       let prev = if prev <> 0 then prev else find_prev t cls chunk in
+       if prev <> 0 then Chunk.set_pnext t.pool ~chunk:prev (Chunk.pnext t.pool ~chunk)
+     end);
+    Chunk.release t.pool cls ~chunk;
+    Registry.remove t.registry.(id) chunk;
+    Hashtbl.remove t.avail.(id) chunk
+  end;
+  (* already unlinked: the pool free was idempotent at the allocator
+     level, so only the log remains to clean *)
+  Microlog.Recycle.reclaim logs ~slot
+
+let recover_update_log t ~slot =
+  let logs = t.logs in
+  let pleaf = Microlog.Update.pleaf logs ~slot in
+  let poldv = Microlog.Update.poldv logs ~slot in
+  let pnewv = Microlog.Update.pnewv logs ~slot in
+  (if pleaf <> 0 && poldv <> 0 && pnewv <> 0 then begin
+     (* the crash hit between Algorithm 3 lines 7 and 10: replay them *)
+     (match class_of_value_obj t pnewv with
+     | Some vcls -> set_obj_bit t vcls ~obj:pnewv
+     | None -> ());
+     Leaf.set_p_value t.pool ~leaf:pleaf pnewv;
+     match class_of_value_obj t poldv with
+     | Some vcls ->
+         if obj_bit t vcls ~obj:poldv then reset_obj_bit t vcls ~obj:poldv;
+         (match chunk_of_obj t vcls poldv with
+         | chunk -> eprecycle t vcls ~chunk
+         | exception Not_found -> ())
+     | None -> ()
+   end
+   (* with PNewV unset the old value is still in place: nothing to redo *));
+  Microlog.Update.reclaim logs ~slot
+
+let attach pool =
+  if Pmem.get_u64 pool root_off <> magic then
+    failwith "Epalloc.attach: no valid HART root block in this pool";
+  let kh = Int64.to_int (Pmem.get_u64 pool (root_off + 8)) in
+  let logs = Microlog.attach pool ~base:log_base in
+  let t =
+    {
+      pool;
+      kh;
+      logs;
+      heads = Array.make n_classes 0;
+      registry = Array.init n_classes (fun _ -> Registry.create ());
+      reserved = Hashtbl.create 64;
+      avail = Array.init n_classes (fun _ -> Hashtbl.create 64);
+    }
+  in
+  for id = 0 to n_classes - 1 do
+    let cls = cls_of_id id in
+    t.heads.(id) <- Int64.to_int (Pmem.get_u64 pool (head_field cls));
+    let rec walk chunk =
+      if chunk <> 0 then begin
+        Registry.insert t.registry.(id) chunk;
+        if not (Chunk.is_full pool ~chunk) then Hashtbl.replace t.avail.(id) chunk ();
+        walk (Chunk.pnext pool ~chunk)
+      end
+    in
+    walk t.heads.(id)
+  done;
+  Microlog.Recycle.iter_pending logs (fun ~slot -> recover_recycle_log t ~slot);
+  Microlog.Update.iter_pending logs (fun ~slot -> recover_update_log t ~slot);
+  (* sanitize: a free leaf slot must never carry a stale value pointer
+     into steady state, or a later Algorithm-2 repair of that slot could
+     free a value that has since been re-owned by another key *)
+  let rec sweep chunk =
+    if chunk <> 0 then begin
+      for idx = 0 to Chunk.objs_per_chunk - 1 do
+        if not (Chunk.test_bit pool ~chunk ~idx) then begin
+          let obj = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+          if Leaf.p_value pool ~leaf:obj <> 0 then repair_leaf_slot t obj
+        end
+      done;
+      sweep (Chunk.pnext pool ~chunk)
+    end
+  in
+  sweep t.heads.(cls_id Chunk.Leaf_c);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let iter_chunks t cls f =
+  let rec walk chunk =
+    if chunk <> 0 then begin
+      f chunk;
+      walk (Chunk.pnext t.pool ~chunk)
+    end
+  in
+  walk t.heads.(cls_id cls)
+
+let chunk_count t cls =
+  let n = ref 0 in
+  iter_chunks t cls (fun _ -> incr n);
+  !n
+
+let live_objects t cls =
+  let n = ref 0 in
+  iter_chunks t cls (fun chunk ->
+      n := !n + Bits.popcount (Chunk.bitmap t.pool ~chunk));
+  !n
+
+let iter_live_objs t cls f =
+  iter_chunks t cls (fun chunk ->
+      Chunk.iter_live t.pool cls ~chunk (fun ~idx:_ ~obj -> f ~obj))
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  for id = 0 to n_classes - 1 do
+    let cls = cls_of_id id in
+    if t.heads.(id) <> Int64.to_int (Pmem.get_u64 t.pool (head_field cls)) then
+      fail "head mirror diverged for class %d" id;
+    let in_list = Hashtbl.create 16 in
+    iter_chunks t cls (fun chunk ->
+        if Hashtbl.mem in_list chunk then fail "chunk list cycle at %d" chunk;
+        Hashtbl.add in_list chunk ();
+        if not (Registry.mem t.registry.(id) chunk) then
+          fail "chunk %d in list but not in registry (class %d)" chunk id);
+    Registry.iter t.registry.(id) (fun chunk ->
+        if not (Hashtbl.mem in_list chunk) then
+          fail "chunk %d in registry but not in list (class %d)" chunk id)
+  done;
+  Hashtbl.iter
+    (fun chunk r ->
+      if !r land lnot full_mask <> 0 then
+        fail "reservation mask of chunk %d out of range" chunk)
+    t.reserved

@@ -1,0 +1,83 @@
+(** EPallocator — the enhanced persistent memory allocator (§III-A.4/6).
+
+    EPallocator amortises expensive PM allocation by carving objects out
+    of 56-slot {!Chunk}s, one singly linked chunk list per object class,
+    with list heads and micro-logs in a persistent root block. Its leak
+    freedom comes from ordering: an object's bitmap bit is set only
+    {e after} the object is fully linked into the index, so a crash
+    between allocation and commit leaves a free bit and the slot is
+    simply handed out again later (Algorithm 2's repair path also clears
+    any value object such a half-born leaf still references).
+
+    Volatile acceleration (rebuilt by {!attach} after a crash): a mirror
+    of the list heads, a per-class registry resolving object offsets to
+    their chunks ([MemChunkOf]), a per-chunk reservation mask preventing
+    double hand-out of uncommitted slots, and a cache of chunks known to
+    have free slots so the common allocation touches no full chunk.
+
+    The root block occupies the first allocation of the pool, so a HART
+    pool is self-describing: {!attach} needs only the pool. *)
+
+type t
+
+val magic : int64
+
+val create : ?kh:int -> Hart_pmem.Pmem.t -> t
+(** Format a fresh pool: root block (magic, [kh], null list heads) and
+    zeroed micro-logs. [kh] is HART's hash-key length, default 2,
+    persisted for recovery. Must be the first allocation in the pool.
+    @raise Invalid_argument if [kh] is outside \[1, 8\]. *)
+
+val attach : Hart_pmem.Pmem.t -> t
+(** Adopt the pool after a crash or reopen: verify the magic, rebuild the
+    volatile state by walking the chunk lists, then run the recovery
+    protocols of both micro-logs (recycle logs first, so update-log
+    recovery can acquire one).
+    @raise Failure if the pool has no valid root block. *)
+
+val pool : t -> Hart_pmem.Pmem.t
+val kh : t -> int
+val logs : t -> Microlog.t
+
+val epmalloc : t -> Chunk.cls -> int
+(** Algorithm 2: return the offset of a free object, reserving it
+    (volatile) against concurrent hand-out. The object's bit is {e not}
+    set. For [Leaf_c], the repair path of lines 12–16 runs here. *)
+
+val set_obj_bit : t -> Chunk.cls -> obj:int -> unit
+(** Commit the object: set and persist its bitmap bit, release the
+    reservation. *)
+
+val reset_obj_bit : t -> Chunk.cls -> obj:int -> unit
+(** Clear and persist the object's bit, making the slot reusable. *)
+
+val obj_bit : t -> Chunk.cls -> obj:int -> bool
+
+val cancel_reservation : t -> Chunk.cls -> obj:int -> unit
+(** Release a reservation without committing (an aborted operation). *)
+
+val eprecycle : t -> Chunk.cls -> chunk:int -> unit
+(** Algorithm 6: if the chunk holds no used or reserved object, unlink it
+    from its list under the recycle log and return its space to the
+    pool. Safe to call on any chunk, including already-recycled ones. *)
+
+val chunk_of_obj : t -> Chunk.cls -> int -> int
+(** [MemChunkOf]: the chunk containing this object.
+    @raise Not_found if the offset is in no registered chunk. *)
+
+val class_of_value_obj : t -> int -> Chunk.cls option
+(** Which value class's chunk (if any) contains this offset — recovery
+    needs it because a leaf's [p_value] does not record the class. *)
+
+val chunk_count : t -> Chunk.cls -> int
+val iter_chunks : t -> Chunk.cls -> (int -> unit) -> unit
+(** Walk the class's chunk list in PM order. *)
+
+val live_objects : t -> Chunk.cls -> int
+(** Total set bits across the class's chunks. *)
+
+val iter_live_objs : t -> Chunk.cls -> (obj:int -> unit) -> unit
+
+val check_invariants : t -> unit
+(** Registry/list agreement, head mirrors, reservation sanity. Raises
+    [Failure] on violation. Test use. *)

@@ -1,0 +1,345 @@
+module Pmem = Hart_pmem.Pmem
+module Art = Hart_art.Art
+
+type internal_nodes = [ `Dram | `Pm ]
+
+type t = {
+  alloc : Epalloc.t;
+  pool : Pmem.t;
+  dir : int Art.t Hash_dir.t;  (* hash key -> ART of (art key -> leaf offset) *)
+  kh : int;
+  internal_nodes : internal_nodes;
+  mutable count : int;
+}
+
+let kh t = t.kh
+let pool t = t.pool
+let alloc t = t.alloc
+let count t = t.count
+let art_count t = Hash_dir.length t.dir
+
+(* Ablation support (`Pm): internal nodes placed on PM with a
+   WOART-style per-mutation persistence protocol, isolating the cost the
+   paper's selective consistency/persistence strategy (§III-A.2) avoids. *)
+let pm_node_protocol meter =
+  let module M = Hart_pmem.Meter in
+  function
+  | Art.Node_created { addr; bytes } ->
+      M.write_range meter Pm ~addr ~len:bytes;
+      M.persist_range meter ~addr ~len:bytes;
+      M.persist_range meter ~addr ~len:8
+  | Art.Node_freed _ -> ()
+  | Art.Child_added { addr; slot_off; kind = _ } ->
+      M.write_range meter Pm ~addr:(addr + slot_off) ~len:8;
+      M.persist_range meter ~addr:(addr + slot_off) ~len:8;
+      M.persist_range meter ~addr ~len:1
+  | Art.Child_replaced { addr; slot_off; kind = _ }
+  | Art.Child_removed { addr; slot_off; kind = _ } ->
+      M.write_range meter Pm ~addr:(addr + slot_off) ~len:8;
+      M.persist_range meter ~addr:(addr + slot_off) ~len:8
+  | Art.Prefix_changed { addr } -> M.persist_range meter ~addr ~len:16
+  | Art.Here_changed { addr } -> M.persist_range meter ~addr ~len:8
+
+let new_art t =
+  let meter = Pmem.meter t.pool in
+  match t.internal_nodes with
+  | `Dram -> Art.create ~meter ()
+  | `Pm ->
+      Art.create ~meter ~space:Pm
+        ~alloc_node:(fun size -> Pmem.alloc t.pool size)
+        ~free_node:(fun ~addr ~size -> Pmem.free t.pool ~off:addr ~len:size)
+        ~on_event:(pm_node_protocol meter) ()
+
+let create ?(kh = 2) ?dir_buckets ?(internal_nodes = `Dram) pool =
+  let alloc = Epalloc.create ~kh pool in
+  let meter = Pmem.meter pool in
+  {
+    alloc;
+    pool;
+    dir = Hash_dir.create ~meter ?initial_buckets:dir_buckets ();
+    kh;
+    internal_nodes;
+    count = 0;
+  }
+
+let split_key t key =
+  let n = String.length key in
+  if n <= t.kh then (key, "")
+  else (String.sub key 0 t.kh, String.sub key t.kh (n - t.kh))
+
+let find_art t hash_key = Hash_dir.find t.dir hash_key
+
+let find_or_create_art t hash_key =
+  match Hash_dir.find t.dir hash_key with
+  | Some art -> art
+  | None ->
+      let art = new_art t in
+      Hash_dir.insert t.dir hash_key art;
+      art
+
+let check_key key =
+  let n = String.length key in
+  if n < 1 || n > Leaf.max_key_len then
+    invalid_arg
+      (Printf.sprintf "HART keys must be 1..%d bytes (got %d)" Leaf.max_key_len n)
+
+(* Algorithm 3: out-of-place value update under the persistent update
+   log. [leaf] must be a committed leaf. *)
+let update_leaf t ~leaf value =
+  let logs = Epalloc.logs t.alloc in
+  let slot = Microlog.Update.acquire logs in
+  Microlog.Update.set_pleaf logs ~slot leaf;
+  let old_v = Leaf.p_value t.pool ~leaf in
+  Microlog.Update.set_poldv logs ~slot old_v;
+  let vcls = Value_obj.cls_for value in
+  let new_v = Epalloc.epmalloc t.alloc vcls in
+  Value_obj.write t.pool ~obj:new_v value;
+  Microlog.Update.set_pnewv logs ~slot new_v;
+  Epalloc.set_obj_bit t.alloc vcls ~obj:new_v;
+  Leaf.set_p_value t.pool ~leaf new_v;
+  (match Epalloc.class_of_value_obj t.alloc old_v with
+  | Some old_cls ->
+      Epalloc.reset_obj_bit t.alloc old_cls ~obj:old_v;
+      Epalloc.eprecycle t.alloc old_cls
+        ~chunk:(Epalloc.chunk_of_obj t.alloc old_cls old_v)
+  | None -> ());
+  Microlog.Update.reclaim logs ~slot
+
+(* Algorithm 1. *)
+let insert t ~key ~value =
+  check_key key;
+  let hash_key, art_key = split_key t key in
+  let art = find_or_create_art t hash_key in
+  match Art.find art art_key with
+  | Some leaf -> update_leaf t ~leaf value
+  | None ->
+      let leaf = Epalloc.epmalloc t.alloc Chunk.Leaf_c in
+      let vcls = Value_obj.cls_for value in
+      let vobj = Epalloc.epmalloc t.alloc vcls in
+      Value_obj.write t.pool ~obj:vobj value;
+      Leaf.set_p_value t.pool ~leaf vobj;
+      Epalloc.set_obj_bit t.alloc vcls ~obj:vobj;
+      Leaf.write_key t.pool ~leaf key;
+      (match Art.insert art art_key leaf with
+      | `Inserted -> ()
+      | `Replaced _ -> assert false (* Art.find returned None above *));
+      Epalloc.set_obj_bit t.alloc Chunk.Leaf_c ~obj:leaf;
+      t.count <- t.count + 1
+
+(* Read a validated leaf's value; [None] if the leaf fails validation.
+   The PM key read models the leaf key comparison a C implementation
+   performs at the end of its ART descent. *)
+let read_validated t ~leaf key =
+  if not (Epalloc.obj_bit t.alloc Chunk.Leaf_c ~obj:leaf) then None
+  else if not (String.equal (Leaf.key t.pool ~leaf) key) then None
+  else
+    let v = Leaf.p_value t.pool ~leaf in
+    if v = 0 then None else Some (Value_obj.read t.pool ~obj:v)
+
+(* Algorithm 4. *)
+let search t key =
+  if String.length key < 1 || String.length key > Leaf.max_key_len then None
+  else
+    let hash_key, art_key = split_key t key in
+    match find_art t hash_key with
+    | None -> None
+    | Some art -> (
+        match Art.find art art_key with
+        | None -> None
+        | Some leaf -> read_validated t ~leaf key)
+
+let update t ~key ~value =
+  if String.length key < 1 || String.length key > Leaf.max_key_len then false
+  else
+    let hash_key, art_key = split_key t key in
+    match find_art t hash_key with
+    | None -> false
+    | Some art -> (
+        match Art.find art art_key with
+        | None -> false
+        | Some leaf ->
+            update_leaf t ~leaf value;
+            true)
+
+(* Algorithm 5. *)
+let delete t key =
+  if String.length key < 1 || String.length key > Leaf.max_key_len then false
+  else
+    let hash_key, art_key = split_key t key in
+    match find_art t hash_key with
+    | None -> false
+    | Some art -> (
+        match Art.delete art art_key with
+        | None -> false
+        | Some leaf ->
+            let vobj = Leaf.p_value t.pool ~leaf in
+            Epalloc.reset_obj_bit t.alloc Chunk.Leaf_c ~obj:leaf;
+            (match Epalloc.class_of_value_obj t.alloc vobj with
+            | Some vcls ->
+                Epalloc.reset_obj_bit t.alloc vcls ~obj:vobj;
+                (* sever the stale reference before the value slot can be
+                   reused, or a later repair of this leaf slot would free
+                   a value owned by another key *)
+                Leaf.set_p_value t.pool ~leaf 0;
+                Epalloc.eprecycle t.alloc vcls
+                  ~chunk:(Epalloc.chunk_of_obj t.alloc vcls vobj)
+            | None -> ());
+            Epalloc.eprecycle t.alloc Chunk.Leaf_c
+              ~chunk:(Epalloc.chunk_of_obj t.alloc Chunk.Leaf_c leaf);
+            if Art.is_empty art then Hash_dir.remove t.dir hash_key;
+            t.count <- t.count - 1;
+            true)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+
+let infinity_key = String.make Leaf.max_key_len '\xff'
+
+let is_strict_prefix p s =
+  String.length p < String.length s && String.sub s 0 (String.length p) = p
+
+let range t ~lo ~hi f =
+  (* select the ARTs whose key universe (extensions of their hash key)
+     intersects [lo, hi], in hash-key order *)
+  let arts =
+    Hash_dir.fold t.dir ~init:[] ~f:(fun acc hk art ->
+        let disjoint = hk > hi || (hk < lo && not (is_strict_prefix hk lo)) in
+        if disjoint then acc else (hk, art) :: acc)
+  in
+  let arts = List.sort (fun (a, _) (b, _) -> String.compare a b) arts in
+  List.iter
+    (fun (hk, art) ->
+      let n = String.length hk in
+      let lo' =
+        if is_strict_prefix hk lo then String.sub lo n (String.length lo - n)
+        else "" (* hk >= lo, so the whole ART qualifies from below *)
+      and hi' =
+        if is_strict_prefix hk hi then String.sub hi n (String.length hi - n)
+        else infinity_key (* hk's extensions all stay <= hi *)
+      in
+      Art.range art ~lo:lo' ~hi:hi' (fun _ak leaf ->
+          let key = hk ^ _ak in
+          match read_validated t ~leaf key with
+          | Some v -> f key v
+          | None -> ()))
+    arts
+
+let iter t f =
+  Hash_dir.iter t.dir (fun hk art ->
+      Art.iter art (fun ak leaf ->
+          let key = hk ^ ak in
+          match read_validated t ~leaf key with
+          | Some v -> f key v
+          | None -> ()))
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let extreme_binding t pick art_extreme =
+  let best = ref None in
+  Hash_dir.iter t.dir (fun hk art ->
+      match art_extreme art with
+      | None -> ()
+      | Some (ak, leaf) -> (
+          let key = hk ^ ak in
+          match read_validated t ~leaf key with
+          | None -> ()
+          | Some v -> (
+              match !best with
+              | None -> best := Some (key, v)
+              | Some (bk, _) -> if pick key bk then best := Some (key, v))));
+  !best
+
+let min_binding t = extreme_binding t (fun a b -> a < b) Art.min_binding
+let max_binding t = extreme_binding t (fun a b -> a > b) Art.max_binding
+let iter_arts t f = Hash_dir.iter t.dir f
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (Algorithm 7)                                              *)
+
+let recover pool =
+  let alloc = Epalloc.attach pool in
+  let meter = Pmem.meter pool in
+  let t =
+    {
+      alloc;
+      pool;
+      dir = Hash_dir.create ~meter ();
+      kh = Epalloc.kh alloc;
+      internal_nodes = `Dram;
+      count = 0;
+    }
+  in
+  Epalloc.iter_live_objs alloc Chunk.Leaf_c (fun ~obj ->
+      let key = Leaf.key pool ~leaf:obj in
+      let hash_key, art_key = split_key t key in
+      let art = find_or_create_art t hash_key in
+      match Art.insert art art_key obj with
+      | `Inserted -> t.count <- t.count + 1
+      | `Replaced _ ->
+          failwith
+            (Printf.sprintf "Hart.recover: duplicate committed leaf for key %S" key));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Accounting and integrity                                            *)
+
+let dram_bytes t =
+  Hash_dir.footprint_bytes t.dir
+  + Hash_dir.fold t.dir ~init:0 ~f:(fun acc _ art -> acc + Art.footprint_bytes art)
+
+let pm_bytes t = Pmem.live_bytes t.pool
+
+let check_integrity ?(allow_recovered_orphans = false) t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let seen_leaves = Hashtbl.create 256 in
+  let seen_values = Hashtbl.create 256 in
+  let n = ref 0 in
+  Hash_dir.iter t.dir (fun hk art ->
+      Art.check_invariants art;
+      Art.iter art (fun ak leaf ->
+          incr n;
+          if Hashtbl.mem seen_leaves leaf then
+            fail "leaf %d reachable from two ART positions" leaf;
+          Hashtbl.add seen_leaves leaf ();
+          let key = hk ^ ak in
+          if not (Epalloc.obj_bit t.alloc Chunk.Leaf_c ~obj:leaf) then
+            fail "leaf %d (key %S) is in an ART but its bit is clear" leaf key;
+          let stored = Leaf.key t.pool ~leaf in
+          if not (String.equal stored key) then
+            fail "leaf %d stores key %S but sits at ART position %S" leaf stored key;
+          let v = Leaf.p_value t.pool ~leaf in
+          if v = 0 then fail "leaf %d (key %S) has no value object" leaf key;
+          (match Epalloc.class_of_value_obj t.alloc v with
+          | None -> fail "value %d of key %S is in no value chunk" v key
+          | Some vcls ->
+              if not (Epalloc.obj_bit t.alloc vcls ~obj:v) then
+                fail "value %d of key %S is not committed" v key);
+          if Hashtbl.mem seen_values v then
+            fail "value object %d referenced by two leaves" v;
+          Hashtbl.add seen_values v ()));
+  if !n <> t.count then fail "count %d but %d reachable leaves" t.count !n;
+  let live_leaves = Epalloc.live_objects t.alloc Chunk.Leaf_c in
+  if live_leaves <> !n then
+    fail "%d committed PM leaves but %d reachable from ARTs (leak?)" live_leaves !n;
+  (* every committed value object must be referenced — from a live leaf,
+     or (post-crash, if allowed) from a free leaf slot awaiting repair *)
+  let repairable = Hashtbl.create 16 in
+  if allow_recovered_orphans then
+    Epalloc.iter_chunks t.alloc Chunk.Leaf_c (fun chunk ->
+        for idx = 0 to Chunk.objs_per_chunk - 1 do
+          if not (Chunk.test_bit t.pool ~chunk ~idx) then begin
+            let obj = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+            let v = Leaf.p_value t.pool ~leaf:obj in
+            if v <> 0 then Hashtbl.replace repairable v ()
+          end
+        done);
+  List.iter
+    (fun vcls ->
+      Epalloc.iter_live_objs t.alloc vcls (fun ~obj ->
+          if not (Hashtbl.mem seen_values obj || Hashtbl.mem repairable obj) then
+            fail "committed value object %d is unreferenced (leak)" obj))
+    [ Chunk.Val8; Chunk.Val16; Chunk.Val32 ];
+  Epalloc.check_invariants t.alloc

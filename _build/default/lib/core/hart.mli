@@ -1,0 +1,113 @@
+(** HART — the hash-assisted adaptive radix tree (the paper's
+    contribution, §III).
+
+    A HART instance is a DRAM hash directory mapping the first [kh] bytes
+    of each key (the {e hash key}) to an ART indexed by the remaining
+    bytes (the {e ART key}); ART leaves and value objects live on
+    simulated PM, managed by {!Epalloc}. The implementation follows the
+    paper's algorithms:
+
+    - insertion — Algorithm 1 (leaf bit set last: the commit point);
+    - allocation — Algorithm 2 (inside {!Epalloc.epmalloc});
+    - update — Algorithm 3 (out-of-place, under the persistent update
+      log);
+    - search — Algorithm 4 (bitmap validation of the found leaf);
+    - deletion — Algorithm 5 (bits reset, chunks recycled, empty ARTs
+      freed);
+    - chunk recycling — Algorithm 6 (inside {!Epalloc.eprecycle});
+    - recovery — Algorithm 7 ({!recover} rebuilds the directory and all
+      internal nodes from the PM leaf chunks alone).
+
+    Keys are 1–24 bytes, values 0–31 bytes ({!Leaf.max_key_len},
+    {!Chunk.value_class_for}). This module is single-threaded; use
+    {!Hart_mt} for the paper's per-ART-locked concurrent front end. *)
+
+type t
+
+type internal_nodes = [ `Dram | `Pm ]
+(** Where ART internal nodes live. [`Dram] is HART as published
+    (selective persistence, §III-A.2). [`Pm] is an ablation that places
+    internal nodes on PM under a WOART-style persistence protocol,
+    isolating what selective persistence buys. *)
+
+val create :
+  ?kh:int ->
+  ?dir_buckets:int ->
+  ?internal_nodes:internal_nodes ->
+  Hart_pmem.Pmem.t ->
+  t
+(** Format the pool (must be fresh) and return an empty HART. [kh] is
+    the hash-key length in bytes, default 2 as in the paper's
+    evaluation. [internal_nodes] defaults to [`Dram]. *)
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Algorithm 7: adopt a pool after a crash or reboot — replay
+    micro-logs, then rebuild the hash table and every ART internal node
+    by scanning the leaf chunk list. *)
+
+val kh : t -> int
+val pool : t -> Hart_pmem.Pmem.t
+val alloc : t -> Epalloc.t
+val count : t -> int
+(** Number of live keys. O(1). *)
+
+val art_count : t -> int
+(** Number of ARTs the hash table currently manages (= max concurrent
+    writers, §III-A.3). *)
+
+val split_key : t -> string -> string * string
+(** [(hash_key, art_key)] for a key, per §III-A.1. *)
+
+val insert : t -> key:string -> value:string -> unit
+(** Algorithm 1. Updates in place (via Algorithm 3) when the key already
+    exists.
+    @raise Invalid_argument on over-long key or value. *)
+
+val search : t -> string -> string option
+(** Algorithm 4. *)
+
+val update : t -> key:string -> value:string -> bool
+(** Algorithm 3 directly; [false] when the key does not exist (no
+    insertion). *)
+
+val delete : t -> string -> bool
+(** Algorithm 5; [false] when the key does not exist. *)
+
+val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
+(** Visit every binding with [lo <= key <= hi] in key order: qualifying
+    ARTs are selected through the directory and scanned with per-leaf
+    validation, the multi-ART analogue of the paper's
+    search-per-key range query (§IV-D). *)
+
+val iter : t -> (string -> string -> unit) -> unit
+(** Visit all bindings (ARTs in unspecified order, keys in order within
+    each ART). *)
+
+val fold : t -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+(** Fold over all bindings in {!iter} order. *)
+
+val min_binding : t -> (string * string) option
+(** Smallest key in byte-lexicographic order, across all ARTs. *)
+
+val max_binding : t -> (string * string) option
+
+val iter_arts : t -> (string -> int Hart_art.Art.t -> unit) -> unit
+(** Visit the directory: hash key and that prefix's ART (whose values
+    are PM leaf offsets). Read-only introspection for statistics and
+    tests. *)
+
+val dram_bytes : t -> int
+(** Modelled DRAM consumption: hash directory + ART inner nodes
+    (Fig. 10b). *)
+
+val pm_bytes : t -> int
+(** PM consumption: live pool bytes (chunks, root block). *)
+
+val check_integrity : ?allow_recovered_orphans:bool -> t -> unit
+(** Full cross-check of DRAM structures against the PM image: every ART
+    leaf points at a committed PM leaf whose stored key matches its tree
+    position and whose value object is committed; every committed PM leaf
+    is reachable from exactly one ART; every committed value object is
+    referenced (with [allow_recovered_orphans], a value referenced by a
+    {e free} leaf slot is tolerated — the repairable state Algorithm 2
+    cleans lazily after a crash). Raises [Failure] on violation. *)

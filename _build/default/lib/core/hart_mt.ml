@@ -1,0 +1,66 @@
+type t = {
+  hart : Hart.t;
+  pm : Mutex.t;  (* serialises pool/meter/directory mutation *)
+  locks : (string, Rwlock.t) Hashtbl.t;  (* hash key -> per-ART lock *)
+  locks_mu : Mutex.t;
+}
+
+let create ?kh pool =
+  {
+    hart = Hart.create ?kh pool;
+    pm = Mutex.create ();
+    locks = Hashtbl.create 256;
+    locks_mu = Mutex.create ();
+  }
+
+let recover pool =
+  {
+    hart = Hart.recover pool;
+    pm = Mutex.create ();
+    locks = Hashtbl.create 256;
+    locks_mu = Mutex.create ();
+  }
+
+let underlying t = t.hart
+
+let art_lock t key =
+  let hash_key, _ = Hart.split_key t.hart key in
+  Mutex.lock t.locks_mu;
+  let lock =
+    match Hashtbl.find_opt t.locks hash_key with
+    | Some l -> l
+    | None ->
+        let l = Rwlock.create () in
+        Hashtbl.add t.locks hash_key l;
+        l
+  in
+  Mutex.unlock t.locks_mu;
+  lock
+
+let serialised t f =
+  Mutex.lock t.pm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pm) f
+
+let insert t ~key ~value =
+  Rwlock.with_write (art_lock t key) (fun () ->
+      serialised t (fun () -> Hart.insert t.hart ~key ~value))
+
+let search t key =
+  Rwlock.with_read (art_lock t key) (fun () ->
+      serialised t (fun () -> Hart.search t.hart key))
+
+let update t ~key ~value =
+  Rwlock.with_write (art_lock t key) (fun () ->
+      serialised t (fun () -> Hart.update t.hart ~key ~value))
+
+let delete t key =
+  Rwlock.with_write (art_lock t key) (fun () ->
+      serialised t (fun () -> Hart.delete t.hart key))
+
+let rmw t ~key f =
+  Rwlock.with_write (art_lock t key) (fun () ->
+      serialised t (fun () ->
+          let value = f (Hart.search t.hart key) in
+          Hart.insert t.hart ~key ~value))
+
+let count t = serialised t (fun () -> Hart.count t.hart)

@@ -1,0 +1,43 @@
+(** Concurrent front end to {!Hart} (§III-A.3, §IV-G).
+
+    The paper's protocol: one reader/writer lock per ART; writes to
+    distinct ARTs proceed in parallel, reads on the same ART share its
+    lock, and at most one writer works on an ART at a time. This module
+    implements exactly that admission protocol over OCaml 5 domains: an
+    operation first resolves its hash key to the per-ART lock, then runs
+    under it.
+
+    Honest limitation (documented in DESIGN.md): the simulated PM pool
+    and its meter are a single shared data structure, so the body of
+    every operation additionally serialises on one internal mutex. The
+    locking {e protocol} is therefore fully exercised and tested for
+    correctness (exclusion, shared reads, no lost updates), but
+    wall-clock scaling cannot emerge in-process — Fig. 10d is
+    reproduced by the calibrated discrete-event model in
+    [Hart_harness.Mt_sim]. *)
+
+type t
+
+val create : ?kh:int -> Hart_pmem.Pmem.t -> t
+val recover : Hart_pmem.Pmem.t -> t
+
+val insert : t -> key:string -> value:string -> unit
+val search : t -> string -> string option
+val update : t -> key:string -> value:string -> bool
+val delete : t -> string -> bool
+
+val rmw : t -> key:string -> (string option -> string) -> unit
+(** Atomic read-modify-write: runs the function on the key's current
+    value and stores the result, all under the key's ART write lock, so
+    concurrent [rmw]s on the same key never lose updates. *)
+
+val count : t -> int
+(** Live keys (taken under the structure lock). *)
+
+val underlying : t -> Hart.t
+(** The wrapped single-threaded HART — only safe to use once all domains
+    performing operations have quiesced. *)
+
+val art_lock : t -> string -> Rwlock.t
+(** The reader/writer lock guarding the ART of this key's hash prefix
+    (created on demand). Exposed for lock-protocol tests. *)

@@ -1,0 +1,91 @@
+module Art = Hart_art.Art
+
+type node_histogram = { n4 : int; n16 : int; n48 : int; n256 : int }
+
+type class_stats = {
+  chunks : int;
+  live_objects : int;
+  capacity : int;
+  occupancy : float;
+  bytes : int;
+}
+
+type t = {
+  keys : int;
+  arts : int;
+  hash_buckets_bytes : int;
+  art_nodes : node_histogram;
+  art_node_bytes : int;
+  max_art_height : int;
+  avg_art_keys : float;
+  leaf_class : class_stats;
+  val8_class : class_stats;
+  val16_class : class_stats;
+  val32_class : class_stats;
+  pm_bytes : int;
+  dram_bytes : int;
+}
+
+let class_stats alloc cls =
+  let chunks = Epalloc.chunk_count alloc cls in
+  let live_objects = Epalloc.live_objects alloc cls in
+  let capacity = chunks * Chunk.objs_per_chunk in
+  {
+    chunks;
+    live_objects;
+    capacity;
+    occupancy =
+      (if capacity = 0 then 0. else float_of_int live_objects /. float_of_int capacity);
+    bytes = chunks * Chunk.chunk_bytes cls;
+  }
+
+let collect hart =
+  let alloc = Hart.alloc hart in
+  let hist = ref { n4 = 0; n16 = 0; n48 = 0; n256 = 0 } in
+  let node_bytes = ref 0 and max_height = ref 0 and arts = ref 0 in
+  Hart.iter_arts hart (fun _hk art ->
+      incr arts;
+      let n4, n16, n48, n256 = Art.node_histogram art in
+      hist :=
+        {
+          n4 = !hist.n4 + n4;
+          n16 = !hist.n16 + n16;
+          n48 = !hist.n48 + n48;
+          n256 = !hist.n256 + n256;
+        };
+      node_bytes := !node_bytes + Art.footprint_bytes art;
+      max_height := max !max_height (Art.height art));
+  {
+    keys = Hart.count hart;
+    arts = !arts;
+    hash_buckets_bytes = Hart.dram_bytes hart - !node_bytes;
+    art_nodes = !hist;
+    art_node_bytes = !node_bytes;
+    max_art_height = !max_height;
+    avg_art_keys =
+      (if !arts = 0 then 0. else float_of_int (Hart.count hart) /. float_of_int !arts);
+    leaf_class = class_stats alloc Chunk.Leaf_c;
+    val8_class = class_stats alloc Chunk.Val8;
+    val16_class = class_stats alloc Chunk.Val16;
+    val32_class = class_stats alloc Chunk.Val32;
+    pm_bytes = Hart.pm_bytes hart;
+    dram_bytes = Hart.dram_bytes hart;
+  }
+
+let pp_class ppf (label, (c : class_stats)) =
+  Format.fprintf ppf "%-6s %5d chunks, %7d/%7d objects (%.0f%%), %9d bytes"
+    label c.chunks c.live_objects c.capacity (100. *. c.occupancy) c.bytes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>keys            %d@ ARTs            %d (avg %.1f keys, max height %d)@ \
+     ART nodes       N4=%d N16=%d N48=%d N256=%d (%d bytes)@ hash buckets    \
+     %d bytes@ %a@ %a@ %a@ %a@ PM total        %d bytes@ DRAM total      %d \
+     bytes@]"
+    t.keys t.arts t.avg_art_keys t.max_art_height t.art_nodes.n4 t.art_nodes.n16
+    t.art_nodes.n48 t.art_nodes.n256 t.art_node_bytes t.hash_buckets_bytes
+    pp_class ("leaf", t.leaf_class)
+    pp_class ("val8", t.val8_class)
+    pp_class ("val16", t.val16_class)
+    pp_class ("val32", t.val32_class)
+    t.pm_bytes t.dram_bytes

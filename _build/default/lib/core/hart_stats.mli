@@ -1,0 +1,36 @@
+(** Structural statistics of a HART instance — the introspection a
+    downstream operator needs to reason about Fig. 10b-style memory
+    behaviour: adaptive-node population, chunk occupancy, value-class
+    mix, tree shape. *)
+
+type node_histogram = { n4 : int; n16 : int; n48 : int; n256 : int }
+
+type class_stats = {
+  chunks : int;  (** chunks in the class's list *)
+  live_objects : int;  (** committed bitmap bits *)
+  capacity : int;  (** chunks × 56 *)
+  occupancy : float;  (** live / capacity, 0 when empty *)
+  bytes : int;  (** PM bytes held by the class's chunks *)
+}
+
+type t = {
+  keys : int;
+  arts : int;
+  hash_buckets_bytes : int;
+  art_nodes : node_histogram;
+  art_node_bytes : int;  (** modelled C footprint of all inner nodes *)
+  max_art_height : int;
+  avg_art_keys : float;  (** keys per ART *)
+  leaf_class : class_stats;
+  val8_class : class_stats;
+  val16_class : class_stats;
+  val32_class : class_stats;
+  pm_bytes : int;
+  dram_bytes : int;
+}
+
+val collect : Hart.t -> t
+(** Walk the directory, the ARTs and the chunk lists. O(store size). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering (used by [hart_cli stats -v]). *)

@@ -1,0 +1,148 @@
+module Meter = Hart_pmem.Meter
+
+type 'a slot = Empty | Occupied of { key : string; mutable payload : 'a }
+
+type 'a t = {
+  meter : Meter.t option;
+  mutable slots : 'a slot array;
+  mutable mask : int;  (* bucket count - 1, power of two *)
+  mutable occupied : int;
+  mutable addr : int;  (* synthetic DRAM address of the bucket array *)
+}
+
+let slot_bytes = 16 (* modelled C bucket: 8-byte key word + 8-byte pointer *)
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let alloc_addr meter buckets =
+  match meter with Some m -> Meter.dram_alloc m (buckets * slot_bytes) | None -> 0
+
+let create ?meter ?(initial_buckets = 1024) () =
+  let buckets = round_pow2 initial_buckets in
+  {
+    meter;
+    slots = Array.make buckets Empty;
+    mask = buckets - 1;
+    occupied = 0;
+    addr = alloc_addr meter buckets;
+  }
+
+let length t = t.occupied
+
+(* FNV-1a, folded to the positive int range. *)
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  Int64.to_int !h land max_int
+
+let touch t slot ~write =
+  match t.meter with
+  | None -> ()
+  | Some m -> Meter.access m Dram ~addr:(t.addr + (slot * slot_bytes)) ~write
+
+let probe t key =
+  (* index of [key]'s slot, or of the first empty slot on its chain *)
+  let rec go i =
+    touch t i ~write:false;
+    match t.slots.(i) with
+    | Empty -> i
+    | Occupied { key = k; _ } ->
+        if String.equal k key then i else go ((i + 1) land t.mask)
+  in
+  go (hash key land t.mask)
+
+let find t key =
+  match t.slots.(probe t key) with
+  | Empty -> None
+  | Occupied { payload; _ } -> Some payload
+
+let rec insert t key payload =
+  let i = probe t key in
+  match t.slots.(i) with
+  | Occupied o -> o.payload <- payload
+  | Empty ->
+      if 10 * (t.occupied + 1) > 7 * (t.mask + 1) then begin
+        resize t;
+        insert t key payload
+      end
+      else begin
+        t.slots.(i) <- Occupied { key; payload };
+        touch t i ~write:true;
+        t.occupied <- t.occupied + 1
+      end
+
+and resize t =
+  let old = t.slots in
+  let buckets = (t.mask + 1) * 2 in
+  (match t.meter with
+  | Some m ->
+      Meter.dram_free m ~addr:t.addr ~size:((t.mask + 1) * slot_bytes);
+      t.addr <- Meter.dram_alloc m (buckets * slot_bytes)
+  | None -> ());
+  t.slots <- Array.make buckets Empty;
+  t.mask <- buckets - 1;
+  t.occupied <- 0;
+  Array.iter
+    (function Empty -> () | Occupied { key; payload } -> insert t key payload)
+    old
+
+let remove t key =
+  let i = probe t key in
+  match t.slots.(i) with
+  | Empty -> ()
+  | Occupied _ ->
+      t.slots.(i) <- Empty;
+      touch t i ~write:true;
+      t.occupied <- t.occupied - 1;
+      (* backward-shift deletion keeps probe chains unbroken: any entry
+         whose home position precedes the hole moves back into it *)
+      let rec scan hole j =
+        match t.slots.(j) with
+        | Empty -> ()
+        | Occupied { key = k; payload } ->
+            let home = hash k land t.mask in
+            let dist_hole = (hole - home) land t.mask
+            and dist_j = (j - home) land t.mask in
+            if dist_hole <= dist_j then begin
+              t.slots.(hole) <- Occupied { key = k; payload };
+              t.slots.(j) <- Empty;
+              touch t hole ~write:true;
+              scan j ((j + 1) land t.mask)
+            end
+            else scan hole ((j + 1) land t.mask)
+      in
+      scan i ((i + 1) land t.mask)
+
+let iter t f =
+  Array.iter
+    (function Empty -> () | Occupied { key; payload } -> f key payload)
+    t.slots
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc -> function
+      | Empty -> acc
+      | Occupied { key; payload } -> f acc key payload)
+    init t.slots
+
+let footprint_bytes t = (t.mask + 1) * slot_bytes
+
+let check_invariants t =
+  let n = ref 0 in
+  Array.iter
+    (function
+      | Empty -> ()
+      | Occupied { key; payload = _ } ->
+          incr n;
+          if find t key = None then
+            failwith (Printf.sprintf "Hash_dir: stored key %S not findable" key))
+    t.slots;
+  if !n <> t.occupied then
+    failwith
+      (Printf.sprintf "Hash_dir: occupancy %d <> population %d" t.occupied !n)

@@ -1,0 +1,37 @@
+(** The DRAM hash table that manages HART's per-prefix ARTs (Fig. 1).
+
+    Maps a hash key — the first [kh] bytes of a record key — to an
+    arbitrary payload (in HART: an ART root plus its reader/writer lock).
+    Open addressing with linear probing and backward-shift deletion;
+    FNV-1a hashing; doubling at 70 % load.
+
+    The table is volatile and rebuilt by recovery. When created with a
+    meter, each probe is reported as a DRAM access so the table's cache
+    footprint participates in the simulation (the paper attributes HART's
+    300/100 search loss to exactly this footprint). *)
+
+type 'a t
+
+val create : ?meter:Hart_pmem.Meter.t -> ?initial_buckets:int -> unit -> 'a t
+(** [initial_buckets] defaults to 1024 and is rounded up to a power of
+    two. *)
+
+val length : 'a t -> int
+val find : 'a t -> string -> 'a option
+
+val insert : 'a t -> string -> 'a -> unit
+(** Bind the hash key, replacing any previous binding. *)
+
+val remove : 'a t -> string -> unit
+(** Remove the binding if present (used when an ART becomes empty,
+    Algorithm 5 lines 15–16). *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+
+val footprint_bytes : 'a t -> int
+(** Modelled C footprint: buckets × (8-byte key slot + 8-byte pointer). *)
+
+val check_invariants : 'a t -> unit
+(** Every stored key is findable and the occupancy counter is exact.
+    Raises [Failure] on violation. Test use. *)

@@ -1,0 +1,26 @@
+module Pmem = Hart_pmem.Pmem
+
+let max_key_len = 24
+let size = 40
+
+let p_value pool ~leaf = Int64.to_int (Pmem.get_u64 pool leaf)
+
+let set_p_value pool ~leaf v =
+  Pmem.set_u64 pool leaf (Int64.of_int v);
+  Pmem.persist pool ~off:leaf ~len:8
+
+let key pool ~leaf =
+  let len = Pmem.get_u8 pool (leaf + 8) in
+  if len = 0 then "" else Pmem.get_string pool ~off:(leaf + 9) ~len
+
+let write_key pool ~leaf k =
+  let len = String.length k in
+  if len > max_key_len then
+    invalid_arg
+      (Printf.sprintf "key of %d bytes exceeds the %d-byte limit" len max_key_len);
+  Pmem.set_u8 pool (leaf + 8) len;
+  if len > 0 then Pmem.set_string pool ~off:(leaf + 9) k;
+  Pmem.persist pool ~off:(leaf + 8) ~len:(1 + len)
+
+let clear pool ~leaf =
+  Pmem.set_string pool ~off:leaf (String.make size '\000')

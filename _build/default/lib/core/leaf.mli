@@ -1,0 +1,35 @@
+(** Persistent leaf-node codec.
+
+    A HART leaf node lives in a PM leaf chunk and stores the {e complete}
+    key (hash-key prefix included, "for the purpose of failure recovery",
+    §III-A.2) plus a persistent pointer to its out-of-leaf value object
+    (Fig. 3). Layout, 40 bytes:
+
+    {v
+    offset 0   p_value : u64   pool offset of the value object (0 = none)
+    offset 8   key_len : u8    0..24
+    offset 9   key     : 24 B  key bytes, zero-padded
+    offset 33  padding to 40
+    v}
+
+    The maximal key length is 24 bytes, as in the paper. *)
+
+val max_key_len : int
+
+val p_value : Hart_pmem.Pmem.t -> leaf:int -> int
+val set_p_value : Hart_pmem.Pmem.t -> leaf:int -> int -> unit
+(** Store and persist the value pointer (Algorithm 1 line 13 /
+    Algorithm 3 line 8 commit point). *)
+
+val key : Hart_pmem.Pmem.t -> leaf:int -> string
+(** Read the stored key (charges PM reads for the key bytes — the leaf
+    key comparison a C implementation performs at the end of an ART
+    descent). *)
+
+val write_key : Hart_pmem.Pmem.t -> leaf:int -> string -> unit
+(** Store and persist key and key length (Algorithm 1 lines 15–16).
+    @raise Invalid_argument if the key exceeds {!max_key_len}. *)
+
+val clear : Hart_pmem.Pmem.t -> leaf:int -> unit
+(** Zero the whole leaf without persisting (used when repairing a slot
+    that a crashed insertion left half-written). *)

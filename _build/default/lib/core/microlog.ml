@@ -1,0 +1,121 @@
+module Pmem = Hart_pmem.Pmem
+
+let n_slots = 8
+let slot_bytes = 24
+let region_bytes = 2 * n_slots * slot_bytes
+
+type t = {
+  pool : Pmem.t;
+  base : int;  (* update slots at [base], recycle slots after them *)
+  mutable free_update : int;  (* bitmask of free update slots *)
+  mutable free_recycle : int;
+}
+
+let all_free = (1 lsl n_slots) - 1
+let update_off t slot = t.base + (slot * slot_bytes)
+let recycle_off t slot = t.base + (n_slots * slot_bytes) + (slot * slot_bytes)
+
+let create pool ~base =
+  Pmem.set_string pool ~off:base (String.make region_bytes '\000');
+  Pmem.persist pool ~off:base ~len:region_bytes;
+  { pool; base; free_update = all_free; free_recycle = all_free }
+
+let attach pool ~base =
+  let t = { pool; base; free_update = all_free; free_recycle = all_free } in
+  for slot = 0 to n_slots - 1 do
+    if Pmem.get_u64 pool (update_off t slot) <> 0L then
+      t.free_update <- t.free_update land lnot (1 lsl slot);
+    if Pmem.get_u64 pool (recycle_off t slot + 8) <> 0L then
+      t.free_recycle <- t.free_recycle land lnot (1 lsl slot)
+  done;
+  t
+
+let pick_free mask =
+  let rec go i =
+    if i >= n_slots then failwith "Microlog: all slots busy"
+    else if mask land (1 lsl i) <> 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let word_get pool off = Int64.to_int (Pmem.get_u64 pool off)
+
+let word_set pool off v =
+  Pmem.set_u64 pool off (Int64.of_int v);
+  Pmem.persist pool ~off ~len:8
+
+module Update = struct
+  let acquire t =
+    let slot = pick_free t.free_update in
+    t.free_update <- t.free_update land lnot (1 lsl slot);
+    slot
+
+  let set_pleaf t ~slot v = word_set t.pool (update_off t slot) v
+  let set_poldv t ~slot v = word_set t.pool (update_off t slot + 8) v
+  let set_pnewv t ~slot v = word_set t.pool (update_off t slot + 16) v
+  let pleaf t ~slot = word_get t.pool (update_off t slot)
+  let poldv t ~slot = word_get t.pool (update_off t slot + 8)
+  let pnewv t ~slot = word_get t.pool (update_off t slot + 16)
+
+  (* Reclaim must persist its zeroes: if a stale log survived a crash,
+     recovery would redo the update and reset the old value's bit — but
+     that slot may have been legitimately reallocated in the meantime.
+     (The paper's Algorithm 3 shows no persistent() on LogReclaim, which
+     leaves exactly that window; see DESIGN.md §"deviations".) *)
+  let reclaim t ~slot =
+    let off = update_off t slot in
+    Pmem.set_string t.pool ~off (String.make slot_bytes '\000');
+    Pmem.persist t.pool ~off ~len:slot_bytes;
+    t.free_update <- t.free_update lor (1 lsl slot)
+
+  let iter_pending t f =
+    for slot = 0 to n_slots - 1 do
+      if pleaf t ~slot <> 0 then f ~slot
+    done
+end
+
+module Recycle = struct
+  let cls_to_int = function
+    | Chunk.Leaf_c -> 0
+    | Chunk.Val8 -> 1
+    | Chunk.Val16 -> 2
+    | Chunk.Val32 -> 3
+
+  let cls_of_int = function
+    | 0 -> Chunk.Leaf_c
+    | 1 -> Chunk.Val8
+    | 2 -> Chunk.Val16
+    | 3 -> Chunk.Val32
+    | n -> failwith (Printf.sprintf "Microlog: bad class tag %d" n)
+
+  let acquire t =
+    let slot = pick_free t.free_recycle in
+    t.free_recycle <- t.free_recycle land lnot (1 lsl slot);
+    slot
+
+  let set_pprev t ~slot v = word_set t.pool (recycle_off t slot) v
+
+  let set_pcurrent t ~slot ~cls v =
+    (* the class tag must be durable with (in fact before) PCurrent, so
+       recovery never sees a chunk pointer without its list identity *)
+    word_set t.pool (recycle_off t slot + 16) (cls_to_int cls);
+    word_set t.pool (recycle_off t slot + 8) v
+
+  let pprev t ~slot = word_get t.pool (recycle_off t slot)
+  let pcurrent t ~slot = word_get t.pool (recycle_off t slot + 8)
+  let cls t ~slot = cls_of_int (word_get t.pool (recycle_off t slot + 16))
+
+  (* persisted for the same reason as Update.reclaim: a stale recycle
+     log must not survive into a later epoch where its chunk offset has
+     been reallocated *)
+  let reclaim t ~slot =
+    let off = recycle_off t slot in
+    Pmem.set_string t.pool ~off (String.make slot_bytes '\000');
+    Pmem.persist t.pool ~off ~len:slot_bytes;
+    t.free_recycle <- t.free_recycle lor (1 lsl slot)
+
+  let iter_pending t f =
+    for slot = 0 to n_slots - 1 do
+      if pcurrent t ~slot <> 0 then f ~slot
+    done
+end

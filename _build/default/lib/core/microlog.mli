@@ -1,0 +1,68 @@
+(** Persistent micro-logs (update log of Algorithm 3, recycle log of
+    Algorithm 6).
+
+    The root block reserves [n_slots] slots of each kind so that
+    concurrent writers on distinct ARTs can each hold a log
+    ([GetMicroLog] in the paper). A slot is a triple of 8-byte persistent
+    words; the zero word marks an unused field, so crash recovery can
+    classify how far an interrupted operation progressed purely from the
+    durable image.
+
+    Update-log slot: [PLeaf], [POldV], [PNewV].
+    Recycle-log slot: [PPrev], [PCurrent], [meta] (low bits: object
+    class of the chunk being unlinked).
+
+    Slot acquisition is tracked by a volatile bitmask (no PM traffic);
+    after a crash, {!attach} marks every slot that still carries data as
+    busy until the recovery protocol reclaims it. *)
+
+type t
+
+val n_slots : int
+(** 8 of each kind — an upper bound on concurrent writers per HART. *)
+
+val region_bytes : int
+(** Bytes the two slot arrays occupy after the root-block scalars. *)
+
+val create : Hart_pmem.Pmem.t -> base:int -> t
+(** [create pool ~base] formats (zeroes and persists) both slot arrays
+    starting at pool offset [base]. *)
+
+val attach : Hart_pmem.Pmem.t -> base:int -> t
+(** Adopt existing slot arrays after a crash without modifying them. *)
+
+(** Both sub-modules share the slot-handle convention: a slot is named by
+    its index in \[0, n_slots). *)
+
+module Update : sig
+  val acquire : t -> int
+  (** Claim a free slot. @raise Failure when all slots are busy. *)
+
+  val set_pleaf : t -> slot:int -> int -> unit
+  val set_poldv : t -> slot:int -> int -> unit
+  val set_pnewv : t -> slot:int -> int -> unit
+  val pleaf : t -> slot:int -> int
+  val poldv : t -> slot:int -> int
+  val pnewv : t -> slot:int -> int
+
+  val reclaim : t -> slot:int -> unit
+  (** Zero the slot, persist, and release it to the volatile free set
+      ([LogReclaim]). *)
+
+  val iter_pending : t -> (slot:int -> unit) -> unit
+  (** Visit every slot whose [PLeaf] is non-zero (recovery scan). *)
+end
+
+module Recycle : sig
+  val acquire : t -> int
+  val set_pprev : t -> slot:int -> int -> unit
+  val set_pcurrent : t -> slot:int -> cls:Chunk.cls -> int -> unit
+  (** Records the chunk being unlinked together with its object class so
+      recovery knows which list to repair. *)
+
+  val pprev : t -> slot:int -> int
+  val pcurrent : t -> slot:int -> int
+  val cls : t -> slot:int -> Chunk.cls
+  val reclaim : t -> slot:int -> unit
+  val iter_pending : t -> (slot:int -> unit) -> unit
+end

@@ -1,0 +1,25 @@
+(** Reader/writer lock with the admission policy the paper describes for
+    HART's per-ART locks (§IV-G): multiple readers share an ART; a writer
+    holds it exclusively; while a writer works (or waits), incoming
+    readers block, so writers are not starved. Built on stdlib
+    [Mutex]/[Condition] — usable from OCaml 5 domains. *)
+
+type t
+
+val create : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run under the shared lock, releasing on exception. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run under the exclusive lock, releasing on exception. *)
+
+val readers : t -> int
+(** Current reader count (diagnostic; racy by nature). *)
+
+val writer_active : t -> bool
+(** Whether a writer currently holds the lock (diagnostic). *)

@@ -1,0 +1,14 @@
+module Pmem = Hart_pmem.Pmem
+
+let cls_for payload = Chunk.value_class_for (String.length payload)
+
+let write pool ~obj payload =
+  let len = String.length payload in
+  ignore (Chunk.value_class_for len : Chunk.cls);
+  Pmem.set_u8 pool obj len;
+  if len > 0 then Pmem.set_string pool ~off:(obj + 1) payload;
+  Pmem.persist pool ~off:obj ~len:(1 + len)
+
+let read pool ~obj =
+  let len = Pmem.get_u8 pool obj in
+  if len = 0 then "" else Pmem.get_string pool ~off:(obj + 1) ~len

@@ -1,0 +1,17 @@
+(** Persistent value-object codec.
+
+    A value object occupies one slot of a value chunk (class Val8 / Val16
+    / Val32) and stores a 1-byte payload length followed by the payload,
+    so the commit granularity is a single slot. HART supports
+    variable-size values through these size classes (§III-A.5). *)
+
+val write : Hart_pmem.Pmem.t -> obj:int -> string -> unit
+(** Store payload and length, persist the object (Algorithm 1 line 12 /
+    Algorithm 3 line 5).
+    @raise Invalid_argument beyond 31 bytes. *)
+
+val read : Hart_pmem.Pmem.t -> obj:int -> string
+(** Read the payload back. *)
+
+val cls_for : string -> Chunk.cls
+(** The value class that stores this payload. *)

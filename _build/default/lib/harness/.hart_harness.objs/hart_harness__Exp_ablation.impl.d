@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Hart_baselines Hart_core Hart_pmem Hart_workloads List Printf Report Runner

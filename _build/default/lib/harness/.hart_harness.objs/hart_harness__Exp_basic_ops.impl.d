@@ -1,0 +1,1 @@
+lib/harness/exp_basic_ops.ml: Char Float Hart_baselines Hart_pmem Hart_workloads List Printf Report Runner String

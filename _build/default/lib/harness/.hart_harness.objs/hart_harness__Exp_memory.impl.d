@@ -1,0 +1,1 @@
+lib/harness/exp_memory.ml: Hart_baselines Hart_pmem Hart_workloads List Printf Report Runner

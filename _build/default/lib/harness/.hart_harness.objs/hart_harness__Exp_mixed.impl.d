@@ -1,0 +1,1 @@
+lib/harness/exp_mixed.ml: Array Char Hart_pmem Hart_workloads List Printf Report Runner

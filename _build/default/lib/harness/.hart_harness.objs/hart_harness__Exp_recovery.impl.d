@@ -1,0 +1,1 @@
+lib/harness/exp_recovery.ml: Array Hart_baselines Hart_core Hart_pmem Hart_workloads List Printf Report

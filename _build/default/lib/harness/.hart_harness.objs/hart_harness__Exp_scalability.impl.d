@@ -1,0 +1,1 @@
+lib/harness/exp_scalability.ml: Array Hart_core Hart_pmem Hart_util Hart_workloads Hashtbl List Mt_sim Printf Report Runner

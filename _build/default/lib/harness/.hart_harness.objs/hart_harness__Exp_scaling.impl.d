@@ -1,0 +1,1 @@
+lib/harness/exp_scaling.ml: Array Hart_pmem Hart_workloads List Printf Report Runner

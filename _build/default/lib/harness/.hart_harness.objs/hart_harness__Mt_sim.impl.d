@@ -1,0 +1,1 @@
+lib/harness/mt_sim.ml: Array Float Hashtbl Option

@@ -1,0 +1,1 @@
+lib/harness/mt_sim.mli:

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Hart_baselines Hart_core Hart_pmem Hart_workloads String Unix

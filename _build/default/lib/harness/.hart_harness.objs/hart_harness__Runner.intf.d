@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Hart_baselines Hart_pmem Hart_workloads

@@ -1,0 +1,62 @@
+(** Fig. 10c: build time vs recovery time for the two hybrid trees (HART
+    and FPTree) under Random in 300/100 — pure-PM WOART/ART+CoW need no
+    recovery (§IV-F). Build = insert all records into a fresh tree;
+    recovery = crash the pool (losing caches and DRAM structures) and
+    rebuild the volatile side from PM leaves. *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Hart = Hart_core.Hart
+module Fptree = Hart_baselines.Fptree
+module Keygen = Hart_workloads.Keygen
+
+let base_sizes = [ 10_000; 50_000; 100_000; 200_000 ]
+
+type timing = { build_s : float; recover_s : float }
+
+let time_tree ~make ~recover keys =
+  let meter = Meter.create Latency.c300_100 in
+  let pool = Pmem.create meter in
+  let t0 = Meter.sim_ns meter in
+  let insert = make pool in
+  Array.iteri (fun i key -> insert ~key ~value:(Keygen.value_for i)) keys;
+  let build_s = (Meter.sim_ns meter -. t0) /. 1e9 in
+  Pmem.crash pool;
+  let t1 = Meter.sim_ns meter in
+  let count = recover pool in
+  let recover_s = (Meter.sim_ns meter -. t1) /. 1e9 in
+  if count <> Array.length keys then
+    failwith (Printf.sprintf "recovered %d of %d records" count (Array.length keys));
+  { build_s; recover_s }
+
+let run ~scale =
+  let sizes =
+    List.map (fun n -> max 1_000 (int_of_float (float_of_int n *. scale))) base_sizes
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let keys = Keygen.generate Keygen.Random n in
+        let hart =
+          time_tree keys
+            ~make:(fun pool ->
+              let h = Hart.create pool in
+              fun ~key ~value -> Hart.insert h ~key ~value)
+            ~recover:(fun pool -> Hart.count (Hart.recover pool))
+        in
+        let fp =
+          time_tree keys
+            ~make:(fun pool ->
+              let f = Fptree.create pool in
+              fun ~key ~value -> Fptree.insert f ~key ~value)
+            ~recover:(fun pool -> Fptree.count (Fptree.recover pool))
+        in
+        ( Printf.sprintf "%dk" (n / 1000),
+          [ hart.build_s; hart.recover_s; fp.build_s; fp.recover_s ] ))
+      sizes
+  in
+  Report.print_table
+    ~title:"Fig 10(c): Build vs recovery time (s) -- Random, 300/100"
+    ~col_names:[ "HART build"; "HART recov"; "FPTree build"; "FPTree recov" ]
+    ~rows

@@ -1,0 +1,35 @@
+let simulate ~threads ~trace ~svc_ns ?(physical_cores = 8) ?(ht_efficiency = 0.70)
+    () =
+  if threads < 1 then invalid_arg "Mt_sim.simulate: threads must be positive";
+  let svc =
+    if threads <= physical_cores then svc_ns
+    else begin
+      (* linear interpolation between full-speed cores and the fully
+         hyper-threaded regime *)
+      let over = float_of_int (threads - physical_cores) /. float_of_int physical_cores in
+      svc_ns *. (1. +. (over *. ((1. /. ht_efficiency) -. 1.)))
+    end
+  in
+  let thread_free = Array.make threads 0. in
+  (* per-ART lock horizon: when its current writer ends, and when its
+     last reader ends *)
+  let writer_end = Hashtbl.create 1024 in
+  let reader_end = Hashtbl.create 1024 in
+  let get tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0. in
+  Array.iteri
+    (fun i (art, is_write) ->
+      let tid = i mod threads in
+      let start =
+        if is_write then
+          Float.max thread_free.(tid)
+            (Float.max (get writer_end art) (get reader_end art))
+        else Float.max thread_free.(tid) (get writer_end art)
+      in
+      let fin = start +. svc in
+      if is_write then Hashtbl.replace writer_end art fin
+      else Hashtbl.replace reader_end art (Float.max (get reader_end art) fin);
+      thread_free.(tid) <- fin)
+    trace;
+  let total_ns = Array.fold_left Float.max 0. thread_free in
+  if total_ns <= 0. then 0.
+  else float_of_int (Array.length trace) /. (total_ns /. 1e9) /. 1e6

@@ -1,0 +1,26 @@
+(** Discrete-event model of HART's per-ART reader/writer concurrency for
+    the Fig. 10d scalability experiment.
+
+    The container offers a single physical core, so the paper's 16-thread
+    wall-clock experiment cannot run natively (DESIGN.md). Instead, the
+    real lock protocol is correctness-tested in-process ({!Hart_core.Hart_mt})
+    and its throughput is replayed here: operations are dealt round-robin
+    to simulated threads; a write to an ART waits for that ART's writer
+    and all its readers, a read waits only for the writer (readers
+    share); service times come from the measured single-threaded run.
+    Threads beyond the physical core count pay a hyper-threading penalty,
+    as the paper observes for 16 threads on 8 cores. *)
+
+val simulate :
+  threads:int ->
+  trace:(int * bool) array ->
+  svc_ns:float ->
+  ?physical_cores:int ->
+  ?ht_efficiency:float ->
+  unit ->
+  float
+(** [simulate ~threads ~trace ~svc_ns ()] returns throughput in MIOPS.
+    [trace] is [(art_id, is_write)] per operation; [svc_ns] the measured
+    single-threaded service time per operation. Defaults: 8 physical
+    cores, 0.70 hyper-threaded efficiency (calibrated to the paper's
+    10.7–11.9× at 16 threads). *)

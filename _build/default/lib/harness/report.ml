@@ -1,0 +1,35 @@
+let fmt_f v = Printf.sprintf "%.3f" v
+
+let print_table_s ~title ~col_names ~rows =
+  let headers = "" :: col_names in
+  let body = List.map (fun (label, cells) -> label :: cells) rows in
+  let all = headers :: body in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init n_cols width in
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%s\n" (String.make (String.length title) '-');
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun c w ->
+          let cell = Option.value (List.nth_opt row c) ~default:"" in
+          Printf.printf "%-*s  " w cell)
+        widths;
+      print_newline ())
+    all;
+  (* tables appear as they are produced even when stdout is a file *)
+  flush stdout
+
+let print_table ~title ~col_names ~rows =
+  print_table_s ~title ~col_names
+    ~rows:(List.map (fun (label, cells) -> (label, List.map fmt_f cells)) rows)
+
+let ratio baseline ours = if baseline <= 0. || ours <= 0. then 0. else baseline /. ours

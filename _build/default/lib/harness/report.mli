@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the figure reproductions: one table
+    per sub-figure, columns = trees, rows = latency configs (or sweep
+    points), matching how the paper's bar groups are organised. *)
+
+val print_table :
+  title:string -> col_names:string list -> rows:(string * float list) list -> unit
+(** Numeric cells rendered with 3 decimals, aligned. *)
+
+val print_table_s :
+  title:string -> col_names:string list -> rows:(string * string list) list -> unit
+
+val ratio : float -> float -> float
+(** [ratio baseline ours] = baseline / ours, i.e. "ours is Nx faster";
+    0 when either input is non-positive. *)
+
+val fmt_f : float -> string
+(** 3-decimal rendering used in tables ("1.234"). *)

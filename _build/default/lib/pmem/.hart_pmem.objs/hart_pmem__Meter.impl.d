@@ -1,0 +1,1 @@
+lib/pmem/meter.ml: Array Format Latency

@@ -1,0 +1,1 @@
+lib/pmem/meter.mli: Format Latency

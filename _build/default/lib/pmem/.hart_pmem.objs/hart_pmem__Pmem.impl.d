@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Bytes Format Fun Hart_util Hashtbl Int64 List Meter Printf String

@@ -1,0 +1,26 @@
+type config = {
+  name : string;
+  pm_write_ns : float;
+  pm_read_ns : float;
+  dram_ns : float;
+  llc_hit_ns : float;
+  fence_ns : float;
+}
+
+let base ~name ~pm_write_ns ~pm_read_ns =
+  { name; pm_write_ns; pm_read_ns; dram_ns = 100.; llc_hit_ns = 5.; fence_ns = 10. }
+
+let c300_100 = base ~name:"300/100" ~pm_write_ns:300. ~pm_read_ns:100.
+let c300_300 = base ~name:"300/300" ~pm_write_ns:300. ~pm_read_ns:300.
+let c600_300 = base ~name:"600/300" ~pm_write_ns:600. ~pm_read_ns:300.
+let dram_only = base ~name:"dram" ~pm_write_ns:100. ~pm_read_ns:100.
+let all = [ c300_100; c300_300; c600_300 ]
+
+let by_name name =
+  List.find_opt (fun c -> c.name = name) (dram_only :: all)
+
+let stall_cycles ~stalled config =
+  stalled *. (config.pm_read_ns -. config.dram_ns) /. config.dram_ns
+
+let extra_read_latency_s ~stalled ~cpu_hz config =
+  stall_cycles ~stalled config /. cpu_hz

@@ -1,0 +1,52 @@
+(** Memory latency configurations.
+
+    The paper evaluates three PM write/read latency settings — 300/100,
+    300/300 and 600/300 ns — against a measured DRAM latency of 100 ns
+    (§IV-A). Emulated operation times are produced by charging these
+    latencies to counted memory events, which is the paper's own offline
+    methodology (its equations (1)–(2) reduce to charging the PM−DRAM
+    latency difference per stalled access). *)
+
+type config = {
+  name : string;  (** e.g. ["300/100"], as the figures label them *)
+  pm_write_ns : float;  (** latency charged per persisted cache line *)
+  pm_read_ns : float;  (** latency of a PM read that misses the LLC *)
+  dram_ns : float;  (** latency of a DRAM read that misses the LLC *)
+  llc_hit_ns : float;  (** latency of a last-level-cache hit *)
+  fence_ns : float;  (** cost of an MFENCE *)
+}
+
+val c300_100 : config
+(** PM write 300 ns / PM read 100 ns — PM reads cost the same as DRAM. *)
+
+val c300_300 : config
+(** PM write 300 ns / PM read 300 ns. *)
+
+val c600_300 : config
+(** PM write 600 ns / PM read 300 ns. *)
+
+val dram_only : config
+(** All latencies set to DRAM values: the paper's first-round baseline
+    where PM is replaced by plain DRAM. *)
+
+val all : config list
+(** The three paper configurations, in figure order. *)
+
+val by_name : string -> config option
+(** Look a configuration up by its [name] field. *)
+
+(** {1 The paper's offline read-latency equations}
+
+    §IV-A, equations (1) and (2), after Dulloor and Quartz: the extra
+    time a run would have spent if its remote-node (PM-emulating) LOAD
+    stalls had the configured PM latency instead of DRAM's. The
+    simulation charges reads online instead, but these functions are
+    provided (and unit-tested) as the reference formulation. *)
+
+val stall_cycles : stalled:float -> config -> float
+(** Equation (1): [stalled × (L_PM − L_DRAM) / L_DRAM], where [stalled]
+    is the cycle count the processor spent on remote LOADs. *)
+
+val extra_read_latency_s : stalled:float -> cpu_hz:float -> config -> float
+(** Equation (2): {!stall_cycles} over the CPU frequency — seconds of
+    added read latency. *)

@@ -1,0 +1,187 @@
+type space = Dram | Pm
+
+type counters = {
+  pm_reads : int;
+  pm_writes : int;
+  dram_reads : int;
+  dram_writes : int;
+  pm_read_misses : int;
+  dram_read_misses : int;
+  flushes : int;
+  fences : int;
+  persist_calls : int;
+  evictions : int;
+  pm_allocs : int;
+  pm_frees : int;
+  sim_ns : float;
+}
+
+type t = {
+  config : Latency.config;
+  mutable c : counters;
+  (* Direct-mapped LLC: tags.(set) holds the encoded line address resident
+     in that set, or -1 when empty. Lines from the PM and DRAM address
+     spaces are distinguished by the low tag bit. *)
+  tags : int array;
+  set_mask : int;
+  mutable dram_brk : int;
+  mutable dram_live : int;
+}
+
+let zero =
+  {
+    pm_reads = 0;
+    pm_writes = 0;
+    dram_reads = 0;
+    dram_writes = 0;
+    pm_read_misses = 0;
+    dram_read_misses = 0;
+    flushes = 0;
+    fences = 0;
+    persist_calls = 0;
+    evictions = 0;
+    pm_allocs = 0;
+    pm_frees = 0;
+    sim_ns = 0.;
+  }
+
+let line_bytes = 64
+
+let create ?(llc_bytes = 20 * 1024 * 1024) config =
+  let lines = max 64 (llc_bytes / line_bytes) in
+  (* round down to a power of two so [land] can select the set *)
+  let rec pow2 acc = if acc * 2 > lines then acc else pow2 (acc * 2) in
+  let lines = pow2 64 in
+  {
+    config;
+    c = zero;
+    tags = Array.make lines (-1);
+    set_mask = lines - 1;
+    dram_brk = line_bytes;
+    dram_live = 0;
+  }
+
+let config t = t.config
+
+let encode space addr =
+  let line = addr / line_bytes in
+  match space with Dram -> (line * 2) + 1 | Pm -> line * 2
+
+let charge_ns t ns = t.c <- { t.c with sim_ns = t.c.sim_ns +. ns }
+
+let access t space ~addr ~write =
+  let enc = encode space addr in
+  let set = enc land t.set_mask in
+  let hit = t.tags.(set) = enc in
+  if write then begin
+    t.tags.(set) <- enc;
+    (match space with
+    | Pm -> t.c <- { t.c with pm_writes = t.c.pm_writes + 1 }
+    | Dram -> t.c <- { t.c with dram_writes = t.c.dram_writes + 1 });
+    charge_ns t t.config.llc_hit_ns
+  end
+  else begin
+    (match space with
+    | Pm -> t.c <- { t.c with pm_reads = t.c.pm_reads + 1 }
+    | Dram -> t.c <- { t.c with dram_reads = t.c.dram_reads + 1 });
+    if hit then charge_ns t t.config.llc_hit_ns
+    else begin
+      t.tags.(set) <- enc;
+      match space with
+      | Pm ->
+          t.c <- { t.c with pm_read_misses = t.c.pm_read_misses + 1 };
+          charge_ns t t.config.pm_read_ns
+      | Dram ->
+          t.c <- { t.c with dram_read_misses = t.c.dram_read_misses + 1 };
+          charge_ns t t.config.dram_ns
+    end
+  end
+
+let access_range t space ~addr ~len ~write =
+  if len > 0 then begin
+    let first = addr / line_bytes and last = (addr + len - 1) / line_bytes in
+    for line = first to last do
+      access t space ~addr:(line * line_bytes) ~write
+    done
+  end
+
+let flush_line t ~addr =
+  let enc = encode Pm addr in
+  let set = enc land t.set_mask in
+  if t.tags.(set) = enc then t.tags.(set) <- -1;
+  t.c <- { t.c with flushes = t.c.flushes + 1 };
+  charge_ns t t.config.pm_write_ns
+
+let fence t =
+  t.c <- { t.c with fences = t.c.fences + 1 };
+  charge_ns t t.config.fence_ns
+
+let persist_call t = t.c <- { t.c with persist_calls = t.c.persist_calls + 1 }
+
+(* Underlying-PM-allocator cost model (§III-A.4: "existing persistent
+   memory allocators exhibit poor performance when allocating numerous
+   small objects"): an allocation persists its metadata — two ordered PM
+   writes plus bookkeeping; a free persists one. EPallocator pays this
+   once per 56-object chunk; the baselines pay it per object. *)
+let pm_alloc t =
+  t.c <- { t.c with pm_allocs = t.c.pm_allocs + 1 };
+  charge_ns t ((2. *. t.config.pm_write_ns) +. 100.)
+
+let pm_free t =
+  t.c <- { t.c with pm_frees = t.c.pm_frees + 1 };
+  charge_ns t (t.config.pm_write_ns +. 50.)
+
+let persist_range t ~addr ~len =
+  t.c <- { t.c with persist_calls = t.c.persist_calls + 1 };
+  fence t;
+  if len > 0 then begin
+    let first = addr / line_bytes and last = (addr + len - 1) / line_bytes in
+    for line = first to last do
+      flush_line t ~addr:(line * line_bytes)
+    done
+  end;
+  fence t
+
+let write_range t space ~addr ~len = access_range t space ~addr ~len ~write:true
+let eviction t = t.c <- { t.c with evictions = t.c.evictions + 1 }
+
+let dram_alloc t size =
+  let addr = t.dram_brk in
+  (* keep distinct structures on distinct lines, as malloc would *)
+  let rounded = (size + line_bytes - 1) / line_bytes * line_bytes in
+  t.dram_brk <- t.dram_brk + rounded;
+  t.dram_live <- t.dram_live + size;
+  addr
+
+let dram_free t ~addr:_ ~size = t.dram_live <- max 0 (t.dram_live - size)
+let dram_live_bytes t = t.dram_live
+let counters t = t.c
+let sim_ns t = t.c.sim_ns
+let reset t = t.c <- zero
+let invalidate_cache t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let diff before after =
+  {
+    pm_reads = after.pm_reads - before.pm_reads;
+    pm_writes = after.pm_writes - before.pm_writes;
+    dram_reads = after.dram_reads - before.dram_reads;
+    dram_writes = after.dram_writes - before.dram_writes;
+    pm_read_misses = after.pm_read_misses - before.pm_read_misses;
+    dram_read_misses = after.dram_read_misses - before.dram_read_misses;
+    flushes = after.flushes - before.flushes;
+    fences = after.fences - before.fences;
+    persist_calls = after.persist_calls - before.persist_calls;
+    evictions = after.evictions - before.evictions;
+    pm_allocs = after.pm_allocs - before.pm_allocs;
+    pm_frees = after.pm_frees - before.pm_frees;
+    sim_ns = after.sim_ns -. before.sim_ns;
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "@[<v>pm_reads=%d (misses=%d) pm_writes=%d@ dram_reads=%d (misses=%d) \
+     dram_writes=%d@ flushes=%d fences=%d persists=%d evictions=%d \
+     allocs=%d frees=%d@ sim=%.0f ns@]"
+    c.pm_reads c.pm_read_misses c.pm_writes c.dram_reads c.dram_read_misses
+    c.dram_writes c.flushes c.fences c.persist_calls c.evictions c.pm_allocs
+    c.pm_frees c.sim_ns

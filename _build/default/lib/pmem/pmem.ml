@@ -1,0 +1,272 @@
+exception Crash_injected
+exception Out_of_memory_pm
+
+let line_bytes = 64
+
+type t = {
+  meter : Meter.t;
+  mutable cache : Bytes.t;  (* volatile view seen by loads/stores *)
+  mutable shadow : Bytes.t;  (* durable image *)
+  mutable dirty : Bytes.t;  (* one bit per line of [cache] *)
+  mutable capacity : int;
+  max_capacity : int;
+  mutable brk : int;
+  mutable live : int;
+  free_lists : (int, int list ref) Hashtbl.t;  (* size -> offsets *)
+  mutable crash_after : int;  (* flushes until injected crash; -1 = off *)
+}
+
+let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
+  let capacity = max line_bytes capacity in
+  {
+    meter;
+    cache = Bytes.make capacity '\000';
+    shadow = Bytes.make capacity '\000';
+    dirty = Bytes.make (capacity / line_bytes / 8 + 1) '\000';
+    capacity;
+    max_capacity;
+    brk = line_bytes (* offset 0 is the null persistent pointer *);
+    live = 0;
+    free_lists = Hashtbl.create 7;
+    crash_after = -1;
+  }
+
+let meter t = t.meter
+let capacity t = t.capacity
+let live_bytes t = t.live
+
+let dirty_get t line = Bytes.get_uint8 t.dirty (line lsr 3) land (1 lsl (line land 7)) <> 0
+
+let dirty_set t line =
+  let i = line lsr 3 in
+  Bytes.set_uint8 t.dirty i (Bytes.get_uint8 t.dirty i lor (1 lsl (line land 7)))
+
+let dirty_clear t line =
+  let i = line lsr 3 in
+  Bytes.set_uint8 t.dirty i (Bytes.get_uint8 t.dirty i land lnot (1 lsl (line land 7)))
+
+let grow t needed =
+  let rec target cap = if cap >= needed then cap else target (cap * 2) in
+  let cap = target t.capacity in
+  if cap > t.max_capacity then raise Out_of_memory_pm;
+  let cache = Bytes.make cap '\000'
+  and shadow = Bytes.make cap '\000'
+  and dirty = Bytes.make ((cap / line_bytes / 8) + 1) '\000' in
+  Bytes.blit t.cache 0 cache 0 t.capacity;
+  Bytes.blit t.shadow 0 shadow 0 t.capacity;
+  Bytes.blit t.dirty 0 dirty 0 (Bytes.length t.dirty);
+  t.cache <- cache;
+  t.shadow <- shadow;
+  t.dirty <- dirty;
+  t.capacity <- cap
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Pmem.alloc: size must be positive";
+  Meter.pm_alloc t.meter;
+  let rounded = (size + line_bytes - 1) / line_bytes * line_bytes in
+  t.live <- t.live + rounded;
+  match Hashtbl.find_opt t.free_lists rounded with
+  | Some ({ contents = off :: rest } as cell) ->
+      cell := rest;
+      (* recycled space must read as zero in both views, like fresh space *)
+      Bytes.fill t.cache off rounded '\000';
+      Bytes.fill t.shadow off rounded '\000';
+      off
+  | Some { contents = [] } | None ->
+      if t.brk + rounded > t.capacity then grow t (t.brk + rounded);
+      let off = t.brk in
+      t.brk <- t.brk + rounded;
+      off
+
+let free t ~off ~len =
+  Meter.pm_free t.meter;
+  let rounded = (len + line_bytes - 1) / line_bytes * line_bytes in
+  t.live <- max 0 (t.live - rounded);
+  let cell =
+    match Hashtbl.find_opt t.free_lists rounded with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.add t.free_lists rounded c;
+        c
+  in
+  cell := off :: !cell
+
+let check t off len op =
+  if off < 0 || len < 0 || off + len > t.brk then
+    invalid_arg (Printf.sprintf "Pmem.%s: [%d,+%d) outside pool (brk=%d)" op off len t.brk)
+
+let mark_written t off len =
+  let first = off / line_bytes and last = (off + len - 1) / line_bytes in
+  for line = first to last do
+    dirty_set t line
+  done;
+  Meter.access_range t.meter Pm ~addr:off ~len ~write:true
+
+let get_u8 t off =
+  check t off 1 "get_u8";
+  Meter.access t.meter Pm ~addr:off ~write:false;
+  Bytes.get_uint8 t.cache off
+
+let set_u8 t off v =
+  check t off 1 "set_u8";
+  Bytes.set_uint8 t.cache off v;
+  mark_written t off 1
+
+let get_u64 t off =
+  check t off 8 "get_u64";
+  Meter.access t.meter Pm ~addr:off ~write:false;
+  Bytes.get_int64_le t.cache off
+
+let set_u64 t off v =
+  check t off 8 "set_u64";
+  Bytes.set_int64_le t.cache off v;
+  mark_written t off 8
+
+let get_string t ~off ~len =
+  check t off len "get_string";
+  Meter.access_range t.meter Pm ~addr:off ~len ~write:false;
+  Bytes.sub_string t.cache off len
+
+let set_string t ~off s =
+  let len = String.length s in
+  check t off len "set_string";
+  Bytes.blit_string s 0 t.cache off len;
+  mark_written t off len
+
+let read_shadow_u64 t off =
+  check t off 8 "read_shadow_u64";
+  Bytes.get_int64_le t.shadow off
+
+let flush_line t line =
+  Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
+  dirty_clear t line;
+  Meter.flush_line t.meter ~addr:(line * line_bytes)
+
+let do_crash t =
+  Bytes.blit t.shadow 0 t.cache 0 t.capacity;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Meter.invalidate_cache t.meter;
+  t.crash_after <- -1
+
+let crash t = do_crash t
+
+let arm_crash t ~after_flushes =
+  if after_flushes < 0 then invalid_arg "Pmem.arm_crash";
+  t.crash_after <- after_flushes
+
+let disarm_crash t = t.crash_after <- -1
+
+let persist t ~off ~len =
+  check t off len "persist";
+  Meter.persist_call t.meter;
+  Meter.fence t.meter;
+  let first = off / line_bytes and last = (off + len - 1) / line_bytes in
+  for line = first to last do
+    if dirty_get t line then begin
+      if t.crash_after = 0 then begin
+        do_crash t;
+        raise Crash_injected
+      end;
+      flush_line t line;
+      if t.crash_after > 0 then t.crash_after <- t.crash_after - 1
+    end
+  done;
+  if t.crash_after = 0 then begin
+    do_crash t;
+    raise Crash_injected
+  end;
+  Meter.fence t.meter
+
+let persist_all t =
+  for line = 0 to (t.brk - 1) / line_bytes do
+    if dirty_get t line then flush_line t line
+  done
+
+let dirty_line_count t =
+  let n = ref 0 in
+  for line = 0 to (t.brk - 1) / line_bytes do
+    if dirty_get t line then incr n
+  done;
+  !n
+
+(* Image format: magic, brk, live, free-list table, then the durable
+   bytes up to brk. Little-endian 64-bit fields. *)
+let image_magic = 0x48415254504F4F4CL (* "HARTPOOL" *)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let w64 v =
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        output_bytes oc b
+      in
+      w64 image_magic;
+      w64 (Int64.of_int t.brk);
+      w64 (Int64.of_int t.live);
+      let entries =
+        Hashtbl.fold
+          (fun size cell acc ->
+            List.fold_left (fun acc off -> (size, off) :: acc) acc !cell)
+          t.free_lists []
+      in
+      w64 (Int64.of_int (List.length entries));
+      List.iter
+        (fun (size, off) ->
+          w64 (Int64.of_int size);
+          w64 (Int64.of_int off))
+        entries;
+      output_bytes oc (Bytes.sub t.shadow 0 t.brk))
+
+let load ?(max_capacity = 1 lsl 30) meter path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r64 () =
+        let b = Bytes.create 8 in
+        really_input ic b 0 8;
+        Bytes.get_int64_le b 0
+      in
+      (try if r64 () <> image_magic then failwith "Pmem.load: bad magic"
+       with End_of_file -> failwith "Pmem.load: truncated image");
+      let brk = Int64.to_int (r64 ()) in
+      let live = Int64.to_int (r64 ()) in
+      let n_free = Int64.to_int (r64 ()) in
+      let t = create ~capacity:(max brk line_bytes) ~max_capacity meter in
+      for _ = 1 to n_free do
+        let size = Int64.to_int (r64 ()) in
+        let off = Int64.to_int (r64 ()) in
+        let cell =
+          match Hashtbl.find_opt t.free_lists size with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add t.free_lists size c;
+              c
+        in
+        cell := off :: !cell
+      done;
+      (try really_input ic t.shadow 0 brk
+       with End_of_file -> failwith "Pmem.load: truncated image");
+      Bytes.blit t.shadow 0 t.cache 0 brk;
+      t.brk <- brk;
+      t.live <- live;
+      t)
+
+let evict_random t rng ~fraction =
+  for line = 0 to (t.brk - 1) / line_bytes do
+    if dirty_get t line && Hart_util.Rng.float rng 1.0 < fraction then begin
+      Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
+      dirty_clear t line;
+      Meter.eviction t.meter
+    end
+  done
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>pool: capacity=%d brk=%d live=%d dirty_lines=%d@ %a@]"
+    t.capacity t.brk t.live (dirty_line_count t) Meter.pp_counters
+    (Meter.counters t.meter)

@@ -1,0 +1,121 @@
+(** Simulated byte-addressable persistent memory pool.
+
+    The pool models the PM device of the paper's hybrid system:
+
+    - a flat byte-addressable space; "persistent pointers" are integer
+      byte offsets into the pool ([0] is the null pointer);
+    - CPU stores land in a volatile view and only reach the durable image
+      when the covering 64-byte cache line is flushed ({!persist}, the
+      paper's [persistent()] = MFENCE/CLFLUSH/MFENCE) or written back by a
+      simulated background eviction ({!evict_random});
+    - a simulated power failure ({!crash}) discards every unflushed line,
+      leaving exactly the durable image — the state a recovery procedure
+      must cope with;
+    - every load, store, flush and fence is charged to the pool's
+      {!Meter.t}.
+
+    Failure injection: {!arm_crash} raises {!Crash_injected} out of a
+    chosen [persistent()] call, which is how the crash-consistency tests
+    explore the torn states discussed for Algorithms 1–6. *)
+
+type t
+
+exception Crash_injected
+(** Raised by {!persist} when an armed crash point triggers. The pool is
+    crashed (volatile view discarded) before the exception propagates. *)
+
+exception Out_of_memory_pm
+(** Raised by {!alloc} when the pool cannot grow (capped pools). *)
+
+val create : ?capacity:int -> ?max_capacity:int -> Meter.t -> t
+(** [create meter] makes an empty pool (default initial capacity 1 MiB,
+    growing by doubling up to [max_capacity], default 1 GiB). *)
+
+val meter : t -> Meter.t
+
+(** {1 Allocation}
+
+    This is the "existing PM allocator" the paper builds EPallocator on
+    top of (§III-A.4): a plain first-fit free-list + bump allocator whose
+    own metadata is assumed durable. EPallocator's chunking amortises
+    calls to it. *)
+
+val alloc : t -> int -> int
+(** [alloc t size] returns the offset of [size] fresh bytes, 64-byte
+    aligned, zero-filled in both views. *)
+
+val free : t -> off:int -> len:int -> unit
+(** Return a region to the allocator's free list ([pfree] in Alg. 6). *)
+
+val live_bytes : t -> int
+(** Currently allocated PM bytes (Fig. 10b accounting). *)
+
+val capacity : t -> int
+
+(** {1 Loads and stores}
+
+    All offsets are bounds-checked against allocated space. Stores touch
+    only the volatile view and mark the covering lines dirty. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u64 : t -> int -> int64
+val set_u64 : t -> int -> int64 -> unit
+
+val get_string : t -> off:int -> len:int -> string
+val set_string : t -> off:int -> string -> unit
+
+val read_shadow_u64 : t -> int -> int64
+(** Read the durable image directly, bypassing the volatile view and the
+    meter. Test-only: lets assertions distinguish "written" from
+    "persisted". *)
+
+(** {1 Persistence} *)
+
+val persist : t -> off:int -> len:int -> unit
+(** The paper's [persistent()]: fence, CLFLUSH each dirty line overlapping
+    [\[off, off+len)] into the durable image, fence. *)
+
+val persist_all : t -> unit
+(** Flush every dirty line (used by tests and by build phases whose
+    flush traffic is not under measurement). *)
+
+val dirty_line_count : t -> int
+
+(** {1 Failure simulation} *)
+
+val crash : t -> unit
+(** Simulate a power failure: every unflushed store is lost, the volatile
+    view is reset to the durable image, and the simulated cache is
+    invalidated (cold restart). *)
+
+val arm_crash : t -> after_flushes:int -> unit
+(** Arm a crash point: the [after_flushes]-th subsequent line flush
+    completes and then {!Crash_injected} is raised from inside that
+    [persist] call (later lines of the same call are lost). Pass [0] to
+    crash before the next flush. *)
+
+val disarm_crash : t -> unit
+
+(** {1 Pool images}
+
+    The durable image (plus the allocator metadata the simulation treats
+    as durable) can be written to a host file and re-opened later, so a
+    "PM device" outlives the process — {!Hart_core.Hart.recover} then
+    plays the role of mounting after a reboot. *)
+
+val save : t -> string -> unit
+(** [save t path] writes the durable image. Unflushed stores are NOT
+    included — saving is a power-off, not a sync. *)
+
+val load : ?max_capacity:int -> Meter.t -> string -> t
+(** Re-open a saved image (cold cache, clean dirty map).
+    @raise Failure on a malformed image file. *)
+
+val evict_random : t -> Hart_util.Rng.t -> fraction:float -> unit
+(** Write back a random [fraction] of dirty lines, free of charge — the
+    hardware is allowed to evict any dirty line at any time, so crash
+    states must be correct under any such subset. Used by property
+    tests. *)
+
+val pp_stats : Format.formatter -> t -> unit

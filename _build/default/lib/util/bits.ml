@@ -1,0 +1,29 @@
+let test word i = Int64.(logand (shift_right_logical word i) 1L) = 1L
+let set word i = Int64.(logor word (shift_left 1L i))
+let clear word i = Int64.(logand word (lognot (shift_left 1L i)))
+
+let popcount word =
+  let rec go acc w =
+    if w = 0L then acc
+    else go (acc + 1) Int64.(logand w (sub w 1L))
+  in
+  go 0 word
+
+let lowest_zero word ~width =
+  let rec go i =
+    if i >= width then None
+    else if not (test word i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lowest_one word ~width =
+  let rec go i =
+    if i >= width then None
+    else if test word i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let get_u64 b off = Bytes.get_int64_le b off
+let set_u64 b off v = Bytes.set_int64_le b off v

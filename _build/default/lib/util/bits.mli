@@ -1,0 +1,30 @@
+(** Bit-level helpers shared by the persistent layouts.
+
+    The EPallocator chunk header (Fig. 2 of the paper) packs a 56-bit
+    occupancy bitmap, a 6-bit next-free index and a 2-bit full indicator
+    into one 8-byte word; these helpers implement the packing. *)
+
+val test : int64 -> int -> bool
+(** [test word i] is bit [i] (0 = least significant) of [word]. *)
+
+val set : int64 -> int -> int64
+(** [set word i] has bit [i] forced to 1. *)
+
+val clear : int64 -> int -> int64
+(** [clear word i] has bit [i] forced to 0. *)
+
+val popcount : int64 -> int
+(** Number of set bits. *)
+
+val lowest_zero : int64 -> width:int -> int option
+(** [lowest_zero word ~width] is the index of the least-significant zero
+    bit among bits \[0, width), or [None] if those bits are all ones. *)
+
+val lowest_one : int64 -> width:int -> int option
+(** Least-significant set bit among bits \[0, width), if any. *)
+
+val get_u64 : Bytes.t -> int -> int64
+(** Little-endian unaligned 64-bit load. *)
+
+val set_u64 : Bytes.t -> int -> int64 -> unit
+(** Little-endian unaligned 64-bit store. *)

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the reproduction flows through this module so that
+    workloads, property tests and crash-injection schedules are exactly
+    reproducible from a 64-bit seed, independently of OCaml's [Random]
+    state and of the host. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy and the original then evolve
+    independently. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output of splitmix64. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val char_alnum : t -> char
+(** Uniform over the 62 characters A–Z, a–z, 0–9 (the alphabet used by the
+    paper's Sequential and Random workloads). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated thread its own stream. *)

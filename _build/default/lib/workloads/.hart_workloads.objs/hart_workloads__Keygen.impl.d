@@ -1,0 +1,1 @@
+lib/workloads/keygen.ml: Array Buffer Bytes Hart_util Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Hart_baselines Hart_util Keygen Printf

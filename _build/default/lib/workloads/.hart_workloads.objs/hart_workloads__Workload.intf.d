@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Hart_baselines Hart_util

@@ -1,0 +1,129 @@
+module Rng = Hart_util.Rng
+
+type spec = Dictionary | Sequential | Random
+
+let name = function
+  | Dictionary -> "Dictionary"
+  | Sequential -> "Sequential"
+  | Random -> "Random"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "dictionary" -> Some Dictionary
+  | "sequential" -> Some Sequential
+  | "random" -> Some Random
+  | _ -> None
+
+let all = [ Dictionary; Sequential; Random ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Sequential: base-62 counting, fixed width, most significant first.  *)
+
+let seq_width = 8
+
+(* byte-sorted so that numeric order = lexicographic order *)
+let sorted_alnum = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+let sequential_key i =
+  let b = Bytes.make seq_width sorted_alnum.[0] in
+  let rec go pos v =
+    if v > 0 && pos >= 0 then begin
+      Bytes.set b pos sorted_alnum.[v mod 62];
+      go (pos - 1) (v / 62)
+    end
+  in
+  go (seq_width - 1) i;
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Random: distinct variable-size strings, 5-16 characters.            *)
+
+let random_keys rng n =
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n "" in
+  let filled = ref 0 in
+  while !filled < n do
+    let len = Rng.int_in rng 5 16 in
+    let k = String.init len (fun _ -> Rng.char_alnum rng) in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary: weighted syllable model. English-like in the properties
+   the experiments care about: first-letter skew, 1-24 length range,
+   lowercase, lots of shared prefixes.                                 *)
+
+let onsets =
+  [|
+    "s"; "c"; "p"; "b"; "t"; "d"; "m"; "r"; "f"; "h"; "l"; "g"; "w"; "n";
+    "st"; "ch"; "br"; "pr"; "tr"; "sh"; "cr"; "gr"; "pl"; "fr"; "k"; "v";
+    "th"; "sp"; "cl"; "bl"; "j"; "qu"; "sc"; "fl"; "dr"; "gl"; "sl"; "y";
+    "z"; "wh"; "sw"; "str"; "x"; "";
+  |]
+
+let nuclei = [| "a"; "e"; "i"; "o"; "u"; "ai"; "ea"; "ou"; "io"; "oo"; "ie" |]
+
+let codas =
+  [|
+    ""; "n"; "t"; "r"; "s"; "l"; "d"; "m"; "ng"; "ck"; "st"; "nt"; "ss";
+    "ll"; "p"; "g"; "rd"; "nd"; "k"; "b"; "x"; "ct"; "sm"; "th";
+  |]
+
+let suffixes =
+  [| ""; ""; ""; "s"; "ed"; "ing"; "er"; "ly"; "ness"; "tion"; "able"; "ment" |]
+
+(* Zipf-ish pick: low indices much more likely, giving the skewed
+   onset/first-letter distribution of real English. *)
+let skewed_pick rng arr =
+  let n = Array.length arr in
+  let r = Rng.float rng 1.0 in
+  let idx = int_of_float (float_of_int n *. r *. r) in
+  arr.(min idx (n - 1))
+
+let dictionary_word rng =
+  let syllables = 1 + Rng.int rng 4 in
+  let buf = Buffer.create 16 in
+  for _ = 1 to syllables do
+    Buffer.add_string buf (skewed_pick rng onsets);
+    Buffer.add_string buf (skewed_pick rng nuclei);
+    Buffer.add_string buf (skewed_pick rng codas)
+  done;
+  Buffer.add_string buf (skewed_pick rng suffixes);
+  let w = Buffer.contents buf in
+  if String.length w > 24 then String.sub w 0 24 else w
+
+let dictionary_universe = 1_000_000
+
+let dictionary_keys rng n =
+  if n > dictionary_universe then
+    invalid_arg
+      (Printf.sprintf "Keygen: dictionary supports up to %d words" dictionary_universe);
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n "" in
+  let filled = ref 0 in
+  while !filled < n do
+    let w = dictionary_word rng in
+    if String.length w > 0 && not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      out.(!filled) <- w;
+      incr filled
+    end
+  done;
+  out
+
+let generate ?(seed = 0x5EEDL) spec n =
+  if n < 0 then invalid_arg "Keygen.generate: negative count";
+  let rng = Rng.create seed in
+  match spec with
+  | Sequential -> Array.init n sequential_key
+  | Random -> random_keys rng n
+  | Dictionary -> dictionary_keys rng n
+
+let value_for i = Printf.sprintf "v%06d" (i mod 1_000_000)
+let wide_value_for i = Printf.sprintf "value%010d" (i mod 1_000_000_000)

@@ -1,0 +1,41 @@
+(** Key-set generators for the paper's three workloads (§IV-A).
+
+    - {b Dictionary}: the paper uses a 466,544-word English word list
+      [19]. That file is not redistributable here, so {!dictionary} is a
+      deterministic synthetic English-like generator (weighted
+      onset/nucleus/coda syllable model) matching the properties the
+      experiments depend on: ~466k distinct words, 1-24 characters,
+      lowercase, heavily skewed first-letter (= hash key) distribution.
+    - {b Sequential}: fixed-width strings counting in the 62-character
+      alphabet A-Z a-z 0-9, so consecutive keys share long prefixes and
+      the hash key changes only every 62² keys.
+    - {b Random}: distinct variable-size strings of 5-16 characters from
+      the same alphabet, as in the paper.
+
+    All generators are deterministic in their seed. *)
+
+type spec = Dictionary | Sequential | Random
+
+val name : spec -> string
+val of_name : string -> spec option
+
+val all : spec list
+(** In the order the paper's figures present them. *)
+
+val generate : ?seed:int64 -> spec -> int -> string array
+(** [generate spec n] returns [n] distinct keys. Sequential keys are
+    produced in order; Dictionary and Random key sets are deterministic
+    for a given seed.
+    @raise Invalid_argument if [n < 0] or beyond the generator's
+    universe. *)
+
+val dictionary_universe : int
+(** How many distinct words {!Dictionary} can produce (≥ the paper's
+    466,544). *)
+
+val value_for : int -> string
+(** 7-byte payload for record [i] — sized to exercise the paper's 8-byte
+    value class. *)
+
+val wide_value_for : int -> string
+(** 15-byte payload exercising the 16-byte value class. *)

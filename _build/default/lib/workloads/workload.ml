@@ -1,0 +1,108 @@
+module Rng = Hart_util.Rng
+
+type op =
+  | Insert of string * string
+  | Search of string
+  | Update of string * string
+  | Delete of string
+
+type mix = {
+  mix_name : string;
+  insert_pct : int;
+  search_pct : int;
+  update_pct : int;
+  delete_pct : int;
+}
+
+let read_intensive =
+  { mix_name = "Read-Intensive"; insert_pct = 10; search_pct = 70; update_pct = 10; delete_pct = 10 }
+
+let read_modified_write =
+  { mix_name = "Read-Modified-Write"; insert_pct = 0; search_pct = 50; update_pct = 50; delete_pct = 0 }
+
+let write_intensive =
+  { mix_name = "Write-Intensive"; insert_pct = 40; search_pct = 20; update_pct = 40; delete_pct = 0 }
+
+let mixes = [ read_intensive; read_modified_write; write_intensive ]
+
+type distribution = Uniform | Zipfian of float
+
+(* Zipf(s) over ranks [0, n): cumulative table + binary search —
+   O(n) setup, O(log n) per draw, exact. *)
+let zipf_sampler rng ~n ~s =
+  if n <= 0 then invalid_arg "Workload.zipf_sampler: empty support";
+  if s <= 0. then invalid_arg "Workload.zipf_sampler: s must be positive";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (float_of_int (k + 1) ** -.s);
+    cum.(k) <- !acc
+  done;
+  let total = !acc in
+  fun () ->
+    let u = Rng.float rng total in
+    (* first rank whose cumulative mass reaches u *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < u then go (mid + 1) hi else go lo mid
+    in
+    go 0 (n - 1)
+
+let ycsb ?(seed = 0xFACEL) ?(dist = Uniform) mix ~preloaded ~fresh ~n_ops =
+  if Array.length preloaded = 0 then invalid_arg "Workload.ycsb: empty preload";
+  let expected_inserts = n_ops * mix.insert_pct / 100 in
+  if Array.length fresh < expected_inserts then
+    invalid_arg
+      (Printf.sprintf "Workload.ycsb: %d fresh keys cannot cover ~%d inserts"
+         (Array.length fresh) expected_inserts);
+  let rng = Rng.create seed in
+  let next_fresh = ref 0 in
+  let pick_preloaded =
+    match dist with
+    | Uniform -> fun () -> preloaded.(Rng.int rng (Array.length preloaded))
+    | Zipfian s ->
+        let sample = zipf_sampler rng ~n:(Array.length preloaded) ~s in
+        fun () -> preloaded.(sample ())
+  in
+  Array.init n_ops (fun i ->
+      let r = Rng.int rng 100 in
+      if r < mix.insert_pct && !next_fresh < Array.length fresh then begin
+        let k = fresh.(!next_fresh) in
+        incr next_fresh;
+        Insert (k, Keygen.value_for i)
+      end
+      else if r < mix.insert_pct + mix.search_pct then Search (pick_preloaded ())
+      else if r < mix.insert_pct + mix.search_pct + mix.update_pct then
+        Update (pick_preloaded (), Keygen.value_for i)
+      else Delete (pick_preloaded ()))
+
+let insert_trace keys value_of =
+  Array.mapi (fun i k -> Insert (k, value_of i)) keys
+
+let shuffled ?(seed = 0xD15CL) keys =
+  let a = Array.copy keys in
+  Rng.shuffle (Rng.create seed) a;
+  a
+
+let search_trace ?seed keys = Array.map (fun k -> Search k) (shuffled ?seed keys)
+
+let update_trace ?seed keys value_of =
+  Array.mapi (fun i k -> Update (k, value_of i)) (shuffled ?seed keys)
+
+let delete_trace ?seed keys = Array.map (fun k -> Delete k) (shuffled ?seed keys)
+
+let apply (ops : Hart_baselines.Index_intf.ops) trace =
+  let hits = ref 0 in
+  Array.iter
+    (function
+      | Insert (key, value) ->
+          ops.Hart_baselines.Index_intf.insert ~key ~value;
+          incr hits
+      | Search k -> if ops.Hart_baselines.Index_intf.search k <> None then incr hits
+      | Update (key, value) ->
+          if ops.Hart_baselines.Index_intf.update ~key ~value then incr hits
+      | Delete k -> if ops.Hart_baselines.Index_intf.delete k then incr hits)
+    trace;
+  !hits

@@ -1,0 +1,70 @@
+(** Operation-trace generation: the per-figure basic-operation traces and
+    the three YCSB mixed workloads of §IV-C.
+
+    All three mixes use YCSB's Uniform request distribution: every
+    preloaded record is equally likely to be addressed. *)
+
+type op =
+  | Insert of string * string
+  | Search of string
+  | Update of string * string
+  | Delete of string
+
+type mix = {
+  mix_name : string;
+  insert_pct : int;
+  search_pct : int;
+  update_pct : int;
+  delete_pct : int;
+}
+
+val read_intensive : mix
+(** 10 % insert / 70 % search / 10 % update / 10 % delete. *)
+
+val read_modified_write : mix
+(** 50 % search / 50 % update. *)
+
+val write_intensive : mix
+(** 40 % insert / 20 % search / 40 % update. *)
+
+val mixes : mix list
+
+type distribution = Uniform | Zipfian of float
+(** Request distribution over the preloaded records. The paper's three
+    mixes all use YCSB's Uniform; [Zipfian s] (YCSB's default shape,
+    exponent [s], typically 0.99) is provided for the skew experiments
+    beyond the paper. *)
+
+val ycsb :
+  ?seed:int64 ->
+  ?dist:distribution ->
+  mix ->
+  preloaded:string array ->
+  fresh:string array ->
+  n_ops:int ->
+  op array
+(** An [n_ops]-long trace over a database preloaded with [preloaded]:
+    search/update/delete address preloaded records per [dist] (default
+    [Uniform], as in the paper); insert consumes keys from [fresh] in
+    order.
+    @raise Invalid_argument when [fresh] cannot cover the insert share
+    or [preloaded] is empty. *)
+
+val zipf_sampler : Hart_util.Rng.t -> n:int -> s:float -> unit -> int
+(** A sampler of Zipf-distributed ranks in \[0, n): rank k drawn with
+    probability proportional to 1/(k+1)^s. Cumulative table + binary
+    search: O(n) setup, O(log n) per draw, exact. *)
+
+val insert_trace : string array -> (int -> string) -> op array
+(** One insert per key, in array order, values from the index mapper. *)
+
+val search_trace : ?seed:int64 -> string array -> op array
+(** One search per key, in shuffled order (the paper measures point
+    lookups of every inserted record). *)
+
+val update_trace : ?seed:int64 -> string array -> (int -> string) -> op array
+val delete_trace : ?seed:int64 -> string array -> op array
+
+val apply : Hart_baselines.Index_intf.ops -> op array -> int
+(** Run a trace against an index; returns the number of operations that
+    found their key (hits), for sanity checks. *)

@@ -1,0 +1,1 @@
+test/test_art.ml: Alcotest Char Hart_art Hart_pmem Hart_util List Map Printf QCheck QCheck_alcotest String

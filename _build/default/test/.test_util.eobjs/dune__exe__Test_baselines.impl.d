@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hart_baselines Hart_core Hart_pmem Hart_util List Map Printf QCheck QCheck_alcotest String

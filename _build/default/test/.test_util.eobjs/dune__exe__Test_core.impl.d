@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Char Domain Filename Format Hart_core Hart_pmem Hart_util Hashtbl Int64 List Map Option Printf QCheck QCheck_alcotest String Sys Unix

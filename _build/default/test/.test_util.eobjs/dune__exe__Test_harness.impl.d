@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Fun Hart_baselines Hart_harness Hart_pmem Hart_util Hart_workloads List Printf Unix

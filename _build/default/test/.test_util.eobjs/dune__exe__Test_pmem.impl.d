@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Filename Hart_pmem Hart_util Int64 List Printf QCheck QCheck_alcotest Sys

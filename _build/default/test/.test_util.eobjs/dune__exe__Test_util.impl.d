@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Fun Hart_util Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Char Hart_baselines Hart_core Hart_pmem Hart_util Hart_workloads Hashtbl List Option Printf String

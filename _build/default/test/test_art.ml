@@ -1,0 +1,470 @@
+module Art = Hart_art.Art
+module Rng = Hart_util.Rng
+module SMap = Map.Make (String)
+
+let check_opt = Alcotest.(check (option string))
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+
+let test_empty () =
+  let t : string Art.t = Art.create () in
+  Alcotest.(check int) "count" 0 (Art.count t);
+  Alcotest.(check bool) "is_empty" true (Art.is_empty t);
+  check_opt "find on empty" None (Art.find t "k");
+  check_opt "delete on empty" None (Art.delete t "k");
+  Alcotest.(check int) "height" 0 (Art.height t)
+
+let test_single () =
+  let t = Art.create () in
+  Alcotest.(check bool) "inserted" true (Art.insert t "alpha" 1 = `Inserted);
+  Alcotest.(check (option int)) "found" (Some 1) (Art.find t "alpha");
+  Alcotest.(check (option int)) "other missing" None (Art.find t "beta");
+  Alcotest.(check int) "count" 1 (Art.count t)
+
+let test_replace () =
+  let t = Art.create () in
+  ignore (Art.insert t "k" 1);
+  Alcotest.(check bool) "replaced" true (Art.insert t "k" 2 = `Replaced 1);
+  Alcotest.(check (option int)) "new value" (Some 2) (Art.find t "k");
+  Alcotest.(check int) "count unchanged" 1 (Art.count t)
+
+let test_empty_string_key () =
+  let t = Art.create () in
+  ignore (Art.insert t "" 42);
+  Alcotest.(check (option int)) "empty key found" (Some 42) (Art.find t "");
+  ignore (Art.insert t "x" 1);
+  Alcotest.(check (option int)) "still found" (Some 42) (Art.find t "");
+  Alcotest.(check (option int)) "deleted" (Some 42) (Art.delete t "");
+  Alcotest.(check (option int)) "gone" None (Art.find t "");
+  Alcotest.(check (option int)) "sibling intact" (Some 1) (Art.find t "x")
+
+let test_prefix_keys () =
+  let t = Art.create () in
+  ignore (Art.insert t "art" 1);
+  ignore (Art.insert t "artist" 2);
+  ignore (Art.insert t "artistic" 3);
+  ignore (Art.insert t "a" 4);
+  Alcotest.(check (option int)) "art" (Some 1) (Art.find t "art");
+  Alcotest.(check (option int)) "artist" (Some 2) (Art.find t "artist");
+  Alcotest.(check (option int)) "artistic" (Some 3) (Art.find t "artistic");
+  Alcotest.(check (option int)) "a" (Some 4) (Art.find t "a");
+  Alcotest.(check (option int)) "ar missing" None (Art.find t "ar");
+  Art.check_invariants t;
+  Alcotest.(check (option int)) "delete middle" (Some 2) (Art.delete t "artist");
+  Alcotest.(check (option int)) "art survives" (Some 1) (Art.find t "art");
+  Alcotest.(check (option int)) "artistic survives" (Some 3) (Art.find t "artistic");
+  Art.check_invariants t
+
+let test_binary_keys () =
+  let t = Art.create () in
+  let keys = [ "\x00"; "\x00\x00"; "\xff\x00\xff"; "\x00\x01"; "\x01" ] in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) keys;
+  List.iteri
+    (fun i k -> Alcotest.(check (option int)) ("binary " ^ string_of_int i) (Some i) (Art.find t k))
+    keys;
+  Art.check_invariants t
+
+let test_shared_prefix_split () =
+  let t = Art.create () in
+  ignore (Art.insert t "abcdefgh1" 1);
+  ignore (Art.insert t "abcdefgh2" 2);
+  ignore (Art.insert t "abcdXfgh3" 3);
+  Alcotest.(check (option int)) "1" (Some 1) (Art.find t "abcdefgh1");
+  Alcotest.(check (option int)) "2" (Some 2) (Art.find t "abcdefgh2");
+  Alcotest.(check (option int)) "3" (Some 3) (Art.find t "abcdXfgh3");
+  Art.check_invariants t
+
+(* ------------------------------------------------------------------ *)
+(* Node growth and shrink                                              *)
+
+let spread_keys n =
+  (* n keys differing only in one byte at a shared position *)
+  List.init n (fun i -> Printf.sprintf "node%c" (Char.chr i))
+
+let test_grow_to_n16 () =
+  let t = Art.create () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 9);
+  let n4, n16, _, _ = Art.node_histogram t in
+  Alcotest.(check int) "one NODE16" 1 n16;
+  Alcotest.(check int) "no NODE4" 0 n4;
+  Art.check_invariants t
+
+let test_grow_to_n48 () =
+  let t = Art.create () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 30);
+  let _, _, n48, _ = Art.node_histogram t in
+  Alcotest.(check int) "one NODE48" 1 n48;
+  Art.check_invariants t
+
+let test_grow_to_n256 () =
+  let t = Art.create () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 200);
+  let _, _, _, n256 = Art.node_histogram t in
+  Alcotest.(check int) "one NODE256" 1 n256;
+  List.iteri
+    (fun i k -> Alcotest.(check (option int)) k (Some i) (Art.find t k))
+    (spread_keys 200);
+  Art.check_invariants t
+
+let test_shrink_on_delete () =
+  let t = Art.create () in
+  let keys = spread_keys 200 in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) keys;
+  let big = Art.footprint_bytes t in
+  List.iteri
+    (fun i k -> if i >= 2 then ignore (Art.delete t k))
+    keys;
+  Art.check_invariants t;
+  let n4, n16, n48, n256 = Art.node_histogram t in
+  Alcotest.(check (list int)) "shrunk back to NODE4" [ 1; 0; 0; 0 ] [ n4; n16; n48; n256 ];
+  Alcotest.(check bool) "footprint shrank" true (Art.footprint_bytes t < big)
+
+let test_delete_all_frees_everything () =
+  let t = Art.create () in
+  let keys = spread_keys 100 in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) keys;
+  List.iter (fun k -> ignore (Art.delete t k)) keys;
+  Alcotest.(check bool) "empty" true (Art.is_empty t);
+  Alcotest.(check int) "base footprint" 16 (Art.footprint_bytes t);
+  Art.check_invariants t
+
+let test_path_recompression () =
+  let t = Art.create () in
+  ignore (Art.insert t "prefix-one" 1);
+  ignore (Art.insert t "prefix-two" 2);
+  ignore (Art.delete t "prefix-two");
+  (* the remaining single leaf should collapse back: no inner nodes *)
+  let n4, n16, n48, n256 = Art.node_histogram t in
+  Alcotest.(check (list int)) "no inner nodes" [ 0; 0; 0; 0 ] [ n4; n16; n48; n256 ];
+  Alcotest.(check (option int)) "survivor intact" (Some 1) (Art.find t "prefix-one");
+  Art.check_invariants t
+
+(* ------------------------------------------------------------------ *)
+(* Ordering, range, min/max                                            *)
+
+let random_keys rng n =
+  List.init n (fun _ ->
+      let len = Rng.int_in rng 1 12 in
+      String.init len (fun _ -> Rng.char_alnum rng))
+
+let test_iter_sorted () =
+  let rng = Rng.create 1L in
+  let t = Art.create () in
+  let keys = random_keys rng 500 in
+  List.iter (fun k -> ignore (Art.insert t k k)) keys;
+  let collected = ref [] in
+  Art.iter t (fun k _ -> collected := k :: !collected);
+  let got = List.rev !collected in
+  let expected = List.sort_uniq String.compare keys in
+  Alcotest.(check (list string)) "sorted distinct iteration" expected got
+
+let test_min_max () =
+  let t = Art.create () in
+  List.iter (fun k -> ignore (Art.insert t k k)) [ "m"; "zz"; "a"; "aa"; "z" ];
+  Alcotest.(check (option (pair string string))) "min" (Some ("a", "a")) (Art.min_binding t);
+  Alcotest.(check (option (pair string string))) "max" (Some ("zz", "zz")) (Art.max_binding t)
+
+let test_range_inclusive () =
+  let t = Art.create () in
+  List.iter (fun k -> ignore (Art.insert t k k)) [ "a"; "b"; "c"; "d"; "e" ];
+  let got = ref [] in
+  Art.range t ~lo:"b" ~hi:"d" (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "inclusive bounds" [ "b"; "c"; "d" ] (List.rev !got)
+
+let test_range_matches_filter () =
+  let rng = Rng.create 7L in
+  let t = Art.create () in
+  let keys = List.sort_uniq String.compare (random_keys rng 800) in
+  List.iter (fun k -> ignore (Art.insert t k k)) keys;
+  let lo = "A" and hi = "m" in
+  let expected = List.filter (fun k -> lo <= k && k <= hi) keys in
+  let got = ref [] in
+  Art.range t ~lo ~hi (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "range = filter" expected (List.rev !got)
+
+let test_range_prefix_boundaries () =
+  let t = Art.create () in
+  List.iter (fun k -> ignore (Art.insert t k k)) [ "ab"; "abc"; "abd"; "ac"; "b" ];
+  let got = ref [] in
+  Art.range t ~lo:"ab" ~hi:"abz" (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "prefix-aware" [ "ab"; "abc"; "abd" ] (List.rev !got)
+
+let test_height_bounded () =
+  let rng = Rng.create 3L in
+  let t = Art.create () in
+  List.iter (fun k -> ignore (Art.insert t k ())) (random_keys rng 2000);
+  Alcotest.(check bool) "height <= max key len + 1" true (Art.height t <= 13)
+
+(* ------------------------------------------------------------------ *)
+(* Metering integration                                                *)
+
+let test_metered_footprint () =
+  let meter = Hart_pmem.Meter.create Hart_pmem.Latency.c300_100 in
+  let t = Art.create ~meter () in
+  let rng = Rng.create 5L in
+  List.iter (fun k -> ignore (Art.insert t k ())) (random_keys rng 300);
+  Alcotest.(check bool) "meter sees the modelled footprint" true
+    (Hart_pmem.Meter.dram_live_bytes meter >= Art.footprint_bytes t - 16);
+  let before = Hart_pmem.Meter.counters meter in
+  ignore (Art.find t "somekey");
+  let d = Hart_pmem.Meter.diff before (Hart_pmem.Meter.counters meter) in
+  Alcotest.(check bool) "descent reported DRAM reads" true (d.Hart_pmem.Meter.dram_reads > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Structural event stream: the WOART/ART+CoW consistency protocols are
+   driven by these events, so their fidelity matters.                   *)
+
+let collect_events () =
+  let events = ref [] in
+  let t : int Art.t = Art.create ~on_event:(fun e -> events := e :: !events) () in
+  (t, fun () -> List.rev !events)
+
+let count_events pred events = List.length (List.filter pred events)
+
+let test_events_first_insert () =
+  let t, got = collect_events () in
+  ignore (Art.insert t "solo" 1);
+  Alcotest.(check int) "one root child-added" 1
+    (count_events (function Art.Child_added _ -> true | _ -> false) (got ()))
+
+let test_events_leaf_split () =
+  let t, got = collect_events () in
+  ignore (Art.insert t "ax" 1);
+  ignore (Art.insert t "ay" 2);
+  let events = got () in
+  Alcotest.(check int) "one node created" 1
+    (count_events (function Art.Node_created _ -> true | _ -> false) events);
+  (* children placed during construction are quiet: exactly the root
+     link update beyond the first insert *)
+  Alcotest.(check int) "no in-place child adds" 1
+    (count_events (function Art.Child_added _ -> true | _ -> false) events)
+
+let test_events_in_place_add () =
+  let t, got = collect_events () in
+  ignore (Art.insert t "ax" 1);
+  ignore (Art.insert t "ay" 2);
+  let before = got () in
+  ignore (Art.insert t "az" 3);
+  let after = got () in
+  let added l = count_events (function Art.Child_added _ -> true | _ -> false) l in
+  Alcotest.(check int) "third insert is one in-place child add" 1
+    (added after - added before)
+
+let test_events_grow_reports_node () =
+  let t, got = collect_events () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 5);
+  let events = got () in
+  (* growing N4 -> N16 frees the old node and creates the new one *)
+  Alcotest.(check bool) "node freed on grow" true
+    (count_events (function Art.Node_freed _ -> true | _ -> false) events >= 1);
+  Alcotest.(check bool) "grown node created" true
+    (count_events (function Art.Node_created _ -> true | _ -> false) events >= 2)
+
+let test_events_kind_tags () =
+  let t, got = collect_events () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 60);
+  let kinds =
+    List.filter_map
+      (function Art.Child_added { kind; _ } -> Some kind | _ -> None)
+      (got ())
+  in
+  List.iter
+    (fun k ->
+      if not (List.mem k [ 0; 4; 16; 48; 256 ]) then
+        Alcotest.failf "unexpected kind %d" k)
+    kinds;
+  Alcotest.(check bool) "N256 adds observed" true (List.mem 256 kinds);
+  Alcotest.(check bool) "N4 adds observed" true (List.mem 4 kinds)
+
+let test_events_delete_reports_removal () =
+  let t, got = collect_events () in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 8);
+  let before = got () in
+  ignore (Art.delete t (List.hd (spread_keys 8)));
+  let after = got () in
+  let removed l = count_events (function Art.Child_removed _ -> true | _ -> false) l in
+  Alcotest.(check int) "one child removed" 1 (removed after - removed before)
+
+let test_events_prefix_split () =
+  let t, got = collect_events () in
+  ignore (Art.insert t "prefix-aa" 1);
+  ignore (Art.insert t "prefix-ab" 2);
+  ignore (Art.insert t "preXix" 3);
+  Alcotest.(check bool) "prefix change reported" true
+    (count_events (function Art.Prefix_changed _ -> true | _ -> false) (got ()) >= 1)
+
+let test_pm_space_nodes_alloc_from_pool () =
+  let meter = Hart_pmem.Meter.create Hart_pmem.Latency.c300_300 in
+  let pool = Hart_pmem.Pmem.create meter in
+  let live0 = Hart_pmem.Pmem.live_bytes pool in
+  let t : int Art.t =
+    Art.create ~meter ~space:Pm
+      ~alloc_node:(fun size -> Hart_pmem.Pmem.alloc pool size)
+      ~free_node:(fun ~addr ~size -> Hart_pmem.Pmem.free pool ~off:addr ~len:size)
+      ()
+  in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) (spread_keys 100);
+  Alcotest.(check bool) "nodes consumed pool space" true
+    (Hart_pmem.Pmem.live_bytes pool > live0);
+  List.iter (fun k -> ignore (Art.delete t k)) (spread_keys 100);
+  Alcotest.(check int) "all node space returned" live0
+    (Hart_pmem.Pmem.live_bytes pool)
+
+(* ------------------------------------------------------------------ *)
+(* Model-based properties                                              *)
+
+type op = Insert of string * int | Delete of string | Find of string
+
+let key_gen =
+  (* small alphabet provokes shared prefixes, splits and node growth *)
+  QCheck.Gen.(
+    let char = map (fun i -> "ab0".[i]) (int_bound 2) in
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_bound 6) char))
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Insert (k, v)) key_gen (int_bound 1000));
+        (2, map (fun k -> Delete k) key_gen);
+        (2, map (fun k -> Find k) key_gen);
+      ])
+
+let pp_op = function
+  | Insert (k, v) -> Printf.sprintf "Insert(%S,%d)" k v
+  | Delete k -> Printf.sprintf "Delete(%S)" k
+  | Find k -> Printf.sprintf "Find(%S)" k
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_bound 200) op_gen)
+
+let qcheck_vs_map =
+  QCheck.Test.make ~count:300 ~name:"ART behaves like Map under random ops"
+    ops_arbitrary
+    (fun ops ->
+      let t = Art.create () in
+      let model = ref SMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+              let expect = SMap.find_opt k !model in
+              let got =
+                match Art.insert t k v with
+                | `Inserted -> None
+                | `Replaced old -> Some old
+              in
+              model := SMap.add k v !model;
+              expect = got
+          | Delete k ->
+              let expect = SMap.find_opt k !model in
+              model := SMap.remove k !model;
+              Art.delete t k = expect
+          | Find k -> Art.find t k = SMap.find_opt k !model)
+        ops
+      &&
+      (Art.check_invariants t;
+       Art.count t = SMap.cardinal !model
+       && SMap.for_all (fun k v -> Art.find t k = Some v) !model))
+
+let qcheck_iter_sorted =
+  QCheck.Test.make ~count:200 ~name:"iteration is sorted and complete"
+    ops_arbitrary
+    (fun ops ->
+      let t = Art.create () in
+      let model = ref SMap.empty in
+      List.iter
+        (function
+          | Insert (k, v) ->
+              ignore (Art.insert t k v);
+              model := SMap.add k v !model
+          | Delete k ->
+              ignore (Art.delete t k);
+              model := SMap.remove k !model
+          | Find _ -> ())
+        ops;
+      let got = ref [] in
+      Art.iter t (fun k v -> got := (k, v) :: !got);
+      List.rev !got = SMap.bindings !model)
+
+let qcheck_range_model =
+  QCheck.Test.make ~count:200 ~name:"range = model filter"
+    QCheck.(
+      pair ops_arbitrary (pair (QCheck.make key_gen) (QCheck.make key_gen)))
+    (fun (ops, (b1, b2)) ->
+      let lo = min b1 b2 and hi = max b1 b2 in
+      let t = Art.create () in
+      let model = ref SMap.empty in
+      List.iter
+        (function
+          | Insert (k, v) ->
+              ignore (Art.insert t k v);
+              model := SMap.add k v !model
+          | Delete k ->
+              ignore (Art.delete t k);
+              model := SMap.remove k !model
+          | Find _ -> ())
+        ops;
+      let got = ref [] in
+      Art.range t ~lo ~hi (fun k v -> got := (k, v) :: !got);
+      let expected =
+        SMap.bindings (SMap.filter (fun k _ -> lo <= k && k <= hi) !model)
+      in
+      List.rev !got = expected)
+
+let () =
+  Alcotest.run "art"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty;
+          Alcotest.test_case "single key" `Quick test_single;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "empty-string key" `Quick test_empty_string_key;
+          Alcotest.test_case "prefix keys" `Quick test_prefix_keys;
+          Alcotest.test_case "binary keys" `Quick test_binary_keys;
+          Alcotest.test_case "shared prefix split" `Quick test_shared_prefix_split;
+        ] );
+      ( "nodes",
+        [
+          Alcotest.test_case "grow to NODE16" `Quick test_grow_to_n16;
+          Alcotest.test_case "grow to NODE48" `Quick test_grow_to_n48;
+          Alcotest.test_case "grow to NODE256" `Quick test_grow_to_n256;
+          Alcotest.test_case "shrink on delete" `Quick test_shrink_on_delete;
+          Alcotest.test_case "delete all frees nodes" `Quick test_delete_all_frees_everything;
+          Alcotest.test_case "path re-compression" `Quick test_path_recompression;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "iter sorted" `Quick test_iter_sorted;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "range inclusive" `Quick test_range_inclusive;
+          Alcotest.test_case "range = filter" `Quick test_range_matches_filter;
+          Alcotest.test_case "range prefix boundaries" `Quick test_range_prefix_boundaries;
+          Alcotest.test_case "height bounded by key length" `Quick test_height_bounded;
+        ] );
+      ( "metering",
+        [ Alcotest.test_case "footprint and accesses" `Quick test_metered_footprint ] );
+      ( "events",
+        [
+          Alcotest.test_case "first insert" `Quick test_events_first_insert;
+          Alcotest.test_case "leaf split is quiet" `Quick test_events_leaf_split;
+          Alcotest.test_case "in-place child add" `Quick test_events_in_place_add;
+          Alcotest.test_case "grow reports node churn" `Quick test_events_grow_reports_node;
+          Alcotest.test_case "kind tags" `Quick test_events_kind_tags;
+          Alcotest.test_case "delete reports removal" `Quick test_events_delete_reports_removal;
+          Alcotest.test_case "prefix split" `Quick test_events_prefix_split;
+          Alcotest.test_case "PM-space nodes use the pool" `Quick test_pm_space_nodes_alloc_from_pool;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_vs_map;
+          QCheck_alcotest.to_alcotest qcheck_iter_sorted;
+          QCheck_alcotest.to_alcotest qcheck_range_model;
+        ] );
+    ]

@@ -1,0 +1,1374 @@
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Rng = Hart_util.Rng
+module Chunk = Hart_core.Chunk
+module Epalloc = Hart_core.Epalloc
+module Leaf = Hart_core.Leaf
+module Value_obj = Hart_core.Value_obj
+module Microlog = Hart_core.Microlog
+module Hash_dir = Hart_core.Hash_dir
+module Hart = Hart_core.Hart
+module Hart_mt = Hart_core.Hart_mt
+module Rwlock = Hart_core.Rwlock
+module SMap = Map.Make (String)
+
+let fresh_pool () =
+  Pmem.create (Meter.create Latency.c300_100)
+
+let fresh_hart ?kh () =
+  let pool = fresh_pool () in
+  (Hart.create ?kh pool, pool)
+
+(* ------------------------------------------------------------------ *)
+(* Hash_dir                                                            *)
+
+let test_dir_basic () =
+  let d = Hash_dir.create () in
+  Hash_dir.insert d "aa" 1;
+  Hash_dir.insert d "ab" 2;
+  Alcotest.(check (option int)) "aa" (Some 1) (Hash_dir.find d "aa");
+  Alcotest.(check (option int)) "ab" (Some 2) (Hash_dir.find d "ab");
+  Alcotest.(check (option int)) "missing" None (Hash_dir.find d "zz");
+  Alcotest.(check int) "length" 2 (Hash_dir.length d);
+  Hash_dir.insert d "aa" 3;
+  Alcotest.(check (option int)) "replaced" (Some 3) (Hash_dir.find d "aa");
+  Alcotest.(check int) "length unchanged" 2 (Hash_dir.length d)
+
+let test_dir_remove () =
+  let d = Hash_dir.create () in
+  Hash_dir.insert d "k1" 1;
+  Hash_dir.insert d "k2" 2;
+  Hash_dir.remove d "k1";
+  Alcotest.(check (option int)) "removed" None (Hash_dir.find d "k1");
+  Alcotest.(check (option int)) "other intact" (Some 2) (Hash_dir.find d "k2");
+  Hash_dir.remove d "k1" (* idempotent *);
+  Alcotest.(check int) "length" 1 (Hash_dir.length d);
+  Hash_dir.check_invariants d
+
+let test_dir_grows () =
+  let d = Hash_dir.create ~initial_buckets:16 () in
+  for i = 0 to 999 do
+    Hash_dir.insert d (Printf.sprintf "key%04d" i) i
+  done;
+  Alcotest.(check int) "all present" 1000 (Hash_dir.length d);
+  for i = 0 to 999 do
+    Alcotest.(check (option int)) "find" (Some i)
+      (Hash_dir.find d (Printf.sprintf "key%04d" i))
+  done;
+  Hash_dir.check_invariants d
+
+let qcheck_dir_vs_hashtbl =
+  let key_gen = QCheck.Gen.(map (String.make 2) (map Char.chr (int_range 97 102))) in
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map2 (fun k v -> `Insert (k, v)) key_gen (int_bound 100));
+          (2, map (fun k -> `Remove k) key_gen);
+          (2, map (fun k -> `Find k) key_gen);
+        ])
+  in
+  QCheck.Test.make ~count:300 ~name:"Hash_dir behaves like Hashtbl"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 100) op_gen))
+    (fun ops ->
+      let d = Hash_dir.create ~initial_buckets:16 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (function
+          | `Insert (k, v) ->
+              Hash_dir.insert d k v;
+              Hashtbl.replace model k v;
+              true
+          | `Remove k ->
+              Hash_dir.remove d k;
+              Hashtbl.remove model k;
+              true
+          | `Find k -> Hash_dir.find d k = Hashtbl.find_opt model k)
+        ops
+      &&
+      (Hash_dir.check_invariants d;
+       Hash_dir.length d = Hashtbl.length model))
+
+(* ------------------------------------------------------------------ *)
+(* Chunk layout                                                        *)
+
+let test_chunk_classes () =
+  Alcotest.(check int) "leaf size" 40 (Chunk.obj_size Chunk.Leaf_c);
+  Alcotest.(check int) "leaf chunk" (16 + (56 * 40)) (Chunk.chunk_bytes Chunk.Leaf_c);
+  Alcotest.(check bool) "val8 for tiny" true (Chunk.value_class_for 7 = Chunk.Val8);
+  Alcotest.(check bool) "val16 boundary" true (Chunk.value_class_for 8 = Chunk.Val16);
+  Alcotest.(check bool) "val16 top" true (Chunk.value_class_for 15 = Chunk.Val16);
+  Alcotest.(check bool) "val32 extension" true (Chunk.value_class_for 31 = Chunk.Val32);
+  Alcotest.(check bool) "too big rejected" true
+    (match Chunk.value_class_for 32 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_chunk_header_fields () =
+  let pool = fresh_pool () in
+  let chunk = Chunk.alloc pool Chunk.Leaf_c in
+  Alcotest.(check bool) "fresh chunk empty" true (Chunk.is_empty pool ~chunk);
+  Alcotest.(check int) "hint 0" 0 (Chunk.next_free_hint pool ~chunk);
+  Alcotest.(check int) "available" 0 (Chunk.full_indicator pool ~chunk);
+  Chunk.set_bit pool ~chunk ~idx:0;
+  Alcotest.(check bool) "bit set" true (Chunk.test_bit pool ~chunk ~idx:0);
+  Alcotest.(check int) "hint advanced" 1 (Chunk.next_free_hint pool ~chunk);
+  for idx = 1 to 55 do
+    Chunk.set_bit pool ~chunk ~idx
+  done;
+  Alcotest.(check bool) "full" true (Chunk.is_full pool ~chunk);
+  Alcotest.(check int) "full indicator 01" 1 (Chunk.full_indicator pool ~chunk);
+  Chunk.reset_bit pool ~chunk ~idx:17;
+  Alcotest.(check int) "hint points at hole" 17 (Chunk.next_free_hint pool ~chunk);
+  Alcotest.(check int) "available again" 0 (Chunk.full_indicator pool ~chunk)
+
+let test_chunk_header_durable () =
+  let pool = fresh_pool () in
+  let chunk = Chunk.alloc pool Chunk.Val8 in
+  Chunk.set_bit pool ~chunk ~idx:5;
+  Pmem.crash pool;
+  Alcotest.(check bool) "set_bit persisted" true (Chunk.test_bit pool ~chunk ~idx:5)
+
+let test_chunk_pnext () =
+  let pool = fresh_pool () in
+  let a = Chunk.alloc pool Chunk.Val16 and b = Chunk.alloc pool Chunk.Val16 in
+  Chunk.set_pnext pool ~chunk:a b;
+  Pmem.crash pool;
+  Alcotest.(check int) "pnext durable" b (Chunk.pnext pool ~chunk:a)
+
+let test_chunk_iter_live () =
+  let pool = fresh_pool () in
+  let chunk = Chunk.alloc pool Chunk.Leaf_c in
+  List.iter (fun idx -> Chunk.set_bit pool ~chunk ~idx) [ 3; 7; 55 ];
+  let seen = ref [] in
+  Chunk.iter_live pool Chunk.Leaf_c ~chunk (fun ~idx ~obj ->
+      seen := (idx, obj) :: !seen;
+      Alcotest.(check int) "obj offset" (Chunk.obj_off Chunk.Leaf_c ~chunk ~idx) obj);
+  Alcotest.(check (list int)) "live indices" [ 3; 7; 55 ]
+    (List.rev_map fst !seen |> List.sort compare)
+
+(* ------------------------------------------------------------------ *)
+(* EPallocator                                                         *)
+
+let fresh_alloc () =
+  let pool = fresh_pool () in
+  (Epalloc.create pool, pool)
+
+let test_epalloc_distinct_objects () =
+  let a, _ = fresh_alloc () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 200 do
+    let obj = Epalloc.epmalloc a Chunk.Leaf_c in
+    Alcotest.(check bool) "fresh object" false (Hashtbl.mem seen obj);
+    Hashtbl.add seen obj ();
+    Epalloc.set_obj_bit a Chunk.Leaf_c ~obj
+  done;
+  Alcotest.(check int) "200 live" 200 (Epalloc.live_objects a Chunk.Leaf_c);
+  Alcotest.(check int) "ceil(200/56) chunks" 4 (Epalloc.chunk_count a Chunk.Leaf_c)
+
+let test_epalloc_no_double_handout () =
+  (* without set_obj_bit, reservations alone must prevent double hand-out *)
+  let a, _ = fresh_alloc () in
+  let x = Epalloc.epmalloc a Chunk.Val8 in
+  let y = Epalloc.epmalloc a Chunk.Val8 in
+  Alcotest.(check bool) "reserved slot not reissued" true (x <> y)
+
+let test_epalloc_cancel_reservation () =
+  let a, _ = fresh_alloc () in
+  let x = Epalloc.epmalloc a Chunk.Val8 in
+  Epalloc.cancel_reservation a Chunk.Val8 ~obj:x;
+  let y = Epalloc.epmalloc a Chunk.Val8 in
+  Alcotest.(check int) "slot reusable after cancel" x y
+
+let test_epalloc_slot_reuse_after_reset () =
+  let a, _ = fresh_alloc () in
+  let x = Epalloc.epmalloc a Chunk.Val16 in
+  Epalloc.set_obj_bit a Chunk.Val16 ~obj:x;
+  (* fill more so the chunk is not recycled when x is freed *)
+  let y = Epalloc.epmalloc a Chunk.Val16 in
+  Epalloc.set_obj_bit a Chunk.Val16 ~obj:y;
+  Epalloc.reset_obj_bit a Chunk.Val16 ~obj:x;
+  let z = Epalloc.epmalloc a Chunk.Val16 in
+  Alcotest.(check int) "freed slot handed out again" x z
+
+let test_epalloc_chunk_of_obj () =
+  let a, _ = fresh_alloc () in
+  let objs = List.init 120 (fun _ ->
+      let o = Epalloc.epmalloc a Chunk.Leaf_c in
+      Epalloc.set_obj_bit a Chunk.Leaf_c ~obj:o;
+      o)
+  in
+  List.iter
+    (fun obj ->
+      let chunk = Epalloc.chunk_of_obj a Chunk.Leaf_c obj in
+      Alcotest.(check bool) "obj within its chunk" true
+        (obj > chunk && obj < chunk + Chunk.chunk_bytes Chunk.Leaf_c))
+    objs;
+  Alcotest.(check bool) "foreign offset rejected" true
+    (match Epalloc.chunk_of_obj a Chunk.Leaf_c 8 with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_epalloc_class_of_value_obj () =
+  let a, _ = fresh_alloc () in
+  let v8 = Epalloc.epmalloc a Chunk.Val8 in
+  let v16 = Epalloc.epmalloc a Chunk.Val16 in
+  let v32 = Epalloc.epmalloc a Chunk.Val32 in
+  Alcotest.(check bool) "v8" true (Epalloc.class_of_value_obj a v8 = Some Chunk.Val8);
+  Alcotest.(check bool) "v16" true (Epalloc.class_of_value_obj a v16 = Some Chunk.Val16);
+  Alcotest.(check bool) "v32" true (Epalloc.class_of_value_obj a v32 = Some Chunk.Val32);
+  let leaf = Epalloc.epmalloc a Chunk.Leaf_c in
+  Alcotest.(check bool) "leaf is no value" true
+    (Epalloc.class_of_value_obj a leaf = None)
+
+let test_eprecycle_returns_space () =
+  let a, pool = fresh_alloc () in
+  (* commit then free a full chunk's worth of values *)
+  let objs = List.init 56 (fun _ ->
+      let o = Epalloc.epmalloc a Chunk.Val8 in
+      Epalloc.set_obj_bit a Chunk.Val8 ~obj:o;
+      o)
+  in
+  Alcotest.(check int) "one chunk" 1 (Epalloc.chunk_count a Chunk.Val8);
+  let live_before = Pmem.live_bytes pool in
+  List.iter (fun obj -> Epalloc.reset_obj_bit a Chunk.Val8 ~obj) objs;
+  Epalloc.eprecycle a Chunk.Val8
+    ~chunk:(Epalloc.chunk_of_obj a Chunk.Val8 (List.hd objs));
+  Alcotest.(check bool) "pm space released" true (Pmem.live_bytes pool < live_before);
+  Alcotest.(check int) "list empty" 0 (Epalloc.chunk_count a Chunk.Val8);
+  Epalloc.check_invariants a
+
+let test_eprecycle_middle_of_list () =
+  let a, _ = fresh_alloc () in
+  (* build three chunks; empty the middle one *)
+  let objs = Array.init (3 * 56) (fun _ ->
+      let o = Epalloc.epmalloc a Chunk.Val8 in
+      Epalloc.set_obj_bit a Chunk.Val8 ~obj:o;
+      o)
+  in
+  Alcotest.(check int) "three chunks" 3 (Epalloc.chunk_count a Chunk.Val8);
+  let chunks = ref [] in
+  Epalloc.iter_chunks a Chunk.Val8 (fun c -> chunks := c :: !chunks);
+  let middle = List.nth (List.rev !chunks) 1 in
+  Array.iter
+    (fun obj ->
+      if Epalloc.chunk_of_obj a Chunk.Val8 obj = middle then
+        Epalloc.reset_obj_bit a Chunk.Val8 ~obj)
+    objs;
+  Epalloc.eprecycle a Chunk.Val8 ~chunk:middle;
+  Alcotest.(check int) "two chunks remain" 2 (Epalloc.chunk_count a Chunk.Val8);
+  Epalloc.check_invariants a
+
+let test_eprecycle_refuses_nonempty () =
+  let a, _ = fresh_alloc () in
+  let o = Epalloc.epmalloc a Chunk.Val8 in
+  Epalloc.set_obj_bit a Chunk.Val8 ~obj:o;
+  let chunk = Epalloc.chunk_of_obj a Chunk.Val8 o in
+  Epalloc.eprecycle a Chunk.Val8 ~chunk;
+  Alcotest.(check int) "chunk kept" 1 (Epalloc.chunk_count a Chunk.Val8);
+  Alcotest.(check bool) "object intact" true (Epalloc.obj_bit a Chunk.Val8 ~obj:o)
+
+let test_epalloc_attach_rebuilds () =
+  let a, pool = fresh_alloc () in
+  let objs = List.init 100 (fun _ ->
+      let o = Epalloc.epmalloc a Chunk.Leaf_c in
+      Epalloc.set_obj_bit a Chunk.Leaf_c ~obj:o;
+      o)
+  in
+  Pmem.crash pool;
+  let a' = Epalloc.attach pool in
+  Alcotest.(check int) "live objects survive" 100 (Epalloc.live_objects a' Chunk.Leaf_c);
+  Alcotest.(check int) "kh recovered" 2 (Epalloc.kh a');
+  List.iter
+    (fun obj ->
+      Alcotest.(check bool) "bit visible" true (Epalloc.obj_bit a' Chunk.Leaf_c ~obj))
+    objs;
+  Epalloc.check_invariants a'
+
+let test_epalloc_attach_rejects_garbage () =
+  let pool = fresh_pool () in
+  ignore (Pmem.alloc pool 4096);
+  Alcotest.(check bool) "bad magic rejected" true
+    (match Epalloc.attach pool with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_epalloc_leaf_repair () =
+  (* simulate the Algorithm 1 crash window: value committed, leaf bit not
+     set; the next epmalloc of that leaf slot must free the value *)
+  let a, pool = fresh_alloc () in
+  let leaf = Epalloc.epmalloc a Chunk.Leaf_c in
+  let v = Epalloc.epmalloc a Chunk.Val8 in
+  Value_obj.write pool ~obj:v "six";
+  Leaf.set_p_value pool ~leaf v;
+  Epalloc.set_obj_bit a Chunk.Val8 ~obj:v;
+  (* crash: leaf bit never set *)
+  Pmem.crash pool;
+  let a' = Epalloc.attach pool in
+  (* the attach-time sweep repairs the slot eagerly (see DESIGN.md):
+     the orphaned value is reclaimed before any allocation happens *)
+  Alcotest.(check int) "orphaned value reclaimed at attach" 0
+    (Epalloc.live_objects a' Chunk.Val8);
+  let leaf' = Epalloc.epmalloc a' Chunk.Leaf_c in
+  Alcotest.(check int) "same slot handed out" leaf leaf';
+  Alcotest.(check int) "p_value cleared" 0 (Leaf.p_value pool ~leaf:leaf')
+
+(* Allocator model check: random alloc/commit/free/recycle/crash
+   sequences against a simple set model. *)
+let qcheck_epalloc_model =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, return `Alloc);
+          (3, map (fun i -> `Free i) (int_bound 500));
+          (1, return `Crash);
+        ])
+  in
+  QCheck.Test.make ~count:100 ~name:"EPallocator behaves like a set allocator"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 120) op_gen))
+    (fun script ->
+      let pool = fresh_pool () in
+      let a = ref (Epalloc.create pool) in
+      let live = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Alloc ->
+              let obj = Epalloc.epmalloc !a Chunk.Val16 in
+              if Hashtbl.mem live obj then
+                failwith (Printf.sprintf "double hand-out of %d" obj);
+              Epalloc.set_obj_bit !a Chunk.Val16 ~obj;
+              Hashtbl.add live obj ();
+              order := obj :: !order
+          | `Free i -> (
+              match List.nth_opt !order (i mod max 1 (List.length !order)) with
+              | Some obj when Hashtbl.mem live obj ->
+                  Epalloc.reset_obj_bit !a Chunk.Val16 ~obj;
+                  Hashtbl.remove live obj;
+                  Epalloc.eprecycle !a Chunk.Val16
+                    ~chunk:(Epalloc.chunk_of_obj !a Chunk.Val16 obj)
+              | Some _ | None -> ())
+          | `Crash ->
+              Pmem.crash pool;
+              a := Epalloc.attach pool)
+        script;
+      Epalloc.check_invariants !a;
+      Epalloc.live_objects !a Chunk.Val16 = Hashtbl.length live)
+
+let qcheck_chunk_header_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"chunk header packs bitmap/hint/indicator"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_bound 56) (int_bound 55)))
+    (fun bits ->
+      let pool = fresh_pool () in
+      let chunk = Chunk.alloc pool Chunk.Leaf_c in
+      List.iter (fun idx -> Chunk.set_bit pool ~chunk ~idx) bits;
+      let set = List.sort_uniq compare bits in
+      List.for_all (fun idx -> Chunk.test_bit pool ~chunk ~idx) set
+      && (Chunk.is_full pool ~chunk = (List.length set = 56))
+      && (Chunk.full_indicator pool ~chunk = if List.length set = 56 then 1 else 0)
+      &&
+      (* the hint always names a free slot when one exists *)
+      (List.length set = 56
+      || not (Chunk.test_bit pool ~chunk ~idx:(Chunk.next_free_hint pool ~chunk))))
+
+(* ------------------------------------------------------------------ *)
+(* Leaf and value codecs                                               *)
+
+let test_leaf_codec () =
+  let pool = fresh_pool () in
+  let leaf = Pmem.alloc pool 40 in
+  Leaf.write_key pool ~leaf "hello";
+  Alcotest.(check string) "key roundtrip" "hello" (Leaf.key pool ~leaf);
+  Leaf.set_p_value pool ~leaf 4242;
+  Alcotest.(check int) "p_value roundtrip" 4242 (Leaf.p_value pool ~leaf);
+  Pmem.crash pool;
+  Alcotest.(check string) "key durable" "hello" (Leaf.key pool ~leaf);
+  Alcotest.(check int) "p_value durable" 4242 (Leaf.p_value pool ~leaf)
+
+let test_leaf_key_limit () =
+  let pool = fresh_pool () in
+  let leaf = Pmem.alloc pool 40 in
+  Leaf.write_key pool ~leaf (String.make 24 'x');
+  Alcotest.(check bool) "25 bytes rejected" true
+    (match Leaf.write_key pool ~leaf (String.make 25 'x') with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_value_codec () =
+  let pool = fresh_pool () in
+  List.iter
+    (fun payload ->
+      let obj = Pmem.alloc pool 32 in
+      Value_obj.write pool ~obj payload;
+      Alcotest.(check string) "roundtrip" payload (Value_obj.read pool ~obj))
+    [ ""; "x"; "1234567"; "fifteen-bytes.."; String.make 31 'v' ]
+
+(* ------------------------------------------------------------------ *)
+(* Micro-logs                                                          *)
+
+let test_microlog_roundtrip () =
+  let pool = fresh_pool () in
+  let base = Pmem.alloc pool Microlog.region_bytes in
+  let logs = Microlog.create pool ~base in
+  let slot = Microlog.Update.acquire logs in
+  Microlog.Update.set_pleaf logs ~slot 111;
+  Microlog.Update.set_poldv logs ~slot 222;
+  Microlog.Update.set_pnewv logs ~slot 333;
+  Alcotest.(check int) "pleaf" 111 (Microlog.Update.pleaf logs ~slot);
+  Alcotest.(check int) "poldv" 222 (Microlog.Update.poldv logs ~slot);
+  Alcotest.(check int) "pnewv" 333 (Microlog.Update.pnewv logs ~slot);
+  Microlog.Update.reclaim logs ~slot;
+  Alcotest.(check int) "reclaimed" 0 (Microlog.Update.pleaf logs ~slot)
+
+let test_microlog_durability () =
+  let pool = fresh_pool () in
+  let base = Pmem.alloc pool Microlog.region_bytes in
+  let logs = Microlog.create pool ~base in
+  let slot = Microlog.Update.acquire logs in
+  Microlog.Update.set_pleaf logs ~slot 7;
+  Pmem.crash pool;
+  let logs' = Microlog.attach pool ~base in
+  let pending = ref [] in
+  Microlog.Update.iter_pending logs' (fun ~slot -> pending := slot :: !pending);
+  Alcotest.(check (list int)) "pending slot found" [ slot ] !pending;
+  (* the busy slot must not be handed out again before reclaim *)
+  let other = Microlog.Update.acquire logs' in
+  Alcotest.(check bool) "busy slot skipped" true (other <> slot)
+
+let test_microlog_recycle_class () =
+  let pool = fresh_pool () in
+  let base = Pmem.alloc pool Microlog.region_bytes in
+  let logs = Microlog.create pool ~base in
+  let slot = Microlog.Recycle.acquire logs in
+  Microlog.Recycle.set_pcurrent logs ~slot ~cls:Chunk.Val16 999;
+  Alcotest.(check bool) "class recorded" true
+    (Microlog.Recycle.cls logs ~slot = Chunk.Val16);
+  Alcotest.(check int) "pcurrent" 999 (Microlog.Recycle.pcurrent logs ~slot)
+
+let test_microlog_exhaustion () =
+  let pool = fresh_pool () in
+  let base = Pmem.alloc pool Microlog.region_bytes in
+  let logs = Microlog.create pool ~base in
+  let slots = List.init Microlog.n_slots (fun _ -> Microlog.Update.acquire logs) in
+  Alcotest.(check bool) "all slots distinct" true
+    (List.length (List.sort_uniq compare slots) = Microlog.n_slots);
+  Alcotest.(check bool) "exhaustion raises" true
+    (match Microlog.Update.acquire logs with
+    | _ -> false
+    | exception Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-log recovery protocols, state by state (§III-B.2, §III-B.4):
+   construct each durable log state the algorithms can crash in and
+   check that Epalloc.attach repairs it exactly as specified.           *)
+
+(* A committed (leaf, value) pair plus a second "bystander" key whose
+   state must never be disturbed by log recovery. *)
+let setup_update_scenario () =
+  let pool = fresh_pool () in
+  let h = Hart.create pool in
+  Hart.insert h ~key:"bystander" ~value:"bb";
+  Hart.insert h ~key:"target" ~value:"OLD";
+  (pool, h)
+
+let recovered_value pool =
+  let h = Hart.recover pool in
+  Hart.check_integrity ~allow_recovered_orphans:true h;
+  Alcotest.(check (option string)) "bystander untouched" (Some "bb")
+    (Hart.search h "bystander");
+  Hart.search h "target"
+
+let test_ulog_state_pleaf_only () =
+  (* crash between Algorithm 3 lines 2 and 3: only PLeaf durable -> the
+     recovery must simply reset the log, value stays OLD *)
+  let pool, h = setup_update_scenario () in
+  Pmem.arm_crash pool ~after_flushes:1;
+  (try ignore (Hart.update h ~key:"target" ~value:"NEW")
+   with Pmem.Crash_injected -> ());
+  Alcotest.(check (option string)) "old value" (Some "OLD") (recovered_value pool)
+
+let test_ulog_state_pleaf_poldv () =
+  (* crash between lines 3 and 6: PLeaf + POldV durable, PNewV not ->
+     reset, old value intact *)
+  let pool, h = setup_update_scenario () in
+  Pmem.arm_crash pool ~after_flushes:2;
+  (try ignore (Hart.update h ~key:"target" ~value:"NEW")
+   with Pmem.Crash_injected -> ());
+  Alcotest.(check (option string)) "old value" (Some "OLD") (recovered_value pool)
+
+let test_ulog_state_all_three () =
+  (* crash after line 6: all three pointers durable -> recovery resumes
+     from line 7 and the update commits *)
+  let pool, h = setup_update_scenario () in
+  (* flushes: PLeaf, POldV, value object, PNewV = 4 *)
+  Pmem.arm_crash pool ~after_flushes:4;
+  (try ignore (Hart.update h ~key:"target" ~value:"NEW")
+   with Pmem.Crash_injected -> ());
+  Alcotest.(check (option string)) "new value (redo)" (Some "NEW")
+    (recovered_value pool)
+
+let test_ulog_replay_is_idempotent () =
+  (* all-three state recovered twice (crash during first recovery's
+     replay) must still commit exactly once *)
+  let pool, h = setup_update_scenario () in
+  Pmem.arm_crash pool ~after_flushes:4;
+  (try ignore (Hart.update h ~key:"target" ~value:"NEW")
+   with Pmem.Crash_injected -> ());
+  (* crash the first recovery after one of its replay flushes *)
+  Pmem.arm_crash pool ~after_flushes:1;
+  (try ignore (Hart.recover pool) with Pmem.Crash_injected -> ());
+  Alcotest.(check (option string)) "still committed once" (Some "NEW")
+    (recovered_value pool)
+
+let test_rlog_recovery_head_unlink () =
+  (* empty a chunk at the head of the value list, crash inside the
+     recycle protocol, recover: the list must be consistent *)
+  let pool = fresh_pool () in
+  let h = Hart.create pool in
+  for i = 0 to 55 do
+    Hart.insert h ~key:(Printf.sprintf "rl%03d" i) ~value:"v"
+  done;
+  (* deleting everything recycles the (single, head) value chunk *)
+  let crashed = ref false in
+  Pmem.arm_crash pool ~after_flushes:8;
+  (try
+     for i = 0 to 55 do
+       ignore (Hart.delete h (Printf.sprintf "rl%03d" i))
+     done
+   with Pmem.Crash_injected -> crashed := true);
+  Pmem.disarm_crash pool;
+  if not !crashed then Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  (* whatever the crash point, surviving keys are exactly the committed
+     ones and further deletion works *)
+  let keys = ref [] in
+  Hart.iter h' (fun k _ -> keys := k :: !keys);
+  List.iter (fun k -> ignore (Hart.delete h' k)) !keys;
+  Alcotest.(check int) "store drains cleanly" 0 (Hart.count h')
+
+(* ------------------------------------------------------------------ *)
+(* HART basic operations                                               *)
+
+let test_hart_insert_search () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"AABF" ~value:"v1";
+  Hart.insert h ~key:"AACD" ~value:"v2";
+  Hart.insert h ~key:"XY01" ~value:"v3";
+  Alcotest.(check (option string)) "AABF" (Some "v1") (Hart.search h "AABF");
+  Alcotest.(check (option string)) "AACD" (Some "v2") (Hart.search h "AACD");
+  Alcotest.(check (option string)) "XY01" (Some "v3") (Hart.search h "XY01");
+  Alcotest.(check (option string)) "missing" None (Hart.search h "AABX");
+  Alcotest.(check int) "count" 3 (Hart.count h);
+  Alcotest.(check int) "two ARTs (prefixes AA and XY)" 2 (Hart.art_count h);
+  Hart.check_integrity h
+
+let test_hart_insert_is_upsert () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"key1" ~value:"old";
+  Hart.insert h ~key:"key1" ~value:"new";
+  Alcotest.(check (option string)) "updated" (Some "new") (Hart.search h "key1");
+  Alcotest.(check int) "count stays 1" 1 (Hart.count h);
+  Hart.check_integrity h
+
+let test_hart_update () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"key1" ~value:"old";
+  Alcotest.(check bool) "update hits" true (Hart.update h ~key:"key1" ~value:"new");
+  Alcotest.(check (option string)) "value" (Some "new") (Hart.search h "key1");
+  Alcotest.(check bool) "update miss" false (Hart.update h ~key:"nope" ~value:"x");
+  Alcotest.(check (option string)) "no phantom insert" None (Hart.search h "nope");
+  Hart.check_integrity h
+
+let test_hart_update_changes_class () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"key1" ~value:"tiny";
+  ignore (Hart.update h ~key:"key1" ~value:(String.make 30 'B'));
+  Alcotest.(check (option string)) "30-byte value" (Some (String.make 30 'B'))
+    (Hart.search h "key1");
+  ignore (Hart.update h ~key:"key1" ~value:"s");
+  Alcotest.(check (option string)) "shrunk" (Some "s") (Hart.search h "key1");
+  Hart.check_integrity h
+
+let test_hart_delete () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"AAx" ~value:"1";
+  Hart.insert h ~key:"AAy" ~value:"2";
+  Alcotest.(check bool) "delete hits" true (Hart.delete h "AAx");
+  Alcotest.(check (option string)) "gone" None (Hart.search h "AAx");
+  Alcotest.(check (option string)) "sibling" (Some "2") (Hart.search h "AAy");
+  Alcotest.(check bool) "delete miss" false (Hart.delete h "AAx");
+  Alcotest.(check int) "count" 1 (Hart.count h);
+  Hart.check_integrity h
+
+let test_hart_delete_frees_empty_art () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"ZZonly" ~value:"1";
+  Alcotest.(check int) "one ART" 1 (Hart.art_count h);
+  ignore (Hart.delete h "ZZonly");
+  Alcotest.(check int) "ART freed" 0 (Hart.art_count h);
+  Hart.check_integrity h
+
+let test_hart_short_keys () =
+  let h, _ = fresh_hart () in
+  (* keys shorter than kh=2 become whole hash keys with empty ART keys *)
+  Hart.insert h ~key:"a" ~value:"one";
+  Hart.insert h ~key:"ab" ~value:"two";
+  Hart.insert h ~key:"abc" ~value:"three";
+  Alcotest.(check (option string)) "a" (Some "one") (Hart.search h "a");
+  Alcotest.(check (option string)) "ab" (Some "two") (Hart.search h "ab");
+  Alcotest.(check (option string)) "abc" (Some "three") (Hart.search h "abc");
+  ignore (Hart.delete h "ab");
+  Alcotest.(check (option string)) "ab gone" None (Hart.search h "ab");
+  Alcotest.(check (option string)) "a kept" (Some "one") (Hart.search h "a");
+  Alcotest.(check (option string)) "abc kept" (Some "three") (Hart.search h "abc");
+  Hart.check_integrity h
+
+let test_hart_key_limits () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:(String.make 24 'k') ~value:"ok";
+  Alcotest.(check bool) "25-byte key rejected" true
+    (match Hart.insert h ~key:(String.make 25 'k') ~value:"v" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty key rejected" true
+    (match Hart.insert h ~key:"" ~value:"v" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "32-byte value rejected" true
+    (match Hart.insert h ~key:"k" ~value:(String.make 32 'v') with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check (option string)) "over-long search is None" None
+    (Hart.search h (String.make 30 'q'))
+
+let test_hart_empty_value () =
+  let h, _ = fresh_hart () in
+  Hart.insert h ~key:"key" ~value:"";
+  Alcotest.(check (option string)) "empty value stored" (Some "") (Hart.search h "key");
+  Hart.check_integrity h
+
+let test_hart_split_key () =
+  let h, _ = fresh_hart ~kh:2 () in
+  Alcotest.(check (pair string string)) "long" ("AA", "BF") (Hart.split_key h "AABF");
+  Alcotest.(check (pair string string)) "exact" ("AB", "") (Hart.split_key h "AB");
+  Alcotest.(check (pair string string)) "short" ("A", "") (Hart.split_key h "A")
+
+let test_hart_kh_variants () =
+  List.iter
+    (fun kh ->
+      let h, _ = fresh_hart ~kh () in
+      let keys = List.init 200 (fun i -> Printf.sprintf "key-%04d" i) in
+      List.iter (fun k -> Hart.insert h ~key:k ~value:k) keys;
+      List.iter
+        (fun k -> Alcotest.(check (option string)) k (Some k) (Hart.search h k))
+        keys;
+      Hart.check_integrity h)
+    [ 1; 2; 4; 8 ]
+
+let test_hart_range () =
+  let h, _ = fresh_hart () in
+  let keys = [ "AAa"; "AAb"; "ABa"; "ABb"; "ACa"; "B"; "BAx" ] in
+  List.iter (fun k -> Hart.insert h ~key:k ~value:(String.lowercase_ascii k)) keys;
+  let got = ref [] in
+  Hart.range h ~lo:"AAb" ~hi:"B" (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "cross-ART range" [ "AAb"; "ABa"; "ABb"; "ACa"; "B" ]
+    (List.rev !got)
+
+let test_hart_iter () =
+  let h, _ = fresh_hart () in
+  let keys = List.init 100 (fun i -> Printf.sprintf "it%04d" i) in
+  List.iter (fun k -> Hart.insert h ~key:k ~value:k) keys;
+  let n = ref 0 in
+  Hart.iter h (fun k v ->
+      incr n;
+      Alcotest.(check string) "value matches key" k v);
+  Alcotest.(check int) "all visited" 100 !n
+
+let test_hart_fold_min_max () =
+  let h, _ = fresh_hart () in
+  Alcotest.(check (option (pair string string))) "min of empty" None (Hart.min_binding h);
+  Alcotest.(check (option (pair string string))) "max of empty" None (Hart.max_binding h);
+  List.iter
+    (fun k -> Hart.insert h ~key:k ~value:(String.uppercase_ascii k))
+    [ "mm"; "aa"; "zz"; "a"; "zzz" ];
+  Alcotest.(check (option (pair string string))) "min" (Some ("a", "A"))
+    (Hart.min_binding h);
+  Alcotest.(check (option (pair string string))) "max" (Some ("zzz", "ZZZ"))
+    (Hart.max_binding h);
+  let n = Hart.fold h ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  Alcotest.(check int) "fold visits all" 5 n
+
+let test_hart_stats () =
+  let h, _ = fresh_hart () in
+  for i = 0 to 499 do
+    Hart.insert h ~key:(Printf.sprintf "st%04d" i) ~value:"seven77"
+  done;
+  ignore (Hart.update h ~key:"st0000" ~value:(String.make 30 'x'));
+  let s = Hart_core.Hart_stats.collect h in
+  Alcotest.(check int) "keys" 500 s.Hart_core.Hart_stats.keys;
+  Alcotest.(check int) "arts" (Hart.art_count h) s.Hart_core.Hart_stats.arts;
+  Alcotest.(check int) "leaf objects" 500
+    s.Hart_core.Hart_stats.leaf_class.Hart_core.Hart_stats.live_objects;
+  Alcotest.(check int) "val8 objects (one updated away)" 499
+    s.Hart_core.Hart_stats.val8_class.Hart_core.Hart_stats.live_objects;
+  Alcotest.(check int) "val32 objects" 1
+    s.Hart_core.Hart_stats.val32_class.Hart_core.Hart_stats.live_objects;
+  Alcotest.(check bool) "occupancy sane" true
+    (s.Hart_core.Hart_stats.leaf_class.Hart_core.Hart_stats.occupancy > 0.5);
+  Alcotest.(check int) "pm bytes agree" (Hart.pm_bytes h)
+    s.Hart_core.Hart_stats.pm_bytes;
+  let hist = s.Hart_core.Hart_stats.art_nodes in
+  Alcotest.(check bool) "node histogram populated" true
+    (hist.Hart_core.Hart_stats.n4 + hist.Hart_core.Hart_stats.n16
+     + hist.Hart_core.Hart_stats.n48
+     + hist.Hart_core.Hart_stats.n256
+    > 0);
+  (* the renderer shouldn't raise *)
+  ignore (Format.asprintf "%a" Hart_core.Hart_stats.pp s : string)
+
+let test_hart_memory_accounting () =
+  let h, pool = fresh_hart () in
+  let pm0 = Hart.pm_bytes h in
+  for i = 0 to 999 do
+    Hart.insert h ~key:(Printf.sprintf "mem%05d" i) ~value:"seven"
+  done;
+  Alcotest.(check bool) "pm grew" true (Hart.pm_bytes h > pm0);
+  Alcotest.(check bool) "dram tracked" true (Hart.dram_bytes h > 0);
+  Alcotest.(check bool) "meter agrees with pool" true
+    (Hart.pm_bytes h = Pmem.live_bytes pool)
+
+(* ------------------------------------------------------------------ *)
+(* HART vs model                                                       *)
+
+let hart_key_gen =
+  (* 2-byte prefix from a tiny alphabet + short suffix: exercises shared
+     ARTs, empty ART keys and prefix relationships *)
+  QCheck.Gen.(
+    let c = map (fun i -> "AB1".[i]) (int_bound 2) in
+    map2
+      (fun a rest -> String.make 1 a ^ String.concat "" (List.map (String.make 1) rest))
+      c
+      (list_size (int_bound 4) c))
+
+let hart_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> `Insert (k, v)) hart_key_gen (map string_of_int (int_bound 9999)));
+        (2, map (fun k -> `Delete k) hart_key_gen);
+        (2, map (fun k -> `Search k) hart_key_gen);
+        (2, map2 (fun k v -> `Update (k, v)) hart_key_gen (map string_of_int (int_bound 9999)));
+      ])
+
+let pp_hart_op = function
+  | `Insert (k, v) -> Printf.sprintf "Insert(%S,%S)" k v
+  | `Delete k -> Printf.sprintf "Delete(%S)" k
+  | `Search k -> Printf.sprintf "Search(%S)" k
+  | `Update (k, v) -> Printf.sprintf "Update(%S,%S)" k v
+
+let hart_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_hart_op ops))
+    QCheck.Gen.(list_size (int_bound 150) hart_op_gen)
+
+let run_hart_ops h model ops =
+  List.for_all
+    (fun op ->
+      match op with
+      | `Insert (k, v) ->
+          Hart.insert h ~key:k ~value:v;
+          model := SMap.add k v !model;
+          true
+      | `Delete k ->
+          let expect = SMap.mem k !model in
+          model := SMap.remove k !model;
+          Hart.delete h k = expect
+      | `Search k -> Hart.search h k = SMap.find_opt k !model
+      | `Update (k, v) ->
+          let expect = SMap.mem k !model in
+          if expect then model := SMap.add k v !model;
+          Hart.update h ~key:k ~value:v = expect)
+    ops
+
+let qcheck_hart_vs_map =
+  QCheck.Test.make ~count:200 ~name:"HART behaves like Map under random ops"
+    hart_ops_arb
+    (fun ops ->
+      let h, _ = fresh_hart () in
+      let model = ref SMap.empty in
+      run_hart_ops h model ops
+      &&
+      (Hart.check_integrity h;
+       Hart.count h = SMap.cardinal !model
+       && SMap.for_all (fun k v -> Hart.search h k = Some v) !model))
+
+let qcheck_hart_recovery =
+  QCheck.Test.make ~count:100 ~name:"recovery after clean crash preserves all data"
+    hart_ops_arb
+    (fun ops ->
+      let h, pool = fresh_hart () in
+      let model = ref SMap.empty in
+      ignore (run_hart_ops h model ops : bool);
+      Pmem.crash pool;
+      let h' = Hart.recover pool in
+      Hart.check_integrity ~allow_recovered_orphans:true h';
+      Hart.count h' = SMap.cardinal !model
+      && SMap.for_all (fun k v -> Hart.search h' k = Some v) !model)
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection sweeps                                              *)
+
+(* Run [f]; if the armed crash fires, recover and validate with [check].
+   Returns true when [f] ran to completion without crashing. *)
+let with_crash_at pool k f check =
+  Pmem.arm_crash pool ~after_flushes:k;
+  match f () with
+  | () ->
+      Pmem.disarm_crash pool;
+      true
+  | exception Pmem.Crash_injected ->
+      check ();
+      false
+
+let test_insert_crash_sweep () =
+  (* crash an insertion at every flush boundary; prior data must survive,
+     the in-flight key must be atomic (all or nothing), and no leaks *)
+  let k = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let h, pool = fresh_hart () in
+    Hart.insert h ~key:"preexist1" ~value:"A";
+    Hart.insert h ~key:"preexist2" ~value:"B";
+    let completed =
+      with_crash_at pool !k
+        (fun () -> Hart.insert h ~key:"victim-key" ~value:"victim!")
+        (fun () ->
+          let h' = Hart.recover pool in
+          Hart.check_integrity ~allow_recovered_orphans:true h';
+          Alcotest.(check (option string)) "preexist1 survives" (Some "A")
+            (Hart.search h' "preexist1");
+          Alcotest.(check (option string)) "preexist2 survives" (Some "B")
+            (Hart.search h' "preexist2");
+          (match Hart.search h' "victim-key" with
+          | None | Some "victim!" -> ()
+          | Some other ->
+              Alcotest.failf "victim neither absent nor complete: %S" other);
+          (* the repair path must leave a strictly consistent image:
+             exercise the crashed slots, then recheck strictly *)
+          Hart.insert h' ~key:"victim-key" ~value:"again";
+          Hart.insert h' ~key:"post-crash" ~value:"C";
+          Hart.check_integrity h')
+    in
+    if completed then continue := false else incr k
+  done;
+  Alcotest.(check bool) "sweep exercised several crash points" true (!k >= 4)
+
+let test_update_crash_sweep () =
+  let k = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let h, pool = fresh_hart () in
+    Hart.insert h ~key:"stable" ~value:"S";
+    Hart.insert h ~key:"target" ~value:"OLD";
+    let completed =
+      with_crash_at pool !k
+        (fun () -> ignore (Hart.update h ~key:"target" ~value:"NEW"))
+        (fun () ->
+          let h' = Hart.recover pool in
+          Hart.check_integrity ~allow_recovered_orphans:true h';
+          Alcotest.(check (option string)) "stable survives" (Some "S")
+            (Hart.search h' "stable");
+          (match Hart.search h' "target" with
+          | Some "OLD" | Some "NEW" -> ()
+          | v ->
+              Alcotest.failf "target corrupted after update crash: %s"
+                (Option.value v ~default:"<absent>"));
+          (* after recovery the update log must be fully reclaimed *)
+          ignore (Hart.update h' ~key:"target" ~value:"FINAL");
+          Alcotest.(check (option string)) "post-recovery update works"
+            (Some "FINAL") (Hart.search h' "target");
+          Hart.check_integrity h')
+    in
+    if completed then continue := false else incr k
+  done;
+  Alcotest.(check bool) "sweep exercised several crash points" true (!k >= 4)
+
+let test_delete_crash_sweep () =
+  let k = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let h, pool = fresh_hart () in
+    Hart.insert h ~key:"keepme" ~value:"K";
+    Hart.insert h ~key:"victim" ~value:"V";
+    let completed =
+      with_crash_at pool !k
+        (fun () -> ignore (Hart.delete h "victim"))
+        (fun () ->
+          let h' = Hart.recover pool in
+          Hart.check_integrity ~allow_recovered_orphans:true h';
+          Alcotest.(check (option string)) "other key survives" (Some "K")
+            (Hart.search h' "keepme");
+          (match Hart.search h' "victim" with
+          | None | Some "V" -> ()
+          | Some other -> Alcotest.failf "deleted key corrupted: %S" other);
+          Hart.insert h' ~key:"fresh" ~value:"F";
+          Hart.check_integrity h')
+    in
+    if completed then continue := false else incr k
+  done;
+  Alcotest.(check bool) "sweep exercised several crash points" true (!k >= 1)
+
+let test_recycle_crash_sweep () =
+  (* delete ALL keys of two full chunks so both leaf chunks and both
+     value chunks go through EPRecycle's unlink protocol, and sweep the
+     crash over the entire run including the unlink windows at the end *)
+  let total_keys = 60 in
+  let completed_flushes =
+    (* dry run to learn the flush count of the whole deletion phase *)
+    let h, pool = fresh_hart () in
+    for i = 0 to total_keys - 1 do
+      Hart.insert h ~key:(Printf.sprintf "rc%04d" i) ~value:"v"
+    done;
+    let c0 = (Meter.counters (Pmem.meter pool)).Meter.flushes in
+    for i = 0 to total_keys - 1 do
+      ignore (Hart.delete h (Printf.sprintf "rc%04d" i))
+    done;
+    (Meter.counters (Pmem.meter pool)).Meter.flushes - c0
+  in
+  Alcotest.(check bool) "deletion phase flushes enough to recycle" true
+    (completed_flushes > 3 * total_keys);
+  (* sweep, concentrating on every flush of the last few deletions where
+     the chunks empty and unlink *)
+  let points =
+    List.init 30 (fun i -> i * completed_flushes / 30)
+    @ List.init 24 (fun i -> completed_flushes - 24 + i)
+  in
+  List.iter
+    (fun k ->
+      let h, pool = fresh_hart () in
+      for i = 0 to total_keys - 1 do
+        Hart.insert h ~key:(Printf.sprintf "rc%04d" i) ~value:"v"
+      done;
+      let crashed = ref false in
+      Pmem.arm_crash pool ~after_flushes:k;
+      (try
+         for i = 0 to total_keys - 1 do
+           ignore (Hart.delete h (Printf.sprintf "rc%04d" i))
+         done;
+         Pmem.disarm_crash pool
+       with Pmem.Crash_injected -> crashed := true);
+      if !crashed then begin
+        let h' = Hart.recover pool in
+        Hart.check_integrity ~allow_recovered_orphans:true h';
+        (* deletions are not atomic as a batch, but every surviving key
+           must be intact and the store must drain cleanly afterwards *)
+        let survivors = ref [] in
+        Hart.iter h' (fun k v ->
+            if v <> "v" then Alcotest.failf "corrupted survivor %s=%s" k v;
+            survivors := k :: !survivors);
+        List.iter (fun k -> ignore (Hart.delete h' k)) !survivors;
+        Alcotest.(check int)
+          (Printf.sprintf "drains after crash at %d flushes" k)
+          0 (Hart.count h');
+        Hart.check_integrity h'
+      end)
+    points
+
+let qcheck_crash_anywhere =
+  (* random workload, crash after a random number of flushes, recover:
+     committed data is intact and the image is repairable *)
+  QCheck.Test.make ~count:150 ~name:"random crash point: recovery is consistent"
+    (QCheck.pair hart_ops_arb (QCheck.make QCheck.Gen.(int_bound 400)))
+    (fun (ops, crash_at) ->
+      let h, pool = fresh_hart () in
+      let model = ref SMap.empty in
+      let committed = ref SMap.empty in
+      Pmem.arm_crash pool ~after_flushes:crash_at;
+      (try
+         List.iter
+           (fun op ->
+             (match op with
+             | `Insert (k, v) ->
+                 Hart.insert h ~key:k ~value:v;
+                 model := SMap.add k v !model
+             | `Delete k ->
+                 ignore (Hart.delete h k);
+                 model := SMap.remove k !model
+             | `Search k -> ignore (Hart.search h k)
+             | `Update (k, v) ->
+                 if Hart.update h ~key:k ~value:v then model := SMap.add k v !model);
+             committed := !model)
+           ops;
+         Pmem.disarm_crash pool
+       with Pmem.Crash_injected -> ());
+      let h' = Hart.recover pool in
+      Hart.check_integrity ~allow_recovered_orphans:true h';
+      (* every op completed before the crash must be durable; the one
+         in-flight op may have landed either way, so compare against the
+         committed-prefix model modulo one key *)
+      let recovered =
+        let m = ref SMap.empty in
+        Hart.iter h' (fun k v -> m := SMap.add k v !m);
+        !m
+      in
+      let diff_keys =
+        SMap.merge
+          (fun _ a b -> if a = b then None else Some ())
+          !committed recovered
+      in
+      SMap.cardinal diff_keys <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let test_recover_empty () =
+  let h, pool = fresh_hart () in
+  ignore h;
+  Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Alcotest.(check int) "empty recovered" 0 (Hart.count h');
+  Hart.check_integrity h'
+
+let test_recover_preserves_kh () =
+  let pool = fresh_pool () in
+  let h = Hart.create ~kh:4 pool in
+  Hart.insert h ~key:"prefix-key" ~value:"v";
+  Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Alcotest.(check int) "kh persisted" 4 (Hart.kh h');
+  Alcotest.(check (option string)) "data back" (Some "v") (Hart.search h' "prefix-key")
+
+let test_recover_then_operate () =
+  let h, pool = fresh_hart () in
+  for i = 0 to 499 do
+    Hart.insert h ~key:(Printf.sprintf "ro%05d" i) ~value:(string_of_int i)
+  done;
+  for i = 0 to 99 do
+    ignore (Hart.delete h (Printf.sprintf "ro%05d" i))
+  done;
+  Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Alcotest.(check int) "400 keys back" 400 (Hart.count h');
+  (* full op mix on the recovered tree *)
+  Hart.insert h' ~key:"ro00000" ~value:"reborn";
+  ignore (Hart.update h' ~key:"ro00200" ~value:"upd");
+  ignore (Hart.delete h' "ro00300");
+  Alcotest.(check (option string)) "insert" (Some "reborn") (Hart.search h' "ro00000");
+  Alcotest.(check (option string)) "update" (Some "upd") (Hart.search h' "ro00200");
+  Alcotest.(check (option string)) "delete" None (Hart.search h' "ro00300");
+  Hart.check_integrity h'
+
+let test_crash_during_recovery () =
+  (* recovery itself writes PM (log replay, repair sweep): crashing in
+     the middle of it must leave a state a second recovery handles *)
+  let h, pool = fresh_hart () in
+  for i = 0 to 199 do
+    Hart.insert h ~key:(Printf.sprintf "cr%04d" i) ~value:"v"
+  done;
+  (* leave a pending update log by crashing mid-update *)
+  Pmem.arm_crash pool ~after_flushes:4;
+  (try ignore (Hart.update h ~key:"cr0100" ~value:"NEW")
+   with Pmem.Crash_injected -> ());
+  (* now crash the recovery at each of its first flush points *)
+  let recovered = ref None in
+  let k = ref 0 in
+  while !recovered = None && !k < 30 do
+    Pmem.arm_crash pool ~after_flushes:!k;
+    (match Hart.recover pool with
+    | h' ->
+        Pmem.disarm_crash pool;
+        recovered := Some h'
+    | exception Pmem.Crash_injected -> incr k)
+  done;
+  (match !recovered with
+  | None ->
+      (* recovery exercised 30 crash points and still had flushes left:
+         finish it cleanly *)
+      recovered := Some (Hart.recover pool)
+  | Some _ -> ());
+  let h' = Option.get !recovered in
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  Alcotest.(check int) "all records present" 200 (Hart.count h');
+  (match Hart.search h' "cr0100" with
+  | Some "v" | Some "NEW" -> ()
+  | v -> Alcotest.failf "cr0100 corrupted: %s" (Option.value v ~default:"<absent>"))
+
+let test_eviction_does_not_break_protocol () =
+  (* random background write-backs may persist any dirty line at any
+     time; HART's ordering must stay correct under them *)
+  let h, pool = fresh_hart () in
+  let rng = Rng.create 0xE71C7L in
+  let model = ref SMap.empty in
+  for i = 0 to 399 do
+    let k = Printf.sprintf "ev%04d" (Rng.int rng 200) in
+    (match Rng.int rng 3 with
+    | 0 ->
+        Hart.insert h ~key:k ~value:(string_of_int i);
+        model := SMap.add k (string_of_int i) !model
+    | 1 ->
+        if Hart.update h ~key:k ~value:"u" then model := SMap.add k "u" !model
+    | _ ->
+        ignore (Hart.delete h k);
+        model := SMap.remove k !model);
+    Pmem.evict_random pool rng ~fraction:0.3
+  done;
+  Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  Alcotest.(check int) "all committed data back" (SMap.cardinal !model)
+    (Hart.count h');
+  SMap.iter
+    (fun k v -> Alcotest.(check (option string)) k (Some v) (Hart.search h' k))
+    !model
+
+let test_pool_image_reboot_cycle () =
+  (* save -> load -> recover across simulated process restarts *)
+  let h, pool = fresh_hart () in
+  for i = 0 to 99 do
+    Hart.insert h ~key:(Printf.sprintf "pi%03d" i) ~value:(string_of_int i)
+  done;
+  Pmem.persist_all pool;
+  let path = Filename.temp_file "hart_core" ".pm" in
+  Pmem.save pool path;
+  let pool2 = Pmem.load (Meter.create Latency.c300_100) path in
+  let h2 = Hart.recover pool2 in
+  Alcotest.(check int) "first reboot" 100 (Hart.count h2);
+  ignore (Hart.delete h2 "pi000");
+  Hart.insert h2 ~key:"pi100" ~value:"100";
+  Pmem.persist_all pool2;
+  Pmem.save pool2 path;
+  let pool3 = Pmem.load (Meter.create Latency.c300_100) path in
+  let h3 = Hart.recover pool3 in
+  Alcotest.(check int) "second reboot" 100 (Hart.count h3);
+  Alcotest.(check (option string)) "deleted stays deleted" None (Hart.search h3 "pi000");
+  Alcotest.(check (option string)) "new key survives" (Some "100") (Hart.search h3 "pi100");
+  Hart.check_integrity h3;
+  Sys.remove path
+
+let test_double_recovery () =
+  let h, pool = fresh_hart () in
+  for i = 0 to 99 do
+    Hart.insert h ~key:(Printf.sprintf "dr%03d" i) ~value:"v"
+  done;
+  Pmem.crash pool;
+  let h1 = Hart.recover pool in
+  Alcotest.(check int) "first recovery" 100 (Hart.count h1);
+  Pmem.crash pool;
+  let h2 = Hart.recover pool in
+  Alcotest.(check int) "second recovery" 100 (Hart.count h2);
+  Hart.check_integrity h2
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock and Hart_mt                                                  *)
+
+let test_rwlock_exclusion () =
+  let l = Rwlock.create () in
+  Rwlock.write_lock l;
+  Alcotest.(check bool) "writer active" true (Rwlock.writer_active l);
+  Rwlock.write_unlock l;
+  Rwlock.read_lock l;
+  Rwlock.read_lock l;
+  Alcotest.(check int) "two readers" 2 (Rwlock.readers l);
+  Rwlock.read_unlock l;
+  Rwlock.read_unlock l;
+  Alcotest.(check int) "released" 0 (Rwlock.readers l)
+
+let test_rwlock_writer_blocks_readers () =
+  let l = Rwlock.create () in
+  let hits = Atomic.make 0 in
+  Rwlock.write_lock l;
+  let reader =
+    Domain.spawn (fun () ->
+        Rwlock.with_read l (fun () -> Atomic.incr hits))
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check int) "reader blocked while writer holds" 0 (Atomic.get hits);
+  Rwlock.write_unlock l;
+  Domain.join reader;
+  Alcotest.(check int) "reader ran after release" 1 (Atomic.get hits)
+
+let test_rwlock_counter_race () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Rwlock.with_write l (fun () -> counter := !counter + 1)
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost updates" 4000 !counter
+
+let test_hart_mt_basic () =
+  let pool = fresh_pool () in
+  let h = Hart_mt.create pool in
+  Hart_mt.insert h ~key:"mtkey" ~value:"v";
+  Alcotest.(check (option string)) "search" (Some "v") (Hart_mt.search h "mtkey");
+  Alcotest.(check bool) "update" true (Hart_mt.update h ~key:"mtkey" ~value:"w");
+  Alcotest.(check bool) "delete" true (Hart_mt.delete h "mtkey");
+  Alcotest.(check int) "count" 0 (Hart_mt.count h)
+
+let test_hart_mt_concurrent_inserts () =
+  let pool = fresh_pool () in
+  let h = Hart_mt.create pool in
+  let n_domains = 4 and per = 500 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Hart_mt.insert h
+                ~key:(Printf.sprintf "d%d-%04d" d i)
+                ~value:(string_of_int i)
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "all inserted" (n_domains * per) (Hart_mt.count h);
+  for d = 0 to n_domains - 1 do
+    for i = 0 to per - 1 do
+      let k = Printf.sprintf "d%d-%04d" d i in
+      if Hart_mt.search h k <> Some (string_of_int i) then
+        Alcotest.failf "lost key %s" k
+    done
+  done;
+  Hart.check_integrity (Hart_mt.underlying h)
+
+let test_hart_mt_mixed_stress () =
+  let pool = fresh_pool () in
+  let h = Hart_mt.create pool in
+  for i = 0 to 199 do
+    Hart_mt.insert h ~key:(Printf.sprintf "mx%04d" i) ~value:"init"
+  done;
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create (Int64.of_int (100 + d)) in
+            for _ = 1 to 1000 do
+              let k = Printf.sprintf "mx%04d" (Rng.int rng 200) in
+              match Rng.int rng 4 with
+              | 0 -> Hart_mt.insert h ~key:k ~value:(Printf.sprintf "d%d" d)
+              | 1 -> ignore (Hart_mt.search h k)
+              | 2 -> ignore (Hart_mt.update h ~key:k ~value:"u")
+              | _ -> ignore (Hart_mt.delete h k)
+            done))
+  in
+  List.iter Domain.join workers;
+  Hart.check_integrity (Hart_mt.underlying h)
+
+let test_hart_mt_lock_mapping () =
+  let pool = fresh_pool () in
+  let h = Hart_mt.create pool in
+  let l1 = Hart_mt.art_lock h "AAkey1" in
+  let l2 = Hart_mt.art_lock h "AAkey2" in
+  let l3 = Hart_mt.art_lock h "BBkey1" in
+  Alcotest.(check bool) "same prefix -> same lock" true (l1 == l2);
+  Alcotest.(check bool) "different prefix -> different lock" true (l1 != l3)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "hash_dir",
+        [
+          Alcotest.test_case "basic" `Quick test_dir_basic;
+          Alcotest.test_case "remove" `Quick test_dir_remove;
+          Alcotest.test_case "grows" `Quick test_dir_grows;
+          QCheck_alcotest.to_alcotest qcheck_dir_vs_hashtbl;
+        ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "classes and sizes" `Quick test_chunk_classes;
+          Alcotest.test_case "header fields" `Quick test_chunk_header_fields;
+          Alcotest.test_case "header durable" `Quick test_chunk_header_durable;
+          Alcotest.test_case "pnext durable" `Quick test_chunk_pnext;
+          Alcotest.test_case "iter_live" `Quick test_chunk_iter_live;
+        ] );
+      ( "epalloc",
+        [
+          Alcotest.test_case "distinct objects" `Quick test_epalloc_distinct_objects;
+          Alcotest.test_case "no double hand-out" `Quick test_epalloc_no_double_handout;
+          Alcotest.test_case "cancel reservation" `Quick test_epalloc_cancel_reservation;
+          Alcotest.test_case "slot reuse after reset" `Quick test_epalloc_slot_reuse_after_reset;
+          Alcotest.test_case "chunk_of_obj" `Quick test_epalloc_chunk_of_obj;
+          Alcotest.test_case "class_of_value_obj" `Quick test_epalloc_class_of_value_obj;
+          Alcotest.test_case "recycle returns space" `Quick test_eprecycle_returns_space;
+          Alcotest.test_case "recycle mid-list" `Quick test_eprecycle_middle_of_list;
+          Alcotest.test_case "recycle refuses non-empty" `Quick test_eprecycle_refuses_nonempty;
+          Alcotest.test_case "attach rebuilds" `Quick test_epalloc_attach_rebuilds;
+          Alcotest.test_case "attach rejects garbage" `Quick test_epalloc_attach_rejects_garbage;
+          Alcotest.test_case "leaf slot repair" `Quick test_epalloc_leaf_repair;
+          QCheck_alcotest.to_alcotest qcheck_epalloc_model;
+          QCheck_alcotest.to_alcotest qcheck_chunk_header_roundtrip;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "leaf" `Quick test_leaf_codec;
+          Alcotest.test_case "leaf key limit" `Quick test_leaf_key_limit;
+          Alcotest.test_case "value object" `Quick test_value_codec;
+        ] );
+      ( "microlog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_microlog_roundtrip;
+          Alcotest.test_case "durability" `Quick test_microlog_durability;
+          Alcotest.test_case "recycle class tag" `Quick test_microlog_recycle_class;
+          Alcotest.test_case "exhaustion" `Quick test_microlog_exhaustion;
+        ] );
+      ( "hart",
+        [
+          Alcotest.test_case "insert/search" `Quick test_hart_insert_search;
+          Alcotest.test_case "insert is upsert" `Quick test_hart_insert_is_upsert;
+          Alcotest.test_case "update" `Quick test_hart_update;
+          Alcotest.test_case "update changes size class" `Quick test_hart_update_changes_class;
+          Alcotest.test_case "delete" `Quick test_hart_delete;
+          Alcotest.test_case "delete frees empty ART" `Quick test_hart_delete_frees_empty_art;
+          Alcotest.test_case "short keys" `Quick test_hart_short_keys;
+          Alcotest.test_case "key/value limits" `Quick test_hart_key_limits;
+          Alcotest.test_case "empty value" `Quick test_hart_empty_value;
+          Alcotest.test_case "split_key" `Quick test_hart_split_key;
+          Alcotest.test_case "kh variants" `Quick test_hart_kh_variants;
+          Alcotest.test_case "cross-ART range" `Quick test_hart_range;
+          Alcotest.test_case "iter" `Quick test_hart_iter;
+          Alcotest.test_case "fold/min/max" `Quick test_hart_fold_min_max;
+          Alcotest.test_case "stats" `Quick test_hart_stats;
+          Alcotest.test_case "memory accounting" `Quick test_hart_memory_accounting;
+          QCheck_alcotest.to_alcotest qcheck_hart_vs_map;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "insert crash sweep" `Quick test_insert_crash_sweep;
+          Alcotest.test_case "update crash sweep" `Quick test_update_crash_sweep;
+          Alcotest.test_case "delete crash sweep" `Quick test_delete_crash_sweep;
+          Alcotest.test_case "recycle crash sweep" `Quick test_recycle_crash_sweep;
+          Alcotest.test_case "ulog state: PLeaf only" `Quick test_ulog_state_pleaf_only;
+          Alcotest.test_case "ulog state: PLeaf+POldV" `Quick test_ulog_state_pleaf_poldv;
+          Alcotest.test_case "ulog state: all three (redo)" `Quick test_ulog_state_all_three;
+          Alcotest.test_case "ulog replay idempotent" `Quick test_ulog_replay_is_idempotent;
+          Alcotest.test_case "rlog head unlink" `Quick test_rlog_recovery_head_unlink;
+          QCheck_alcotest.to_alcotest qcheck_crash_anywhere;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "empty pool" `Quick test_recover_empty;
+          Alcotest.test_case "kh persisted" `Quick test_recover_preserves_kh;
+          Alcotest.test_case "recover then operate" `Quick test_recover_then_operate;
+          Alcotest.test_case "double recovery" `Quick test_double_recovery;
+          Alcotest.test_case "crash during recovery" `Quick test_crash_during_recovery;
+          Alcotest.test_case "eviction robustness" `Quick test_eviction_does_not_break_protocol;
+          Alcotest.test_case "pool image reboot cycle" `Quick test_pool_image_reboot_cycle;
+          QCheck_alcotest.to_alcotest qcheck_hart_recovery;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "rwlock exclusion" `Quick test_rwlock_exclusion;
+          Alcotest.test_case "rwlock blocks readers" `Quick test_rwlock_writer_blocks_readers;
+          Alcotest.test_case "rwlock counter race" `Quick test_rwlock_counter_race;
+          Alcotest.test_case "hart_mt basic" `Quick test_hart_mt_basic;
+          Alcotest.test_case "hart_mt concurrent inserts" `Quick test_hart_mt_concurrent_inserts;
+          Alcotest.test_case "hart_mt mixed stress" `Quick test_hart_mt_mixed_stress;
+          Alcotest.test_case "hart_mt lock mapping" `Quick test_hart_mt_lock_mapping;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Keygen = Hart_workloads.Keygen
+module Workload = Hart_workloads.Workload
+module Runner = Hart_harness.Runner
+module Mt_sim = Hart_harness.Mt_sim
+module Report = Hart_harness.Report
+module Rng = Hart_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+let test_runner_make_all () =
+  List.iter
+    (fun tree ->
+      let inst = Runner.make tree Latency.c300_300 in
+      inst.Runner.ops.Hart_baselines.Index_intf.insert ~key:"probe" ~value:"v";
+      Alcotest.(check (option string))
+        (Runner.tree_name tree ^ " works")
+        (Some "v")
+        (inst.Runner.ops.Hart_baselines.Index_intf.search "probe"))
+    Runner.all_trees
+
+let test_runner_measure () =
+  let inst = Runner.make Runner.HART Latency.c300_300 in
+  let keys = Keygen.generate Keygen.Random 1000 in
+  let m = Runner.measure inst (Workload.insert_trace keys Keygen.value_for) in
+  Alcotest.(check int) "op count" 1000 m.Runner.n_ops;
+  Alcotest.(check bool) "simulated time advanced" true (m.Runner.sim_ns > 0.);
+  Alcotest.(check bool) "avg in a sane band (0.1-100 us)" true
+    (Runner.avg_us m > 0.1 && Runner.avg_us m < 100.);
+  Alcotest.(check bool) "flush events recorded" true
+    (m.Runner.counters.Meter.flushes > 0)
+
+let test_runner_measure_is_delta () =
+  let inst = Runner.make Runner.HART Latency.c300_300 in
+  let keys = Keygen.generate Keygen.Random 500 in
+  Runner.preload inst keys Keygen.value_for;
+  let m = Runner.measure inst (Workload.search_trace keys) in
+  (* searches flush nothing: the preload's flushes must not leak into
+     the measured delta *)
+  Alcotest.(check int) "no flushes during search" 0 m.Runner.counters.Meter.flushes
+
+let test_runner_names () =
+  List.iter
+    (fun tree ->
+      match Runner.of_tree_name (Runner.tree_name tree) with
+      | Some t ->
+          Alcotest.(check string) "roundtrip" (Runner.tree_name tree)
+            (Runner.tree_name t)
+      | None -> Alcotest.fail "tree name roundtrip")
+    Runner.all_trees
+
+(* ------------------------------------------------------------------ *)
+(* Latency ordering: the simulated clock must respect the configs      *)
+
+let test_latency_monotone () =
+  let avg config =
+    let inst = Runner.make Runner.HART config in
+    let keys = Keygen.generate Keygen.Random 2000 in
+    Runner.avg_us (Runner.measure inst (Workload.insert_trace keys Keygen.value_for))
+  in
+  let a = avg Latency.c300_100 and b = avg Latency.c300_300 and c = avg Latency.c600_300 in
+  Alcotest.(check bool)
+    (Printf.sprintf "300/100 (%.2f) <= 300/300 (%.2f) < 600/300 (%.2f)" a b c)
+    true
+    (a <= b && b < c)
+
+(* ------------------------------------------------------------------ *)
+(* Mt_sim                                                              *)
+
+let uniform_trace ~arts ~n ~write seed =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> (Rng.int rng arts, write))
+
+let test_mt_sim_single_thread_baseline () =
+  let trace = uniform_trace ~arts:1000 ~n:50_000 ~write:true 1L in
+  let miops = Mt_sim.simulate ~threads:1 ~trace ~svc_ns:1000. () in
+  (* 1000 ns/op single-threaded = 1 MIOPS exactly *)
+  Alcotest.(check bool) "1 MIOPS" true (abs_float (miops -. 1.0) < 0.01)
+
+let test_mt_sim_scales_with_many_arts () =
+  let trace = uniform_trace ~arts:4000 ~n:100_000 ~write:true 2L in
+  let m1 = Mt_sim.simulate ~threads:1 ~trace ~svc_ns:1000. () in
+  let m2 = Mt_sim.simulate ~threads:2 ~trace ~svc_ns:1000. () in
+  let m8 = Mt_sim.simulate ~threads:8 ~trace ~svc_ns:1000. () in
+  let s2 = m2 /. m1 and s8 = m8 /. m1 in
+  Alcotest.(check bool) (Printf.sprintf "2 threads ~1.9x (%.2f)" s2) true
+    (s2 > 1.80 && s2 <= 2.0);
+  Alcotest.(check bool) (Printf.sprintf "8 threads ~7x (%.2f)" s8) true
+    (s8 > 6.5 && s8 <= 8.0)
+
+let test_mt_sim_ht_tax () =
+  let trace = uniform_trace ~arts:4000 ~n:100_000 ~write:true 3L in
+  let m1 = Mt_sim.simulate ~threads:1 ~trace ~svc_ns:1000. () in
+  let m16 = Mt_sim.simulate ~threads:16 ~trace ~svc_ns:1000. () in
+  let s16 = m16 /. m1 in
+  (* the paper reports 10.7-11.9x at 16 threads *)
+  Alcotest.(check bool) (Printf.sprintf "16 threads ~11x (%.2f)" s16) true
+    (s16 > 9.5 && s16 < 13.)
+
+let test_mt_sim_writer_contention () =
+  (* all writes on ONE art cannot scale *)
+  let trace = uniform_trace ~arts:1 ~n:20_000 ~write:true 4L in
+  let m1 = Mt_sim.simulate ~threads:1 ~trace ~svc_ns:1000. () in
+  let m8 = Mt_sim.simulate ~threads:8 ~trace ~svc_ns:1000. () in
+  Alcotest.(check bool) "serialised writers do not scale" true (m8 /. m1 < 1.1)
+
+let test_mt_sim_readers_share () =
+  (* reads on ONE art still scale: readers share the lock *)
+  let trace = uniform_trace ~arts:1 ~n:20_000 ~write:false 5L in
+  let m1 = Mt_sim.simulate ~threads:1 ~trace ~svc_ns:1000. () in
+  let m8 = Mt_sim.simulate ~threads:8 ~trace ~svc_ns:1000. () in
+  Alcotest.(check bool) "shared readers scale" true (m8 /. m1 > 6.)
+
+let test_mt_sim_validation () =
+  Alcotest.(check bool) "0 threads rejected" true
+    (match Mt_sim.simulate ~threads:0 ~trace:[||] ~svc_ns:1. () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let test_report_ratio () =
+  Alcotest.(check (float 1e-9)) "2x" 2.0 (Report.ratio 4.0 2.0);
+  Alcotest.(check (float 1e-9)) "degenerate" 0.0 (Report.ratio 0.0 2.0);
+  Alcotest.(check string) "formatting" "1.235" (Report.fmt_f 1.23456)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end smoke: the experiment drivers run at a tiny scale        *)
+
+let with_captured_stdout f =
+  let saved = Unix.dup Unix.stdout in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 null Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close null)
+    f
+
+let test_experiments_smoke () =
+  with_captured_stdout (fun () ->
+      Hart_harness.Exp_mixed.run ~scale:0.02;
+      Hart_harness.Exp_range.run ~scale:0.02;
+      Hart_harness.Exp_memory.run ~scale:0.02;
+      Hart_harness.Exp_recovery.run ~scale:0.02;
+      Hart_harness.Exp_scalability.run ~scale:0.02;
+      Hart_harness.Exp_ablation.run ~scale:0.02)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "make all trees" `Quick test_runner_make_all;
+          Alcotest.test_case "measure" `Quick test_runner_measure;
+          Alcotest.test_case "measure is a delta" `Quick test_runner_measure_is_delta;
+          Alcotest.test_case "tree names" `Quick test_runner_names;
+          Alcotest.test_case "latency configs order the clock" `Quick test_latency_monotone;
+        ] );
+      ( "mt_sim",
+        [
+          Alcotest.test_case "single-thread baseline" `Quick test_mt_sim_single_thread_baseline;
+          Alcotest.test_case "scales with many ARTs" `Quick test_mt_sim_scales_with_many_arts;
+          Alcotest.test_case "hyper-threading tax" `Quick test_mt_sim_ht_tax;
+          Alcotest.test_case "writer contention serialises" `Quick test_mt_sim_writer_contention;
+          Alcotest.test_case "readers share" `Quick test_mt_sim_readers_share;
+          Alcotest.test_case "validation" `Quick test_mt_sim_validation;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "ratio and formatting" `Quick test_report_ratio ] );
+      ( "experiments",
+        [ Alcotest.test_case "smoke run all drivers" `Quick test_experiments_smoke ] );
+    ]

@@ -1,0 +1,454 @@
+module Rng = Hart_util.Rng
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+
+let fresh ?(capacity = 1 lsl 16) () =
+  let meter = Meter.create Latency.c300_300 in
+  (Pmem.create ~capacity meter, meter)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let test_alloc_distinct () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 100 and b = Pmem.alloc pool 100 in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "aligned" true (a mod 64 = 0 && b mod 64 = 0);
+  Alcotest.(check bool) "null reserved" true (a > 0 && b > 0)
+
+let test_alloc_zeroed () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  for i = 0 to 63 do
+    Alcotest.(check int) "zero" 0 (Pmem.get_u8 pool (off + i))
+  done
+
+let test_alloc_reuse_after_free () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool a 99L;
+  Pmem.free pool ~off:a ~len:128;
+  let b = Pmem.alloc pool 128 in
+  Alcotest.(check int) "region recycled" a b;
+  Alcotest.(check int64) "recycled space zeroed" 0L (Pmem.get_u64 pool b)
+
+let test_live_bytes () =
+  let pool, _ = fresh () in
+  let base = Pmem.live_bytes pool in
+  let a = Pmem.alloc pool 100 in
+  Alcotest.(check int) "rounded to line" (base + 128) (Pmem.live_bytes pool);
+  Pmem.free pool ~off:a ~len:100;
+  Alcotest.(check int) "returns to base" base (Pmem.live_bytes pool)
+
+let test_alloc_grows () =
+  let pool, _ = fresh ~capacity:4096 () in
+  let off = Pmem.alloc pool 100_000 in
+  Pmem.set_u64 pool (off + 99_000) 7L;
+  Alcotest.(check int64) "write beyond initial capacity" 7L
+    (Pmem.get_u64 pool (off + 99_000))
+
+let test_alloc_grow_preserves () =
+  let pool, _ = fresh ~capacity:4096 () in
+  let a = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool a 41L;
+  Pmem.persist pool ~off:a ~len:8;
+  ignore (Pmem.alloc pool 1 lsl 20);
+  Alcotest.(check int64) "cache preserved" 41L (Pmem.get_u64 pool a);
+  Alcotest.(check int64) "shadow preserved" 41L (Pmem.read_shadow_u64 pool a)
+
+let test_alloc_cap () =
+  let meter = Meter.create Latency.c300_300 in
+  let pool = Pmem.create ~capacity:4096 ~max_capacity:8192 meter in
+  Alcotest.check_raises "out of PM" Pmem.Out_of_memory_pm (fun () ->
+      ignore (Pmem.alloc pool 100_000))
+
+(* ------------------------------------------------------------------ *)
+(* Loads, stores, persistence                                          *)
+
+let test_u64_roundtrip () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 0x1122334455667788L;
+  Alcotest.(check int64) "roundtrip" 0x1122334455667788L (Pmem.get_u64 pool off)
+
+let test_string_roundtrip () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_string pool ~off "hello, persistent world";
+  Alcotest.(check string) "roundtrip" "hello, persistent world"
+    (Pmem.get_string pool ~off ~len:23)
+
+let test_bounds_checked () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Alcotest.(check bool) "oob get raises" true
+    (match Pmem.get_u64 pool (off + 1 lsl 20) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative offset raises" true
+    (match Pmem.get_u8 pool (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_persist_reaches_shadow () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 5L;
+  Alcotest.(check int64) "shadow stale before persist" 0L (Pmem.read_shadow_u64 pool off);
+  Pmem.persist pool ~off ~len:8;
+  Alcotest.(check int64) "shadow updated" 5L (Pmem.read_shadow_u64 pool off)
+
+let test_crash_drops_unflushed () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 64 and b = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool a 1L;
+  Pmem.persist pool ~off:a ~len:8;
+  Pmem.set_u64 pool b 2L;
+  (* b not persisted *)
+  Pmem.crash pool;
+  Alcotest.(check int64) "persisted survives" 1L (Pmem.get_u64 pool a);
+  Alcotest.(check int64) "unflushed lost" 0L (Pmem.get_u64 pool b)
+
+let test_crash_line_granularity () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 128 in
+  (* two lines: persist only the first *)
+  Pmem.set_u64 pool off 10L;
+  Pmem.set_u64 pool (off + 64) 20L;
+  Pmem.persist pool ~off ~len:8;
+  Pmem.crash pool;
+  Alcotest.(check int64) "line 0 kept" 10L (Pmem.get_u64 pool off);
+  Alcotest.(check int64) "line 1 lost" 0L (Pmem.get_u64 pool (off + 64))
+
+let test_rewrite_after_persist () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  Pmem.set_u64 pool off 2L;
+  Pmem.crash pool;
+  Alcotest.(check int64) "earlier persisted value restored" 1L (Pmem.get_u64 pool off)
+
+let test_dirty_line_count () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 256 in
+  Alcotest.(check int) "clean" 0 (Pmem.dirty_line_count pool);
+  Pmem.set_u8 pool off 1;
+  Pmem.set_u8 pool (off + 64) 1;
+  Alcotest.(check int) "two dirty lines" 2 (Pmem.dirty_line_count pool);
+  Pmem.persist pool ~off ~len:128;
+  Alcotest.(check int) "clean after persist" 0 (Pmem.dirty_line_count pool)
+
+let test_persist_all () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 1024 in
+  for i = 0 to 15 do
+    Pmem.set_u64 pool (off + (i * 64)) (Int64.of_int i)
+  done;
+  Pmem.persist_all pool;
+  Pmem.crash pool;
+  for i = 0 to 15 do
+    Alcotest.(check int64) "all persisted" (Int64.of_int i)
+      (Pmem.get_u64 pool (off + (i * 64)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection and eviction                                        *)
+
+let test_arm_crash_immediate () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 3L;
+  Pmem.arm_crash pool ~after_flushes:0;
+  Alcotest.check_raises "injected" Pmem.Crash_injected (fun () ->
+      Pmem.persist pool ~off ~len:8);
+  Alcotest.(check int64) "store lost" 0L (Pmem.get_u64 pool off)
+
+let test_arm_crash_after_n () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 256 in
+  (* four dirty lines, crash allowed after 2 flushes *)
+  for i = 0 to 3 do
+    Pmem.set_u64 pool (off + (i * 64)) 9L
+  done;
+  Pmem.arm_crash pool ~after_flushes:2;
+  (try Pmem.persist pool ~off ~len:256 with Pmem.Crash_injected -> ());
+  let survived = ref 0 in
+  for i = 0 to 3 do
+    if Pmem.get_u64 pool (off + (i * 64)) = 9L then incr survived
+  done;
+  Alcotest.(check int) "exactly two lines persisted" 2 !survived
+
+let test_disarm_crash () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 4L;
+  Pmem.arm_crash pool ~after_flushes:0;
+  Pmem.disarm_crash pool;
+  Pmem.persist pool ~off ~len:8;
+  Alcotest.(check int64) "persisted normally" 4L (Pmem.read_shadow_u64 pool off)
+
+let test_evict_random () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool (64 * 64) in
+  for i = 0 to 63 do
+    Pmem.set_u64 pool (off + (i * 64)) 1L
+  done;
+  let rng = Rng.create 42L in
+  Pmem.evict_random pool rng ~fraction:0.5;
+  let dirty = Pmem.dirty_line_count pool in
+  Alcotest.(check bool) "some evicted, some not" true (dirty > 0 && dirty < 64);
+  Pmem.crash pool;
+  let survived = ref 0 in
+  for i = 0 to 63 do
+    if Pmem.get_u64 pool (off + (i * 64)) = 1L then incr survived
+  done;
+  Alcotest.(check int) "evicted lines survive the crash" (64 - dirty) !survived
+
+(* ------------------------------------------------------------------ *)
+(* Pool images                                                         *)
+
+let tmpfile () = Filename.temp_file "hart_pool" ".pm"
+
+let test_save_load_roundtrip () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool a 11L;
+  Pmem.set_string pool ~off:(a + 64) "persisted-string";
+  Pmem.persist pool ~off:a ~len:128;
+  let path = tmpfile () in
+  Pmem.save pool path;
+  let pool' = Pmem.load (Meter.create Latency.c300_300) path in
+  Alcotest.(check int64) "u64 back" 11L (Pmem.get_u64 pool' a);
+  Alcotest.(check string) "string back" "persisted-string"
+    (Pmem.get_string pool' ~off:(a + 64) ~len:16);
+  Alcotest.(check int) "live bytes preserved" (Pmem.live_bytes pool)
+    (Pmem.live_bytes pool');
+  Sys.remove path
+
+let test_save_excludes_unflushed () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool a 42L;
+  (* no persist: saving is a power-off *)
+  let path = tmpfile () in
+  Pmem.save pool path;
+  let pool' = Pmem.load (Meter.create Latency.c300_300) path in
+  Alcotest.(check int64) "unflushed store lost" 0L (Pmem.get_u64 pool' a);
+  Sys.remove path
+
+let test_load_free_list_survives () =
+  let pool, _ = fresh () in
+  let a = Pmem.alloc pool 128 in
+  ignore (Pmem.alloc pool 128);
+  Pmem.free pool ~off:a ~len:128;
+  let path = tmpfile () in
+  Pmem.save pool path;
+  let pool' = Pmem.load (Meter.create Latency.c300_300) path in
+  Alcotest.(check int) "freed region reissued after reload" a
+    (Pmem.alloc pool' 128);
+  Sys.remove path
+
+let test_load_rejects_garbage () =
+  let path = tmpfile () in
+  let oc = open_out_bin path in
+  output_string oc "this is not a pool image";
+  close_out oc;
+  Alcotest.(check bool) "garbage rejected" true
+    (match Pmem.load (Meter.create Latency.c300_300) path with
+    | _ -> false
+    | exception Failure _ -> true);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Metering                                                            *)
+
+let test_meter_flush_counts () =
+  let pool, meter = fresh () in
+  let off = Pmem.alloc pool 256 in
+  let before = Meter.counters meter in
+  Pmem.set_u64 pool off 1L;
+  Pmem.set_u64 pool (off + 64) 1L;
+  Pmem.persist pool ~off ~len:128;
+  let d = Meter.diff before (Meter.counters meter) in
+  Alcotest.(check int) "two flushes" 2 d.Meter.flushes;
+  Alcotest.(check int) "two fences" 2 d.Meter.fences;
+  Alcotest.(check int) "one persistent() call" 1 d.Meter.persist_calls
+
+let test_meter_clean_persist_free () =
+  let pool, meter = fresh () in
+  let off = Pmem.alloc pool 64 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  let before = Meter.counters meter in
+  Pmem.persist pool ~off ~len:8;
+  let d = Meter.diff before (Meter.counters meter) in
+  Alcotest.(check int) "no flush for a clean line" 0 d.Meter.flushes
+
+let test_meter_sim_clock_charges () =
+  let pool, meter = fresh () in
+  let off = Pmem.alloc pool 64 in
+  let t0 = Meter.sim_ns meter in
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  Alcotest.(check bool) "clock advanced by at least the PM write" true
+    (Meter.sim_ns meter -. t0 >= 300.)
+
+let test_meter_cache_hit_vs_miss () =
+  let meter = Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_300 in
+  let pool = Pmem.create meter in
+  let off = Pmem.alloc pool 64 in
+  let c0 = Meter.counters meter in
+  ignore (Pmem.get_u64 pool off);
+  let c1 = Meter.counters meter in
+  ignore (Pmem.get_u64 pool off);
+  let c2 = Meter.counters meter in
+  Alcotest.(check int) "first read misses" 1
+    (Meter.diff c0 c1).Meter.pm_read_misses;
+  Alcotest.(check int) "second read hits" 0
+    (Meter.diff c1 c2).Meter.pm_read_misses
+
+let test_meter_flush_invalidates_cache () =
+  let meter = Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_300 in
+  let pool = Pmem.create meter in
+  let off = Pmem.alloc pool 64 in
+  ignore (Pmem.get_u64 pool off);
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  let before = Meter.counters meter in
+  ignore (Pmem.get_u64 pool off);
+  let d = Meter.diff before (Meter.counters meter) in
+  Alcotest.(check int) "CLFLUSH evicted the line: read misses again" 1
+    d.Meter.pm_read_misses
+
+let test_meter_dram_accounting () =
+  let meter = Meter.create Latency.c300_300 in
+  let a = Meter.dram_alloc meter 100 in
+  let _b = Meter.dram_alloc meter 200 in
+  Alcotest.(check int) "live bytes" 300 (Meter.dram_live_bytes meter);
+  Meter.dram_free meter ~addr:a ~size:100;
+  Alcotest.(check int) "after free" 200 (Meter.dram_live_bytes meter)
+
+let test_meter_latency_configs () =
+  List.iter
+    (fun (cfg : Latency.config) ->
+      let meter = Meter.create cfg in
+      let pool = Pmem.create meter in
+      let off = Pmem.alloc pool 64 in
+      Pmem.set_u64 pool off 1L;
+      let t0 = Meter.sim_ns meter in
+      Pmem.persist pool ~off ~len:8;
+      let dt = Meter.sim_ns meter -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: flush costs >= pm_write" cfg.Latency.name)
+        true
+        (dt >= cfg.Latency.pm_write_ns))
+    Latency.all
+
+let test_latency_equations () =
+  (* equation (1): stalled cycles scale by (L_PM - L_DRAM)/L_DRAM *)
+  let c = Latency.c600_300 in
+  Alcotest.(check (float 1e-9)) "eq (1)" 2e6
+    (Latency.stall_cycles ~stalled:1e6 c);
+  (* at equal latencies (300/100) the read-side correction vanishes *)
+  Alcotest.(check (float 1e-9)) "eq (1) vanishes at 300/100" 0.
+    (Latency.stall_cycles ~stalled:1e6 Latency.c300_100);
+  (* equation (2): divide by CPU frequency (the paper's 2.6 GHz Xeon) *)
+  let s = Latency.extra_read_latency_s ~stalled:2.6e9 ~cpu_hz:2.6e9 c in
+  Alcotest.(check (float 1e-9)) "eq (2)" 2.0 s
+
+let test_latency_by_name () =
+  Alcotest.(check bool) "300/100 resolves" true (Latency.by_name "300/100" <> None);
+  Alcotest.(check bool) "nonsense rejected" true (Latency.by_name "1/2" = None);
+  List.iter
+    (fun (c : Latency.config) ->
+      match Latency.by_name c.Latency.name with
+      | Some c' -> Alcotest.(check string) "roundtrip" c.Latency.name c'.Latency.name
+      | None -> Alcotest.fail "config not found by its own name")
+    Latency.all
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: the shadow image equals replaying only the
+   persisted stores.                                                   *)
+
+let qcheck_shadow_model =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (pair (int_bound 63) (pair (int_bound 255) bool)))
+  in
+  QCheck.Test.make ~count:200 ~name:"crash state = persisted prefix of stores"
+    (QCheck.make gen)
+    (fun script ->
+      let pool, _ = fresh () in
+      let off = Pmem.alloc pool (64 * 64) in
+      let model = Array.make 64 0 in
+      List.iter
+        (fun (slot, (v, do_persist)) ->
+          Pmem.set_u8 pool (off + (slot * 64)) v;
+          if do_persist then begin
+            Pmem.persist pool ~off:(off + (slot * 64)) ~len:1;
+            model.(slot) <- v
+          end)
+        script;
+      Pmem.crash pool;
+      let ok = ref true in
+      Array.iteri
+        (fun slot v -> if Pmem.get_u8 pool (off + (slot * 64)) <> v then ok := false)
+        model;
+      !ok)
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "distinct aligned offsets" `Quick test_alloc_distinct;
+          Alcotest.test_case "zero-filled" `Quick test_alloc_zeroed;
+          Alcotest.test_case "reuse after free" `Quick test_alloc_reuse_after_free;
+          Alcotest.test_case "live byte accounting" `Quick test_live_bytes;
+          Alcotest.test_case "grows on demand" `Quick test_alloc_grows;
+          Alcotest.test_case "growth preserves both views" `Quick test_alloc_grow_preserves;
+          Alcotest.test_case "capped pool raises" `Quick test_alloc_cap;
+        ] );
+      ( "stores",
+        [
+          Alcotest.test_case "u64 roundtrip" `Quick test_u64_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+          Alcotest.test_case "persist reaches shadow" `Quick test_persist_reaches_shadow;
+          Alcotest.test_case "dirty line count" `Quick test_dirty_line_count;
+          Alcotest.test_case "persist_all" `Quick test_persist_all;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "crash drops unflushed" `Quick test_crash_drops_unflushed;
+          Alcotest.test_case "line granularity" `Quick test_crash_line_granularity;
+          Alcotest.test_case "rewrite after persist" `Quick test_rewrite_after_persist;
+          Alcotest.test_case "armed crash, immediate" `Quick test_arm_crash_immediate;
+          Alcotest.test_case "armed crash after N flushes" `Quick test_arm_crash_after_n;
+          Alcotest.test_case "disarm" `Quick test_disarm_crash;
+          Alcotest.test_case "random eviction" `Quick test_evict_random;
+          QCheck_alcotest.to_alcotest qcheck_shadow_model;
+        ] );
+      ( "images",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "save excludes unflushed" `Quick test_save_excludes_unflushed;
+          Alcotest.test_case "free list survives reload" `Quick test_load_free_list_survives;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "flush/fence counts" `Quick test_meter_flush_counts;
+          Alcotest.test_case "clean persist is free" `Quick test_meter_clean_persist_free;
+          Alcotest.test_case "sim clock charges writes" `Quick test_meter_sim_clock_charges;
+          Alcotest.test_case "cache hit vs miss" `Quick test_meter_cache_hit_vs_miss;
+          Alcotest.test_case "CLFLUSH invalidates" `Quick test_meter_flush_invalidates_cache;
+          Alcotest.test_case "dram accounting" `Quick test_meter_dram_accounting;
+          Alcotest.test_case "latency configs charge" `Quick test_meter_latency_configs;
+          Alcotest.test_case "latency equations (1)-(2)" `Quick test_latency_equations;
+          Alcotest.test_case "latency by_name" `Quick test_latency_by_name;
+        ] );
+    ]

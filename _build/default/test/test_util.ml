@@ -1,0 +1,170 @@
+module Rng = Hart_util.Rng
+module Bits = Hart_util.Bits
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" false (Rng.next64 a = Rng.next64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7L in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next64 a) (Rng.next64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 3L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 9L in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r 5 16 in
+    Alcotest.(check bool) "in [5,16]" true (v >= 5 && v <= 16)
+  done
+
+let test_rng_int_covers_range () =
+  let r = Rng.create 11L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_bool_mixes () =
+  let r = Rng.create 6L in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 400 && !trues < 600)
+
+let test_rng_char_alnum () =
+  let r = Rng.create 8L in
+  for _ = 1 to 500 do
+    let c = Rng.char_alnum r in
+    let ok =
+      (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    in
+    Alcotest.(check bool) "alphanumeric" true ok
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 10L in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 12L in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.next64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_bits_set_clear () =
+  let w = ref 0L in
+  for i = 0 to 55 do
+    w := Bits.set !w i
+  done;
+  Alcotest.(check int) "56 bits" 56 (Bits.popcount !w);
+  for i = 0 to 55 do
+    Alcotest.(check bool) "set" true (Bits.test !w i)
+  done;
+  w := Bits.clear !w 17;
+  Alcotest.(check bool) "cleared" false (Bits.test !w 17);
+  Alcotest.(check int) "55 bits" 55 (Bits.popcount !w)
+
+let test_bits_lowest_zero () =
+  Alcotest.(check (option int)) "empty word" (Some 0) (Bits.lowest_zero 0L ~width:56);
+  Alcotest.(check (option int)) "bit 0 set" (Some 1) (Bits.lowest_zero 1L ~width:56);
+  let full = Int64.sub (Int64.shift_left 1L 56) 1L in
+  Alcotest.(check (option int)) "full" None (Bits.lowest_zero full ~width:56);
+  Alcotest.(check (option int))
+    "hole at 3"
+    (Some 3)
+    (Bits.lowest_zero (Bits.clear full 3) ~width:56)
+
+let test_bits_lowest_one () =
+  Alcotest.(check (option int)) "empty" None (Bits.lowest_one 0L ~width:56);
+  Alcotest.(check (option int)) "bit 5" (Some 5)
+    (Bits.lowest_one (Bits.set 0L 5) ~width:56)
+
+let test_bits_u64_roundtrip () =
+  let b = Bytes.make 32 '\000' in
+  Bits.set_u64 b 3 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "roundtrip" 0x0123456789ABCDEFL (Bits.get_u64 b 3)
+
+let qcheck_popcount_set =
+  QCheck.Test.make ~name:"popcount after set grows by 0 or 1" ~count:500
+    QCheck.(pair int64 (int_bound 63))
+    (fun (w, i) ->
+      let p = Bits.popcount w and p' = Bits.popcount (Bits.set w i) in
+      if Bits.test w i then p = p' else p' = p + 1)
+
+let qcheck_set_clear_inverse =
+  QCheck.Test.make ~name:"clear after set restores" ~count:500
+    QCheck.(pair int64 (int_bound 63))
+    (fun (w, i) ->
+      Bits.clear (Bits.set w i) i = Bits.clear w i
+      && Bits.set (Bits.clear w i) i = Bits.set w i)
+
+let qcheck_lowest_zero_is_zero =
+  QCheck.Test.make ~name:"lowest_zero returns a zero bit below width" ~count:500
+    QCheck.int64
+    (fun w ->
+      match Bits.lowest_zero w ~width:56 with
+      | None -> List.for_all (Bits.test w) (List.init 56 Fun.id)
+      | Some i -> i < 56 && not (Bits.test w i))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes;
+          Alcotest.test_case "char_alnum alphabet" `Quick test_rng_char_alnum;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "set/clear/test/popcount" `Quick test_bits_set_clear;
+          Alcotest.test_case "lowest_zero" `Quick test_bits_lowest_zero;
+          Alcotest.test_case "lowest_one" `Quick test_bits_lowest_one;
+          Alcotest.test_case "u64 roundtrip" `Quick test_bits_u64_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_popcount_set;
+          QCheck_alcotest.to_alcotest qcheck_set_clear_inverse;
+          QCheck_alcotest.to_alcotest qcheck_lowest_zero_is_zero;
+        ] );
+    ]

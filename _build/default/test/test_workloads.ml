@@ -1,0 +1,263 @@
+module Keygen = Hart_workloads.Keygen
+module Workload = Hart_workloads.Workload
+module Index_intf = Hart_baselines.Index_intf
+
+let distinct keys =
+  let h = Hashtbl.create (Array.length keys) in
+  Array.for_all
+    (fun k ->
+      if Hashtbl.mem h k then false
+      else begin
+        Hashtbl.add h k ();
+        true
+      end)
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* Key generators                                                      *)
+
+let test_sequential_ordered () =
+  let keys = Keygen.generate Keygen.Sequential 5000 in
+  Alcotest.(check int) "count" 5000 (Array.length keys);
+  Alcotest.(check bool) "distinct" true (distinct keys);
+  for i = 1 to 4999 do
+    if not (keys.(i - 1) < keys.(i)) then Alcotest.failf "not ordered at %d" i
+  done;
+  Array.iter
+    (fun k -> Alcotest.(check int) "fixed width" 8 (String.length k))
+    keys
+
+let test_sequential_shares_prefixes () =
+  let keys = Keygen.generate Keygen.Sequential 100 in
+  (* the first 62 keys share the 7-byte prefix: only the last byte moves *)
+  let prefix k = String.sub k 0 7 in
+  Alcotest.(check string) "stable prefix" (prefix keys.(0)) (prefix keys.(61))
+
+let test_random_properties () =
+  let keys = Keygen.generate Keygen.Random 5000 in
+  Alcotest.(check bool) "distinct" true (distinct keys);
+  Array.iter
+    (fun k ->
+      let n = String.length k in
+      if n < 5 || n > 16 then Alcotest.failf "length %d outside 5..16" n;
+      String.iter
+        (fun c ->
+          let ok =
+            (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+            || (c >= '0' && c <= '9')
+          in
+          if not ok then Alcotest.failf "bad character %C" c)
+        k)
+    keys
+
+let test_random_deterministic () =
+  let a = Keygen.generate ~seed:7L Keygen.Random 1000 in
+  let b = Keygen.generate ~seed:7L Keygen.Random 1000 in
+  let c = Keygen.generate ~seed:8L Keygen.Random 1000 in
+  Alcotest.(check bool) "same seed same keys" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_dictionary_properties () =
+  let keys = Keygen.generate Keygen.Dictionary 20_000 in
+  Alcotest.(check bool) "distinct" true (distinct keys);
+  Array.iter
+    (fun k ->
+      let n = String.length k in
+      if n < 1 || n > 24 then Alcotest.failf "word length %d outside 1..24" n;
+      String.iter
+        (fun c -> if not (c >= 'a' && c <= 'z') then Alcotest.failf "bad char %C" c)
+        k)
+    keys;
+  (* first-letter distribution must be skewed like English: the most
+     common initial should cover well over 1/26th of the words *)
+  let firsts = Array.make 26 0 in
+  Array.iter
+    (fun k -> firsts.(Char.code k.[0] - Char.code 'a') <- firsts.(Char.code k.[0] - Char.code 'a') + 1)
+    keys;
+  let top = Array.fold_left max 0 firsts in
+  Alcotest.(check bool) "skewed initials" true (top > 20_000 / 26 * 2)
+
+let test_dictionary_universe () =
+  Alcotest.(check bool) "supports the paper's 466k words" true
+    (Keygen.dictionary_universe >= 466_544);
+  Alcotest.(check bool) "overflow rejected" true
+    (match Keygen.generate Keygen.Dictionary (Keygen.dictionary_universe + 1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_value_sizes () =
+  Alcotest.(check int) "value_for is 7 bytes (Val8 class)" 7
+    (String.length (Keygen.value_for 123));
+  Alcotest.(check int) "wide_value_for is 15 bytes (Val16 class)" 15
+    (String.length (Keygen.wide_value_for 123))
+
+let test_spec_names () =
+  List.iter
+    (fun spec ->
+      match Keygen.of_name (Keygen.name spec) with
+      | Some s -> Alcotest.(check string) "roundtrip" (Keygen.name spec) (Keygen.name s)
+      | None -> Alcotest.fail "name roundtrip failed")
+    Keygen.all;
+  Alcotest.(check bool) "unknown rejected" true (Keygen.of_name "zipf" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                              *)
+
+let test_basic_traces () =
+  let keys = Keygen.generate Keygen.Random 500 in
+  let ins = Workload.insert_trace keys Keygen.value_for in
+  Alcotest.(check int) "one insert per key" 500 (Array.length ins);
+  let sea = Workload.search_trace keys in
+  let searched =
+    Array.map (function Workload.Search k -> k | _ -> Alcotest.fail "not a search") sea
+  in
+  Alcotest.(check bool) "search covers all keys" true
+    (List.sort compare (Array.to_list searched)
+    = List.sort compare (Array.to_list keys));
+  Alcotest.(check bool) "search order shuffled" true (searched <> keys)
+
+let test_ycsb_mix_ratios () =
+  let preloaded = Keygen.generate Keygen.Random 2000 in
+  let fresh = Keygen.generate ~seed:99L Keygen.Random 20_000 in
+  List.iter
+    (fun mix ->
+      let n_ops = 20_000 in
+      let trace = Workload.ycsb mix ~preloaded ~fresh ~n_ops in
+      let i = ref 0 and s = ref 0 and u = ref 0 and d = ref 0 in
+      Array.iter
+        (function
+          | Workload.Insert _ -> incr i
+          | Workload.Search _ -> incr s
+          | Workload.Update _ -> incr u
+          | Workload.Delete _ -> incr d)
+        trace;
+      let close pct count =
+        abs ((count * 100 / n_ops) - pct) <= 2 (* within 2 points *)
+      in
+      if not (close mix.Workload.insert_pct !i) then
+        Alcotest.failf "%s: insert share %d" mix.Workload.mix_name !i;
+      if not (close mix.Workload.search_pct !s) then
+        Alcotest.failf "%s: search share %d" mix.Workload.mix_name !s;
+      if not (close mix.Workload.update_pct !u) then
+        Alcotest.failf "%s: update share %d" mix.Workload.mix_name !u;
+      if not (close mix.Workload.delete_pct !d) then
+        Alcotest.failf "%s: delete share %d" mix.Workload.mix_name !d)
+    Workload.mixes
+
+let test_ycsb_uniform_coverage () =
+  let preloaded = Keygen.generate Keygen.Random 100 in
+  let fresh = Keygen.generate ~seed:99L Keygen.Random 1 in
+  let trace = Workload.ycsb Workload.read_modified_write ~preloaded ~fresh ~n_ops:10_000 in
+  let seen = Hashtbl.create 128 in
+  Array.iter
+    (function
+      | Workload.Search k | Workload.Update (k, _) -> Hashtbl.replace seen k ()
+      | Workload.Insert _ | Workload.Delete _ -> ())
+    trace;
+  Alcotest.(check bool) "uniform distribution touches every record" true
+    (Hashtbl.length seen = 100)
+
+let test_ycsb_validation () =
+  let preloaded = Keygen.generate Keygen.Random 100 in
+  Alcotest.(check bool) "too few fresh keys rejected" true
+    (match
+       Workload.ycsb Workload.write_intensive ~preloaded ~fresh:[||] ~n_ops:1000
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty preload rejected" true
+    (match
+       Workload.ycsb Workload.read_intensive ~preloaded:[||]
+         ~fresh:(Keygen.generate Keygen.Random 1000) ~n_ops:1000
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_zipf_sampler_shape () =
+  let rng = Hart_util.Rng.create 0x21FL in
+  let sample = Workload.zipf_sampler rng ~n:1000 ~s:0.99 in
+  let counts = Array.make 1000 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let k = sample () in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 0 must dominate: ~1/H_1000 = 13% of mass at s=0.99 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "head heavy (rank0=%d)" counts.(0))
+    true
+    (counts.(0) > draws / 20);
+  Alcotest.(check bool) "monotone-ish head" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "tail thin" true (counts.(999) < counts.(0) / 10)
+
+let test_zipf_sampler_validation () =
+  let rng = Hart_util.Rng.create 1L in
+  Alcotest.(check bool) "empty support rejected" true
+    (match Workload.zipf_sampler rng ~n:0 ~s:1.0 () with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad exponent rejected" true
+    (match Workload.zipf_sampler rng ~n:10 ~s:(-1.0) () with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ycsb_zipfian_skew () =
+  let preloaded = Keygen.generate Keygen.Random 1000 in
+  let fresh = Keygen.generate ~seed:99L Keygen.Random 1 in
+  let trace =
+    Workload.ycsb ~dist:(Workload.Zipfian 0.99) Workload.read_modified_write
+      ~preloaded ~fresh ~n_ops:20_000
+  in
+  let counts = Hashtbl.create 128 in
+  Array.iter
+    (function
+      | Workload.Search k | Workload.Update (k, _) ->
+          Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+      | Workload.Insert _ | Workload.Delete _ -> ())
+    trace;
+  let top =
+    Hashtbl.fold (fun _ c acc -> max acc c) counts 0
+  in
+  (* uniform would give ~20 per key; zipf must concentrate far more *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest key hit %d times" top)
+    true (top > 200)
+
+let test_apply_counts_hits () =
+  let pool = Hart_pmem.Pmem.create (Hart_pmem.Meter.create Hart_pmem.Latency.c300_100) in
+  let ops = Hart_baselines.Hart_index.ops (Hart_core.Hart.create pool) in
+  let keys = Keygen.generate Keygen.Random 100 in
+  let hits = Workload.apply ops (Workload.insert_trace keys Keygen.value_for) in
+  Alcotest.(check int) "all inserts counted" 100 hits;
+  let hits = Workload.apply ops (Workload.search_trace keys) in
+  Alcotest.(check int) "all searches hit" 100 hits;
+  let miss_trace = [| Workload.Search "absent-key"; Workload.Delete "nope" |] in
+  Alcotest.(check int) "misses not counted" 0 (Workload.apply ops miss_trace)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "keygen",
+        [
+          Alcotest.test_case "sequential ordered" `Quick test_sequential_ordered;
+          Alcotest.test_case "sequential prefixes" `Quick test_sequential_shares_prefixes;
+          Alcotest.test_case "random properties" `Quick test_random_properties;
+          Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "dictionary properties" `Quick test_dictionary_properties;
+          Alcotest.test_case "dictionary universe" `Quick test_dictionary_universe;
+          Alcotest.test_case "value sizes" `Quick test_value_sizes;
+          Alcotest.test_case "spec names" `Quick test_spec_names;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "basic traces" `Quick test_basic_traces;
+          Alcotest.test_case "ycsb mix ratios" `Quick test_ycsb_mix_ratios;
+          Alcotest.test_case "ycsb uniform coverage" `Quick test_ycsb_uniform_coverage;
+          Alcotest.test_case "ycsb validation" `Quick test_ycsb_validation;
+          Alcotest.test_case "zipf sampler shape" `Quick test_zipf_sampler_shape;
+          Alcotest.test_case "zipf sampler validation" `Quick test_zipf_sampler_validation;
+          Alcotest.test_case "ycsb zipfian skew" `Quick test_ycsb_zipfian_skew;
+          Alcotest.test_case "apply counts hits" `Quick test_apply_counts_hits;
+        ] );
+    ]

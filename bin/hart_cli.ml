@@ -172,10 +172,104 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Bulk-load random records and report simulated cost.")
     Term.(const run $ records $ db_arg)
 
+let fault_cmd =
+  let workload =
+    let all = List.map (fun (n, _, _) -> n) Hart_fault.Fault.builtin_workloads in
+    let doc =
+      Printf.sprintf
+        "Workload to sweep (one of %s); omit to run the full gate."
+        (String.concat ", " all)
+    in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"NAME"
+          ~doc:"Index to sweep: hart or fptree; omit for both.")
+  in
+  let torn =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "torn" ] ~docv:"SEED"
+          ~doc:
+            "Also evict a pseudo-random half of the dirty lines at each \
+             crash, seeded with $(docv).")
+  in
+  let no_nested =
+    Arg.(
+      value & flag
+      & info [ "no-nested" ] ~doc:"Skip crash-during-recovery schedules.")
+  in
+  let run workload target torn no_nested =
+    ok_or_die
+      (try
+         let targets =
+           match target with
+           | None -> Hart_fault.Fault.all_targets
+           | Some n -> (
+               match
+                 List.find_opt
+                   (fun t -> t.Hart_fault.Fault.target_name = n)
+                   Hart_fault.Fault.all_targets
+               with
+               | Some t -> [ t ]
+               | None -> failwith (Printf.sprintf "unknown target %S" n))
+         in
+         let workloads =
+           match workload with
+           | None -> Hart_fault.Fault.builtin_workloads
+           | Some n -> (
+               match Hart_fault.Fault.find_workload n with
+               | Some w -> [ w ]
+               | None -> failwith (Printf.sprintf "unknown workload %S" n))
+         in
+         let mode =
+           match torn with
+           | None -> Hart_pmem.Pmem.Clean
+           | Some seed -> Hart_pmem.Pmem.Torn { seed; fraction = 0.5 }
+         in
+         List.iter
+           (fun t ->
+             List.iter
+               (fun (name, setup, ops) ->
+                 let r =
+                   Hart_fault.Fault.explore ~mode ~nested:(not no_nested) ~setup
+                     ~workload:name t ops
+                 in
+                 Format.printf "%a@." Hart_fault.Fault.pp_report r)
+               workloads)
+           targets;
+         print_endline "all crash schedules consistent";
+         Ok ()
+       with
+      | Hart_fault.Fault.Violation msg -> Error msg
+      | Failure msg -> Error msg)
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Exhaustively sweep crash schedules: crash at every flush boundary \
+          of a scripted workload, recover, and check integrity plus \
+          prefix-consistency against a model. Nonzero exit on the first \
+          violating schedule.")
+    Term.(const run $ workload $ target $ torn $ no_nested)
+
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in
   let info = Cmd.info "hart_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ set_cmd; get_cmd; del_cmd; range_cmd; list_cmd; stats_cmd; bench_cmd ]))
+          [
+            set_cmd;
+            get_cmd;
+            del_cmd;
+            range_cmd;
+            list_cmd;
+            stats_cmd;
+            bench_cmd;
+            fault_cmd;
+          ]))

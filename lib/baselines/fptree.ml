@@ -311,6 +311,15 @@ let range t ~lo ~hi f =
   in
   walk (find_leaf t t.root lo)
 
+let iter t f =
+  let rec walk leaf =
+    if leaf <> 0 then begin
+      List.iter (fun (k, slot) -> f k (entry_value t leaf slot)) (live_entries t leaf);
+      walk (pnext t leaf)
+    end
+  in
+  walk t.head
+
 (* ------------------------------------------------------------------ *)
 (* Recovery: rebuild the DRAM inner nodes from the leaf chain          *)
 
@@ -320,6 +329,30 @@ let recover pool =
   let head = Int64.to_int (Pmem.get_u64 pool (root_off + 8)) in
   let meter = Pmem.meter pool in
   let t = { pool; meter; root = LeafN head; count = 0; inner_count = 0; head } in
+  (* Repair a torn split: a crash between the chain relink and the left
+     leaf's bitmap shrink leaves the moved entries live in both leaves.
+     The right leaf was fully persisted before it became reachable, so
+     completing the shrink (clearing the left copies) finishes the split
+     exactly as the protocol intended. Idempotent: a second recovery
+     finds no duplicates. *)
+  let rec repair leaf =
+    if leaf <> 0 then begin
+      let nxt = pnext t leaf in
+      if nxt <> 0 then begin
+        let theirs = List.map fst (live_entries t nxt) in
+        let dups =
+          List.filter (fun (k, _) -> List.mem k theirs) (live_entries t leaf)
+        in
+        if dups <> [] then
+          set_bitmap t leaf
+            (List.fold_left
+               (fun bm (_, slot) -> Hart_util.Bits.clear bm slot)
+               (bitmap t leaf) dups)
+      end;
+      repair nxt
+    end
+  in
+  repair head;
   (* collect non-empty leaves in chain order with their minimal keys *)
   let rec walk leaf acc =
     if leaf = 0 then List.rev acc

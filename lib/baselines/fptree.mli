@@ -44,6 +44,9 @@ val delete : t -> string -> bool
 val range : t -> lo:string -> hi:string -> (string -> string -> unit) -> unit
 (** Leaf-chain scan — FPTree's strong suit (Fig. 10a). *)
 
+val iter : t -> (string -> string -> unit) -> unit
+(** Visit every binding in key order (full leaf-chain scan). *)
+
 val count : t -> int
 val dram_bytes : t -> int
 val pm_bytes : t -> int

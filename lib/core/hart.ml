@@ -215,7 +215,11 @@ let range t ~lo ~hi f =
         else "" (* hk >= lo, so the whole ART qualifies from below *)
       and hi' =
         if is_strict_prefix hk hi then String.sub hi n (String.length hi - n)
-        else infinity_key (* hk's extensions all stay <= hi *)
+        else if hk = hi then "" (* only the key equal to hk itself qualifies *)
+        else
+          infinity_key
+          (* hk < hi and not a prefix of it, so the first byte where they
+             differ is inside hk: every extension of hk stays < hi *)
       in
       Art.range art ~lo:lo' ~hi:hi' (fun _ak leaf ->
           let key = hk ^ _ak in

@@ -1,0 +1,357 @@
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Hart = Hart_core.Hart
+module Fptree = Hart_baselines.Fptree
+module SMap = Map.Make (String)
+
+type op =
+  | Insert of string * string
+  | Update of string * string
+  | Delete of string
+
+let pp_op ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "Insert(%S,%S)" k v
+  | Update (k, v) -> Format.fprintf ppf "Update(%S,%S)" k v
+  | Delete k -> Format.fprintf ppf "Delete(%S)" k
+
+let apply_model m = function
+  | Insert (k, v) -> SMap.add k v m
+  | Update (k, v) -> if SMap.mem k m then SMap.add k v m else m
+  | Delete k -> SMap.remove k m
+
+type instance = {
+  pool : Pmem.t;
+  apply : op -> unit;
+  check : unit -> unit;
+  dump : unit -> (string * string) list;
+}
+
+type target = {
+  target_name : string;
+  fresh : unit -> instance;
+  reattach : Pmem.t -> instance;
+}
+
+(* Small pools and a small simulated LLC: the explorer clones the pool
+   once per nested schedule, so snapshot size dominates its cost. *)
+let fresh_pool () =
+  Pmem.create ~capacity:(1 lsl 18) (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
+
+let sorted_dump iter =
+  let m = ref SMap.empty in
+  iter (fun k v -> m := SMap.add k v !m);
+  SMap.bindings !m
+
+let hart_instance pool h =
+  {
+    pool;
+    apply =
+      (function
+      | Insert (k, v) -> Hart.insert h ~key:k ~value:v
+      | Update (k, v) -> ignore (Hart.update h ~key:k ~value:v : bool)
+      | Delete k -> ignore (Hart.delete h k : bool));
+    check = (fun () -> Hart.check_integrity ~allow_recovered_orphans:true h);
+    dump = (fun () -> sorted_dump (Hart.iter h));
+  }
+
+let hart =
+  {
+    target_name = "hart";
+    fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        hart_instance pool (Hart.create pool));
+    reattach = (fun pool -> hart_instance pool (Hart.recover pool));
+  }
+
+let fptree_instance pool t =
+  {
+    pool;
+    apply =
+      (function
+      | Insert (k, v) -> Fptree.insert t ~key:k ~value:v
+      | Update (k, v) -> ignore (Fptree.update t ~key:k ~value:v : bool)
+      | Delete k -> ignore (Fptree.delete t k : bool));
+    check = (fun () -> Fptree.check_integrity t);
+    dump = (fun () -> sorted_dump (Fptree.iter t));
+  }
+
+let fptree =
+  {
+    target_name = "fptree";
+    fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        fptree_instance pool (Fptree.create pool));
+    reattach = (fun pool -> fptree_instance pool (Fptree.recover pool));
+  }
+
+let all_targets = [ hart; fptree ]
+
+exception Violation of string
+
+type report = {
+  target : string;
+  workload : string;
+  mode : Pmem.crash_mode;
+  n_ops : int;
+  total_flushes : int;
+  schedules : int;
+  nested_schedules : int;
+  recovery_flushes : int;
+}
+
+(* a key no workload uses, for the post-recovery usability probe *)
+let probe_key = "~~probe~~"
+
+let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ~workload target
+    ops =
+  let viol fmt =
+    Printf.ksprintf
+      (fun s ->
+        raise (Violation (Printf.sprintf "[%s/%s] %s" target.target_name workload s)))
+      fmt
+  in
+  let ops_arr = Array.of_list ops in
+  let n = Array.length ops_arr in
+  (* oracle prefix states: models.(j) = setup plus ops.(0..j-1), atomic *)
+  let models = Array.make (n + 1) SMap.empty in
+  models.(0) <- List.fold_left apply_model SMap.empty setup;
+  for j = 1 to n do
+    models.(j) <- apply_model models.(j - 1) ops_arr.(j - 1)
+  done;
+  (* dry run: count the measured phase's flush boundaries *)
+  let total_flushes =
+    let inst = target.fresh () in
+    List.iter inst.apply setup;
+    let f0 = Pmem.flush_count inst.pool in
+    Array.iter inst.apply ops_arr;
+    let f = Pmem.flush_count inst.pool - f0 in
+    inst.check ();
+    if inst.dump () <> SMap.bindings models.(n) then
+      viol "crash-free run disagrees with the oracle";
+    f
+  in
+  let nested_total = ref 0 and recovery_total = ref 0 in
+  for i = 0 to total_flushes - 1 do
+    (* re-execute the prefix and crash at flush [i] *)
+    let inst = target.fresh () in
+    List.iter inst.apply setup;
+    Pmem.arm_crash ~mode inst.pool ~after_flushes:i;
+    let inflight = ref (-1) in
+    let crashed =
+      try
+        Array.iteri
+          (fun j op ->
+            inflight := j;
+            inst.apply op)
+          ops_arr;
+        Pmem.disarm_crash inst.pool;
+        false
+      with Pmem.Crash_injected -> true
+    in
+    if not crashed then
+      viol "schedule %d/%d never fired (flush count not reproducible?)" i
+        total_flushes;
+    let j = !inflight in
+    let before = SMap.bindings models.(j)
+    and after = SMap.bindings models.(j + 1) in
+    let consistent what got =
+      if got <> before && got <> after then begin
+        let pp_bindings bs =
+          String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) bs)
+        in
+        viol
+          "schedule %d/%d, in-flight op %d (%s): %s state is not a \
+           crash-consistent prefix.@ got      {%s}@ expected {%s}@ or       {%s}"
+          i total_flushes j
+          (Format.asprintf "%a" pp_op ops_arr.(j))
+          what (pp_bindings got) (pp_bindings before) (pp_bindings after)
+      end
+    in
+    let guard what f =
+      try f ()
+      with Failure msg ->
+        viol "schedule %d/%d, in-flight op %d (%s): %s: %s" i total_flushes j
+          (Format.asprintf "%a" pp_op ops_arr.(j))
+          what msg
+    in
+    (* snapshot the crash state before recovery mutates the pool *)
+    let snapshot = Pmem.clone inst.pool in
+    let r0 = Pmem.flush_count inst.pool in
+    let rec1 = guard "recovery failed" (fun () -> target.reattach inst.pool) in
+    let recovery_flushes = Pmem.flush_count inst.pool - r0 in
+    recovery_total := !recovery_total + recovery_flushes;
+    guard "integrity after recovery" rec1.check;
+    consistent "recovered" (rec1.dump ());
+    (* idempotence: recovering the recovered image changes nothing *)
+    let m1 = rec1.dump () in
+    Pmem.crash inst.pool;
+    let rec2 = guard "second recovery failed" (fun () -> target.reattach inst.pool) in
+    guard "integrity after second recovery" rec2.check;
+    if rec2.dump () <> m1 then viol "schedule %d/%d: recovery is not idempotent" i total_flushes;
+    (* usability: the recovered store accepts and repairs further ops *)
+    guard "post-recovery probe" (fun () ->
+        rec2.apply (Insert (probe_key, "p"));
+        rec2.apply (Delete probe_key);
+        rec2.check ());
+    (* nested schedules: crash the recovery itself at each of its flushes *)
+    if nested then
+      for m = 0 to recovery_flushes - 1 do
+        let pool = Pmem.clone snapshot in
+        Pmem.arm_crash pool ~after_flushes:m;
+        (match target.reattach pool with
+        | _ ->
+            viol "schedule %d/%d: nested crash %d/%d never fired" i total_flushes
+              m recovery_flushes
+        | exception Pmem.Crash_injected -> ());
+        incr nested_total;
+        let guard_n what f =
+          try f ()
+          with Failure msg ->
+            viol "schedule %d/%d, nested %d/%d, in-flight op %d (%s): %s: %s" i
+              total_flushes m recovery_flushes j
+              (Format.asprintf "%a" pp_op ops_arr.(j))
+              what msg
+        in
+        let rec3 = guard_n "recovery after nested crash failed" (fun () ->
+            target.reattach pool)
+        in
+        guard_n "integrity after nested crash" rec3.check;
+        let got = rec3.dump () in
+        if got <> before && got <> after then
+          viol "schedule %d/%d, nested %d/%d: state after crashed recovery is \
+               not a crash-consistent prefix"
+            i total_flushes m recovery_flushes
+      done
+  done;
+  {
+    target = target.target_name;
+    workload;
+    mode;
+    n_ops = n;
+    total_flushes;
+    schedules = total_flushes;
+    nested_schedules = !nested_total;
+    recovery_flushes = !recovery_total;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in workloads (the standing gate)                              *)
+
+let key prefix i = Printf.sprintf "%s%03d" prefix i
+
+let update_log_workload =
+  (* Algorithm 3 coverage: update-in-place via the persistent log, value
+     size-class migrations (Val8 <-> Val32), upsert-as-update, empty
+     values, and the log interplay with delete *)
+  [
+    Insert ("AAa", "v7bytes");
+    Insert ("AAb", "w");
+    Insert ("ABc", String.make 30 'x');
+    Update ("AAb", String.make 30 'y');
+    Update ("AAb", "s");
+    Insert ("AAa", "upserted");
+    Update ("ABc", "");
+    Delete ("AAb");
+    Update ("zz-missing", "ignored");
+    Delete ("AAa");
+    Update ("ABc", "final16bytes!!!!");
+    Delete ("ABc");
+  ]
+
+let delete_recycle_workload =
+  (* Algorithm 5 + 6: drain every key so the (single, head) leaf chunk
+     and value chunks empty and unlink; the last delete of a prefix also
+     frees its ART (directory cleanup); then reuse recycled space *)
+  [
+    Insert ("AAq", "1");
+    Insert ("AAr", "2");
+    Insert ("ABs", String.make 20 'z');
+    Insert ("B", "short-key");
+    Delete ("AAq");
+    Delete ("AAr");
+    Delete ("ABs");
+    Delete ("B");
+    Insert ("AAq", "reborn");
+    Delete ("AAq");
+  ]
+
+let mixed_dense_workload =
+  (* interleaved op mix over shared prefixes; key lengths 1..4 straddle
+     kh = 2 (hash-key-only keys, empty ART keys, prefix relationships) *)
+  [
+    Insert ("A", "1");
+    Insert ("AB", "2");
+    Insert ("ABC", "3");
+    Insert ("ABCD", "4");
+    Update ("AB", "2nd");
+    Delete ("ABC");
+    Insert ("ABC", "3rd");
+    Update ("A", String.make 25 'm');
+    Delete ("AB");
+    Insert ("B", "5");
+    Delete ("A");
+    Update ("ABCD", "");
+    Delete ("B");
+    Delete ("ABC");
+    Delete ("ABCD");
+  ]
+
+let chunk_unlink_setup, chunk_unlink_workload =
+  (* three full 56-slot leaf chunks (and three value chunks), then drain
+     each chunk down to one key in setup; the measured phase performs the
+     three deletes that trigger Algorithm 6's unlink at the middle, head
+     and tail positions of the chunk lists *)
+  let per = 56 in
+  let prefixes = [ "ka"; "kb"; "kc" ] in
+  let inserts =
+    List.concat_map
+      (fun p -> List.init per (fun i -> Insert (key p i, "v")))
+      prefixes
+  in
+  let drains =
+    List.concat_map
+      (fun p -> List.init (per - 1) (fun i -> Delete (key p (i + 1))))
+      [ "kb"; "ka"; "kc" ]
+  in
+  ( inserts @ drains,
+    [ Delete (key "kb" 0); Delete (key "ka" 0); Delete (key "kc" 0) ] )
+
+let split_chain_setup, split_chain_workload =
+  (* setup fills one FPTree leaf (leaf_cap = 32) minus one; the measured
+     inserts overflow it and the next leaf, so the sweep crosses every
+     flush of two leaf splits — including the window between the chain
+     relink and the left bitmap shrink that recovery must repair. On
+     HART the same script fills a leaf chunk towards its second chunk. *)
+  let setup = List.init 31 (fun i -> Insert (key "s" (2 * i), "v")) in
+  let measured =
+    List.init 34 (fun i -> Insert (key "t" i, "w"))
+    @ [ Delete (key "s" 0); Update (key "t" 0, "w2"); Delete (key "t" 33) ]
+  in
+  (setup, measured)
+
+let builtin_workloads =
+  [
+    ("update-log", [], update_log_workload);
+    ("delete-recycle", [], delete_recycle_workload);
+    ("mixed-dense", [], mixed_dense_workload);
+    ("chunk-unlink", chunk_unlink_setup, chunk_unlink_workload);
+    ("split-chain", split_chain_setup, split_chain_workload);
+  ]
+
+let find_workload name =
+  List.find_opt (fun (n, _, _) -> n = name) builtin_workloads
+
+let pp_mode ppf = function
+  | Pmem.Clean -> Format.pp_print_string ppf "clean"
+  | Pmem.Torn { seed; fraction } ->
+      Format.fprintf ppf "torn(seed=%Ld,fraction=%.2f)" seed fraction
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-8s %-14s mode=%a ops=%d flush-boundaries=%d schedules=%d nested=%d \
+     recovery-flushes=%d"
+    r.target r.workload pp_mode r.mode r.n_ops r.total_flushes r.schedules
+    r.nested_schedules r.recovery_flushes

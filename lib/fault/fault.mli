@@ -1,0 +1,127 @@
+(** Exhaustive crash-schedule exploration with model-based recovery
+    checking.
+
+    The paper's correctness claim is that Algorithms 1–7 keep the index
+    crash-consistent under {e selective persistence}: at any power
+    failure, the durable image must recover to a state in which every
+    completed operation is applied atomically and the one in-flight
+    operation is either fully applied or fully absent. Hand-picked
+    [arm_crash] call sites only sample that space; this module enumerates
+    it.
+
+    Given a scripted workload (a list of {!op}s against a {!target}), the
+    explorer:
+
+    + dry-runs the workload once to count its flush boundaries [F]
+      (every [persist]ed cache line is one potential crash point);
+    + for {e every} flush index [i < F], re-executes the workload from a
+      fresh pool, injects a crash at flush [i] (optionally in
+      {!Hart_pmem.Pmem.Torn} mode, where the hardware had also evicted a
+      pseudo-random subset of dirty lines), recovers, and checks that
+
+      - the target's own structural integrity check passes, and
+      - the recovered key→value map is a {e crash-consistent prefix} of a
+        pure OCaml [Map] oracle: exactly the oracle state before or after
+        the in-flight operation — no partial application, no damage to
+        bystander keys, no resurrection after delete;
+
+    + additionally verifies that recovery is {e idempotent} (recovering
+      the recovered image again yields the same map) and {e usable}
+      (a probe insert/delete passes integrity), and — with [nested] —
+      re-crashes the recovery itself at every one of its own flush
+      boundaries and checks that a subsequent recovery still converges.
+
+    Any deviation raises {!Violation} with full schedule coordinates. *)
+
+type op =
+  | Insert of string * string
+      (** upsert, like [Hart.insert]: an existing key is updated *)
+  | Update of string * string  (** no-op when the key is absent *)
+  | Delete of string  (** no-op when the key is absent *)
+
+val apply_model : string Map.Make(String).t -> op -> string Map.Make(String).t
+(** The pure oracle: one atomically-applied operation. *)
+
+(** A recoverable index under test. [fresh] formats a brand-new pool;
+    [reattach] adopts a (possibly crashed) pool, replaying any pending
+    micro-logs — it may itself write and flush PM, which is exactly what
+    nested schedules exercise. *)
+type instance = {
+  pool : Hart_pmem.Pmem.t;
+  apply : op -> unit;
+  check : unit -> unit;
+      (** structural integrity; post-crash repairable states allowed *)
+  dump : unit -> (string * string) list;
+      (** all live bindings, sorted by key *)
+}
+
+type target = {
+  target_name : string;
+  fresh : unit -> instance;
+  reattach : Hart_pmem.Pmem.t -> instance;
+}
+
+val hart : target
+(** HART (Algorithms 1–7), [kh = 2]. *)
+
+val fptree : target
+(** The FPTree baseline — same selective-persistence family, so it must
+    satisfy the same prefix-consistency oracle. *)
+
+val all_targets : target list
+
+exception Violation of string
+(** A crash schedule broke integrity or oracle consistency. The message
+    carries target, workload, outer flush index, nested flush index (if
+    any), and the in-flight operation. *)
+
+type report = {
+  target : string;
+  workload : string;
+  mode : Hart_pmem.Pmem.crash_mode;
+  n_ops : int;  (** operations in the measured phase *)
+  total_flushes : int;  (** dry-run flush boundaries of the measured phase *)
+  schedules : int;
+      (** outer crash schedules explored; equals [total_flushes] when
+          coverage is complete (the explorer asserts this) *)
+  nested_schedules : int;  (** crash-during-recovery schedules explored *)
+  recovery_flushes : int;  (** total recovery flushes observed (= nested bound) *)
+}
+
+val explore :
+  ?mode:Hart_pmem.Pmem.crash_mode ->
+  ?nested:bool ->
+  ?setup:op list ->
+  workload:string ->
+  target ->
+  op list ->
+  report
+(** [explore ~workload target ops] sweeps every flush boundary of [ops].
+    [setup] (default empty) is executed before the measured phase on
+    every re-execution but is not itself swept — use it to build a large
+    precondition (e.g. three full chunks) cheaply. [nested] (default
+    [true]) also sweeps every recovery flush of every outer schedule.
+    [mode] (default [Clean]) selects the injected failure semantics.
+    @raise Violation on the first inconsistent schedule. *)
+
+val builtin_workloads : (string * op list * op list) list
+(** [(name, setup, ops)] — the standing correctness gate:
+
+    - ["update-log"]: Algorithm 3 update-log states, including value
+      size-class migrations and empty values;
+    - ["delete-recycle"]: Algorithm 5 deletes draining leaf and value
+      chunks through Algorithm 6's unlink, plus empty-ART directory
+      cleanup and reuse after recycling;
+    - ["mixed-dense"]: interleaved insert/update/delete over shared
+      prefixes with key lengths straddling [kh];
+    - ["chunk-unlink"]: three full leaf-chunk (and value-chunk) lists
+      built in setup, then the final deletes that unlink chunks at
+      head, middle and tail positions of their lists;
+    - ["split-chain"]: a leaf filled to capacity in setup, then inserts
+      that overflow it twice — on FPTree the sweep crosses every flush
+      of two leaf splits, including the torn-split window its recovery
+      must repair. *)
+
+val find_workload : string -> (string * op list * op list) option
+
+val pp_report : Format.formatter -> report -> unit

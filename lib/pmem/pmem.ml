@@ -3,6 +3,8 @@ exception Out_of_memory_pm
 
 let line_bytes = 64
 
+type crash_mode = Clean | Torn of { seed : int64; fraction : float }
+
 type t = {
   meter : Meter.t;
   mutable cache : Bytes.t;  (* volatile view seen by loads/stores *)
@@ -12,8 +14,10 @@ type t = {
   max_capacity : int;
   mutable brk : int;
   mutable live : int;
-  free_lists : (int, int list ref) Hashtbl.t;  (* size -> offsets *)
+  mutable free_lists : (int, int list ref) Hashtbl.t;  (* size -> offsets *)
   mutable crash_after : int;  (* flushes until injected crash; -1 = off *)
+  mutable crash_mode : crash_mode;
+  mutable total_flushes : int;  (* lifetime protocol flushes, survives Meter.reset *)
 }
 
 let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
@@ -29,6 +33,19 @@ let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
     live = 0;
     free_lists = Hashtbl.create 7;
     crash_after = -1;
+    crash_mode = Clean;
+    total_flushes = 0;
+  }
+
+let clone t =
+  let free_lists = Hashtbl.create (max 7 (Hashtbl.length t.free_lists)) in
+  Hashtbl.iter (fun size cell -> Hashtbl.add free_lists size (ref !cell)) t.free_lists;
+  {
+    t with
+    cache = Bytes.copy t.cache;
+    shadow = Bytes.copy t.shadow;
+    dirty = Bytes.copy t.dirty;
+    free_lists;
   }
 
 let meter t = t.meter
@@ -141,9 +158,28 @@ let read_shadow_u64 t off =
 let flush_line t line =
   Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
   dirty_clear t line;
+  t.total_flushes <- t.total_flushes + 1;
   Meter.flush_line t.meter ~addr:(line * line_bytes)
 
+let flush_count t = t.total_flushes
+
 let do_crash t =
+  (* In [Torn] mode the hardware is assumed to have written back an
+     arbitrary subset of dirty lines before power was lost (background
+     eviction can persist any dirty line at any time), so the durable
+     image the recovery sees includes that subset. *)
+  (match t.crash_mode with
+  | Clean -> ()
+  | Torn { seed; fraction } ->
+      let rng = Hart_util.Rng.create seed in
+      for line = 0 to (t.brk - 1) / line_bytes do
+        if dirty_get t line && Hart_util.Rng.float rng 1.0 < fraction then begin
+          Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
+            line_bytes;
+          Meter.eviction t.meter
+        end
+      done);
+  t.crash_mode <- Clean;
   Bytes.blit t.shadow 0 t.cache 0 t.capacity;
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
   Meter.invalidate_cache t.meter;
@@ -151,11 +187,19 @@ let do_crash t =
 
 let crash t = do_crash t
 
-let arm_crash t ~after_flushes =
+let arm_crash ?(mode = Clean) t ~after_flushes =
   if after_flushes < 0 then invalid_arg "Pmem.arm_crash";
-  t.crash_after <- after_flushes
+  (match mode with
+  | Clean -> ()
+  | Torn { fraction; _ } ->
+      if not (fraction >= 0. && fraction <= 1.) then
+        invalid_arg "Pmem.arm_crash: torn fraction must be in [0, 1]");
+  t.crash_after <- after_flushes;
+  t.crash_mode <- mode
 
-let disarm_crash t = t.crash_after <- -1
+let disarm_crash t =
+  t.crash_after <- -1;
+  t.crash_mode <- Clean
 
 let persist t ~off ~len =
   check t off len "persist";
@@ -226,20 +270,44 @@ let load ?(max_capacity = 1 lsl 30) meter path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let r64 () =
+      let fail fmt = Printf.ksprintf failwith fmt in
+      let r64 what =
         let b = Bytes.create 8 in
-        really_input ic b 0 8;
+        (try really_input ic b 0 8
+         with End_of_file -> fail "Pmem.load: truncated image (in %s)" what);
         Bytes.get_int64_le b 0
       in
-      (try if r64 () <> image_magic then failwith "Pmem.load: bad magic"
-       with End_of_file -> failwith "Pmem.load: truncated image");
-      let brk = Int64.to_int (r64 ()) in
-      let live = Int64.to_int (r64 ()) in
-      let n_free = Int64.to_int (r64 ()) in
-      let t = create ~capacity:(max brk line_bytes) ~max_capacity meter in
+      if r64 "magic" <> image_magic then failwith "Pmem.load: bad magic";
+      let brk = Int64.to_int (r64 "header") in
+      let live = Int64.to_int (r64 "header") in
+      let n_free = Int64.to_int (r64 "header") in
+      if brk < line_bytes || brk mod line_bytes <> 0 then
+        fail "Pmem.load: corrupt brk %d (must be line-aligned and >= %d)" brk
+          line_bytes;
+      if brk > max_capacity then
+        fail "Pmem.load: brk %d exceeds max capacity %d" brk max_capacity;
+      if live < 0 || live > brk then
+        fail "Pmem.load: corrupt live-byte count %d (brk=%d)" live brk;
+      if n_free < 0 || n_free > brk / line_bytes then
+        fail "Pmem.load: corrupt free-list entry count %d" n_free;
+      let t = create ~capacity:brk ~max_capacity meter in
+      (* each free region must be a positive, line-aligned span inside
+         [line_bytes, brk), and no two regions may overlap *)
+      let free_lines = Bytes.make ((brk / line_bytes / 8) + 1) '\000' in
       for _ = 1 to n_free do
-        let size = Int64.to_int (r64 ()) in
-        let off = Int64.to_int (r64 ()) in
+        let size = Int64.to_int (r64 "free list") in
+        let off = Int64.to_int (r64 "free list") in
+        if size <= 0 || size mod line_bytes <> 0 then
+          fail "Pmem.load: corrupt free region size %d" size;
+        if off < line_bytes || off mod line_bytes <> 0 || off + size > brk then
+          fail "Pmem.load: free region [%d,+%d) outside pool (brk=%d)" off size brk;
+        for line = off / line_bytes to (off + size) / line_bytes - 1 do
+          let i = line lsr 3 and bit = 1 lsl (line land 7) in
+          if Bytes.get_uint8 free_lines i land bit <> 0 then
+            fail "Pmem.load: overlapping free regions at offset %d"
+              (line * line_bytes);
+          Bytes.set_uint8 free_lines i (Bytes.get_uint8 free_lines i lor bit)
+        done;
         let cell =
           match Hashtbl.find_opt t.free_lists size with
           | Some c -> c
@@ -251,7 +319,9 @@ let load ?(max_capacity = 1 lsl 30) meter path =
         cell := off :: !cell
       done;
       (try really_input ic t.shadow 0 brk
-       with End_of_file -> failwith "Pmem.load: truncated image");
+       with End_of_file -> failwith "Pmem.load: truncated image (in pool data)");
+      if pos_in ic <> in_channel_length ic then
+        failwith "Pmem.load: trailing bytes after pool data";
       Bytes.blit t.shadow 0 t.cache 0 brk;
       t.brk <- brk;
       t.live <- live;

@@ -31,6 +31,13 @@ val create : ?capacity:int -> ?max_capacity:int -> Meter.t -> t
 (** [create meter] makes an empty pool (default initial capacity 1 MiB,
     growing by doubling up to [max_capacity], default 1 GiB). *)
 
+val clone : t -> t
+(** Deep copy of the pool's durable and volatile state (cache, shadow,
+    dirty map, allocator metadata, armed crash point). The meter is
+    {e shared} with the original. Used by the fault explorer to snapshot
+    a crash state and replay recovery from it many times without
+    re-executing the workload prefix. *)
+
 val meter : t -> Meter.t
 
 (** {1 Allocation}
@@ -82,18 +89,33 @@ val persist_all : t -> unit
 
 val dirty_line_count : t -> int
 
+val flush_count : t -> int
+(** Lifetime count of protocol line flushes (CLFLUSH via {!persist} /
+    {!persist_all}); background evictions are not counted. Unlike the
+    meter's counter this one survives [Meter.reset], so the fault
+    explorer can index crash schedules by flush ordinal. *)
+
 (** {1 Failure simulation} *)
+
+type crash_mode =
+  | Clean  (** power failure: exactly the flushed lines survive *)
+  | Torn of { seed : int64; fraction : float }
+      (** before the failure, the hardware had additionally written back a
+          pseudo-random [fraction] of the dirty lines (deterministic in
+          [seed]) — the eviction-reordering states {!evict_random} models.
+          A correct persistence protocol must recover from any such
+          superset of the flushed image. *)
 
 val crash : t -> unit
 (** Simulate a power failure: every unflushed store is lost, the volatile
     view is reset to the durable image, and the simulated cache is
-    invalidated (cold restart). *)
+    invalidated (cold restart). Honours the armed {!crash_mode}. *)
 
-val arm_crash : t -> after_flushes:int -> unit
+val arm_crash : ?mode:crash_mode -> t -> after_flushes:int -> unit
 (** Arm a crash point: the [after_flushes]-th subsequent line flush
     completes and then {!Crash_injected} is raised from inside that
     [persist] call (later lines of the same call are lost). Pass [0] to
-    crash before the next flush. *)
+    crash before the next flush. [mode] defaults to {!Clean}. *)
 
 val disarm_crash : t -> unit
 
@@ -109,8 +131,13 @@ val save : t -> string -> unit
     included — saving is a power-off, not a sync. *)
 
 val load : ?max_capacity:int -> Meter.t -> string -> t
-(** Re-open a saved image (cold cache, clean dirty map).
-    @raise Failure on a malformed image file. *)
+(** Re-open a saved image (cold cache, clean dirty map). The image is
+    validated before being adopted: magic, a line-aligned [brk] within
+    [max_capacity], a sane live-byte count, and a free list whose every
+    region is a positive line-aligned span inside the pool with no two
+    regions overlapping. Truncated files and trailing garbage are
+    rejected.
+    @raise Failure on a malformed or corrupt image file. *)
 
 val evict_random : t -> Hart_util.Rng.t -> fraction:float -> unit
 (** Write back a random [fraction] of dirty lines, free of charge — the

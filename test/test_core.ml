@@ -1269,6 +1269,216 @@ let test_hart_mt_lock_mapping () =
   Alcotest.(check bool) "same prefix -> same lock" true (l1 == l2);
   Alcotest.(check bool) "different prefix -> different lock" true (l1 != l3)
 
+(* ------------------------------------------------------------------ *)
+(* Exhaustive delete-path / recycle-log crash matrices                 *)
+
+(* Sweep EVERY flush boundary of [f] (the dry run bounds the sweep), and
+   at every boundary also crash the recovery at every one of ITS flush
+   boundaries, and the second recovery at every of THEIRS, before
+   validating with [check]. Pmem.clone keeps the nesting affordable:
+   prefixes re-execute once per outer point only. *)
+let crash_matrix ~build ~f ~check =
+  let total =
+    let h, pool = build () in
+    let f0 = Pmem.flush_count pool in
+    f h;
+    Pmem.flush_count pool - f0
+  in
+  Alcotest.(check bool) "operation flushes at all" true (total > 0);
+  for k = 0 to total - 1 do
+    let h, pool = build () in
+    Pmem.arm_crash pool ~after_flushes:k;
+    (try
+       f h;
+       Alcotest.failf "crash %d/%d never fired" k total
+     with Pmem.Crash_injected -> ());
+    let outer = Pmem.clone pool in
+    (* second-level sweep: crash the first recovery at flush [m] *)
+    let r1 =
+      let p = Pmem.clone outer in
+      let f0 = Pmem.flush_count p in
+      ignore (Hart.recover p);
+      Pmem.flush_count p - f0
+    in
+    for m = 0 to r1 - 1 do
+      let p = Pmem.clone outer in
+      Pmem.arm_crash p ~after_flushes:m;
+      (try
+         ignore (Hart.recover p);
+         Alcotest.failf "nested crash %d.%d never fired" k m
+       with Pmem.Crash_injected -> ());
+      let mid = Pmem.clone p in
+      (* third-level sweep: crash the SECOND recovery at flush [q] *)
+      let r2 =
+        let q = Pmem.clone mid in
+        let f0 = Pmem.flush_count q in
+        ignore (Hart.recover q);
+        Pmem.flush_count q - f0
+      in
+      for q = 0 to r2 - 1 do
+        let p2 = Pmem.clone mid in
+        Pmem.arm_crash p2 ~after_flushes:q;
+        (try
+           ignore (Hart.recover p2);
+           Alcotest.failf "nested crash %d.%d.%d never fired" k m q
+         with Pmem.Crash_injected -> ());
+        let h3 = Hart.recover p2 in
+        Hart.check_integrity ~allow_recovered_orphans:true h3;
+        check h3
+      done;
+      let h2 = Hart.recover mid in
+      Hart.check_integrity ~allow_recovered_orphans:true h2;
+      check h2
+    done;
+    let h1 = Hart.recover outer in
+    Hart.check_integrity ~allow_recovered_orphans:true h1;
+    check h1
+  done;
+  total
+
+let test_delete_crash_matrix () =
+  (* the richest Algorithm 5 instance: deleting the last key of a prefix
+     empties its leaf chunk AND its value chunk (both recycled via the
+     Algorithm 6 log) and removes the empty ART from the directory *)
+  let build () =
+    let h, pool = fresh_hart () in
+    Hart.insert h ~key:"XXonly-key" ~value:"last value";
+    Hart.insert h ~key:"YYbystander" ~value:"B";
+    (h, pool)
+  in
+  let total =
+    crash_matrix ~build
+      ~f:(fun h -> ignore (Hart.delete h "XXonly-key"))
+      ~check:(fun h' ->
+        Alcotest.(check (option string)) "bystander survives" (Some "B")
+          (Hart.search h' "YYbystander");
+        (match Hart.search h' "XXonly-key" with
+        | None | Some "last value" -> ()
+        | Some v -> Alcotest.failf "victim neither absent nor intact: %S" v);
+        (* drain and reuse: the half-recycled chunks must stay usable *)
+        ignore (Hart.delete h' "XXonly-key");
+        Hart.insert h' ~key:"XXonly-key" ~value:"again";
+        Hart.check_integrity h')
+  in
+  Alcotest.(check bool) "delete path has many crash points" true (total >= 6)
+
+let test_recycle_log_crash_matrix () =
+  (* drive Algorithm 6 through a MIDDLE-of-list unlink: three leaf chunks
+     exist and the middle one empties. Sweep the two deletes that empty
+     it, with full nested recovery sweeps. *)
+  let n = 56 in
+  let build () =
+    let h, pool = fresh_hart () in
+    for c = 0 to 2 do
+      for i = 0 to n - 1 do
+        Hart.insert h ~key:(Printf.sprintf "c%d-%03d" c i) ~value:"v"
+      done
+    done;
+    (* drain the middle chunk down to its final two keys *)
+    for i = 2 to n - 1 do
+      ignore (Hart.delete h (Printf.sprintf "c1-%03d" i))
+    done;
+    (h, pool)
+  in
+  ignore
+    (crash_matrix ~build
+       ~f:(fun h ->
+         ignore (Hart.delete h "c1-000");
+         ignore (Hart.delete h "c1-001"))
+       ~check:(fun h' ->
+         Alcotest.(check (option string)) "first chunk intact" (Some "v")
+           (Hart.search h' "c0-000");
+         Alcotest.(check (option string)) "last chunk intact" (Some "v")
+           (Hart.search h' "c2-055");
+         List.iter
+           (fun k ->
+             match Hart.search h' k with
+             | None | Some "v" -> ()
+             | Some x -> Alcotest.failf "%s corrupted: %S" k x)
+           [ "c1-000"; "c1-001" ];
+         Hart.insert h' ~key:"c1-000" ~value:"reuse";
+         Hart.check_integrity h')
+      : int)
+
+(* ------------------------------------------------------------------ *)
+(* Range / min / max edge cases                                        *)
+
+let test_range_short_keys () =
+  (* keys shorter than kh = 2 live in dedicated hash slots with empty
+     ART keys; range must still see them in global key order *)
+  let h, _ = fresh_hart () in
+  List.iter
+    (fun k -> Hart.insert h ~key:k ~value:("v" ^ k))
+    [ "a"; "b"; "ab"; "abc"; "b0"; "B" ];
+  let got = ref [] in
+  Hart.range h ~lo:"a" ~hi:"b" (fun k _ -> got := k :: !got);
+  Alcotest.(check (list string)) "short keys in range" [ "a"; "ab"; "abc"; "b" ]
+    (List.rev !got);
+  Alcotest.(check (option (pair string string))) "min is capital"
+    (Some ("B", "vB")) (Hart.min_binding h);
+  Alcotest.(check (option (pair string string))) "max" (Some ("b0", "vb0"))
+    (Hart.max_binding h)
+
+let test_range_hash_prefix_bounds () =
+  (* lo / hi exactly equal to a hash-key prefix: the 2-byte prefix "ab"
+     is both a live key and the hash key of "abc", "abd" *)
+  let h, _ = fresh_hart () in
+  List.iter
+    (fun k -> Hart.insert h ~key:k ~value:k)
+    [ "aa"; "ab"; "abc"; "abd"; "ac"; "b" ];
+  let collect lo hi =
+    let acc = ref [] in
+    Hart.range h ~lo ~hi (fun k _ -> acc := k :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list string)) "hi = prefix excludes its extensions"
+    [ "aa"; "ab" ] (collect "a" "ab");
+  Alcotest.(check (list string)) "lo = prefix includes it and extensions"
+    [ "ab"; "abc"; "abd"; "ac" ] (collect "ab" "ac");
+  Alcotest.(check (list string)) "interior of one prefix" [ "abc"; "abd" ]
+    (collect "aba" "abz")
+
+let test_range_lo_eq_hi () =
+  let h, _ = fresh_hart () in
+  List.iter (fun k -> Hart.insert h ~key:k ~value:k) [ "q"; "qq"; "qqq" ];
+  let collect lo hi =
+    let acc = ref [] in
+    Hart.range h ~lo ~hi (fun k _ -> acc := k :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list string)) "lo = hi = live key" [ "qq" ] (collect "qq" "qq");
+  Alcotest.(check (list string)) "lo = hi absent" [] (collect "qx" "qx");
+  Alcotest.(check (list string)) "inverted bounds empty" [] (collect "z" "a")
+
+let test_range_after_art_cleanup () =
+  (* deleting the last key of a prefix drops its ART from the directory;
+     range / min / max must neither see ghosts nor miss neighbours *)
+  let h, _ = fresh_hart () in
+  List.iter
+    (fun k -> Hart.insert h ~key:k ~value:k)
+    [ "m1-a"; "m2-a"; "m2-b"; "m3-a" ];
+  ignore (Hart.delete h "m2-a");
+  ignore (Hart.delete h "m2-b");
+  Alcotest.(check int) "one ART dropped" 2 (Hart.art_count h);
+  let acc = ref [] in
+  Hart.range h ~lo:"m1" ~hi:"m4" (fun k _ -> acc := k :: !acc);
+  Alcotest.(check (list string)) "no ghosts, no gaps" [ "m1-a"; "m3-a" ]
+    (List.rev !acc);
+  Alcotest.(check (option (pair string string))) "min skips dropped ART"
+    (Some ("m1-a", "m1-a")) (Hart.min_binding h);
+  Alcotest.(check (option (pair string string))) "max skips dropped ART"
+    (Some ("m3-a", "m3-a")) (Hart.max_binding h);
+  ignore (Hart.delete h "m1-a");
+  ignore (Hart.delete h "m3-a");
+  Alcotest.(check (option (pair string string))) "min on emptied store" None
+    (Hart.min_binding h);
+  Alcotest.(check (option (pair string string))) "max on emptied store" None
+    (Hart.max_binding h);
+  let empty = ref [] in
+  Hart.range h ~lo:"" ~hi:"~~~~" (fun k _ -> empty := k :: !empty);
+  Alcotest.(check (list string)) "range on emptied store" [] !empty;
+  Hart.check_integrity h
+
 let () =
   Alcotest.run "core"
     [
@@ -1331,6 +1541,13 @@ let () =
           Alcotest.test_case "split_key" `Quick test_hart_split_key;
           Alcotest.test_case "kh variants" `Quick test_hart_kh_variants;
           Alcotest.test_case "cross-ART range" `Quick test_hart_range;
+          Alcotest.test_case "range: keys shorter than kh" `Quick
+            test_range_short_keys;
+          Alcotest.test_case "range: hash-prefix bounds" `Quick
+            test_range_hash_prefix_bounds;
+          Alcotest.test_case "range: lo = hi" `Quick test_range_lo_eq_hi;
+          Alcotest.test_case "range/min/max after ART cleanup" `Quick
+            test_range_after_art_cleanup;
           Alcotest.test_case "iter" `Quick test_hart_iter;
           Alcotest.test_case "fold/min/max" `Quick test_hart_fold_min_max;
           Alcotest.test_case "stats" `Quick test_hart_stats;
@@ -1348,6 +1565,10 @@ let () =
           Alcotest.test_case "ulog state: all three (redo)" `Quick test_ulog_state_all_three;
           Alcotest.test_case "ulog replay idempotent" `Quick test_ulog_replay_is_idempotent;
           Alcotest.test_case "rlog head unlink" `Quick test_rlog_recovery_head_unlink;
+          Alcotest.test_case "delete crash matrix (3-level)" `Quick
+            test_delete_crash_matrix;
+          Alcotest.test_case "recycle-log crash matrix (mid-list)" `Quick
+            test_recycle_log_crash_matrix;
           QCheck_alcotest.to_alcotest qcheck_crash_anywhere;
         ] );
       ( "recovery",

@@ -1,0 +1,232 @@
+(* Property-based differential testing: random operation sequences are
+   applied simultaneously to each persistent index and to a pure OCaml
+   [Map] oracle; every observable result (search, update/delete return
+   values, count, range contents) must agree, and each structure's own
+   integrity check must pass at regular intervals.
+
+   Keys are drawn from a deliberately tiny alphabet with lengths from 1
+   to [Leaf.max_key_len], so sequences constantly revisit keys, share
+   prefixes, straddle HART's hash-key boundary (kh = 2) and exercise
+   both hash-key-only keys (len <= kh, empty ART key) and deep ART
+   paths. *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Hart = Hart_core.Hart
+module B = Hart_baselines
+module SMap = Map.Make (String)
+
+type dop =
+  | Insert of string * string
+  | Update of string * string
+  | Delete of string
+  | Search of string
+  | Range of string * string
+  | Count
+
+let pp_dop = function
+  | Insert (k, v) -> Printf.sprintf "Insert(%S,%S)" k v
+  | Update (k, v) -> Printf.sprintf "Update(%S,%S)" k v
+  | Delete k -> Printf.sprintf "Delete(%S)" k
+  | Search k -> Printf.sprintf "Search(%S)" k
+  | Range (lo, hi) -> Printf.sprintf "Range(%S,%S)" lo hi
+  | Count -> "Count"
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let key_gen =
+  QCheck.Gen.(
+    int_range 1 Hart_core.Leaf.max_key_len >>= fun len ->
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (return len))
+
+let value_gen =
+  QCheck.Gen.(
+    int_range 0 31 >>= fun len ->
+    string_size ~gen:(char_range 'A' 'Z') (return len))
+
+let dop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map2 (fun k v -> Insert (k, v)) key_gen value_gen);
+        (3, map2 (fun k v -> Update (k, v)) key_gen value_gen);
+        (4, map (fun k -> Delete k) key_gen);
+        (3, map (fun k -> Search k) key_gen);
+        ( 1,
+          map2
+            (fun a b -> if a <= b then Range (a, b) else Range (b, a))
+            key_gen key_gen );
+        (1, return Count);
+      ])
+
+let print_dops ops = String.concat "; " (List.map pp_dop ops)
+
+let dops_arb =
+  QCheck.make
+    ~print:print_dops
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 1 160) dop_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Targets: every index in the repo, driven through Index_intf.ops      *)
+
+let fresh_pool () =
+  Pmem.create ~capacity:(1 lsl 21)
+    (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
+
+let targets :
+    (string * (unit -> B.Index_intf.ops * (unit -> unit))) list =
+  [
+    ( "hart",
+      fun () ->
+        let h = Hart.create (fresh_pool ()) in
+        (B.Hart_index.ops h, fun () -> Hart.check_integrity h) );
+    ( "woart",
+      fun () ->
+        let t = B.Woart.create (fresh_pool ()) in
+        (B.Woart.ops t, fun () -> ()) );
+    ( "art_cow",
+      fun () ->
+        let t = B.Art_cow.create (fresh_pool ()) in
+        (B.Art_cow.ops t, fun () -> ()) );
+    ( "wort",
+      fun () ->
+        let t = B.Wort.create (fresh_pool ()) in
+        (B.Wort.ops t, fun () -> B.Wort.check_invariants t) );
+    ( "fptree",
+      fun () ->
+        let t = B.Fptree.create (fresh_pool ()) in
+        (B.Fptree.ops t, fun () -> B.Fptree.check_integrity t) );
+    ( "nv_tree",
+      fun () ->
+        let t = B.Nv_tree.create (fresh_pool ()) in
+        (B.Nv_tree.ops t, fun () -> B.Nv_tree.check_integrity t) );
+    ( "wb_tree",
+      fun () ->
+        let t = B.Wb_tree.create (fresh_pool ()) in
+        (B.Wb_tree.ops t, fun () -> B.Wb_tree.check_integrity t) );
+    ( "cdds_btree",
+      fun () ->
+        let t = B.Cdds_btree.create (fresh_pool ()) in
+        (B.Cdds_btree.ops t, fun () -> B.Cdds_btree.check_integrity t) );
+  ]
+
+let max_key = String.make Hart_core.Leaf.max_key_len '\xff'
+
+let collect_range (ops : B.Index_intf.ops) ~lo ~hi =
+  let acc = ref [] in
+  ops.B.Index_intf.range ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+  (* in-leaf order is unspecified for some structures; compare as sets *)
+  List.sort compare !acc
+
+let oracle_range m ~lo ~hi =
+  SMap.bindings (SMap.filter (fun k _ -> lo <= k && k <= hi) m)
+
+let run_differential name make ops_list =
+  let ops, check = make () in
+  let oracle = ref SMap.empty in
+  let failf step op fmt =
+    Printf.ksprintf
+      (fun s ->
+        QCheck.Test.fail_reportf "%s: op %d (%s): %s" name step (pp_dop op) s)
+      fmt
+  in
+  List.iteri
+    (fun step op ->
+      (match op with
+      | Insert (k, v) ->
+          ops.B.Index_intf.insert ~key:k ~value:v;
+          oracle := SMap.add k v !oracle
+      | Update (k, v) ->
+          let hit = ops.B.Index_intf.update ~key:k ~value:v in
+          if hit <> SMap.mem k !oracle then
+            failf step op "update returned %b, oracle has-key %b" hit
+              (SMap.mem k !oracle);
+          if hit then oracle := SMap.add k v !oracle
+      | Delete k ->
+          let hit = ops.B.Index_intf.delete k in
+          if hit <> SMap.mem k !oracle then
+            failf step op "delete returned %b, oracle has-key %b" hit
+              (SMap.mem k !oracle);
+          oracle := SMap.remove k !oracle
+      | Search k ->
+          let got = ops.B.Index_intf.search k
+          and want = SMap.find_opt k !oracle in
+          if got <> want then
+            failf step op "search: got %s, oracle %s"
+              (match got with Some v -> Printf.sprintf "%S" v | None -> "None")
+              (match want with Some v -> Printf.sprintf "%S" v | None -> "None")
+      | Range (lo, hi) ->
+          if collect_range ops ~lo ~hi <> oracle_range !oracle ~lo ~hi then
+            failf step op "range contents diverge from oracle"
+      | Count ->
+          let got = ops.B.Index_intf.count ()
+          and want = SMap.cardinal !oracle in
+          if got <> want then failf step op "count: got %d, oracle %d" got want);
+      if (step + 1) mod 16 = 0 then
+        try check ()
+        with Failure msg -> failf step op "integrity: %s" msg)
+    ops_list;
+  (try check ()
+   with Failure msg -> QCheck.Test.fail_reportf "%s: final integrity: %s" name msg);
+  let final = collect_range ops ~lo:"" ~hi:max_key in
+  if final <> SMap.bindings !oracle then
+    QCheck.Test.fail_reportf
+      "%s: final contents diverge from oracle (%d vs %d bindings)" name
+      (List.length final)
+      (SMap.cardinal !oracle);
+  if ops.B.Index_intf.count () <> SMap.cardinal !oracle then
+    QCheck.Test.fail_reportf "%s: final count diverges from oracle" name;
+  true
+
+let differential_tests =
+  List.map
+    (fun (name, make) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:25 ~name:("differential " ^ name) dops_arb
+           (run_differential name make)))
+    targets
+
+(* A deterministic dense sequence as a fast regression anchor: every key
+   length from 1 to max on a shared prefix, inserted, updated, half
+   deleted, against every target. *)
+let dense_ladder name make () =
+  let ops, check = make () in
+  let keys =
+    List.init Hart_core.Leaf.max_key_len (fun i -> String.make (i + 1) 'a')
+  in
+  let oracle = ref SMap.empty in
+  List.iter
+    (fun k ->
+      ops.B.Index_intf.insert ~key:k ~value:k;
+      oracle := SMap.add k k !oracle)
+    keys;
+  List.iter
+    (fun k ->
+      assert (ops.B.Index_intf.update ~key:k ~value:(k ^ "!"));
+      oracle := SMap.add k (k ^ "!") !oracle)
+    keys;
+  List.iteri
+    (fun i k ->
+      if i mod 2 = 0 then begin
+        assert (ops.B.Index_intf.delete k);
+        oracle := SMap.remove k !oracle
+      end)
+    keys;
+  check ();
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": ladder contents")
+    (SMap.bindings !oracle)
+    (collect_range ops ~lo:"" ~hi:max_key)
+
+let ladder_tests =
+  List.map
+    (fun (name, make) ->
+      Alcotest.test_case ("ladder " ^ name) `Quick (dense_ladder name make))
+    targets
+
+let () =
+  Alcotest.run "differential"
+    [ ("qcheck", differential_tests); ("ladder", ladder_tests) ]

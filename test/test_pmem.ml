@@ -399,6 +399,223 @@ let qcheck_shadow_model =
         model;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Image-validation hardening                                          *)
+
+(* Hand-craft a pool image: magic, brk, live, free-entry table, body.
+   Mirrors the format written by [Pmem.save]. *)
+let write_image ?magic ~brk ~live ~free ?body ?(trailing = "") path =
+  let magic = Option.value magic ~default:0x48415254504F4F4CL (* HARTPOOL *) in
+  let body =
+    match body with Some b -> b | None -> String.make (max brk 0) '\000'
+  in
+  let oc = open_out_bin path in
+  let w64 v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    output_bytes oc b
+  in
+  w64 magic;
+  w64 (Int64.of_int brk);
+  w64 (Int64.of_int live);
+  w64 (Int64.of_int (List.length free));
+  List.iter
+    (fun (size, off) ->
+      w64 (Int64.of_int size);
+      w64 (Int64.of_int off))
+    free;
+  output_string oc body;
+  output_string oc trailing;
+  close_out oc
+
+let expect_load_failure name mk =
+  let path = tmpfile () in
+  mk path;
+  (match Pmem.load (Meter.create Latency.c300_300) path with
+  | (_ : Pmem.t) -> Alcotest.failf "%s: corrupt image was accepted" name
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: clear error (got %S)" name msg)
+        true
+        (String.length msg > 10))
+  (* Sys_error would mean we crashed on I/O rather than validating *);
+  Sys.remove path
+
+let test_load_rejects_corrupt_headers () =
+  expect_load_failure "bad magic" (fun p ->
+      write_image ~magic:1L ~brk:128 ~live:0 ~free:[] p);
+  expect_load_failure "unaligned brk" (fun p ->
+      write_image ~brk:100 ~live:0 ~free:[] p);
+  expect_load_failure "zero brk" (fun p ->
+      write_image ~brk:0 ~live:0 ~free:[] p);
+  expect_load_failure "negative brk" (fun p ->
+      write_image ~brk:(-64) ~live:0 ~free:[] p);
+  expect_load_failure "huge brk" (fun p ->
+      write_image ~brk:(1 lsl 40) ~live:0 ~free:[] ~body:"" p);
+  expect_load_failure "negative live" (fun p ->
+      write_image ~brk:128 ~live:(-1) ~free:[] p);
+  expect_load_failure "live beyond brk" (fun p ->
+      write_image ~brk:128 ~live:129 ~free:[] p);
+  expect_load_failure "absurd free-entry count" (fun p ->
+      write_image ~brk:128 ~live:0 ~free:[ (64, 64); (64, 64); (64, 64) ] p)
+
+let test_load_rejects_corrupt_free_entries () =
+  let brk = 512 in
+  expect_load_failure "zero-size region" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (0, 64) ] p);
+  expect_load_failure "negative-size region" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (-64, 64) ] p);
+  expect_load_failure "unaligned size" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (65, 64) ] p);
+  expect_load_failure "unaligned offset" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (64, 65) ] p);
+  expect_load_failure "offset in reserved line" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (64, 0) ] p);
+  expect_load_failure "region beyond brk" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (128, brk - 64) ] p);
+  expect_load_failure "exactly overlapping regions" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (64, 128); (64, 128) ] p);
+  expect_load_failure "partially overlapping regions" (fun p ->
+      write_image ~brk ~live:0 ~free:[ (128, 64); (128, 128) ] p)
+
+let test_load_rejects_truncation_and_trailing () =
+  expect_load_failure "empty file" (fun p ->
+      let oc = open_out_bin p in
+      close_out oc);
+  expect_load_failure "truncated header" (fun p ->
+      let oc = open_out_bin p in
+      output_string oc "HART";
+      close_out oc);
+  expect_load_failure "truncated free table" (fun p ->
+      (* header promises one entry but provides half of it *)
+      write_image ~brk:128 ~live:0 ~free:[] ~body:"" p;
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o600 p in
+      seek_out oc 24;
+      output_string oc "\001\000\000\000\000\000\000\000ABCD";
+      close_out oc);
+  expect_load_failure "truncated body" (fun p ->
+      write_image ~brk:256 ~live:0 ~free:[] ~body:(String.make 100 'x') p);
+  expect_load_failure "trailing bytes" (fun p ->
+      write_image ~brk:128 ~live:0 ~free:[] ~trailing:"extra" p)
+
+let test_load_accepts_valid_free_list () =
+  (* the validation must not reject legitimate images: disjoint entries,
+     same-size duplicates at different offsets, spans up to brk *)
+  let path = tmpfile () in
+  write_image ~brk:512 ~live:64
+    ~free:[ (64, 64); (64, 192); (128, 384) ]
+    path;
+  let pool = Pmem.load (Meter.create Latency.c300_300) path in
+  Alcotest.(check int) "live restored" 64 (Pmem.live_bytes pool);
+  (* the recorded regions must be reallocatable *)
+  Alcotest.(check bool) "recycles 64-byte region" true
+    (List.mem (Pmem.alloc pool 64) [ 64; 192 ]);
+  Alcotest.(check int) "recycles 128-byte region" 384 (Pmem.alloc pool 128);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Flush counting, cloning, torn crash mode                            *)
+
+let test_flush_count_monotonic () =
+  let pool, meter = fresh () in
+  let f0 = Pmem.flush_count pool in
+  let off = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  let f1 = Pmem.flush_count pool in
+  Alcotest.(check int) "one line flushed" (f0 + 1) f1;
+  (* clean persist flushes nothing *)
+  Pmem.persist pool ~off ~len:8;
+  Alcotest.(check int) "clean persist adds none" f1 (Pmem.flush_count pool);
+  (* a Meter.reset (e.g. between measured phases) must not disturb the
+     crash-schedule ordinal space *)
+  Meter.reset meter;
+  Pmem.set_u64 pool (off + 64) 2L;
+  Pmem.persist pool ~off:(off + 64) ~len:8;
+  Alcotest.(check int) "survives Meter.reset" (f1 + 1) (Pmem.flush_count pool)
+
+let test_clone_is_independent () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool off 11L;
+  Pmem.persist pool ~off ~len:8;
+  Pmem.set_u64 pool (off + 8) 22L (* dirty, unflushed *);
+  let dup = Pmem.clone pool in
+  (* state matches at the instant of cloning *)
+  Alcotest.(check int) "cache copied" 22 (Int64.to_int (Pmem.get_u64 dup (off + 8)));
+  (* crash of the clone drops ITS unflushed data, not the original's *)
+  Pmem.crash dup;
+  Alcotest.(check int) "clone lost unflushed" 0
+    (Int64.to_int (Pmem.get_u64 dup (off + 8)));
+  Alcotest.(check int) "original untouched" 22
+    (Int64.to_int (Pmem.get_u64 pool (off + 8)));
+  (* allocations diverge without cross-talk *)
+  let a = Pmem.alloc dup 64 and b = Pmem.alloc pool 64 in
+  Alcotest.(check int) "same next offset" a b;
+  Pmem.free dup ~off:a ~len:64;
+  Alcotest.(check bool) "free lists independent" true
+    (Pmem.alloc pool 64 <> Pmem.alloc dup 64)
+
+let torn_crash_with ~seed ~fraction =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 1024 in
+  for i = 0 to 15 do
+    Pmem.set_u64 pool (off + (i * 64)) (Int64.of_int (i + 1))
+  done;
+  (* no persist: all 16 lines dirty; a torn crash may evict any subset *)
+  Pmem.arm_crash ~mode:(Pmem.Torn { seed; fraction }) pool ~after_flushes:0;
+  (try
+     Pmem.persist pool ~off ~len:8;
+     Alcotest.fail "armed crash did not fire"
+   with Pmem.Crash_injected -> ());
+  List.filter_map
+    (fun i ->
+      let v = Int64.to_int (Pmem.get_u64 pool (off + (i * 64))) in
+      if v <> 0 then Some (i, v) else None)
+    (List.init 16 Fun.id)
+
+let test_torn_crash_mode () =
+  let survivors = torn_crash_with ~seed:5L ~fraction:0.5 in
+  (* every surviving line carries its full pre-crash contents *)
+  List.iter
+    (fun (i, v) ->
+      Alcotest.(check int) (Printf.sprintf "line %d intact" i) (i + 1) v)
+    survivors;
+  Alcotest.(check bool) "some lines evicted, some dropped" true
+    (let n = List.length survivors in
+     n > 0 && n < 16);
+  (* deterministic: same seed, same subset *)
+  Alcotest.(check bool) "reproducible for a seed" true
+    (survivors = torn_crash_with ~seed:5L ~fraction:0.5);
+  (* different seed: (very likely) different subset, same invariant *)
+  Alcotest.(check bool) "seed varies the subset" true
+    (survivors <> torn_crash_with ~seed:6L ~fraction:0.5)
+
+let test_torn_crash_extremes () =
+  Alcotest.(check (list (pair int int))) "fraction 0 = clean crash" []
+    (torn_crash_with ~seed:1L ~fraction:0.0);
+  Alcotest.(check int) "fraction 1 persists every dirty line" 16
+    (List.length (torn_crash_with ~seed:1L ~fraction:1.0));
+  let pool, _ = fresh () in
+  Alcotest.check_raises "fraction out of range rejected"
+    (Invalid_argument "Pmem.arm_crash: torn fraction must be in [0, 1]")
+    (fun () ->
+      Pmem.arm_crash ~mode:(Pmem.Torn { seed = 1L; fraction = 1.5 }) pool
+        ~after_flushes:0)
+
+let test_torn_mode_disarms_after_crash () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.arm_crash ~mode:(Pmem.Torn { seed = 3L; fraction = 1.0 }) pool
+    ~after_flushes:0;
+  (try Pmem.persist pool ~off ~len:8 with Pmem.Crash_injected -> ());
+  (* the torn mode applied once; a later un-armed crash is clean again *)
+  Pmem.set_u64 pool (off + 64) 9L;
+  Pmem.crash pool;
+  Alcotest.(check int) "subsequent crash is clean" 0
+    (Int64.to_int (Pmem.get_u64 pool (off + 64)))
+
 let () =
   Alcotest.run "pmem"
     [
@@ -438,6 +655,25 @@ let () =
           Alcotest.test_case "save excludes unflushed" `Quick test_save_excludes_unflushed;
           Alcotest.test_case "free list survives reload" `Quick test_load_free_list_survives;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "corrupt headers rejected" `Quick
+            test_load_rejects_corrupt_headers;
+          Alcotest.test_case "corrupt free entries rejected" `Quick
+            test_load_rejects_corrupt_free_entries;
+          Alcotest.test_case "truncation and trailing bytes rejected" `Quick
+            test_load_rejects_truncation_and_trailing;
+          Alcotest.test_case "valid free lists still accepted" `Quick
+            test_load_accepts_valid_free_list;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "flush_count monotonic across resets" `Quick
+            test_flush_count_monotonic;
+          Alcotest.test_case "clone is independent" `Quick test_clone_is_independent;
+          Alcotest.test_case "torn crash mode" `Quick test_torn_crash_mode;
+          Alcotest.test_case "torn extremes and validation" `Quick
+            test_torn_crash_extremes;
+          Alcotest.test_case "torn mode disarms after firing" `Quick
+            test_torn_mode_disarms_after_crash;
         ] );
       ( "meter",
         [

@@ -91,14 +91,20 @@ let run_micro () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]\n\
-    \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation";
+    "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro] \
+     [--json-dir DIR]\n\
+    \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation \
+     parallel\n\
+    \  --json-dir DIR also writes BENCH_figs.json (every printed table) \
+     and,\n\
+    \  when the parallel experiment runs, BENCH_parallel.json.";
   exit 2
 
 let () =
   let scale = ref 1.0 in
   let only = ref [] in
   let skip_micro = ref false in
+  let json_dir = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -112,11 +118,19 @@ let () =
     | "--skip-micro" :: rest ->
         skip_micro := true;
         parse rest
+    | "--json-dir" :: v :: rest ->
+        json_dir := Some v;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let scale = !scale in
   let wants exp = !only = [] || List.mem exp !only in
+  (match !json_dir with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Hart_harness.Report.start_capture ()
+  | None -> ());
   Printf.printf
     "HART reproduction benchmark harness (scale %.2f)\n\
      Times below are on the simulated clock: configured PM/DRAM latencies\n\
@@ -134,4 +148,15 @@ let () =
   if wants "fig10c" then Hart_harness.Exp_recovery.run ~scale;
   if wants "fig10d" then Hart_harness.Exp_scalability.run ~scale;
   if wants "ablation" then Hart_harness.Exp_ablation.run ~scale;
+  if wants "parallel" then
+    Hart_harness.Exp_parallel.run
+      ?json_path:
+        (Option.map (fun d -> Filename.concat d "BENCH_parallel.json") !json_dir)
+      ~scale ();
+  (match !json_dir with
+  | Some dir ->
+      let path = Filename.concat dir "BENCH_figs.json" in
+      Hart_harness.Report.dump_captured ~path;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
   print_newline ()

@@ -172,6 +172,36 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Bulk-load random records and report simulated cost.")
     Term.(const run $ records $ db_arg)
 
+let parallel_cmd =
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale the per-phase operation count (default 200k ops).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as JSON (BENCH_parallel.json format).")
+  in
+  let run scale json =
+    ok_or_die
+      (if scale <= 0. then Error "scale must be positive"
+       else begin
+         Hart_harness.Exp_parallel.run ?json_path:json ~scale ();
+         Ok ()
+       end)
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:
+         "Measure wall-clock multi-domain scalability of the concurrent \
+          HART front end (uniform and Zipf key mixes, 1-8 domains). Real \
+          [Domain.spawn] timings, not the simulated clock.")
+    Term.(const run $ scale $ json)
+
 let fault_cmd =
   let workload =
     let all = List.map (fun (n, _, _) -> n) Hart_fault.Fault.builtin_workloads in
@@ -203,7 +233,25 @@ let fault_cmd =
       value & flag
       & info [ "no-nested" ] ~doc:"Skip crash-during-recovery schedules.")
   in
-  let run workload target torn no_nested =
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:
+            "Snapshot the pool every $(docv) flushes of the dry run and \
+             replay each crash schedule from the nearest snapshot instead \
+             of re-executing the whole prefix (O(F·K) instead of O(F²)).")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+        ~doc:
+          "Collect and report every violating schedule instead of \
+           stopping at the first; exit nonzero if any were found.")
+  in
+  let run workload target torn no_nested checkpoint_every keep_going =
     ok_or_die
       (try
          let targets =
@@ -231,19 +279,27 @@ let fault_cmd =
            | None -> Hart_pmem.Pmem.Clean
            | Some seed -> Hart_pmem.Pmem.Torn { seed; fraction = 0.5 }
          in
+         let all_violations = ref [] in
          List.iter
            (fun t ->
              List.iter
                (fun (name, setup, ops) ->
                  let r =
                    Hart_fault.Fault.explore ~mode ~nested:(not no_nested) ~setup
-                     ~workload:name t ops
+                     ?checkpoint_every ~keep_going ~workload:name t ops
                  in
-                 Format.printf "%a@." Hart_fault.Fault.pp_report r)
+                 Format.printf "%a@." Hart_fault.Fault.pp_report r;
+                 all_violations :=
+                   !all_violations @ r.Hart_fault.Fault.violations)
                workloads)
            targets;
-         print_endline "all crash schedules consistent";
-         Ok ()
+         match !all_violations with
+         | [] ->
+             print_endline "all crash schedules consistent";
+             Ok ()
+         | vs ->
+             List.iter (Printf.eprintf "violation: %s\n") vs;
+             Error (Printf.sprintf "%d violating schedule(s)" (List.length vs))
        with
       | Hart_fault.Fault.Violation msg -> Error msg
       | Failure msg -> Error msg)
@@ -254,8 +310,11 @@ let fault_cmd =
          "Exhaustively sweep crash schedules: crash at every flush boundary \
           of a scripted workload, recover, and check integrity plus \
           prefix-consistency against a model. Nonzero exit on the first \
-          violating schedule.")
-    Term.(const run $ workload $ target $ torn $ no_nested)
+          violating schedule (or, with $(b,--keep-going), after reporting \
+          all of them).")
+    Term.(
+      const run $ workload $ target $ torn $ no_nested $ checkpoint_every
+      $ keep_going)
 
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in
@@ -271,5 +330,6 @@ let () =
             list_cmd;
             stats_cmd;
             bench_cmd;
+            parallel_cmd;
             fault_cmd;
           ]))

@@ -23,61 +23,84 @@ let head_field cls = root_off + 16 + (8 * cls_id cls)
 let log_base = root_off + 16 + (8 * n_classes)
 let root_bytes = 16 + (8 * n_classes) + Microlog.region_bytes
 
-(* Sorted dynamic array of chunk offsets: the volatile registry that
-   resolves an object offset to its chunk. *)
+(* Copy-on-write sorted array of chunk offsets: the volatile registry
+   that resolves an object offset to its chunk. Readers get a snapshot
+   from an [Atomic.t] with no locking; mutations (chunk alloc/recycle,
+   both rare — once per 56 objects at most) build a fresh array and
+   publish it under the class lock. *)
 module Registry = struct
-  type t = { mutable a : int array; mutable n : int }
+  type t = int array (* sorted ascending *)
 
-  let create () = { a = Array.make 8 0; n = 0 }
+  let empty : t = [||]
 
   (* greatest index with a.(i) <= x, or -1 *)
-  let find_le t x =
+  let find_le (a : t) x =
     let rec go lo hi =
       if lo > hi then hi
       else
         let mid = (lo + hi) / 2 in
-        if t.a.(mid) <= x then go (mid + 1) hi else go lo (mid - 1)
+        if a.(mid) <= x then go (mid + 1) hi else go lo (mid - 1)
     in
-    go 0 (t.n - 1)
+    go 0 (Array.length a - 1)
 
-  let mem t x = t.n > 0 && (let i = find_le t x in i >= 0 && t.a.(i) = x)
+  let mem (a : t) x =
+    let i = find_le a x in
+    i >= 0 && a.(i) = x
 
-  let insert t x =
-    if not (mem t x) then begin
-      if t.n = Array.length t.a then begin
-        let a = Array.make (t.n * 2) 0 in
-        Array.blit t.a 0 a 0 t.n;
-        t.a <- a
-      end;
-      let i = find_le t x + 1 in
-      Array.blit t.a i t.a (i + 1) (t.n - i);
-      t.a.(i) <- x;
-      t.n <- t.n + 1
+  let add (a : t) x =
+    if mem a x then a
+    else begin
+      let n = Array.length a in
+      let i = find_le a x + 1 in
+      let b = Array.make (n + 1) x in
+      Array.blit a 0 b 0 i;
+      Array.blit a i b (i + 1) (n - i);
+      b
     end
 
-  let remove t x =
-    if t.n > 0 then begin
-      let i = find_le t x in
-      if i >= 0 && t.a.(i) = x then begin
-        Array.blit t.a (i + 1) t.a i (t.n - i - 1);
-        t.n <- t.n - 1
-      end
+  let remove (a : t) x =
+    let i = find_le a x in
+    if i < 0 || a.(i) <> x then a
+    else begin
+      let n = Array.length a in
+      let b = Array.make (n - 1) 0 in
+      Array.blit a 0 b 0 i;
+      Array.blit a (i + 1) b i (n - i - 1);
+      b
     end
 
-  let iter t f =
-    for i = 0 to t.n - 1 do
-      f t.a.(i)
-    done
+  let iter (a : t) f = Array.iter f a
 end
+
+(* Lock architecture (strict acquisition order, coarse to fine):
+     class mutex  →  chunk stripe mutex  →  (Pmem alloc / Microlog mutex)
+   - A chunk's stripe mutex guards its bitmap read-modify-writes and its
+     reservation mask; the allocation fast path takes only this.
+   - A class mutex guards that class's chunk-list structure (PM pnext
+     links + head mirror), its avail cache, and its registry publication.
+   - Paths that hold a stripe and then need the class lock (returning a
+     slot to the avail cache) release the stripe first, so the order is
+     never reversed. *)
+let n_stripes = 64
+let stripe_of chunk = (chunk lsr 6) land (n_stripes - 1)
+let dom_slots = 64
+let dom_slot () = (Domain.self () :> int) land (dom_slots - 1)
 
 type t = {
   pool : Pmem.t;
   kh : int;
   logs : Microlog.t;
   heads : int array;  (* volatile mirror of the persistent list heads *)
-  registry : Registry.t array;
-  reserved : (int, int ref) Hashtbl.t;  (* chunk -> 56-bit reservation mask *)
-  avail : (int, unit) Hashtbl.t array;  (* chunks with a free slot, per class *)
+  class_mu : Mutex.t array;  (* one per class *)
+  registry : Registry.t Atomic.t array;  (* per class, COW *)
+  chunk_mu : Mutex.t array;  (* stripe locks over chunks *)
+  reserved : (int, int ref) Hashtbl.t array;
+      (* chunk -> 56-bit reservation mask, sharded by stripe *)
+  avail : (int, unit) Hashtbl.t array;
+      (* chunks believed to have a free slot, per class; may contain
+         stale (full or recycled) entries, filtered lazily under the
+         class lock *)
+  active : int array array;  (* class x domain slot: allocation fast path *)
 }
 
 let pool t = t.pool
@@ -86,21 +109,75 @@ let logs t = t.logs
 
 let full_mask = (1 lsl Chunk.objs_per_chunk) - 1
 
-let reserved_mask t chunk =
-  match Hashtbl.find_opt t.reserved chunk with Some r -> !r | None -> 0
+let with_lock mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
-let occupancy t chunk =
-  Int64.to_int (Chunk.bitmap t.pool ~chunk) lor reserved_mask t chunk
+let with_stripe t chunk f = with_lock t.chunk_mu.(stripe_of chunk) f
 
-let refresh_avail t cls chunk =
-  if occupancy t chunk land full_mask = full_mask then
-    Hashtbl.remove t.avail.(cls_id cls) chunk
-  else Hashtbl.replace t.avail.(cls_id cls) chunk ()
+(* stripe lock held *)
+let reserved_mask_locked t chunk =
+  match Hashtbl.find_opt t.reserved.(stripe_of chunk) chunk with
+  | Some r -> !r
+  | None -> 0
+
+let occupancy_locked t chunk =
+  Int64.to_int (Chunk.bitmap t.pool ~chunk) lor reserved_mask_locked t chunk
+
+let reserve_locked t chunk idx =
+  let tbl = t.reserved.(stripe_of chunk) in
+  let r =
+    match Hashtbl.find_opt tbl chunk with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add tbl chunk r;
+        r
+  in
+  r := !r lor (1 lsl idx)
+
+let unreserve_locked t chunk idx =
+  let tbl = t.reserved.(stripe_of chunk) in
+  match Hashtbl.find_opt tbl chunk with
+  | Some r ->
+      r := !r land lnot (1 lsl idx);
+      if !r = 0 then Hashtbl.remove tbl chunk
+  | None -> ()
+
+let mark_avail t id chunk =
+  with_lock t.class_mu.(id) (fun () -> Hashtbl.replace t.avail.(id) chunk ())
+
+(* class lock held; registry mutations are serialised by it *)
+let registry_add t id chunk =
+  Atomic.set t.registry.(id) (Registry.add (Atomic.get t.registry.(id)) chunk)
+
+let registry_remove t id chunk =
+  Atomic.set t.registry.(id) (Registry.remove (Atomic.get t.registry.(id)) chunk)
 
 let set_head t cls v =
   Pmem.set_u64 t.pool (head_field cls) (Int64.of_int v);
   Pmem.persist t.pool ~off:(head_field cls) ~len:8;
   t.heads.(cls_id cls) <- v
+
+let make pool ~kh ~logs =
+  {
+    pool;
+    kh;
+    logs;
+    heads = Array.make n_classes 0;
+    class_mu = Array.init n_classes (fun _ -> Mutex.create ());
+    registry = Array.init n_classes (fun _ -> Atomic.make Registry.empty);
+    chunk_mu = Array.init n_stripes (fun _ -> Mutex.create ());
+    reserved = Array.init n_stripes (fun _ -> Hashtbl.create 16);
+    avail = Array.init n_classes (fun _ -> Hashtbl.create 64);
+    active = Array.init n_classes (fun _ -> Array.make dom_slots 0);
+  }
 
 let create ?(kh = 2) pool =
   if kh < 1 || kh > 8 then invalid_arg "Epalloc.create: kh must be in [1,8]";
@@ -114,21 +191,17 @@ let create ?(kh = 2) pool =
   done;
   Pmem.persist pool ~off:root_off ~len:(16 + (8 * n_classes));
   let logs = Microlog.create pool ~base:log_base in
-  {
-    pool;
-    kh;
-    logs;
-    heads = Array.make n_classes 0;
-    registry = Array.init n_classes (fun _ -> Registry.create ());
-    reserved = Hashtbl.create 64;
-    avail = Array.init n_classes (fun _ -> Hashtbl.create 64);
-  }
+  make pool ~kh ~logs
 
+(* Lock-free: snapshots the COW registry. The bitmap word itself is read
+   without the stripe lock by [obj_bit] — an 8-byte-aligned word read
+   racing only with same-word bit flips of *other* objects, never the
+   queried object's own bit (its owner holds the enclosing ART lock). *)
 let chunk_of_obj t cls obj =
-  let reg = t.registry.(cls_id cls) in
+  let reg = Atomic.get t.registry.(cls_id cls) in
   let i = Registry.find_le reg obj in
   if i < 0 then raise Not_found;
-  let chunk = reg.Registry.a.(i) in
+  let chunk = reg.(i) in
   if obj < chunk + 16 || obj >= chunk + Chunk.chunk_bytes cls then raise Not_found;
   chunk
 
@@ -139,30 +212,11 @@ let class_of_value_obj t obj =
 (* ------------------------------------------------------------------ *)
 (* Allocation (Algorithm 2)                                            *)
 
-let reserve t cls chunk idx =
-  let r =
-    match Hashtbl.find_opt t.reserved chunk with
-    | Some r -> r
-    | None ->
-        let r = ref 0 in
-        Hashtbl.add t.reserved chunk r;
-        r
-  in
-  r := !r lor (1 lsl idx);
-  refresh_avail t cls chunk
-
-let unreserve t cls chunk idx =
-  (match Hashtbl.find_opt t.reserved chunk with
-  | Some r ->
-      r := !r land lnot (1 lsl idx);
-      if !r = 0 then Hashtbl.remove t.reserved chunk
-  | None -> ());
-  refresh_avail t cls chunk
-
 (* First free slot considering both the durable bitmap and volatile
-   reservations, preferring the persistent next-free hint. *)
-let get_free_object t chunk =
-  let occ = occupancy t chunk in
+   reservations, preferring the persistent next-free hint. Stripe lock
+   held. *)
+let get_free_object_locked t chunk =
+  let occ = occupancy_locked t chunk in
   if occ land full_mask = full_mask then None
   else begin
     let hint = Chunk.next_free_hint t.pool ~chunk in
@@ -176,20 +230,50 @@ let get_free_object t chunk =
     Some idx
   end
 
+(* Reserve a slot in [chunk] if it is still a live chunk of [cls] with
+   room. The registry re-check under the stripe lock is what makes the
+   cached [active] chunk (and stale [avail] entries) safe: a chunk
+   recycled — or recycled and re-allocated to another class — since the
+   caller last saw it fails the check and is skipped. *)
+let try_reserve t cls chunk =
+  if chunk = 0 then None
+  else
+    with_stripe t chunk (fun () ->
+        if not (Registry.mem (Atomic.get t.registry.(cls_id cls)) chunk) then None
+        else
+          match get_free_object_locked t chunk with
+          | None -> None
+          | Some idx ->
+              reserve_locked t chunk idx;
+              Some (Chunk.obj_off cls ~chunk ~idx))
+
 (* ------------------------------------------------------------------ *)
 (* Bit commitment                                                      *)
 
 let set_obj_bit t cls ~obj =
   let chunk = chunk_of_obj t cls obj in
   let idx = Chunk.idx_of_obj cls ~chunk ~obj in
-  Chunk.set_bit t.pool ~chunk ~idx;
-  unreserve t cls chunk idx
+  with_stripe t chunk (fun () ->
+      Chunk.set_bit t.pool ~chunk ~idx;
+      unreserve_locked t chunk idx)
 
 let reset_obj_bit t cls ~obj =
   let chunk = chunk_of_obj t cls obj in
   let idx = Chunk.idx_of_obj cls ~chunk ~obj in
-  Chunk.reset_bit t.pool ~chunk ~idx;
-  refresh_avail t cls chunk
+  with_stripe t chunk (fun () -> Chunk.reset_bit t.pool ~chunk ~idx);
+  mark_avail t (cls_id cls) chunk
+
+(* Durably free the object but keep its slot reserved, so the caller can
+   still scrub the object's contents (e.g. sever a leaf's stale value
+   pointer) before any domain can be handed the slot. Release with
+   [cancel_reservation]. Identical PM traffic to [reset_obj_bit] — the
+   reservation is volatile — so simulated-clock figures are unchanged. *)
+let reset_obj_bit_hold t cls ~obj =
+  let chunk = chunk_of_obj t cls obj in
+  let idx = Chunk.idx_of_obj cls ~chunk ~obj in
+  with_stripe t chunk (fun () ->
+      Chunk.reset_bit t.pool ~chunk ~idx;
+      reserve_locked t chunk idx)
 
 let obj_bit t cls ~obj =
   let chunk = chunk_of_obj t cls obj in
@@ -197,11 +281,14 @@ let obj_bit t cls ~obj =
 
 let cancel_reservation t cls ~obj =
   let chunk = chunk_of_obj t cls obj in
-  unreserve t cls chunk (Chunk.idx_of_obj cls ~chunk ~obj)
+  with_stripe t chunk (fun () ->
+      unreserve_locked t chunk (Chunk.idx_of_obj cls ~chunk ~obj));
+  mark_avail t (cls_id cls) chunk
 
 (* ------------------------------------------------------------------ *)
 (* Recycling (Algorithm 6)                                             *)
 
+(* class lock held: the pnext chain only changes under it *)
 let find_prev t cls chunk =
   let rec walk c =
     if c = 0 then 0
@@ -212,30 +299,39 @@ let find_prev t cls chunk =
 
 let eprecycle t cls ~chunk =
   let id = cls_id cls in
-  if
-    Registry.mem t.registry.(id) chunk
-    && Chunk.is_empty t.pool ~chunk
-    && reserved_mask t chunk = 0
-  then begin
-    let slot = Microlog.Recycle.acquire t.logs in
-    Microlog.Recycle.set_pcurrent t.logs ~slot ~cls chunk;
-    (if t.heads.(id) = chunk then set_head t cls (Chunk.pnext t.pool ~chunk)
-     else begin
-       let prev = find_prev t cls chunk in
-       if prev <> 0 then begin
-         Microlog.Recycle.set_pprev t.logs ~slot prev;
-         Chunk.set_pnext t.pool ~chunk:prev (Chunk.pnext t.pool ~chunk)
-       end
-     end);
-    Chunk.release t.pool cls ~chunk;
-    Registry.remove t.registry.(id) chunk;
-    Hashtbl.remove t.avail.(id) chunk;
-    Microlog.Recycle.reclaim t.logs ~slot
-  end
+  with_lock t.class_mu.(id) (fun () ->
+      with_stripe t chunk (fun () ->
+          if
+            Registry.mem (Atomic.get t.registry.(id)) chunk
+            && Chunk.is_empty t.pool ~chunk
+            && reserved_mask_locked t chunk = 0
+          then begin
+            let slot = Microlog.Recycle.acquire t.logs in
+            Microlog.Recycle.set_pcurrent t.logs ~slot ~cls chunk;
+            (if t.heads.(id) = chunk then
+               set_head t cls (Chunk.pnext t.pool ~chunk)
+             else begin
+               let prev = find_prev t cls chunk in
+               if prev <> 0 then begin
+                 Microlog.Recycle.set_pprev t.logs ~slot prev;
+                 Chunk.set_pnext t.pool ~chunk:prev (Chunk.pnext t.pool ~chunk)
+               end
+             end);
+            Chunk.release t.pool cls ~chunk;
+            (* unregister before dropping the stripe lock so no domain can
+               reserve into the freed chunk through a stale active/avail
+               reference *)
+            registry_remove t id chunk;
+            Hashtbl.remove t.avail.(id) chunk;
+            Microlog.Recycle.reclaim t.logs ~slot
+          end))
 
 (* Lines 12-16 of Algorithm 2: a free leaf slot still pointing at a
    committed value object is the footprint of a crashed insertion or
-   deletion; release the value before handing the slot out. *)
+   deletion; release the value before handing the slot out. Called with
+   no locks held — the caller's reservation makes the slot exclusive —
+   because it takes *value*-class locks, which must never nest inside
+   leaf-class ones. *)
 let repair_leaf_slot t obj =
   let p_value = Leaf.p_value t.pool ~leaf:obj in
   if p_value <> 0 then begin
@@ -243,9 +339,16 @@ let repair_leaf_slot t obj =
     | Some vcls ->
         let vchunk = chunk_of_obj t vcls p_value in
         let vidx = Chunk.idx_of_obj vcls ~chunk:vchunk ~obj:p_value in
-        if Chunk.test_bit t.pool ~chunk:vchunk ~idx:vidx then begin
-          Chunk.reset_bit t.pool ~chunk:vchunk ~idx:vidx;
-          refresh_avail t vcls vchunk;
+        let cleared =
+          with_stripe t vchunk (fun () ->
+              if Chunk.test_bit t.pool ~chunk:vchunk ~idx:vidx then begin
+                Chunk.reset_bit t.pool ~chunk:vchunk ~idx:vidx;
+                true
+              end
+              else false)
+        in
+        if cleared then begin
+          mark_avail t (cls_id vcls) vchunk;
           eprecycle t vcls ~chunk:vchunk
         end
     | None -> ());
@@ -255,45 +358,55 @@ let repair_leaf_slot t obj =
 
 let epmalloc t cls =
   let id = cls_id cls in
-  (* The volatile available-chunk cache replaces Algorithm 2's PM list
-     walk (lines 1-7): it is complete — rebuilt by [attach], updated on
-     every bitmap or reservation change — so a miss here means no chunk
-     has a free slot. The paper's walk re-scans every full chunk once the
-     head fills, which is quadratic over a large store; caching which
-     chunks have room is exactly the kind of DRAM acceleration
-     EPallocator exists for (§III-A.4). *)
-  let found = ref 0 in
-  (try
-     Hashtbl.iter
-       (fun chunk () ->
-         if occupancy t chunk land full_mask <> full_mask then begin
-           found := chunk;
-           raise Exit
-         end)
-       t.avail.(id)
-   with Exit -> ());
-  let chunk =
-    if !found <> 0 then !found
-    else begin
-      (* lines 8-10: grow the list at its head *)
-      let chunk = Chunk.alloc t.pool cls in
-      Chunk.set_pnext t.pool ~chunk t.heads.(id);
-      set_head t cls chunk;
-      Registry.insert t.registry.(id) chunk;
-      Hashtbl.replace t.avail.(id) chunk ();
-      chunk
-    end
+  let dom = dom_slot () in
+  let obj =
+    (* fast path: the chunk this domain last allocated from, touched
+       without the class lock *)
+    match try_reserve t cls t.active.(id).(dom) with
+    | Some obj -> obj
+    | None ->
+        with_lock t.class_mu.(id) (fun () ->
+            (* The volatile available-chunk cache replaces Algorithm 2's
+               PM list walk (lines 1-7): it is complete — every slot
+               release re-adds its chunk — so a miss here means no chunk
+               has a free slot. The paper's walk re-scans every full
+               chunk once the head fills, which is quadratic over a large
+               store; caching which chunks have room is exactly the kind
+               of DRAM acceleration EPallocator exists for (§III-A.4). *)
+            let stale = ref [] in
+            let got = ref None in
+            (try
+               Hashtbl.iter
+                 (fun chunk () ->
+                   match try_reserve t cls chunk with
+                   | Some obj ->
+                       got := Some (chunk, obj);
+                       raise Exit
+                   | None -> stale := chunk :: !stale)
+                 t.avail.(id)
+             with Exit -> ());
+            List.iter (fun c -> Hashtbl.remove t.avail.(id) c) !stale;
+            match !got with
+            | Some (chunk, obj) ->
+                t.active.(id).(dom) <- chunk;
+                obj
+            | None ->
+                (* lines 8-10: grow the list at its head *)
+                let chunk = Chunk.alloc t.pool cls in
+                Chunk.set_pnext t.pool ~chunk t.heads.(id);
+                set_head t cls chunk;
+                registry_add t id chunk;
+                Hashtbl.replace t.avail.(id) chunk ();
+                t.active.(id).(dom) <- chunk;
+                (match try_reserve t cls chunk with
+                | Some obj -> obj
+                | None -> assert false (* fresh chunk, registered, empty *)))
   in
-  match get_free_object t chunk with
-  | None -> assert false (* the chunk was verified non-full above *)
-  | Some idx ->
-      let obj = Chunk.obj_off cls ~chunk ~idx in
-      if cls = Chunk.Leaf_c then repair_leaf_slot t obj;
-      reserve t cls chunk idx;
-      obj
+  if cls = Chunk.Leaf_c then repair_leaf_slot t obj;
+  obj
 
 (* ------------------------------------------------------------------ *)
-(* Recovery                                                            *)
+(* Recovery (single-domain: runs before the store is shared)           *)
 
 let recover_recycle_log t ~slot =
   let logs = t.logs in
@@ -313,7 +426,7 @@ let recover_recycle_log t ~slot =
        if prev <> 0 then Chunk.set_pnext t.pool ~chunk:prev (Chunk.pnext t.pool ~chunk)
      end);
     Chunk.release t.pool cls ~chunk;
-    Registry.remove t.registry.(id) chunk;
+    registry_remove t id chunk;
     Hashtbl.remove t.avail.(id) chunk
   end;
   (* already unlinked: the pool free was idempotent at the allocator
@@ -347,23 +460,13 @@ let attach pool =
     failwith "Epalloc.attach: no valid HART root block in this pool";
   let kh = Int64.to_int (Pmem.get_u64 pool (root_off + 8)) in
   let logs = Microlog.attach pool ~base:log_base in
-  let t =
-    {
-      pool;
-      kh;
-      logs;
-      heads = Array.make n_classes 0;
-      registry = Array.init n_classes (fun _ -> Registry.create ());
-      reserved = Hashtbl.create 64;
-      avail = Array.init n_classes (fun _ -> Hashtbl.create 64);
-    }
-  in
+  let t = make pool ~kh ~logs in
   for id = 0 to n_classes - 1 do
     let cls = cls_of_id id in
     t.heads.(id) <- Int64.to_int (Pmem.get_u64 pool (head_field cls));
     let rec walk chunk =
       if chunk <> 0 then begin
-        Registry.insert t.registry.(id) chunk;
+        registry_add t id chunk;
         if not (Chunk.is_full pool ~chunk) then Hashtbl.replace t.avail.(id) chunk ();
         walk (Chunk.pnext pool ~chunk)
       end
@@ -390,7 +493,7 @@ let attach pool =
   t
 
 (* ------------------------------------------------------------------ *)
-(* Introspection                                                       *)
+(* Introspection (quiesced callers)                                    *)
 
 let iter_chunks t cls f =
   let rec walk chunk =
@@ -426,14 +529,17 @@ let check_invariants t =
     iter_chunks t cls (fun chunk ->
         if Hashtbl.mem in_list chunk then fail "chunk list cycle at %d" chunk;
         Hashtbl.add in_list chunk ();
-        if not (Registry.mem t.registry.(id) chunk) then
+        if not (Registry.mem (Atomic.get t.registry.(id)) chunk) then
           fail "chunk %d in list but not in registry (class %d)" chunk id);
-    Registry.iter t.registry.(id) (fun chunk ->
+    Registry.iter (Atomic.get t.registry.(id)) (fun chunk ->
         if not (Hashtbl.mem in_list chunk) then
           fail "chunk %d in registry but not in list (class %d)" chunk id)
   done;
-  Hashtbl.iter
-    (fun chunk r ->
-      if !r land lnot full_mask <> 0 then
-        fail "reservation mask of chunk %d out of range" chunk)
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun chunk r ->
+          if !r land lnot full_mask <> 0 then
+            fail "reservation mask of chunk %d out of range" chunk)
+        tbl)
     t.reserved

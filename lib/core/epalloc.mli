@@ -15,6 +15,18 @@
     double hand-out of uncommitted slots, and a cache of chunks known to
     have free slots so the common allocation touches no full chunk.
 
+    Domain safety: object-offset resolution is lock-free (the registry is
+    a copy-on-write sorted array published through an [Atomic.t]); bitmap
+    read-modify-writes and reservations are serialised per chunk by a
+    stripe of mutexes, which also preserves the bitmap-after-insert
+    persistence ordering per chunk; chunk-list structure, the avail cache
+    and registry publication are serialised by one mutex per class; and
+    each domain caches a per-class active chunk so steady-state
+    allocation takes only the chunk's stripe lock, never the class lock.
+    Stale active/avail references are harmless — a reservation re-checks
+    chunk registration under the stripe lock. Lock order is always
+    class → stripe → (pool allocator / micro-log), never reversed.
+
     The root block occupies the first allocation of the pool, so a HART
     pool is self-describing: {!attach} needs only the pool. *)
 
@@ -50,6 +62,12 @@ val set_obj_bit : t -> Chunk.cls -> obj:int -> unit
 
 val reset_obj_bit : t -> Chunk.cls -> obj:int -> unit
 (** Clear and persist the object's bit, making the slot reusable. *)
+
+val reset_obj_bit_hold : t -> Chunk.cls -> obj:int -> unit
+(** Like {!reset_obj_bit}, but keep the slot reserved so no domain can
+    be handed it while the caller still scrubs the object's contents
+    (e.g. severing a dead leaf's value pointer, Algorithm 5). Release
+    with {!cancel_reservation}. Same PM traffic as {!reset_obj_bit}. *)
 
 val obj_bit : t -> Chunk.cls -> obj:int -> bool
 

@@ -9,13 +9,13 @@ type t = {
   dir : int Art.t Hash_dir.t;  (* hash key -> ART of (art key -> leaf offset) *)
   kh : int;
   internal_nodes : internal_nodes;
-  mutable count : int;
+  count : int Atomic.t;
 }
 
 let kh t = t.kh
 let pool t = t.pool
 let alloc t = t.alloc
-let count t = t.count
+let count t = Atomic.get t.count
 let art_count t = Hash_dir.length t.dir
 
 (* Ablation support (`Pm): internal nodes placed on PM with a
@@ -59,7 +59,7 @@ let create ?(kh = 2) ?dir_buckets ?(internal_nodes = `Dram) pool =
     dir = Hash_dir.create ~meter ?initial_buckets:dir_buckets ();
     kh;
     internal_nodes;
-    count = 0;
+    count = Atomic.make 0;
   }
 
 let split_key t key =
@@ -124,7 +124,7 @@ let insert t ~key ~value =
       | `Inserted -> ()
       | `Replaced _ -> assert false (* Art.find returned None above *));
       Epalloc.set_obj_bit t.alloc Chunk.Leaf_c ~obj:leaf;
-      t.count <- t.count + 1
+      Atomic.incr t.count
 
 (* Read a validated leaf's value; [None] if the leaf fails validation.
    The PM key read models the leaf key comparison a C implementation
@@ -173,21 +173,24 @@ let delete t key =
         | None -> false
         | Some leaf ->
             let vobj = Leaf.p_value t.pool ~leaf in
-            Epalloc.reset_obj_bit t.alloc Chunk.Leaf_c ~obj:leaf;
+            (* free the leaf slot durably but keep it reserved: the
+               stale value reference must be severed before another
+               domain can be handed the slot, or its repair path would
+               free a value owned by a live key (and our late writes
+               would clobber the new owner's leaf) *)
+            Epalloc.reset_obj_bit_hold t.alloc Chunk.Leaf_c ~obj:leaf;
             (match Epalloc.class_of_value_obj t.alloc vobj with
             | Some vcls ->
                 Epalloc.reset_obj_bit t.alloc vcls ~obj:vobj;
-                (* sever the stale reference before the value slot can be
-                   reused, or a later repair of this leaf slot would free
-                   a value owned by another key *)
                 Leaf.set_p_value t.pool ~leaf 0;
                 Epalloc.eprecycle t.alloc vcls
                   ~chunk:(Epalloc.chunk_of_obj t.alloc vcls vobj)
             | None -> ());
+            Epalloc.cancel_reservation t.alloc Chunk.Leaf_c ~obj:leaf;
             Epalloc.eprecycle t.alloc Chunk.Leaf_c
               ~chunk:(Epalloc.chunk_of_obj t.alloc Chunk.Leaf_c leaf);
             if Art.is_empty art then Hash_dir.remove t.dir hash_key;
-            t.count <- t.count - 1;
+            Atomic.decr t.count;
             true)
 
 (* ------------------------------------------------------------------ *)
@@ -273,7 +276,7 @@ let recover pool =
       dir = Hash_dir.create ~meter ();
       kh = Epalloc.kh alloc;
       internal_nodes = `Dram;
-      count = 0;
+      count = Atomic.make 0;
     }
   in
   Epalloc.iter_live_objs alloc Chunk.Leaf_c (fun ~obj ->
@@ -281,7 +284,7 @@ let recover pool =
       let hash_key, art_key = split_key t key in
       let art = find_or_create_art t hash_key in
       match Art.insert art art_key obj with
-      | `Inserted -> t.count <- t.count + 1
+      | `Inserted -> Atomic.incr t.count
       | `Replaced _ ->
           failwith
             (Printf.sprintf "Hart.recover: duplicate committed leaf for key %S" key));
@@ -324,7 +327,8 @@ let check_integrity ?(allow_recovered_orphans = false) t =
           if Hashtbl.mem seen_values v then
             fail "value object %d referenced by two leaves" v;
           Hashtbl.add seen_values v ()));
-  if !n <> t.count then fail "count %d but %d reachable leaves" t.count !n;
+  let count = Atomic.get t.count in
+  if !n <> count then fail "count %d but %d reachable leaves" count !n;
   let live_leaves = Epalloc.live_objects t.alloc Chunk.Leaf_c in
   if live_leaves <> !n then
     fail "%d committed PM leaves but %d reachable from ARTs (leak?)" live_leaves !n;

@@ -1,66 +1,46 @@
+(* One reader/writer lock per ART (§III-A.3), realised as a fixed stripe
+   array indexed by the hash key's directory hash: all keys of one hash
+   prefix — one ART — always map to the same stripe, so the paper's
+   admission protocol holds exactly (stripe collisions between distinct
+   ARTs only add conservative exclusion, never admit too much). A fixed
+   array needs no lock-table mutex on the hot path, and the layers below
+   (Hash_dir, Epalloc, Microlog, Meter, Pmem) are domain-safe on their
+   own, so there is no global serialisation point: operations on
+   distinct stripes proceed in parallel. *)
+
 type t = {
   hart : Hart.t;
-  pm : Mutex.t;  (* serialises pool/meter/directory mutation *)
-  locks : (string, Rwlock.t) Hashtbl.t;  (* hash key -> per-ART lock *)
-  locks_mu : Mutex.t;
+  stripes : Rwlock.t array;
 }
 
-let create ?kh pool =
-  {
-    hart = Hart.create ?kh pool;
-    pm = Mutex.create ();
-    locks = Hashtbl.create 256;
-    locks_mu = Mutex.create ();
-  }
+let n_stripes = 512 (* power of two, >> expected domain count *)
 
-let recover pool =
-  {
-    hart = Hart.recover pool;
-    pm = Mutex.create ();
-    locks = Hashtbl.create 256;
-    locks_mu = Mutex.create ();
-  }
+let make hart =
+  { hart; stripes = Array.init n_stripes (fun _ -> Rwlock.create ()) }
 
+let create ?kh pool = make (Hart.create ?kh pool)
+let recover pool = make (Hart.recover pool)
 let underlying t = t.hart
 
 let art_lock t key =
   let hash_key, _ = Hart.split_key t.hart key in
-  Mutex.lock t.locks_mu;
-  let lock =
-    match Hashtbl.find_opt t.locks hash_key with
-    | Some l -> l
-    | None ->
-        let l = Rwlock.create () in
-        Hashtbl.add t.locks hash_key l;
-        l
-  in
-  Mutex.unlock t.locks_mu;
-  lock
-
-let serialised t f =
-  Mutex.lock t.pm;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.pm) f
+  t.stripes.(Hash_dir.hash hash_key land (n_stripes - 1))
 
 let insert t ~key ~value =
-  Rwlock.with_write (art_lock t key) (fun () ->
-      serialised t (fun () -> Hart.insert t.hart ~key ~value))
+  Rwlock.with_write (art_lock t key) (fun () -> Hart.insert t.hart ~key ~value)
 
 let search t key =
-  Rwlock.with_read (art_lock t key) (fun () ->
-      serialised t (fun () -> Hart.search t.hart key))
+  Rwlock.with_read (art_lock t key) (fun () -> Hart.search t.hart key)
 
 let update t ~key ~value =
-  Rwlock.with_write (art_lock t key) (fun () ->
-      serialised t (fun () -> Hart.update t.hart ~key ~value))
+  Rwlock.with_write (art_lock t key) (fun () -> Hart.update t.hart ~key ~value)
 
 let delete t key =
-  Rwlock.with_write (art_lock t key) (fun () ->
-      serialised t (fun () -> Hart.delete t.hart key))
+  Rwlock.with_write (art_lock t key) (fun () -> Hart.delete t.hart key)
 
 let rmw t ~key f =
   Rwlock.with_write (art_lock t key) (fun () ->
-      serialised t (fun () ->
-          let value = f (Hart.search t.hart key) in
-          Hart.insert t.hart ~key ~value))
+      let value = f (Hart.search t.hart key) in
+      Hart.insert t.hart ~key ~value)
 
-let count t = serialised t (fun () -> Hart.count t.hart)
+let count t = Hart.count t.hart

@@ -3,18 +3,19 @@
     The paper's protocol: one reader/writer lock per ART; writes to
     distinct ARTs proceed in parallel, reads on the same ART share its
     lock, and at most one writer works on an ART at a time. This module
-    implements exactly that admission protocol over OCaml 5 domains: an
-    operation first resolves its hash key to the per-ART lock, then runs
-    under it.
+    implements that admission protocol over OCaml 5 domains with a fixed
+    stripe array of {!Rwlock}s indexed by the hash key's directory hash —
+    every key of one ART maps to one stripe, and a stripe collision
+    between distinct ARTs only adds conservative exclusion.
 
-    Honest limitation (documented in DESIGN.md): the simulated PM pool
-    and its meter are a single shared data structure, so the body of
-    every operation additionally serialises on one internal mutex. The
-    locking {e protocol} is therefore fully exercised and tested for
-    correctness (exclusion, shared reads, no lost updates), but
-    wall-clock scaling cannot emerge in-process — Fig. 10d is
-    reproduced by the calibrated discrete-event model in
-    [Hart_harness.Mt_sim]. *)
+    There is no global serialisation point: the layers below are
+    domain-safe (per-domain meter cells, a locked pool allocator, striped
+    chunk bitmaps with per-domain active chunks, lock-free directory
+    reads, mutex-guarded micro-log masks), so operations on distinct
+    stripes run truly in parallel. Wall-clock scaling is measured by
+    [Hart_harness.Exp_parallel]; the calibrated discrete-event model in
+    [Hart_harness.Mt_sim] still reproduces Fig. 10d under the paper's
+    latency regime (see DESIGN.md §9 for when to trust which). *)
 
 type t
 
@@ -32,12 +33,12 @@ val rmw : t -> key:string -> (string option -> string) -> unit
     concurrent [rmw]s on the same key never lose updates. *)
 
 val count : t -> int
-(** Live keys (taken under the structure lock). *)
+(** Live keys (atomic counter read; no locking). *)
 
 val underlying : t -> Hart.t
 (** The wrapped single-threaded HART — only safe to use once all domains
     performing operations have quiesced. *)
 
 val art_lock : t -> string -> Rwlock.t
-(** The reader/writer lock guarding the ART of this key's hash prefix
-    (created on demand). Exposed for lock-protocol tests. *)
+(** The reader/writer lock stripe guarding the ART of this key's hash
+    prefix. Exposed for lock-protocol tests. *)

@@ -1,13 +1,28 @@
 module Meter = Hart_pmem.Meter
 
-type 'a slot = Empty | Occupied of { key : string; mutable payload : 'a }
+type 'a slot = Empty | Occupied of { key : string; payload : 'a }
 
+type 'a table = {
+  slots : 'a slot Atomic.t array;
+  mask : int;  (* bucket count - 1, power of two *)
+  addr : int;  (* synthetic DRAM address of the bucket array *)
+}
+
+(* Reads are lock-free: [find] probes a snapshot of the atomically
+   published [table]. Single-slot mutations (fresh insert, replace,
+   resize-and-publish) are atomic and need no reader coordination; the
+   only in-place multi-slot mutation is [remove]'s backward-shift, which
+   briefly breaks probe chains, so it runs under a seqlock: [version] is
+   odd while a shift is in flight and readers retry until they observe a
+   stable even version. Writers serialise on [writer]. In single-domain
+   runs the version never changes mid-probe, so the probe (and its
+   metering) is identical to the pre-concurrent implementation. *)
 type 'a t = {
   meter : Meter.t option;
-  mutable slots : 'a slot array;
-  mutable mask : int;  (* bucket count - 1, power of two *)
-  mutable occupied : int;
-  mutable addr : int;  (* synthetic DRAM address of the bucket array *)
+  table : 'a table Atomic.t;
+  version : int Atomic.t;
+  writer : Mutex.t;
+  mutable occupied : int;  (* guarded by [writer]; racy reads are advisory *)
 }
 
 let slot_bytes = 16 (* modelled C bucket: 8-byte key word + 8-byte pointer *)
@@ -19,14 +34,21 @@ let round_pow2 n =
 let alloc_addr meter buckets =
   match meter with Some m -> Meter.dram_alloc m (buckets * slot_bytes) | None -> 0
 
+let make_table meter buckets =
+  {
+    slots = Array.init buckets (fun _ -> Atomic.make Empty);
+    mask = buckets - 1;
+    addr = alloc_addr meter buckets;
+  }
+
 let create ?meter ?(initial_buckets = 1024) () =
   let buckets = round_pow2 initial_buckets in
   {
     meter;
-    slots = Array.make buckets Empty;
-    mask = buckets - 1;
+    table = Atomic.make (make_table meter buckets);
+    version = Atomic.make 0;
+    writer = Mutex.create ();
     occupied = 0;
-    addr = alloc_addr meter buckets;
   }
 
 let length t = t.occupied
@@ -41,108 +63,149 @@ let hash key =
     key;
   Int64.to_int !h land max_int
 
-let touch t slot ~write =
+let touch t tab slot ~write =
   match t.meter with
   | None -> ()
-  | Some m -> Meter.access m Dram ~addr:(t.addr + (slot * slot_bytes)) ~write
+  | Some m -> Meter.access m Dram ~addr:(tab.addr + (slot * slot_bytes)) ~write
 
-let probe t key =
+let probe t tab key =
   (* index of [key]'s slot, or of the first empty slot on its chain *)
   let rec go i =
-    touch t i ~write:false;
-    match t.slots.(i) with
+    touch t tab i ~write:false;
+    match Atomic.get tab.slots.(i) with
     | Empty -> i
     | Occupied { key = k; _ } ->
-        if String.equal k key then i else go ((i + 1) land t.mask)
+        if String.equal k key then i else go ((i + 1) land tab.mask)
   in
-  go (hash key land t.mask)
+  go (hash key land tab.mask)
 
 let find t key =
-  match t.slots.(probe t key) with
-  | Empty -> None
-  | Occupied { payload; _ } -> Some payload
+  let rec attempt () =
+    let v0 = Atomic.get t.version in
+    if v0 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      attempt ()
+    end
+    else
+      let tab = Atomic.get t.table in
+      let r =
+        match Atomic.get tab.slots.(probe t tab key) with
+        | Empty -> None
+        | Occupied { payload; _ } -> Some payload
+      in
+      if Atomic.get t.version <> v0 then attempt () else r
+  in
+  attempt ()
 
-let rec insert t key payload =
-  let i = probe t key in
-  match t.slots.(i) with
-  | Occupied o -> o.payload <- payload
+(* callers hold [t.writer] *)
+let rec insert_locked t key payload =
+  let tab = Atomic.get t.table in
+  let i = probe t tab key in
+  match Atomic.get tab.slots.(i) with
+  | Occupied _ -> Atomic.set tab.slots.(i) (Occupied { key; payload })
   | Empty ->
-      if 10 * (t.occupied + 1) > 7 * (t.mask + 1) then begin
-        resize t;
-        insert t key payload
+      if 10 * (t.occupied + 1) > 7 * (tab.mask + 1) then begin
+        resize t tab;
+        insert_locked t key payload
       end
       else begin
-        t.slots.(i) <- Occupied { key; payload };
-        touch t i ~write:true;
+        Atomic.set tab.slots.(i) (Occupied { key; payload });
+        touch t tab i ~write:true;
         t.occupied <- t.occupied + 1
       end
 
-and resize t =
-  let old = t.slots in
-  let buckets = (t.mask + 1) * 2 in
+and resize t old =
+  let buckets = (old.mask + 1) * 2 in
   (match t.meter with
-  | Some m ->
-      Meter.dram_free m ~addr:t.addr ~size:((t.mask + 1) * slot_bytes);
-      t.addr <- Meter.dram_alloc m (buckets * slot_bytes)
+  | Some m -> Meter.dram_free m ~addr:old.addr ~size:((old.mask + 1) * slot_bytes)
   | None -> ());
-  t.slots <- Array.make buckets Empty;
-  t.mask <- buckets - 1;
+  let fresh = make_table t.meter buckets in
   t.occupied <- 0;
   Array.iter
-    (function Empty -> () | Occupied { key; payload } -> insert t key payload)
-    old
+    (fun cell ->
+      match Atomic.get cell with
+      | Empty -> ()
+      | Occupied { key; payload } ->
+          let i = probe t fresh key in
+          Atomic.set fresh.slots.(i) (Occupied { key; payload });
+          touch t fresh i ~write:true;
+          t.occupied <- t.occupied + 1)
+    old.slots;
+  (* publish only when fully built: readers see the old or the new table,
+     both internally consistent *)
+  Atomic.set t.table fresh
+
+let insert t key payload =
+  Mutex.lock t.writer;
+  insert_locked t key payload;
+  Mutex.unlock t.writer
 
 let remove t key =
-  let i = probe t key in
-  match t.slots.(i) with
+  Mutex.lock t.writer;
+  let tab = Atomic.get t.table in
+  let i = probe t tab key in
+  (match Atomic.get tab.slots.(i) with
   | Empty -> ()
   | Occupied _ ->
-      t.slots.(i) <- Empty;
-      touch t i ~write:true;
+      (* the backward-shift transiently breaks probe chains; make readers
+         retry across it *)
+      Atomic.incr t.version;
+      Atomic.set tab.slots.(i) Empty;
+      touch t tab i ~write:true;
       t.occupied <- t.occupied - 1;
       (* backward-shift deletion keeps probe chains unbroken: any entry
          whose home position precedes the hole moves back into it *)
       let rec scan hole j =
-        match t.slots.(j) with
+        match Atomic.get tab.slots.(j) with
         | Empty -> ()
         | Occupied { key = k; payload } ->
-            let home = hash k land t.mask in
-            let dist_hole = (hole - home) land t.mask
-            and dist_j = (j - home) land t.mask in
+            let home = hash k land tab.mask in
+            let dist_hole = (hole - home) land tab.mask
+            and dist_j = (j - home) land tab.mask in
             if dist_hole <= dist_j then begin
-              t.slots.(hole) <- Occupied { key = k; payload };
-              t.slots.(j) <- Empty;
-              touch t hole ~write:true;
-              scan j ((j + 1) land t.mask)
+              Atomic.set tab.slots.(hole) (Occupied { key = k; payload });
+              Atomic.set tab.slots.(j) Empty;
+              touch t tab hole ~write:true;
+              scan j ((j + 1) land tab.mask)
             end
-            else scan hole ((j + 1) land t.mask)
+            else scan hole ((j + 1) land tab.mask)
       in
-      scan i ((i + 1) land t.mask)
+      scan i ((i + 1) land tab.mask);
+      Atomic.incr t.version);
+  Mutex.unlock t.writer
 
 let iter t f =
+  let tab = Atomic.get t.table in
   Array.iter
-    (function Empty -> () | Occupied { key; payload } -> f key payload)
-    t.slots
+    (fun cell ->
+      match Atomic.get cell with
+      | Empty -> ()
+      | Occupied { key; payload } -> f key payload)
+    tab.slots
 
 let fold t ~init ~f =
+  let tab = Atomic.get t.table in
   Array.fold_left
-    (fun acc -> function
+    (fun acc cell ->
+      match Atomic.get cell with
       | Empty -> acc
       | Occupied { key; payload } -> f acc key payload)
-    init t.slots
+    init tab.slots
 
-let footprint_bytes t = (t.mask + 1) * slot_bytes
+let footprint_bytes t = ((Atomic.get t.table).mask + 1) * slot_bytes
 
 let check_invariants t =
+  let tab = Atomic.get t.table in
   let n = ref 0 in
   Array.iter
-    (function
+    (fun cell ->
+      match Atomic.get cell with
       | Empty -> ()
       | Occupied { key; payload = _ } ->
           incr n;
           if find t key = None then
             failwith (Printf.sprintf "Hash_dir: stored key %S not findable" key))
-    t.slots;
+    tab.slots;
   if !n <> t.occupied then
     failwith
       (Printf.sprintf "Hash_dir: occupancy %d <> population %d" t.occupied !n)

@@ -8,7 +8,15 @@
     The table is volatile and rebuilt by recovery. When created with a
     meter, each probe is reported as a DRAM access so the table's cache
     footprint participates in the simulation (the paper attributes HART's
-    300/100 search loss to exactly this footprint). *)
+    300/100 search loss to exactly this footprint).
+
+    Concurrency: {!find} is lock-free — it probes a snapshot of the
+    atomically published bucket array, retrying only across the short
+    seqlock window of a concurrent {!remove} (whose backward-shift
+    transiently breaks probe chains). {!insert} and {!remove} serialise
+    on an internal writer mutex; a resize builds the new array off-line
+    and publishes it atomically. {!iter}/{!fold} snapshot the array and
+    are only consistent when writers are quiesced. *)
 
 type 'a t
 
@@ -17,6 +25,12 @@ val create : ?meter:Hart_pmem.Meter.t -> ?initial_buckets:int -> unit -> 'a t
     two. *)
 
 val length : 'a t -> int
+
+val hash : string -> int
+(** The table's FNV-1a key hash, folded to the positive int range.
+    Exposed so callers can stripe auxiliary state (e.g. lock arrays) the
+    same way the directory buckets its keys. *)
+
 val find : 'a t -> string -> 'a option
 
 val insert : 'a t -> string -> 'a -> unit

@@ -9,19 +9,36 @@ type t = {
   base : int;  (* update slots at [base], recycle slots after them *)
   mutable free_update : int;  (* bitmask of free update slots *)
   mutable free_recycle : int;
+  (* The free masks are the only cross-domain shared state (a slot's 24
+     bytes are owned by the acquirer until reclaim). Acquire blocks on
+     [slot_freed] when all slots are busy; this is deadlock-free because
+     slot holders only ever acquire in update→recycle order and never the
+     reverse, so a recycle-slot holder always runs to completion. *)
+  mu : Mutex.t;
+  slot_freed : Condition.t;
 }
 
 let all_free = (1 lsl n_slots) - 1
 let update_off t slot = t.base + (slot * slot_bytes)
 let recycle_off t slot = t.base + (n_slots * slot_bytes) + (slot * slot_bytes)
 
+let make pool ~base =
+  {
+    pool;
+    base;
+    free_update = all_free;
+    free_recycle = all_free;
+    mu = Mutex.create ();
+    slot_freed = Condition.create ();
+  }
+
 let create pool ~base =
   Pmem.set_string pool ~off:base (String.make region_bytes '\000');
   Pmem.persist pool ~off:base ~len:region_bytes;
-  { pool; base; free_update = all_free; free_recycle = all_free }
+  make pool ~base
 
 let attach pool ~base =
-  let t = { pool; base; free_update = all_free; free_recycle = all_free } in
+  let t = make pool ~base in
   for slot = 0 to n_slots - 1 do
     if Pmem.get_u64 pool (update_off t slot) <> 0L then
       t.free_update <- t.free_update land lnot (1 lsl slot);
@@ -32,11 +49,32 @@ let attach pool ~base =
 
 let pick_free mask =
   let rec go i =
-    if i >= n_slots then failwith "Microlog: all slots busy"
-    else if mask land (1 lsl i) <> 0 then i
-    else go (i + 1)
+    if i >= n_slots then -1 else if mask land (1 lsl i) <> 0 then i else go (i + 1)
   in
   go 0
+
+(* [get] reads the current mask, [clear] removes the chosen slot from it;
+   blocks until a slot is available. *)
+let acquire_slot t ~get ~clear =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match pick_free (get t) with
+    | -1 ->
+        Condition.wait t.slot_freed t.mu;
+        wait ()
+    | slot ->
+        clear t slot;
+        slot
+  in
+  let slot = wait () in
+  Mutex.unlock t.mu;
+  slot
+
+let release_slot t ~set slot =
+  Mutex.lock t.mu;
+  set t slot;
+  Condition.broadcast t.slot_freed;
+  Mutex.unlock t.mu
 
 let word_get pool off = Int64.to_int (Pmem.get_u64 pool off)
 
@@ -46,9 +84,9 @@ let word_set pool off v =
 
 module Update = struct
   let acquire t =
-    let slot = pick_free t.free_update in
-    t.free_update <- t.free_update land lnot (1 lsl slot);
-    slot
+    acquire_slot t
+      ~get:(fun t -> t.free_update)
+      ~clear:(fun t slot -> t.free_update <- t.free_update land lnot (1 lsl slot))
 
   let set_pleaf t ~slot v = word_set t.pool (update_off t slot) v
   let set_poldv t ~slot v = word_set t.pool (update_off t slot + 8) v
@@ -66,7 +104,7 @@ module Update = struct
     let off = update_off t slot in
     Pmem.set_string t.pool ~off (String.make slot_bytes '\000');
     Pmem.persist t.pool ~off ~len:slot_bytes;
-    t.free_update <- t.free_update lor (1 lsl slot)
+    release_slot t ~set:(fun t slot -> t.free_update <- t.free_update lor (1 lsl slot)) slot
 
   let iter_pending t f =
     for slot = 0 to n_slots - 1 do
@@ -89,9 +127,10 @@ module Recycle = struct
     | n -> failwith (Printf.sprintf "Microlog: bad class tag %d" n)
 
   let acquire t =
-    let slot = pick_free t.free_recycle in
-    t.free_recycle <- t.free_recycle land lnot (1 lsl slot);
-    slot
+    acquire_slot t
+      ~get:(fun t -> t.free_recycle)
+      ~clear:(fun t slot ->
+        t.free_recycle <- t.free_recycle land lnot (1 lsl slot))
 
   let set_pprev t ~slot v = word_set t.pool (recycle_off t slot) v
 
@@ -112,7 +151,9 @@ module Recycle = struct
     let off = recycle_off t slot in
     Pmem.set_string t.pool ~off (String.make slot_bytes '\000');
     Pmem.persist t.pool ~off ~len:slot_bytes;
-    t.free_recycle <- t.free_recycle lor (1 lsl slot)
+    release_slot t
+      ~set:(fun t slot -> t.free_recycle <- t.free_recycle lor (1 lsl slot))
+      slot
 
   let iter_pending t f =
     for slot = 0 to n_slots - 1 do

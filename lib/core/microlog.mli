@@ -12,9 +12,10 @@
     Recycle-log slot: [PPrev], [PCurrent], [meta] (low bits: object
     class of the chunk being unlinked).
 
-    Slot acquisition is tracked by a volatile bitmask (no PM traffic);
-    after a crash, {!attach} marks every slot that still carries data as
-    busy until the recovery protocol reclaims it. *)
+    Slot acquisition is tracked by a volatile bitmask (no PM traffic)
+    guarded by a mutex, so domains can acquire and reclaim slots
+    concurrently; after a crash, {!attach} marks every slot that still
+    carries data as busy until the recovery protocol reclaims it. *)
 
 type t
 
@@ -36,7 +37,9 @@ val attach : Hart_pmem.Pmem.t -> base:int -> t
 
 module Update : sig
   val acquire : t -> int
-  (** Claim a free slot. @raise Failure when all slots are busy. *)
+  (** Claim a free slot; blocks until one is available when all are busy
+      (deadlock-free: holders only acquire update→recycle, never the
+      reverse, so every held slot is eventually reclaimed). *)
 
   val set_pleaf : t -> slot:int -> int -> unit
   val set_poldv : t -> slot:int -> int -> unit

@@ -100,17 +100,34 @@ type report = {
   schedules : int;
   nested_schedules : int;
   recovery_flushes : int;
+  checkpoints : int;  (* pool snapshots taken during the dry run *)
+  checkpoint_replays : int;  (* schedules replayed from a snapshot *)
+  violations : string list;  (* collected with [keep_going]; else empty *)
 }
 
 (* a key no workload uses, for the post-recovery usability probe *)
 let probe_key = "~~probe~~"
 
-let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ~workload target
-    ops =
+let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_every
+    ?(keep_going = false) ~workload target ops =
+  let exception Skip_schedule in
+  let violations = ref [] in
+  let msg_of fmt =
+    Printf.ksprintf
+      (fun s -> Printf.sprintf "[%s/%s] %s" target.target_name workload s)
+      fmt
+  in
+  (* schedule-level check failure: fatal, or collected under [keep_going]
+     (the rest of that schedule is skipped, the sweep continues) *)
   let viol fmt =
     Printf.ksprintf
       (fun s ->
-        raise (Violation (Printf.sprintf "[%s/%s] %s" target.target_name workload s)))
+        let s = Printf.sprintf "[%s/%s] %s" target.target_name workload s in
+        if keep_going then begin
+          violations := s :: !violations;
+          raise Skip_schedule
+        end
+        else raise (Violation s))
       fmt
   in
   let ops_arr = Array.of_list ops in
@@ -121,110 +138,186 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ~workload target
   for j = 1 to n do
     models.(j) <- apply_model models.(j - 1) ops_arr.(j - 1)
   done;
+  (* Checkpoints: pool clones taken at op boundaries every ~K flushes of
+     the dry run, newest first. A schedule crashing at flush [i] replays
+     from the latest checkpoint at [fl <= i] instead of re-executing the
+     whole prefix — O(F·K) total flush work instead of O(F²). Only op
+     boundaries are eligible because the clone captures no volatile
+     state: the replay reattaches to the image, which is only
+     side-effect-free between operations. *)
+  let checkpoints = ref [] in
+  let cp_ok = ref true in
+  let cp_replays = ref 0 in
   (* dry run: count the measured phase's flush boundaries *)
   let total_flushes =
     let inst = target.fresh () in
     List.iter inst.apply setup;
     let f0 = Pmem.flush_count inst.pool in
-    Array.iter inst.apply ops_arr;
+    (match checkpoint_every with
+    | Some k when k > 0 ->
+        Array.iteri
+          (fun j op ->
+            inst.apply op;
+            let fl = Pmem.flush_count inst.pool - f0 in
+            let last = match !checkpoints with [] -> 0 | (_, f, _) :: _ -> f in
+            if fl - last >= k && j + 1 < n then
+              checkpoints := (j + 1, fl, Pmem.clone inst.pool) :: !checkpoints)
+          ops_arr
+    | _ -> Array.iter inst.apply ops_arr);
     let f = Pmem.flush_count inst.pool - f0 in
     inst.check ();
     if inst.dump () <> SMap.bindings models.(n) then
-      viol "crash-free run disagrees with the oracle";
+      raise (Violation (msg_of "crash-free run disagrees with the oracle"));
     f
   in
+  (* Replaying from a checkpoint is only faithful if reattaching to the
+     snapshot performs no PM work (no flushes, no new dirty lines) — true
+     at op boundaries for a consistent image. Verified per restore; any
+     discrepancy disables checkpoints for the rest of the sweep. *)
+  let restore cp =
+    let pool = Pmem.clone cp in
+    let f_before = Pmem.flush_count pool
+    and d_before = Pmem.dirty_line_count pool in
+    match target.reattach pool with
+    | inst
+      when Pmem.flush_count pool = f_before
+           && Pmem.dirty_line_count pool = d_before ->
+        Some inst
+    | _ -> None
+    | exception _ -> None
+  in
   let nested_total = ref 0 and recovery_total = ref 0 in
-  for i = 0 to total_flushes - 1 do
-    (* re-execute the prefix and crash at flush [i] *)
-    let inst = target.fresh () in
-    List.iter inst.apply setup;
-    Pmem.arm_crash ~mode inst.pool ~after_flushes:i;
-    let inflight = ref (-1) in
+  let rec run_schedule i ~allow_cp =
+    (* re-execute (or replay) the prefix and crash at flush [i] *)
+    let via_cp = ref false in
+    let inst, j_start =
+      let from_scratch () =
+        let inst = target.fresh () in
+        List.iter inst.apply setup;
+        Pmem.arm_crash ~mode inst.pool ~after_flushes:i;
+        (inst, 0)
+      in
+      if not (allow_cp && !cp_ok) then from_scratch ()
+      else
+        match List.find_opt (fun (_, fl, _) -> fl <= i) !checkpoints with
+        | None -> from_scratch ()
+        | Some (j0, fl, cp) -> (
+            match restore cp with
+            | Some inst ->
+                via_cp := true;
+                incr cp_replays;
+                Pmem.arm_crash ~mode inst.pool ~after_flushes:(i - fl);
+                (inst, j0)
+            | None ->
+                cp_ok := false;
+                from_scratch ())
+    in
+    let inflight = ref (j_start - 1) in
     let crashed =
       try
-        Array.iteri
-          (fun j op ->
-            inflight := j;
-            inst.apply op)
-          ops_arr;
+        for j = j_start to n - 1 do
+          inflight := j;
+          inst.apply ops_arr.(j)
+        done;
         Pmem.disarm_crash inst.pool;
         false
       with Pmem.Crash_injected -> true
     in
-    if not crashed then
-      viol "schedule %d/%d never fired (flush count not reproducible?)" i
-        total_flushes;
-    let j = !inflight in
-    let before = SMap.bindings models.(j)
-    and after = SMap.bindings models.(j + 1) in
-    let consistent what got =
-      if got <> before && got <> after then begin
-        let pp_bindings bs =
-          String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) bs)
-        in
-        viol
-          "schedule %d/%d, in-flight op %d (%s): %s state is not a \
-           crash-consistent prefix.@ got      {%s}@ expected {%s}@ or       {%s}"
-          i total_flushes j
-          (Format.asprintf "%a" pp_op ops_arr.(j))
-          what (pp_bindings got) (pp_bindings before) (pp_bindings after)
+    if not crashed then begin
+      if !via_cp then begin
+        (* the replayed execution coalesced its flushes differently (e.g.
+           a rebuilt allocator cache chose other slots); fall back to the
+           canonical full re-execution for this and later schedules *)
+        cp_ok := false;
+        decr cp_replays;
+        run_schedule i ~allow_cp:false
       end
-    in
-    let guard what f =
-      try f ()
-      with Failure msg ->
-        viol "schedule %d/%d, in-flight op %d (%s): %s: %s" i total_flushes j
-          (Format.asprintf "%a" pp_op ops_arr.(j))
-          what msg
-    in
-    (* snapshot the crash state before recovery mutates the pool *)
-    let snapshot = Pmem.clone inst.pool in
-    let r0 = Pmem.flush_count inst.pool in
-    let rec1 = guard "recovery failed" (fun () -> target.reattach inst.pool) in
-    let recovery_flushes = Pmem.flush_count inst.pool - r0 in
-    recovery_total := !recovery_total + recovery_flushes;
-    guard "integrity after recovery" rec1.check;
-    consistent "recovered" (rec1.dump ());
-    (* idempotence: recovering the recovered image changes nothing *)
-    let m1 = rec1.dump () in
-    Pmem.crash inst.pool;
-    let rec2 = guard "second recovery failed" (fun () -> target.reattach inst.pool) in
-    guard "integrity after second recovery" rec2.check;
-    if rec2.dump () <> m1 then viol "schedule %d/%d: recovery is not idempotent" i total_flushes;
-    (* usability: the recovered store accepts and repairs further ops *)
-    guard "post-recovery probe" (fun () ->
-        rec2.apply (Insert (probe_key, "p"));
-        rec2.apply (Delete probe_key);
-        rec2.check ());
-    (* nested schedules: crash the recovery itself at each of its flushes *)
-    if nested then
-      for m = 0 to recovery_flushes - 1 do
-        let pool = Pmem.clone snapshot in
-        Pmem.arm_crash pool ~after_flushes:m;
-        (match target.reattach pool with
-        | _ ->
-            viol "schedule %d/%d: nested crash %d/%d never fired" i total_flushes
-              m recovery_flushes
-        | exception Pmem.Crash_injected -> ());
-        incr nested_total;
-        let guard_n what f =
-          try f ()
-          with Failure msg ->
-            viol "schedule %d/%d, nested %d/%d, in-flight op %d (%s): %s: %s" i
-              total_flushes m recovery_flushes j
-              (Format.asprintf "%a" pp_op ops_arr.(j))
-              what msg
-        in
-        let rec3 = guard_n "recovery after nested crash failed" (fun () ->
-            target.reattach pool)
-        in
-        guard_n "integrity after nested crash" rec3.check;
-        let got = rec3.dump () in
-        if got <> before && got <> after then
-          viol "schedule %d/%d, nested %d/%d: state after crashed recovery is \
+      else
+        viol "schedule %d/%d never fired (flush count not reproducible?)" i
+          total_flushes
+    end
+    else begin
+      let j = !inflight in
+      let before = SMap.bindings models.(j)
+      and after = SMap.bindings models.(j + 1) in
+      let consistent what got =
+        if got <> before && got <> after then begin
+          let pp_bindings bs =
+            String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) bs)
+          in
+          viol
+            "schedule %d/%d, in-flight op %d (%s): %s state is not a \
+             crash-consistent prefix.@ got      {%s}@ expected {%s}@ or       {%s}"
+            i total_flushes j
+            (Format.asprintf "%a" pp_op ops_arr.(j))
+            what (pp_bindings got) (pp_bindings before) (pp_bindings after)
+        end
+      in
+      let guard what f =
+        try f ()
+        with Failure msg ->
+          viol "schedule %d/%d, in-flight op %d (%s): %s: %s" i total_flushes j
+            (Format.asprintf "%a" pp_op ops_arr.(j))
+            what msg
+      in
+      (* snapshot the crash state before recovery mutates the pool *)
+      let snapshot = Pmem.clone inst.pool in
+      let r0 = Pmem.flush_count inst.pool in
+      let rec1 = guard "recovery failed" (fun () -> target.reattach inst.pool) in
+      let recovery_flushes = Pmem.flush_count inst.pool - r0 in
+      recovery_total := !recovery_total + recovery_flushes;
+      guard "integrity after recovery" rec1.check;
+      consistent "recovered" (rec1.dump ());
+      (* idempotence: recovering the recovered image changes nothing *)
+      let m1 = rec1.dump () in
+      Pmem.crash inst.pool;
+      let rec2 =
+        guard "second recovery failed" (fun () -> target.reattach inst.pool)
+      in
+      guard "integrity after second recovery" rec2.check;
+      if rec2.dump () <> m1 then
+        viol "schedule %d/%d: recovery is not idempotent" i total_flushes;
+      (* usability: the recovered store accepts and repairs further ops *)
+      guard "post-recovery probe" (fun () ->
+          rec2.apply (Insert (probe_key, "p"));
+          rec2.apply (Delete probe_key);
+          rec2.check ());
+      (* nested schedules: crash the recovery itself at each of its flushes *)
+      if nested then
+        for m = 0 to recovery_flushes - 1 do
+          let pool = Pmem.clone snapshot in
+          Pmem.arm_crash pool ~after_flushes:m;
+          (match target.reattach pool with
+          | _ ->
+              viol "schedule %d/%d: nested crash %d/%d never fired" i
+                total_flushes m recovery_flushes
+          | exception Pmem.Crash_injected -> ());
+          incr nested_total;
+          let guard_n what f =
+            try f ()
+            with Failure msg ->
+              viol "schedule %d/%d, nested %d/%d, in-flight op %d (%s): %s: %s" i
+                total_flushes m recovery_flushes j
+                (Format.asprintf "%a" pp_op ops_arr.(j))
+                what msg
+          in
+          let rec3 =
+            guard_n "recovery after nested crash failed" (fun () ->
+                target.reattach pool)
+          in
+          guard_n "integrity after nested crash" rec3.check;
+          let got = rec3.dump () in
+          if got <> before && got <> after then
+            viol
+              "schedule %d/%d, nested %d/%d: state after crashed recovery is \
                not a crash-consistent prefix"
-            i total_flushes m recovery_flushes
-      done
+              i total_flushes m recovery_flushes
+        done
+    end
+  in
+  for i = 0 to total_flushes - 1 do
+    try run_schedule i ~allow_cp:true with Skip_schedule -> ()
   done;
   {
     target = target.target_name;
@@ -235,6 +328,9 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ~workload target
     schedules = total_flushes;
     nested_schedules = !nested_total;
     recovery_flushes = !recovery_total;
+    checkpoints = List.length !checkpoints;
+    checkpoint_replays = !cp_replays;
+    violations = List.rev !violations;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -354,4 +450,9 @@ let pp_report ppf r =
     "%-8s %-14s mode=%a ops=%d flush-boundaries=%d schedules=%d nested=%d \
      recovery-flushes=%d"
     r.target r.workload pp_mode r.mode r.n_ops r.total_flushes r.schedules
-    r.nested_schedules r.recovery_flushes
+    r.nested_schedules r.recovery_flushes;
+  if r.checkpoints > 0 then
+    Format.fprintf ppf " checkpoints=%d replays=%d" r.checkpoints
+      r.checkpoint_replays;
+  if r.violations <> [] then
+    Format.fprintf ppf " VIOLATIONS=%d" (List.length r.violations)

@@ -86,12 +86,18 @@ type report = {
           coverage is complete (the explorer asserts this) *)
   nested_schedules : int;  (** crash-during-recovery schedules explored *)
   recovery_flushes : int;  (** total recovery flushes observed (= nested bound) *)
+  checkpoints : int;  (** pool snapshots taken during the dry run *)
+  checkpoint_replays : int;  (** schedules replayed from a snapshot *)
+  violations : string list;
+      (** messages collected under [keep_going]; empty otherwise *)
 }
 
 val explore :
   ?mode:Hart_pmem.Pmem.crash_mode ->
   ?nested:bool ->
   ?setup:op list ->
+  ?checkpoint_every:int ->
+  ?keep_going:bool ->
   workload:string ->
   target ->
   op list ->
@@ -102,7 +108,23 @@ val explore :
     precondition (e.g. three full chunks) cheaply. [nested] (default
     [true]) also sweeps every recovery flush of every outer schedule.
     [mode] (default [Clean]) selects the injected failure semantics.
-    @raise Violation on the first inconsistent schedule. *)
+
+    [checkpoint_every] (default off) snapshots the pool with
+    {!Hart_pmem.Pmem.clone} at the first op boundary after every [K]
+    flushes of the dry run; each schedule then replays from the latest
+    snapshot preceding its crash point instead of re-executing the whole
+    prefix, turning the sweep's O(F²) flush work into O(F·K). A replay
+    is used only when reattaching the snapshot is observably free of PM
+    side effects and reproduces the canonical flush schedule; otherwise
+    the explorer falls back to full re-execution, so checkpointing never
+    changes what is checked.
+
+    [keep_going] (default [false]) collects every violating schedule's
+    message into [report.violations] (skipping the rest of that
+    schedule) instead of raising on the first.
+    @raise Violation on the first inconsistent schedule (unless
+    [keep_going]), or if the crash-free dry run disagrees with the
+    oracle (always fatal). *)
 
 val builtin_workloads : (string * op list * op list) list
 (** [(name, setup, ops)] — the standing correctness gate:

@@ -1,6 +1,131 @@
 let fmt_f v = Printf.sprintf "%.3f" v
 
-let print_table_s ~title ~col_names ~rows =
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter — the repo deliberately has no JSON dependency *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf ~indent t =
+    let pad n = String.make n ' ' in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if not (Float.is_finite f) then Buffer.add_string buf "null"
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 2));
+            emit buf ~indent:(indent + 2) x)
+          xs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 2));
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            emit buf ~indent:(indent + 2) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    emit buf ~indent:0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let write path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Capture: when enabled, every printed table is also recorded so the
+   bench runner can dump all figure numbers as machine-readable JSON *)
+
+type captured = {
+  c_title : string;
+  c_cols : string list;
+  c_rows : (string * Json.t list) list;
+}
+
+let capture_on = ref false
+let captured_tables : captured list ref = ref []
+
+let start_capture () =
+  capture_on := true;
+  captured_tables := []
+
+let record ~title ~col_names rows =
+  if !capture_on then
+    captured_tables :=
+      { c_title = title; c_cols = col_names; c_rows = rows } :: !captured_tables
+
+let captured_json () =
+  Json.List
+    (List.rev_map
+       (fun c ->
+         Json.Obj
+           [
+             ("title", Json.Str c.c_title);
+             ("columns", Json.List (List.map (fun s -> Json.Str s) c.c_cols));
+             ( "rows",
+               Json.List
+                 (List.map
+                    (fun (label, cells) ->
+                      Json.Obj
+                        [ ("label", Json.Str label); ("cells", Json.List cells) ])
+                    c.c_rows) );
+           ])
+       !captured_tables)
+
+let dump_captured ~path = Json.write path (captured_json ())
+
+let render_table ~title ~col_names ~rows =
   let headers = "" :: col_names in
   let body = List.map (fun (label, cells) -> label :: cells) rows in
   let all = headers :: body in
@@ -28,8 +153,21 @@ let print_table_s ~title ~col_names ~rows =
   (* tables appear as they are produced even when stdout is a file *)
   flush stdout
 
+let print_table_s ~title ~col_names ~rows =
+  record ~title ~col_names
+    (List.map
+       (fun (label, cells) ->
+         (label, List.map (fun s -> Json.Str s) cells))
+       rows);
+  render_table ~title ~col_names ~rows
+
 let print_table ~title ~col_names ~rows =
-  print_table_s ~title ~col_names
+  record ~title ~col_names
+    (List.map
+       (fun (label, cells) ->
+         (label, List.map (fun f -> Json.Float f) cells))
+       rows);
+  render_table ~title ~col_names
     ~rows:(List.map (fun (label, cells) -> (label, List.map fmt_f cells)) rows)
 
 let ratio baseline ours = if baseline <= 0. || ours <= 0. then 0. else baseline /. ours

@@ -15,3 +15,30 @@ val ratio : float -> float -> float
 
 val fmt_f : float -> string
 (** 3-decimal rendering used in tables ("1.234"). *)
+
+(** Minimal JSON emitter, so benchmark artifacts need no external JSON
+    dependency. Non-finite floats serialise as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val write : string -> t -> unit
+end
+
+val start_capture : unit -> unit
+(** From now on, record every printed table (title, columns, rows). *)
+
+val captured_json : unit -> Json.t
+(** All tables recorded since {!start_capture}, in print order:
+    [[{title; columns; rows: [{label; cells}]}]]. Numeric tables keep
+    full float precision; string tables keep the rendered cells. *)
+
+val dump_captured : path:string -> unit
+(** Write {!captured_json} to [path] (e.g. [BENCH_figs.json]). *)

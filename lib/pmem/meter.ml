@@ -16,16 +16,60 @@ type counters = {
   sim_ns : float;
 }
 
+(* One mutable counter cell per domain slot. Sharding the counters (and
+   the simulated clock) across domains removes the meter as a
+   serialisation point: each domain only ever mutates its own cell, and
+   [counters]/[sim_ns] merge the cells on read. A single-domain run uses
+   exactly one cell, so its merged numbers are bit-identical to the old
+   single-record implementation. *)
+type cell = {
+  mutable c_pm_reads : int;
+  mutable c_pm_writes : int;
+  mutable c_dram_reads : int;
+  mutable c_dram_writes : int;
+  mutable c_pm_read_misses : int;
+  mutable c_dram_read_misses : int;
+  mutable c_flushes : int;
+  mutable c_fences : int;
+  mutable c_persist_calls : int;
+  mutable c_evictions : int;
+  mutable c_pm_allocs : int;
+  mutable c_pm_frees : int;
+  mutable c_sim_ns : float;
+}
+
+let n_cells = 64 (* power of two; domains hash into cells by id *)
+
+let fresh_cell () =
+  {
+    c_pm_reads = 0;
+    c_pm_writes = 0;
+    c_dram_reads = 0;
+    c_dram_writes = 0;
+    c_pm_read_misses = 0;
+    c_dram_read_misses = 0;
+    c_flushes = 0;
+    c_fences = 0;
+    c_persist_calls = 0;
+    c_evictions = 0;
+    c_pm_allocs = 0;
+    c_pm_frees = 0;
+    c_sim_ns = 0.;
+  }
+
 type t = {
   config : Latency.config;
-  mutable c : counters;
+  cells : cell array;
   (* Direct-mapped LLC: tags.(set) holds the encoded line address resident
      in that set, or -1 when empty. Lines from the PM and DRAM address
-     spaces are distinguished by the low tag bit. *)
+     spaces are distinguished by the low tag bit. The array is shared by
+     all domains — concurrent updates are benign races on immediate ints
+     (the cache model degrades gracefully to an approximation under
+     contention, and stays exact in single-domain runs). *)
   tags : int array;
   set_mask : int;
-  mutable dram_brk : int;
-  mutable dram_live : int;
+  dram_brk : int Atomic.t;
+  dram_live : int Atomic.t;
 }
 
 let zero =
@@ -54,46 +98,51 @@ let create ?(llc_bytes = 20 * 1024 * 1024) config =
   let lines = pow2 64 in
   {
     config;
-    c = zero;
+    cells = Array.init n_cells (fun _ -> fresh_cell ());
     tags = Array.make lines (-1);
     set_mask = lines - 1;
-    dram_brk = line_bytes;
-    dram_live = 0;
+    dram_brk = Atomic.make line_bytes;
+    dram_live = Atomic.make 0;
   }
 
 let config t = t.config
+
+let cell t = t.cells.((Domain.self () :> int) land (n_cells - 1))
 
 let encode space addr =
   let line = addr / line_bytes in
   match space with Dram -> (line * 2) + 1 | Pm -> line * 2
 
-let charge_ns t ns = t.c <- { t.c with sim_ns = t.c.sim_ns +. ns }
+let charge_ns t ns =
+  let c = cell t in
+  c.c_sim_ns <- c.c_sim_ns +. ns
 
 let access t space ~addr ~write =
   let enc = encode space addr in
   let set = enc land t.set_mask in
   let hit = t.tags.(set) = enc in
+  let c = cell t in
   if write then begin
     t.tags.(set) <- enc;
     (match space with
-    | Pm -> t.c <- { t.c with pm_writes = t.c.pm_writes + 1 }
-    | Dram -> t.c <- { t.c with dram_writes = t.c.dram_writes + 1 });
-    charge_ns t t.config.llc_hit_ns
+    | Pm -> c.c_pm_writes <- c.c_pm_writes + 1
+    | Dram -> c.c_dram_writes <- c.c_dram_writes + 1);
+    c.c_sim_ns <- c.c_sim_ns +. t.config.llc_hit_ns
   end
   else begin
     (match space with
-    | Pm -> t.c <- { t.c with pm_reads = t.c.pm_reads + 1 }
-    | Dram -> t.c <- { t.c with dram_reads = t.c.dram_reads + 1 });
-    if hit then charge_ns t t.config.llc_hit_ns
+    | Pm -> c.c_pm_reads <- c.c_pm_reads + 1
+    | Dram -> c.c_dram_reads <- c.c_dram_reads + 1);
+    if hit then c.c_sim_ns <- c.c_sim_ns +. t.config.llc_hit_ns
     else begin
       t.tags.(set) <- enc;
       match space with
       | Pm ->
-          t.c <- { t.c with pm_read_misses = t.c.pm_read_misses + 1 };
-          charge_ns t t.config.pm_read_ns
+          c.c_pm_read_misses <- c.c_pm_read_misses + 1;
+          c.c_sim_ns <- c.c_sim_ns +. t.config.pm_read_ns
       | Dram ->
-          t.c <- { t.c with dram_read_misses = t.c.dram_read_misses + 1 };
-          charge_ns t t.config.dram_ns
+          c.c_dram_read_misses <- c.c_dram_read_misses + 1;
+          c.c_sim_ns <- c.c_sim_ns +. t.config.dram_ns
     end
   end
 
@@ -109,14 +158,18 @@ let flush_line t ~addr =
   let enc = encode Pm addr in
   let set = enc land t.set_mask in
   if t.tags.(set) = enc then t.tags.(set) <- -1;
-  t.c <- { t.c with flushes = t.c.flushes + 1 };
-  charge_ns t t.config.pm_write_ns
+  let c = cell t in
+  c.c_flushes <- c.c_flushes + 1;
+  c.c_sim_ns <- c.c_sim_ns +. t.config.pm_write_ns
 
 let fence t =
-  t.c <- { t.c with fences = t.c.fences + 1 };
-  charge_ns t t.config.fence_ns
+  let c = cell t in
+  c.c_fences <- c.c_fences + 1;
+  c.c_sim_ns <- c.c_sim_ns +. t.config.fence_ns
 
-let persist_call t = t.c <- { t.c with persist_calls = t.c.persist_calls + 1 }
+let persist_call t =
+  let c = cell t in
+  c.c_persist_calls <- c.c_persist_calls + 1
 
 (* Underlying-PM-allocator cost model (§III-A.4: "existing persistent
    memory allocators exhibit poor performance when allocating numerous
@@ -124,15 +177,17 @@ let persist_call t = t.c <- { t.c with persist_calls = t.c.persist_calls + 1 }
    writes plus bookkeeping; a free persists one. EPallocator pays this
    once per 56-object chunk; the baselines pay it per object. *)
 let pm_alloc t =
-  t.c <- { t.c with pm_allocs = t.c.pm_allocs + 1 };
-  charge_ns t ((2. *. t.config.pm_write_ns) +. 100.)
+  let c = cell t in
+  c.c_pm_allocs <- c.c_pm_allocs + 1;
+  c.c_sim_ns <- c.c_sim_ns +. ((2. *. t.config.pm_write_ns) +. 100.)
 
 let pm_free t =
-  t.c <- { t.c with pm_frees = t.c.pm_frees + 1 };
-  charge_ns t (t.config.pm_write_ns +. 50.)
+  let c = cell t in
+  c.c_pm_frees <- c.c_pm_frees + 1;
+  c.c_sim_ns <- c.c_sim_ns +. (t.config.pm_write_ns +. 50.)
 
 let persist_range t ~addr ~len =
-  t.c <- { t.c with persist_calls = t.c.persist_calls + 1 };
+  persist_call t;
   fence t;
   if len > 0 then begin
     let first = addr / line_bytes and last = (addr + len - 1) / line_bytes in
@@ -143,21 +198,63 @@ let persist_range t ~addr ~len =
   fence t
 
 let write_range t space ~addr ~len = access_range t space ~addr ~len ~write:true
-let eviction t = t.c <- { t.c with evictions = t.c.evictions + 1 }
+
+let eviction t =
+  let c = cell t in
+  c.c_evictions <- c.c_evictions + 1
 
 let dram_alloc t size =
-  let addr = t.dram_brk in
   (* keep distinct structures on distinct lines, as malloc would *)
   let rounded = (size + line_bytes - 1) / line_bytes * line_bytes in
-  t.dram_brk <- t.dram_brk + rounded;
-  t.dram_live <- t.dram_live + size;
+  let addr = Atomic.fetch_and_add t.dram_brk rounded in
+  ignore (Atomic.fetch_and_add t.dram_live size : int);
   addr
 
-let dram_free t ~addr:_ ~size = t.dram_live <- max 0 (t.dram_live - size)
-let dram_live_bytes t = t.dram_live
-let counters t = t.c
-let sim_ns t = t.c.sim_ns
-let reset t = t.c <- zero
+let dram_free t ~addr:_ ~size =
+  ignore (Atomic.fetch_and_add t.dram_live (-size) : int)
+
+let dram_live_bytes t = max 0 (Atomic.get t.dram_live)
+
+let counters t =
+  Array.fold_left
+    (fun acc c ->
+      {
+        pm_reads = acc.pm_reads + c.c_pm_reads;
+        pm_writes = acc.pm_writes + c.c_pm_writes;
+        dram_reads = acc.dram_reads + c.c_dram_reads;
+        dram_writes = acc.dram_writes + c.c_dram_writes;
+        pm_read_misses = acc.pm_read_misses + c.c_pm_read_misses;
+        dram_read_misses = acc.dram_read_misses + c.c_dram_read_misses;
+        flushes = acc.flushes + c.c_flushes;
+        fences = acc.fences + c.c_fences;
+        persist_calls = acc.persist_calls + c.c_persist_calls;
+        evictions = acc.evictions + c.c_evictions;
+        pm_allocs = acc.pm_allocs + c.c_pm_allocs;
+        pm_frees = acc.pm_frees + c.c_pm_frees;
+        sim_ns = acc.sim_ns +. c.c_sim_ns;
+      })
+    zero t.cells
+
+let sim_ns t = Array.fold_left (fun acc c -> acc +. c.c_sim_ns) 0. t.cells
+
+let reset t =
+  Array.iter
+    (fun c ->
+      c.c_pm_reads <- 0;
+      c.c_pm_writes <- 0;
+      c.c_dram_reads <- 0;
+      c.c_dram_writes <- 0;
+      c.c_pm_read_misses <- 0;
+      c.c_dram_read_misses <- 0;
+      c.c_flushes <- 0;
+      c.c_fences <- 0;
+      c.c_persist_calls <- 0;
+      c.c_evictions <- 0;
+      c.c_pm_allocs <- 0;
+      c.c_pm_frees <- 0;
+      c.c_sim_ns <- 0.)
+    t.cells
+
 let invalidate_cache t = Array.fill t.tags 0 (Array.length t.tags) (-1)
 
 let diff before after =

@@ -11,7 +11,15 @@
     A single meter is shared by a PM pool and by all the DRAM-side
     structures of the trees built over that pool, so DRAM cache pressure
     (e.g. HART's larger footprint, Fig. 5 discussion) and the cache
-    invalidations caused by CLFLUSH (§II-B) are both modelled. *)
+    invalidations caused by CLFLUSH (§II-B) are both modelled.
+
+    The meter is domain-safe without locking: counters and the simulated
+    clock are sharded into per-domain cells (each domain mutates only its
+    own cell; {!counters} and {!sim_ns} merge the cells on read), and the
+    DRAM accounting uses atomics. The simulated LLC tag array is shared
+    and intentionally racy — under concurrent domains the cache model is
+    an approximation; in single-domain runs (all figure benchmarks) it is
+    exact and deterministic, identical to the pre-sharding meter. *)
 
 type space = Dram | Pm
 
@@ -99,10 +107,10 @@ val dram_live_bytes : t -> int
 (** Currently live synthetic DRAM bytes (Fig. 10b accounting). *)
 
 val counters : t -> counters
-(** Snapshot of all counters. *)
+(** Snapshot of all counters, merged across domain cells. *)
 
 val sim_ns : t -> float
-(** Simulated clock, in nanoseconds. *)
+(** Simulated clock, in nanoseconds, merged across domain cells. *)
 
 val diff : counters -> counters -> counters
 (** [diff before after] is the per-field difference. *)

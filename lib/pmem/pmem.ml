@@ -15,6 +15,7 @@ type t = {
   mutable brk : int;
   mutable live : int;
   mutable free_lists : (int, int list ref) Hashtbl.t;  (* size -> offsets *)
+  alloc_mu : Mutex.t;  (* guards brk/live/free_lists/grow *)
   mutable crash_after : int;  (* flushes until injected crash; -1 = off *)
   mutable crash_mode : crash_mode;
   mutable total_flushes : int;  (* lifetime protocol flushes, survives Meter.reset *)
@@ -32,6 +33,7 @@ let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
     brk = line_bytes (* offset 0 is the null persistent pointer *);
     live = 0;
     free_lists = Hashtbl.create 7;
+    alloc_mu = Mutex.create ();
     crash_after = -1;
     crash_mode = Clean;
     total_flushes = 0;
@@ -46,6 +48,7 @@ let clone t =
     shadow = Bytes.copy t.shadow;
     dirty = Bytes.copy t.dirty;
     free_lists;
+    alloc_mu = Mutex.create ();
   }
 
 let meter t = t.meter
@@ -77,27 +80,43 @@ let grow t needed =
   t.dirty <- dirty;
   t.capacity <- cap
 
+(* [alloc]/[free] are domain-safe: brk, live and the free lists are
+   mutated only under [alloc_mu]. [grow] replaces the backing Bytes
+   buffers, which would invalidate concurrent loads/stores in other
+   domains — multi-domain users must pre-size the pool (or call
+   {!reserve} while quiesced) so growth never fires mid-run. *)
 let alloc t size =
   if size <= 0 then invalid_arg "Pmem.alloc: size must be positive";
   Meter.pm_alloc t.meter;
   let rounded = (size + line_bytes - 1) / line_bytes * line_bytes in
-  t.live <- t.live + rounded;
-  match Hashtbl.find_opt t.free_lists rounded with
-  | Some ({ contents = off :: rest } as cell) ->
-      cell := rest;
-      (* recycled space must read as zero in both views, like fresh space *)
-      Bytes.fill t.cache off rounded '\000';
-      Bytes.fill t.shadow off rounded '\000';
-      off
-  | Some { contents = [] } | None ->
-      if t.brk + rounded > t.capacity then grow t (t.brk + rounded);
-      let off = t.brk in
-      t.brk <- t.brk + rounded;
-      off
+  Mutex.lock t.alloc_mu;
+  let off =
+    match Hashtbl.find_opt t.free_lists rounded with
+    | Some ({ contents = off :: rest } as cell) ->
+        cell := rest;
+        t.live <- t.live + rounded;
+        (* recycled space must read as zero in both views, like fresh space *)
+        Bytes.fill t.cache off rounded '\000';
+        Bytes.fill t.shadow off rounded '\000';
+        off
+    | Some { contents = [] } | None ->
+        (if t.brk + rounded > t.capacity then
+           try grow t (t.brk + rounded)
+           with e ->
+             Mutex.unlock t.alloc_mu;
+             raise e);
+        t.live <- t.live + rounded;
+        let off = t.brk in
+        t.brk <- t.brk + rounded;
+        off
+  in
+  Mutex.unlock t.alloc_mu;
+  off
 
 let free t ~off ~len =
   Meter.pm_free t.meter;
   let rounded = (len + line_bytes - 1) / line_bytes * line_bytes in
+  Mutex.lock t.alloc_mu;
   t.live <- max 0 (t.live - rounded);
   let cell =
     match Hashtbl.find_opt t.free_lists rounded with
@@ -107,7 +126,17 @@ let free t ~off ~len =
         Hashtbl.add t.free_lists rounded c;
         c
   in
-  cell := off :: !cell
+  cell := off :: !cell;
+  Mutex.unlock t.alloc_mu
+
+let reserve t needed =
+  if needed < 0 then invalid_arg "Pmem.reserve";
+  Mutex.lock t.alloc_mu;
+  (try if needed > t.capacity then grow t needed
+   with e ->
+     Mutex.unlock t.alloc_mu;
+     raise e);
+  Mutex.unlock t.alloc_mu
 
 let check t off len op =
   if off < 0 || len < 0 || off + len > t.brk then

@@ -49,10 +49,21 @@ val meter : t -> Meter.t
 
 val alloc : t -> int -> int
 (** [alloc t size] returns the offset of [size] fresh bytes, 64-byte
-    aligned, zero-filled in both views. *)
+    aligned, zero-filled in both views. Domain-safe: allocator metadata is
+    guarded by an internal mutex. If the allocation forces the pool to
+    grow, the backing buffers are replaced — concurrent accesses in other
+    domains would race with the swap, so multi-domain users must pre-size
+    the pool ([~capacity] or {!reserve}) such that growth never fires
+    while other domains are active. *)
 
 val free : t -> off:int -> len:int -> unit
-(** Return a region to the allocator's free list ([pfree] in Alg. 6). *)
+(** Return a region to the allocator's free list ([pfree] in Alg. 6).
+    Domain-safe. *)
+
+val reserve : t -> int -> unit
+(** [reserve t bytes] grows the pool now (while the caller is quiesced)
+    so that at least [bytes] of capacity exist, ensuring later [alloc]s
+    up to that point never trigger a buffer-swapping grow mid-run. *)
 
 val live_bytes : t -> int
 (** Currently allocated PM bytes (Fig. 10b accounting). *)

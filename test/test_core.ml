@@ -456,10 +456,14 @@ let test_microlog_exhaustion () =
   let slots = List.init Microlog.n_slots (fun _ -> Microlog.Update.acquire logs) in
   Alcotest.(check bool) "all slots distinct" true
     (List.length (List.sort_uniq compare slots) = Microlog.n_slots);
-  Alcotest.(check bool) "exhaustion raises" true
-    (match Microlog.Update.acquire logs with
-    | _ -> false
-    | exception Failure _ -> true)
+  (* with every slot busy, acquire blocks until one is reclaimed and then
+     returns exactly the freed slot *)
+  let freed = List.hd slots in
+  let waiter = Domain.spawn (fun () -> Microlog.Update.acquire logs) in
+  Unix.sleepf 0.05;
+  Microlog.Update.reclaim logs ~slot:freed;
+  Alcotest.(check int) "blocked acquire gets the freed slot" freed
+    (Domain.join waiter)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-log recovery protocols, state by state (§III-B.2, §III-B.4):

@@ -104,6 +104,24 @@ let oracle_semantics () =
     "delete removes" []
     (SMap.bindings (m [ Insert ("a", "1"); Delete "a" ]))
 
+(* Checkpointed replay must be invisible: same coverage, same nested
+   schedules, same recovery flushes as the full re-execution sweep, with
+   at least one schedule actually served from a snapshot. *)
+let checkpoint_equivalence target name () =
+  let name, setup, ops = find name in
+  let full = Fault.explore ~setup ~workload:name target ops in
+  let cp = Fault.explore ~setup ~checkpoint_every:30 ~workload:name target ops in
+  Alcotest.(check int) "same flush boundaries" full.Fault.total_flushes
+    cp.Fault.total_flushes;
+  Alcotest.(check int) "same schedules" full.Fault.schedules cp.Fault.schedules;
+  Alcotest.(check int) "same nested schedules" full.Fault.nested_schedules
+    cp.Fault.nested_schedules;
+  Alcotest.(check int) "same recovery flushes" full.Fault.recovery_flushes
+    cp.Fault.recovery_flushes;
+  Alcotest.(check bool) "snapshots were taken" true (cp.Fault.checkpoints > 0);
+  Alcotest.(check bool) "schedules were replayed from snapshots" true
+    (cp.Fault.checkpoint_replays > 0)
+
 (* The explorer must actually catch a broken target: a "store" that
    persists nothing recovers to an empty map mid-workload. *)
 let detects_violation () =
@@ -123,6 +141,44 @@ let detects_violation () =
   | (_ : Fault.report) -> Alcotest.fail "explorer accepted a broken target"
   | exception Fault.Violation _ -> ()
 
+(* keep_going must complete the sweep and collect every violating
+   schedule instead of raising on the first. The tampered target is
+   correct crash-free (so the always-fatal dry-run check passes) but its
+   recovery silently drops a key — every schedule crashing after that
+   key's insert committed is a violation. *)
+let keep_going_collects () =
+  let tampered =
+    {
+      Fault.target_name = "tampered";
+      fresh = Fault.hart.Fault.fresh;
+      reattach =
+        (fun pool ->
+          let inner = Fault.hart.Fault.reattach pool in
+          inner.Fault.apply (Fault.Delete "ab");
+          inner);
+    }
+  in
+  let ops =
+    [ Fault.Insert ("aa", "1"); Fault.Insert ("ab", "2");
+      Fault.Insert ("ac", "3") ]
+  in
+  let r =
+    Fault.explore ~nested:false ~keep_going:true ~workload:"tampered" tampered
+      ops
+  in
+  Alcotest.(check bool) "violations were collected" true
+    (List.length r.Fault.violations > 1);
+  Alcotest.(check int) "sweep still covered every boundary"
+    r.Fault.total_flushes r.Fault.schedules;
+  (* a clean target under keep_going collects nothing *)
+  let name, setup, ops = find "mixed-dense" in
+  let ok =
+    Fault.explore ~nested:false ~setup ~keep_going:true ~workload:name
+      Fault.hart ops
+  in
+  Alcotest.(check (list string)) "clean target: no violations" []
+    ok.Fault.violations
+
 let () =
   Alcotest.run "fault"
     [
@@ -141,7 +197,19 @@ let () =
           Alcotest.test_case "fptree full eviction = clean" `Quick
             (torn_full_eviction Fault.fptree);
         ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "hart/mixed-dense replay equivalence" `Quick
+            (checkpoint_equivalence Fault.hart "mixed-dense");
+          Alcotest.test_case "hart/split-chain replay equivalence" `Quick
+            (checkpoint_equivalence Fault.hart "split-chain");
+          Alcotest.test_case "fptree/split-chain replay equivalence" `Quick
+            (checkpoint_equivalence Fault.fptree "split-chain");
+        ] );
       ( "meta",
-        [ Alcotest.test_case "detects broken target" `Quick detects_violation ]
-      );
+        [
+          Alcotest.test_case "detects broken target" `Quick detects_violation;
+          Alcotest.test_case "keep-going collects all violations" `Quick
+            keep_going_collects;
+        ] );
     ]

@@ -1,0 +1,301 @@
+(* Multi-domain tests: the concurrency layer under real [Domain.spawn]
+   parallelism — a differential stress against per-domain Map oracles,
+   the Rwlock admission protocol (writer preference, no reader
+   starvation), lock-free Hash_dir reads racing a remover, and
+   concurrent EPallocator traffic.
+
+   The stress tests partition the keyspace: each domain owns its keys
+   and is the only writer of them, so each domain's oracle is exact and
+   the merged oracle must equal the final tree. Cross-domain searches
+   race by design and only assert well-formedness. *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Rng = Hart_util.Rng
+module Chunk = Hart_core.Chunk
+module Epalloc = Hart_core.Epalloc
+module Hash_dir = Hart_core.Hash_dir
+module Hart = Hart_core.Hart
+module Hart_mt = Hart_core.Hart_mt
+module Rwlock = Hart_core.Rwlock
+module SMap = Map.Make (String)
+
+(* pre-sized so [Pmem.grow] never fires while domains run (growth swaps
+   the backing buffers; multi-domain pools must be pre-sized) *)
+let fresh_mt () =
+  let pool =
+    Pmem.create ~capacity:(1 lsl 26) ~max_capacity:(1 lsl 27)
+      (Meter.create Latency.c300_100)
+  in
+  Hart_mt.create pool
+
+(* ------------------------------------------------------------------ *)
+(* Differential stress: N domains of random ops vs per-domain oracles  *)
+
+let n_domains = 4
+let ops_per_domain = 25_000 (* 4 x 25k = 1e5 ops minimum, per ISSUE *)
+
+let stress_once ~seed ~with_foreign_reads =
+  let t = fresh_mt () in
+  let keys_per_domain = 2_000 in
+  let key d i = Printf.sprintf "k%d_%04d" d i in
+  let oracles =
+    Array.init n_domains (fun d ->
+        ignore d;
+        ref SMap.empty)
+  in
+  let worker d () =
+    let rng = Rng.create (Int64.of_int (seed + d)) in
+    let oracle = oracles.(d) in
+    for _ = 1 to ops_per_domain do
+      let k = key d (Rng.int rng keys_per_domain) in
+      match Rng.int rng (if with_foreign_reads then 5 else 4) with
+      | 0 ->
+          let v = Printf.sprintf "v%d" (Rng.int rng 1_000_000) in
+          Hart_mt.insert t ~key:k ~value:v;
+          oracle := SMap.add k v !oracle
+      | 1 ->
+          let v = Printf.sprintf "u%d" (Rng.int rng 1_000_000) in
+          let updated = Hart_mt.update t ~key:k ~value:v in
+          Alcotest.(check bool)
+            "update hit iff oracle has key" (SMap.mem k !oracle) updated;
+          if updated then oracle := SMap.add k v !oracle
+      | 2 ->
+          let deleted = Hart_mt.delete t k in
+          Alcotest.(check bool)
+            "delete hit iff oracle has key" (SMap.mem k !oracle) deleted;
+          oracle := SMap.remove k !oracle
+      | 3 ->
+          let got = Hart_mt.search t k in
+          Alcotest.(check (option string))
+            "search agrees with owner oracle" (SMap.find_opt k !oracle) got
+      | _ ->
+          (* foreign read: races with the owner, only well-formedness *)
+          let other = (d + 1 + Rng.int rng (n_domains - 1)) mod n_domains in
+          let fk = key other (Rng.int rng keys_per_domain) in
+          (match Hart_mt.search t fk with
+          | None -> ()
+          | Some v ->
+              if String.length v = 0 || (v.[0] <> 'v' && v.[0] <> 'u') then
+                Alcotest.failf "foreign read returned garbage %S" v)
+    done
+  in
+  let domains =
+    Array.init (n_domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join domains;
+  (* merged oracle must equal the quiesced tree exactly *)
+  let merged =
+    Array.fold_left
+      (fun acc o -> SMap.union (fun _ _ _ -> assert false) acc !o)
+      SMap.empty oracles
+  in
+  let hart = Hart_mt.underlying t in
+  Hart.check_integrity hart;
+  let dumped = ref SMap.empty in
+  Hart.iter hart (fun k v -> dumped := SMap.add k v !dumped);
+  Alcotest.(check int) "count matches oracle" (SMap.cardinal merged)
+    (Hart_mt.count t);
+  Alcotest.(check (list (pair string string)))
+    "bindings match merged oracle" (SMap.bindings merged)
+    (SMap.bindings !dumped)
+
+let test_stress_partitioned () = stress_once ~seed:42 ~with_foreign_reads:false
+let test_stress_foreign_reads () = stress_once ~seed:1337 ~with_foreign_reads:true
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock admission protocol                                           *)
+
+(* While a writer waits, incoming readers must block (writer
+   preference); once the writer exits, the blocked readers must all get
+   in (no starvation). *)
+let test_rwlock_writer_preference () =
+  let l = Rwlock.create () in
+  let writer_in = Atomic.make false and reader2_in = Atomic.make false in
+  Rwlock.read_lock l;
+  let writer =
+    Domain.spawn (fun () ->
+        Rwlock.write_lock l;
+        Atomic.set writer_in true;
+        Unix.sleepf 0.05;
+        Rwlock.write_unlock l)
+  in
+  (* give the writer time to queue up on the held read lock *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "writer blocked by reader" false (Atomic.get writer_in);
+  let reader2 =
+    Domain.spawn (fun () ->
+        Rwlock.read_lock l;
+        Atomic.set reader2_in true;
+        (* the waiting writer must have been admitted first *)
+        let writer_went_first = Atomic.get writer_in in
+        Rwlock.read_unlock l;
+        writer_went_first)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool)
+    "late reader blocked while writer waits" false (Atomic.get reader2_in);
+  Rwlock.read_unlock l;
+  Domain.join writer;
+  Alcotest.(check bool)
+    "writer admitted before the late reader" true (Domain.join reader2);
+  Alcotest.(check bool) "late reader admitted after writer exit" true
+    (Atomic.get reader2_in)
+
+(* Hammer the lock from reader and writer domains; every reader must
+   complete (no starvation) and the protected counter must show no lost
+   updates (mutual exclusion). *)
+let test_rwlock_no_starvation () =
+  let l = Rwlock.create () in
+  let shared = ref 0 in
+  let n_writers = 2 and n_readers = 4 and rounds = 2_000 in
+  let reads_done = Atomic.make 0 in
+  let writers =
+    Array.init n_writers (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              Rwlock.with_write l (fun () -> incr shared)
+            done))
+  in
+  let readers =
+    Array.init n_readers (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              Rwlock.with_read l (fun () ->
+                  let v = !shared in
+                  if v < 0 || v > n_writers * rounds then
+                    Alcotest.failf "torn counter read %d" v);
+              Atomic.incr reads_done
+            done))
+  in
+  Array.iter Domain.join writers;
+  Array.iter Domain.join readers;
+  Alcotest.(check int) "no lost writer updates" (n_writers * rounds) !shared;
+  Alcotest.(check int)
+    "every reader round completed" (n_readers * rounds)
+    (Atomic.get reads_done);
+  Alcotest.(check int) "lock drained" 0 (Rwlock.readers l);
+  Alcotest.(check bool) "no writer left" false (Rwlock.writer_active l)
+
+(* ------------------------------------------------------------------ *)
+(* Hash_dir: lock-free readers racing inserts and backward-shift       *)
+(* removes                                                             *)
+
+let test_hash_dir_readers_vs_remover () =
+  let d = Hash_dir.create ~initial_buckets:64 () in
+  let n_keys = 200 in
+  let key i = Printf.sprintf "hk%03d" i in
+  for i = 0 to (n_keys / 2) - 1 do
+    Hash_dir.insert d (key i) i
+  done;
+  let stop = Atomic.make false in
+  let readers =
+    Array.init 2 (fun r ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create (Int64.of_int (7 + r)) in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              let i = Rng.int rng n_keys in
+              (match Hash_dir.find d (key i) with
+              | None -> ()
+              | Some v ->
+                  if v <> i then
+                    Alcotest.failf "reader saw %d under key %d" v i);
+              incr n
+            done;
+            !n))
+  in
+  (* single writer: grow past several resizes, then churn removes and
+     re-inserts so readers cross many backward-shift windows *)
+  for i = n_keys / 2 to n_keys - 1 do
+    Hash_dir.insert d (key i) i
+  done;
+  let rng = Rng.create 99L in
+  for _ = 1 to 20_000 do
+    let i = Rng.int rng n_keys in
+    if Rng.int rng 2 = 0 then Hash_dir.remove d (key i)
+    else Hash_dir.insert d (key i) i
+  done;
+  Atomic.set stop true;
+  let reads = Array.fold_left (fun acc r -> acc + Domain.join r) 0 readers in
+  Alcotest.(check bool) "readers made progress" true (reads > 0);
+  Hash_dir.check_invariants d
+
+(* ------------------------------------------------------------------ *)
+(* EPallocator: concurrent alloc/commit/free traffic                   *)
+
+let test_epalloc_concurrent () =
+  let pool =
+    Pmem.create ~capacity:(1 lsl 24) ~max_capacity:(1 lsl 25)
+      (Meter.create Latency.c300_100)
+  in
+  let ep = Epalloc.create pool in
+  let per_domain = 3_000 in
+  let worker d () =
+    let rng = Rng.create (Int64.of_int (100 + d)) in
+    let held = ref [] in
+    for _ = 1 to per_domain do
+      if Rng.int rng 3 < 2 || !held = [] then begin
+        (* allocate and commit a value object *)
+        let cls = if Rng.int rng 2 = 0 then Chunk.Val8 else Chunk.Val16 in
+        let obj = Epalloc.epmalloc ep cls in
+        Epalloc.set_obj_bit ep cls ~obj;
+        held := (cls, obj) :: !held
+      end
+      else begin
+        match !held with
+        | (cls, obj) :: rest ->
+            held := rest;
+            Epalloc.reset_obj_bit ep cls ~obj;
+            (* opportunistic recycling is safe on any chunk *)
+            if Rng.int rng 8 = 0 then
+              Epalloc.eprecycle ep cls ~chunk:(Epalloc.chunk_of_obj ep cls obj)
+        | [] -> ()
+      end
+    done;
+    List.length !held
+  in
+  let domains =
+    Array.init (n_domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  let held0 = worker 0 () in
+  let held_rest = Array.fold_left (fun a d -> a + Domain.join d) 0 domains in
+  Epalloc.check_invariants ep;
+  let live =
+    Epalloc.live_objects ep Chunk.Val8 + Epalloc.live_objects ep Chunk.Val16
+  in
+  Alcotest.(check int) "live objects = committed minus freed"
+    (held0 + held_rest) live
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "multi-domain"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "partitioned differential (1e5 ops)" `Slow
+            test_stress_partitioned;
+          Alcotest.test_case "with racing foreign reads (1e5 ops)" `Slow
+            test_stress_foreign_reads;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "writer preference" `Quick
+            test_rwlock_writer_preference;
+          Alcotest.test_case "no starvation, no lost updates" `Quick
+            test_rwlock_no_starvation;
+        ] );
+      ( "hash_dir",
+        [
+          Alcotest.test_case "lock-free readers vs remover" `Quick
+            test_hash_dir_readers_vs_remover;
+        ] );
+      ( "epalloc",
+        [
+          Alcotest.test_case "concurrent alloc/commit/free" `Quick
+            test_epalloc_concurrent;
+        ] );
+    ]

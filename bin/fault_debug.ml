@@ -1,0 +1,36 @@
+(* Replay one exact concurrent crash schedule and dump its coordinates:
+   committed prefix, in-flight set, recovered bindings. This is the
+   triage tool for `hart_cli fault --domains N` violations — the
+   reported (seed, schedule) pair replays bit-identically here
+   (DESIGN.md §10). Usage: fault_debug DOMAINS SCHEDULE [SEED]. *)
+module Fault = Hart_fault.Fault
+module Fault_mt = Hart_fault.Fault_mt
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] | [| _; _; _; _ |] -> ()
+  | _ ->
+      prerr_endline "usage: fault_debug DOMAINS SCHEDULE [SEED]";
+      exit 2);
+  let domains = int_of_string Sys.argv.(1) in
+  let schedule = int_of_string Sys.argv.(2) in
+  let seed =
+    if Array.length Sys.argv > 3 then Int64.of_string Sys.argv.(3) else 42L
+  in
+  let setup, scripts = Fault_mt.default_workload ~domains ~ops_per_domain:6 in
+  match Fault_mt.probe ~seed ~schedule ~setup scripts with
+  | p ->
+      Printf.printf "crashed=%b flushes=%d\n" p.Fault_mt.p_crashed p.Fault_mt.p_flushes;
+      Printf.printf "committed: %s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) p.Fault_mt.p_committed));
+      List.iter
+        (fun (i, op) ->
+          Format.printf "in-flight fiber %d: %a@." i Fault.pp_op op)
+        p.Fault_mt.p_in_flight;
+      Printf.printf "recovered: %s\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) p.Fault_mt.p_state))
+  | exception Failure msg ->
+      Printf.printf "FAILURE: %s\n" msg;
+      exit 1

@@ -186,12 +186,33 @@ let parallel_cmd =
       & info [ "json" ] ~docv:"PATH"
           ~doc:"Also write the results as JSON (BENCH_parallel.json format).")
   in
-  let run scale json =
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Fail (exit 1) unless uniform-insert throughput at \
+             $(b,--speedup-domains) domains is at least X times the \
+             1-domain figure. Skipped with a logged notice when the host \
+             reports fewer usable cores than that domain count.")
+  in
+  let speedup_domains =
+    Arg.(
+      value & opt int 4
+      & info [ "speedup-domains" ] ~docv:"N"
+          ~doc:"Domain count the $(b,--min-speedup) threshold applies to.")
+  in
+  let run scale json min_speedup speedup_domains =
     ok_or_die
       (if scale <= 0. then Error "scale must be positive"
        else begin
-         Hart_harness.Exp_parallel.run ?json_path:json ~scale ();
-         Ok ()
+         let threshold =
+           Option.map (fun x -> (speedup_domains, x)) min_speedup
+         in
+         match Hart_harness.Exp_parallel.run ?json_path:json ?threshold ~scale () with
+         | () -> Ok ()
+         | exception Failure msg -> Error msg
        end)
   in
   Cmd.v
@@ -200,7 +221,7 @@ let parallel_cmd =
          "Measure wall-clock multi-domain scalability of the concurrent \
           HART front end (uniform and Zipf key mixes, 1-8 domains). Real \
           [Domain.spawn] timings, not the simulated clock.")
-    Term.(const run $ scale $ json)
+    Term.(const run $ scale $ json $ min_speedup $ speedup_domains)
 
 let fault_cmd =
   let workload =
@@ -213,11 +234,18 @@ let fault_cmd =
     Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
   in
   let target =
+    let all =
+      List.map
+        (fun t -> t.Hart_fault.Fault.target_name)
+        Hart_fault.Fault.all_targets
+    in
     Arg.(
       value
       & opt (some string) None
       & info [ "target" ] ~docv:"NAME"
-          ~doc:"Index to sweep: hart or fptree; omit for both.")
+          ~doc:
+            (Printf.sprintf "Index to sweep (one of %s); omit for all."
+               (String.concat ", " all)))
   in
   let torn =
     Arg.(
@@ -227,6 +255,26 @@ let fault_cmd =
           ~doc:
             "Also evict a pseudo-random half of the dirty lines at each \
              crash, seeded with $(docv).")
+  in
+  let adversarial =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ]
+          ~doc:
+            "Adversarial torn sweep: one pass evicting exactly the \
+             commit-point line the crash interrupted, then several \
+             random-subset passes with derived seeds. Overrides \
+             $(b,--torn).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:
+            "Write every violating schedule's replay coordinates as a \
+             JSON array to $(docv) (an empty sweep writes []); meant \
+             for CI to diff against an empty baseline.")
   in
   let no_nested =
     Arg.(
@@ -251,18 +299,81 @@ let fault_cmd =
           "Collect and report every violating schedule instead of \
            stopping at the first; exit nonzero if any were found.")
   in
-  let run workload target torn no_nested checkpoint_every keep_going =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "With $(docv) > 1, run the deterministic concurrent \
+             explorer instead: $(docv) simulated domains (2-4) drive \
+             the concurrent HART front end under a seed-replayable \
+             interleaving, every flush boundary is crashed with \
+             operations in flight, and recovery is checked against the \
+             linearization-set oracle.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Interleaving seed for $(b,--domains); a (seed, schedule) \
+             pair names one exact execution.")
+  in
+  let max_schedules =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-schedules" ] ~docv:"M"
+          ~doc:
+            "Evenly subsample the $(b,--domains) sweep to at most \
+             $(docv) crash schedules (CI budget); omit for the \
+             exhaustive sweep.")
+  in
+  let run workload target torn adversarial json_out no_nested checkpoint_every
+      keep_going domains seed max_schedules =
     ok_or_die
       (try
+         if domains > 1 then begin
+           if domains > 4 then failwith "--domains supports 2-4 simulated domains";
+           let mode =
+             match torn with
+             | None -> Hart_pmem.Pmem.Clean
+             | Some seed -> Hart_pmem.Pmem.Torn { seed; fraction = 0.5 }
+           in
+           let setup, scripts =
+             Hart_fault.Fault_mt.default_workload ~domains ~ops_per_domain:6
+           in
+           let r =
+             Hart_fault.Fault_mt.explore ~mode ~keep_going ?max_schedules ~seed
+               ~domains ~workload:"mt-default" ~setup scripts
+           in
+           Format.printf "%a@." Hart_fault.Fault_mt.pp_report r;
+           (match json_out with
+           | None -> ()
+           | Some path ->
+               let oc = open_out path in
+               output_string oc
+                 (Hart_fault.Fault.violation_list_json
+                    r.Hart_fault.Fault_mt.violations);
+               close_out oc);
+           match r.Hart_fault.Fault_mt.violations with
+           | [] ->
+               print_endline "all concurrent crash schedules consistent";
+               Ok ()
+           | vs ->
+               List.iter
+                 (fun v ->
+                   Printf.eprintf "violation: %s\n"
+                     (Hart_fault.Fault.violation_message v))
+                 vs;
+               Error (Printf.sprintf "%d violating schedule(s)" (List.length vs))
+         end
+         else
          let targets =
            match target with
            | None -> Hart_fault.Fault.all_targets
            | Some n -> (
-               match
-                 List.find_opt
-                   (fun t -> t.Hart_fault.Fault.target_name = n)
-                   Hart_fault.Fault.all_targets
-               with
+               match Hart_fault.Fault.find_target n with
                | Some t -> [ t ]
                | None -> failwith (Printf.sprintf "unknown target %S" n))
          in
@@ -279,26 +390,48 @@ let fault_cmd =
            | None -> Hart_pmem.Pmem.Clean
            | Some seed -> Hart_pmem.Pmem.Torn { seed; fraction = 0.5 }
          in
-         let all_violations = ref [] in
+         let reports = ref [] in
          List.iter
            (fun t ->
              List.iter
                (fun (name, setup, ops) ->
-                 let r =
-                   Hart_fault.Fault.explore ~mode ~nested:(not no_nested) ~setup
-                     ?checkpoint_every ~keep_going ~workload:name t ops
+                 let rs =
+                   if adversarial then
+                     Hart_fault.Fault.explore_adversarial
+                       ~nested:(not no_nested) ~setup ?checkpoint_every
+                       ~keep_going ~workload:name t ops
+                   else
+                     [
+                       Hart_fault.Fault.explore ~mode ~nested:(not no_nested)
+                         ~setup ?checkpoint_every ~keep_going ~workload:name t
+                         ops;
+                     ]
                  in
-                 Format.printf "%a@." Hart_fault.Fault.pp_report r;
-                 all_violations :=
-                   !all_violations @ r.Hart_fault.Fault.violations)
+                 List.iter
+                   (fun r -> Format.printf "%a@." Hart_fault.Fault.pp_report r)
+                   rs;
+                 reports := !reports @ rs)
                workloads)
            targets;
-         match !all_violations with
+         (match json_out with
+         | None -> ()
+         | Some path ->
+             let oc = open_out path in
+             output_string oc (Hart_fault.Fault.violations_to_json !reports);
+             close_out oc);
+         let vs =
+           List.concat_map (fun r -> r.Hart_fault.Fault.violations) !reports
+         in
+         match vs with
          | [] ->
              print_endline "all crash schedules consistent";
              Ok ()
          | vs ->
-             List.iter (Printf.eprintf "violation: %s\n") vs;
+             List.iter
+               (fun v ->
+                 Printf.eprintf "violation: %s\n"
+                   (Hart_fault.Fault.violation_message v))
+               vs;
              Error (Printf.sprintf "%d violating schedule(s)" (List.length vs))
        with
       | Hart_fault.Fault.Violation msg -> Error msg
@@ -313,8 +446,8 @@ let fault_cmd =
           violating schedule (or, with $(b,--keep-going), after reporting \
           all of them).")
     Term.(
-      const run $ workload $ target $ torn $ no_nested $ checkpoint_every
-      $ keep_going)
+      const run $ workload $ target $ torn $ adversarial $ json_out $ no_nested
+      $ checkpoint_every $ keep_going $ domains $ seed $ max_schedules)
 
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in

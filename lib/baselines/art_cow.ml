@@ -8,7 +8,10 @@ type t = {
   meter : Meter.t;
   art : int Art.t;
   node_size : (int, int) Hashtbl.t;  (* PM addr -> node bytes, for copies *)
+  reg : Pm_registry.t;  (* durable leaf set: the recovery ground truth *)
 }
+
+let magic = 0x41525443_4F575231L (* "ARTCOWR1" *)
 
 
 (* Copy-on-write protocol: a mutation that needs more than one 8-byte
@@ -46,11 +49,13 @@ let protocol t =
   | Art.Prefix_changed { addr } -> copy_node addr
   | Art.Here_changed { addr } -> atomic_word addr 8
 
-let create pool =
+let make ~reg pool =
   let meter = Pmem.meter pool in
   (* the protocol closure only needs the meter and size table, which lets
      the ART be built after them without a reference cycle *)
-  let shell = { pool; meter; art = Art.create (); node_size = Hashtbl.create 256 } in
+  let shell =
+    { pool; meter; art = Art.create (); node_size = Hashtbl.create 256; reg }
+  in
   let art =
     Art.create ~meter ~space:Pm
       ~alloc_node:(fun size -> Pmem.alloc pool size)
@@ -59,13 +64,18 @@ let create pool =
   in
   { shell with art }
 
+let create pool = make ~reg:(Pm_registry.create pool ~magic) pool
+
 let update_leaf t ~leaf value = Pm_value.update_leaf t.pool ~leaf value
 
 let insert t ~key ~value =
   match Art.find t.art key with
   | Some leaf -> update_leaf t ~leaf value
   | None -> (
+      (* leaf + value are fully persisted by [new_leaf]; the registry
+         slot persist is this insert's durable commit point *)
       let leaf = Pm_value.new_leaf t.pool ~key ~payload:value in
+      Pm_registry.register t.reg leaf;
       match Art.insert t.art key leaf with
       | `Inserted -> ()
       | `Replaced _ -> assert false)
@@ -88,6 +98,9 @@ let delete t key =
   match Art.delete t.art key with
   | None -> false
   | Some leaf ->
+      (* deregistration commits the delete before the leaf's space can
+         be recycled by a later allocation *)
+      Pm_registry.deregister t.reg leaf;
       Pm_value.free_leaf t.pool ~leaf;
       true
 
@@ -98,6 +111,30 @@ let range t ~lo ~hi f =
 let count t = Art.count t.art
 let dram_bytes _ = 0
 let pm_bytes t = Pmem.live_bytes t.pool
+
+(* CoW inner nodes are charge-modelled, so recovery re-links every leaf
+   the durable registry names into a fresh ART. Read-only on PM. *)
+let recover pool =
+  let reg = Pm_registry.attach pool ~magic in
+  let t = make ~reg pool in
+  Pm_registry.iter reg (fun leaf ->
+      match Art.insert t.art (Hart_core.Leaf.key t.pool ~leaf) leaf with
+      | `Inserted -> ()
+      | `Replaced _ -> failwith "Art_cow.recover: duplicate key in registry");
+  t
+
+let check_integrity t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Art.check_invariants t.art;
+  Pm_registry.check t.reg;
+  if Pm_registry.cardinal t.reg <> Art.count t.art then
+    fail "Art_cow: registry holds %d leaves but ART has %d"
+      (Pm_registry.cardinal t.reg) (Art.count t.art);
+  Art.iter t.art (fun key leaf ->
+      if not (Pm_registry.registered t.reg leaf) then
+        fail "Art_cow: leaf %d (%S) missing from registry" leaf key;
+      if not (String.equal (Hart_core.Leaf.key t.pool ~leaf) key) then
+        fail "Art_cow: leaf %d key disagrees with ART key %S" leaf key)
 
 let ops t =
   {

@@ -11,13 +11,30 @@
     until a split garbage-collects the live ones, and searches pay to
     skip the corpses ({!dead_entries} exposes the growth).
 
-    Pure-PM; node contents are charge-modelled at pool addresses like
-    the other §II-C baselines (DESIGN.md); values inline (≤ 31 bytes). *)
+    Leaves are {e byte-stored}: 80-byte entries (inline values ≤ 31
+    bytes, [start, end) stamps as real u64 fields) in a durable chain
+    headed by a root block that also holds the committed global
+    version. Splits are versioned too: the live entries are copied
+    into fresh leaves stamped V+1, the old lives are end-dated V+1,
+    and the single 8-byte version persist swaps old for new
+    atomically — so {!recover} only has to discard entries started
+    after the committed version, resurrect end-dates beyond it and
+    garbage-collect all-dead leaves. Inner nodes stay charge-modelled
+    at pool addresses like the other §II-C baselines (DESIGN.md) and
+    are rebuilt from the chain. *)
 
 type t
 
 val leaf_cap : int
 val create : Hart_pmem.Pmem.t -> t
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Reattach to a crashed pool: validate the root block, roll
+    uncommitted version stamps back (zero future starts, reset future
+    end-dates to live), GC all-dead leaves from the chain and rebuild
+    the inner levels. Each repair is one atomic 8-byte persist, so
+    recovery is idempotent and itself crash-tolerant. *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool

@@ -7,10 +7,17 @@ let entry_bytes = 64
 (* Leaf layout (byte-stored on PM):
    offset 0   n_entries : u64   the append cursor — persisting it is the
                                 commit of the appended entry
-   offset 8   entries, 64 B each:
+   offset 8   next : u64        chain pointer to the right sibling; the
+                                chain (headed by the root block) is what
+                                recovery walks
+   offset 16  entries, 64 B each:
                 flag u8 (1 = insert/update, 0 = delete marker)
                 key_len u8, key 24 B, val_len u8, value ≤31 B       *)
-let leaf_bytes = 8 + (leaf_cap * entry_bytes)
+let leaf_bytes = 16 + (leaf_cap * entry_bytes)
+
+(* Root block: the pool's first allocation. magic u64, head-leaf u64. *)
+let magic = 0x4E565452_45453031L (* "NVTREE01" *)
+let root_off = 64
 
 type t = {
   pool : Pmem.t;
@@ -25,7 +32,19 @@ type t = {
 }
 
 let n_entries t leaf = Int64.to_int (Pmem.get_u64 t.pool leaf)
-let entry_off leaf i = leaf + 8 + (i * entry_bytes)
+let leaf_next t leaf = Int64.to_int (Pmem.get_u64 t.pool (leaf + 8))
+
+let set_next t leaf next =
+  Pmem.set_u64 t.pool (leaf + 8) (Int64.of_int next);
+  Pmem.persist t.pool ~off:(leaf + 8) ~len:8
+
+let head t = Int64.to_int (Pmem.get_u64 t.pool (root_off + 8))
+
+let set_head t leaf =
+  Pmem.set_u64 t.pool (root_off + 8) (Int64.of_int leaf);
+  Pmem.persist t.pool ~off:(root_off + 8) ~len:8
+
+let entry_off leaf i = leaf + 16 + (i * entry_bytes)
 
 let entry_flag t leaf i = Pmem.get_u8 t.pool (entry_off leaf i)
 
@@ -75,12 +94,16 @@ let leaf_live t leaf =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) latest [])
 
 let alloc_leaf t =
-  let leaf = Pmem.alloc t.pool leaf_bytes in
-  Pmem.persist t.pool ~off:leaf ~len:8;
-  leaf
+  (* fresh/recycled pool space is durably zero: counter and next start
+     committed at 0 without any flush *)
+  Pmem.alloc t.pool leaf_bytes
 
 let create pool =
   let meter = Pmem.meter pool in
+  let off = Pmem.alloc pool 16 in
+  if off <> root_off then
+    invalid_arg "Nv_tree.create: the root block must be the pool's first allocation";
+  Pmem.set_u64 pool root_off magic;
   let t =
     {
       pool;
@@ -93,6 +116,8 @@ let create pool =
     }
   in
   t.leaves.(0) <- alloc_leaf t;
+  Pmem.set_u64 pool (root_off + 8) (Int64.of_int t.leaves.(0));
+  Pmem.persist pool ~off:root_off ~len:16;
   t.index_addr <- Meter.dram_alloc meter 32;
   t
 
@@ -130,18 +155,28 @@ let rebuild_index t entries =
 
 (* Split a full leaf: two fresh leaves take the lower/upper halves of
    the live bindings (dead appended history is garbage-collected by the
-   copy), then the whole index is rebuilt. *)
+   copy), then the whole index is rebuilt.
+
+   Crash-safe ordering: the replacements are fully built and persisted
+   — entries, counters, their own next pointers — while still
+   unreachable; one 8-byte pointer swing (the predecessor's next, or
+   the root block's head) then links them in as the commit; only after
+   that is the old leaf freed, so its space cannot be recycled into the
+   replacements while the chain still reaches it. A crash before the
+   swing leaves the old chain plus leaked replacements; after it, the
+   new chain plus a leaked old leaf — both recoverable. *)
 let split_leaf t idx =
   let leaf = t.leaves.(idx) in
   let live = leaf_live t leaf in
   let n = List.length live in
-  Pmem.free t.pool ~off:leaf ~len:leaf_bytes;
-  let replacement =
+  let old_next = leaf_next t leaf in
+  let link_first, replacement =
     if n < 2 then begin
       (* the history was almost all dead: compact into one fresh leaf *)
       let fresh = alloc_leaf t in
       List.iter (fun (k, v) -> append t fresh ~flag:1 ~key:k ~value:v) live;
-      fun i -> [ (t.seps.(i), fresh) ]
+      if old_next <> 0 then set_next t fresh old_next;
+      (fresh, fun i -> [ (t.seps.(i), fresh) ])
     end
     else begin
       let mid = n / 2 in
@@ -150,10 +185,16 @@ let split_leaf t idx =
         (fun i (k, v) ->
           append t (if i < mid then left else right) ~flag:1 ~key:k ~value:v)
         live;
+      if old_next <> 0 then set_next t right old_next;
+      set_next t left right;
       let sep = fst (List.nth live mid) in
-      fun i -> [ (t.seps.(i), left); (sep, right) ]
+      (left, fun i -> [ (t.seps.(i), left); (sep, right) ])
     end
   in
+  (* the commit point *)
+  if idx = 0 then set_head t link_first
+  else set_next t t.leaves.(idx - 1) link_first;
+  Pmem.free t.pool ~off:leaf ~len:leaf_bytes;
   let entries =
     List.concat
       (List.mapi
@@ -234,9 +275,76 @@ let rebuild_count t = t.rebuilds
 let dram_bytes t = index_bytes t
 let pm_bytes t = Pmem.live_bytes t.pool
 
+(* ------------------------------------------------------------------ *)
+(* Recovery: rebuild the DRAM index from the durable leaf chain        *)
+
+let recover pool =
+  if Pmem.get_u64 pool root_off <> magic then
+    failwith "Nv_tree.recover: no valid NV-Tree root block in this pool";
+  let meter = Pmem.meter pool in
+  let t =
+    {
+      pool;
+      meter;
+      seps = [| "" |];
+      leaves = [| 0 |];
+      index_addr = 0;
+      count = 0;
+      rebuilds = 0;
+    }
+  in
+  (* Walk the chain. A leaf whose history is all dead cannot be routed
+     to (a separator needs a minimal live key), so recovery garbage-
+     collects it: unlink with the usual single-pointer swing, then
+     free. Those persisted swings are the writes the nested
+     crash-during-recovery sweep exercises; each one is independently
+     atomic, so recovery is idempotent. The last such leaf is kept if
+     it would leave the chain empty (a tree keeps >= 1 leaf). *)
+  let rec walk pred leaf acc =
+    if leaf = 0 then List.rev acc
+    else
+      let live = leaf_live t leaf in
+      let nxt = leaf_next t leaf in
+      if live = [] && not (pred = 0 && nxt = 0 && acc = []) then begin
+        if pred = 0 then set_head t nxt else set_next t pred nxt;
+        Pmem.free t.pool ~off:leaf ~len:leaf_bytes;
+        walk pred nxt acc
+      end
+      else walk leaf nxt ((leaf, live) :: acc)
+  in
+  let chain = walk 0 (head t) [] in
+  let n = List.length chain in
+  t.seps <- Array.make n "";
+  t.leaves <- Array.make n 0;
+  List.iteri
+    (fun i (leaf, live) ->
+      (* live is sorted, so its head is the leaf's minimal key — a valid
+         separator: every live key of leaf i-1 sorts strictly below it *)
+      t.seps.(i) <- (if i = 0 then "" else fst (List.hd live));
+      t.leaves.(i) <- leaf;
+      t.count <- t.count + List.length live)
+    chain;
+  t.index_addr <- Meter.dram_alloc meter (n * 16);
+  Meter.write_range meter Dram ~addr:t.index_addr ~len:(n * 16);
+  t
+
 let check_integrity t =
   let fail fmt = Printf.ksprintf failwith fmt in
   if Array.length t.seps <> Array.length t.leaves then fail "index arrays diverge";
+  (* the durable chain and the volatile index must agree exactly *)
+  let rec chain_check leaf i =
+    if leaf = 0 then begin
+      if i <> Array.length t.leaves then
+        fail "chain has %d leaves but index has %d" i (Array.length t.leaves)
+    end
+    else begin
+      if i >= Array.length t.leaves then fail "chain longer than index";
+      if t.leaves.(i) <> leaf then
+        fail "chain leaf %d at position %d but index says %d" leaf i t.leaves.(i);
+      chain_check (leaf_next t leaf) (i + 1)
+    end
+  in
+  chain_check (head t) 0;
   let seen = ref 0 in
   Array.iteri
     (fun i leaf ->

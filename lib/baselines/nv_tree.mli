@@ -13,8 +13,11 @@
     split here rebuilds the whole DRAM index over the leaves.
 
     Entries carry the value inline (≤ 31 bytes). Pure-PM leaves +
-    volatile inner nodes; recovery is possible by rescanning leaves but
-    is not part of the paper's evaluation and is not implemented. *)
+    volatile inner nodes. The leaves form a durable singly-linked chain
+    headed by a root block (the pool's first allocation): a split builds
+    and persists its replacement leaves off-chain and commits with a
+    single 8-byte pointer swing, so {!recover} can rebuild the DRAM
+    index by walking the chain after a crash at any flush boundary. *)
 
 type t
 
@@ -22,6 +25,13 @@ val leaf_cap : int
 (** Entries per PM leaf (including appended tombstones). *)
 
 val create : Hart_pmem.Pmem.t -> t
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Reattach to a crashed pool: validate the root block, walk the leaf
+    chain and rebuild the DRAM index. Leaves holding only dead history
+    are unlinked and freed (each unlink is one atomic persisted pointer
+    swing, so recovery is idempotent and itself crash-tolerant). *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool

@@ -9,14 +9,31 @@
     ("requires expensive logging or CoW for a node split") appears on
     splits: a redo log guards the multi-node rearrangement.
 
-    Node contents are charge-modelled at pool addresses like the other
-    pure-PM baselines (DESIGN.md); values are stored inline (≤ 31
-    bytes). Being pure-PM it needs no recovery procedure. *)
+    Leaves are {e byte-stored}: the occupancy bitmap (the atomic commit
+    word), a next pointer and the 64-byte entries (inline values ≤ 31
+    bytes) are real durable bytes, and the leaves form a chain headed
+    by a root block (the pool's first allocation). The slot arrays and
+    the inner nodes stay charge-modelled at real pool addresses
+    (DESIGN.md) — recovery re-sorts each leaf by key and rebuilds the
+    inner levels from the chain, so neither is needed after a crash.
+    Value updates are out-of-place: the new entry is persisted into a
+    free slot and one 8-byte bitmap store retires the old and commits
+    the new atomically. Splits are crash-safe in the FPTree style:
+    build the right leaf off-chain, link it with one persisted pointer
+    store, shrink the left bitmap last; {!recover} resolves the
+    duplicate window in favour of the right copy. *)
 
 type t
 
 val node_cap : int
 val create : Hart_pmem.Pmem.t -> t
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Reattach to a crashed pool: validate the root block, repair any
+    torn split (clear the left twin's duplicate bits), walk the leaf
+    chain rebuilding the sorted views, unlink-and-free emptied leaves
+    and rebuild the inner levels bottom-up. *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool
@@ -28,5 +45,9 @@ val dram_bytes : t -> int
 (** 0: pure-PM tree. *)
 
 val pm_bytes : t -> int
+
 val check_integrity : t -> unit
+(** Volatile/durable correspondence (bitmaps, entries, next chain) plus
+    the sorted-chain and routing invariants. *)
+
 val ops : t -> Index_intf.ops

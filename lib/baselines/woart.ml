@@ -7,7 +7,10 @@ type t = {
   pool : Pmem.t;
   meter : Meter.t;
   art : int Art.t;  (* full key -> PM leaf offset *)
+  reg : Pm_registry.t;  (* durable leaf set: the recovery ground truth *)
 }
+
+let magic = 0x574F4152_54524731L (* "WOARTRG1" *)
 
 
 (* WOART's per-mutation consistency protocol, driven by ART structural
@@ -38,15 +41,16 @@ let protocol meter = function
       Meter.write_range meter Pm ~addr ~len:8;
       Meter.persist_range meter ~addr ~len:8
 
+let make_art pool meter =
+  Art.create ~meter ~space:Pm
+    ~alloc_node:(fun size -> Pmem.alloc pool size)
+    ~free_node:(fun ~addr ~size -> Pmem.free pool ~off:addr ~len:size)
+    ~on_event:(protocol meter) ()
+
 let create pool =
   let meter = Pmem.meter pool in
-  let art =
-    Art.create ~meter ~space:Pm
-      ~alloc_node:(fun size -> Pmem.alloc pool size)
-      ~free_node:(fun ~addr ~size -> Pmem.free pool ~off:addr ~len:size)
-      ~on_event:(protocol meter) ()
-  in
-  { pool; meter; art }
+  let reg = Pm_registry.create pool ~magic in
+  { pool; meter; art = make_art pool meter; reg }
 
 let update_leaf t ~leaf value = Pm_value.update_leaf t.pool ~leaf value
 
@@ -54,7 +58,10 @@ let insert t ~key ~value =
   match Art.find t.art key with
   | Some leaf -> update_leaf t ~leaf value
   | None -> (
+      (* leaf + value are fully persisted by [new_leaf]; the registry
+         slot persist is this insert's durable commit point *)
       let leaf = Pm_value.new_leaf t.pool ~key ~payload:value in
+      Pm_registry.register t.reg leaf;
       match Art.insert t.art key leaf with
       | `Inserted -> ()
       | `Replaced _ -> assert false)
@@ -77,6 +84,9 @@ let delete t key =
   match Art.delete t.art key with
   | None -> false
   | Some leaf ->
+      (* deregistration commits the delete before the leaf's space can
+         be recycled by a later allocation *)
+      Pm_registry.deregister t.reg leaf;
       Pm_value.free_leaf t.pool ~leaf;
       true
 
@@ -87,6 +97,32 @@ let range t ~lo ~hi f =
 let count t = Art.count t.art
 let dram_bytes _ = 0
 let pm_bytes t = Pmem.live_bytes t.pool
+
+(* Inner ART nodes are charge-modelled, so recovery re-links every leaf
+   the durable registry names into a fresh ART. Read-only on PM; old
+   node blocks leak (the paper's accepted log-less radix leak, §IV-F). *)
+let recover pool =
+  let meter = Pmem.meter pool in
+  let reg = Pm_registry.attach pool ~magic in
+  let t = { pool; meter; art = make_art pool meter; reg } in
+  Pm_registry.iter reg (fun leaf ->
+      match Art.insert t.art (Hart_core.Leaf.key t.pool ~leaf) leaf with
+      | `Inserted -> ()
+      | `Replaced _ -> failwith "Woart.recover: duplicate key in registry");
+  t
+
+let check_integrity t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Art.check_invariants t.art;
+  Pm_registry.check t.reg;
+  if Pm_registry.cardinal t.reg <> Art.count t.art then
+    fail "Woart: registry holds %d leaves but ART has %d"
+      (Pm_registry.cardinal t.reg) (Art.count t.art);
+  Art.iter t.art (fun key leaf ->
+      if not (Pm_registry.registered t.reg leaf) then
+        fail "Woart: leaf %d (%S) missing from registry" leaf key;
+      if not (String.equal (Hart_core.Leaf.key t.pool ~leaf) key) then
+        fail "Woart: leaf %d key disagrees with ART key %S" leaf key)
 
 let ops t =
   {

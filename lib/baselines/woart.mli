@@ -22,6 +22,15 @@
 type t
 
 val create : Hart_pmem.Pmem.t -> t
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Reattach to a crashed pool: validate the registry root block
+    ({!Pm_registry}) and rebuild the volatile ART by re-inserting every
+    registered leaf. Read-only on PM. *)
+
+val check_integrity : t -> unit
+(** ART invariants plus exact tree/registry correspondence. *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool

@@ -18,11 +18,21 @@ and node = {
 type t = {
   pool : Pmem.t;
   meter : Meter.t;
+  reg : Pm_registry.t;  (* durable leaf set: the recovery ground truth *)
   mutable root : child;
   mutable count : int;
 }
 
-let create pool = { pool; meter = Pmem.meter pool; root = CEmpty; count = 0 }
+let magic = 0x574F5254_52454731L (* "WORTREG1" *)
+
+let create pool =
+  {
+    pool;
+    meter = Pmem.meter pool;
+    reg = Pm_registry.create pool ~magic;
+    root = CEmpty;
+    count = 0;
+  }
 let count t = t.count
 let dram_bytes _ = 0
 let pm_bytes t = Pmem.live_bytes t.pool
@@ -133,15 +143,10 @@ let join_leaves t ~lkey ~leaf ~key ~new_leaf d =
   place key new_leaf;
   CNode n
 
-let insert t ~key ~value =
-  if String.length key = 0 || String.length key > Hart_core.Leaf.max_key_len then
-    invalid_arg "Wort.insert: key must be 1..24 bytes";
-  match find_leaf t key with
-  | leaf when leaf <> 0 && String.equal (Hart_core.Leaf.key t.pool ~leaf) key ->
-      Pm_value.update_leaf t.pool ~leaf value
-  | _ ->
-      let new_leaf = Pm_value.new_leaf t.pool ~key ~payload:value in
-      let nk = total_nibbles key in
+(* Structural insertion of an existing PM leaf under [key] — shared by
+   the insert hot path and registry-driven recovery. *)
+let link_leaf t ~key new_leaf =
+  let nk = total_nibbles key in
       let rec go child d : child =
         match child with
         | CEmpty -> CLeaf new_leaf
@@ -190,14 +195,27 @@ let insert t ~key ~value =
               end
             end
       in
-      let root' = go t.root 0 in
-      (match (root', t.root) with
-      | CNode a, CNode b when a == b -> ()
-      | _ ->
-          t.root <- root';
-          (* root pointer is an 8-byte persistent word *)
-          Meter.persist_range t.meter ~addr:0 ~len:8);
-      t.count <- t.count + 1
+  let root' = go t.root 0 in
+  (match (root', t.root) with
+  | CNode a, CNode b when a == b -> ()
+  | _ ->
+      t.root <- root';
+      (* root pointer is an 8-byte persistent word *)
+      Meter.persist_range t.meter ~addr:0 ~len:8);
+  t.count <- t.count + 1
+
+let insert t ~key ~value =
+  if String.length key = 0 || String.length key > Hart_core.Leaf.max_key_len then
+    invalid_arg "Wort.insert: key must be 1..24 bytes";
+  match find_leaf t key with
+  | leaf when leaf <> 0 && String.equal (Hart_core.Leaf.key t.pool ~leaf) key ->
+      Pm_value.update_leaf t.pool ~leaf value
+  | _ ->
+      (* leaf + value object are fully persisted by [new_leaf]; the
+         registry slot persist is the durable commit of this insert *)
+      let leaf = Pm_value.new_leaf t.pool ~key ~payload:value in
+      Pm_registry.register t.reg leaf;
+      link_leaf t ~key leaf
 
 (* ------------------------------------------------------------------ *)
 (* Update / delete                                                     *)
@@ -283,6 +301,9 @@ let delete t key =
     | _ ->
         t.root <- root';
         Meter.persist_range t.meter ~addr:0 ~len:8);
+    (* deregistration (persisted zero slot) commits the delete before
+       the leaf's space can be recycled *)
+    Pm_registry.deregister t.reg !found;
     Pm_value.free_leaf t.pool ~leaf:!found;
     t.count <- t.count - 1;
     true
@@ -357,7 +378,30 @@ let check_invariants t =
         Array.iteri (fun c k -> go k (path @ [ c ])) n.kids
   in
   go t.root [];
-  if !leaves <> t.count then fail "count %d but %d leaves" t.count !leaves
+  if !leaves <> t.count then fail "count %d but %d leaves" t.count !leaves;
+  if Pm_registry.cardinal t.reg <> t.count then
+    fail "registry holds %d leaves but tree has %d"
+      (Pm_registry.cardinal t.reg) t.count;
+  iter_leaves t (fun leaf ->
+      if not (Pm_registry.registered t.reg leaf) then
+        fail "tree leaf %d missing from registry" leaf);
+  Pm_registry.check t.reg
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* The inner radix nodes are charge-modelled (no durable bytes), so
+   recovery rebuilds the whole node graph by re-linking every leaf the
+   durable registry names. Read-only on PM: nested crash-during-recovery
+   has nothing to tear. The old node blocks' pool space is not
+   reclaimed — the same persistent-leak class the paper accepts for the
+   log-less radix trees (§IV-F). *)
+let recover pool =
+  let reg = Pm_registry.attach pool ~magic in
+  let t = { pool; meter = Pmem.meter pool; reg; root = CEmpty; count = 0 } in
+  Pm_registry.iter reg (fun leaf ->
+      link_leaf t ~key:(Hart_core.Leaf.key t.pool ~leaf) leaf);
+  t
 
 let ops t =
   {

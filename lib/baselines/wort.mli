@@ -22,6 +22,12 @@
 type t
 
 val create : Hart_pmem.Pmem.t -> t
+
+val recover : Hart_pmem.Pmem.t -> t
+(** Reattach to a crashed pool: validate the registry root block
+    ({!Pm_registry}) and rebuild the volatile radix structure by
+    re-linking every registered leaf. Read-only on PM. *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool
@@ -35,5 +41,8 @@ val dram_bytes : t -> int
 (** 0: pure-PM tree. *)
 
 val pm_bytes : t -> int
+
 val check_invariants : t -> unit
+(** Structural invariants plus exact tree/registry correspondence. *)
+
 val ops : t -> Index_intf.ops

@@ -109,8 +109,13 @@ let logs t = t.logs
 
 let full_mask = (1 lsl Chunk.objs_per_chunk) - 1
 
+(* [Sched_hook.lock] (try-lock/yield under the cooperative crash
+   explorer, plain [Mutex.lock] otherwise): persists run under these
+   mutexes (e.g. [set_head], bitmap commits), i.e. a fiber can park at a
+   flush-boundary yield point while holding one — a blocking lock from
+   another fiber would then deadlock the single scheduler thread. *)
 let with_lock mu f =
-  Mutex.lock mu;
+  Hart_util.Sched_hook.lock mu;
   match f () with
   | v ->
       Mutex.unlock mu;
@@ -331,7 +336,18 @@ let eprecycle t cls ~chunk =
    deletion; release the value before handing the slot out. Called with
    no locks held — the caller's reservation makes the slot exclusive —
    because it takes *value*-class locks, which must never nest inside
-   leaf-class ones. *)
+   leaf-class ones.
+
+   Soundness depends on an allocator-wide invariant: a value object that
+   is durably referenced by a free leaf slot (or by a pending update
+   log) has never been reallocated since that reference was written.
+   [Hart.delete] and [Hart.update_leaf] maintain it by freeing the old
+   value with [reset_obj_bit_hold] and only [cancel_reservation]ing it
+   after the durable reference is severed (p_value cleared / log
+   reclaimed). Without the hold, the value could be re-owned by a live
+   key before the crash, and this repair would free the new owner's
+   value — a corruption the concurrent crash explorer found as
+   "value N of key K is not committed". *)
 let repair_leaf_slot t obj =
   let p_value = Leaf.p_value t.pool ~leaf:obj in
   if p_value <> 0 then begin

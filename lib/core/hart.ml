@@ -99,11 +99,18 @@ let update_leaf t ~leaf value =
   Leaf.set_p_value t.pool ~leaf new_v;
   (match Epalloc.class_of_value_obj t.alloc old_v with
   | Some old_cls ->
-      Epalloc.reset_obj_bit t.alloc old_cls ~obj:old_v;
+      (* The old value is durably free from here, but the pending log's
+         POldV still references it. Hold its slot (volatile reservation)
+         until the log is reclaimed: if it could be reallocated first and
+         we then crashed before reclaim, replay would free the new
+         owner's value through the stale POldV. A pending log therefore
+         proves its POldV was never reallocated. *)
+      Epalloc.reset_obj_bit_hold t.alloc old_cls ~obj:old_v;
+      Microlog.Update.reclaim logs ~slot;
+      Epalloc.cancel_reservation t.alloc old_cls ~obj:old_v;
       Epalloc.eprecycle t.alloc old_cls
         ~chunk:(Epalloc.chunk_of_obj t.alloc old_cls old_v)
-  | None -> ());
-  Microlog.Update.reclaim logs ~slot
+  | None -> Microlog.Update.reclaim logs ~slot)
 
 (* Algorithm 1. *)
 let insert t ~key ~value =
@@ -181,8 +188,17 @@ let delete t key =
             Epalloc.reset_obj_bit_hold t.alloc Chunk.Leaf_c ~obj:leaf;
             (match Epalloc.class_of_value_obj t.alloc vobj with
             | Some vcls ->
-                Epalloc.reset_obj_bit t.alloc vcls ~obj:vobj;
+                (* Hold the value slot too: it is durably free from here
+                   but the free leaf's p_value still references it. If it
+                   could be reallocated before that reference is severed
+                   and we then crashed, the Algorithm-2 repair of this
+                   slot would free the value's new owner. The hold makes
+                   a durably-referenced free value provably
+                   never-reallocated, which is what makes the repair
+                   sound. *)
+                Epalloc.reset_obj_bit_hold t.alloc vcls ~obj:vobj;
                 Leaf.set_p_value t.pool ~leaf 0;
+                Epalloc.cancel_reservation t.alloc vcls ~obj:vobj;
                 Epalloc.eprecycle t.alloc vcls
                   ~chunk:(Epalloc.chunk_of_obj t.alloc vcls vobj)
             | None -> ());

@@ -56,11 +56,20 @@ let pick_free mask =
 (* [get] reads the current mask, [clear] removes the chosen slot from it;
    blocks until a slot is available. *)
 let acquire_slot t ~get ~clear =
-  Mutex.lock t.mu;
+  (* Under the cooperative crash explorer a [Condition.wait] would park
+     the only OS thread, so exhaustion spins through the scheduler
+     instead (unlock / yield / retry); the real-domain path blocks on
+     the condition as before. *)
+  Hart_util.Sched_hook.lock t.mu;
   let rec wait () =
     match pick_free (get t) with
     | -1 ->
-        Condition.wait t.slot_freed t.mu;
+        if Hart_util.Sched_hook.active () then begin
+          Mutex.unlock t.mu;
+          Hart_util.Sched_hook.yield ();
+          Hart_util.Sched_hook.lock t.mu
+        end
+        else Condition.wait t.slot_freed t.mu;
         wait ()
     | slot ->
         clear t slot;

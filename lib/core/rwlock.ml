@@ -1,3 +1,5 @@
+module Sched_hook = Hart_util.Sched_hook
+
 type t = {
   m : Mutex.t;
   can_read : Condition.t;
@@ -6,6 +8,16 @@ type t = {
   mutable writer : bool;
   mutable waiting_writers : int;
 }
+
+type event = Read_acquired | Read_released | Write_acquired | Write_released
+
+(* Installed by the deterministic concurrent crash explorer (which runs
+   fibers on one OS thread, so handler invocations are totally ordered);
+   [None] on every real path. The [t] argument gives per-lock identity
+   by physical equality. *)
+let event_hook : (t -> event -> unit) option ref = ref None
+let set_event_hook f = event_hook := f
+let notify t ev = match !event_hook with None -> () | Some f -> f t ev
 
 let create () =
   {
@@ -17,45 +29,98 @@ let create () =
     waiting_writers = 0;
   }
 
+(* Cooperative acquisition: with a scheduler installed there is exactly
+   one runnable fiber, so the state fields are stable except across
+   [yield] — blocking on [Condition.wait] would park the only OS thread
+   forever. The admission test re-runs after every yield and, once it
+   passes, the state update happens with no intervening yield (atomic
+   with respect to the scheduler). *)
+
 let read_lock t =
-  Mutex.lock t.m;
-  while t.writer || t.waiting_writers > 0 do
-    Condition.wait t.can_read t.m
-  done;
-  t.active_readers <- t.active_readers + 1;
-  Mutex.unlock t.m
+  if Sched_hook.active () then begin
+    Sched_hook.yield ();
+    (* acquire yield point *)
+    while t.writer || t.waiting_writers > 0 do
+      Sched_hook.yield ()
+    done;
+    t.active_readers <- t.active_readers + 1
+  end
+  else begin
+    Mutex.lock t.m;
+    while t.writer || t.waiting_writers > 0 do
+      Condition.wait t.can_read t.m
+    done;
+    t.active_readers <- t.active_readers + 1;
+    Mutex.unlock t.m
+  end;
+  notify t Read_acquired
 
 let read_unlock t =
-  Mutex.lock t.m;
-  t.active_readers <- t.active_readers - 1;
-  if t.active_readers = 0 then Condition.signal t.can_write;
-  Mutex.unlock t.m
+  (* The release event fires before the state change with no yield in
+     between: handler order IS release order. No yield afterwards either
+     — release is also on the exception-unwind path (Fun.protect), where
+     a context switch after a crash would let other fibers mutate the
+     post-crash pool. The release-side yield point lives in
+     {!with_read}/{!with_write}, on the normal path only. *)
+  notify t Read_released;
+  if Sched_hook.active () then
+    (* no real domains → no condition waiters to signal *)
+    t.active_readers <- t.active_readers - 1
+  else begin
+    Mutex.lock t.m;
+    t.active_readers <- t.active_readers - 1;
+    if t.active_readers = 0 then Condition.signal t.can_write;
+    Mutex.unlock t.m
+  end
 
 let write_lock t =
-  Mutex.lock t.m;
-  t.waiting_writers <- t.waiting_writers + 1;
-  while t.writer || t.active_readers > 0 do
-    Condition.wait t.can_write t.m
-  done;
-  t.waiting_writers <- t.waiting_writers - 1;
-  t.writer <- true;
-  Mutex.unlock t.m
+  if Sched_hook.active () then begin
+    Sched_hook.yield ();
+    (* acquire yield point *)
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writer || t.active_readers > 0 do
+      Sched_hook.yield ()
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writer <- true
+  end
+  else begin
+    Mutex.lock t.m;
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writer || t.active_readers > 0 do
+      Condition.wait t.can_write t.m
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writer <- true;
+    Mutex.unlock t.m
+  end;
+  notify t Write_acquired
 
 let write_unlock t =
-  Mutex.lock t.m;
-  t.writer <- false;
-  (* wake a waiting writer first (writer preference), else all readers *)
-  if t.waiting_writers > 0 then Condition.signal t.can_write
-  else Condition.broadcast t.can_read;
-  Mutex.unlock t.m
+  notify t Write_released;
+  if Sched_hook.active () then t.writer <- false
+  else begin
+    Mutex.lock t.m;
+    t.writer <- false;
+    (* wake a waiting writer first (writer preference), else all readers *)
+    if t.waiting_writers > 0 then Condition.signal t.can_write
+    else Condition.broadcast t.can_read;
+    Mutex.unlock t.m
+  end
 
 let with_read t f =
   read_lock t;
-  Fun.protect ~finally:(fun () -> read_unlock t) f
+  let r = Fun.protect ~finally:(fun () -> read_unlock t) f in
+  Sched_hook.yield ();
+  (* release yield point (normal path) *)
+  r
 
 let with_write t f =
   write_lock t;
-  Fun.protect ~finally:(fun () -> write_unlock t) f
+  let r = Fun.protect ~finally:(fun () -> write_unlock t) f in
+  Sched_hook.yield ();
+  (* release yield point (normal path) *)
+  r
 
 let readers t = t.active_readers
 let writer_active t = t.writer

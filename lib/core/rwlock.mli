@@ -6,6 +6,17 @@
 
 type t
 
+type event = Read_acquired | Read_released | Write_acquired | Write_released
+
+val set_event_hook : (t -> event -> unit) option -> unit
+(** Observation hook for the deterministic concurrent crash explorer:
+    fired on every acquisition/release, with the lock itself for
+    identity (physical equality). [Write_released]/[Read_released] fire
+    {e before} the lock state changes, with no scheduler yield in
+    between, so under the cooperative scheduler the handler invocation
+    order is exactly the release (linearization) order. Must only be
+    installed while no real domains are running. *)
+
 val create : unit -> t
 val read_lock : t -> unit
 val read_unlock : t -> unit

@@ -3,6 +3,12 @@ module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
 module Hart = Hart_core.Hart
 module Fptree = Hart_baselines.Fptree
+module Wort = Hart_baselines.Wort
+module Woart = Hart_baselines.Woart
+module Art_cow = Hart_baselines.Art_cow
+module Nv_tree = Hart_baselines.Nv_tree
+module Wb_tree = Hart_baselines.Wb_tree
+module Cdds_btree = Hart_baselines.Cdds_btree
 module SMap = Map.Make (String)
 
 type op =
@@ -87,9 +93,135 @@ let fptree =
     reattach = (fun pool -> fptree_instance pool (Fptree.recover pool));
   }
 
-let all_targets = [ hart; fptree ]
+(* The six remaining baselines all expose the uniform ops record; only
+   the integrity check and the recover entry point differ. Their keys
+   are bounded at 24 bytes, so a 25-byte [0xff] run is above any key. *)
+let ops_instance pool (o : Hart_baselines.Index_intf.ops) check =
+  let hi = String.make 25 '\xff' in
+  {
+    pool;
+    apply =
+      (function
+      | Insert (k, v) -> o.insert ~key:k ~value:v
+      | Update (k, v) -> ignore (o.update ~key:k ~value:v : bool)
+      | Delete k -> ignore (o.delete k : bool));
+    check;
+    dump = (fun () -> sorted_dump (fun f -> o.range ~lo:"\x00" ~hi f));
+  }
+
+let baseline_target name ~fresh ~reattach =
+  {
+    target_name = name;
+    fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        fresh pool);
+    reattach;
+  }
+
+let wort =
+  let inst pool t = ops_instance pool (Wort.ops t) (fun () -> Wort.check_invariants t) in
+  baseline_target "wort"
+    ~fresh:(fun pool -> inst pool (Wort.create pool))
+    ~reattach:(fun pool -> inst pool (Wort.recover pool))
+
+let woart =
+  let inst pool t = ops_instance pool (Woart.ops t) (fun () -> Woart.check_integrity t) in
+  baseline_target "woart"
+    ~fresh:(fun pool -> inst pool (Woart.create pool))
+    ~reattach:(fun pool -> inst pool (Woart.recover pool))
+
+let art_cow =
+  let inst pool t =
+    ops_instance pool (Art_cow.ops t) (fun () -> Art_cow.check_integrity t)
+  in
+  baseline_target "art-cow"
+    ~fresh:(fun pool -> inst pool (Art_cow.create pool))
+    ~reattach:(fun pool -> inst pool (Art_cow.recover pool))
+
+let nv_tree =
+  let inst pool t =
+    ops_instance pool (Nv_tree.ops t) (fun () -> Nv_tree.check_integrity t)
+  in
+  baseline_target "nv-tree"
+    ~fresh:(fun pool -> inst pool (Nv_tree.create pool))
+    ~reattach:(fun pool -> inst pool (Nv_tree.recover pool))
+
+let wb_tree =
+  let inst pool t =
+    ops_instance pool (Wb_tree.ops t) (fun () -> Wb_tree.check_integrity t)
+  in
+  baseline_target "wb-tree"
+    ~fresh:(fun pool -> inst pool (Wb_tree.create pool))
+    ~reattach:(fun pool -> inst pool (Wb_tree.recover pool))
+
+let cdds_btree =
+  let inst pool t =
+    ops_instance pool (Cdds_btree.ops t) (fun () -> Cdds_btree.check_integrity t)
+  in
+  baseline_target "cdds"
+    ~fresh:(fun pool -> inst pool (Cdds_btree.create pool))
+    ~reattach:(fun pool -> inst pool (Cdds_btree.recover pool))
+
+let all_targets = [ hart; fptree; wort; woart; art_cow; nv_tree; wb_tree; cdds_btree ]
+let find_target name = List.find_opt (fun t -> t.target_name = name) all_targets
 
 exception Violation of string
+
+let pp_mode ppf = function
+  | Pmem.Clean -> Format.pp_print_string ppf "clean"
+  | Pmem.Torn { seed; fraction } ->
+      Format.fprintf ppf "torn(seed=%Ld,fraction=%.2f)" seed fraction
+  | Pmem.Torn_commit -> Format.pp_print_string ppf "torn-commit"
+
+(* A violating schedule, with enough coordinates to replay it exactly:
+   (target, workload, mode, schedule[, nested]) names one deterministic
+   execution — the mode carries the torn-eviction seed when there is
+   one. *)
+type violation = {
+  v_target : string;
+  v_workload : string;
+  v_mode : Pmem.crash_mode;
+  v_schedule : int;  (* outer flush boundary index *)
+  v_nested : int option;  (* recovery flush index of a nested schedule *)
+  v_op : int option;  (* in-flight op index at the crash *)
+  v_detail : string;
+}
+
+let pp_violation ppf v =
+  let pp_opt tag ppf = function
+    | None -> ()
+    | Some m -> Format.fprintf ppf " %s=%d" tag m
+  in
+  Format.fprintf ppf "[%s/%s] mode=%a schedule=%d%a%a: %s" v.v_target v.v_workload
+    pp_mode v.v_mode v.v_schedule (pp_opt "nested") v.v_nested (pp_opt "op") v.v_op
+    v.v_detail
+
+let violation_message v = Format.asprintf "%a" pp_violation v
+
+(* machine-readable form, for CI diffing against an empty baseline *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let violation_json v =
+  let opt = function None -> "null" | Some m -> string_of_int m in
+  let seed = match v.v_mode with Pmem.Torn { seed; _ } -> Printf.sprintf "%Ld" seed | _ -> "null" in
+  Printf.sprintf
+    {|{"target":"%s","workload":"%s","mode":"%s","seed":%s,"schedule":%d,"nested":%s,"op":%s,"detail":"%s"}|}
+    (json_escape v.v_target) (json_escape v.v_workload)
+    (json_escape (Format.asprintf "%a" pp_mode v.v_mode))
+    seed v.v_schedule (opt v.v_nested) (opt v.v_op) (json_escape v.v_detail)
 
 type report = {
   target : string;
@@ -102,8 +234,15 @@ type report = {
   recovery_flushes : int;
   checkpoints : int;  (* pool snapshots taken during the dry run *)
   checkpoint_replays : int;  (* schedules replayed from a snapshot *)
-  violations : string list;  (* collected with [keep_going]; else empty *)
+  violations : violation list;  (* collected with [keep_going]; else empty *)
 }
+
+let violation_list_json = function
+  | [] -> "[]\n"
+  | vs -> "[\n  " ^ String.concat ",\n  " (List.map violation_json vs) ^ "\n]\n"
+
+let violations_to_json reports =
+  violation_list_json (List.concat_map (fun r -> r.violations) reports)
 
 (* a key no workload uses, for the post-recovery usability probe *)
 let probe_key = "~~probe~~"
@@ -119,15 +258,25 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
   in
   (* schedule-level check failure: fatal, or collected under [keep_going]
      (the rest of that schedule is skipped, the sweep continues) *)
-  let viol fmt =
+  let viol ~schedule ?nested ?op fmt =
     Printf.ksprintf
       (fun s ->
-        let s = Printf.sprintf "[%s/%s] %s" target.target_name workload s in
+        let v =
+          {
+            v_target = target.target_name;
+            v_workload = workload;
+            v_mode = mode;
+            v_schedule = schedule;
+            v_nested = nested;
+            v_op = op;
+            v_detail = s;
+          }
+        in
         if keep_going then begin
-          violations := s :: !violations;
+          violations := v :: !violations;
           raise Skip_schedule
         end
-        else raise (Violation s))
+        else raise (Violation (violation_message v)))
       fmt
   in
   let ops_arr = Array.of_list ops in
@@ -233,7 +382,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
         run_schedule i ~allow_cp:false
       end
       else
-        viol "schedule %d/%d never fired (flush count not reproducible?)" i
+        viol ~schedule:i "never fired after %d flushes (flush count not reproducible?)"
           total_flushes
     end
     else begin
@@ -246,10 +395,9 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
             String.concat ", "
               (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) bs)
           in
-          viol
-            "schedule %d/%d, in-flight op %d (%s): %s state is not a \
-             crash-consistent prefix.@ got      {%s}@ expected {%s}@ or       {%s}"
-            i total_flushes j
+          viol ~schedule:i ~op:j
+            "in-flight %s: %s state is not a crash-consistent prefix. got {%s} \
+             expected {%s} or {%s}"
             (Format.asprintf "%a" pp_op ops_arr.(j))
             what (pp_bindings got) (pp_bindings before) (pp_bindings after)
         end
@@ -257,7 +405,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
       let guard what f =
         try f ()
         with Failure msg ->
-          viol "schedule %d/%d, in-flight op %d (%s): %s: %s" i total_flushes j
+          viol ~schedule:i ~op:j "in-flight %s: %s: %s"
             (Format.asprintf "%a" pp_op ops_arr.(j))
             what msg
       in
@@ -276,8 +424,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
         guard "second recovery failed" (fun () -> target.reattach inst.pool)
       in
       guard "integrity after second recovery" rec2.check;
-      if rec2.dump () <> m1 then
-        viol "schedule %d/%d: recovery is not idempotent" i total_flushes;
+      if rec2.dump () <> m1 then viol ~schedule:i "recovery is not idempotent";
       (* usability: the recovered store accepts and repairs further ops *)
       guard "post-recovery probe" (fun () ->
           rec2.apply (Insert (probe_key, "p"));
@@ -290,15 +437,14 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
           Pmem.arm_crash pool ~after_flushes:m;
           (match target.reattach pool with
           | _ ->
-              viol "schedule %d/%d: nested crash %d/%d never fired" i
-                total_flushes m recovery_flushes
+              viol ~schedule:i ~nested:m "nested crash never fired (%d recovery flushes)"
+                recovery_flushes
           | exception Pmem.Crash_injected -> ());
           incr nested_total;
           let guard_n what f =
             try f ()
             with Failure msg ->
-              viol "schedule %d/%d, nested %d/%d, in-flight op %d (%s): %s: %s" i
-                total_flushes m recovery_flushes j
+              viol ~schedule:i ~nested:m ~op:j "in-flight %s: %s: %s"
                 (Format.asprintf "%a" pp_op ops_arr.(j))
                 what msg
           in
@@ -309,10 +455,8 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
           guard_n "integrity after nested crash" rec3.check;
           let got = rec3.dump () in
           if got <> before && got <> after then
-            viol
-              "schedule %d/%d, nested %d/%d: state after crashed recovery is \
-               not a crash-consistent prefix"
-              i total_flushes m recovery_flushes
+            viol ~schedule:i ~nested:m
+              "state after crashed recovery is not a crash-consistent prefix"
         done
     end
   in
@@ -440,10 +584,22 @@ let builtin_workloads =
 let find_workload name =
   List.find_opt (fun (n, _, _) -> n = name) builtin_workloads
 
-let pp_mode ppf = function
-  | Pmem.Clean -> Format.pp_print_string ppf "clean"
-  | Pmem.Torn { seed; fraction } ->
-      Format.fprintf ppf "torn(seed=%Ld,fraction=%.2f)" seed fraction
+(* ------------------------------------------------------------------ *)
+(* Adversarial torn sweep: the single most suspicious eviction — drop
+   exactly the line whose flush the crash interrupted (the suspected
+   commit point, [Torn_commit]) — then [subsets] random-subset sweeps
+   with distinct derived seeds as a fallback net for designs whose
+   commit word rides in a different line than the one being flushed. *)
+
+let explore_adversarial ?(nested = true) ?(setup = []) ?checkpoint_every
+    ?(keep_going = false) ?(subsets = 4) ?(base_seed = 0xF417L) ?(fraction = 0.5)
+    ~workload target ops =
+  let sweep mode =
+    explore ~mode ~nested ~setup ?checkpoint_every ~keep_going ~workload target ops
+  in
+  sweep Pmem.Torn_commit
+  :: List.init subsets (fun k ->
+         sweep (Pmem.Torn { seed = Int64.add base_seed (Int64.of_int k); fraction }))
 
 let pp_report ppf r =
   Format.fprintf ppf

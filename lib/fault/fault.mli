@@ -42,6 +42,9 @@ type op =
 val apply_model : string Map.Make(String).t -> op -> string Map.Make(String).t
 (** The pure oracle: one atomically-applied operation. *)
 
+val pp_op : Format.formatter -> op -> unit
+val pp_mode : Format.formatter -> Hart_pmem.Pmem.crash_mode -> unit
+
 (** A recoverable index under test. [fresh] formats a brand-new pool;
     [reattach] adopts a (possibly crashed) pool, replaying any pending
     micro-logs — it may itself write and flush PM, which is exactly what
@@ -68,12 +71,48 @@ val fptree : target
 (** The FPTree baseline — same selective-persistence family, so it must
     satisfy the same prefix-consistency oracle. *)
 
+val wort : target
+
+val woart : target
+
+val art_cow : target
+
+val nv_tree : target
+
+val wb_tree : target
+
+val cdds_btree : target
+
 val all_targets : target list
+(** All eight indexes of the paper's §II comparison — HART, FPTree and
+    the six §II-C baselines ("wort", "woart", "art-cow", "nv-tree",
+    "wb-tree", "cdds") — each wired to its own [recover] entry point and
+    integrity check, all subject to the same prefix-consistency oracle. *)
+
+val find_target : string -> target option
+(** Look a target up by its [target_name]. *)
 
 exception Violation of string
 (** A crash schedule broke integrity or oracle consistency. The message
     carries target, workload, outer flush index, nested flush index (if
     any), and the in-flight operation. *)
+
+(** One violating schedule, with enough coordinates to replay it
+    deterministically: (target, workload, mode, schedule[, nested])
+    names a single execution — the mode carries the torn-eviction seed
+    when there is one. *)
+type violation = {
+  v_target : string;
+  v_workload : string;
+  v_mode : Hart_pmem.Pmem.crash_mode;
+  v_schedule : int;  (** outer flush boundary index *)
+  v_nested : int option;  (** recovery flush index of a nested schedule *)
+  v_op : int option;  (** in-flight op index at the crash *)
+  v_detail : string;  (** what check failed, and how *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_message : violation -> string
 
 type report = {
   target : string;
@@ -88,9 +127,17 @@ type report = {
   recovery_flushes : int;  (** total recovery flushes observed (= nested bound) *)
   checkpoints : int;  (** pool snapshots taken during the dry run *)
   checkpoint_replays : int;  (** schedules replayed from a snapshot *)
-  violations : string list;
-      (** messages collected under [keep_going]; empty otherwise *)
+  violations : violation list;
+      (** collected under [keep_going]; empty otherwise *)
 }
+
+val violation_list_json : violation list -> string
+(** A JSON array with one object per violation (target, workload, mode,
+    seed, schedule, nested, op, detail). An empty list yields ["[]\n"],
+    so CI can diff the emitted file against an empty baseline. *)
+
+val violations_to_json : report list -> string
+(** {!violation_list_json} over all violations of the given reports. *)
 
 val explore :
   ?mode:Hart_pmem.Pmem.crash_mode ->
@@ -119,12 +166,33 @@ val explore :
     the explorer falls back to full re-execution, so checkpointing never
     changes what is checked.
 
-    [keep_going] (default [false]) collects every violating schedule's
-    message into [report.violations] (skipping the rest of that
-    schedule) instead of raising on the first.
+    [keep_going] (default [false]) collects every violating schedule
+    into [report.violations] (skipping the rest of that schedule)
+    instead of raising on the first.
     @raise Violation on the first inconsistent schedule (unless
     [keep_going]), or if the crash-free dry run disagrees with the
     oracle (always fatal). *)
+
+val explore_adversarial :
+  ?nested:bool ->
+  ?setup:op list ->
+  ?checkpoint_every:int ->
+  ?keep_going:bool ->
+  ?subsets:int ->
+  ?base_seed:int64 ->
+  ?fraction:float ->
+  workload:string ->
+  target ->
+  op list ->
+  report list
+(** Adversarial torn sweep: first a {!Hart_pmem.Pmem.Torn_commit} pass —
+    at each crash point, evict exactly the line whose flush the crash
+    interrupted, i.e. the suspected commit-point line — then [subsets]
+    (default 4) {!Hart_pmem.Pmem.Torn} passes with seeds
+    [base_seed + k] and the given [fraction] (default 0.5) as a
+    random-subset fallback net for designs whose commit word rides in a
+    different line than the one being flushed. Returns one {!report}
+    per pass, [Torn_commit] first. *)
 
 val builtin_workloads : (string * op list * op list) list
 (** [(name, setup, ops)] — the standing correctness gate:

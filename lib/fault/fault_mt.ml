@@ -1,0 +1,352 @@
+(* Deterministic concurrent crash explorer: drive [Hart_mt] from several
+   simulated domains under a seed-replayable interleaving, crash at a
+   chosen flush boundary with operations still in flight, recover
+   single-domain, and check the durable image against a
+   linearization-set oracle.
+
+   Concurrency is simulated with effect-handler fibers on ONE OS thread:
+   each "domain" is a fiber performing [Yield] at every cooperative
+   switch point ([Pmem.persist] entry, lock acquire/release — see
+   Sched_hook and Rwlock), and a seeded RNG picks which runnable fiber
+   proceeds. Same (seed, schedule) pair → bit-identical execution, so a
+   violating schedule replays exactly. Real [Domain.spawn] parallelism
+   cannot be truncated at a precise flush boundary or replayed; the
+   fibers reuse the very same yield-instrumented production code paths
+   (the instrumentation is inert when no scheduler is installed).
+
+   The oracle: [Hart_mt] takes exactly one ART write lock for the whole
+   of every mutating operation, and [Rwlock] fires its release event
+   before the lock state changes with no yield in between — so the
+   sequence of [Write_released] events IS the linearization order of
+   completed operations. At the crash, the admissible recovered states
+   are
+     { committed + S  |  S ⊆ in-flight }
+   where [committed] is the model folded over released operations and
+   [in-flight] are the acquired-but-not-released ones. Concurrent
+   in-flight operations necessarily hold distinct ART locks (same ART =
+   same stripe = exclusive), therefore touch disjoint subtrees and
+   commute durably: every subset is genuinely reachable, and each
+   in-flight operation must be atomically present or absent — partial
+   application, damage to a bystander key, or a lost completed
+   operation all fall outside the set. *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Rng = Hart_util.Rng
+module Sched_hook = Hart_util.Sched_hook
+module Hart = Hart_core.Hart
+module Hart_mt = Hart_core.Hart_mt
+module Rwlock = Hart_core.Rwlock
+module SMap = Map.Make (String)
+
+type _ Effect.t += Yield : unit Effect.t
+
+let fresh_pool () =
+  Pmem.create ~capacity:(1 lsl 18) (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
+
+let apply_mt t = function
+  | Fault.Insert (k, v) -> Hart_mt.insert t ~key:k ~value:v
+  | Fault.Update (k, v) -> ignore (Hart_mt.update t ~key:k ~value:v : bool)
+  | Fault.Delete k -> ignore (Hart_mt.delete t k : bool)
+
+(* One interleaved execution, to completion or to the armed crash. *)
+type probe = {
+  p_crashed : bool;
+  p_flushes : int;  (* measured-phase flushes performed *)
+  p_committed : (string * string) list;  (* linearized-prefix model *)
+  p_in_flight : (int * Fault.op) list;  (* (fiber, op) acquired-not-released *)
+  p_state : (string * string) list;
+      (* bindings after single-domain recovery (crashed) or quiesce *)
+}
+
+type fstate =
+  | Not_started of (unit -> unit)
+  | Parked of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+let exec ~seed ~mode ~crash_at ~setup scripts =
+  let pool = fresh_pool () in
+  let t = Hart_mt.create pool in
+  List.iter (apply_mt t) setup;
+  let n = Array.length scripts in
+  let committed = ref (List.fold_left Fault.apply_model SMap.empty setup) in
+  let cur_op = Array.make n None in
+  let acquired = Array.make n None in
+  let current = ref (-1) in
+  (* Attribution is by the currently scheduled fiber, not by lock
+     identity: on one OS thread exactly one fiber runs between yields,
+     and the event hook fires synchronously inside it. Events fired
+     while fibers unwind from the injected crash are ignored — an
+     unwind release must not linearize the interrupted operation. *)
+  Rwlock.set_event_hook
+    (Some
+       (fun _ ev ->
+         match ev with
+         | Rwlock.Write_acquired ->
+             if not (Pmem.crash_fired pool) then
+               acquired.(!current) <- cur_op.(!current)
+         | Rwlock.Write_released ->
+             if not (Pmem.crash_fired pool) then begin
+               (match acquired.(!current) with
+               | Some op -> committed := Fault.apply_model !committed op
+               | None -> ());
+               acquired.(!current) <- None
+             end
+         | Rwlock.Read_acquired | Rwlock.Read_released -> ()));
+  Sched_hook.install (fun () -> Effect.perform Yield);
+  let finish () =
+    Sched_hook.uninstall ();
+    Rwlock.set_event_hook None
+  in
+  match
+    let f0 = Pmem.flush_count pool in
+    (match crash_at with
+    | Some i -> Pmem.arm_crash ~mode pool ~after_flushes:i
+    | None -> ());
+    let state = Array.make n Finished in
+    Array.iteri
+      (fun i ops ->
+        state.(i) <-
+          Not_started
+            (fun () ->
+              List.iter
+                (fun op ->
+                  cur_op.(i) <- Some op;
+                  apply_mt t op;
+                  cur_op.(i) <- None)
+                ops))
+      scripts;
+    let run i f =
+      Effect.Deep.match_with f ()
+        {
+          retc = (fun () -> state.(i) <- Finished);
+          exnc =
+            (fun e ->
+              state.(i) <- Finished;
+              match e with Pmem.Crash_injected -> () | e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      state.(i) <- Parked k)
+              | _ -> None);
+        }
+    in
+    let rng = Rng.create seed in
+    let runnable () =
+      let r = ref [] in
+      for i = n - 1 downto 0 do
+        match state.(i) with Finished -> () | _ -> r := i :: !r
+      done;
+      !r
+    in
+    (* Once the crash fires, no parked fiber is resumed again: their
+       volatile progress is lost power, exactly like interrupted
+       domains. (A fiber parked mid-unwind — possible only if an unwind
+       finalizer spins on a lock — is abandoned the same way.) *)
+    let rec loop () =
+      if not (Pmem.crash_fired pool) then
+        match runnable () with
+        | [] -> ()
+        | rs ->
+            let j = List.nth rs (Rng.int rng (List.length rs)) in
+            current := j;
+            (match state.(j) with
+            | Not_started f -> run j f
+            | Parked k ->
+                (* the deep handler installed at [run] travels with the
+                   continuation: its effc/retc/exnc update [state.(j)]
+                   again on the next park / return / crash *)
+                Effect.Deep.continue k ()
+            | Finished -> assert false);
+            loop ()
+    in
+    loop ();
+    let crashed = Pmem.crash_fired pool in
+    let flushes = Pmem.flush_count pool - f0 in
+    Pmem.disarm_crash pool;
+    (crashed, flushes)
+  with
+  | exception e ->
+      finish ();
+      raise e
+  | crashed, flushes ->
+      finish ();
+      let in_flight = ref [] in
+      for i = n - 1 downto 0 do
+        match acquired.(i) with
+        | Some op -> in_flight := (i, op) :: !in_flight
+        | None -> ()
+      done;
+      let dump h =
+        let m = ref SMap.empty in
+        Hart.iter h (fun k v -> m := SMap.add k v !m);
+        SMap.bindings !m
+      in
+      let state =
+        if crashed then begin
+          let h = Hart.recover pool in
+          Hart.check_integrity ~allow_recovered_orphans:true h;
+          dump h
+        end
+        else dump (Hart_mt.underlying t)
+      in
+      {
+        p_crashed = crashed;
+        p_flushes = flushes;
+        p_committed = SMap.bindings !committed;
+        p_in_flight = !in_flight;
+        p_state = state;
+      }
+
+(* every subset of the in-flight set, folded onto the committed model *)
+let admissible_states committed in_flight =
+  let subsets =
+    List.fold_left
+      (fun acc op -> acc @ List.map (fun s -> op :: s) acc)
+      [ [] ] in_flight
+  in
+  let base = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty committed in
+  List.sort_uniq compare
+    (List.map
+       (fun s -> SMap.bindings (List.fold_left Fault.apply_model base s))
+       subsets)
+
+type report = {
+  seed : int64;
+  domains : int;
+  workload : string;
+  mode : Pmem.crash_mode;
+  n_ops : int;
+  total_flushes : int;
+  schedules : int;
+  max_in_flight : int;
+  multi_in_flight : int;
+  violations : Fault.violation list;
+}
+
+let pp_ops ppf ops =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (i, op) -> Format.fprintf ppf "fiber%d:%a" i Fault.pp_op op)
+    ppf ops
+
+let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
+    ~domains ~workload ?(setup = []) scripts =
+  if Array.length scripts <> domains then invalid_arg "Fault_mt.explore: scripts/domains mismatch";
+  let target_name = Printf.sprintf "hart-mt@%dd" domains in
+  let violations = ref [] in
+  let viol ~schedule fmt =
+    Printf.ksprintf
+      (fun s ->
+        let v =
+          {
+            Fault.v_target = target_name;
+            v_workload = workload;
+            v_mode = mode;
+            v_schedule = schedule;
+            v_nested = None;
+            v_op = None;
+            v_detail = s;
+          }
+        in
+        if keep_going then violations := v :: !violations
+        else raise (Fault.Violation (Fault.violation_message v)))
+      fmt
+  in
+  (* dry run: flush-boundary census + crash-free linearization check *)
+  let dry = exec ~seed ~mode ~crash_at:None ~setup scripts in
+  if dry.p_in_flight <> [] then
+    raise
+      (Fault.Violation
+         (Printf.sprintf "[%s/%s] quiesced run left operations in flight"
+            target_name workload));
+  if dry.p_state <> dry.p_committed then
+    raise
+      (Fault.Violation
+         (Printf.sprintf
+            "[%s/%s] crash-free run disagrees with its linearization model"
+            target_name workload));
+  let f = dry.p_flushes in
+  let indices =
+    match max_schedules with
+    | Some m when m > 0 && m < f ->
+        (* evenly strided subsample, first boundary always included *)
+        let stride = (f + m - 1) / m in
+        List.filter (fun i -> i mod stride = 0) (List.init f Fun.id)
+    | _ -> List.init f Fun.id
+  in
+  let max_in_flight = ref 0 and multi = ref 0 in
+  List.iter
+    (fun i ->
+      match exec ~seed ~mode ~crash_at:(Some i) ~setup scripts with
+      | exception Failure msg -> viol ~schedule:i "recovery or integrity failed: %s" msg
+      | p ->
+          if not p.p_crashed then
+            viol ~schedule:i "never fired after %d flushes (replay diverged?)" f
+          else begin
+            let k = List.length p.p_in_flight in
+            if k > !max_in_flight then max_in_flight := k;
+            if k >= 2 then incr multi;
+            let ok = admissible_states p.p_committed (List.map snd p.p_in_flight) in
+            if not (List.mem p.p_state ok) then
+              viol ~schedule:i
+                "recovered state is not committed-prefix + in-flight subset \
+                 (in flight: %s)"
+                (Format.asprintf "%a" pp_ops p.p_in_flight)
+          end)
+    indices;
+  {
+    seed;
+    domains;
+    workload;
+    mode;
+    n_ops = Array.fold_left (fun a s -> a + List.length s) 0 scripts;
+    total_flushes = f;
+    schedules = List.length indices;
+    max_in_flight = !max_in_flight;
+    multi_in_flight = !multi;
+    violations = List.rev !violations;
+  }
+
+let probe ?(mode = Pmem.Clean) ~seed ~schedule ?(setup = []) scripts =
+  exec ~seed ~mode ~crash_at:(Some schedule) ~setup scripts
+
+(* A scripted concurrent workload: each domain works its own hash-key
+   prefix ("d0".."d3"), so every domain drives a distinct ART — the
+   regime in which operations genuinely overlap (same-ART writers would
+   just serialize on the stripe lock). Two keys per domain pre-exist so
+   updates and deletes contend from the first schedule. *)
+let default_workload ~domains ~ops_per_domain =
+  let key d i = Printf.sprintf "d%d-%02d" d i in
+  let setup =
+    List.concat
+      (List.init domains (fun d ->
+           [
+             Fault.Insert (key d 0, Printf.sprintf "s%d" d);
+             Fault.Insert (key d 1, Printf.sprintf "t%d" d);
+           ]))
+  in
+  let script d =
+    List.init ops_per_domain (fun j ->
+        match j mod 5 with
+        | 0 -> Fault.Insert (key d (2 + j), Printf.sprintf "v%d.%d" d j)
+        | 1 -> Fault.Update (key d 0, Printf.sprintf "u%d.%d" d j)
+        | 2 -> Fault.Insert (key d (20 + j), String.make ((j mod 24) + 1) 'x')
+        | 3 -> Fault.Delete (key d 1)
+        | _ -> Fault.Update (key d (2 + j - 4), Printf.sprintf "w%d.%d" d j))
+  in
+  (setup, Array.init domains script)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-12s %-10s mode=%a seed=%Ld ops=%d flush-boundaries=%d schedules=%d \
+     max-in-flight=%d multi-in-flight=%d"
+    (Printf.sprintf "hart-mt@%dd" r.domains)
+    r.workload Fault.pp_mode r.mode r.seed r.n_ops r.total_flushes r.schedules
+    r.max_in_flight r.multi_in_flight;
+  if r.violations <> [] then
+    Format.fprintf ppf " VIOLATIONS=%d" (List.length r.violations)

@@ -1,0 +1,91 @@
+(** Deterministic concurrent crash explorer for [Hart_mt].
+
+    Several simulated domains — effect-handler fibers on one OS thread —
+    drive one concurrent HART under a seed-replayable interleaving: a
+    seeded RNG picks the next runnable fiber at every cooperative switch
+    point (every [Pmem.persist], every lock acquire/release; see
+    [Hart_util.Sched_hook] and [Hart_core.Rwlock]). A crash is injected
+    at a chosen flush boundary — typically with several operations in
+    flight on distinct ARTs — the pool is recovered single-domain, and
+    the durable image is checked against a {e linearization-set oracle}:
+
+    the recovered map must equal [committed + S] for some subset [S] of
+    the in-flight operations, where [committed] is the model folded over
+    the operations whose ART write lock was released before the crash
+    (release order = linearization order: the release event fires before
+    the lock state changes, with no yield in between). Concurrent
+    in-flight operations hold distinct ART locks, so they commute
+    durably and every subset is reachable; each must be atomically
+    present or absent.
+
+    Everything is deterministic: the same [(seed, schedule)] pair
+    replays bit-identically, so a violation names one exact
+    execution. *)
+
+(* The measured-phase result of one interleaved execution. *)
+type probe = {
+  p_crashed : bool;
+  p_flushes : int;  (** measured-phase flushes performed *)
+  p_committed : (string * string) list;  (** linearized-prefix model *)
+  p_in_flight : (int * Fault.op) list;
+      (** (fiber, op) pairs acquired-but-not-released at the crash *)
+  p_state : (string * string) list;
+      (** bindings after single-domain recovery (crashed run) or after
+          quiescing (crash-free run) *)
+}
+
+type report = {
+  seed : int64;
+  domains : int;
+  workload : string;
+  mode : Hart_pmem.Pmem.crash_mode;
+  n_ops : int;  (** total measured operations across all fibers *)
+  total_flushes : int;  (** dry-run flush boundaries *)
+  schedules : int;  (** crash schedules explored *)
+  max_in_flight : int;  (** most in-flight ops observed at any crash *)
+  multi_in_flight : int;  (** schedules with >= 2 ops in flight *)
+  violations : Fault.violation list;
+      (** collected under [keep_going]; empty otherwise *)
+}
+
+val explore :
+  ?mode:Hart_pmem.Pmem.crash_mode ->
+  ?keep_going:bool ->
+  ?max_schedules:int ->
+  seed:int64 ->
+  domains:int ->
+  workload:string ->
+  ?setup:Fault.op list ->
+  Fault.op list array ->
+  report
+(** [explore ~seed ~domains ~workload scripts] dry-runs the interleaved
+    workload once to count its flush boundaries [F], checks the
+    crash-free final state against the linearization model, then crashes
+    every boundary [i < F] ([max_schedules] evenly subsamples the sweep,
+    for CI budgets), recovers and checks the oracle. [scripts] gives one
+    operation list per simulated domain ([Array.length scripts] must
+    equal [domains]); [setup] runs single-domain before the measured
+    phase. [mode] selects clean or torn crash semantics.
+    @raise Fault.Violation on the first inadmissible schedule (unless
+    [keep_going]), or if the crash-free run disagrees with its own
+    linearization model (always fatal). *)
+
+val probe :
+  ?mode:Hart_pmem.Pmem.crash_mode ->
+  seed:int64 ->
+  schedule:int ->
+  ?setup:Fault.op list ->
+  Fault.op list array ->
+  probe
+(** Replay one exact [(seed, schedule)] execution and return its raw
+    coordinates — committed prefix, in-flight set, recovered state —
+    without judging them. Two probes of the same pair are identical
+    (determinism), which the tests assert. *)
+
+val default_workload : domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array
+(** [(setup, scripts)] — each domain works a distinct hash-key prefix
+    (hence a distinct ART), mixing inserts, updates and deletes over
+    two pre-seeded keys, so operations genuinely overlap at the crash
+    points instead of serializing on one stripe. *)
+
+val pp_report : Format.formatter -> report -> unit

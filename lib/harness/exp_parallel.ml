@@ -177,7 +177,7 @@ let phases ~total_ops =
     };
   ]
 
-let run ?json_path ~scale () =
+let run ?json_path ?threshold ~scale () =
   let total_ops =
     (* multiple of every domain count times the batch size *)
     let raw = int_of_float (float_of_int default_total_ops *. scale) in
@@ -231,6 +231,40 @@ let run ?json_path ~scale () =
         (if ins1 > 0. then insN /. ins1 else 0.)
         host
   | _ -> ());
+  (* CI gate: speedup thresholds only mean something when the host can
+     actually run that many domains in parallel, so the check logs a
+     skip notice instead of failing on small machines. *)
+  (match threshold with
+  | None -> ()
+  | Some (d_req, min_speedup) -> (
+      if host < d_req then
+        Printf.printf
+          "threshold check SKIPPED: host reports %d usable core(s), fewer \
+           than the %d domains the threshold is defined over\n"
+          host d_req
+      else
+        match results with
+        | (1, base) :: _ when List.mem_assoc d_req results ->
+            let ins1 = (List.assoc "insert (uniform)" base).ops_per_s in
+            let insD =
+              (List.assoc "insert (uniform)" (List.assoc d_req results))
+                .ops_per_s
+            in
+            let speedup = if ins1 > 0. then insD /. ins1 else 0. in
+            if speedup < min_speedup then
+              failwith
+                (Printf.sprintf
+                   "parallel scalability below threshold: insert at %d \
+                    domains is %.2fx of 1 domain, required >= %.2fx"
+                   d_req speedup min_speedup)
+            else
+              Printf.printf "threshold check OK: %.2fx >= %.2fx at %d domains\n"
+                speedup min_speedup d_req
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "threshold check: %d domains is not a measured domain count"
+                 d_req)));
   flush stdout;
   match json_path with
   | None -> ()

@@ -3,7 +3,10 @@ exception Out_of_memory_pm
 
 let line_bytes = 64
 
-type crash_mode = Clean | Torn of { seed : int64; fraction : float }
+type crash_mode =
+  | Clean
+  | Torn of { seed : int64; fraction : float }
+  | Torn_commit
 
 type t = {
   meter : Meter.t;
@@ -18,6 +21,8 @@ type t = {
   alloc_mu : Mutex.t;  (* guards brk/live/free_lists/grow *)
   mutable crash_after : int;  (* flushes until injected crash; -1 = off *)
   mutable crash_mode : crash_mode;
+  mutable torn_commit_line : int;  (* line whose flush the crash interrupted *)
+  mutable crash_fired : bool;  (* a crash happened since the last arm *)
   mutable total_flushes : int;  (* lifetime protocol flushes, survives Meter.reset *)
 }
 
@@ -36,6 +41,8 @@ let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
     alloc_mu = Mutex.create ();
     crash_after = -1;
     crash_mode = Clean;
+    torn_commit_line = -1;
+    crash_fired = false;
     total_flushes = 0;
   }
 
@@ -207,30 +214,54 @@ let do_crash t =
             line_bytes;
           Meter.eviction t.meter
         end
-      done);
+      done
+  | Torn_commit ->
+      (* Adversarial torn crash: evict exactly the line whose flush the
+         injected crash interrupted — for a crash armed at a commit
+         store's persist, that IS the commit line (bitmap word,
+         micro-log slot, chain pointer), landing durably while every
+         other dirty line is lost. This is the worst targeted subset a
+         random [Torn] draw only sometimes finds. *)
+      let line = t.torn_commit_line in
+      if line >= 0 && dirty_get t line then begin
+        Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
+          line_bytes;
+        Meter.eviction t.meter
+      end);
   t.crash_mode <- Clean;
   Bytes.blit t.shadow 0 t.cache 0 t.capacity;
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
   Meter.invalidate_cache t.meter;
-  t.crash_after <- -1
+  t.crash_after <- -1;
+  t.crash_fired <- true
 
 let crash t = do_crash t
 
 let arm_crash ?(mode = Clean) t ~after_flushes =
   if after_flushes < 0 then invalid_arg "Pmem.arm_crash";
   (match mode with
-  | Clean -> ()
+  | Clean | Torn_commit -> ()
   | Torn { fraction; _ } ->
       if not (fraction >= 0. && fraction <= 1.) then
         invalid_arg "Pmem.arm_crash: torn fraction must be in [0, 1]");
   t.crash_after <- after_flushes;
-  t.crash_mode <- mode
+  t.crash_mode <- mode;
+  t.torn_commit_line <- -1;
+  t.crash_fired <- false
 
 let disarm_crash t =
   t.crash_after <- -1;
-  t.crash_mode <- Clean
+  t.crash_mode <- Clean;
+  t.crash_fired <- false
+
+let crash_fired t = t.crash_fired
 
 let persist t ~off ~len =
+  (* Flush boundaries are the finest-grained yield points of the
+     cooperative concurrent explorer: a fiber parked here has issued
+     stores that are not yet durable, exactly the window a crash
+     schedule wants to interleave against. No-op outside exploration. *)
+  Hart_util.Sched_hook.yield ();
   check t off len "persist";
   Meter.persist_call t.meter;
   Meter.fence t.meter;
@@ -238,6 +269,7 @@ let persist t ~off ~len =
   for line = first to last do
     if dirty_get t line then begin
       if t.crash_after = 0 then begin
+        t.torn_commit_line <- line;
         do_crash t;
         raise Crash_injected
       end;
@@ -246,6 +278,7 @@ let persist t ~off ~len =
     end
   done;
   if t.crash_after = 0 then begin
+    t.torn_commit_line <- last;
     do_crash t;
     raise Crash_injected
   end;

@@ -116,6 +116,13 @@ type crash_mode =
           [seed]) — the eviction-reordering states {!evict_random} models.
           A correct persistence protocol must recover from any such
           superset of the flushed image. *)
+  | Torn_commit
+      (** adversarial torn crash: the hardware wrote back exactly the
+          line whose flush the injected crash interrupted — i.e. the
+          protocol's suspected commit-point line (bitmap word, micro-log
+          slot, chain pointer) lands durably while every other dirty
+          line is lost. The single worst targeted eviction subset a
+          random {!Torn} draw only sometimes finds. *)
 
 val crash : t -> unit
 (** Simulate a power failure: every unflushed store is lost, the volatile
@@ -129,6 +136,13 @@ val arm_crash : ?mode:crash_mode -> t -> after_flushes:int -> unit
     crash before the next flush. [mode] defaults to {!Clean}. *)
 
 val disarm_crash : t -> unit
+
+val crash_fired : t -> bool
+(** [true] from the moment an armed crash fires until the next
+    {!arm_crash}/{!disarm_crash}. The concurrent crash explorer uses
+    this to ignore lock-release events fired while fibers unwind from
+    {!Crash_injected}, and to stop context-switching once the pool has
+    crashed. *)
 
 (** {1 Pool images}
 

@@ -1,0 +1,25 @@
+(** Global cooperative-scheduler hook used by the deterministic
+    concurrent crash explorer. When no scheduler is installed (the
+    normal case, including real [Domain.spawn] runs) every entry point
+    degenerates to its plain blocking behaviour. *)
+
+val install : (unit -> unit) -> unit
+(** Install the scheduler's yield function. Only the single-threaded
+    explorer may do this; no real domains must be running. *)
+
+val uninstall : unit -> unit
+
+val active : unit -> bool
+(** [true] iff a scheduler is currently installed. *)
+
+val yield : unit -> unit
+(** Offer the scheduler a switch point. No-op when inactive. *)
+
+val lock : Mutex.t -> unit
+(** [Mutex.lock] when inactive; a try-lock/yield spin when a scheduler
+    is installed (a blocking lock under a cooperative single-thread
+    scheduler would deadlock against a holder parked at a yield
+    point). *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** Run [f] under [mu] using {!lock}, releasing on exit. *)

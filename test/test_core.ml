@@ -1483,6 +1483,63 @@ let test_range_after_art_cleanup () =
   Alcotest.(check (list string)) "range on emptied store" [] !empty;
   Hart.check_integrity h
 
+(* ------------------------------------------------------------------ *)
+(* Recover round-trips over every index (HART + the seven baselines)   *)
+
+module Fault = Hart_fault.Fault
+
+(* Build an index, snapshot its pool with [Pmem.clone] (a quiesced
+   "reboot"), [recover] from the snapshot and differential-check the
+   recovered bindings against a pure Map oracle; then keep operating on
+   the recovered instance to prove it is live, not just readable. *)
+let roundtrip_check (tgt : Fault.target) ops =
+  let name = tgt.Fault.target_name in
+  let inst = tgt.Fault.fresh () in
+  List.iter inst.Fault.apply ops;
+  let model = List.fold_left Fault.apply_model SMap.empty ops in
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": live bindings match oracle")
+    (SMap.bindings model) (inst.Fault.dump ());
+  let snapshot = Pmem.clone inst.Fault.pool in
+  let r = tgt.Fault.reattach snapshot in
+  r.Fault.check ();
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": recovered bindings match oracle")
+    (SMap.bindings model) (r.Fault.dump ());
+  let post = Fault.[ Insert ("zz-post-recover", "pr"); Delete "zz-post-recover" ] in
+  List.iter r.Fault.apply post;
+  r.Fault.check ();
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": recovered instance still operates")
+    (SMap.bindings model) (r.Fault.dump ())
+
+let test_recover_roundtrip_empty () =
+  List.iter (fun tgt -> roundtrip_check tgt []) Fault.all_targets
+
+let test_recover_roundtrip_single_key () =
+  List.iter
+    (fun tgt -> roundtrip_check tgt [ Fault.Insert ("solo", "v") ])
+    Fault.all_targets
+
+let test_recover_roundtrip_mixed () =
+  let ops =
+    Fault.
+      [
+        Insert ("alpha", "1");
+        Insert ("alpha-beta", "2");
+        Insert ("beta", "3");
+        Update ("alpha", "one");
+        Insert ("gamma", "");
+        Delete "beta";
+        Insert ("a", "x");
+        Insert ("delta", String.make 30 'd');
+        Delete "never-existed";
+        Update ("also-never-existed", "m");
+        Insert ("alpha", "one-again");
+      ]
+  in
+  List.iter (fun tgt -> roundtrip_check tgt ops) Fault.all_targets
+
 let () =
   Alcotest.run "core"
     [
@@ -1585,6 +1642,14 @@ let () =
           Alcotest.test_case "eviction robustness" `Quick test_eviction_does_not_break_protocol;
           Alcotest.test_case "pool image reboot cycle" `Quick test_pool_image_reboot_cycle;
           QCheck_alcotest.to_alcotest qcheck_hart_recovery;
+        ] );
+      ( "recover-roundtrip",
+        [
+          Alcotest.test_case "all indexes: empty" `Quick test_recover_roundtrip_empty;
+          Alcotest.test_case "all indexes: single key" `Quick
+            test_recover_roundtrip_single_key;
+          Alcotest.test_case "all indexes: mixed ops" `Quick
+            test_recover_roundtrip_mixed;
         ] );
       ( "concurrency",
         [

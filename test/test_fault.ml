@@ -4,6 +4,7 @@
 
 module Pmem = Hart_pmem.Pmem
 module Fault = Hart_fault.Fault
+module Fault_mt = Hart_fault.Fault_mt
 
 let find name =
   match Fault.find_workload name with
@@ -141,35 +142,44 @@ let detects_violation () =
   | (_ : Fault.report) -> Alcotest.fail "explorer accepted a broken target"
   | exception Fault.Violation _ -> ()
 
+(* A target that is correct crash-free (so the always-fatal dry-run
+   check passes) but whose recovery silently drops a key — every
+   schedule crashing after that key's insert committed is a violation.
+   Shared by the keep-going and JSON tests. *)
+let tampered_target () =
+  {
+    Fault.target_name = "tampered";
+    fresh = Fault.hart.Fault.fresh;
+    reattach =
+      (fun pool ->
+        let inner = Fault.hart.Fault.reattach pool in
+        inner.Fault.apply (Fault.Delete "ab");
+        inner);
+  }
+
+let tampered_ops =
+  [ Fault.Insert ("aa", "1"); Fault.Insert ("ab", "2");
+    Fault.Insert ("ac", "3") ]
+
 (* keep_going must complete the sweep and collect every violating
-   schedule instead of raising on the first. The tampered target is
-   correct crash-free (so the always-fatal dry-run check passes) but its
-   recovery silently drops a key — every schedule crashing after that
-   key's insert committed is a violation. *)
+   schedule instead of raising on the first. *)
 let keep_going_collects () =
-  let tampered =
-    {
-      Fault.target_name = "tampered";
-      fresh = Fault.hart.Fault.fresh;
-      reattach =
-        (fun pool ->
-          let inner = Fault.hart.Fault.reattach pool in
-          inner.Fault.apply (Fault.Delete "ab");
-          inner);
-    }
-  in
-  let ops =
-    [ Fault.Insert ("aa", "1"); Fault.Insert ("ab", "2");
-      Fault.Insert ("ac", "3") ]
-  in
   let r =
-    Fault.explore ~nested:false ~keep_going:true ~workload:"tampered" tampered
-      ops
+    Fault.explore ~nested:false ~keep_going:true ~workload:"tampered"
+      (tampered_target ()) tampered_ops
   in
   Alcotest.(check bool) "violations were collected" true
     (List.length r.Fault.violations > 1);
   Alcotest.(check int) "sweep still covered every boundary"
     r.Fault.total_flushes r.Fault.schedules;
+  (* every collected violation carries exact replay coordinates *)
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "violation names its target" "tampered"
+        v.Fault.v_target;
+      Alcotest.(check bool) "violation schedule is in range" true
+        (v.Fault.v_schedule >= 0 && v.Fault.v_schedule < r.Fault.total_flushes))
+    r.Fault.violations;
   (* a clean target under keep_going collects nothing *)
   let name, setup, ops = find "mixed-dense" in
   let ok =
@@ -177,7 +187,160 @@ let keep_going_collects () =
       Fault.hart ops
   in
   Alcotest.(check (list string)) "clean target: no violations" []
-    ok.Fault.violations
+    (List.map Fault.violation_message ok.Fault.violations)
+
+(* ------------------------------------------------------------------ *)
+(* All eight §II indexes as fault targets                              *)
+
+let baseline_targets =
+  List.filter
+    (fun t ->
+      t.Fault.target_name <> "hart" && t.Fault.target_name <> "fptree")
+    Fault.all_targets
+
+let all_targets_registered () =
+  Alcotest.(check int) "eight targets" 8 (List.length Fault.all_targets);
+  List.iter
+    (fun t ->
+      match Fault.find_target t.Fault.target_name with
+      | Some t' ->
+          Alcotest.(check string) "find_target round-trip" t.Fault.target_name
+            t'.Fault.target_name
+      | None -> Alcotest.failf "find_target misses %s" t.Fault.target_name)
+    Fault.all_targets;
+  Alcotest.(check bool) "unknown name is None" true
+    (Fault.find_target "no-such-index" = None)
+
+(* Each baseline gets the same treatment HART and FPTree get above:
+   a clean sweep with nested crash-during-recovery coverage and a torn
+   sweep, both driving its own [recover] entry point on every
+   schedule. *)
+let baseline_cases =
+  List.concat_map
+    (fun t ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s/mixed-dense clean+nested" t.Fault.target_name)
+          `Quick
+          (sweep t "mixed-dense");
+        Alcotest.test_case
+          (Printf.sprintf "%s/mixed-dense torn" t.Fault.target_name)
+          `Quick
+          (sweep ~mode:(Pmem.Torn { seed = 7L; fraction = 0.5 }) t "mixed-dense");
+      ])
+    baseline_targets
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial torn mode                                               *)
+
+let adversarial_sweep () =
+  let name, setup, ops = find "update-log" in
+  let rs =
+    Fault.explore_adversarial ~nested:false ~subsets:2 ~setup ~workload:name
+      Fault.hart ops
+  in
+  Alcotest.(check int) "one commit-point pass + K subset passes" 3
+    (List.length rs);
+  (match rs with
+  | first :: rest ->
+      (match first.Fault.mode with
+      | Pmem.Torn_commit -> ()
+      | _ -> Alcotest.fail "first pass must evict the commit-point line");
+      List.iteri
+        (fun k r ->
+          match r.Fault.mode with
+          | Pmem.Torn { seed; _ } ->
+              Alcotest.(check int64) "subset seeds are consecutive"
+                (Int64.add 0xF417L (Int64.of_int k))
+                seed
+          | _ -> Alcotest.fail "fallback passes must be random-subset Torn")
+        rest
+  | [] -> Alcotest.fail "no reports");
+  List.iter (fun r -> check_report ~nested:false r) rs
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable violation reports                                  *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let violation_json () =
+  Alcotest.(check string) "empty array diffs clean" "[]\n"
+    (Fault.violation_list_json []);
+  let r =
+    Fault.explore ~nested:false ~keep_going:true ~workload:"tampered"
+      (tampered_target ()) tampered_ops
+  in
+  let j = Fault.violations_to_json [ r ] in
+  Alcotest.(check bool) "at least one violation serialized" true
+    (List.length r.Fault.violations > 0);
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "JSON carries %s" sub)
+        true (contains ~sub j))
+    [
+      {|"target":"tampered"|}; {|"workload":"tampered"|}; {|"mode":"clean"|};
+      {|"schedule":|}; {|"detail":"|};
+    ];
+  (* a clean report list serializes to the empty baseline *)
+  let name, setup, ops = find "update-log" in
+  let ok = Fault.explore ~nested:false ~setup ~workload:name Fault.hart ops in
+  Alcotest.(check string) "clean run -> empty baseline" "[]\n"
+    (Fault.violations_to_json [ ok ])
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent crash explorer (Fault_mt)                                *)
+
+let mt_check_report ?(min_in_flight = 2) r =
+  Alcotest.(check bool) "has flush boundaries" true
+    (r.Fault_mt.total_flushes > 0);
+  Alcotest.(check int) "full coverage" r.Fault_mt.total_flushes
+    r.Fault_mt.schedules;
+  Alcotest.(check bool)
+    (Printf.sprintf "saw >= %d ops in flight at some crash" min_in_flight)
+    true
+    (r.Fault_mt.max_in_flight >= min_in_flight);
+  Alcotest.(check bool) "some schedules crash with >= 2 ops in flight" true
+    (r.Fault_mt.multi_in_flight > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
+
+let mt_sweep ~domains () =
+  let setup, scripts = Fault_mt.default_workload ~domains ~ops_per_domain:4 in
+  let r = Fault_mt.explore ~seed:42L ~domains ~workload:"mt-test" ~setup scripts in
+  mt_check_report r
+
+let mt_torn_sweep () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:3 in
+  let r =
+    Fault_mt.explore
+      ~mode:(Pmem.Torn { seed = 5L; fraction = 0.5 })
+      ~seed:11L ~domains:2 ~workload:"mt-torn" ~setup scripts
+  in
+  mt_check_report r
+
+(* The same (seed, schedule) pair must replay bit-identically: committed
+   prefix, in-flight set and recovered state all equal. *)
+let mt_determinism () =
+  let setup, scripts = Fault_mt.default_workload ~domains:3 ~ops_per_domain:4 in
+  let p1 = Fault_mt.probe ~seed:7L ~schedule:20 ~setup scripts in
+  let p2 = Fault_mt.probe ~seed:7L ~schedule:20 ~setup scripts in
+  Alcotest.(check bool) "replay is bit-identical" true (p1 = p2);
+  Alcotest.(check bool) "the armed schedule fired" true p1.Fault_mt.p_crashed
+
+let mt_subsample () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:4 in
+  let r =
+    Fault_mt.explore ~max_schedules:10 ~seed:42L ~domains:2 ~workload:"mt-sub"
+      ~setup scripts
+  in
+  Alcotest.(check bool) "subsampled below full coverage" true
+    (r.Fault_mt.schedules > 0
+    && r.Fault_mt.schedules <= 11
+    && r.Fault_mt.schedules < r.Fault_mt.total_flushes);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
 
 let () =
   Alcotest.run "fault"
@@ -211,5 +374,20 @@ let () =
           Alcotest.test_case "detects broken target" `Quick detects_violation;
           Alcotest.test_case "keep-going collects all violations" `Quick
             keep_going_collects;
+          Alcotest.test_case "all eight targets registered" `Quick
+            all_targets_registered;
+        ] );
+      ("baselines", baseline_cases);
+      ( "adversarial",
+        [ Alcotest.test_case "commit-line + subset passes" `Quick adversarial_sweep ] );
+      ( "json",
+        [ Alcotest.test_case "violation serialization" `Quick violation_json ] );
+      ( "mt",
+        [
+          Alcotest.test_case "2-domain exhaustive sweep" `Quick (mt_sweep ~domains:2);
+          Alcotest.test_case "4-domain exhaustive sweep" `Quick (mt_sweep ~domains:4);
+          Alcotest.test_case "2-domain torn sweep" `Quick mt_torn_sweep;
+          Alcotest.test_case "replay determinism" `Quick mt_determinism;
+          Alcotest.test_case "max-schedules subsampling" `Quick mt_subsample;
         ] );
     ]

@@ -45,6 +45,13 @@ let stress_once ~seed ~with_foreign_reads =
         ignore d;
         ref SMap.empty)
   in
+  (* Worker-side assertions must not go through [Alcotest.check]: its
+     success-path logging formats through a shared [Format] state,
+     which is not domain-safe (racing workers can crash the pretty-
+     printer's internal queue). Raise a plain exception instead —
+     built with [Printf], which allocates nothing shared — and let the
+     joining main domain report it. *)
+  let require cond fmt = Printf.ksprintf (fun s -> if not cond then failwith s) fmt in
   let worker d () =
     let rng = Rng.create (Int64.of_int (seed + d)) in
     let oracle = oracles.(d) in
@@ -58,18 +65,21 @@ let stress_once ~seed ~with_foreign_reads =
       | 1 ->
           let v = Printf.sprintf "u%d" (Rng.int rng 1_000_000) in
           let updated = Hart_mt.update t ~key:k ~value:v in
-          Alcotest.(check bool)
-            "update hit iff oracle has key" (SMap.mem k !oracle) updated;
+          require
+            (updated = SMap.mem k !oracle)
+            "update of %s hit=%b disagrees with oracle" k updated;
           if updated then oracle := SMap.add k v !oracle
       | 2 ->
           let deleted = Hart_mt.delete t k in
-          Alcotest.(check bool)
-            "delete hit iff oracle has key" (SMap.mem k !oracle) deleted;
+          require
+            (deleted = SMap.mem k !oracle)
+            "delete of %s hit=%b disagrees with oracle" k deleted;
           oracle := SMap.remove k !oracle
       | 3 ->
           let got = Hart_mt.search t k in
-          Alcotest.(check (option string))
-            "search agrees with owner oracle" (SMap.find_opt k !oracle) got
+          require
+            (got = SMap.find_opt k !oracle)
+            "search of %s disagrees with owner oracle" k
       | _ ->
           (* foreign read: races with the owner, only well-formedness *)
           let other = (d + 1 + Rng.int rng (n_domains - 1)) mod n_domains in
@@ -77,8 +87,9 @@ let stress_once ~seed ~with_foreign_reads =
           (match Hart_mt.search t fk with
           | None -> ()
           | Some v ->
-              if String.length v = 0 || (v.[0] <> 'v' && v.[0] <> 'u') then
-                Alcotest.failf "foreign read returned garbage %S" v)
+              require
+                (String.length v > 0 && (v.[0] = 'v' || v.[0] = 'u'))
+                "foreign read returned garbage %S" v)
     done
   in
   let domains =

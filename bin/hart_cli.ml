@@ -311,6 +311,38 @@ let fault_cmd =
              operations in flight, and recovery is checked against the \
              linearization-set oracle.")
   in
+  let index =
+    let all =
+      List.map
+        (fun t -> t.Hart_fault.Fault_mt.mt_name)
+        Hart_fault.Fault_mt.all_mt_targets
+    in
+    Arg.(
+      value & opt string "hart"
+      & info [ "index" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Concurrent index for the $(b,--domains) sweep (one of %s)."
+               (String.concat ", " all)))
+  in
+  let mt_workload =
+    Arg.(
+      value & opt string "default"
+      & info [ "mt-workload" ] ~docv:"KIND"
+          ~doc:
+            "Workload for the $(b,--domains) sweep: $(b,default) \
+             (disjoint per-domain prefixes), $(b,collide) (scripted \
+             same-stripe collisions), or $(b,gen) (seeded random op \
+             mix, swept over $(b,--gen-seeds) seeds).")
+  in
+  let gen_seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "gen-seeds" ] ~docv:"N"
+          ~doc:
+            "With $(b,--mt-workload gen), sweep $(docv) generated \
+             workloads seeded $(b,--seed), $(b,--seed)+1, ...")
+  in
   let seed =
     Arg.(
       value & opt int64 42L
@@ -330,7 +362,7 @@ let fault_cmd =
              exhaustive sweep.")
   in
   let run workload target torn adversarial json_out no_nested checkpoint_every
-      keep_going domains seed max_schedules =
+      keep_going domains index mt_workload gen_seeds seed max_schedules =
     ok_or_die
       (try
          if domains > 1 then begin
@@ -340,23 +372,60 @@ let fault_cmd =
              | None -> Hart_pmem.Pmem.Clean
              | Some seed -> Hart_pmem.Pmem.Torn { seed; fraction = 0.5 }
            in
-           let setup, scripts =
-             Hart_fault.Fault_mt.default_workload ~domains ~ops_per_domain:6
+           let mt_target =
+             match Hart_fault.Fault_mt.find_mt_target index with
+             | Some t -> t
+             | None -> failwith (Printf.sprintf "unknown concurrent index %S" index)
            in
-           let r =
-             Hart_fault.Fault_mt.explore ~mode ~keep_going ?max_schedules ~seed
-               ~domains ~workload:"mt-default" ~setup scripts
+           let workloads =
+             match mt_workload with
+             | "default" ->
+                 [
+                   ( "mt-default",
+                     Hart_fault.Fault_mt.default_workload ~domains
+                       ~ops_per_domain:6 );
+                 ]
+             | "collide" ->
+                 [
+                   ( "mt-collide",
+                     Hart_fault.Fault_mt.collide_workload ~domains
+                       ~ops_per_domain:6 );
+                 ]
+             | "gen" ->
+                 List.init (max 1 gen_seeds) (fun k ->
+                     let s = Int64.add seed (Int64.of_int k) in
+                     ( Printf.sprintf "mt-gen#%Ld" s,
+                       Hart_fault.Fault_mt.gen_workload ~seed:s ~domains
+                         ~ops_per_domain:6 ))
+             | w ->
+                 failwith
+                   (Printf.sprintf
+                      "unknown --mt-workload %S (default, collide, gen)" w)
            in
-           Format.printf "%a@." Hart_fault.Fault_mt.pp_report r;
+           let reports =
+             List.map
+               (fun (name, (setup, scripts)) ->
+                 let r =
+                   Hart_fault.Fault_mt.explore ~target:mt_target ~mode
+                     ~keep_going ?max_schedules ?checkpoint_every ~seed ~domains
+                     ~workload:name ~setup scripts
+                 in
+                 Format.printf "%a@." Hart_fault.Fault_mt.pp_report r;
+                 r)
+               workloads
+           in
+           let vs =
+             List.concat_map
+               (fun r -> r.Hart_fault.Fault_mt.violations)
+               reports
+           in
            (match json_out with
            | None -> ()
            | Some path ->
                let oc = open_out path in
-               output_string oc
-                 (Hart_fault.Fault.violation_list_json
-                    r.Hart_fault.Fault_mt.violations);
+               output_string oc (Hart_fault.Fault.violation_list_json vs);
                close_out oc);
-           match r.Hart_fault.Fault_mt.violations with
+           match vs with
            | [] ->
                print_endline "all concurrent crash schedules consistent";
                Ok ()
@@ -447,7 +516,8 @@ let fault_cmd =
           all of them).")
     Term.(
       const run $ workload $ target $ torn $ adversarial $ json_out $ no_nested
-      $ checkpoint_every $ keep_going $ domains $ seed $ max_schedules)
+      $ checkpoint_every $ keep_going $ domains $ index $ mt_workload
+      $ gen_seeds $ seed $ max_schedules)
 
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in

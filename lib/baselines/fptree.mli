@@ -56,3 +56,7 @@ val check_integrity : t -> unit
     count matches live bits. Raises [Failure] on violation. *)
 
 val ops : t -> Index_intf.ops
+
+module S : Hart_core.Index_intf.S with type t = t
+(** Uniform index-signature conformance (shard metadata included), for
+    [Hart_core.Striped_mt.Make] and the generic harness/fault layers. *)

@@ -1,0 +1,6 @@
+(* Concurrent FPTree: Striped_mt over the leaf-group shard map. Writers
+   in distinct leaves run in parallel under the shared structure lock;
+   a leaf split takes it exclusively (FPTree's own paper uses HTM plus
+   a leaf lock for the same split-vs-in-leaf distinction). *)
+
+include Hart_core.Striped_mt.Make (Fptree.S)

@@ -1,0 +1,11 @@
+(** Concurrent front end to {!Fptree}: [Striped_mt.Make (Fptree.S)].
+
+    The commuting shard is the leaf a key routes to — in-leaf writes on
+    distinct leaves proceed in parallel, same-leaf writers serialise on
+    one stripe (two writers in one leaf would race for the same free
+    slot), and leaf splits hold the structure lock exclusively because
+    they mutate the leaf chain and the unsynchronised DRAM inner
+    nodes. Crash-checked by the concurrent explorer via
+    [hart_cli fault --domains N --index fptree]. *)
+
+include Hart_core.Index_intf.MT with type index = Fptree.t

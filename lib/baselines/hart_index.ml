@@ -1,7 +1,12 @@
 (** {!Index_intf.ops} adapter for HART itself, so the harness treats the
-    four trees uniformly. *)
+    eight trees uniformly. HART's full {!Index_intf.S} conformance lives
+    in [Hart_core.Hart_mt.S] (next to the functor instantiation) and is
+    re-exported here so every §II index offers its signature from the
+    same place. *)
 
 module Hart = Hart_core.Hart
+
+module S = Hart_core.Hart_mt.S
 
 let ops (t : Hart.t) =
   {

@@ -1,16 +1,9 @@
-(** Uniform operations record over the four persistent indexes, so the
-    benchmark harness drives HART, WOART, ART+CoW and FPTree through the
-    same code paths. Implementations come from [Woart.ops], [Art_cow.ops],
-    [Fptree.ops] and [Hart_index.ops]. *)
+(** Re-export of the core index module types ({!Hart_core.Index_intf}),
+    so baseline code and the harness keep writing [Index_intf.ops] while
+    the signatures themselves live in [lib/core] next to the
+    [Striped_mt] functor that consumes them. Implementations of [ops]
+    come from [Woart.ops], [Art_cow.ops], [Fptree.ops], [Hart_index.ops]
+    and friends; each baseline additionally exposes its full
+    {!Hart_core.Index_intf.S} conformance as a [S] submodule. *)
 
-type ops = {
-  name : string;
-  insert : key:string -> value:string -> unit;
-  search : string -> string option;
-  update : key:string -> value:string -> bool;  (** false when absent *)
-  delete : string -> bool;  (** false when absent *)
-  range : lo:string -> hi:string -> (string -> string -> unit) -> unit;
-  count : unit -> int;
-  dram_bytes : unit -> int;  (** modelled DRAM footprint (Fig. 10b) *)
-  pm_bytes : unit -> int;  (** live PM pool bytes (Fig. 10b) *)
-}
+include Hart_core.Index_intf

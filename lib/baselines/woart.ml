@@ -124,6 +124,50 @@ let check_integrity t =
       if not (String.equal (Hart_core.Leaf.key t.pool ~leaf) key) then
         fail "Woart: leaf %d key disagrees with ART key %S" leaf key)
 
+let iter t f =
+  Art.iter t.art (fun key leaf ->
+      match read_leaf t ~leaf key with Some v -> f key v | None -> ())
+
+(* Index_intf.S conformance. WOART's radix nodes are one shared
+   (charge-modelled) structure and [Pm_registry.grow] manipulates a
+   shared free list — two concurrent registrations that both observe an
+   empty free list would link chunks to the same head and the second
+   head swing unlinks the first, losing a committed insert — so every
+   insert of a new key and every delete is a restructure and runs
+   exclusively. Value updates are leaf-local out-of-place swaps
+   ([Pm_value.update_leaf]): new object, 8-byte pointer commit, old
+   object freed, with allocation serialised below — they commute across
+   distinct keys, so they ride the shared/stripe path. The shard id is
+   a short radix prefix, mirroring the subtree granularity. *)
+module S : Hart_core.Index_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let name = "woart"
+  let create = create
+  let recover = recover
+  let insert = insert
+  let search = search
+  let update = update
+  let delete = delete
+  let range = range
+  let iter = iter
+  let count = count
+  let dram_bytes = dram_bytes
+  let pm_bytes = pm_bytes
+  let check_integrity ~recovered:_ t = check_integrity t
+
+  let stripe_of_key _ key =
+    Hashtbl.hash (String.sub key 0 (min 2 (String.length key)))
+
+  let volatile_domain_safe = false
+
+  let restructures t ~op ~key =
+    match op with
+    | `Update -> false
+    | `Delete -> true
+    | `Insert -> Art.find t.art key = None (* new key: node + registry slot *)
+end
+
 let ops t =
   {
     Index_intf.name = "WOART";

@@ -1,0 +1,6 @@
+(* Concurrent WOART: Striped_mt over a radix-prefix shard map. Only
+   value updates commute (leaf-local out-of-place swaps); inserts of
+   new keys and deletes restructure the shared radix nodes and the
+   registry free list, so they run exclusively. *)
+
+include Hart_core.Striped_mt.Make (Woart.S)

@@ -1,0 +1,10 @@
+(** Concurrent front end to {!Woart}: [Striped_mt.Make (Woart.S)].
+
+    Value updates are leaf-local and commute across distinct keys, so
+    they ride the shared/stripe path (shard = 2-byte radix prefix);
+    inserts of new keys and deletes restructure shared radix nodes and
+    the registry free list and therefore hold the structure lock
+    exclusively. Crash-checked by the concurrent explorer via
+    [hart_cli fault --domains N --index woart]. *)
+
+include Hart_core.Index_intf.MT with type index = Woart.t

@@ -1,46 +1,51 @@
-(* One reader/writer lock per ART (§III-A.3), realised as a fixed stripe
-   array indexed by the hash key's directory hash: all keys of one hash
-   prefix — one ART — always map to the same stripe, so the paper's
-   admission protocol holds exactly (stripe collisions between distinct
-   ARTs only add conservative exclusion, never admit too much). A fixed
-   array needs no lock-table mutex on the hot path, and the layers below
-   (Hash_dir, Epalloc, Microlog, Meter, Pmem) are domain-safe on their
-   own, so there is no global serialisation point: operations on
+(* One reader/writer lock per ART (§III-A.3), realised by instantiating
+   the generic striped front end over HART: the shard id is the hash
+   key's directory hash, so all keys of one hash prefix — one ART —
+   always map to the same stripe and the paper's admission protocol
+   holds exactly. The layers below (Hash_dir, Epalloc, Microlog, Meter,
+   Pmem) are domain-safe on their own, so HART declares
+   [volatile_domain_safe] and the functor uses stripe locks alone:
+   no structure lock, no global serialisation point, operations on
    distinct stripes proceed in parallel. *)
 
-type t = {
-  hart : Hart.t;
-  stripes : Rwlock.t array;
-}
+module S : Index_intf.S with type t = Hart.t = struct
+  type t = Hart.t
 
-let n_stripes = 512 (* power of two, >> expected domain count *)
+  let name = "hart"
+  let create pool = Hart.create pool
+  let recover = Hart.recover
+  let insert = Hart.insert
+  let search = Hart.search
+  let update = Hart.update
+  let delete = Hart.delete
+  let range = Hart.range
+  let iter = Hart.iter
+  let count = Hart.count
+  let dram_bytes = Hart.dram_bytes
+  let pm_bytes = Hart.pm_bytes
 
-let make hart =
-  { hart; stripes = Array.init n_stripes (fun _ -> Rwlock.create ()) }
+  let check_integrity ~recovered t =
+    Hart.check_integrity ~allow_recovered_orphans:recovered t
 
-let create ?kh pool = make (Hart.create ?kh pool)
-let recover pool = make (Hart.recover pool)
-let underlying t = t.hart
+  (* one ART = one shard: writes to distinct ARTs commute durably
+     (disjoint subtrees, disjoint leaf/value objects, domain-safe
+     shared layers below) *)
+  let stripe_of_key t key = Hash_dir.hash (fst (Hart.split_key t key))
+  let volatile_domain_safe = true
+  let restructures _ ~op:_ ~key:_ = false
+end
 
-let art_lock t key =
-  let hash_key, _ = Hart.split_key t.hart key in
-  t.stripes.(Hash_dir.hash hash_key land (n_stripes - 1))
+module M = Striped_mt.Make (S)
 
-let insert t ~key ~value =
-  Rwlock.with_write (art_lock t key) (fun () -> Hart.insert t.hart ~key ~value)
+type t = M.t
 
-let search t key =
-  Rwlock.with_read (art_lock t key) (fun () -> Hart.search t.hart key)
-
-let update t ~key ~value =
-  Rwlock.with_write (art_lock t key) (fun () -> Hart.update t.hart ~key ~value)
-
-let delete t key =
-  Rwlock.with_write (art_lock t key) (fun () -> Hart.delete t.hart key)
-
-let rmw t ~key f =
-  Rwlock.with_write (art_lock t key) (fun () ->
-      let value = f (Hart.search t.hart key) in
-      Hart.insert t.hart ~key ~value)
-
-let count t = Hart.count t.hart
+let create ?kh pool = M.of_index (Hart.create ?kh pool)
+let recover = M.recover
+let underlying = M.underlying
+let art_lock = M.stripe_lock
+let insert = M.insert
+let search = M.search
+let update = M.update
+let delete = M.delete
+let rmw = M.rmw
+let count = M.count

@@ -3,10 +3,10 @@
     The paper's protocol: one reader/writer lock per ART; writes to
     distinct ARTs proceed in parallel, reads on the same ART share its
     lock, and at most one writer works on an ART at a time. This module
-    implements that admission protocol over OCaml 5 domains with a fixed
-    stripe array of {!Rwlock}s indexed by the hash key's directory hash —
-    every key of one ART maps to one stripe, and a stripe collision
-    between distinct ARTs only adds conservative exclusion.
+    is [Striped_mt.Make] applied to HART — a fixed stripe array of
+    {!Rwlock}s indexed by the hash key's directory hash — every key of
+    one ART maps to one stripe, and a stripe collision between distinct
+    ARTs only adds conservative exclusion.
 
     There is no global serialisation point: the layers below are
     domain-safe (per-domain meter cells, a locked pool allocator, striped
@@ -17,7 +17,17 @@
     [Hart_harness.Mt_sim] still reproduces Fig. 10d under the paper's
     latency regime (see DESIGN.md §9 for when to trust which). *)
 
-type t
+module S : Index_intf.S with type t = Hart.t
+(** HART as a uniform index: the shard id is the directory hash of the
+    key's hash prefix, and the domain-safe layers below make it
+    [volatile_domain_safe]. *)
+
+module M : Index_intf.MT with type index = Hart.t
+(** The functor instantiation itself, for consumers generic over
+    [Index_intf.MT] (the concurrent crash explorer, the cross-index
+    scalability sweep). *)
+
+type t = M.t
 
 val create : ?kh:int -> Hart_pmem.Pmem.t -> t
 val recover : Hart_pmem.Pmem.t -> t

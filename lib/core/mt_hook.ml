@@ -1,0 +1,20 @@
+(* Commit-notification hook for the deterministic concurrent crash
+   explorer. [Striped_mt] fires it exactly once per mutating operation
+   that ran to completion, immediately before releasing the operation's
+   write lock — with no scheduler yield point in between, so under the
+   cooperative scheduler the firing order IS the durable linearization
+   order. Lock releases alone are not a commit signal: the functor's
+   optimistic path may acquire and release a stripe write lock and then
+   retry exclusively without completing the operation, and exception
+   unwinds (an injected crash) release locks for operations that never
+   happened.
+
+   Like [Sched_hook], this is a plain global ref: it is only installed
+   by the single-threaded explorer, never while real domains run, and
+   it is inert ([fire] is a no-op) on every production path. *)
+
+let hook : (unit -> unit) option ref = ref None
+
+let install f = hook := Some f
+let uninstall () = hook := None
+let fire () = match !hook with None -> () | Some f -> f ()

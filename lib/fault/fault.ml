@@ -15,16 +15,19 @@ type op =
   | Insert of string * string
   | Update of string * string
   | Delete of string
+  | Search of string
 
 let pp_op ppf = function
   | Insert (k, v) -> Format.fprintf ppf "Insert(%S,%S)" k v
   | Update (k, v) -> Format.fprintf ppf "Update(%S,%S)" k v
   | Delete k -> Format.fprintf ppf "Delete(%S)" k
+  | Search k -> Format.fprintf ppf "Search(%S)" k
 
 let apply_model m = function
   | Insert (k, v) -> SMap.add k v m
   | Update (k, v) -> if SMap.mem k m then SMap.add k v m else m
   | Delete k -> SMap.remove k m
+  | Search _ -> m
 
 type instance = {
   pool : Pmem.t;
@@ -56,7 +59,8 @@ let hart_instance pool h =
       (function
       | Insert (k, v) -> Hart.insert h ~key:k ~value:v
       | Update (k, v) -> ignore (Hart.update h ~key:k ~value:v : bool)
-      | Delete k -> ignore (Hart.delete h k : bool));
+      | Delete k -> ignore (Hart.delete h k : bool)
+      | Search k -> ignore (Hart.search h k : string option));
     check = (fun () -> Hart.check_integrity ~allow_recovered_orphans:true h);
     dump = (fun () -> sorted_dump (Hart.iter h));
   }
@@ -78,7 +82,8 @@ let fptree_instance pool t =
       (function
       | Insert (k, v) -> Fptree.insert t ~key:k ~value:v
       | Update (k, v) -> ignore (Fptree.update t ~key:k ~value:v : bool)
-      | Delete k -> ignore (Fptree.delete t k : bool));
+      | Delete k -> ignore (Fptree.delete t k : bool)
+      | Search k -> ignore (Fptree.search t k : string option));
     check = (fun () -> Fptree.check_integrity t);
     dump = (fun () -> sorted_dump (Fptree.iter t));
   }
@@ -104,7 +109,8 @@ let ops_instance pool (o : Hart_baselines.Index_intf.ops) check =
       (function
       | Insert (k, v) -> o.insert ~key:k ~value:v
       | Update (k, v) -> ignore (o.update ~key:k ~value:v : bool)
-      | Delete k -> ignore (o.delete k : bool));
+      | Delete k -> ignore (o.delete k : bool)
+      | Search k -> ignore (o.search k : string option));
     check;
     dump = (fun () -> sorted_dump (fun f -> o.range ~lo:"\x00" ~hi f));
   }

@@ -38,6 +38,10 @@ type op =
       (** upsert, like [Hart.insert]: an existing key is updated *)
   | Update of string * string  (** no-op when the key is absent *)
   | Delete of string  (** no-op when the key is absent *)
+  | Search of string
+      (** pure read; a model no-op, but it takes read admissions — the
+          concurrent explorer's generated workloads use it to interleave
+          readers with in-flight writers *)
 
 val apply_model : string Map.Make(String).t -> op -> string Map.Make(String).t
 (** The pure oracle: one atomically-applied operation. *)

@@ -1,4 +1,5 @@
-(* Deterministic concurrent crash explorer: drive [Hart_mt] from several
+(* Deterministic concurrent crash explorer: drive any striped concurrent
+   index ([Index_intf.MT], built by [Striped_mt.Make]) from several
    simulated domains under a seed-replayable interleaving, crash at a
    chosen flush boundary with operations still in flight, recover
    single-domain, and check the durable image against a
@@ -7,36 +8,50 @@
    Concurrency is simulated with effect-handler fibers on ONE OS thread:
    each "domain" is a fiber performing [Yield] at every cooperative
    switch point ([Pmem.persist] entry, lock acquire/release — see
-   Sched_hook and Rwlock), and a seeded RNG picks which runnable fiber
-   proceeds. Same (seed, schedule) pair → bit-identical execution, so a
-   violating schedule replays exactly. Real [Domain.spawn] parallelism
-   cannot be truncated at a precise flush boundary or replayed; the
-   fibers reuse the very same yield-instrumented production code paths
-   (the instrumentation is inert when no scheduler is installed).
+   Sched_hook and Rwlock — plus an explicit op-boundary yield that makes
+   quiescent checkpoints possible), and a seeded RNG picks which
+   runnable fiber proceeds. Same (seed, schedule) pair → bit-identical
+   execution, so a violating schedule replays exactly. Real
+   [Domain.spawn] parallelism cannot be truncated at a precise flush
+   boundary or replayed; the fibers reuse the very same
+   yield-instrumented production code paths (the instrumentation is
+   inert when no scheduler is installed).
 
-   The oracle: [Hart_mt] takes exactly one ART write lock for the whole
-   of every mutating operation, and [Rwlock] fires its release event
-   before the lock state changes with no yield in between — so the
-   sequence of [Write_released] events IS the linearization order of
-   completed operations. At the crash, the admissible recovered states
-   are
+   The oracle. [Striped_mt] fires [Mt_hook] exactly once per completed
+   mutating operation, immediately before releasing the operation's
+   write lock with no yield in between — so the sequence of commit
+   firings IS the linearization order of completed operations (lock
+   releases alone are not a commit signal: the functor's optimistic
+   path can release a stripe and retry exclusively without completing).
+   At the crash, the admissible recovered states are
+
      { committed + S  |  S ⊆ in-flight }
-   where [committed] is the model folded over released operations and
-   [in-flight] are the acquired-but-not-released ones. Concurrent
-   in-flight operations necessarily hold distinct ART locks (same ART =
-   same stripe = exclusive), therefore touch disjoint subtrees and
+
+   where [committed] is the model folded over fired operations and
+   [in-flight] are the operations holding a write lock at the crash.
+   In-flight operations necessarily hold distinct locks (the event hook
+   asserts single-writer admission per lock), therefore — by the
+   [stripe_of_key] commuting contract — touch disjoint shards and
    commute durably: every subset is genuinely reachable, and each
-   in-flight operation must be atomically present or absent — partial
-   application, damage to a bystander key, or a lost completed
-   operation all fall outside the set. *)
+   in-flight operation must be atomically present or absent.
+
+   The serialized (same-stripe) case is tighter still: of several
+   colliding operations only the current lock holder can have touched
+   PM — the others are waiting for admission and have durably done
+   nothing — so only lock-order-consistent prefixes of the colliding
+   set are admissible. That is exactly what (committed, in-flight)
+   bookkeeping yields: waiters appear in neither, and the report counts
+   the crash points where such contention was actually observed
+   ([contended]). *)
 
 module Latency = Hart_pmem.Latency
 module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
 module Rng = Hart_util.Rng
 module Sched_hook = Hart_util.Sched_hook
-module Hart = Hart_core.Hart
+module Index_intf = Hart_core.Index_intf
 module Hart_mt = Hart_core.Hart_mt
+module Mt_hook = Hart_core.Mt_hook
 module Rwlock = Hart_core.Rwlock
 module SMap = Map.Make (String)
 
@@ -45,17 +60,75 @@ type _ Effect.t += Yield : unit Effect.t
 let fresh_pool () =
   Pmem.create ~capacity:(1 lsl 18) (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
 
-let apply_mt t = function
-  | Fault.Insert (k, v) -> Hart_mt.insert t ~key:k ~value:v
-  | Fault.Update (k, v) -> ignore (Hart_mt.update t ~key:k ~value:v : bool)
-  | Fault.Delete k -> ignore (Hart_mt.delete t k : bool)
+(* ------------------------------------------------------------------ *)
+(* Targets: any Index_intf.MT, packaged as closures                     *)
 
-(* One interleaved execution, to completion or to the armed crash. *)
+type mt_instance = {
+  mi_pool : Pmem.t;
+  mi_apply : Fault.op -> unit;
+  mi_dump : unit -> (string * string) list;  (* quiesced bindings, sorted *)
+}
+
+type mt_target = {
+  mt_name : string;
+  mt_fresh : unit -> mt_instance;
+  mt_reattach : Pmem.t -> mt_instance;
+      (* adopt a quiescent (checkpoint) image; must be PM side-effect
+         free there, which the checkpoint replay verifies *)
+  mt_recover_dump : Pmem.t -> (string * string) list;
+      (* recover a crashed image single-domain, check integrity, dump *)
+}
+
+let sorted_dump iter =
+  let m = ref SMap.empty in
+  iter (fun k v -> m := SMap.add k v !m);
+  SMap.bindings !m
+
+let of_mt (module M : Index_intf.MT) =
+  let instance pool t =
+    {
+      mi_pool = pool;
+      mi_apply =
+        (function
+        | Fault.Insert (k, v) -> M.insert t ~key:k ~value:v
+        | Fault.Update (k, v) -> ignore (M.update t ~key:k ~value:v : bool)
+        | Fault.Delete k -> ignore (M.delete t k : bool)
+        | Fault.Search k -> ignore (M.search t k : string option));
+      mi_dump = (fun () -> sorted_dump (M.iter t));
+    }
+  in
+  {
+    mt_name = M.name;
+    mt_fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        instance pool (M.create pool));
+    mt_reattach = (fun pool -> instance pool (M.recover pool));
+    mt_recover_dump =
+      (fun pool ->
+        let t = M.recover pool in
+        M.check_integrity ~recovered:true t;
+        sorted_dump (M.iter t));
+  }
+
+let hart_mt = of_mt (module Hart_mt.M)
+let fptree_mt = of_mt (module Hart_baselines.Fptree_mt)
+let woart_mt = of_mt (module Hart_baselines.Woart_mt)
+
+let all_mt_targets = [ hart_mt; fptree_mt; woart_mt ]
+let find_mt_target name = List.find_opt (fun t -> t.mt_name = name) all_mt_targets
+
+(* ------------------------------------------------------------------ *)
+(* One interleaved execution, to completion or to the armed crash       *)
+
 type probe = {
   p_crashed : bool;
   p_flushes : int;  (* measured-phase flushes performed *)
   p_committed : (string * string) list;  (* linearized-prefix model *)
-  p_in_flight : (int * Fault.op) list;  (* (fiber, op) acquired-not-released *)
+  p_in_flight : (int * Fault.op) list;  (* (fiber, op) holding a write lock *)
+  p_waiting : (int * Fault.op) list;
+      (* mutating (fiber, op) started but holding no write lock: durably
+         absent by the serialized-case oracle *)
   p_state : (string * string) list;
       (* bindings after single-domain recovery (crashed) or quiesce *)
 }
@@ -65,58 +138,137 @@ type fstate =
   | Parked of (unit, unit) Effect.Deep.continuation
   | Finished
 
-let exec ~seed ~mode ~crash_at ~setup scripts =
-  let pool = fresh_pool () in
-  let t = Hart_mt.create pool in
-  List.iter (apply_mt t) setup;
+(* A quiescent snapshot of one deterministic execution: every fiber is
+   at an op boundary (no locks held, no op partially applied), so the
+   durable image plus (next-op cursors, committed model, RNG state) is
+   the whole state — reattaching the clone resumes the very same
+   interleaving. *)
+type snapshot = {
+  sn_flushes : int;  (* measured flushes at capture *)
+  sn_pool : Pmem.t;  (* clone; re-cloned per replay *)
+  sn_next : int array;  (* per-fiber next op index *)
+  sn_committed : string SMap.t;
+  sn_rng : Rng.t;
+}
+
+exception Snapshot_unusable
+
+let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
+    ?(on_checkpoint = fun (_ : snapshot) -> ()) ~setup scripts =
   let n = Array.length scripts in
-  let committed = ref (List.fold_left Fault.apply_model SMap.empty setup) in
+  let scr = Array.map Array.of_list scripts in
+  let next_op = Array.make n 0 in
+  (* build the instance (and, on resume, verify that adoption was free
+     of PM side effects) before any hook is installed: neither path may
+     yield *)
+  let inst, committed0, f_base =
+    match resume with
+    | None ->
+        let inst = target.mt_fresh () in
+        List.iter inst.mi_apply setup;
+        (inst, List.fold_left Fault.apply_model SMap.empty setup, 0)
+    | Some sn ->
+        let pool = Pmem.clone sn.sn_pool in
+        let f_before = Pmem.flush_count pool
+        and d_before = Pmem.dirty_line_count pool in
+        let inst =
+          try target.mt_reattach pool with _ -> raise Snapshot_unusable
+        in
+        if
+          Pmem.flush_count pool <> f_before
+          || Pmem.dirty_line_count pool <> d_before
+        then raise Snapshot_unusable;
+        Array.blit sn.sn_next 0 next_op 0 n;
+        (inst, sn.sn_committed, sn.sn_flushes)
+  in
+  let pool = inst.mi_pool in
+  let rng =
+    match resume with None -> Rng.create seed | Some sn -> Rng.copy sn.sn_rng
+  in
+  let committed = ref committed0 in
   let cur_op = Array.make n None in
   let acquired = Array.make n None in
+  let fired = Array.make n false in
+  let at_boundary = Array.make n false in
+  let holders : (Rwlock.t * int) list ref = ref [] in
   let current = ref (-1) in
   (* Attribution is by the currently scheduled fiber, not by lock
      identity: on one OS thread exactly one fiber runs between yields,
-     and the event hook fires synchronously inside it. Events fired
-     while fibers unwind from the injected crash are ignored — an
-     unwind release must not linearize the interrupted operation. *)
+     and the hooks fire synchronously inside it. Events fired while
+     fibers unwind from the injected crash are ignored — an unwind
+     release must not linearize the interrupted operation. *)
   Rwlock.set_event_hook
     (Some
-       (fun _ ev ->
+       (fun l ev ->
          match ev with
          | Rwlock.Write_acquired ->
-             if not (Pmem.crash_fired pool) then
-               acquired.(!current) <- cur_op.(!current)
-         | Rwlock.Write_released ->
              if not (Pmem.crash_fired pool) then begin
-               (match acquired.(!current) with
-               | Some op -> committed := Fault.apply_model !committed op
-               | None -> ());
+               if List.exists (fun (l', _) -> l' == l) !holders then
+                 raise
+                   (Fault.Violation
+                      (Printf.sprintf
+                         "[%s-mt] two writers admitted to one lock \
+                          (fibers %d and %d)"
+                         target.mt_name
+                         (snd (List.find (fun (l', _) -> l' == l) !holders))
+                         !current));
+               holders := (l, !current) :: !holders;
+               acquired.(!current) <- cur_op.(!current)
+             end
+         | Rwlock.Write_released ->
+             (* not a commit signal: the optimistic path releases and
+                retries exclusively; Mt_hook carries the commits *)
+             if not (Pmem.crash_fired pool) then begin
+               holders := List.filter (fun (l', _) -> not (l' == l)) !holders;
                acquired.(!current) <- None
              end
          | Rwlock.Read_acquired | Rwlock.Read_released -> ()));
+  Mt_hook.install (fun () ->
+      if not (Pmem.crash_fired pool) then
+        match cur_op.(!current) with
+        | Some op ->
+            committed := Fault.apply_model !committed op;
+            fired.(!current) <- true
+        | None -> ());
   Sched_hook.install (fun () -> Effect.perform Yield);
   let finish () =
     Sched_hook.uninstall ();
+    Mt_hook.uninstall ();
     Rwlock.set_event_hook None
   in
   match
     let f0 = Pmem.flush_count pool in
     (match crash_at with
-    | Some i -> Pmem.arm_crash ~mode pool ~after_flushes:i
+    | Some i -> Pmem.arm_crash ~mode pool ~after_flushes:(i - f_base)
     | None -> ());
     let state = Array.make n Finished in
+    (* Every fiber starts Not_started, even with no ops left (resume of
+       a fiber that had completed): in the original run such a fiber is
+       parked at its final boundary yield and still consumes exactly one
+       scheduling decision before finishing — the empty loop below does
+       the same, keeping the RNG stream aligned between the original
+       and resumed executions. *)
     Array.iteri
       (fun i ops ->
         state.(i) <-
           Not_started
             (fun () ->
-              List.iter
-                (fun op ->
+              while next_op.(i) < Array.length ops do
+                  let op = ops.(next_op.(i)) in
+                  fired.(i) <- false;
                   cur_op.(i) <- Some op;
-                  apply_mt t op;
-                  cur_op.(i) <- None)
-                ops))
-      scripts;
+                  inst.mi_apply op;
+                  cur_op.(i) <- None;
+                  next_op.(i) <- next_op.(i) + 1;
+                  (* op-boundary yield: the only point where a fiber is
+                     parked with no op in progress and no lock held —
+                     checkpoints are captured when every fiber is here
+                     (or not started / finished) *)
+                  at_boundary.(i) <- true;
+                  Sched_hook.yield ();
+                  at_boundary.(i) <- false
+                done))
+      scr;
     let run i f =
       Effect.Deep.match_with f ()
         {
@@ -135,7 +287,6 @@ let exec ~seed ~mode ~crash_at ~setup scripts =
               | _ -> None);
         }
     in
-    let rng = Rng.create seed in
     let runnable () =
       let r = ref [] in
       for i = n - 1 downto 0 do
@@ -143,12 +294,40 @@ let exec ~seed ~mode ~crash_at ~setup scripts =
       done;
       !r
     in
+    let quiescent () =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        match state.(i) with
+        | Finished | Not_started _ -> ()
+        | Parked _ -> if not at_boundary.(i) then ok := false
+      done;
+      !ok
+    in
+    let last_cp = ref 0 in
+    let maybe_checkpoint () =
+      match (checkpoint_every, crash_at) with
+      | Some k, None when k > 0 ->
+          let fl = Pmem.flush_count pool - f0 in
+          if fl - !last_cp >= k && quiescent () && runnable () <> [] then begin
+            last_cp := fl;
+            on_checkpoint
+              {
+                sn_flushes = fl;
+                sn_pool = Pmem.clone pool;
+                sn_next = Array.copy next_op;
+                sn_committed = !committed;
+                sn_rng = Rng.copy rng;
+              }
+          end
+      | _ -> ()
+    in
     (* Once the crash fires, no parked fiber is resumed again: their
        volatile progress is lost power, exactly like interrupted
        domains. (A fiber parked mid-unwind — possible only if an unwind
        finalizer spins on a lock — is abandoned the same way.) *)
     let rec loop () =
-      if not (Pmem.crash_fired pool) then
+      if not (Pmem.crash_fired pool) then begin
+        maybe_checkpoint ();
         match runnable () with
         | [] -> ()
         | rs ->
@@ -163,10 +342,11 @@ let exec ~seed ~mode ~crash_at ~setup scripts =
                 Effect.Deep.continue k ()
             | Finished -> assert false);
             loop ()
+      end
     in
     loop ();
     let crashed = Pmem.crash_fired pool in
-    let flushes = Pmem.flush_count pool - f0 in
+    let flushes = f_base + (Pmem.flush_count pool - f0) in
     Pmem.disarm_crash pool;
     (crashed, flushes)
   with
@@ -175,34 +355,30 @@ let exec ~seed ~mode ~crash_at ~setup scripts =
       raise e
   | crashed, flushes ->
       finish ();
-      let in_flight = ref [] in
+      let in_flight = ref [] and waiting = ref [] in
       for i = n - 1 downto 0 do
-        match acquired.(i) with
-        | Some op -> in_flight := (i, op) :: !in_flight
-        | None -> ()
+        match (acquired.(i), cur_op.(i)) with
+        | Some op, _ -> in_flight := (i, op) :: !in_flight
+        | None, Some (Fault.Search _) -> ()
+        | None, Some op ->
+            if not fired.(i) then waiting := (i, op) :: !waiting
+        | None, None -> ()
       done;
-      let dump h =
-        let m = ref SMap.empty in
-        Hart.iter h (fun k v -> m := SMap.add k v !m);
-        SMap.bindings !m
-      in
       let state =
-        if crashed then begin
-          let h = Hart.recover pool in
-          Hart.check_integrity ~allow_recovered_orphans:true h;
-          dump h
-        end
-        else dump (Hart_mt.underlying t)
+        if crashed then target.mt_recover_dump pool else inst.mi_dump ()
       in
       {
         p_crashed = crashed;
         p_flushes = flushes;
         p_committed = SMap.bindings !committed;
         p_in_flight = !in_flight;
+        p_waiting = !waiting;
         p_state = state;
       }
 
-(* every subset of the in-flight set, folded onto the committed model *)
+(* every subset of the in-flight set, folded onto the committed model —
+   waiting colliding operations appear in no subset: they held no lock,
+   so the serialized-case oracle says they are durably absent *)
 let admissible_states committed in_flight =
   let subsets =
     List.fold_left
@@ -216,6 +392,7 @@ let admissible_states committed in_flight =
        subsets)
 
 type report = {
+  target : string;
   seed : int64;
   domains : int;
   workload : string;
@@ -225,6 +402,9 @@ type report = {
   schedules : int;
   max_in_flight : int;
   multi_in_flight : int;
+  contended : int;
+  checkpoints : int;
+  checkpoint_replays : int;
   violations : Fault.violation list;
 }
 
@@ -234,10 +414,12 @@ let pp_ops ppf ops =
     (fun ppf (i, op) -> Format.fprintf ppf "fiber%d:%a" i Fault.pp_op op)
     ppf ops
 
-let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
-    ~domains ~workload ?(setup = []) scripts =
-  if Array.length scripts <> domains then invalid_arg "Fault_mt.explore: scripts/domains mismatch";
-  let target_name = Printf.sprintf "hart-mt@%dd" domains in
+let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
+    ?max_schedules ?checkpoint_every ~seed ~domains ~workload ?(setup = [])
+    scripts =
+  if Array.length scripts <> domains then
+    invalid_arg "Fault_mt.explore: scripts/domains mismatch";
+  let target_name = Printf.sprintf "%s-mt@%dd" target.mt_name domains in
   let violations = ref [] in
   let viol ~schedule fmt =
     Printf.ksprintf
@@ -257,9 +439,15 @@ let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
         else raise (Fault.Violation (Fault.violation_message v)))
       fmt
   in
-  (* dry run: flush-boundary census + crash-free linearization check *)
-  let dry = exec ~seed ~mode ~crash_at:None ~setup scripts in
-  if dry.p_in_flight <> [] then
+  (* dry run: flush-boundary census + crash-free linearization check,
+     and — with [checkpoint_every] — quiescent snapshot collection *)
+  let snapshots = ref [] in
+  let dry =
+    exec ~target ~seed ~mode ~crash_at:None ?checkpoint_every
+      ~on_checkpoint:(fun sn -> snapshots := sn :: !snapshots)
+      ~setup scripts
+  in
+  if dry.p_in_flight <> [] || dry.p_waiting <> [] then
     raise
       (Fault.Violation
          (Printf.sprintf "[%s/%s] quiesced run left operations in flight"
@@ -279,10 +467,37 @@ let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
         List.filter (fun i -> i mod stride = 0) (List.init f Fun.id)
     | _ -> List.init f Fun.id
   in
-  let max_in_flight = ref 0 and multi = ref 0 in
+  let max_in_flight = ref 0 and multi = ref 0 and contended = ref 0 in
+  let cp_ok = ref true and cp_replays = ref 0 in
+  let probe_at i =
+    (* replay from the newest quiescent snapshot before flush [i];
+       fall back to (and stay on) full re-execution if a snapshot's
+       adoption has side effects or its replay diverges *)
+    let scratch () = exec ~target ~seed ~mode ~crash_at:(Some i) ~setup scripts in
+    if not !cp_ok then scratch ()
+    else
+      (* strictly before the crash flush: a snapshot at exactly [i]
+         flushes quiesced AFTER the crash point (operations commit and
+         release without flushing again after their last persist), so
+         resuming it would replay a different — valid but different —
+         execution than the scratch run it stands in for *)
+      match List.find_opt (fun sn -> sn.sn_flushes < i) !snapshots with
+      | None -> scratch ()
+      | Some sn -> (
+          match
+            exec ~target ~seed ~mode ~crash_at:(Some i) ~resume:sn ~setup
+              scripts
+          with
+          | p when p.p_crashed ->
+              incr cp_replays;
+              p
+          | _ | (exception Snapshot_unusable) ->
+              cp_ok := false;
+              scratch ())
+  in
   List.iter
     (fun i ->
-      match exec ~seed ~mode ~crash_at:(Some i) ~setup scripts with
+      match probe_at i with
       | exception Failure msg -> viol ~schedule:i "recovery or integrity failed: %s" msg
       | p ->
           if not p.p_crashed then
@@ -291,15 +506,18 @@ let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
             let k = List.length p.p_in_flight in
             if k > !max_in_flight then max_in_flight := k;
             if k >= 2 then incr multi;
+            if p.p_waiting <> [] then incr contended;
             let ok = admissible_states p.p_committed (List.map snd p.p_in_flight) in
             if not (List.mem p.p_state ok) then
               viol ~schedule:i
                 "recovered state is not committed-prefix + in-flight subset \
-                 (in flight: %s)"
+                 (in flight: %s; waiting: %s)"
                 (Format.asprintf "%a" pp_ops p.p_in_flight)
+                (Format.asprintf "%a" pp_ops p.p_waiting)
           end)
     indices;
   {
+    target = target.mt_name;
     seed;
     domains;
     workload;
@@ -309,17 +527,24 @@ let explore ?(mode = Pmem.Clean) ?(keep_going = false) ?max_schedules ~seed
     schedules = List.length indices;
     max_in_flight = !max_in_flight;
     multi_in_flight = !multi;
+    contended = !contended;
+    checkpoints = List.length !snapshots;
+    checkpoint_replays = !cp_replays;
     violations = List.rev !violations;
   }
 
-let probe ?(mode = Pmem.Clean) ~seed ~schedule ?(setup = []) scripts =
-  exec ~seed ~mode ~crash_at:(Some schedule) ~setup scripts
+let probe ?(target = hart_mt) ?(mode = Pmem.Clean) ~seed ~schedule ?(setup = [])
+    scripts =
+  exec ~target ~seed ~mode ~crash_at:(Some schedule) ~setup scripts
 
-(* A scripted concurrent workload: each domain works its own hash-key
-   prefix ("d0".."d3"), so every domain drives a distinct ART — the
-   regime in which operations genuinely overlap (same-ART writers would
-   just serialize on the stripe lock). Two keys per domain pre-exist so
-   updates and deletes contend from the first schedule. *)
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                            *)
+
+(* A scripted concurrent workload: each domain works its own 2-byte
+   prefix ("d0".."d3"), so every domain drives a distinct shard — the
+   regime in which operations genuinely overlap (same-shard writers
+   would just serialize on the stripe lock). Two keys per domain
+   pre-exist so updates and deletes contend from the first schedule. *)
 let default_workload ~domains ~ops_per_domain =
   let key d i = Printf.sprintf "d%d-%02d" d i in
   let setup =
@@ -341,12 +566,71 @@ let default_workload ~domains ~ops_per_domain =
   in
   (setup, Array.init domains script)
 
+(* Same-stripe collisions on purpose: every domain also mutates keys
+   under one shared "cc" prefix (same hash prefix → same ART → same
+   stripe on HART; same leaf on FPTree; same radix prefix on WOART), so
+   the sweep crosses crash points where colliding operations are
+   waiting for one stripe while private-prefix operations are still in
+   flight — the serialized case the tightened oracle is about. *)
+let collide_workload ~domains ~ops_per_domain =
+  let shared i = Printf.sprintf "cc%02d" i in
+  let priv d i = Printf.sprintf "p%d-%02d" d i in
+  let setup =
+    [ Fault.Insert (shared 0, "s0"); Fault.Insert (shared 1, "s1") ]
+    @ List.init domains (fun d -> Fault.Insert (priv d 0, Printf.sprintf "q%d" d))
+  in
+  let script d =
+    List.init ops_per_domain (fun j ->
+        match j mod 4 with
+        | 0 -> Fault.Update (shared (j land 1), Printf.sprintf "c%d.%d" d j)
+        | 1 -> Fault.Insert (priv d (1 + j), Printf.sprintf "v%d.%d" d j)
+        | 2 -> Fault.Insert (shared (10 + d), Printf.sprintf "n%d.%d" d j)
+        | _ -> Fault.Update (priv d 0, Printf.sprintf "w%d.%d" d j))
+  in
+  (setup, Array.init domains script)
+
+(* Seeded workload generator: a qcheck-style op mix (40% insert, 25%
+   update, 15% delete, 20% search) over a small key universe that mixes
+   per-domain private keys with keys shared across all domains, so
+   every seed exercises a different blend of commuting and colliding
+   interleavings. Purely a function of the seed: the same seed always
+   yields the same scripts. *)
+let gen_workload ~seed ~domains ~ops_per_domain =
+  let rng = Rng.create seed in
+  let shared i = Printf.sprintf "gs%02d" i in
+  let priv d i = Printf.sprintf "g%d-%02d" d i in
+  let pick_key d =
+    let i = Rng.int rng 8 in
+    if i < 3 then shared i else priv d i
+  in
+  let value d j =
+    let len = 1 + Rng.int rng 12 in
+    String.make len (Char.chr (Char.code 'a' + ((j + d) mod 26)))
+  in
+  let setup =
+    List.init 3 (fun i -> Fault.Insert (shared i, Printf.sprintf "s%d" i))
+    @ List.init domains (fun d -> Fault.Insert (priv d 3, Printf.sprintf "t%d" d))
+  in
+  let script d =
+    List.init ops_per_domain (fun j ->
+        let k = pick_key d in
+        match Rng.int rng 20 with
+        | x when x < 8 -> Fault.Insert (k, value d j)
+        | x when x < 13 -> Fault.Update (k, value d j)
+        | x when x < 16 -> Fault.Delete k
+        | _ -> Fault.Search k)
+  in
+  (setup, Array.init domains script)
+
 let pp_report ppf r =
   Format.fprintf ppf
     "%-12s %-10s mode=%a seed=%Ld ops=%d flush-boundaries=%d schedules=%d \
-     max-in-flight=%d multi-in-flight=%d"
-    (Printf.sprintf "hart-mt@%dd" r.domains)
+     max-in-flight=%d multi-in-flight=%d contended=%d"
+    (Printf.sprintf "%s-mt@%dd" r.target r.domains)
     r.workload Fault.pp_mode r.mode r.seed r.n_ops r.total_flushes r.schedules
-    r.max_in_flight r.multi_in_flight;
+    r.max_in_flight r.multi_in_flight r.contended;
+  if r.checkpoints > 0 then
+    Format.fprintf ppf " checkpoints=%d replays=%d" r.checkpoints
+      r.checkpoint_replays;
   if r.violations <> [] then
     Format.fprintf ppf " VIOLATIONS=%d" (List.length r.violations)

@@ -1,26 +1,67 @@
-(** Deterministic concurrent crash explorer for [Hart_mt].
+(** Deterministic concurrent crash explorer for any striped concurrent
+    index ({!Hart_core.Index_intf.MT}, i.e. anything built by
+    [Striped_mt.Make]).
 
     Several simulated domains — effect-handler fibers on one OS thread —
-    drive one concurrent HART under a seed-replayable interleaving: a
+    drive one concurrent index under a seed-replayable interleaving: a
     seeded RNG picks the next runnable fiber at every cooperative switch
-    point (every [Pmem.persist], every lock acquire/release; see
-    [Hart_util.Sched_hook] and [Hart_core.Rwlock]). A crash is injected
-    at a chosen flush boundary — typically with several operations in
-    flight on distinct ARTs — the pool is recovered single-domain, and
-    the durable image is checked against a {e linearization-set oracle}:
+    point (every [Pmem.persist], every lock acquire/release, every op
+    boundary; see [Hart_util.Sched_hook] and [Hart_core.Rwlock]). A
+    crash is injected at a chosen flush boundary — typically with
+    several operations in flight on distinct shards — the pool is
+    recovered single-domain, and the durable image is checked against a
+    {e linearization-set oracle}:
 
     the recovered map must equal [committed + S] for some subset [S] of
     the in-flight operations, where [committed] is the model folded over
-    the operations whose ART write lock was released before the crash
-    (release order = linearization order: the release event fires before
-    the lock state changes, with no yield in between). Concurrent
-    in-flight operations hold distinct ART locks, so they commute
-    durably and every subset is reachable; each must be atomically
-    present or absent.
+    the operations whose commit signal ([Hart_core.Mt_hook], fired by
+    [Striped_mt] after completion, immediately before the final write
+    unlock with no yield in between) preceded the crash, and the
+    in-flight set is the operations holding a write lock at the crash.
+    In-flight operations hold distinct locks (asserted), so by the
+    [stripe_of_key] commuting contract they commute durably and every
+    subset is reachable; each must be atomically present or absent.
+    Colliding operations still {e waiting} for a lock have durably done
+    nothing: they appear in no admissible subset, which is the
+    tightened, serialized-case half of the oracle.
 
-    Everything is deterministic: the same [(seed, schedule)] pair
-    replays bit-identically, so a violation names one exact
+    Everything is deterministic: the same [(target, seed, schedule)]
+    triple replays bit-identically, so a violation names one exact
     execution. *)
+
+(** One concurrent index wired for exploration. [mt_fresh] formats a new
+    pool; [mt_reattach] adopts a quiescent pool (checkpoint replay);
+    [mt_recover_dump] recovers a crashed pool single-domain, runs the
+    index's integrity check, and returns the sorted live bindings. *)
+type mt_instance = {
+  mi_pool : Hart_pmem.Pmem.t;
+  mi_apply : Fault.op -> unit;
+  mi_dump : unit -> (string * string) list;
+}
+
+type mt_target = {
+  mt_name : string;
+  mt_fresh : unit -> mt_instance;
+  mt_reattach : Hart_pmem.Pmem.t -> mt_instance;
+  mt_recover_dump : Hart_pmem.Pmem.t -> (string * string) list;
+}
+
+val of_mt : (module Hart_core.Index_intf.MT) -> mt_target
+(** Package any [Striped_mt] instantiation as an explorer target. *)
+
+val hart_mt : mt_target
+(** [Hart_mt] — 512 hash-prefix stripes, all operations shard-local. *)
+
+val fptree_mt : mt_target
+(** [Fptree_mt] — leaf-group stripes; splits run exclusively. *)
+
+val woart_mt : mt_target
+(** [Woart_mt] — radix-prefix stripes; only value updates commute. *)
+
+val all_mt_targets : mt_target list
+
+val find_mt_target : string -> mt_target option
+(** Look a target up by its [mt_name] ("hart", "fptree", "woart"). *)
 
 (* The measured-phase result of one interleaved execution. *)
 type probe = {
@@ -28,13 +69,18 @@ type probe = {
   p_flushes : int;  (** measured-phase flushes performed *)
   p_committed : (string * string) list;  (** linearized-prefix model *)
   p_in_flight : (int * Fault.op) list;
-      (** (fiber, op) pairs acquired-but-not-released at the crash *)
+      (** (fiber, op) pairs holding a write lock at the crash *)
+  p_waiting : (int * Fault.op) list;
+      (** mutating (fiber, op) pairs started but holding no write lock
+          and not yet committed: durably absent by the serialized-case
+          oracle *)
   p_state : (string * string) list;
       (** bindings after single-domain recovery (crashed run) or after
           quiescing (crash-free run) *)
 }
 
 type report = {
+  target : string;  (** [mt_name] of the explored target *)
   seed : int64;
   domains : int;
   workload : string;
@@ -44,14 +90,21 @@ type report = {
   schedules : int;  (** crash schedules explored *)
   max_in_flight : int;  (** most in-flight ops observed at any crash *)
   multi_in_flight : int;  (** schedules with >= 2 ops in flight *)
+  contended : int;
+      (** schedules where some mutating op was waiting for a lock at the
+          crash — the serialized same-stripe case *)
+  checkpoints : int;  (** quiescent snapshots taken during the dry run *)
+  checkpoint_replays : int;  (** schedules replayed from a snapshot *)
   violations : Fault.violation list;
       (** collected under [keep_going]; empty otherwise *)
 }
 
 val explore :
+  ?target:mt_target ->
   ?mode:Hart_pmem.Pmem.crash_mode ->
   ?keep_going:bool ->
   ?max_schedules:int ->
+  ?checkpoint_every:int ->
   seed:int64 ->
   domains:int ->
   workload:string ->
@@ -65,12 +118,25 @@ val explore :
     for CI budgets), recovers and checks the oracle. [scripts] gives one
     operation list per simulated domain ([Array.length scripts] must
     equal [domains]); [setup] runs single-domain before the measured
-    phase. [mode] selects clean or torn crash semantics.
+    phase. [target] (default {!hart_mt}) selects the index under test.
+    [mode] selects clean or torn crash semantics.
+
+    [checkpoint_every] (default off) snapshots the execution during the
+    dry run at the first fully-quiescent op boundary after every [K]
+    flushes — every fiber parked between operations, no locks held, so
+    [Pmem.clone] plus the per-fiber op cursors, committed model and RNG
+    state capture the whole execution. Each schedule then replays from
+    the latest snapshot preceding its crash point. A replay is used only
+    when reattaching the snapshot is observably free of PM side effects
+    and the replayed run still crashes; otherwise the explorer falls
+    back permanently to full re-execution, so checkpointing never
+    changes what is checked.
     @raise Fault.Violation on the first inadmissible schedule (unless
     [keep_going]), or if the crash-free run disagrees with its own
     linearization model (always fatal). *)
 
 val probe :
+  ?target:mt_target ->
   ?mode:Hart_pmem.Pmem.crash_mode ->
   seed:int64 ->
   schedule:int ->
@@ -78,14 +144,34 @@ val probe :
   Fault.op list array ->
   probe
 (** Replay one exact [(seed, schedule)] execution and return its raw
-    coordinates — committed prefix, in-flight set, recovered state —
-    without judging them. Two probes of the same pair are identical
-    (determinism), which the tests assert. *)
+    coordinates — committed prefix, in-flight set, waiting set,
+    recovered state — without judging them. Two probes of the same pair
+    are identical (determinism), which the tests assert. *)
 
-val default_workload : domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array
-(** [(setup, scripts)] — each domain works a distinct hash-key prefix
-    (hence a distinct ART), mixing inserts, updates and deletes over
-    two pre-seeded keys, so operations genuinely overlap at the crash
-    points instead of serializing on one stripe. *)
+val default_workload :
+  domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array
+(** [(setup, scripts)] — each domain works a distinct 2-byte key prefix
+    (hence a distinct shard on every target), mixing inserts, updates
+    and deletes over two pre-seeded keys, so operations genuinely
+    overlap at the crash points instead of serializing on one stripe. *)
+
+val collide_workload :
+  domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array
+(** [(setup, scripts)] — every domain also mutates keys under one shared
+    2-byte prefix, forcing same-stripe collisions: crash points where
+    colliding operations wait for one stripe lock while private-prefix
+    operations are in flight. Exercises the serialized case of the
+    oracle; reports on it should show [contended > 0]. *)
+
+val gen_workload :
+  seed:int64 ->
+  domains:int ->
+  ops_per_domain:int ->
+  Fault.op list * Fault.op list array
+(** Seeded workload generator: an op mix of 40% insert / 25% update /
+    15% delete / 20% search over a key universe mixing per-domain
+    private keys with keys shared across all domains. Purely a function
+    of [seed] — the same seed always yields the same scripts — so a CI
+    sweep over several seeds is replayable. *)
 
 val pp_report : Format.formatter -> report -> unit

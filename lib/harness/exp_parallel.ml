@@ -87,14 +87,82 @@ let run_phase ~domains:d ~n_batches f =
 
 (* Pre-size the pool so [Pmem.grow] can never fire while domains run
    concurrently (growth swaps the backing buffers; see Pmem docs). *)
-let fresh_hart ~n_keys =
+let fresh_pool ~n_keys =
   let cap =
     let need = (n_keys * 512) + (1 lsl 20) in
     let rec pow2 c = if c >= need then c else pow2 (c * 2) in
     pow2 (1 lsl 20)
   in
-  let pool = Pmem.create ~capacity:cap ~max_capacity:(2 * cap) (Meter.create Latency.c300_100) in
-  Hart_mt.create pool
+  Pmem.create ~capacity:cap ~max_capacity:(2 * cap) (Meter.create Latency.c300_100)
+
+let fresh_hart ~n_keys = Hart_mt.create (fresh_pool ~n_keys)
+
+(* -------------------------------------------------------------------
+   Cross-index sweep: the same striped front end ([Striped_mt]) over
+   HART, FPTree and WOART, insert then search at each domain count —
+   the Fig. 9-style comparison. The interesting shape is qualitative:
+   HART shards every operation (hash-prefix stripes), FPTree shards
+   non-splitting operations (leaf-group stripes, splits exclusive), and
+   WOART serializes every new-key insert (radix restructuring), so its
+   insert column must stay flat while its search column scales. *)
+
+type mt_ops = {
+  xi_insert : key:string -> value:string -> unit;
+  xi_search : string -> string option;
+}
+
+let mt_indexes : (string * (n_keys:int -> mt_ops)) list =
+  let make (module M : Hart_core.Index_intf.MT) ~n_keys =
+    let t = M.create (fresh_pool ~n_keys) in
+    {
+      xi_insert = (fun ~key ~value -> M.insert t ~key ~value);
+      xi_search = (fun k -> M.search t k);
+    }
+  in
+  [
+    ("hart", make (module Hart_mt.M));
+    ("fptree", make (module Hart_baselines.Fptree_mt));
+    ("woart", make (module Hart_baselines.Woart_mt));
+  ]
+
+type cross_result = {
+  x_index : string;
+  x_phase : string;
+  x_domains : int;
+  x_r : phase_result;
+}
+
+let run_cross ~total_ops =
+  let n = total_ops in
+  let keys = Keygen.generate Keygen.Random n in
+  let batches_per_domain d = total_ops / d / batch in
+  List.concat_map
+    (fun (name, mk) ->
+      List.concat_map
+        (fun d ->
+          let t = mk ~n_keys:n in
+          let per = total_ops / d in
+          let ins =
+            run_phase ~domains:d ~n_batches:(batches_per_domain d)
+              (fun ~domain ~op ->
+                let i = (domain * per) + op in
+                t.xi_insert ~key:keys.(i) ~value:(Keygen.value_for i))
+          in
+          (* the insert phase loaded all [n] keys, so searches hit *)
+          let rngs =
+            Array.init d (fun i -> Rng.create (Int64.of_int (0xC0DE + i)))
+          in
+          let srch =
+            run_phase ~domains:d ~n_batches:(batches_per_domain d)
+              (fun ~domain ~op:_ ->
+                ignore (t.xi_search keys.(Rng.int rngs.(domain) n) : string option))
+          in
+          [
+            { x_index = name; x_phase = "insert"; x_domains = d; x_r = ins };
+            { x_index = name; x_phase = "search"; x_domains = d; x_r = srch };
+          ])
+        domain_counts)
+    mt_indexes
 
 type phase = { name : string; run : int -> phase_result }
 
@@ -219,6 +287,36 @@ let run ?json_path ?threshold ~scale () =
            ( Printf.sprintf "%d domain%s" d (if d = 1 then "" else "s"),
              List.map (fun (_, r) -> r.p99_ns /. 1e3) rs ))
          results);
+  let cross = run_cross ~total_ops in
+  Report.print_table
+    ~title:
+      (Printf.sprintf
+         "Cross-index wall-clock throughput (Mops/s), striped front end -- \
+          %d ops/phase"
+         total_ops)
+    ~col_names:
+      (List.map
+         (fun d -> Printf.sprintf "%dd" d)
+         domain_counts)
+    ~rows:
+      (List.concat_map
+         (fun (name, _) ->
+           List.map
+             (fun phase ->
+               ( Printf.sprintf "%s %s" name phase,
+                 List.map
+                   (fun d ->
+                     let r =
+                       List.find
+                         (fun x ->
+                           x.x_index = name && x.x_phase = phase
+                           && x.x_domains = d)
+                         cross
+                     in
+                     r.x_r.ops_per_s /. 1e6)
+                   domain_counts ))
+             [ "insert"; "search" ])
+         mt_indexes);
   (match results with
   | (1, base) :: _ ->
       let last_d, last = List.nth results (List.length results - 1) in
@@ -298,6 +396,20 @@ let run ?json_path ?threshold ~scale () =
                                 results) );
                        ])
                    ps) );
+            ( "cross_index",
+              Json.List
+                (List.map
+                   (fun x ->
+                     Json.Obj
+                       [
+                         ("index", Json.Str x.x_index);
+                         ("phase", Json.Str x.x_phase);
+                         ("domains", Json.Int x.x_domains);
+                         ("ops_per_s", Json.Float x.x_r.ops_per_s);
+                         ("p50_ns", Json.Float x.x_r.p50_ns);
+                         ("p99_ns", Json.Float x.x_r.p99_ns);
+                       ])
+                   cross) );
           ]
       in
       Json.write path j;

@@ -342,6 +342,96 @@ let mt_subsample () =
     && r.Fault_mt.schedules < r.Fault_mt.total_flushes);
   Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
 
+(* The generalised explorer over the other striped front ends: FPTree
+   (leaf-group stripes, splits exclusive) and WOART (radix-prefix
+   stripes, structural inserts/deletes exclusive). Their mutations
+   mostly serialise, so the interesting coverage is the contended
+   (waiting-writer) crash points, not multi-in-flight ones. *)
+let mt_index_sweep target () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:4 in
+  let r =
+    Fault_mt.explore ~target ~seed:42L ~domains:2 ~workload:"mt-test" ~setup
+      scripts
+  in
+  Alcotest.(check bool) "has flush boundaries" true
+    (r.Fault_mt.total_flushes > 0);
+  Alcotest.(check int) "full coverage" r.Fault_mt.total_flushes
+    r.Fault_mt.schedules;
+  Alcotest.(check bool) "saw an op in flight at some crash" true
+    (r.Fault_mt.max_in_flight >= 1);
+  Alcotest.(check bool) "saw contended (waiting-writer) crash points" true
+    (r.Fault_mt.contended > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
+
+(* Same-stripe collisions on purpose: the sweep must cross crash points
+   where a colliding op is waiting for the stripe while another op is
+   in flight — the serialized case the tightened oracle is about. *)
+let mt_collide () =
+  let setup, scripts = Fault_mt.collide_workload ~domains:2 ~ops_per_domain:8 in
+  let r =
+    Fault_mt.explore ~seed:42L ~domains:2 ~workload:"mt-collide" ~setup scripts
+  in
+  mt_check_report r;
+  Alcotest.(check bool) "saw contended (waiting-writer) crash points" true
+    (r.Fault_mt.contended > 0)
+
+(* Seeded generator: each seed is a different mix of commuting and
+   colliding inserts/updates/deletes/searches; three seeds per CI run. *)
+let mt_generated () =
+  List.iter
+    (fun seed ->
+      let setup, scripts = Fault_mt.gen_workload ~seed ~domains:2 ~ops_per_domain:6 in
+      let r =
+        Fault_mt.explore ~seed ~domains:2
+          ~workload:(Printf.sprintf "mt-gen#%Ld" seed)
+          ~setup scripts
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld has flush boundaries" seed)
+        true
+        (r.Fault_mt.total_flushes > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %Ld no violations" seed)
+        0
+        (List.length r.Fault_mt.violations))
+    [ 42L; 43L; 44L ];
+  (* determinism of the generator itself: same seed, same scripts *)
+  Alcotest.(check bool) "generator is a pure function of the seed" true
+    (Fault_mt.gen_workload ~seed:42L ~domains:2 ~ops_per_domain:6
+    = Fault_mt.gen_workload ~seed:42L ~domains:2 ~ops_per_domain:6)
+
+(* Checkpointed replay must check exactly what full re-execution checks:
+   same flush census, same in-flight statistics, zero violations, and
+   snapshots must actually have been taken and used. *)
+let mt_checkpoint_equivalence () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:4 in
+  let plain =
+    Fault_mt.explore ~seed:42L ~domains:2 ~workload:"mt-cp" ~setup scripts
+  in
+  let cp =
+    Fault_mt.explore ~checkpoint_every:20 ~seed:42L ~domains:2
+      ~workload:"mt-cp" ~setup scripts
+  in
+  Alcotest.(check int) "same flush census" plain.Fault_mt.total_flushes
+    cp.Fault_mt.total_flushes;
+  Alcotest.(check int) "same schedule count" plain.Fault_mt.schedules
+    cp.Fault_mt.schedules;
+  Alcotest.(check int) "same max in-flight" plain.Fault_mt.max_in_flight
+    cp.Fault_mt.max_in_flight;
+  Alcotest.(check int) "same multi-in-flight census"
+    plain.Fault_mt.multi_in_flight cp.Fault_mt.multi_in_flight;
+  Alcotest.(check int) "same contention census" plain.Fault_mt.contended
+    cp.Fault_mt.contended;
+  Alcotest.(check int) "plain run took no checkpoints" 0
+    plain.Fault_mt.checkpoints;
+  Alcotest.(check bool) "checkpointed run took snapshots" true
+    (cp.Fault_mt.checkpoints > 0);
+  Alcotest.(check bool) "some schedules replayed from a snapshot" true
+    (cp.Fault_mt.checkpoint_replays > 0);
+  Alcotest.(check int) "no violations either way" 0
+    (List.length plain.Fault_mt.violations
+    + List.length cp.Fault_mt.violations)
+
 let () =
   Alcotest.run "fault"
     [
@@ -389,5 +479,13 @@ let () =
           Alcotest.test_case "2-domain torn sweep" `Quick mt_torn_sweep;
           Alcotest.test_case "replay determinism" `Quick mt_determinism;
           Alcotest.test_case "max-schedules subsampling" `Quick mt_subsample;
+          Alcotest.test_case "fptree-mt 2-domain sweep" `Quick
+            (mt_index_sweep Fault_mt.fptree_mt);
+          Alcotest.test_case "woart-mt 2-domain sweep" `Quick
+            (mt_index_sweep Fault_mt.woart_mt);
+          Alcotest.test_case "same-stripe collision sweep" `Quick mt_collide;
+          Alcotest.test_case "generated workloads, 3 seeds" `Quick mt_generated;
+          Alcotest.test_case "checkpointed replay equivalence" `Quick
+            mt_checkpoint_equivalence;
         ] );
     ]

@@ -281,6 +281,164 @@ let test_epalloc_concurrent () =
     (held0 + held_rest) live
 
 (* ------------------------------------------------------------------ *)
+(* Striped_mt over a toy index: the commuting contract is load-bearing  *)
+
+(* A deliberately fragile PM index: an append-only log at fixed offsets
+   whose commit point is a read-modify-write of one shared count word.
+   Appends to DIFFERENT keys do not commute — two interleaved appends
+   read the same count, write the same slot, and lose one record — so
+   declaring its mutations shard-local is a lie the explorer must
+   catch, and serialising them (restructures = true) must make the very
+   same code pass the same sweep. *)
+module Toy_log = struct
+  type t = { pool : Pmem.t }
+
+  let hdr = 64 (* first alloc on a fresh pool; recover relies on it *)
+  let rec_size = 64
+  let max_recs = 192
+  let slot i = hdr + 8 + (i * rec_size)
+  let log_len t = Int64.to_int (Pmem.get_u64 t.pool hdr)
+
+  let create pool =
+    let base = Pmem.alloc pool (8 + (max_recs * rec_size)) in
+    assert (base = hdr);
+    Pmem.set_u64 pool hdr 0L;
+    Pmem.persist pool ~off:hdr ~len:8;
+    { pool }
+
+  let recover pool = { pool }
+
+  let append t ~tag ~key ~value =
+    let n = log_len t in
+    if n >= max_recs then failwith "toy: log full";
+    let off = slot n in
+    Pmem.set_u8 t.pool off tag;
+    Pmem.set_u8 t.pool (off + 1) (String.length key);
+    Pmem.set_string t.pool ~off:(off + 2) key;
+    Pmem.set_u8 t.pool (off + 28) (String.length value);
+    if value <> "" then Pmem.set_string t.pool ~off:(off + 29) value;
+    Pmem.persist t.pool ~off ~len:rec_size;
+    (* a second persist of the record widens the window between the
+       count read above and the count bump below: more yield points for
+       the explorer's scheduler to interleave a racing append into *)
+    Pmem.persist t.pool ~off ~len:rec_size;
+    Pmem.set_u64 t.pool hdr (Int64.of_int (n + 1));
+    Pmem.persist t.pool ~off:hdr ~len:8
+
+  let replay t =
+    let m = ref SMap.empty in
+    for i = 0 to log_len t - 1 do
+      let off = slot i in
+      let klen = Pmem.get_u8 t.pool (off + 1) in
+      let key = Pmem.get_string t.pool ~off:(off + 2) ~len:klen in
+      if Pmem.get_u8 t.pool off = 2 then m := SMap.remove key !m
+      else
+        let vlen = Pmem.get_u8 t.pool (off + 28) in
+        m :=
+          SMap.add key (Pmem.get_string t.pool ~off:(off + 29) ~len:vlen) !m
+    done;
+    !m
+
+  let insert t ~key ~value = append t ~tag:1 ~key ~value
+  let search t k = SMap.find_opt k (replay t)
+
+  let update t ~key ~value =
+    if SMap.mem key (replay t) then (
+      append t ~tag:1 ~key ~value;
+      true)
+    else false
+
+  let delete t k =
+    if SMap.mem k (replay t) then (
+      append t ~tag:2 ~key:k ~value:"";
+      true)
+    else false
+
+  let range t ~lo ~hi f =
+    SMap.iter (fun k v -> if k >= lo && k <= hi then f k v) (replay t)
+
+  let iter t f = SMap.iter f (replay t)
+  let count t = SMap.cardinal (replay t)
+  let dram_bytes _ = 0
+  let pm_bytes t = 8 + (log_len t * rec_size)
+
+  let check_integrity ~recovered:_ t =
+    let n = log_len t in
+    if n < 0 || n > max_recs then failwith "toy: count out of range";
+    for i = 0 to n - 1 do
+      let off = slot i in
+      let tag = Pmem.get_u8 t.pool off in
+      if tag <> 1 && tag <> 2 then failwith "toy: bad record tag";
+      if Pmem.get_u8 t.pool (off + 1) > 26 then failwith "toy: bad key length"
+    done
+end
+
+(* The lie: per-key shards, nothing restructures — claims appends to
+   distinct keys commute when every append races on the count word. *)
+module Toy_bad = struct
+  include Toy_log
+
+  let name = "toy-bad"
+  let stripe_of_key _ key = Hashtbl.hash key
+  let volatile_domain_safe = true
+  let restructures _ ~op:_ ~key:_ = false
+end
+
+(* The honest classification of the same code: every mutation reshapes
+   shared structure, so all of them serialise on the structure lock. *)
+module Toy_good = struct
+  include Toy_log
+
+  let name = "toy-good"
+  let stripe_of_key _ _ = 0
+  let volatile_domain_safe = false
+  let restructures _ ~op:_ ~key:_ = true
+end
+
+module Toy_bad_mt = Hart_core.Striped_mt.Make (Toy_bad)
+module Toy_good_mt = Hart_core.Striped_mt.Make (Toy_good)
+
+let toy_scripts ~domains ~ops_per_domain =
+  Array.init domains (fun d ->
+      List.init ops_per_domain (fun j ->
+          Hart_fault.Fault.Insert
+            (Printf.sprintf "t%c-%02d" (Char.chr (Char.code 'a' + d)) j,
+             Printf.sprintf "v%d.%d" d j)))
+
+(* The explorer's crash-free dry run checks the quiesced state against
+   the fire-order linearization model, so the lost update surfaces as a
+   Violation before any crash is even injected. *)
+let test_toy_bad_rejected () =
+  let target = Hart_fault.Fault_mt.of_mt (module Toy_bad_mt) in
+  let scripts = toy_scripts ~domains:2 ~ops_per_domain:4 in
+  let caught = ref 0 in
+  for seed = 1 to 5 do
+    match
+      Hart_fault.Fault_mt.explore ~target ~seed:(Int64.of_int seed) ~domains:2
+        ~workload:"toy-bad" scripts
+    with
+    | _ -> ()
+    | exception Hart_fault.Fault.Violation _ -> incr caught
+  done;
+  Alcotest.(check bool)
+    "non-commuting shard claim rejected by the oracle" true (!caught > 0)
+
+(* Same index, honest metadata: the full sweep must pass. *)
+let test_toy_good_passes () =
+  let target = Hart_fault.Fault_mt.of_mt (module Toy_good_mt) in
+  let scripts = toy_scripts ~domains:2 ~ops_per_domain:4 in
+  let r =
+    Hart_fault.Fault_mt.explore ~target ~seed:3L ~domains:2
+      ~workload:"toy-good" scripts
+  in
+  Alcotest.(check bool) "swept some flush boundaries" true (r.total_flushes > 0);
+  Alcotest.(check int) "full coverage" r.total_flushes r.schedules;
+  Alcotest.(check int) "no violations" 0 (List.length r.violations);
+  Alcotest.(check bool)
+    "serialised mutations never overlap" true
+    (r.max_in_flight <= 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "multi-domain"
@@ -308,5 +466,12 @@ let () =
         [
           Alcotest.test_case "concurrent alloc/commit/free" `Quick
             test_epalloc_concurrent;
+        ] );
+      ( "striped_functor",
+        [
+          Alcotest.test_case "oracle rejects a non-commuting toy index" `Quick
+            test_toy_bad_rejected;
+          Alcotest.test_case "same toy index passes when serialised" `Quick
+            test_toy_good_passes;
         ] );
     ]

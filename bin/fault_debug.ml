@@ -2,35 +2,133 @@
    committed prefix, in-flight set, recovered bindings. This is the
    triage tool for `hart_cli fault --domains N` violations — the
    reported (seed, schedule) pair replays bit-identically here
-   (DESIGN.md §10). Usage: fault_debug DOMAINS SCHEDULE [SEED]. *)
+   (DESIGN.md §10, §12).
+
+   Usage: fault_debug DOMAINS SCHEDULE [SEED]
+            [--index NAME] [--workload default|collide|gen]
+            [--gen-seed S] [--nested] [--shrink]
+
+   --index     concurrent index to replay against (hart, fptree, woart,
+               wort; default hart)
+   --workload  workload family to rebuild (the CLI's --mt-workload);
+               gen rebuilds the seeded workload from --gen-seed
+   --nested    additionally re-crash the single-domain recovery at each
+               of its own flush boundaries and dump each doubly
+               recovered state
+   --shrink    delta-debug the workload to a locally minimal
+               reproducer (only meaningful when the replay violates) *)
 module Fault = Hart_fault.Fault
 module Fault_mt = Hart_fault.Fault_mt
 
+let usage () =
+  prerr_endline
+    "usage: fault_debug DOMAINS SCHEDULE [SEED] [--index NAME]\n\
+    \       [--workload default|collide|gen] [--gen-seed S] [--nested]\n\
+    \       [--shrink]";
+  exit 2
+
 let () =
-  (match Sys.argv with
-  | [| _; _; _ |] | [| _; _; _; _ |] -> ()
-  | _ ->
-      prerr_endline "usage: fault_debug DOMAINS SCHEDULE [SEED]";
-      exit 2);
-  let domains = int_of_string Sys.argv.(1) in
-  let schedule = int_of_string Sys.argv.(2) in
-  let seed =
-    if Array.length Sys.argv > 3 then Int64.of_string Sys.argv.(3) else 42L
+  let positional = ref [] in
+  let index = ref "hart" in
+  let workload = ref "default" in
+  let gen_seed = ref 42L in
+  let nested = ref false in
+  let shrink = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--index" :: v :: rest ->
+        index := v;
+        parse rest
+    | "--workload" :: v :: rest ->
+        workload := v;
+        parse rest
+    | "--gen-seed" :: v :: rest ->
+        gen_seed := Int64.of_string v;
+        parse rest
+    | "--nested" :: rest ->
+        nested := true;
+        parse rest
+    | "--shrink" :: rest ->
+        shrink := true;
+        parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "unknown option %s\n" a;
+        usage ()
+    | a :: rest ->
+        positional := a :: !positional;
+        parse rest
   in
-  let setup, scripts = Fault_mt.default_workload ~domains ~ops_per_domain:6 in
-  match Fault_mt.probe ~seed ~schedule ~setup scripts with
+  parse (List.tl (Array.to_list Sys.argv));
+  let domains, schedule, seed =
+    match List.rev !positional with
+    | [ d; s ] -> (int_of_string d, int_of_string s, 42L)
+    | [ d; s; sd ] -> (int_of_string d, int_of_string s, Int64.of_string sd)
+    | _ -> usage ()
+  in
+  let target =
+    match Fault_mt.find_mt_target !index with
+    | Some t -> t
+    | None ->
+        Printf.eprintf "unknown concurrent index %S\n" !index;
+        exit 2
+  in
+  let setup, scripts =
+    match !workload with
+    | "default" -> Fault_mt.default_workload ~domains ~ops_per_domain:6
+    | "collide" -> Fault_mt.collide_workload ~domains ~ops_per_domain:6
+    | "gen" -> Fault_mt.gen_workload ~seed:!gen_seed ~domains ~ops_per_domain:6
+    | w ->
+        Printf.eprintf "unknown --workload %S (default, collide, gen)\n" w;
+        exit 2
+  in
+  let dump_bindings label bs =
+    Printf.printf "%s: %s\n" label
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) bs))
+  in
+  match
+    Fault_mt.probe ~target ~capture_snapshot:!nested ~seed ~schedule ~setup
+      scripts
+  with
   | p ->
-      Printf.printf "crashed=%b flushes=%d\n" p.Fault_mt.p_crashed p.Fault_mt.p_flushes;
-      Printf.printf "committed: %s\n"
-        (String.concat ", "
-           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) p.Fault_mt.p_committed));
+      Printf.printf "crashed=%b flushes=%d recovery-flushes=%d\n"
+        p.Fault_mt.p_crashed p.Fault_mt.p_flushes p.Fault_mt.p_recovery_flushes;
+      dump_bindings "committed" p.Fault_mt.p_committed;
       List.iter
         (fun (i, op) ->
           Format.printf "in-flight fiber %d: %a@." i Fault.pp_op op)
         p.Fault_mt.p_in_flight;
-      Printf.printf "recovered: %s\n"
-        (String.concat ", "
-           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) p.Fault_mt.p_state))
+      List.iter
+        (fun (i, op) -> Format.printf "waiting fiber %d: %a@." i Fault.pp_op op)
+        p.Fault_mt.p_waiting;
+      dump_bindings "recovered" p.Fault_mt.p_state;
+      (if !nested then
+         match p.Fault_mt.p_snapshot with
+         | None -> print_endline "nested: schedule did not crash, nothing to re-crash"
+         | Some snapshot ->
+             Fault.nested_recovery_sweep ~snapshot
+               ~recovery_flushes:p.Fault_mt.p_recovery_flushes
+               ~recover:(fun pool ->
+                 ignore (target.Fault_mt.mt_recover_dump pool : (string * string) list))
+               ~never_fired:(fun ~nested ->
+                 Printf.printf "nested %d: recovery completed before boundary\n"
+                   nested)
+               ~check:(fun ~nested pool ->
+                 match target.Fault_mt.mt_recover_dump pool with
+                 | state ->
+                     dump_bindings
+                       (Printf.sprintf "nested %d%s" nested
+                          (if state = p.Fault_mt.p_state then "" else " (DIFFERS)"))
+                       state
+                 | exception Failure msg ->
+                     Printf.printf "nested %d: FAILURE: %s\n" nested msg));
+      if !shrink then
+        match Fault_mt.shrink ~target ~seed ~setup scripts with
+        | None -> print_endline "shrink: workload does not violate under replay"
+        | Some s ->
+            Printf.printf "shrink: %d candidate replays, %d accepted\n"
+              s.Fault_mt.s_checks s.Fault_mt.s_accepted;
+            Format.printf "%a@." Fault.pp_repro s.Fault_mt.s_repro;
+            Printf.printf "detail at minimum: %s\n" s.Fault_mt.s_detail
   | exception Failure msg ->
       Printf.printf "FAILURE: %s\n" msg;
       exit 1

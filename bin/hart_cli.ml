@@ -325,6 +325,28 @@ let fault_cmd =
                "Concurrent index for the $(b,--domains) sweep (one of %s)."
                (String.concat ", " all)))
   in
+  let nested_mt =
+    Arg.(
+      value & flag
+      & info [ "nested-mt" ]
+          ~doc:
+            "With $(b,--domains) > 1, also re-crash every passing \
+             schedule's single-domain recovery at each of its own flush \
+             boundaries, recover again, and check the doubly-recovered \
+             state against the same linearization-set oracle.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "With $(b,--domains) > 1, delta-debug any violating workload \
+             to a locally minimal reproducer (fewer domains, ops, keys; \
+             canonical seed), re-verifying each candidate by \
+             deterministic replay, and attach the shrunk (seed, \
+             schedule, workload) coordinates to the violation (implies \
+             $(b,--keep-going) for the concurrent sweep).")
+  in
   let mt_workload =
     Arg.(
       value & opt string "default"
@@ -362,7 +384,8 @@ let fault_cmd =
              exhaustive sweep.")
   in
   let run workload target torn adversarial json_out no_nested checkpoint_every
-      keep_going domains index mt_workload gen_seeds seed max_schedules =
+      keep_going domains index nested_mt shrink mt_workload gen_seeds seed
+      max_schedules =
     ok_or_die
       (try
          if domains > 1 then begin
@@ -402,15 +425,50 @@ let fault_cmd =
                    (Printf.sprintf
                       "unknown --mt-workload %S (default, collide, gen)" w)
            in
+           let keep_going = keep_going || shrink in
            let reports =
              List.map
                (fun (name, (setup, scripts)) ->
                  let r =
                    Hart_fault.Fault_mt.explore ~target:mt_target ~mode
-                     ~keep_going ?max_schedules ?checkpoint_every ~seed ~domains
-                     ~workload:name ~setup scripts
+                     ~keep_going ~nested:nested_mt ?max_schedules
+                     ?checkpoint_every ~seed ~domains ~workload:name ~setup
+                     scripts
                  in
                  Format.printf "%a@." Hart_fault.Fault_mt.pp_report r;
+                 let r =
+                   if shrink && r.Hart_fault.Fault_mt.violations <> [] then begin
+                     match
+                       Hart_fault.Fault_mt.shrink ~target:mt_target ~mode
+                         ?checkpoint_every ~seed ~setup scripts
+                     with
+                     | None ->
+                         Format.printf
+                           "shrink: violation did not reproduce under \
+                            replay@.";
+                         r
+                     | Some s ->
+                         Format.printf
+                           "shrink: %d candidate replays, %d accepted@.%a@."
+                           s.Hart_fault.Fault_mt.s_checks
+                           s.Hart_fault.Fault_mt.s_accepted
+                           Hart_fault.Fault.pp_repro
+                           s.Hart_fault.Fault_mt.s_repro;
+                         {
+                           r with
+                           Hart_fault.Fault_mt.violations =
+                             List.map
+                               (fun v ->
+                                 {
+                                   v with
+                                   Hart_fault.Fault.v_repro =
+                                     Some s.Hart_fault.Fault_mt.s_repro;
+                                 })
+                               r.Hart_fault.Fault_mt.violations;
+                         }
+                   end
+                   else r
+                 in
                  r)
                workloads
            in
@@ -516,8 +574,8 @@ let fault_cmd =
           all of them).")
     Term.(
       const run $ workload $ target $ torn $ adversarial $ json_out $ no_nested
-      $ checkpoint_every $ keep_going $ domains $ index $ mt_workload
-      $ gen_seeds $ seed $ max_schedules)
+      $ checkpoint_every $ keep_going $ domains $ index $ nested_mt $ shrink
+      $ mt_workload $ gen_seeds $ seed $ max_schedules)
 
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in

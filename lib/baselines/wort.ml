@@ -416,11 +416,17 @@ let ops t =
     pm_bytes = (fun () -> pm_bytes t);
   }
 
-(* Index_intf.S conformance, conservative: this baseline has no
-   concurrency story in the paper, so it declares a single shard
-   (stripe 0) and classifies every mutation as a restructure — the
-   functor serialises all writers on the exclusive structure lock and
-   readers share it, which is trivially correct. *)
+(* Index_intf.S conformance. Like WOART, WORT's value updates are
+   leaf-local out-of-place swaps ([Pm_value.update_leaf]: new object,
+   8-byte pointer commit, old object freed, allocation serialised in the
+   pool) — they touch no radix node and no registry slot, so they
+   commute across distinct keys and ride the shared/stripe path. An
+   insert of an {e existing} key is exactly such an update
+   ([insert] falls into [Pm_value.update_leaf] when [find_leaf] lands on
+   a matching PM key), so it is non-restructuring too. New-key inserts
+   and deletes rewrite radix nodes and the shared registry free list and
+   stay exclusive. The shard id is a short key prefix, mirroring the
+   radix subtree granularity. *)
 module S : Hart_core.Index_intf.S with type t = t = struct
   type nonrec t = t
 
@@ -437,7 +443,20 @@ module S : Hart_core.Index_intf.S with type t = t = struct
   let dram_bytes = dram_bytes
   let pm_bytes = pm_bytes
   let check_integrity ~recovered:_ t = check_invariants t
-  let stripe_of_key _ _ = 0
+
+  let stripe_of_key _ key =
+    Hashtbl.hash (String.sub key 0 (min 2 (String.length key)))
+
   let volatile_domain_safe = false
-  let restructures _ ~op:_ ~key:_ = true
+
+  let key_present t key =
+    match find_leaf t key with
+    | 0 -> false
+    | leaf -> String.equal (Hart_core.Leaf.key t.pool ~leaf) key
+
+  let restructures t ~op ~key =
+    match op with
+    | `Update -> false
+    | `Delete -> true
+    | `Insert -> not (key_present t key) (* new key: node + registry slot *)
 end

@@ -1,0 +1,7 @@
+(* Concurrent WORT: Striped_mt over short radix-prefix shards. Value
+   updates (and existing-key inserts) are leaf-local out-of-place swaps,
+   so they run in parallel under the shared structure lock; new-key
+   inserts and deletes rewrite radix nodes and the registry free list
+   and take it exclusively. *)
+
+include Hart_core.Striped_mt.Make (Wort.S)

@@ -1,0 +1,11 @@
+(** Concurrent front end to {!Wort}: [Striped_mt.Make (Wort.S)].
+
+    The commuting shard is a short key prefix (the radix subtree a key
+    descends into). Value updates — including inserts that land on an
+    existing key — are leaf-local [Pm_value.update_leaf] swaps and ride
+    the shared/stripe path; new-key inserts and deletes mutate radix
+    nodes and the shared registry free list and hold the structure lock
+    exclusively. Crash-checked by the concurrent explorer via
+    [hart_cli fault --domains N --index wort]. *)
+
+include Hart_core.Index_intf.MT with type index = Wort.t

@@ -273,12 +273,24 @@ let reset_obj_bit t cls ~obj =
    pointer) before any domain can be handed the slot. Release with
    [cancel_reservation]. Identical PM traffic to [reset_obj_bit] — the
    reservation is volatile — so simulated-clock figures are unchanged. *)
+
+(* Test-only fault injection: when set, [reset_obj_bit_hold] degrades to
+   plain [reset_obj_bit] — the freed slot is immediately reallocatable
+   while its durable reference still stands, reintroducing the
+   free-before-sever race the hold was added to fix. The later
+   [cancel_reservation] remains safe (unreserving an unreserved slot is
+   a no-op). Lets the fault tests prove the explorer + shrinker would
+   re-find the original bug. *)
+let unsafe_no_reservation_hold = ref false
+
 let reset_obj_bit_hold t cls ~obj =
-  let chunk = chunk_of_obj t cls obj in
-  let idx = Chunk.idx_of_obj cls ~chunk ~obj in
-  with_stripe t chunk (fun () ->
-      Chunk.reset_bit t.pool ~chunk ~idx;
-      reserve_locked t chunk idx)
+  if !unsafe_no_reservation_hold then reset_obj_bit t cls ~obj
+  else
+    let chunk = chunk_of_obj t cls obj in
+    let idx = Chunk.idx_of_obj cls ~chunk ~obj in
+    with_stripe t chunk (fun () ->
+        Chunk.reset_bit t.pool ~chunk ~idx;
+        reserve_locked t chunk idx)
 
 let obj_bit t cls ~obj =
   let chunk = chunk_of_obj t cls obj in

@@ -74,6 +74,14 @@ val obj_bit : t -> Chunk.cls -> obj:int -> bool
 val cancel_reservation : t -> Chunk.cls -> obj:int -> unit
 (** Release a reservation without committing (an aborted operation). *)
 
+val unsafe_no_reservation_hold : bool ref
+(** Test-only fault injection: while [true], {!reset_obj_bit_hold}
+    degrades to plain {!reset_obj_bit} — the freed slot becomes
+    reallocatable while its durable reference still stands, reinstating
+    the free-before-sever race the hold closes. The fault tests flip
+    this to prove the concurrent explorer still catches (and the
+    shrinker minimizes) the original bug. Never set outside tests. *)
+
 val eprecycle : t -> Chunk.cls -> chunk:int -> unit
 (** Algorithm 6: if the chunk holds no used or reserved object, unlink it
     from its list under the recycle log and return its space to the

@@ -179,6 +179,22 @@ let pp_mode ppf = function
   | Pmem.Torn { seed; fraction } ->
       Format.fprintf ppf "torn(seed=%Ld,fraction=%.2f)" seed fraction
   | Pmem.Torn_commit -> Format.pp_print_string ppf "torn-commit"
+  | Pmem.Torn_lines lines ->
+      Format.fprintf ppf "torn-lines[%s]"
+        (String.concat "," (List.map string_of_int lines))
+
+(* A minimal replayable reproducer, attached to a violation by the
+   concurrent shrinker: (scheduler seed, domain scripts, crash schedule)
+   names one deterministic execution of [Fault_mt.probe]. *)
+type repro = {
+  r_seed : int64;  (* scheduler seed *)
+  r_domains : int;
+  r_schedule : int;  (* violating flush boundary in the shrunk workload *)
+  r_setup : op list;
+  r_scripts : op list array;  (* one measured script per domain *)
+}
+
+let repro_ops r = Array.fold_left (fun a s -> a + List.length s) 0 r.r_scripts
 
 (* A violating schedule, with enough coordinates to replay it exactly:
    (target, workload, mode, schedule[, nested]) names one deterministic
@@ -192,7 +208,21 @@ type violation = {
   v_nested : int option;  (* recovery flush index of a nested schedule *)
   v_op : int option;  (* in-flight op index at the crash *)
   v_detail : string;
+  v_repro : repro option;  (* shrunk coordinates, when a shrinker ran *)
 }
+
+let pp_repro ppf r =
+  let pp_ops ppf ops =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+      pp_op ppf ops
+  in
+  Format.fprintf ppf "seed=%Ld domains=%d schedule=%d ops=%d" r.r_seed r.r_domains
+    r.r_schedule (repro_ops r);
+  if r.r_setup <> [] then Format.fprintf ppf "@ setup: %a" pp_ops r.r_setup;
+  Array.iteri
+    (fun d ops -> Format.fprintf ppf "@ domain %d: %a" d pp_ops ops)
+    r.r_scripts
 
 let pp_violation ppf v =
   let pp_opt tag ppf = function
@@ -201,7 +231,10 @@ let pp_violation ppf v =
   in
   Format.fprintf ppf "[%s/%s] mode=%a schedule=%d%a%a: %s" v.v_target v.v_workload
     pp_mode v.v_mode v.v_schedule (pp_opt "nested") v.v_nested (pp_opt "op") v.v_op
-    v.v_detail
+    v.v_detail;
+  match v.v_repro with
+  | None -> ()
+  | Some r -> Format.fprintf ppf "@ shrunk reproducer: %a" pp_repro r
 
 let violation_message v = Format.asprintf "%a" pp_violation v
 
@@ -220,14 +253,36 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let op_json op =
+  let one tag k v =
+    Printf.sprintf {|{"op":"%s","key":"%s"%s}|} tag (json_escape k)
+      (match v with
+      | None -> ""
+      | Some v -> Printf.sprintf {|,"value":"%s"|} (json_escape v))
+  in
+  match op with
+  | Insert (k, v) -> one "insert" k (Some v)
+  | Update (k, v) -> one "update" k (Some v)
+  | Delete k -> one "delete" k None
+  | Search k -> one "search" k None
+
+let ops_json ops = "[" ^ String.concat "," (List.map op_json ops) ^ "]"
+
+let repro_json r =
+  Printf.sprintf
+    {|{"seed":%Ld,"domains":%d,"schedule":%d,"ops":%d,"setup":%s,"scripts":[%s]}|}
+    r.r_seed r.r_domains r.r_schedule (repro_ops r) (ops_json r.r_setup)
+    (String.concat "," (Array.to_list (Array.map ops_json r.r_scripts)))
+
 let violation_json v =
   let opt = function None -> "null" | Some m -> string_of_int m in
   let seed = match v.v_mode with Pmem.Torn { seed; _ } -> Printf.sprintf "%Ld" seed | _ -> "null" in
+  let repro = match v.v_repro with None -> "null" | Some r -> repro_json r in
   Printf.sprintf
-    {|{"target":"%s","workload":"%s","mode":"%s","seed":%s,"schedule":%d,"nested":%s,"op":%s,"detail":"%s"}|}
+    {|{"target":"%s","workload":"%s","mode":"%s","seed":%s,"schedule":%d,"nested":%s,"op":%s,"detail":"%s","repro":%s}|}
     (json_escape v.v_target) (json_escape v.v_workload)
     (json_escape (Format.asprintf "%a" pp_mode v.v_mode))
-    seed v.v_schedule (opt v.v_nested) (opt v.v_op) (json_escape v.v_detail)
+    seed v.v_schedule (opt v.v_nested) (opt v.v_op) (json_escape v.v_detail) repro
 
 type report = {
   target : string;
@@ -238,6 +293,7 @@ type report = {
   schedules : int;
   nested_schedules : int;
   recovery_flushes : int;
+  directed_schedules : int;  (* directed torn re-runs performed *)
   checkpoints : int;  (* pool snapshots taken during the dry run *)
   checkpoint_replays : int;  (* schedules replayed from a snapshot *)
   violations : violation list;  (* collected with [keep_going]; else empty *)
@@ -253,8 +309,26 @@ let violations_to_json reports =
 (* a key no workload uses, for the post-recovery usability probe *)
 let probe_key = "~~probe~~"
 
-let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_every
-    ?(keep_going = false) ~workload target ops =
+(* Shared nested-crash plumbing, used by this explorer and by the
+   concurrent one ([Fault_mt]): given a clone of a crashed durable image
+   and the number of flushes its (uninterrupted) recovery performs,
+   re-crash the recovery itself at every one of those flush boundaries
+   and hand each crashed-again image to the caller's check. [recover]
+   runs the target's recovery on the armed clone and is expected to be
+   interrupted by [Pmem.Crash_injected]; if it completes instead, the
+   armed point was never reached and [never_fired] reports it. *)
+let nested_recovery_sweep ~snapshot ~recovery_flushes ~recover ~never_fired
+    ~check =
+  for m = 0 to recovery_flushes - 1 do
+    let pool = Pmem.clone snapshot in
+    Pmem.arm_crash pool ~after_flushes:m;
+    match recover pool with
+    | () -> never_fired ~nested:m
+    | exception Pmem.Crash_injected -> check ~nested:m pool
+  done
+
+let explore ?(mode = Pmem.Clean) ?(nested = true) ?(directed = false)
+    ?(setup = []) ?checkpoint_every ?(keep_going = false) ~workload target ops =
   let exception Skip_schedule in
   let violations = ref [] in
   let msg_of fmt =
@@ -264,7 +338,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
   in
   (* schedule-level check failure: fatal, or collected under [keep_going]
      (the rest of that schedule is skipped, the sweep continues) *)
-  let viol ~schedule ?nested ?op fmt =
+  let viol ~mode ~schedule ?nested ?op fmt =
     Printf.ksprintf
       (fun s ->
         let v =
@@ -276,6 +350,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
             v_nested = nested;
             v_op = op;
             v_detail = s;
+            v_repro = None;
           }
         in
         if keep_going then begin
@@ -341,8 +416,9 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
     | _ -> None
     | exception _ -> None
   in
-  let nested_total = ref 0 and recovery_total = ref 0 in
-  let rec run_schedule i ~allow_cp =
+  let nested_total = ref 0 and recovery_total = ref 0 and directed_total = ref 0 in
+  let rec run_schedule ~mode ~directed i ~allow_cp =
+    let viol ?nested ?op fmt = viol ~mode ~schedule:i ?nested ?op fmt in
     (* re-execute (or replay) the prefix and crash at flush [i] *)
     let via_cp = ref false in
     let inst, j_start =
@@ -385,33 +461,33 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
            canonical full re-execution for this and later schedules *)
         cp_ok := false;
         decr cp_replays;
-        run_schedule i ~allow_cp:false
+        run_schedule ~mode ~directed i ~allow_cp:false
       end
       else
-        viol ~schedule:i "never fired after %d flushes (flush count not reproducible?)"
+        viol "never fired after %d flushes (flush count not reproducible?)"
           total_flushes
     end
     else begin
       let j = !inflight in
       let before = SMap.bindings models.(j)
       and after = SMap.bindings models.(j + 1) in
-      let consistent what got =
+      let consistent ?nested what got =
         if got <> before && got <> after then begin
           let pp_bindings bs =
             String.concat ", "
               (List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v) bs)
           in
-          viol ~schedule:i ~op:j
+          viol ?nested ~op:j
             "in-flight %s: %s state is not a crash-consistent prefix. got {%s} \
              expected {%s} or {%s}"
             (Format.asprintf "%a" pp_op ops_arr.(j))
             what (pp_bindings got) (pp_bindings before) (pp_bindings after)
         end
       in
-      let guard what f =
+      let guard ?nested what f =
         try f ()
         with Failure msg ->
-          viol ~schedule:i ~op:j "in-flight %s: %s: %s"
+          viol ?nested ~op:j "in-flight %s: %s: %s"
             (Format.asprintf "%a" pp_op ops_arr.(j))
             what msg
       in
@@ -430,7 +506,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
         guard "second recovery failed" (fun () -> target.reattach inst.pool)
       in
       guard "integrity after second recovery" rec2.check;
-      if rec2.dump () <> m1 then viol ~schedule:i "recovery is not idempotent";
+      if rec2.dump () <> m1 then viol "recovery is not idempotent";
       (* usability: the recovered store accepts and repairs further ops *)
       guard "post-recovery probe" (fun () ->
           rec2.apply (Insert (probe_key, "p"));
@@ -438,36 +514,43 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
           rec2.check ());
       (* nested schedules: crash the recovery itself at each of its flushes *)
       if nested then
-        for m = 0 to recovery_flushes - 1 do
-          let pool = Pmem.clone snapshot in
-          Pmem.arm_crash pool ~after_flushes:m;
-          (match target.reattach pool with
-          | _ ->
-              viol ~schedule:i ~nested:m "nested crash never fired (%d recovery flushes)"
-                recovery_flushes
-          | exception Pmem.Crash_injected -> ());
-          incr nested_total;
-          let guard_n what f =
-            try f ()
-            with Failure msg ->
-              viol ~schedule:i ~nested:m ~op:j "in-flight %s: %s: %s"
-                (Format.asprintf "%a" pp_op ops_arr.(j))
-                what msg
-          in
-          let rec3 =
-            guard_n "recovery after nested crash failed" (fun () ->
-                target.reattach pool)
-          in
-          guard_n "integrity after nested crash" rec3.check;
-          let got = rec3.dump () in
-          if got <> before && got <> after then
-            viol ~schedule:i ~nested:m
-              "state after crashed recovery is not a crash-consistent prefix"
-        done
+        nested_recovery_sweep ~snapshot ~recovery_flushes
+          ~recover:(fun pool -> ignore (target.reattach pool : instance))
+          ~never_fired:(fun ~nested ->
+            viol ~nested "nested crash never fired (%d recovery flushes)"
+              recovery_flushes)
+          ~check:(fun ~nested pool ->
+            incr nested_total;
+            let rec3 =
+              guard ~nested "recovery after nested crash failed" (fun () ->
+                  target.reattach pool)
+            in
+            guard ~nested "integrity after nested crash" rec3.check;
+            let got = rec3.dump () in
+            if got <> before && got <> after then
+              viol ~nested
+                "state after crashed recovery is not a crash-consistent prefix");
+      (* directed torn re-run: find the PM lines this schedule's recovery
+         actually reads (traced on a throwaway clone of the crash image),
+         then replay the very same schedule with exactly those lines
+         torn-evicted — the eviction subset most likely to disturb the
+         repair, found without sweeping K random subsets *)
+      if directed then begin
+        let lines =
+          let p = Pmem.clone snapshot in
+          Pmem.read_trace_start p;
+          (try ignore (target.reattach p : instance) with _ -> ());
+          Pmem.read_trace_stop p
+        in
+        if lines <> [] then begin
+          incr directed_total;
+          run_schedule ~mode:(Pmem.Torn_lines lines) ~directed:false i ~allow_cp
+        end
+      end
     end
   in
   for i = 0 to total_flushes - 1 do
-    try run_schedule i ~allow_cp:true with Skip_schedule -> ()
+    try run_schedule ~mode ~directed i ~allow_cp:true with Skip_schedule -> ()
   done;
   {
     target = target.target_name;
@@ -478,6 +561,7 @@ let explore ?(mode = Pmem.Clean) ?(nested = true) ?(setup = []) ?checkpoint_ever
     schedules = total_flushes;
     nested_schedules = !nested_total;
     recovery_flushes = !recovery_total;
+    directed_schedules = !directed_total;
     checkpoints = List.length !checkpoints;
     checkpoint_replays = !cp_replays;
     violations = List.rev !violations;
@@ -591,21 +675,25 @@ let find_workload name =
   List.find_opt (fun (n, _, _) -> n = name) builtin_workloads
 
 (* ------------------------------------------------------------------ *)
-(* Adversarial torn sweep: the single most suspicious eviction — drop
-   exactly the line whose flush the crash interrupted (the suspected
-   commit point, [Torn_commit]) — then [subsets] random-subset sweeps
-   with distinct derived seeds as a fallback net for designs whose
-   commit word rides in a different line than the one being flushed. *)
+(* Adversarial torn sweep, most-directed first: (1) evict exactly the
+   lines each schedule's recovery is observed to read (the directed
+   pass, [Torn_lines] via the read trace); (2) drop exactly the line
+   whose flush the crash interrupted (the suspected commit point,
+   [Torn_commit]); (3) [subsets] random-subset sweeps with distinct
+   derived seeds as a fallback net for designs whose critical lines are
+   neither read by recovery nor being flushed at the crash. *)
 
-let explore_adversarial ?(nested = true) ?(setup = []) ?checkpoint_every
-    ?(keep_going = false) ?(subsets = 4) ?(base_seed = 0xF417L) ?(fraction = 0.5)
-    ~workload target ops =
-  let sweep mode =
-    explore ~mode ~nested ~setup ?checkpoint_every ~keep_going ~workload target ops
+let explore_adversarial ?(nested = true) ?(directed = true) ?(setup = [])
+    ?checkpoint_every ?(keep_going = false) ?(subsets = 4)
+    ?(base_seed = 0xF417L) ?(fraction = 0.5) ~workload target ops =
+  let sweep ?(directed = false) mode =
+    explore ~mode ~nested ~directed ~setup ?checkpoint_every ~keep_going
+      ~workload target ops
   in
-  sweep Pmem.Torn_commit
-  :: List.init subsets (fun k ->
-         sweep (Pmem.Torn { seed = Int64.add base_seed (Int64.of_int k); fraction }))
+  (if directed then [ sweep ~directed:true Pmem.Clean ] else [])
+  @ sweep Pmem.Torn_commit
+    :: List.init subsets (fun k ->
+           sweep (Pmem.Torn { seed = Int64.add base_seed (Int64.of_int k); fraction }))
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -613,6 +701,8 @@ let pp_report ppf r =
      recovery-flushes=%d"
     r.target r.workload pp_mode r.mode r.n_ops r.total_flushes r.schedules
     r.nested_schedules r.recovery_flushes;
+  if r.directed_schedules > 0 then
+    Format.fprintf ppf " directed=%d" r.directed_schedules;
   if r.checkpoints > 0 then
     Format.fprintf ppf " checkpoints=%d replays=%d" r.checkpoints
       r.checkpoint_replays;

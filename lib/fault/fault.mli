@@ -101,6 +101,27 @@ exception Violation of string
     carries target, workload, outer flush index, nested flush index (if
     any), and the in-flight operation. *)
 
+(** A minimal replayable reproducer attached to a violation by the
+    concurrent shrinker ([Fault_mt.shrink]): scheduler seed, per-domain
+    scripts and the violating flush boundary name one deterministic
+    execution of [Fault_mt.probe]. *)
+type repro = {
+  r_seed : int64;  (** scheduler seed *)
+  r_domains : int;
+  r_schedule : int;  (** violating flush boundary in the shrunk workload *)
+  r_setup : op list;
+  r_scripts : op list array;  (** one measured script per domain *)
+}
+
+val repro_ops : repro -> int
+(** Total measured operations across all domains of the reproducer. *)
+
+val pp_repro : Format.formatter -> repro -> unit
+
+val repro_json : repro -> string
+(** The reproducer as a JSON object: seed, domains, schedule, op count,
+    and the full setup/scripts op lists. *)
+
 (** One violating schedule, with enough coordinates to replay it
     deterministically: (target, workload, mode, schedule[, nested])
     names a single execution — the mode carries the torn-eviction seed
@@ -113,6 +134,7 @@ type violation = {
   v_nested : int option;  (** recovery flush index of a nested schedule *)
   v_op : int option;  (** in-flight op index at the crash *)
   v_detail : string;  (** what check failed, and how *)
+  v_repro : repro option;  (** shrunk coordinates, when a shrinker ran *)
 }
 
 val pp_violation : Format.formatter -> violation -> unit
@@ -129,6 +151,9 @@ type report = {
           coverage is complete (the explorer asserts this) *)
   nested_schedules : int;  (** crash-during-recovery schedules explored *)
   recovery_flushes : int;  (** total recovery flushes observed (= nested bound) *)
+  directed_schedules : int;
+      (** directed {!Hart_pmem.Pmem.Torn_lines} re-runs performed (the
+          [directed] pass; zero otherwise) *)
   checkpoints : int;  (** pool snapshots taken during the dry run *)
   checkpoint_replays : int;  (** schedules replayed from a snapshot *)
   violations : violation list;
@@ -143,9 +168,27 @@ val violation_list_json : violation list -> string
 val violations_to_json : report list -> string
 (** {!violation_list_json} over all violations of the given reports. *)
 
+val nested_recovery_sweep :
+  snapshot:Hart_pmem.Pmem.t ->
+  recovery_flushes:int ->
+  recover:(Hart_pmem.Pmem.t -> unit) ->
+  never_fired:(nested:int -> unit) ->
+  check:(nested:int -> Hart_pmem.Pmem.t -> unit) ->
+  unit
+(** Shared nested-crash plumbing for this explorer and the concurrent
+    one ([Fault_mt]). [snapshot] is a clone of a crashed durable image
+    whose uninterrupted recovery performs [recovery_flushes] flushes.
+    For every flush boundary [m < recovery_flushes]: clone the snapshot,
+    arm a crash after [m] flushes, and run [recover] on it — expected to
+    be interrupted by [Hart_pmem.Pmem.Crash_injected], after which
+    [check ~nested:m] receives the crashed-again pool (recover it once
+    more and judge the result). If [recover] completes without crashing,
+    [never_fired ~nested:m] is called instead. *)
+
 val explore :
   ?mode:Hart_pmem.Pmem.crash_mode ->
   ?nested:bool ->
+  ?directed:bool ->
   ?setup:op list ->
   ?checkpoint_every:int ->
   ?keep_going:bool ->
@@ -159,6 +202,13 @@ val explore :
     precondition (e.g. three full chunks) cheaply. [nested] (default
     [true]) also sweeps every recovery flush of every outer schedule.
     [mode] (default [Clean]) selects the injected failure semantics.
+
+    [directed] (default [false]) adds the directed torn pass: for every
+    crashed schedule, the set of PM lines its recovery actually reads is
+    captured on a throwaway clone (via the {!Hart_pmem.Pmem}
+    read-trace), and the same schedule is then re-run with exactly those
+    lines evicted ({!Hart_pmem.Pmem.Torn_lines}) and fully re-checked,
+    including the nested sweep.
 
     [checkpoint_every] (default off) snapshots the pool with
     {!Hart_pmem.Pmem.clone} at the first op boundary after every [K]
@@ -179,6 +229,7 @@ val explore :
 
 val explore_adversarial :
   ?nested:bool ->
+  ?directed:bool ->
   ?setup:op list ->
   ?checkpoint_every:int ->
   ?keep_going:bool ->
@@ -189,14 +240,18 @@ val explore_adversarial :
   target ->
   op list ->
   report list
-(** Adversarial torn sweep: first a {!Hart_pmem.Pmem.Torn_commit} pass —
-    at each crash point, evict exactly the line whose flush the crash
-    interrupted, i.e. the suspected commit-point line — then [subsets]
-    (default 4) {!Hart_pmem.Pmem.Torn} passes with seeds
-    [base_seed + k] and the given [fraction] (default 0.5) as a
-    random-subset fallback net for designs whose commit word rides in a
-    different line than the one being flushed. Returns one {!report}
-    per pass, [Torn_commit] first. *)
+(** Adversarial torn sweep, most-directed eviction first. [directed]
+    (default [true]) starts with a clean-mode sweep whose every crashed
+    schedule is re-run with exactly the lines its recovery reads
+    torn-evicted ({!explore}'s [directed] pass). Then a
+    {!Hart_pmem.Pmem.Torn_commit} pass — at each crash point, evict
+    exactly the line whose flush the crash interrupted, i.e. the
+    suspected commit-point line — then [subsets] (default 4)
+    {!Hart_pmem.Pmem.Torn} passes with seeds [base_seed + k] and the
+    given [fraction] (default 0.5) as a random-subset fallback net for
+    designs whose critical lines are neither read by recovery nor being
+    flushed at the crash. Returns one {!report} per pass, in that
+    order. *)
 
 val builtin_workloads : (string * op list * op list) list
 (** [(name, setup, ops)] — the standing correctness gate:

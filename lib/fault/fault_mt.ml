@@ -114,8 +114,8 @@ let of_mt (module M : Index_intf.MT) =
 let hart_mt = of_mt (module Hart_mt.M)
 let fptree_mt = of_mt (module Hart_baselines.Fptree_mt)
 let woart_mt = of_mt (module Hart_baselines.Woart_mt)
-
-let all_mt_targets = [ hart_mt; fptree_mt; woart_mt ]
+let wort_mt = of_mt (module Hart_baselines.Wort_mt)
+let all_mt_targets = [ hart_mt; fptree_mt; woart_mt; wort_mt ]
 let find_mt_target name = List.find_opt (fun t -> t.mt_name = name) all_mt_targets
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +131,10 @@ type probe = {
          absent by the serialized-case oracle *)
   p_state : (string * string) list;
       (* bindings after single-domain recovery (crashed) or quiesce *)
+  p_recovery_flushes : int;  (* flushes the single-domain recovery performed *)
+  p_snapshot : Pmem.t option;
+      (* clone of the crashed durable image, taken before recovery —
+         present only when requested; feeds the nested recovery sweep *)
 }
 
 type fstate =
@@ -154,7 +158,8 @@ type snapshot = {
 exception Snapshot_unusable
 
 let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
-    ?(on_checkpoint = fun (_ : snapshot) -> ()) ~setup scripts =
+    ?(on_checkpoint = fun (_ : snapshot) -> ()) ?(capture_snapshot = false)
+    ~setup scripts =
   let n = Array.length scripts in
   let scr = Array.map Array.of_list scripts in
   let next_op = Array.make n 0 in
@@ -364,9 +369,14 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
             if not fired.(i) then waiting := (i, op) :: !waiting
         | None, None -> ()
       done;
+      let snapshot =
+        if crashed && capture_snapshot then Some (Pmem.clone pool) else None
+      in
+      let r0 = Pmem.flush_count pool in
       let state =
         if crashed then target.mt_recover_dump pool else inst.mi_dump ()
       in
+      let recovery_flushes = if crashed then Pmem.flush_count pool - r0 else 0 in
       {
         p_crashed = crashed;
         p_flushes = flushes;
@@ -374,6 +384,8 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
         p_in_flight = !in_flight;
         p_waiting = !waiting;
         p_state = state;
+        p_recovery_flushes = recovery_flushes;
+        p_snapshot = snapshot;
       }
 
 (* every subset of the in-flight set, folded onto the committed model —
@@ -400,6 +412,8 @@ type report = {
   n_ops : int;
   total_flushes : int;
   schedules : int;
+  nested_schedules : int;  (* crash-during-recovery schedules explored *)
+  recovery_flushes : int;  (* total recovery flushes observed (= nested bound) *)
   max_in_flight : int;
   multi_in_flight : int;
   contended : int;
@@ -415,13 +429,13 @@ let pp_ops ppf ops =
     ppf ops
 
 let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
-    ?max_schedules ?checkpoint_every ~seed ~domains ~workload ?(setup = [])
-    scripts =
+    ?(stop_after_first = false) ?(nested = false) ?max_schedules
+    ?checkpoint_every ~seed ~domains ~workload ?(setup = []) scripts =
   if Array.length scripts <> domains then
     invalid_arg "Fault_mt.explore: scripts/domains mismatch";
   let target_name = Printf.sprintf "%s-mt@%dd" target.mt_name domains in
   let violations = ref [] in
-  let viol ~schedule fmt =
+  let viol ?nested ~schedule fmt =
     Printf.ksprintf
       (fun s ->
         let v =
@@ -430,9 +444,10 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
             v_workload = workload;
             v_mode = mode;
             v_schedule = schedule;
-            v_nested = None;
+            v_nested = nested;
             v_op = None;
             v_detail = s;
+            v_repro = None;
           }
         in
         if keep_going then violations := v :: !violations
@@ -468,12 +483,16 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
     | _ -> List.init f Fun.id
   in
   let max_in_flight = ref 0 and multi = ref 0 and contended = ref 0 in
+  let nested_total = ref 0 and recovery_total = ref 0 in
   let cp_ok = ref true and cp_replays = ref 0 in
   let probe_at i =
     (* replay from the newest quiescent snapshot before flush [i];
        fall back to (and stay on) full re-execution if a snapshot's
        adoption has side effects or its replay diverges *)
-    let scratch () = exec ~target ~seed ~mode ~crash_at:(Some i) ~setup scripts in
+    let scratch () =
+      exec ~target ~seed ~mode ~crash_at:(Some i) ~capture_snapshot:nested
+        ~setup scripts
+    in
     if not !cp_ok then scratch ()
     else
       (* strictly before the crash flush: a snapshot at exactly [i]
@@ -485,8 +504,8 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
       | None -> scratch ()
       | Some sn -> (
           match
-            exec ~target ~seed ~mode ~crash_at:(Some i) ~resume:sn ~setup
-              scripts
+            exec ~target ~seed ~mode ~crash_at:(Some i) ~resume:sn
+              ~capture_snapshot:nested ~setup scripts
           with
           | p when p.p_crashed ->
               incr cp_replays;
@@ -495,27 +514,67 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
               cp_ok := false;
               scratch ())
   in
-  List.iter
-    (fun i ->
-      match probe_at i with
-      | exception Failure msg -> viol ~schedule:i "recovery or integrity failed: %s" msg
-      | p ->
-          if not p.p_crashed then
-            viol ~schedule:i "never fired after %d flushes (replay diverged?)" f
-          else begin
-            let k = List.length p.p_in_flight in
-            if k > !max_in_flight then max_in_flight := k;
-            if k >= 2 then incr multi;
-            if p.p_waiting <> [] then incr contended;
-            let ok = admissible_states p.p_committed (List.map snd p.p_in_flight) in
-            if not (List.mem p.p_state ok) then
-              viol ~schedule:i
-                "recovered state is not committed-prefix + in-flight subset \
-                 (in flight: %s; waiting: %s)"
-                (Format.asprintf "%a" pp_ops p.p_in_flight)
-                (Format.asprintf "%a" pp_ops p.p_waiting)
-          end)
-    indices;
+  let exception Stop in
+  (try
+     List.iter
+       (fun i ->
+         (match probe_at i with
+         | exception Failure msg ->
+             viol ~schedule:i "recovery or integrity failed: %s" msg
+         | p ->
+             if not p.p_crashed then
+               viol ~schedule:i "never fired after %d flushes (replay diverged?)" f
+             else begin
+               let k = List.length p.p_in_flight in
+               if k > !max_in_flight then max_in_flight := k;
+               if k >= 2 then incr multi;
+               if p.p_waiting <> [] then incr contended;
+               let ok = admissible_states p.p_committed (List.map snd p.p_in_flight) in
+               if not (List.mem p.p_state ok) then
+                 viol ~schedule:i
+                   "recovered state is not committed-prefix + in-flight subset \
+                    (in flight: %s; waiting: %s)"
+                   (Format.asprintf "%a" pp_ops p.p_in_flight)
+                   (Format.asprintf "%a" pp_ops p.p_waiting)
+               else begin
+                 (* nested sweep: the single-domain recovery of this
+                    concurrent crash is itself re-crashed at every one of
+                    its flush boundaries, recovered again, and judged
+                    against the same admissible set — the recovery repairs
+                    (micro-log replay, bitmap and leaf-slot repair) must
+                    be as atomic-or-absent as the operations they repair *)
+                 recovery_total := !recovery_total + p.p_recovery_flushes;
+                 match p.p_snapshot with
+                 | Some snapshot when nested ->
+                     Fault.nested_recovery_sweep ~snapshot
+                       ~recovery_flushes:p.p_recovery_flushes
+                       ~recover:(fun pool ->
+                         ignore
+                           (target.mt_recover_dump pool
+                             : (string * string) list))
+                       ~never_fired:(fun ~nested ->
+                         viol ~nested ~schedule:i
+                           "nested crash never fired (%d recovery flushes)"
+                           p.p_recovery_flushes)
+                       ~check:(fun ~nested pool ->
+                         incr nested_total;
+                         match target.mt_recover_dump pool with
+                         | state ->
+                             if not (List.mem state ok) then
+                               viol ~nested ~schedule:i
+                                 "state after crashed recovery is not \
+                                  committed-prefix + in-flight subset \
+                                  (in flight: %s)"
+                                 (Format.asprintf "%a" pp_ops p.p_in_flight)
+                         | exception Failure msg ->
+                             viol ~nested ~schedule:i
+                               "recovery after nested crash failed: %s" msg)
+                 | _ -> ()
+               end
+             end);
+         if stop_after_first && !violations <> [] then raise Stop)
+       indices
+   with Stop -> ());
   {
     target = target.mt_name;
     seed;
@@ -525,6 +584,8 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
     n_ops = Array.fold_left (fun a s -> a + List.length s) 0 scripts;
     total_flushes = f;
     schedules = List.length indices;
+    nested_schedules = !nested_total;
+    recovery_flushes = !recovery_total;
     max_in_flight = !max_in_flight;
     multi_in_flight = !multi;
     contended = !contended;
@@ -533,9 +594,221 @@ let explore ?(target = hart_mt) ?(mode = Pmem.Clean) ?(keep_going = false)
     violations = List.rev !violations;
   }
 
-let probe ?(target = hart_mt) ?(mode = Pmem.Clean) ~seed ~schedule ?(setup = [])
-    scripts =
-  exec ~target ~seed ~mode ~crash_at:(Some schedule) ~setup scripts
+let probe ?(target = hart_mt) ?(mode = Pmem.Clean) ?(capture_snapshot = false)
+    ~seed ~schedule ?(setup = []) scripts =
+  exec ~target ~seed ~mode ~crash_at:(Some schedule) ~capture_snapshot ~setup
+    scripts
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: delta-debug a violating concurrent workload to a locally
+   minimal reproducer.
+
+   Every candidate is judged by full deterministic replay: a bounded
+   [explore] sweep (stopping at its first violation, replaying prefixes
+   through the checkpoint machinery when [checkpoint_every] is given) —
+   a candidate "still violates" iff some flush boundary of its own
+   execution fails the linearization-set oracle. The violating boundary
+   is re-discovered per candidate, which is what shrinks the yield/crash
+   coordinate along with the ops: editing the workload moves every flush
+   index, so carrying the original schedule number over would be
+   meaningless.
+
+   Shrink moves, greedily to fixpoint: drop whole domains; remove
+   consecutive op chunks (halving chunk sizes, ddmin-style) from each
+   domain script and from the setup; merge the key universe down by
+   substituting keys with the smallest surviving key; simplify values to
+   one byte; finally canonicalize the scheduler seed towards 0. Each
+   accepted move re-anchors on the new violation's coordinates, so the
+   result names one exact execution of [probe]. *)
+
+type shrunk = {
+  s_repro : Fault.repro;
+  s_detail : string;  (* violation detail at the minimum *)
+  s_checks : int;  (* candidate replays evaluated *)
+  s_accepted : int;  (* shrink moves that preserved the violation *)
+}
+
+let shrink ?(target = hart_mt) ?(mode = Pmem.Clean) ?checkpoint_every
+    ?(budget = 400) ~seed ~setup scripts =
+  let checks = ref 0 in
+  let violates ~seed setup scripts =
+    if Array.length scripts = 0 then None
+    else begin
+      incr checks;
+      match
+        explore ~target ~mode ~keep_going:true ~stop_after_first:true
+          ?checkpoint_every ~seed ~domains:(Array.length scripts)
+          ~workload:"shrink" ~setup scripts
+      with
+      | r -> (
+          match r.violations with
+          | [] -> None
+          | v :: _ -> Some (v.Fault.v_schedule, v.Fault.v_detail))
+      | exception Fault.Violation msg ->
+          (* dry-run/oracle failure outside any crash schedule — still a
+             reproducible failure of this candidate; no crash coordinate *)
+          Some (-1, msg)
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e ->
+          (* a buggy target can corrupt itself badly enough that the
+             explorer itself trips (e.g. Not_found from a mangled
+             structure); deterministic, so still a shrinkable failure *)
+          Some (-1, Printexc.to_string e)
+    end
+  in
+  match violates ~seed setup scripts with
+  | None -> None
+  | Some (sch0, det0) ->
+      let cur_seed = ref seed in
+      let cur_setup = ref setup in
+      let cur_scripts = ref scripts in
+      let cur_sch = ref sch0 in
+      let cur_detail = ref det0 in
+      let accepted = ref 0 in
+      let try_candidate ~seed:sd setup scripts =
+        if !checks >= budget then false
+        else
+          match violates ~seed:sd setup scripts with
+          | Some (sch, det) ->
+              cur_seed := sd;
+              cur_setup := setup;
+              cur_scripts := scripts;
+              cur_sch := sch;
+              cur_detail := det;
+              incr accepted;
+              true
+          | None -> false
+      in
+      let remove_chunk ops start len =
+        List.filteri (fun i _ -> i < start || i >= start + len) ops
+      in
+      (* drop whole domain scripts (an empty-script fiber still consumes
+         scheduling decisions, so even those are worth removing) *)
+      let drop_domain_pass () =
+        let changed = ref false in
+        let d = ref 0 in
+        while !d < Array.length !cur_scripts && Array.length !cur_scripts > 1 do
+          let cand =
+            Array.of_list
+              (List.filteri (fun i _ -> i <> !d) (Array.to_list !cur_scripts))
+          in
+          if try_candidate ~seed:!cur_seed !cur_setup cand then changed := true
+          else incr d
+        done;
+        !changed
+      in
+      (* remove consecutive chunks from one domain's script, halving the
+         chunk size — greedy ddmin *)
+      let drop_ops_pass () =
+        let changed = ref false in
+        for d = 0 to Array.length !cur_scripts - 1 do
+          let size = ref (max 1 (List.length !cur_scripts.(d) / 2)) in
+          while !size >= 1 do
+            let start = ref 0 in
+            while !start + !size <= List.length !cur_scripts.(d) do
+              let cand = Array.copy !cur_scripts in
+              cand.(d) <- remove_chunk cand.(d) !start !size;
+              if try_candidate ~seed:!cur_seed !cur_setup cand then
+                changed := true (* same start now holds the next chunk *)
+              else start := !start + !size
+            done;
+            size := !size / 2
+          done
+        done;
+        !changed
+      in
+      let drop_setup_pass () =
+        let changed = ref false in
+        let size = ref (max 1 (List.length !cur_setup / 2)) in
+        while !size >= 1 do
+          let start = ref 0 in
+          while !start + !size <= List.length !cur_setup do
+            let cand = remove_chunk !cur_setup !start !size in
+            if try_candidate ~seed:!cur_seed cand !cur_scripts then
+              changed := true
+            else start := !start + !size
+          done;
+          size := !size / 2
+        done;
+        !changed
+      in
+      let key_of = function
+        | Fault.Insert (k, _) | Fault.Update (k, _) | Fault.Delete k
+        | Fault.Search k ->
+            k
+      in
+      let subst_key k k' = function
+        | Fault.Insert (q, v) when q = k -> Fault.Insert (k', v)
+        | Fault.Update (q, v) when q = k -> Fault.Update (k', v)
+        | Fault.Delete q when q = k -> Fault.Delete k'
+        | Fault.Search q when q = k -> Fault.Search k'
+        | op -> op
+      in
+      (* shrink the key universe: fold each key onto the smallest one *)
+      let merge_keys_pass () =
+        let keys =
+          List.sort_uniq compare
+            (List.map key_of
+               (!cur_setup @ List.concat (Array.to_list !cur_scripts)))
+        in
+        match keys with
+        | [] | [ _ ] -> false
+        | smallest :: rest ->
+            let changed = ref false in
+            List.iter
+              (fun k ->
+                let cand_setup = List.map (subst_key k smallest) !cur_setup in
+                let cand_scripts =
+                  Array.map (List.map (subst_key k smallest)) !cur_scripts
+                in
+                if try_candidate ~seed:!cur_seed cand_setup cand_scripts then
+                  changed := true)
+              rest;
+            !changed
+      in
+      let simplify_value = function
+        | Fault.Insert (k, v) when v <> "v" -> Fault.Insert (k, "v")
+        | Fault.Update (k, v) when v <> "v" -> Fault.Update (k, "v")
+        | op -> op
+      in
+      let shrink_values_pass () =
+        let cand_setup = List.map simplify_value !cur_setup in
+        let cand_scripts = Array.map (List.map simplify_value) !cur_scripts in
+        if (cand_setup, cand_scripts) = (!cur_setup, !cur_scripts) then false
+        else try_candidate ~seed:!cur_seed cand_setup cand_scripts
+      in
+      let progress = ref true in
+      while !progress && !checks < budget do
+        progress := false;
+        if drop_domain_pass () then progress := true;
+        if drop_ops_pass () then progress := true;
+        if drop_setup_pass () then progress := true;
+        if merge_keys_pass () then progress := true;
+        if shrink_values_pass () then progress := true
+      done;
+      (* canonicalize the scheduler seed last (purely cosmetic): adopt
+         the smallest of a few tiny seeds that still violates *)
+      (try
+         List.iter
+           (fun sd ->
+             if sd <> !cur_seed && try_candidate ~seed:sd !cur_setup !cur_scripts
+             then raise Exit)
+           [ 0L; 1L ]
+       with Exit -> ());
+      Some
+        {
+          s_repro =
+            {
+              Fault.r_seed = !cur_seed;
+              r_domains = Array.length !cur_scripts;
+              r_schedule = !cur_sch;
+              r_setup = !cur_setup;
+              r_scripts = !cur_scripts;
+            };
+          s_detail = !cur_detail;
+          s_checks = !checks;
+          s_accepted = !accepted;
+        }
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                            *)
@@ -629,6 +902,9 @@ let pp_report ppf r =
     (Printf.sprintf "%s-mt@%dd" r.target r.domains)
     r.workload Fault.pp_mode r.mode r.seed r.n_ops r.total_flushes r.schedules
     r.max_in_flight r.multi_in_flight r.contended;
+  if r.nested_schedules > 0 then
+    Format.fprintf ppf " nested=%d recovery-flushes=%d" r.nested_schedules
+      r.recovery_flushes;
   if r.checkpoints > 0 then
     Format.fprintf ppf " checkpoints=%d replays=%d" r.checkpoints
       r.checkpoint_replays;

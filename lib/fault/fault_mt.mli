@@ -58,10 +58,16 @@ val fptree_mt : mt_target
 val woart_mt : mt_target
 (** [Woart_mt] — radix-prefix stripes; only value updates commute. *)
 
+val wort_mt : mt_target
+(** [Wort_mt] — radix-prefix stripes over the WORT baseline; value
+    updates (and upserts onto existing keys) commute, structural
+    inserts and deletes serialize. *)
+
 val all_mt_targets : mt_target list
 
 val find_mt_target : string -> mt_target option
-(** Look a target up by its [mt_name] ("hart", "fptree", "woart"). *)
+(** Look a target up by its [mt_name] ("hart", "fptree", "woart",
+    "wort"). *)
 
 (* The measured-phase result of one interleaved execution. *)
 type probe = {
@@ -77,6 +83,13 @@ type probe = {
   p_state : (string * string) list;
       (** bindings after single-domain recovery (crashed run) or after
           quiescing (crash-free run) *)
+  p_recovery_flushes : int;
+      (** flush boundaries the single-domain recovery performed (0 for a
+          crash-free run) — the bound of the nested sweep *)
+  p_snapshot : Hart_pmem.Pmem.t option;
+      (** clone of the crashed durable image, taken before recovery ran;
+          present only when [capture_snapshot] was requested — feeds
+          [Fault.nested_recovery_sweep] *)
 }
 
 type report = {
@@ -88,6 +101,11 @@ type report = {
   n_ops : int;  (** total measured operations across all fibers *)
   total_flushes : int;  (** dry-run flush boundaries *)
   schedules : int;  (** crash schedules explored *)
+  nested_schedules : int;
+      (** crash-during-recovery schedules explored (the [nested] sweep) *)
+  recovery_flushes : int;
+      (** total single-domain recovery flushes observed across passing
+          schedules (= the nested sweep's bound) *)
   max_in_flight : int;  (** most in-flight ops observed at any crash *)
   multi_in_flight : int;  (** schedules with >= 2 ops in flight *)
   contended : int;
@@ -103,6 +121,8 @@ val explore :
   ?target:mt_target ->
   ?mode:Hart_pmem.Pmem.crash_mode ->
   ?keep_going:bool ->
+  ?stop_after_first:bool ->
+  ?nested:bool ->
   ?max_schedules:int ->
   ?checkpoint_every:int ->
   seed:int64 ->
@@ -131,6 +151,21 @@ val explore :
     and the replayed run still crashes; otherwise the explorer falls
     back permanently to full re-execution, so checkpointing never
     changes what is checked.
+
+    [nested] (default [false]) lifts the single-domain explorer's
+    crash-during-recovery sweep to the concurrent engine: for every
+    crashed schedule whose recovered state passed the oracle, the
+    single-domain recovery is itself re-crashed at each of its own flush
+    boundaries (via {!Fault.nested_recovery_sweep} on a clone of the
+    crashed image), recovered again, and the doubly-recovered state
+    checked against the {e same} admissible set — the committed prefix
+    and in-flight set are properties of the original crash, which the
+    nested crash does not change: recovery completes or repairs
+    operations but never starts new ones, so a correct recovery crashed
+    at any point must still land in [committed + S].
+
+    [stop_after_first] (with [keep_going]) ends the sweep at the first
+    schedule that records a violation — the shrinker's replay mode.
     @raise Fault.Violation on the first inadmissible schedule (unless
     [keep_going]), or if the crash-free run disagrees with its own
     linearization model (always fatal). *)
@@ -138,6 +173,7 @@ val explore :
 val probe :
   ?target:mt_target ->
   ?mode:Hart_pmem.Pmem.crash_mode ->
+  ?capture_snapshot:bool ->
   seed:int64 ->
   schedule:int ->
   ?setup:Fault.op list ->
@@ -146,7 +182,39 @@ val probe :
 (** Replay one exact [(seed, schedule)] execution and return its raw
     coordinates — committed prefix, in-flight set, waiting set,
     recovered state — without judging them. Two probes of the same pair
-    are identical (determinism), which the tests assert. *)
+    are identical (determinism), which the tests assert.
+    [capture_snapshot] additionally clones the crashed image into
+    [p_snapshot] before recovery runs. *)
+
+(** A locally minimal reproducer found by {!shrink}: the embedded
+    {!Fault.repro} replays through {!probe} / {!explore}. *)
+type shrunk = {
+  s_repro : Fault.repro;
+  s_detail : string;  (** violation detail at the minimum *)
+  s_checks : int;  (** candidate replays evaluated *)
+  s_accepted : int;  (** shrink moves that preserved the violation *)
+}
+
+val shrink :
+  ?target:mt_target ->
+  ?mode:Hart_pmem.Pmem.crash_mode ->
+  ?checkpoint_every:int ->
+  ?budget:int ->
+  seed:int64 ->
+  setup:Fault.op list ->
+  Fault.op list array ->
+  shrunk option
+(** [shrink ~seed ~setup scripts] delta-debugs a violating concurrent
+    workload to a locally minimal reproducer, or returns [None] if the
+    input does not violate at all. Every candidate is re-verified by a
+    full deterministic replay (a bounded {!explore} sweep over the
+    candidate's own flush boundaries, so the crash coordinate shrinks
+    along with the ops). Shrink moves, greedy to fixpoint: drop whole
+    domains, remove consecutive op chunks (halving sizes, ddmin-style)
+    from each script and the setup, merge the key universe onto its
+    smallest key, simplify values to one byte, and finally canonicalize
+    the scheduler seed towards 0. [budget] (default 400) bounds the
+    number of candidate replays. *)
 
 val default_workload :
   domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array

@@ -99,8 +99,10 @@ let fresh_hart ~n_keys = Hart_mt.create (fresh_pool ~n_keys)
 
 (* -------------------------------------------------------------------
    Cross-index sweep: the same striped front end ([Striped_mt]) over
-   HART, FPTree and WOART, insert then search at each domain count —
-   the Fig. 9-style comparison. The interesting shape is qualitative:
+   HART, FPTree and WOART at each domain count — the Fig. 9-style
+   comparison: insert, search, then two mixed mutation phases (25/50/25
+   insert/update/delete over uniform and Zipf(0.99) key popularity).
+   The interesting shape is qualitative:
    HART shards every operation (hash-prefix stripes), FPTree shards
    non-splitting operations (leaf-group stripes, splits exclusive), and
    WOART serializes every new-key insert (radix restructuring), so its
@@ -108,6 +110,8 @@ let fresh_hart ~n_keys = Hart_mt.create (fresh_pool ~n_keys)
 
 type mt_ops = {
   xi_insert : key:string -> value:string -> unit;
+  xi_update : key:string -> value:string -> unit;
+  xi_delete : string -> unit;
   xi_search : string -> string option;
 }
 
@@ -116,6 +120,8 @@ let mt_indexes : (string * (n_keys:int -> mt_ops)) list =
     let t = M.create (fresh_pool ~n_keys) in
     {
       xi_insert = (fun ~key ~value -> M.insert t ~key ~value);
+      xi_update = (fun ~key ~value -> ignore (M.update t ~key ~value : bool));
+      xi_delete = (fun k -> ignore (M.delete t k : bool));
       xi_search = (fun k -> M.search t k);
     }
   in
@@ -124,6 +130,27 @@ let mt_indexes : (string * (n_keys:int -> mt_ops)) list =
     ("fptree", make (module Hart_baselines.Fptree_mt));
     ("woart", make (module Hart_baselines.Woart_mt));
   ]
+
+(* Seeded plan for the mixed cross-index phases: 25% insert / 50%
+   update / 25% delete over key indices drawn uniformly or
+   Zipf(0.99)-skewed. A pure function of [seed] — the tests assert
+   determinism, proportions and skew — so each domain precomputes its
+   plan before spawning and the measured loop only indexes an array. *)
+type mix_kind = Mix_insert | Mix_update | Mix_delete
+
+let mix_plan ?(zipf = false) ~seed ~n ~ops () =
+  let rng = Rng.create seed in
+  let pick =
+    if zipf then
+      Workload.zipf_sampler (Rng.create (Int64.add seed 1L)) ~n ~s:0.99
+    else fun () -> Rng.int rng n
+  in
+  Array.init ops (fun _ ->
+      let kind =
+        let r = Rng.int rng 100 in
+        if r < 25 then Mix_insert else if r < 75 then Mix_update else Mix_delete
+      in
+      (kind, pick ()))
 
 type cross_result = {
   x_index : string;
@@ -157,9 +184,35 @@ let run_cross ~total_ops =
               (fun ~domain ~op:_ ->
                 ignore (t.xi_search keys.(Rng.int rngs.(domain) n) : string option))
           in
+          (* mixed phases run against the fully-loaded index; deletes
+             and re-inserts churn it, which is the point *)
+          let mixed ~zipf phase_name =
+            let plans =
+              Array.init d (fun i ->
+                  mix_plan ~zipf
+                    ~seed:(Int64.of_int (0xA11 + (if zipf then 1000 else 0) + i))
+                    ~n ~ops:per ())
+            in
+            let r =
+              run_phase ~domains:d ~n_batches:(batches_per_domain d)
+                (fun ~domain ~op ->
+                  let kind, ki = plans.(domain).(op) in
+                  let key = keys.(ki) in
+                  match kind with
+                  | Mix_insert -> t.xi_insert ~key ~value:(Keygen.value_for ki)
+                  | Mix_update ->
+                      t.xi_update ~key ~value:"vmix1"
+                  | Mix_delete -> t.xi_delete key)
+            in
+            { x_index = name; x_phase = phase_name; x_domains = d; x_r = r }
+          in
+          let mix = mixed ~zipf:false "mix" in
+          let zipf = mixed ~zipf:true "zipf" in
           [
             { x_index = name; x_phase = "insert"; x_domains = d; x_r = ins };
             { x_index = name; x_phase = "search"; x_domains = d; x_r = srch };
+            mix;
+            zipf;
           ])
         domain_counts)
     mt_indexes
@@ -315,7 +368,7 @@ let run ?json_path ?threshold ~scale () =
                      in
                      r.x_r.ops_per_s /. 1e6)
                    domain_counts ))
-             [ "insert"; "search" ])
+             [ "insert"; "search"; "mix"; "zipf" ])
          mt_indexes);
   (match results with
   | (1, base) :: _ ->

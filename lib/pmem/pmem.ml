@@ -7,6 +7,7 @@ type crash_mode =
   | Clean
   | Torn of { seed : int64; fraction : float }
   | Torn_commit
+  | Torn_lines of int list
 
 type t = {
   meter : Meter.t;
@@ -24,6 +25,7 @@ type t = {
   mutable torn_commit_line : int;  (* line whose flush the crash interrupted *)
   mutable crash_fired : bool;  (* a crash happened since the last arm *)
   mutable total_flushes : int;  (* lifetime protocol flushes, survives Meter.reset *)
+  mutable read_trace : (int, unit) Hashtbl.t option;  (* lines read while tracing *)
 }
 
 let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
@@ -44,6 +46,7 @@ let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
     torn_commit_line = -1;
     crash_fired = false;
     total_flushes = 0;
+    read_trace = None;
   }
 
 let clone t =
@@ -56,6 +59,7 @@ let clone t =
     dirty = Bytes.copy t.dirty;
     free_lists;
     alloc_mu = Mutex.create ();
+    read_trace = None;
   }
 
 let meter t = t.meter
@@ -156,9 +160,29 @@ let mark_written t off len =
   done;
   Meter.access_range t.meter Pm ~addr:off ~len ~write:true
 
+let trace_read t off len =
+  match t.read_trace with
+  | None -> ()
+  | Some tbl ->
+      for line = off / line_bytes to (off + len - 1) / line_bytes do
+        Hashtbl.replace tbl line ()
+      done
+
+let read_trace_start t = t.read_trace <- Some (Hashtbl.create 64)
+
+let read_trace_stop t =
+  let lines =
+    match t.read_trace with
+    | None -> []
+    | Some tbl -> Hashtbl.fold (fun line () acc -> line :: acc) tbl []
+  in
+  t.read_trace <- None;
+  List.sort_uniq compare lines
+
 let get_u8 t off =
   check t off 1 "get_u8";
   Meter.access t.meter Pm ~addr:off ~write:false;
+  trace_read t off 1;
   Bytes.get_uint8 t.cache off
 
 let set_u8 t off v =
@@ -169,6 +193,7 @@ let set_u8 t off v =
 let get_u64 t off =
   check t off 8 "get_u64";
   Meter.access t.meter Pm ~addr:off ~write:false;
+  trace_read t off 8;
   Bytes.get_int64_le t.cache off
 
 let set_u64 t off v =
@@ -179,6 +204,7 @@ let set_u64 t off v =
 let get_string t ~off ~len =
   check t off len "get_string";
   Meter.access_range t.meter Pm ~addr:off ~len ~write:false;
+  trace_read t off len;
   Bytes.sub_string t.cache off len
 
 let set_string t ~off s =
@@ -227,7 +253,21 @@ let do_crash t =
         Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
           line_bytes;
         Meter.eviction t.meter
-      end);
+      end
+  | Torn_lines lines ->
+      (* Directed torn crash: the hardware wrote back exactly the listed
+         lines (those still dirty at crash time) — used by the directed
+         adversarial pass to evict precisely the lines a recovery is
+         known to read. *)
+      List.iter
+        (fun line ->
+          if line >= 0 && line <= (t.brk - 1) / line_bytes && dirty_get t line
+          then begin
+            Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
+              line_bytes;
+            Meter.eviction t.meter
+          end)
+        lines);
   t.crash_mode <- Clean;
   Bytes.blit t.shadow 0 t.cache 0 t.capacity;
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
@@ -240,7 +280,7 @@ let crash t = do_crash t
 let arm_crash ?(mode = Clean) t ~after_flushes =
   if after_flushes < 0 then invalid_arg "Pmem.arm_crash";
   (match mode with
-  | Clean | Torn_commit -> ()
+  | Clean | Torn_commit | Torn_lines _ -> ()
   | Torn { fraction; _ } ->
       if not (fraction >= 0. && fraction <= 1.) then
         invalid_arg "Pmem.arm_crash: torn fraction must be in [0, 1]");

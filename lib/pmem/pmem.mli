@@ -88,6 +88,25 @@ val read_shadow_u64 : t -> int -> int64
     meter. Test-only: lets assertions distinguish "written" from
     "persisted". *)
 
+(** {1 Read tracing}
+
+    The fault explorer's directed torn mode needs to know which PM lines
+    a recovery pass actually reads, so it can re-crash with exactly those
+    lines torn-evicted ({!Torn_lines}). While a trace is active, every
+    {!get_u8}/{!get_u64}/{!get_string} records the 64-byte lines it
+    touches. Off by default; costs one hash-table insert per read while
+    active. Shadow reads ({!read_shadow_u64}) are never traced — they
+    bypass the simulated device. *)
+
+val read_trace_start : t -> unit
+(** Start (or restart, discarding any open trace) recording the set of
+    lines read through the volatile view. *)
+
+val read_trace_stop : t -> int list
+(** Stop tracing and return the distinct line numbers read since
+    {!read_trace_start}, sorted ascending. Returns [[]] if no trace was
+    active. *)
+
 (** {1 Persistence} *)
 
 val persist : t -> off:int -> len:int -> unit
@@ -123,6 +142,13 @@ type crash_mode =
           slot, chain pointer) lands durably while every other dirty
           line is lost. The single worst targeted eviction subset a
           random {!Torn} draw only sometimes finds. *)
+  | Torn_lines of int list
+      (** directed torn crash: the hardware wrote back exactly the listed
+          lines (intersected with the dirty set at crash time), and every
+          other dirty line is lost. The fault explorer's directed
+          adversarial pass collects the lines a schedule's recovery
+          actually reads (via {!read_trace_start}) and replays the crash
+          with precisely those lines durable. *)
 
 val crash : t -> unit
 (** Simulate a power failure: every unflushed store is lost, the volatile

@@ -236,8 +236,8 @@ let baseline_cases =
 let adversarial_sweep () =
   let name, setup, ops = find "update-log" in
   let rs =
-    Fault.explore_adversarial ~nested:false ~subsets:2 ~setup ~workload:name
-      Fault.hart ops
+    Fault.explore_adversarial ~nested:false ~directed:false ~subsets:2 ~setup
+      ~workload:name Fault.hart ops
   in
   Alcotest.(check int) "one commit-point pass + K subset passes" 3
     (List.length rs);
@@ -256,6 +256,29 @@ let adversarial_sweep () =
           | _ -> Alcotest.fail "fallback passes must be random-subset Torn")
         rest
   | [] -> Alcotest.fail "no reports");
+  List.iter (fun r -> check_report ~nested:false r) rs
+
+(* Directed mode leads with a clean pass whose every crashed schedule
+   is re-run with exactly the lines its recovery reads torn-evicted. *)
+let adversarial_directed () =
+  let name, setup, ops = find "update-log" in
+  let rs =
+    Fault.explore_adversarial ~nested:false ~subsets:1 ~setup ~workload:name
+      Fault.hart ops
+  in
+  Alcotest.(check int) "directed + commit-point + 1 subset pass" 3
+    (List.length rs);
+  (match rs with
+  | directed :: commit :: _ ->
+      (match directed.Fault.mode with
+      | Pmem.Clean -> ()
+      | _ -> Alcotest.fail "directed pass sweeps clean crashes");
+      Alcotest.(check bool) "directed torn re-runs happened" true
+        (directed.Fault.directed_schedules > 0);
+      (match commit.Fault.mode with
+      | Pmem.Torn_commit -> ()
+      | _ -> Alcotest.fail "second pass must evict the commit-point line")
+  | _ -> Alcotest.fail "no reports");
   List.iter (fun r -> check_report ~nested:false r) rs
 
 (* ------------------------------------------------------------------ *)
@@ -432,6 +455,144 @@ let mt_checkpoint_equivalence () =
     (List.length plain.Fault_mt.violations
     + List.length cp.Fault_mt.violations)
 
+(* ------------------------------------------------------------------ *)
+(* Nested concurrent recovery re-crash: after every mid-flight crash
+   whose recovery passed the oracle, the single-domain recovery is
+   itself crashed at each of its own flush boundaries, recovered again,
+   and the doubly-recovered state judged against the same admissible
+   set (DESIGN.md §12). *)
+
+let mt_nested_sweep target () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:4 in
+  let r =
+    Fault_mt.explore ~target ~nested:true ~seed:42L ~domains:2
+      ~workload:"mt-nested" ~setup scripts
+  in
+  Alcotest.(check int) "full coverage" r.Fault_mt.total_flushes
+    r.Fault_mt.schedules;
+  Alcotest.(check int) "full nested coverage" r.Fault_mt.recovery_flushes
+    r.Fault_mt.nested_schedules;
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
+
+(* HART's recovery rewrites PM (micro-log replay, bitmap repair), so
+   the nested sweep must actually have boundaries to crash. *)
+let mt_nested_hart_covers () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:6 in
+  let r =
+    Fault_mt.explore ~nested:true ~seed:42L ~domains:2 ~workload:"mt-nested"
+      ~setup scripts
+  in
+  Alcotest.(check bool) "hart recovery flushes were re-crashed" true
+    (r.Fault_mt.nested_schedules > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Self-minimizing reproducers: re-inject the PR 3 free-before-sever
+   bug (Epalloc's reservation hold degraded to a plain durable bit
+   reset, so a racing domain can reallocate a freed object while the
+   crashing domain's parent pointer still reaches it) and require the
+   shrinker to carve a violating workload down to a locally minimal,
+   deterministically replayable reproducer. *)
+
+module Epalloc = Hart_core.Epalloc
+
+let with_injected_bug f =
+  Epalloc.unsafe_no_reservation_hold := true;
+  Fun.protect
+    ~finally:(fun () -> Epalloc.unsafe_no_reservation_hold := false)
+    f
+
+(* Does this (seed, workload) violate under deterministic replay? *)
+let mt_violates ~seed ~setup scripts =
+  match
+    Fault_mt.explore ~keep_going:true ~stop_after_first:true ~seed
+      ~domains:(Array.length scripts) ~workload:"inject" ~setup scripts
+  with
+  | r -> r.Fault_mt.violations <> []
+  | exception Fault.Violation _ -> true
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  (* a corrupted target can also trip the explorer itself; like the
+     shrinker, count any deterministic failure as a violation *)
+  | exception _ -> true
+
+let find_mt_violation () =
+  let candidates =
+    List.concat_map
+      (fun seed ->
+        let s = Int64.of_int seed in
+        [
+          (s, Fault_mt.default_workload ~domains:2 ~ops_per_domain:6);
+          (s, Fault_mt.collide_workload ~domains:2 ~ops_per_domain:6);
+          (s, Fault_mt.gen_workload ~seed:s ~domains:2 ~ops_per_domain:6);
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  List.find_opt
+    (fun (seed, (setup, scripts)) -> mt_violates ~seed ~setup scripts)
+    candidates
+
+let mt_shrink_regression () =
+  with_injected_bug (fun () ->
+      match find_mt_violation () with
+      | None -> Alcotest.fail "bug injection produced no violating schedule"
+      | Some (seed, (setup, scripts)) -> (
+          match Fault_mt.shrink ~seed ~setup scripts with
+          | None -> Alcotest.fail "shrinker lost the violation"
+          | Some s ->
+              let repro = s.Fault_mt.s_repro in
+              let ops = Fault.repro_ops repro in
+              Alcotest.(check bool)
+                (Printf.sprintf "reproducer has <= 10 ops (got %d)" ops)
+                true (ops <= 10);
+              Alcotest.(check bool) "reproducer has <= 2 domains" true
+                (repro.Fault.r_domains <= 2);
+              Alcotest.(check bool) "shrink accepted at least one move" true
+                (s.Fault_mt.s_accepted > 0);
+              (* the minimal coordinates still violate, twice: the replay
+                 is deterministic *)
+              let still () =
+                mt_violates ~seed:repro.Fault.r_seed ~setup:repro.Fault.r_setup
+                  repro.Fault.r_scripts
+              in
+              Alcotest.(check bool) "shrunk workload still violates" true
+                (still ());
+              Alcotest.(check bool) "deterministically so" true (still ())))
+
+(* The known-minimal shape of the PR 3 bug: one domain's out-of-place
+   update durably frees the old value object with the pending update
+   log still referencing it, while the other domain's mutation
+   reallocates the just-freed slot; crashing before the log reclaims
+   makes replay free the new owner's value. From these coordinates the
+   shrinker must reproduce a <= 3-op reproducer. *)
+let mt_shrink_minimal_shape () =
+  with_injected_bug (fun () ->
+      let setup = [ Fault.Insert ("aa00", "v0"); Fault.Insert ("bb00", "v1") ] in
+      let scripts =
+        [| [ Fault.Update ("aa00", "u0") ]; [ Fault.Delete "bb00" ] |]
+      in
+      let seed =
+        List.find_opt
+          (fun s -> mt_violates ~seed:s ~setup scripts)
+          (List.init 16 (fun i -> Int64.of_int (i + 1)))
+      in
+      match seed with
+      | None -> Alcotest.fail "minimal free-before-sever shape did not violate"
+      | Some seed -> (
+          match Fault_mt.shrink ~seed ~setup scripts with
+          | None -> Alcotest.fail "shrinker lost the violation"
+          | Some s ->
+              let ops = Fault.repro_ops s.Fault_mt.s_repro in
+              Alcotest.(check bool)
+                (Printf.sprintf "<= 3-op reproducer (got %d)" ops)
+                true (ops <= 3)))
+
+(* With the fix in place (hold restored), the exact same search finds
+   nothing: the regression gate is meaningful. *)
+let mt_no_violation_when_fixed () =
+  let setup, scripts = Fault_mt.default_workload ~domains:2 ~ops_per_domain:6 in
+  Alcotest.(check bool) "fixed allocator passes the same sweep" false
+    (mt_violates ~seed:1L ~setup scripts)
+
 let () =
   Alcotest.run "fault"
     [
@@ -469,7 +630,12 @@ let () =
         ] );
       ("baselines", baseline_cases);
       ( "adversarial",
-        [ Alcotest.test_case "commit-line + subset passes" `Quick adversarial_sweep ] );
+        [
+          Alcotest.test_case "commit-line + subset passes" `Quick
+            adversarial_sweep;
+          Alcotest.test_case "directed read-set eviction" `Quick
+            adversarial_directed;
+        ] );
       ( "json",
         [ Alcotest.test_case "violation serialization" `Quick violation_json ] );
       ( "mt",
@@ -485,6 +651,20 @@ let () =
             (mt_index_sweep Fault_mt.woart_mt);
           Alcotest.test_case "same-stripe collision sweep" `Quick mt_collide;
           Alcotest.test_case "generated workloads, 3 seeds" `Quick mt_generated;
+          Alcotest.test_case "nested recovery re-crash: hart" `Quick
+            (mt_nested_sweep Fault_mt.hart_mt);
+          Alcotest.test_case "nested recovery re-crash: fptree" `Quick
+            (mt_nested_sweep Fault_mt.fptree_mt);
+          Alcotest.test_case "nested recovery re-crash: woart" `Quick
+            (mt_nested_sweep Fault_mt.woart_mt);
+          Alcotest.test_case "nested sweep covers hart recovery" `Quick
+            mt_nested_hart_covers;
+          Alcotest.test_case "shrinker: injected bug to minimal repro" `Quick
+            mt_shrink_regression;
+          Alcotest.test_case "shrinker: known shape to <= 3 ops" `Quick
+            mt_shrink_minimal_shape;
+          Alcotest.test_case "no violation once fixed" `Quick
+            mt_no_violation_when_fixed;
           Alcotest.test_case "checkpointed replay equivalence" `Quick
             mt_checkpoint_equivalence;
         ] );

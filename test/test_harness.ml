@@ -152,6 +152,64 @@ let test_experiments_smoke () =
       Hart_harness.Exp_scalability.run ~scale:0.02;
       Hart_harness.Exp_ablation.run ~scale:0.02)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-index mixed-workload plan generator (Exp_parallel.mix_plan)   *)
+
+module Exp_parallel = Hart_harness.Exp_parallel
+
+let plan_counts plan =
+  Array.fold_left
+    (fun (i, u, d) (kind, _) ->
+      match kind with
+      | Exp_parallel.Mix_insert -> (i + 1, u, d)
+      | Exp_parallel.Mix_update -> (i, u + 1, d)
+      | Exp_parallel.Mix_delete -> (i, u, d + 1))
+    (0, 0, 0) plan
+
+let test_mix_plan_deterministic () =
+  let mk () = Exp_parallel.mix_plan ~seed:7L ~n:100 ~ops:500 () in
+  Alcotest.(check bool) "same seed, same plan" true (mk () = mk ());
+  Alcotest.(check bool) "different seed, different plan" true
+    (mk () <> Exp_parallel.mix_plan ~seed:8L ~n:100 ~ops:500 ());
+  let zk () = Exp_parallel.mix_plan ~zipf:true ~seed:7L ~n:100 ~ops:500 () in
+  Alcotest.(check bool) "zipf plan deterministic too" true (zk () = zk ())
+
+let test_mix_plan_proportions () =
+  let plan = Exp_parallel.mix_plan ~seed:42L ~n:1000 ~ops:10_000 () in
+  let i, u, d = plan_counts plan in
+  Alcotest.(check int) "every op classified" 10_000 (i + u + d);
+  (* 25/50/25 within a generous tolerance *)
+  let within label lo hi x =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s count %d in [%d,%d]" label x lo hi)
+      true
+      (x >= lo && x <= hi)
+  in
+  within "insert" 2_000 3_000 i;
+  within "update" 4_500 5_500 u;
+  within "delete" 2_000 3_000 d;
+  Array.iter
+    (fun (_, ki) ->
+      Alcotest.(check bool) "key index in range" true (ki >= 0 && ki < 1000))
+    plan
+
+let test_mix_plan_zipf_skew () =
+  let n = 1000 and ops = 10_000 in
+  let freq plan =
+    let f = Array.make n 0 in
+    Array.iter (fun (_, ki) -> f.(ki) <- f.(ki) + 1) plan;
+    f
+  in
+  let uni = freq (Exp_parallel.mix_plan ~seed:42L ~n ~ops ()) in
+  let zip = freq (Exp_parallel.mix_plan ~zipf:true ~seed:42L ~n ~ops ()) in
+  let top a = Array.fold_left max 0 a in
+  (* uniform: ~10 hits per key; Zipf(0.99): the hottest key dominates *)
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf hottest key (%d) >> uniform hottest (%d)" (top zip)
+       (top uni))
+    true
+    (top zip > 5 * top uni)
+
 let () =
   Alcotest.run "harness"
     [
@@ -174,6 +232,15 @@ let () =
         ] );
       ( "report",
         [ Alcotest.test_case "ratio and formatting" `Quick test_report_ratio ] );
+      ( "mix_plan",
+        [
+          Alcotest.test_case "pure function of the seed" `Quick
+            test_mix_plan_deterministic;
+          Alcotest.test_case "25/50/25 proportions" `Quick
+            test_mix_plan_proportions;
+          Alcotest.test_case "zipf skews key popularity" `Quick
+            test_mix_plan_zipf_skew;
+        ] );
       ( "experiments",
         [ Alcotest.test_case "smoke run all drivers" `Quick test_experiments_smoke ] );
     ]

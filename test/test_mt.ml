@@ -439,6 +439,62 @@ let test_toy_good_passes () =
     (r.max_in_flight <= 1)
 
 (* ------------------------------------------------------------------ *)
+(* WORT's sharpened [restructures]: leaf-local value updates — and
+   upserts landing on existing keys — ride the stripe path instead of
+   the exclusive structure lock, so an update-heavy workload on
+   distinct prefixes genuinely overlaps at crash points, and the full
+   sweep still passes the linearization-set oracle. *)
+
+let test_wort_update_commute () =
+  let prefixes = [ "wa"; "wb" ] in
+  let setup =
+    List.concat_map
+      (fun p ->
+        List.init 3 (fun j ->
+            Hart_fault.Fault.Insert (Printf.sprintf "%s-%02d" p j, "s0")))
+      prefixes
+  in
+  let scripts =
+    Array.of_list
+      (List.map
+         (fun p ->
+           List.concat
+             (List.init 3 (fun j ->
+                  let key = Printf.sprintf "%s-%02d" p j in
+                  [
+                    Hart_fault.Fault.Update (key, Printf.sprintf "u%d" j);
+                    (* upsert onto an existing key: an update in WORT *)
+                    Hart_fault.Fault.Insert (key, Printf.sprintf "w%d" j);
+                  ])))
+         prefixes)
+  in
+  let r =
+    Hart_fault.Fault_mt.explore ~target:Hart_fault.Fault_mt.wort_mt ~seed:7L
+      ~domains:2 ~workload:"wort-update" ~setup scripts
+  in
+  Alcotest.(check bool) "swept some flush boundaries" true (r.total_flushes > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.violations);
+  Alcotest.(check bool) "updates overlap (commute on WORT)" true
+    (r.max_in_flight >= 2)
+
+(* New-key inserts still restructure: single-domain scripts with fresh
+   keys must serialise on the structure lock, never overlapping. *)
+let test_wort_insert_serializes () =
+  let scripts =
+    Array.init 2 (fun d ->
+        List.init 3 (fun j ->
+            Hart_fault.Fault.Insert
+              (Printf.sprintf "w%c-%02d" (Char.chr (Char.code 'p' + d)) j, "v")))
+  in
+  let r =
+    Hart_fault.Fault_mt.explore ~target:Hart_fault.Fault_mt.wort_mt ~seed:9L
+      ~domains:2 ~workload:"wort-insert" scripts
+  in
+  Alcotest.(check int) "no violations" 0 (List.length r.violations);
+  Alcotest.(check bool) "structural inserts never overlap" true
+    (r.max_in_flight <= 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "multi-domain"
@@ -471,6 +527,10 @@ let () =
         [
           Alcotest.test_case "oracle rejects a non-commuting toy index" `Quick
             test_toy_bad_rejected;
+          Alcotest.test_case "wort: updates commute on stripes" `Quick
+            test_wort_update_commute;
+          Alcotest.test_case "wort: new-key inserts serialise" `Quick
+            test_wort_insert_serializes;
           Alcotest.test_case "same toy index passes when serialised" `Quick
             test_toy_good_passes;
         ] );

@@ -616,6 +616,65 @@ let test_torn_mode_disarms_after_crash () =
   Alcotest.(check int) "subsequent crash is clean" 0
     (Int64.to_int (Pmem.get_u64 pool (off + 64)))
 
+let test_torn_lines_mode () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 1024 in
+  for i = 0 to 15 do
+    Pmem.set_u64 pool (off + (i * 64)) (Int64.of_int (i + 1))
+  done;
+  (* all 16 lines dirty; the crash evicts exactly the named lines and
+     drops every other dirty line — the directed-adversarial primitive *)
+  let line i = (off + (i * 64)) / 64 in
+  Pmem.arm_crash
+    ~mode:(Pmem.Torn_lines [ line 3; line 7; 1_000_000 (* out of bounds: ignored *) ])
+    pool ~after_flushes:0;
+  (try
+     Pmem.persist pool ~off ~len:8;
+     Alcotest.fail "armed crash did not fire"
+   with Pmem.Crash_injected -> ());
+  List.iter
+    (fun i ->
+      let v = Int64.to_int (Pmem.get_u64 pool (off + (i * 64))) in
+      if i = 3 || i = 7 then
+        Alcotest.(check int) (Printf.sprintf "line %d evicted intact" i) (i + 1) v
+      else Alcotest.(check int) (Printf.sprintf "line %d dropped" i) 0 v)
+    (List.init 16 Fun.id)
+
+let test_torn_lines_skips_clean () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 256 in
+  Pmem.set_u64 pool off 7L;
+  Pmem.persist pool ~off ~len:8;
+  (* naming an already-persisted line is harmless: eviction = flush *)
+  Pmem.set_u64 pool (off + 64) 8L;
+  Pmem.arm_crash ~mode:(Pmem.Torn_lines [ off / 64 ]) pool ~after_flushes:0;
+  (try Pmem.persist pool ~off:(off + 64) ~len:8 with Pmem.Crash_injected -> ());
+  Alcotest.(check int) "persisted line survives" 7
+    (Int64.to_int (Pmem.get_u64 pool off));
+  Alcotest.(check int) "unlisted dirty line drops" 0
+    (Int64.to_int (Pmem.get_u64 pool (off + 64)))
+
+let test_read_trace () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 512 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.set_string pool ~off:(off + 126) "abcd";
+  (* reads before the trace starts are not recorded *)
+  ignore (Pmem.get_u64 pool off : int64);
+  Pmem.read_trace_start pool;
+  ignore (Pmem.get_u64 pool (off + 256) : int64);
+  ignore (Pmem.get_u64 pool (off + 256) : int64) (* duplicate: deduped *);
+  (* a 4-byte read straddling a line boundary records both lines *)
+  ignore (Pmem.get_string pool ~off:(off + 126) ~len:4 : string);
+  let lines = Pmem.read_trace_stop pool in
+  Alcotest.(check (list int)) "sorted, deduped, spanning reads"
+    (List.sort_uniq compare
+       [ (off + 256) / 64; (off + 126) / 64; (off + 129) / 64 ])
+    lines;
+  (* stop clears the hook: later reads are untraced *)
+  ignore (Pmem.get_u64 pool off : int64);
+  Alcotest.(check (list int)) "off after stop" [] (Pmem.read_trace_stop pool)
+
 let () =
   Alcotest.run "pmem"
     [
@@ -672,6 +731,11 @@ let () =
           Alcotest.test_case "torn crash mode" `Quick test_torn_crash_mode;
           Alcotest.test_case "torn extremes and validation" `Quick
             test_torn_crash_extremes;
+          Alcotest.test_case "torn-lines directed eviction" `Quick
+            test_torn_lines_mode;
+          Alcotest.test_case "torn-lines skips clean lines" `Quick
+            test_torn_lines_skips_clean;
+          Alcotest.test_case "read trace" `Quick test_read_trace;
           Alcotest.test_case "torn mode disarms after firing" `Quick
             test_torn_mode_disarms_after_crash;
         ] );

@@ -12,7 +12,8 @@
       memory events.
 
    Usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]
-     EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation *)
+     EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation
+             parallel ycsb recovery *)
 
 module Latency = Hart_pmem.Latency
 module Keygen = Hart_workloads.Keygen
@@ -94,10 +95,11 @@ let usage () =
     "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro] \
      [--json-dir DIR]\n\
     \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation \
-     parallel\n\
+     parallel ycsb recovery\n\
     \  --json-dir DIR also writes BENCH_figs.json (every printed table) \
      and,\n\
-    \  when the parallel experiment runs, BENCH_parallel.json.";
+    \  per experiment, BENCH_parallel.json / BENCH_ycsb.json / \
+     BENCH_recovery.json.";
   exit 2
 
 let () =
@@ -152,6 +154,16 @@ let () =
     Hart_harness.Exp_parallel.run
       ?json_path:
         (Option.map (fun d -> Filename.concat d "BENCH_parallel.json") !json_dir)
+      ~scale ();
+  if wants "ycsb" then
+    Hart_harness.Exp_ycsb.run
+      ?json_path:
+        (Option.map (fun d -> Filename.concat d "BENCH_ycsb.json") !json_dir)
+      ~scale ();
+  if wants "recovery" then
+    Hart_harness.Exp_recovery.run_parallel
+      ?json_path:
+        (Option.map (fun d -> Filename.concat d "BENCH_recovery.json") !json_dir)
       ~scale ();
   (match !json_dir with
   | Some dir ->

@@ -223,6 +223,90 @@ let parallel_cmd =
           [Domain.spawn] timings, not the simulated clock.")
     Term.(const run $ scale $ json $ min_speedup $ speedup_domains)
 
+let ycsb_cmd =
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale the preload size (default 20k records, 2x ops).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as JSON (BENCH_ycsb.json format).")
+  in
+  let run scale json =
+    ok_or_die
+      (if scale <= 0. then Error "scale must be positive"
+       else
+         match Hart_harness.Exp_ycsb.run ?json_path:json ~scale () with
+         | () -> Ok ()
+         | exception Failure msg -> Error msg)
+  in
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "Run the six YCSB core workloads (A-F) over every index in the \
+          repo, plus request-skew, composite-key and delete-churn \
+          variants, on the simulated clock.")
+    Term.(const run $ scale $ json)
+
+let recovery_cmd =
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale the pool sizes (default 50k/200k/1M keys).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as JSON (BENCH_recovery.json format).")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Fail (exit 1) unless recovery at $(b,--speedup-domains) \
+             domains on the largest pool is at least X times faster than \
+             serial. Skipped with a logged notice when the host reports \
+             fewer usable cores than that domain count.")
+  in
+  let speedup_domains =
+    Arg.(
+      value & opt int 4
+      & info [ "speedup-domains" ] ~docv:"N"
+          ~doc:"Domain count the $(b,--min-speedup) threshold applies to.")
+  in
+  let run scale json min_speedup speedup_domains =
+    ok_or_die
+      (if scale <= 0. then Error "scale must be positive"
+       else begin
+         let threshold =
+           Option.map (fun x -> (speedup_domains, x)) min_speedup
+         in
+         match
+           Hart_harness.Exp_recovery.run_parallel ?json_path:json ?threshold
+             ~scale ()
+         with
+         | () -> Ok ()
+         | exception Failure msg -> Error msg
+       end)
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:
+         "Measure wall-clock parallel recovery (Hart.recover_parallel) \
+          against pool size at 1-8 domains, verifying every rebuild \
+          against the original contents. Real [Domain.spawn] timings.")
+    Term.(const run $ scale $ json $ min_speedup $ speedup_domains)
+
 let fault_cmd =
   let workload =
     let all = List.map (fun (n, _, _) -> n) Hart_fault.Fault.builtin_workloads in
@@ -592,5 +676,7 @@ let () =
             stats_cmd;
             bench_cmd;
             parallel_cmd;
+            ycsb_cmd;
+            recovery_cmd;
             fault_cmd;
           ]))

@@ -306,6 +306,109 @@ let recover pool =
             (Printf.sprintf "Hart.recover: duplicate committed leaf for key %S" key));
   t
 
+(* Parallel Algorithm 7. Log replay ([Epalloc.attach]) stays serial —
+   micro-log replay orders PM writes — but the rebuild that follows
+   performs only PM reads and touches no shared mutable state until the
+   final merge, so it fans out across domains:
+
+   - phase 1 (scan): domain [me] of [d] scans its slice of the leaf
+     chunks, reads each live leaf's key, and appends
+     [(hash_key, art_key, leaf)] to the producer-local list
+     [work.(me).(p)] where [p = Hash_dir.hash hash_key mod d]. No two
+     domains ever write the same cell, so no locking.
+   - phase 2 (build): domain [p] drains column [p] of every producer and
+     builds one ART per hash key in a private table. Partitioning by the
+     directory hash makes partitions' hash-key sets disjoint: the whole
+     keyspace of one ART lands in exactly one partition, which is why
+     bucket rebuilds commute.
+   - merge: the (cheap) directory inserts and the count run serially on
+     the calling domain.
+
+   [Domain.join] gives the inter-phase happens-before. The rebuild
+   issues no flushes, so an armed crash ([Pmem.arm_crash]) can only fire
+   inside the serial attach — nested crash-during-recovery schedules
+   stay well-defined under the fault explorer. *)
+let recover_parallel ?domains pool =
+  let d =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if d < 1 then invalid_arg "Hart.recover_parallel: domains must be >= 1";
+  if d = 1 then recover pool
+  else begin
+    let alloc = Epalloc.attach pool in
+    let meter = Pmem.meter pool in
+    let t =
+      {
+        alloc;
+        pool;
+        dir = Hash_dir.create ~meter ();
+        kh = Epalloc.kh alloc;
+        internal_nodes = `Dram;
+        count = Atomic.make 0;
+      }
+    in
+    let chunks = ref [] in
+    Epalloc.iter_chunks alloc Chunk.Leaf_c (fun c -> chunks := c :: !chunks);
+    let chunks = Array.of_list (List.rev !chunks) in
+    let nc = Array.length chunks in
+    let work = Array.init d (fun _ -> Array.init d (fun _ -> ref [])) in
+    let scan me =
+      for ci = nc * me / d to (nc * (me + 1) / d) - 1 do
+        Chunk.iter_live pool Chunk.Leaf_c ~chunk:chunks.(ci)
+          (fun ~idx:_ ~obj ->
+            let key = Leaf.key pool ~leaf:obj in
+            let hash_key, art_key = split_key t key in
+            let cell = work.(me).(Hash_dir.hash hash_key mod d) in
+            cell := (hash_key, art_key, obj) :: !cell)
+      done
+    in
+    let run_phase phase =
+      let workers =
+        Array.init (d - 1) (fun i -> Domain.spawn (fun () -> phase (i + 1)))
+      in
+      phase 0;
+      Array.iter Domain.join workers
+    in
+    run_phase scan;
+    let built = Array.make d [] in
+    let counts = Array.make d 0 in
+    let build p =
+      let tbl = Hashtbl.create 64 in
+      let cnt = ref 0 in
+      for prod = 0 to d - 1 do
+        List.iter
+          (fun (hash_key, art_key, obj) ->
+            let art =
+              match Hashtbl.find_opt tbl hash_key with
+              | Some a -> a
+              | None ->
+                  let a = new_art t in
+                  Hashtbl.add tbl hash_key a;
+                  a
+            in
+            match Art.insert art art_key obj with
+            | `Inserted -> incr cnt
+            | `Replaced _ ->
+                failwith
+                  (Printf.sprintf
+                     "Hart.recover_parallel: duplicate committed leaf for key %S"
+                     (hash_key ^ art_key)))
+          !(work.(prod).(p))
+      done;
+      built.(p) <- Hashtbl.fold (fun hk art acc -> (hk, art) :: acc) tbl [];
+      counts.(p) <- !cnt
+    in
+    run_phase build;
+    Array.iter
+      (fun parts ->
+        List.iter (fun (hk, art) -> Hash_dir.insert t.dir hk art) parts)
+      built;
+    Atomic.set t.count (Array.fold_left ( + ) 0 counts);
+    t
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Accounting and integrity                                            *)
 

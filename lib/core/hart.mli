@@ -45,6 +45,17 @@ val recover : Hart_pmem.Pmem.t -> t
     micro-logs, then rebuild the hash table and every ART internal node
     by scanning the leaf chunk list. *)
 
+val recover_parallel : ?domains:int -> Hart_pmem.Pmem.t -> t
+(** Parallel Algorithm 7: micro-log replay stays serial, then the
+    directory/ART rebuild fans the leaf-chunk scan and the per-bucket
+    ART construction across [domains] [Domain.spawn] workers (default
+    [Domain.recommended_domain_count ()]). Buckets are rebuilt
+    independently — the directory hash partitions the hash-key space, so
+    each ART is built wholly by one worker — and the result is
+    observationally identical to {!recover}. [~domains:1] is exactly
+    serial {!recover}.
+    @raise Invalid_argument if [domains < 1]. *)
+
 val kh : t -> int
 val pool : t -> Hart_pmem.Pmem.t
 val alloc : t -> Epalloc.t

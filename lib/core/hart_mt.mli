@@ -32,6 +32,11 @@ type t = M.t
 val create : ?kh:int -> Hart_pmem.Pmem.t -> t
 val recover : Hart_pmem.Pmem.t -> t
 
+val recover_parallel : ?domains:int -> Hart_pmem.Pmem.t -> t
+(** {!Hart.recover_parallel} wrapped for concurrent use: the rebuild
+    itself fans out across domains, then the result is handed to the
+    striped front end. *)
+
 val insert : t -> key:string -> value:string -> unit
 val search : t -> string -> string option
 val update : t -> key:string -> value:string -> bool

@@ -75,6 +75,21 @@ let hart =
     reattach = (fun pool -> hart_instance pool (Hart.recover pool));
   }
 
+(* Same index, but every post-crash reattach rebuilds with the
+   multi-domain recovery. The rebuild phase issues no flushes, so armed
+   nested crashes still land only in the serial log replay — the
+   schedule space is identical to [hart]'s, and so must be the verdicts. *)
+let hart_parallel_recovery ~domains =
+  {
+    target_name = Printf.sprintf "hart-par%d" domains;
+    fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        hart_instance pool (Hart.create pool));
+    reattach =
+      (fun pool -> hart_instance pool (Hart.recover_parallel ~domains pool));
+  }
+
 let fptree_instance pool t =
   {
     pool;

@@ -71,6 +71,14 @@ type target = {
 val hart : target
 (** HART (Algorithms 1–7), [kh = 2]. *)
 
+val hart_parallel_recovery : domains:int -> target
+(** HART with every post-crash reattach running
+    {!Hart_core.Hart.recover_parallel}[ ~domains] instead of serial
+    recovery. The rebuild issues no flushes, so nested
+    crash-during-recovery schedules land only in the serial log replay
+    and the schedule space matches [hart]'s — sweeping this target clean
+    proves parallel recovery is crash-equivalent to serial. *)
+
 val fptree : target
 (** The FPTree baseline — same selective-persistence family, so it must
     satisfy the same prefix-consistency oracle. *)

@@ -46,7 +46,7 @@ let records_for ~scale spec =
   let n = int_of_float (float_of_int default_records *. scale) in
   match spec with
   | Keygen.Dictionary -> min n 466_544 (* the paper's full dictionary size *)
-  | Keygen.Sequential | Keygen.Random -> n
+  | Keygen.Sequential | Keygen.Random | Keygen.Composite -> n
 
 (* grid.(w).(c).(t) *)
 let run_grid ~scale =

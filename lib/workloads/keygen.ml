@@ -1,20 +1,23 @@
 module Rng = Hart_util.Rng
 
-type spec = Dictionary | Sequential | Random
+type spec = Dictionary | Sequential | Random | Composite
 
 let name = function
   | Dictionary -> "Dictionary"
   | Sequential -> "Sequential"
   | Random -> "Random"
+  | Composite -> "Composite"
 
 let of_name s =
   match String.lowercase_ascii s with
   | "dictionary" -> Some Dictionary
   | "sequential" -> Some Sequential
   | "random" -> Some Random
+  | "composite" -> Some Composite
   | _ -> None
 
 let all = [ Dictionary; Sequential; Random ]
+let all_extended = all @ [ Composite ]
 
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +120,38 @@ let dictionary_keys rng n =
   done;
   out
 
+(* ------------------------------------------------------------------ *)
+(* Composite: multi-field record keys ("tenant:user:object"), the kind
+   a KV store layered under an application sees. Fields are drawn with
+   per-field skew (few tenants, many objects) so hash-key prefixes
+   collide heavily while full keys stay distinct; every key fits the
+   24-byte index limit directly. *)
+
+let composite_key ~tenant ~user ~obj =
+  Printf.sprintf "t%02d:u%04d:o%08d" (tenant mod 100) (user mod 10_000)
+    (obj mod 100_000_000)
+
+let composite_keys rng n =
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n "" in
+  let filled = ref 0 in
+  while !filled < n do
+    (* squared draws skew towards low tenant/user ids (hot tenants) *)
+    let sq bound =
+      let r = Rng.float rng 1.0 in
+      int_of_float (float_of_int bound *. r *. r)
+    in
+    let k =
+      composite_key ~tenant:(sq 100) ~user:(sq 10_000) ~obj:(Rng.int rng 100_000_000)
+    in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out
+
 let generate ?(seed = 0x5EEDL) spec n =
   if n < 0 then invalid_arg "Keygen.generate: negative count";
   let rng = Rng.create seed in
@@ -124,6 +159,89 @@ let generate ?(seed = 0x5EEDL) spec n =
   | Sequential -> Array.init n sequential_key
   | Random -> random_keys rng n
   | Dictionary -> dictionary_keys rng n
+  | Composite -> composite_keys rng n
+
+(* ------------------------------------------------------------------ *)
+(* Variable-length application keys and the fingerprint encoding that
+   maps them into the index's 1-24-byte key space.
+
+   Short keys (1..24 bytes not starting with the reserved '\xfe' byte)
+   encode as themselves, preserving order and hash-prefix behaviour.
+   Everything else — the empty string, keys longer than 24 bytes (up to
+   kilobytes), keys starting with the reserved byte — encodes as
+   '\xfe' followed by a 23-character fingerprint built from two
+   independent 64-bit FNV-1a streams plus the length, so distinct
+   application keys collide only with ~2^-128 probability. The encoding
+   is deterministic and stateless: search/update/delete agree across
+   processes and recoveries. *)
+
+let fnv1a ~basis key =
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    key;
+  !h
+
+let reserved = '\xfe'
+let fp_alphabet = sorted_alnum (* 62 chars: compact and index-safe *)
+
+let fingerprint23 key =
+  let h1 = fnv1a ~basis:0xcbf29ce484222325L key in
+  let h2 = fnv1a ~basis:0x84222325cbf29ce4L key in
+  let b = Bytes.create 23 in
+  let put off v =
+    let v = ref v in
+    for i = 0 to 10 do
+      let d = Int64.to_int (Int64.unsigned_rem !v 62L) in
+      Bytes.set b (off + i) fp_alphabet.[d];
+      v := Int64.unsigned_div !v 62L
+    done
+  in
+  put 0 h1;
+  put 11 h2;
+  Bytes.set b 22 fp_alphabet.[String.length key mod 62];
+  Bytes.to_string b
+
+let encode_key k =
+  let n = String.length k in
+  if n >= 1 && n <= 24 && k.[0] <> reserved then k
+  else String.make 1 reserved ^ fingerprint23 k
+
+let max_app_key_len = 4096
+
+let app_varlen_keys ?(seed = 0xAB5EEDL) n =
+  if n < 0 then invalid_arg "Keygen.app_varlen_keys: negative count";
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n "" in
+  let filled = ref 0 in
+  (* force the boundary lengths in first so small runs still cross the
+     empty / 1-byte / 24-byte / just-over / 4 KiB edges *)
+  let forced = [ 0; 1; 24; 25; max_app_key_len ] in
+  let gen_len () =
+    match Rng.int rng 8 with
+    | 0 -> Rng.int rng 2 (* empty or 1 byte *)
+    | 1 | 2 | 3 -> 1 + Rng.int rng 24 (* index-native range *)
+    | 4 | 5 -> 20 + Rng.int rng 20 (* straddling the 24-byte boundary *)
+    | 6 -> 25 + Rng.int rng 200
+    | _ -> 1 + Rng.int rng max_app_key_len
+  in
+  let add len =
+    if !filled < n then begin
+      let k = String.init len (fun _ -> Rng.char_alnum rng) in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        out.(!filled) <- k;
+        incr filled
+      end
+    end
+  in
+  List.iter add forced;
+  while !filled < n do
+    add (gen_len ())
+  done;
+  out
 
 let value_for i = Printf.sprintf "v%06d" (i mod 1_000_000)
 let wide_value_for i = Printf.sprintf "value%010d" (i mod 1_000_000_000)

@@ -11,16 +11,25 @@
       the hash key changes only every 62² keys.
     - {b Random}: distinct variable-size strings of 5-16 characters from
       the same alphabet, as in the paper.
+    - {b Composite}: beyond the paper — multi-field record keys
+      ([tNN:uNNNN:oNNNNNNNN]) with per-field skew (hot tenants/users),
+      the shape an application-layer KV workload presents: heavy
+      hash-prefix collisions, long shared prefixes, fixed 19-byte keys.
 
     All generators are deterministic in their seed. *)
 
-type spec = Dictionary | Sequential | Random
+type spec = Dictionary | Sequential | Random | Composite
 
 val name : spec -> string
 val of_name : string -> spec option
 
 val all : spec list
-(** In the order the paper's figures present them. *)
+(** The paper's three key sets, in the order its figures present them
+    (drives the Fig. 4-7 grids, so [Composite] is deliberately not
+    included here). *)
+
+val all_extended : spec list
+(** [all] plus the beyond-paper {!Composite} key set. *)
 
 val generate : ?seed:int64 -> spec -> int -> string array
 (** [generate spec n] returns [n] distinct keys. Sequential keys are
@@ -32,6 +41,31 @@ val generate : ?seed:int64 -> spec -> int -> string array
 val dictionary_universe : int
 (** How many distinct words {!Dictionary} can produce (≥ the paper's
     466,544). *)
+
+val composite_key : tenant:int -> user:int -> obj:int -> string
+(** [composite_key ~tenant ~user ~obj] renders the canonical
+    [tNN:uNNNN:oNNNNNNNN] record key (fields taken modulo their width). *)
+
+val encode_key : string -> string
+(** Map an arbitrary application key into the index's 1-24-byte key
+    space. Keys of 1-24 bytes not starting with the reserved ['\xfe']
+    byte encode as themselves; everything else (the empty string, keys
+    up to {!max_app_key_len} bytes, reserved-prefix keys) becomes
+    ['\xfe'] + a 23-character fingerprint from two independent 64-bit
+    FNV-1a streams plus a length character. Deterministic and stateless,
+    so search/update/delete agree across processes and recoveries;
+    distinct keys collide only with ~2{^ -128} probability. *)
+
+val max_app_key_len : int
+(** Longest application key the variable-length generator produces
+    (4096). *)
+
+val app_varlen_keys : ?seed:int64 -> int -> string array
+(** [app_varlen_keys n] returns [n] distinct application-layer keys of
+    length 0 to {!max_app_key_len}, weighted towards the index-native
+    1-24 range and the 24/25-byte boundary. The boundary lengths
+    (0, 1, 24, 25, 4096) are always represented first so even small runs
+    cross every encoding edge. *)
 
 val value_for : int -> string
 (** 7-byte payload for record [i] — sized to exercise the paper's 8-byte

@@ -1,14 +1,19 @@
-(** Operation-trace generation: the per-figure basic-operation traces and
-    the three YCSB mixed workloads of §IV-C.
-
-    All three mixes use YCSB's Uniform request distribution: every
-    preloaded record is equally likely to be addressed. *)
+(** Operation-trace generation: the per-figure basic-operation traces,
+    the three mixed workloads of §IV-C, and — beyond the paper — the six
+    standard YCSB core workloads (A-F) with latest/hotspot request skew,
+    scan and read-modify-write operations, and delete-churn plans. *)
 
 type op =
   | Insert of string * string
   | Search of string
   | Update of string * string
   | Delete of string
+  | Scan of string * int
+      (** [Scan (start, len)]: range scan of up to [len] records from
+          [start] upward (YCSB-E's SCAN). *)
+  | Rmw of string * string
+      (** [Rmw (key, v)]: read the record, then write [v] back
+          (YCSB-F's READMODIFYWRITE). *)
 
 type mix = {
   mix_name : string;
@@ -16,6 +21,8 @@ type mix = {
   search_pct : int;
   update_pct : int;
   delete_pct : int;
+  scan_pct : int;
+  rmw_pct : int;
 }
 
 val read_intensive : mix
@@ -28,27 +35,65 @@ val write_intensive : mix
 (** 40 % insert / 20 % search / 40 % update. *)
 
 val mixes : mix list
+(** The paper's three §IV-C mixes. *)
 
-type distribution = Uniform | Zipfian of float
-(** Request distribution over the preloaded records. The paper's three
-    mixes all use YCSB's Uniform; [Zipfian s] (YCSB's default shape,
-    exponent [s], typically 0.99) is provided for the skew experiments
-    beyond the paper. *)
+val ycsb_a : mix
+(** 50 % read / 50 % update. *)
+
+val ycsb_b : mix
+(** 95 % read / 5 % update. *)
+
+val ycsb_c : mix
+(** 100 % read. *)
+
+val ycsb_d : mix
+(** 95 % read / 5 % insert — canonically paired with [Latest] skew. *)
+
+val ycsb_e : mix
+(** 95 % scan / 5 % insert. *)
+
+val ycsb_f : mix
+(** 50 % read / 50 % read-modify-write. *)
+
+type distribution =
+  | Uniform
+  | Zipfian of float
+  | Latest of float
+      (** Zipf over recency rank: the most recently inserted records are
+          the most popular (YCSB's latest distribution; exponent as in
+          [Zipfian]). *)
+  | Hotspot of { hot_fraction : float; hot_prob : float }
+      (** [hot_prob] of requests land uniformly in the first
+          [hot_fraction] of the preloaded records; the rest land
+          uniformly in the cold remainder (YCSB's hotspot
+          distribution). *)
+
+val dist_name : distribution -> string
+(** Short label for table columns, e.g. ["zipf(0.99)"]. *)
+
+val ycsb_standard : (mix * distribution) list
+(** The six core workloads A-F, each with its canonical request
+    distribution (zipfian 0.99, except D which uses latest). *)
 
 val ycsb :
   ?seed:int64 ->
   ?dist:distribution ->
+  ?scan_max:int ->
   mix ->
   preloaded:string array ->
   fresh:string array ->
   n_ops:int ->
   op array
 (** An [n_ops]-long trace over a database preloaded with [preloaded]:
-    search/update/delete address preloaded records per [dist] (default
-    [Uniform], as in the paper); insert consumes keys from [fresh] in
-    order.
-    @raise Invalid_argument when [fresh] cannot cover the insert share
-    or [preloaded] is empty. *)
+    search/update/delete/scan/rmw address preloaded records per [dist]
+    (default [Uniform], as in the paper); insert consumes keys from
+    [fresh] in order; scan lengths are uniform in \[1, [scan_max]\]
+    (default 100, YCSB's default). Op-type, key-pick and scan-length
+    randomness run on independent explicitly-seeded streams split from
+    [seed], so traces for one mix are stable under changes to another.
+    @raise Invalid_argument when [fresh] cannot cover the insert share,
+    [preloaded] is empty, the percentages exceed 100, or a distribution
+    parameter is out of range. *)
 
 val zipf_sampler : Hart_util.Rng.t -> n:int -> s:float -> unit -> int
 (** A sampler of Zipf-distributed ranks in \[0, n): rank k drawn with
@@ -65,6 +110,15 @@ val search_trace : ?seed:int64 -> string array -> op array
 val update_trace : ?seed:int64 -> string array -> (int -> string) -> op array
 val delete_trace : ?seed:int64 -> string array -> op array
 
+val churn_trace :
+  ?seed:int64 -> ?waves:int -> string array -> (int -> string) -> op array
+(** Delete-churn plan: [waves] (default 3) rounds of insert-everything /
+    delete-everything, each in an independent shuffled order, then a
+    final insert wave so the index ends populated. Each round drains and
+    refills whole allocator chunks, storming the [Epalloc] recycler. *)
+
 val apply : Hart_baselines.Index_intf.ops -> op array -> int
 (** Run a trace against an index; returns the number of operations that
-    found their key (hits), for sanity checks. *)
+    found their key (hits), for sanity checks. Scans count as a hit when
+    they return at least one record; RMW's read half is the hit and its
+    write half lands as update-or-insert. *)

@@ -1168,6 +1168,146 @@ let test_double_recovery () =
   Hart.check_integrity h2
 
 (* ------------------------------------------------------------------ *)
+(* Parallel recovery: recover_parallel ~domains:d must be
+   observationally identical to serial recover — same bindings, same
+   structural stats, same integrity — on every pool shape.             *)
+
+let dump_hart h =
+  let m = ref SMap.empty in
+  Hart.iter h (fun k v -> m := SMap.add k v !m);
+  SMap.bindings !m
+
+(* [pool] must already be crashed; every domain count recovers its own
+   clone of the same durable image. *)
+let check_parallel_equiv ?(domain_counts = [ 1; 2; 3; 4 ]) pool =
+  let serial = Hart.recover (Pmem.clone pool) in
+  Hart.check_integrity ~allow_recovered_orphans:true serial;
+  let s_dump = dump_hart serial in
+  let s_stats = Hart_core.Hart_stats.collect serial in
+  List.iter
+    (fun d ->
+      let par = Hart.recover_parallel ~domains:d (Pmem.clone pool) in
+      Hart.check_integrity ~allow_recovered_orphans:true par;
+      Alcotest.(check int)
+        (Printf.sprintf "count at %d domain(s)" d)
+        (Hart.count serial) (Hart.count par);
+      Alcotest.(check int)
+        (Printf.sprintf "art count at %d domain(s)" d)
+        (Hart.art_count serial) (Hart.art_count par);
+      if dump_hart par <> s_dump then
+        Alcotest.failf "contents diverge from serial at %d domain(s)" d;
+      if Hart_core.Hart_stats.collect par <> s_stats then
+        Alcotest.failf "structural stats diverge from serial at %d domain(s)" d)
+    domain_counts
+
+let test_parallel_recover_empty () =
+  let h, pool = fresh_hart () in
+  ignore h;
+  Pmem.crash pool;
+  check_parallel_equiv pool;
+  Alcotest.(check int) "still empty" 0
+    (Hart.count (Hart.recover_parallel ~domains:4 (Pmem.clone pool)))
+
+let test_parallel_recover_mixed () =
+  let h, pool = fresh_hart () in
+  (* spread over many hash prefixes; values across all three classes *)
+  for i = 0 to 1199 do
+    let key =
+      Printf.sprintf "%c%c-par%04d"
+        (Char.chr (Char.code 'a' + (i mod 23)))
+        (Char.chr (Char.code 'a' + (i / 23 mod 17)))
+        i
+    in
+    let value =
+      match i mod 3 with
+      | 0 -> Printf.sprintf "v%d" i
+      | 1 -> Printf.sprintf "medium-value-%04d" (i mod 10_000)
+      | _ -> Printf.sprintf "wide-value-padding-%010d" (i mod 1_000_000)
+    in
+    Hart.insert h ~key ~value
+  done;
+  for i = 0 to 1199 do
+    if i mod 5 = 0 then
+      ignore
+        (Hart.update h
+           ~key:
+             (Printf.sprintf "%c%c-par%04d"
+                (Char.chr (Char.code 'a' + (i mod 23)))
+                (Char.chr (Char.code 'a' + (i / 23 mod 17)))
+                i)
+           ~value:"updated"
+          : bool)
+  done;
+  for i = 0 to 1199 do
+    if i mod 3 = 0 then
+      ignore
+        (Hart.delete h
+           (Printf.sprintf "%c%c-par%04d"
+              (Char.chr (Char.code 'a' + (i mod 23)))
+              (Char.chr (Char.code 'a' + (i / 23 mod 17)))
+              i)
+          : bool)
+  done;
+  Pmem.crash pool;
+  check_parallel_equiv pool
+
+let test_parallel_recover_churned () =
+  (* waves of insert-everything / delete-everything cycle whole chunks
+     through the recycler before the final populated state *)
+  let h, pool = fresh_hart () in
+  let key i = Printf.sprintf "ch%c%04d" (Char.chr (Char.code 'a' + (i mod 19))) i in
+  for wave = 0 to 2 do
+    for i = 0 to 599 do
+      Hart.insert h ~key:(key i) ~value:(Printf.sprintf "w%d-%d" wave i)
+    done;
+    if wave < 2 then
+      for i = 0 to 599 do
+        ignore (Hart.delete h (key i) : bool)
+      done
+  done;
+  Pmem.crash pool;
+  check_parallel_equiv pool
+
+let test_parallel_recover_short_keys () =
+  (* keys at and below the hash-key length: empty ART keys, and a
+     non-default kh read back from the pool header *)
+  let pool = fresh_pool () in
+  let h = Hart.create ~kh:3 pool in
+  for i = 0 to 400 do
+    let len = 1 + (i mod 6) in
+    let key =
+      String.init len (fun j -> Char.chr (Char.code 'a' + ((i + j) mod 26)))
+    in
+    Hart.insert h ~key ~value:(string_of_int i)
+  done;
+  Pmem.crash pool;
+  let r = Hart.recover_parallel ~domains:3 (Pmem.clone pool) in
+  Alcotest.(check int) "kh read from pool" 3 (Hart.kh r);
+  check_parallel_equiv pool
+
+let test_parallel_recover_pending_log () =
+  (* a crash mid-update leaves a pending micro-log; its serial replay
+     inside recover_parallel must land exactly as in serial recovery *)
+  let h, pool = fresh_hart () in
+  for i = 0 to 299 do
+    Hart.insert h ~key:(Printf.sprintf "pl%04d" i) ~value:"v"
+  done;
+  Pmem.arm_crash pool ~after_flushes:3;
+  (try ignore (Hart.update h ~key:"pl0100" ~value:"NEW" : bool)
+   with Pmem.Crash_injected -> ());
+  Pmem.disarm_crash pool;
+  check_parallel_equiv pool
+
+let test_parallel_recover_validation () =
+  let h, pool = fresh_hart () in
+  ignore h;
+  Pmem.crash pool;
+  Alcotest.(check bool) "domains:0 rejected" true
+    (match Hart.recover_parallel ~domains:0 pool with
+    | (_ : Hart.t) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Rwlock and Hart_mt                                                  *)
 
 let test_rwlock_exclusion () =
@@ -1642,6 +1782,15 @@ let () =
           Alcotest.test_case "eviction robustness" `Quick test_eviction_does_not_break_protocol;
           Alcotest.test_case "pool image reboot cycle" `Quick test_pool_image_reboot_cycle;
           QCheck_alcotest.to_alcotest qcheck_hart_recovery;
+        ] );
+      ( "parallel-recovery",
+        [
+          Alcotest.test_case "empty pool" `Quick test_parallel_recover_empty;
+          Alcotest.test_case "mixed pool" `Quick test_parallel_recover_mixed;
+          Alcotest.test_case "churned pool" `Quick test_parallel_recover_churned;
+          Alcotest.test_case "short keys, kh=3" `Quick test_parallel_recover_short_keys;
+          Alcotest.test_case "pending update log" `Quick test_parallel_recover_pending_log;
+          Alcotest.test_case "validation" `Quick test_parallel_recover_validation;
         ] );
       ( "recover-roundtrip",
         [

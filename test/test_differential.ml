@@ -227,6 +227,179 @@ let ladder_tests =
       Alcotest.test_case ("ladder " ^ name) `Quick (dense_ladder name make))
     targets
 
+(* ------------------------------------------------------------------ *)
+(* Variable-length and composite application keys through encode_key    *)
+
+(* Application-layer keys run 0 to [Keygen.max_app_key_len] bytes; the
+   indexes only accept 1-24. [Keygen.encode_key] bridges the gap:
+   identity for native keys, ['\xfe'] + fingerprint for everything else
+   (including the empty string and reserved-prefix keys). These tests
+   drive every index through that encoding against a Map oracle keyed by
+   the *application* key, so a fingerprint collision or any
+   encode/decode asymmetry shows up as an oracle divergence.
+
+   Range is deliberately absent: the fingerprint encoding is not
+   order-preserving past 24 bytes, so ordered iteration over encoded
+   keys is not an application-level guarantee. Final contents are still
+   compared exhaustively by mapping the oracle through [encode_key]. *)
+
+module Keygen = Hart_workloads.Keygen
+
+let app_key_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return 0);
+        (5, int_range 1 24);
+        (3, int_range 25 96);
+        (1, return Keygen.max_app_key_len);
+      ]
+    >>= fun len ->
+    (* include '\xfe' so reserved-prefix short keys are generated *)
+    string_size ~gen:(oneofl [ 'a'; 'b'; '\xfe' ]) (return len))
+
+let composite_key_gen =
+  QCheck.Gen.(
+    map3
+      (fun t u o -> Keygen.composite_key ~tenant:t ~user:u ~obj:o)
+      (int_range 0 3) (int_range 0 9) (int_range 0 30))
+
+let vkey_gen = QCheck.Gen.(frequency [ (3, app_key_gen); (1, composite_key_gen) ])
+
+let vop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map2 (fun k v -> Insert (k, v)) vkey_gen value_gen);
+        (3, map2 (fun k v -> Update (k, v)) vkey_gen value_gen);
+        (4, map (fun k -> Delete k) vkey_gen);
+        (4, map (fun k -> Search k) vkey_gen);
+        (1, return Count);
+      ])
+
+let vops_arb =
+  QCheck.make ~print:print_dops
+    ~shrink:QCheck.Shrink.(list ?shrink:None)
+    QCheck.Gen.(list_size (int_range 1 160) vop_gen)
+
+let run_varlen name make ops_list =
+  let ops, check = make () in
+  let oracle = ref SMap.empty in
+  let failf step op fmt =
+    Printf.ksprintf
+      (fun s ->
+        QCheck.Test.fail_reportf "%s: op %d (%s): %s" name step (pp_dop op) s)
+      fmt
+  in
+  List.iteri
+    (fun step op ->
+      (match op with
+      | Insert (k, v) ->
+          ops.B.Index_intf.insert ~key:(Keygen.encode_key k) ~value:v;
+          oracle := SMap.add k v !oracle
+      | Update (k, v) ->
+          let hit = ops.B.Index_intf.update ~key:(Keygen.encode_key k) ~value:v in
+          if hit <> SMap.mem k !oracle then
+            failf step op "update returned %b, oracle has-key %b" hit
+              (SMap.mem k !oracle);
+          if hit then oracle := SMap.add k v !oracle
+      | Delete k ->
+          let hit = ops.B.Index_intf.delete (Keygen.encode_key k) in
+          if hit <> SMap.mem k !oracle then
+            failf step op "delete returned %b, oracle has-key %b" hit
+              (SMap.mem k !oracle);
+          oracle := SMap.remove k !oracle
+      | Search k ->
+          let got = ops.B.Index_intf.search (Keygen.encode_key k)
+          and want = SMap.find_opt k !oracle in
+          if got <> want then
+            failf step op "search: got %s, oracle %s"
+              (match got with Some v -> Printf.sprintf "%S" v | None -> "None")
+              (match want with Some v -> Printf.sprintf "%S" v | None -> "None")
+      | Range _ -> (* not generated: encoding is not order-preserving *) ()
+      | Count ->
+          let got = ops.B.Index_intf.count ()
+          and want = SMap.cardinal !oracle in
+          if got <> want then failf step op "count: got %d, oracle %d" got want);
+      if (step + 1) mod 16 = 0 then
+        try check ()
+        with Failure msg -> failf step op "integrity: %s" msg)
+    ops_list;
+  (try check ()
+   with Failure msg ->
+     QCheck.Test.fail_reportf "%s: final integrity: %s" name msg);
+  let final = collect_range ops ~lo:"" ~hi:max_key in
+  let want =
+    List.sort compare
+      (List.map (fun (k, v) -> (Keygen.encode_key k, v)) (SMap.bindings !oracle))
+  in
+  if final <> want then
+    QCheck.Test.fail_reportf
+      "%s: final encoded contents diverge from oracle (%d vs %d bindings)" name
+      (List.length final) (List.length want);
+  true
+
+let varlen_tests =
+  List.map
+    (fun (name, make) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:25 ~name:("varlen " ^ name) vops_arb
+           (run_varlen name make)))
+    targets
+
+(* Deterministic boundary anchor: [Keygen.app_varlen_keys] always leads
+   with lengths 0, 1, 24, 25 and 4096, so this exercises the empty
+   string, both sides of the identity/fingerprint boundary and the
+   longest supported application key against every index. *)
+let varlen_ladder name make () =
+  let ops, check = make () in
+  let keys = Array.to_list (Keygen.app_varlen_keys 64) in
+  assert (List.mem "" keys);
+  assert (List.exists (fun k -> String.length k = Keygen.max_app_key_len) keys);
+  let oracle = ref SMap.empty in
+  List.iteri
+    (fun i k ->
+      ops.B.Index_intf.insert ~key:(Keygen.encode_key k)
+        ~value:(Keygen.value_for i);
+      oracle := SMap.add k (Keygen.value_for i) !oracle)
+    keys;
+  List.iter
+    (fun k ->
+      assert (ops.B.Index_intf.update ~key:(Keygen.encode_key k) ~value:"upd!");
+      oracle := SMap.add k "upd!" !oracle)
+    keys;
+  List.iteri
+    (fun i k ->
+      if i mod 2 = 0 then begin
+        assert (ops.B.Index_intf.delete (Keygen.encode_key k));
+        oracle := SMap.remove k !oracle
+      end)
+    keys;
+  SMap.iter
+    (fun k v ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "%s: survivor len %d" name (String.length k))
+        (Some v)
+        (ops.B.Index_intf.search (Keygen.encode_key k)))
+    !oracle;
+  check ();
+  Alcotest.(check int)
+    (name ^ ": varlen ladder count")
+    (SMap.cardinal !oracle)
+    (ops.B.Index_intf.count ())
+
+let varlen_ladder_tests =
+  List.map
+    (fun (name, make) ->
+      Alcotest.test_case ("varlen ladder " ^ name) `Quick
+        (varlen_ladder name make))
+    targets
+
 let () =
   Alcotest.run "differential"
-    [ ("qcheck", differential_tests); ("ladder", ladder_tests) ]
+    [
+      ("qcheck", differential_tests);
+      ("ladder", ladder_tests);
+      ("varlen-qcheck", varlen_tests);
+      ("varlen-ladder", varlen_ladder_tests);
+    ]

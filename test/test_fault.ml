@@ -91,6 +91,42 @@ let torn_full_eviction target () =
   in
   check_report ~nested:false r
 
+(* Parallel recovery must pass the same clean and torn matrices as the
+   serial target, over the same schedule space: the rebuild phase issues
+   no flushes, so sweeping with [recover_parallel] as the reattach must
+   observe exactly the flush boundaries (outer and nested) that serial
+   recovery does. *)
+let parallel_recovery_matches_serial_space () =
+  let name, setup, ops = find "delete-recycle" in
+  let s = Fault.explore ~setup ~workload:name Fault.hart ops in
+  let p =
+    Fault.explore ~setup ~workload:name
+      (Fault.hart_parallel_recovery ~domains:2)
+      ops
+  in
+  Alcotest.(check int) "same flush boundaries" s.Fault.total_flushes
+    p.Fault.total_flushes;
+  Alcotest.(check int) "same schedules" s.Fault.schedules p.Fault.schedules;
+  Alcotest.(check int) "same recovery flushes" s.Fault.recovery_flushes
+    p.Fault.recovery_flushes;
+  Alcotest.(check int) "same nested schedules" s.Fault.nested_schedules
+    p.Fault.nested_schedules
+
+let parallel_recovery_cases =
+  let target = Fault.hart_parallel_recovery ~domains:2 in
+  clean_cases ~expect_nested:true target
+  @ List.map
+      (fun name ->
+        Alcotest.test_case
+          (Printf.sprintf "%s/%s torn seed=7" target.Fault.target_name name)
+          `Quick
+          (sweep ~mode:(Pmem.Torn { seed = 7L; fraction = 0.5 }) target name))
+      [ "update-log"; "mixed-dense" ]
+  @ [
+      Alcotest.test_case "schedule space matches serial hart" `Quick
+        parallel_recovery_matches_serial_space;
+    ]
+
 let oracle_semantics () =
   let module SMap = Map.Make (String) in
   let m = List.fold_left Fault.apply_model SMap.empty in
@@ -602,6 +638,7 @@ let () =
         clean_cases Fault.fptree
         @ [ Alcotest.test_case "fptree/split-chain repairs torn split" `Quick
               fptree_split_repair ] );
+      ("hart-parallel-recovery", parallel_recovery_cases);
       ("hart-torn", torn_cases Fault.hart);
       ("fptree-torn", torn_cases Fault.fptree);
       ( "torn-full",

@@ -281,6 +281,77 @@ let test_epalloc_concurrent () =
     (held0 + held_rest) live
 
 (* ------------------------------------------------------------------ *)
+(* Delete-churn recycler storm: every domain owns a key slice and runs
+   waves of insert-everything / delete-everything, so whole leaf and
+   value chunks keep emptying and refilling concurrently — the hostile
+   case for [Epalloc]'s recycler. Afterwards the structural stats must
+   account for exactly the surviving keys (no leaked objects), integrity
+   must hold (no double-held objects: a bitmap bit referenced by two
+   leaves, or set with no referencing leaf, fails [check_integrity]),
+   and the chunk population must stay near the live peak (proof chunks
+   were recycled rather than accreted across waves).                    *)
+
+let test_recycler_churn_storm () =
+  let t = fresh_mt () in
+  let keys_per_domain = 1_500 in
+  let waves = 4 in
+  let key d i = Printf.sprintf "st%d_%04d" d i in
+  let require cond fmt =
+    Printf.ksprintf (fun s -> if not cond then failwith s) fmt
+  in
+  (* odd waves write 15-byte values (Val16), even waves 7-byte (Val8),
+     so value chunks of both classes churn through the recycler too *)
+  let value w i =
+    if w land 1 = 1 then Printf.sprintf "wave%02d-obj%04d" w (i mod 10_000)
+    else Printf.sprintf "w%02d%03d" w (i mod 1000)
+  in
+  let worker d () =
+    for w = 1 to waves do
+      for i = 0 to keys_per_domain - 1 do
+        Hart_mt.insert t ~key:(key d i) ~value:(value w i)
+      done;
+      if w < waves then
+        for i = 0 to keys_per_domain - 1 do
+          require (Hart_mt.delete t (key d i))
+            "churn wave %d: delete of own key %s missed" w (key d i)
+        done
+    done
+  in
+  let domains =
+    Array.init (n_domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join domains;
+  let hart = Hart_mt.underlying t in
+  Hart.check_integrity hart;
+  Epalloc.check_invariants (Hart.alloc hart);
+  let stats = Hart_core.Hart_stats.collect hart in
+  let survivors = n_domains * keys_per_domain in
+  Alcotest.(check int) "surviving keys" survivors stats.Hart_core.Hart_stats.keys;
+  Alcotest.(check int) "live leaves = surviving keys" survivors
+    stats.Hart_core.Hart_stats.leaf_class.Hart_core.Hart_stats.live_objects;
+  (* final wave is even: all survivors hold Val8 values; every Val16
+     from the odd waves must have been freed *)
+  Alcotest.(check int) "live Val8 values = surviving keys" survivors
+    stats.Hart_core.Hart_stats.val8_class.Hart_core.Hart_stats.live_objects;
+  Alcotest.(check int) "no leaked Val16 values" 0
+    stats.Hart_core.Hart_stats.val16_class.Hart_core.Hart_stats.live_objects;
+  Alcotest.(check int) "no leaked Val32 values" 0
+    stats.Hart_core.Hart_stats.val32_class.Hart_core.Hart_stats.live_objects;
+  (* chunks must track the live peak, not the total traffic: [waves]
+     full populations were allocated, but capacity must stay within the
+     peak of two interleaved populations plus per-domain slack *)
+  let max_capacity cls_name (c : Hart_core.Hart_stats.class_stats) =
+    let bound = (2 * survivors) + (2 * 56 * n_domains) in
+    if c.Hart_core.Hart_stats.capacity > bound then
+      Alcotest.failf "%s chunks accreted: capacity %d > bound %d (waves=%d)"
+        cls_name c.Hart_core.Hart_stats.capacity bound waves
+  in
+  max_capacity "leaf" stats.Hart_core.Hart_stats.leaf_class;
+  max_capacity "val8" stats.Hart_core.Hart_stats.val8_class;
+  max_capacity "val16" stats.Hart_core.Hart_stats.val16_class
+
+(* ------------------------------------------------------------------ *)
 (* Striped_mt over a toy index: the commuting contract is load-bearing  *)
 
 (* A deliberately fragile PM index: an append-only log at fixed offsets
@@ -522,6 +593,8 @@ let () =
         [
           Alcotest.test_case "concurrent alloc/commit/free" `Quick
             test_epalloc_concurrent;
+          Alcotest.test_case "delete-churn recycler storm" `Quick
+            test_recycler_churn_storm;
         ] );
       ( "striped_functor",
         [

@@ -124,12 +124,15 @@ let test_ycsb_mix_ratios () =
       let n_ops = 20_000 in
       let trace = Workload.ycsb mix ~preloaded ~fresh ~n_ops in
       let i = ref 0 and s = ref 0 and u = ref 0 and d = ref 0 in
+      let sc = ref 0 and rm = ref 0 in
       Array.iter
         (function
           | Workload.Insert _ -> incr i
           | Workload.Search _ -> incr s
           | Workload.Update _ -> incr u
-          | Workload.Delete _ -> incr d)
+          | Workload.Delete _ -> incr d
+          | Workload.Scan _ -> incr sc
+          | Workload.Rmw _ -> incr rm)
         trace;
       let close pct count =
         abs ((count * 100 / n_ops) - pct) <= 2 (* within 2 points *)
@@ -141,8 +144,12 @@ let test_ycsb_mix_ratios () =
       if not (close mix.Workload.update_pct !u) then
         Alcotest.failf "%s: update share %d" mix.Workload.mix_name !u;
       if not (close mix.Workload.delete_pct !d) then
-        Alcotest.failf "%s: delete share %d" mix.Workload.mix_name !d)
-    Workload.mixes
+        Alcotest.failf "%s: delete share %d" mix.Workload.mix_name !d;
+      if not (close mix.Workload.scan_pct !sc) then
+        Alcotest.failf "%s: scan share %d" mix.Workload.mix_name !sc;
+      if not (close mix.Workload.rmw_pct !rm) then
+        Alcotest.failf "%s: rmw share %d" mix.Workload.mix_name !rm)
+    (Workload.mixes @ List.map fst Workload.ycsb_standard)
 
 let test_ycsb_uniform_coverage () =
   let preloaded = Keygen.generate Keygen.Random 100 in
@@ -152,7 +159,8 @@ let test_ycsb_uniform_coverage () =
   Array.iter
     (function
       | Workload.Search k | Workload.Update (k, _) -> Hashtbl.replace seen k ()
-      | Workload.Insert _ | Workload.Delete _ -> ())
+      | Workload.Insert _ | Workload.Delete _ | Workload.Scan _ | Workload.Rmw _
+        -> ())
     trace;
   Alcotest.(check bool) "uniform distribution touches every record" true
     (Hashtbl.length seen = 100)
@@ -214,7 +222,8 @@ let test_ycsb_zipfian_skew () =
     (function
       | Workload.Search k | Workload.Update (k, _) ->
           Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
-      | Workload.Insert _ | Workload.Delete _ -> ())
+      | Workload.Insert _ | Workload.Delete _ | Workload.Scan _ | Workload.Rmw _
+        -> ())
     trace;
   let top =
     Hashtbl.fold (fun _ c acc -> max acc c) counts 0
@@ -223,6 +232,297 @@ let test_ycsb_zipfian_skew () =
   Alcotest.(check bool)
     (Printf.sprintf "hottest key hit %d times" top)
     true (top > 200)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism pins: the first 32 draws of every request distribution,
+   per seed, rendered compactly and compared against literals. The ycsb
+   generator splits its root seed into independent op/key/length
+   streams precisely so these stay stable; if any future change shifts
+   a stream, this test names the exact distribution and seed that
+   drifted. Regenerate the literals with
+   [PIN_DUMP=1 dune exec test/test_workloads.exe]. *)
+
+let render_op = function
+  | Workload.Insert (k, _) -> "I:" ^ k
+  | Workload.Search k -> "S:" ^ k
+  | Workload.Update (k, _) -> "U:" ^ k
+  | Workload.Delete k -> "D:" ^ k
+  | Workload.Scan (k, len) -> Printf.sprintf "C:%s:%d" k len
+  | Workload.Rmw (k, _) -> "M:" ^ k
+
+(* every op class present, so all three rng streams are consumed *)
+let pin_mix =
+  {
+    Workload.mix_name = "pin";
+    insert_pct = 10;
+    search_pct = 30;
+    update_pct = 20;
+    delete_pct = 10;
+    scan_pct = 20;
+    rmw_pct = 10;
+  }
+
+let pin_trace ?seed dist =
+  let preloaded = Array.init 40 (Printf.sprintf "p%02d") in
+  let fresh = Array.init 20 (Printf.sprintf "f%02d") in
+  let trace =
+    Workload.ycsb ?seed ~dist ~scan_max:9 pin_mix ~preloaded ~fresh ~n_ops:32
+  in
+  String.concat " " (Array.to_list (Array.map render_op trace))
+
+let pin_cases =
+  [
+    ("uniform/default", None, Workload.Uniform);
+    ("uniform/seed7", Some 7L, Workload.Uniform);
+    ("zipf99/default", None, Workload.Zipfian 0.99);
+    ("zipf99/seed7", Some 7L, Workload.Zipfian 0.99);
+    ("latest99/default", None, Workload.Latest 0.99);
+    ("latest99/seed7", Some 7L, Workload.Latest 0.99);
+    ("hotspot/default", None, Workload.Hotspot { hot_fraction = 0.2; hot_prob = 0.8 });
+    ("hotspot/seed7", Some 7L, Workload.Hotspot { hot_fraction = 0.2; hot_prob = 0.8 });
+  ]
+
+let pinned_draws =
+  [
+    ("uniform/default", "C:p00:6 D:p05 U:p17 M:p17 I:f00 U:p30 M:p35 S:p10 S:p23 U:p15 D:p05 S:p29 C:p35:6 S:p12 U:p15 C:p29:4 S:p13 U:p32 S:p09 U:p22 U:p32 D:p11 C:p08:6 I:f01 S:p36 S:p02 U:p28 S:p15 C:p31:4 S:p32 C:p14:3 C:p25:6");
+    ("uniform/seed7", "I:f00 U:p09 I:f01 S:p00 D:p36 D:p08 U:p27 U:p31 S:p06 M:p31 C:p20:8 C:p35:3 I:f02 S:p29 S:p32 U:p18 I:f03 M:p38 U:p02 S:p02 S:p39 S:p23 S:p24 U:p03 C:p01:1 U:p10 S:p00 U:p24 S:p07 D:p27 S:p03 U:p39");
+    ("zipf99/default", "C:p24:6 D:p01 U:p26 M:p14 I:f00 U:p09 M:p09 S:p01 S:p02 U:p01 D:p09 S:p15 C:p07:6 S:p00 U:p00 C:p00:4 S:p00 U:p00 S:p29 U:p08 U:p00 D:p00 C:p00:6 I:f01 S:p00 S:p02 U:p04 S:p24 C:p05:4 S:p39 C:p04:3 C:p34:6");
+    ("zipf99/seed7", "I:f00 U:p04 I:f01 S:p13 D:p26 D:p21 U:p01 U:p04 S:p12 M:p00 C:p00:8 C:p00:3 I:f02 S:p01 S:p19 U:p03 I:f03 M:p35 U:p00 S:p11 S:p15 S:p00 S:p22 U:p00 C:p13:1 U:p32 S:p09 U:p01 S:p04 D:p10 S:p00 U:p00");
+    ("latest99/default", "C:p04:6 D:p38 U:p00 M:p20 I:f00 U:p28 M:p28 S:p39 S:p37 U:p39 D:p29 S:p18 C:p30:6 S:f00 U:f00 C:f00:4 S:f00 U:f00 S:p29 U:f00 U:f00 D:f00 C:f00:6 I:f01 S:p39 S:p35 U:p06 S:p35 C:p36:4 S:p35 C:p38:3 C:p13:6");
+    ("latest99/seed7", "I:f00 U:p35 I:f01 S:p23 D:p03 D:p12 U:p39 U:p36 S:p24 M:f01 C:f01:8 C:f01:3 I:f02 S:f00 S:p15 U:p38 I:f03 M:f03 U:p28 S:p22 S:f03 S:p12 S:f03 U:p25 C:p31:1 U:f02 S:p38 U:p29 S:f03 D:f03 S:f02 U:p05");
+    ("hotspot/default", "C:p37:6 D:p09 U:p03 M:p07 I:f00 U:p05 M:p03 S:p07 S:p05 U:p01 D:p00 S:p00 C:p02:6 S:p07 U:p00 C:p01:4 S:p03 U:p26 S:p02 U:p00 U:p05 D:p03 C:p04:6 I:f01 S:p04 S:p06 U:p20 S:p01 C:p01:4 S:p07 C:p06:3 C:p21:6");
+    ("hotspot/seed7", "I:f00 U:p00 I:f01 S:p24 D:p07 D:p07 U:p03 U:p00 S:p06 M:p02 C:p07:8 C:p35:3 I:f02 S:p02 S:p00 U:p03 I:f03 M:p07 U:p05 S:p04 S:p01 S:p05 S:p03 U:p23 C:p03:1 U:p20 S:p06 U:p01 S:p23 D:p01 S:p28 U:p14");
+  ]
+
+let () =
+  if Sys.getenv_opt "PIN_DUMP" <> None then begin
+    List.iter
+      (fun (label, seed, dist) ->
+        Printf.printf "    (%S, %S);\n" label (pin_trace ?seed dist))
+      pin_cases;
+    exit 0
+  end
+
+let test_pinned_draws () =
+  List.iter
+    (fun (label, seed, dist) ->
+      match List.assoc_opt label pinned_draws with
+      | None -> Alcotest.failf "no pinned literal for %s" label
+      | Some expected ->
+          Alcotest.(check string) label expected (pin_trace ?seed dist))
+    pin_cases
+
+let test_stream_independence () =
+  (* changing scan_max only consumes the length stream differently: the
+     op sequence and every key drawn must stay identical *)
+  let preloaded = Keygen.generate Keygen.Random 300 in
+  let fresh = Keygen.generate ~seed:99L Keygen.Random 100 in
+  let strip = function
+    | Workload.Scan (k, _) -> Workload.Scan (k, 0)
+    | op -> op
+  in
+  let trace sm =
+    Array.map strip
+      (Workload.ycsb ~dist:(Workload.Zipfian 0.99) ~scan_max:sm pin_mix
+         ~preloaded ~fresh ~n_ops:600)
+  in
+  Alcotest.(check bool) "keys independent of scan_max" true
+    (trace 5 = trace 500)
+
+let test_scan_lengths_bounded () =
+  let preloaded = Keygen.generate Keygen.Random 100 in
+  let fresh = Keygen.generate ~seed:99L Keygen.Random 200 in
+  let scan_max = 13 in
+  let trace =
+    Workload.ycsb ~scan_max Workload.ycsb_e ~preloaded ~fresh ~n_ops:2000
+  in
+  Array.iter
+    (function
+      | Workload.Scan (_, len) ->
+          if len < 1 || len > scan_max then
+            Alcotest.failf "scan length %d outside 1..%d" len scan_max
+      | _ -> ())
+    trace;
+  Alcotest.(check bool) "scan_max 0 rejected" true
+    (match
+       Workload.ycsb ~scan_max:0 Workload.ycsb_e ~preloaded ~fresh ~n_ops:10
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_latest_skew_recency () =
+  let n_pre = 500 in
+  let preloaded = Array.init n_pre (Printf.sprintf "pre%04d") in
+  let fresh = Array.init 200 (Printf.sprintf "new%04d") in
+  let trace =
+    Workload.ycsb ~dist:(Workload.Latest 0.99) Workload.ycsb_d ~preloaded
+      ~fresh ~n_ops:4000
+  in
+  let total = ref 0 and recent = ref 0 and on_fresh = ref 0 in
+  let is_recent k =
+    (* the most recent tenth of the preload, or any freshly inserted key *)
+    if String.length k >= 3 && String.sub k 0 3 = "new" then begin
+      incr on_fresh;
+      true
+    end
+    else Scanf.sscanf k "pre%d" (fun i -> i >= n_pre * 9 / 10)
+  in
+  Array.iter
+    (function
+      | Workload.Search k ->
+          incr total;
+          if is_recent k then incr recent
+      | _ -> ())
+    trace;
+  Alcotest.(check bool)
+    (Printf.sprintf "latest mass on recent keys (%d/%d)" !recent !total)
+    true
+    (!recent * 100 / !total > 40);
+  Alcotest.(check bool) "freshly inserted keys get read" true (!on_fresh > 0)
+
+let test_hotspot_proportions () =
+  let n_pre = 1000 in
+  let preloaded = Array.init n_pre (Printf.sprintf "hs%04d") in
+  let fresh = [| "unused" |] in
+  let trace =
+    Workload.ycsb
+      ~dist:(Workload.Hotspot { hot_fraction = 0.2; hot_prob = 0.8 })
+      Workload.ycsb_c ~preloaded ~fresh ~n_ops:10_000
+  in
+  let hot = ref 0 and total = ref 0 in
+  Array.iter
+    (function
+      | Workload.Search k ->
+          incr total;
+          Scanf.sscanf k "hs%d" (fun i -> if i < n_pre / 5 then incr hot)
+      | _ -> ())
+    trace;
+  let pct = !hot * 100 / !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot set takes ~80%% of requests (got %d%%)" pct)
+    true
+    (pct >= 75 && pct <= 85);
+  Alcotest.(check bool) "hotspot validation" true
+    (match
+       Workload.ycsb
+         ~dist:(Workload.Hotspot { hot_fraction = 0.; hot_prob = 0.5 })
+         Workload.ycsb_c ~preloaded ~fresh ~n_ops:10
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_churn_trace_structure () =
+  let keys = Array.init 30 (Printf.sprintf "ck%02d") in
+  let waves = 2 in
+  let trace = Workload.churn_trace ~waves keys Keygen.value_for in
+  let n = Array.length keys in
+  Alcotest.(check int) "length = (2*waves+1)*n" ((2 * waves) + 1) (Array.length trace / n);
+  let sorted_keys = List.sort compare (Array.to_list keys) in
+  let wave i =
+    List.sort compare
+      (Array.to_list (Array.sub trace (i * n) n) |> List.map (function
+        | Workload.Insert (k, _) | Workload.Delete k -> k
+        | op -> Alcotest.failf "unexpected op %s" (render_op op)))
+  in
+  for w = 0 to 2 * waves do
+    (* every wave covers every key exactly once *)
+    Alcotest.(check (list string))
+      (Printf.sprintf "wave %d covers all keys" w)
+      sorted_keys (wave w);
+    let expect_insert = w mod 2 = 0 in
+    Array.iter
+      (fun op ->
+        match (op, expect_insert) with
+        | Workload.Insert _, true | Workload.Delete _, false -> ()
+        | op, _ ->
+            Alcotest.failf "wave %d: unexpected op %s" w (render_op op))
+      (Array.sub trace (w * n) n)
+  done;
+  (* waves are independently shuffled, not replayed *)
+  let order i =
+    Array.to_list (Array.sub trace (i * n) n) |> List.map render_op
+  in
+  Alcotest.(check bool) "waves shuffled independently" true (order 0 <> order 2);
+  Alcotest.(check bool) "waves must be >= 1" true
+    (match Workload.churn_trace ~waves:0 keys Keygen.value_for with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Application-key encoding and generators                             *)
+
+let test_encode_key_identity () =
+  (* 1-24-byte keys without the reserved prefix pass through untouched *)
+  for len = 1 to 24 do
+    let k = String.make len 'q' in
+    Alcotest.(check string) (Printf.sprintf "identity len %d" len) k
+      (Keygen.encode_key k)
+  done
+
+let test_encode_key_fingerprint () =
+  let fingerprinted =
+    [ ""; String.make 25 'a'; String.make 4096 'x'; "\xfe"; "\xfeshort" ]
+  in
+  List.iter
+    (fun k ->
+      let e = Keygen.encode_key k in
+      Alcotest.(check int)
+        (Printf.sprintf "fingerprint is 24 bytes (app len %d)" (String.length k))
+        24 (String.length e);
+      Alcotest.(check char) "reserved prefix" '\xfe' e.[0];
+      Alcotest.(check string) "deterministic" e (Keygen.encode_key k))
+    fingerprinted;
+  let encoded = List.map Keygen.encode_key fingerprinted in
+  Alcotest.(check int) "no collisions among encodings"
+    (List.length encoded)
+    (List.length (List.sort_uniq compare encoded))
+
+let test_app_varlen_keys () =
+  let keys = Keygen.app_varlen_keys 64 in
+  Alcotest.(check bool) "distinct" true (distinct keys);
+  let lens = Array.to_list (Array.map String.length keys) in
+  List.iter
+    (fun boundary ->
+      Alcotest.(check bool)
+        (Printf.sprintf "boundary length %d present" boundary)
+        true (List.mem boundary lens))
+    [ 0; 1; 24; 25; Keygen.max_app_key_len ];
+  let a = Keygen.app_varlen_keys ~seed:3L 200 in
+  let b = Keygen.app_varlen_keys ~seed:3L 200 in
+  Alcotest.(check bool) "deterministic per seed" true (a = b);
+  let encoded = Array.map Keygen.encode_key a in
+  Alcotest.(check bool) "encodings stay distinct" true (distinct encoded);
+  Array.iter
+    (fun e ->
+      let n = String.length e in
+      if n < 1 || n > 24 then Alcotest.failf "encoded length %d outside 1..24" n)
+    encoded
+
+let test_composite_keys () =
+  let k = Keygen.composite_key ~tenant:3 ~user:42 ~obj:12345 in
+  Alcotest.(check string) "canonical rendering" "t03:u0042:o00012345" k;
+  Alcotest.(check int) "fixed 19-byte width" 19 (String.length k);
+  let keys = Keygen.generate Keygen.Composite 5000 in
+  Alcotest.(check bool) "distinct" true (distinct keys);
+  Array.iter
+    (fun k ->
+      if String.length k <> 19 then Alcotest.failf "width %d" (String.length k);
+      Alcotest.(check string) "native keys encode as themselves" k
+        (Keygen.encode_key k))
+    keys;
+  (* per-field skew: the hottest tenant prefix must dominate *)
+  let tenants = Hashtbl.create 16 in
+  Array.iter
+    (fun k ->
+      let t = String.sub k 0 3 in
+      Hashtbl.replace tenants t
+        (1 + Option.value (Hashtbl.find_opt tenants t) ~default:0))
+    keys;
+  let top = Hashtbl.fold (fun _ c acc -> max acc c) tenants 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tenant skew (top=%d of 5000)" top)
+    true
+    (top > 5000 / Hashtbl.length tenants * 2)
 
 let test_apply_counts_hits () =
   let pool = Hart_pmem.Pmem.create (Hart_pmem.Meter.create Hart_pmem.Latency.c300_100) in
@@ -259,5 +559,21 @@ let () =
           Alcotest.test_case "zipf sampler validation" `Quick test_zipf_sampler_validation;
           Alcotest.test_case "ycsb zipfian skew" `Quick test_ycsb_zipfian_skew;
           Alcotest.test_case "apply counts hits" `Quick test_apply_counts_hits;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pinned first draws" `Quick test_pinned_draws;
+          Alcotest.test_case "stream independence" `Quick test_stream_independence;
+          Alcotest.test_case "scan lengths bounded" `Quick test_scan_lengths_bounded;
+          Alcotest.test_case "latest skew recency" `Quick test_latest_skew_recency;
+          Alcotest.test_case "hotspot proportions" `Quick test_hotspot_proportions;
+          Alcotest.test_case "churn trace structure" `Quick test_churn_trace_structure;
+        ] );
+      ( "app-keys",
+        [
+          Alcotest.test_case "encode identity" `Quick test_encode_key_identity;
+          Alcotest.test_case "encode fingerprint" `Quick test_encode_key_fingerprint;
+          Alcotest.test_case "app varlen keys" `Quick test_app_varlen_keys;
+          Alcotest.test_case "composite keys" `Quick test_composite_keys;
         ] );
     ]

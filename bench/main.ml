@@ -13,7 +13,7 @@
 
    Usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]
      EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation
-             parallel ycsb recovery *)
+             parallel ycsb recovery art_nodes *)
 
 module Latency = Hart_pmem.Latency
 module Keygen = Hart_workloads.Keygen
@@ -95,11 +95,11 @@ let usage () =
     "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro] \
      [--json-dir DIR]\n\
     \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation \
-     parallel ycsb recovery\n\
+     parallel ycsb recovery art_nodes\n\
     \  --json-dir DIR also writes BENCH_figs.json (every printed table) \
      and,\n\
     \  per experiment, BENCH_parallel.json / BENCH_ycsb.json / \
-     BENCH_recovery.json.";
+     BENCH_recovery.json / BENCH_art_nodes.json.";
   exit 2
 
 let () =
@@ -164,6 +164,11 @@ let () =
     Hart_harness.Exp_recovery.run_parallel
       ?json_path:
         (Option.map (fun d -> Filename.concat d "BENCH_recovery.json") !json_dir)
+      ~scale ();
+  if wants "art_nodes" then
+    Hart_harness.Exp_art_nodes.run
+      ?json_path:
+        (Option.map (fun d -> Filename.concat d "BENCH_art_nodes.json") !json_dir)
       ~scale ();
   (match !json_dir with
   | Some dir ->

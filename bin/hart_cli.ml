@@ -307,6 +307,52 @@ let recovery_cmd =
           against the original contents. Real [Domain.spawn] timings.")
     Term.(const run $ scale $ json $ min_speedup $ speedup_domains)
 
+let art_nodes_cmd =
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale the key counts (default 100k and 1M keys).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as JSON (BENCH_art_nodes.json format).")
+  in
+  let min_lookup_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-lookup-speedup" ] ~docv:"X"
+          ~doc:
+            "Fail (exit 1) unless uniform-random search on the bitmap \
+             layer at the largest key count is at least X times faster \
+             (wall clock) than the boxed layer. Skipped with a logged \
+             notice when the scaled sizes are too small to time \
+             meaningfully.")
+  in
+  let run scale json min_lookup_speedup =
+    ok_or_die
+      (if scale <= 0. then Error "scale must be positive"
+       else
+         match
+           Hart_harness.Exp_art_nodes.run ?json_path:json
+             ?lookup_threshold:min_lookup_speedup ~scale ()
+         with
+         | () -> Ok ()
+         | exception Failure msg -> Error msg)
+  in
+  Cmd.v
+    (Cmd.info "art-nodes"
+       ~doc:
+         "Benchmark the bitmap ART node layer against the retained boxed \
+          layer: wall-clock ns/op for insert, search, delete and range at \
+          100k-1M keys, plus simulated ns/op as a cost-model fidelity \
+          check (the two layers must agree exactly).")
+    Term.(const run $ scale $ json $ min_lookup_speedup)
+
 let fault_cmd =
   let workload =
     let all = List.map (fun (n, _, _) -> n) Hart_fault.Fault.builtin_workloads in
@@ -678,5 +724,6 @@ let () =
             parallel_cmd;
             ycsb_cmd;
             recovery_cmd;
+            art_nodes_cmd;
             fault_cmd;
           ]))

@@ -1,20 +1,45 @@
+(* Bitmap ART node layer (DESIGN.md §14).
+
+   The logical structure is the same adaptive radix tree as before
+   (pessimistic path compression, lazy expansion, ends-here leaves), but
+   the physical node representation is new:
+
+   - each inner node is an integer handle into a flat [int] Bigarray
+     ([meta], 16 words per node) holding the modelled address, child
+     count, capacity class, a 256-bit membership bitset stored as
+     8x32-bit words, the ends-here leaf index and the offset of the
+     child block;
+   - children live in a dense, byte-sorted block carved out of a single
+     shared [int] Bigarray arena ([kids]); a child is found by testing
+     its bit and popcount-ranking the bitset below it. Blocks double in
+     capacity (4, 8, ..., 256) and shrink with 1/4-occupancy hysteresis;
+     capacity-256 blocks are byte-indexed directly, like NODE256 was;
+   - leaf payloads are spilled to a growable table of ['v leaf] records
+     so the Bigarrays stay unboxed; a child word is a tagged handle
+     (leaf index shifted with a low tag bit, or inner handle).
+
+   The *modelled* cost layer is unchanged: the adaptive NODE4/16/48/256
+   class of a node is a pure function of its child count (grow happens
+   exactly at 4->5, 16->17, 48->49 and shrink immediately at 5->4,
+   17->16, 49->48), so [kids_size]-based footprints, every structural
+   event (addresses, [slot_off]s, kinds, orderings) and every
+   [Meter.access] touch are reproduced bit-for-bit as the boxed layer
+   emitted them — the NODE48 physical slot assignment that [slot_off]
+   exposed is emulated by a small side table on the (rare) class-48
+   mutation paths. [Art_boxed] keeps the old representation for
+   differential tests and the [exp_art_nodes] benchmark. *)
+
 module Meter = Hart_pmem.Meter
+module Bits = Hart_util.Bits
+module A = Bigarray.Array1
 
-type 'v leaf = { key : string; mutable value : 'v }
-type 'v node = Leaf of 'v leaf | Inner of 'v inner
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) A.t
 
-and 'v inner = {
-  mutable prefix : string;
-  mutable here : 'v leaf option;  (* leaf whose key ends at this node *)
-  mutable kids : 'v kids;
-  mutable addr : int;  (* synthetic DRAM address for cache simulation *)
-}
-
-and 'v kids =
-  | N4 of { mutable n : int; keys : Bytes.t; slots : 'v node option array }
-  | N16 of { mutable n : int; keys : Bytes.t; slots : 'v node option array }
-  | N48 of { mutable n : int; index : Bytes.t; slots : 'v node option array }
-  | N256 of { mutable n : int; slots : 'v node option array }
+(* Spilled leaves live in two parallel arrays rather than an array of
+   records: the search hot path compares [leaf_keys.(i)] with one load
+   instead of option-box -> record -> key, and a hit returns the
+   already-boxed [leaf_vals.(i)] without allocating. [None] marks a free
+   slot (the empty string cannot: "" is a valid key). *)
 
 type event =
   | Node_created of { addr : int; bytes : int }
@@ -25,322 +50,576 @@ type event =
   | Prefix_changed of { addr : int }
   | Here_changed of { addr : int }
 
+(* Modelled NODE48 slot state: the byte -> physical-slot map plus a
+   48-bit occupancy word, maintained only while a node's modelled class
+   is 48 so that [slot_off] can report the same slot the boxed layer's
+   lowest-free allocation would have used. *)
+type n48_state = { mutable used : int; map : Bytes.t }
+
 type 'v t = {
   meter : Meter.t option;
   space : Meter.space;
   alloc_node : int -> int;
   free_node : addr:int -> size:int -> unit;
   on_event : event -> unit;
-  mutable root : 'v node option;
+  mutable root : int;  (* tagged child word; [nil] when empty *)
   mutable count : int;
   mutable bytes : int;  (* modelled C footprint of inner nodes *)
+  (* physical pools *)
+  mutable meta : iarr;
+  mutable prefixes : string array;  (* parallel to meta handles *)
+  mutable node_top : int;
+  mutable node_free : int list;
+  mutable kids : iarr;  (* shared child-block arena *)
+  mutable kids_top : int;
+  kid_free : int list array;  (* free blocks, per capacity class 0..6 *)
+  mutable dense_used : int;  (* live child slots, Σ n *)
+  mutable dense_reserved : int;  (* slots in live nodes' blocks, Σ cap *)
+  mutable leaf_keys : string array;  (* spilled-leaf table ... *)
+  mutable leaf_vals : 'v option array;  (* ... [None] = free slot *)
+  mutable leaf_top : int;
+  mutable leaf_free : int list;
+  mutable n48 : n48_state option array;  (* parallel to meta handles *)
 }
 
-(* Modelled C sizes: 16-byte header (type, child count, prefix) plus the
-   key/index and child-pointer arrays of each node type. *)
-let kids_size = function
-  | N4 _ -> 56
-  | N16 _ -> 160
-  | N48 _ -> 656
-  | N256 _ -> 2064
+(* meta-word offsets within a handle's 16-word stride *)
+let stride = 16
+let f_addr = 0
+let f_n = 1
+let f_cls = 2 (* capacity class: cap = 4 lsl cls, cls in 0..6 *)
+let f_koff = 3 (* child-block offset in the kids arena *)
+let f_here = 4 (* ends-here leaf index, -1 when absent *)
+let f_bits = 5 (* 8x32-bit membership bitset words *)
 
-let no_slot = 255 (* empty marker in the NODE48 index *)
+(* tagged child words *)
+let nil = -1
+let leaf_word i = (i lsl 1) lor 1
+let inner_word h = h lsl 1
+let is_leaf_word x = x land 1 = 1
+let word_ix x = x asr 1
+
+let no_slot = 255 (* empty marker in the modelled NODE48 index *)
+
+(* Modelled adaptive class and C sizes: a pure function of the child
+   count, because the boxed layer grew exactly when an add overflowed a
+   class and shrank immediately at the class boundary after a removal. *)
+let mclass n = if n <= 4 then 4 else if n <= 16 then 16 else if n <= 48 then 48 else 256
+
+let msize = function 4 -> 56 | 16 -> 160 | 48 -> 656 | _ -> 2064
+
+(* Default hook, compared physically so the mutation paths can skip
+   constructing event records nobody will see. *)
+let ignore_event (_ : event) = ()
 
 let create ?meter ?(space = Meter.Dram) ?alloc_node ?free_node
-    ?(on_event = fun (_ : event) -> ()) () =
+    ?(on_event = ignore_event) () =
   let alloc_node =
     match (alloc_node, meter) with
     | Some f, _ -> f
     | None, Some m -> Meter.dram_alloc m
-    | None, None -> fun _ -> 0
+    | None, None ->
+        (* Distinct synthetic line-aligned addresses even without a
+           meter: a shared addr 0 would collapse every cache-simulation
+           event onto one another for consumers of [on_event]. *)
+        let next = ref 64 in
+        fun size ->
+          let a = !next in
+          next := a + ((size + 63) / 64 * 64);
+          a
   and free_node =
     match (free_node, meter) with
     | Some f, _ -> f
     | None, Some m -> fun ~addr ~size -> Meter.dram_free m ~addr ~size
     | None, None -> fun ~addr:_ ~size:_ -> ()
   in
-  { meter; space; alloc_node; free_node; on_event; root = None; count = 0; bytes = 16 }
+  {
+    meter;
+    space;
+    alloc_node;
+    free_node;
+    on_event;
+    root = nil;
+    count = 0;
+    bytes = 16;
+    meta = A.create Bigarray.int Bigarray.c_layout 0;
+    prefixes = [||];
+    node_top = 0;
+    node_free = [];
+    kids = A.create Bigarray.int Bigarray.c_layout 0;
+    kids_top = 0;
+    kid_free = Array.make 7 [];
+    dense_used = 0;
+    dense_reserved = 0;
+    leaf_keys = [||];
+    leaf_vals = [||];
+    leaf_top = 0;
+    leaf_free = [];
+    n48 = [||];
+  }
+
+let[@inline] evented t = t.on_event != ignore_event
 
 let count t = t.count
 let is_empty t = t.count = 0
 
-let touch t addr =
-  match t.meter with
-  | None -> ()
-  | Some m -> Meter.access m t.space ~addr ~write:false
+(* ------------------------------------------------------------------ *)
+(* Pools                                                               *)
 
-(* Byte offset of the child slot for byte [c], so that big nodes span
-   several simulated cache lines like their C counterparts. *)
-let touch_child t inn c =
-  let off =
-    match inn.kids with
-    | N4 _ | N16 _ -> 16
-    | N48 _ -> 16 + c
-    | N256 _ -> 16 + (c * 8)
+let get_addr t h = A.unsafe_get t.meta ((h * stride) + f_addr)
+let get_n t h = A.unsafe_get t.meta ((h * stride) + f_n)
+let get_here t h = A.unsafe_get t.meta ((h * stride) + f_here)
+let set_here t h v = A.unsafe_set t.meta ((h * stride) + f_here) v
+
+let[@inline] leaf_key t i = Array.unsafe_get t.leaf_keys i
+
+let leaf_value t i =
+  match Array.unsafe_get t.leaf_vals i with
+  | Some v -> v
+  | None -> invalid_arg "Art: dangling leaf handle"
+
+let alloc_leaf t key v =
+  match t.leaf_free with
+  | i :: rest ->
+      t.leaf_free <- rest;
+      t.leaf_keys.(i) <- key;
+      t.leaf_vals.(i) <- Some v;
+      i
+  | [] ->
+      if t.leaf_top = Array.length t.leaf_vals then begin
+        let cap = max 8 (2 * t.leaf_top) in
+        let nk = Array.make cap "" in
+        Array.blit t.leaf_keys 0 nk 0 t.leaf_top;
+        t.leaf_keys <- nk;
+        let nv = Array.make cap None in
+        Array.blit t.leaf_vals 0 nv 0 t.leaf_top;
+        t.leaf_vals <- nv
+      end;
+      let i = t.leaf_top in
+      t.leaf_top <- i + 1;
+      t.leaf_keys.(i) <- key;
+      t.leaf_vals.(i) <- Some v;
+      i
+
+let free_leaf t i =
+  t.leaf_keys.(i) <- "";
+  t.leaf_vals.(i) <- None;
+  t.leaf_free <- i :: t.leaf_free
+
+let alloc_handle t =
+  let h =
+    match t.node_free with
+    | h :: rest ->
+        t.node_free <- rest;
+        h
+    | [] ->
+        if (t.node_top + 1) * stride > A.dim t.meta then begin
+          let cap = max 16 (2 * (A.dim t.meta / stride)) in
+          let nu = A.create Bigarray.int Bigarray.c_layout (cap * stride) in
+          A.blit t.meta (A.sub nu 0 (A.dim t.meta));
+          t.meta <- nu;
+          let np = Array.make cap "" in
+          Array.blit t.prefixes 0 np 0 (Array.length t.prefixes);
+          t.prefixes <- np;
+          let ns = Array.make cap None in
+          Array.blit t.n48 0 ns 0 (Array.length t.n48);
+          t.n48 <- ns
+        end;
+        let h = t.node_top in
+        t.node_top <- h + 1;
+        h
   in
-  touch t (inn.addr + off)
+  let base = h * stride in
+  for i = 0 to stride - 1 do
+    A.unsafe_set t.meta (base + i) 0
+  done;
+  A.unsafe_set t.meta (base + f_here) (-1);
+  t.n48.(h) <- None;
+  h
 
-let alloc_inner t ~prefix ~kids =
-  let size = kids_size kids in
-  t.bytes <- t.bytes + size;
-  let addr = t.alloc_node size in
-  t.on_event (Node_created { addr; bytes = size });
-  { prefix; here = None; kids; addr }
+let alloc_kids t cls =
+  let cap = 4 lsl cls in
+  t.dense_reserved <- t.dense_reserved + cap;
+  match t.kid_free.(cls) with
+  | off :: rest ->
+      t.kid_free.(cls) <- rest;
+      off
+  | [] ->
+      let need = t.kids_top + cap in
+      if need > A.dim t.kids then begin
+        let dim' = max need (max 64 (2 * A.dim t.kids)) in
+        let nu = A.create Bigarray.int Bigarray.c_layout dim' in
+        A.blit t.kids (A.sub nu 0 (A.dim t.kids));
+        t.kids <- nu
+      end;
+      let off = t.kids_top in
+      t.kids_top <- need;
+      off
 
-let replace_kids t inn kids =
-  let old_size = kids_size inn.kids and size = kids_size kids in
-  t.bytes <- t.bytes + size - old_size;
-  t.free_node ~addr:inn.addr ~size:old_size;
-  t.on_event (Node_freed { addr = inn.addr; bytes = old_size });
-  inn.addr <- t.alloc_node size;
-  t.on_event (Node_created { addr = inn.addr; bytes = size });
-  inn.kids <- kids
-
-let release_inner t inn =
-  let size = kids_size inn.kids in
-  t.bytes <- t.bytes - size;
-  t.free_node ~addr:inn.addr ~size;
-  t.on_event (Node_freed { addr = inn.addr; bytes = size })
-
-let empty_n4 () =
-  N4 { n = 0; keys = Bytes.make 4 '\000'; slots = Array.make 4 None }
+let free_kids t cls off =
+  t.dense_reserved <- t.dense_reserved - (4 lsl cls);
+  t.kid_free.(cls) <- off :: t.kid_free.(cls)
 
 (* ------------------------------------------------------------------ *)
-(* Child-array operations                                              *)
+(* Metering                                                            *)
 
-let find_child kids c =
-  match kids with
-  | N4 { n; keys; slots } | N16 { n; keys; slots } ->
-      let rec go i =
-        if i >= n then None
-        else if Bytes.get_uint8 keys i = c then slots.(i)
-        else go (i + 1)
+let touch t h =
+  match t.meter with
+  | None -> ()
+  | Some m -> Meter.access m t.space ~addr:(get_addr t h) ~write:false
+
+(* Byte offset of the child slot for byte [c], so that big nodes span
+   several simulated cache lines like their C counterparts. Uses the
+   modelled class, as before. *)
+let touch_child t h c =
+  match t.meter with
+  | None -> ()
+  | Some m ->
+      let off =
+        match mclass (get_n t h) with
+        | 4 | 16 -> 16
+        | 48 -> 16 + c
+        | _ -> 16 + (c * 8)
       in
-      go 0
-  | N48 { index; slots; _ } ->
-      let s = Bytes.get_uint8 index c in
-      if s = no_slot then None else slots.(s)
-  | N256 { slots; _ } -> slots.(c)
+      Meter.access m t.space ~addr:(get_addr t h + off) ~write:false
 
-let set_child kids c node =
-  match kids with
-  | N4 { n; keys; slots } | N16 { n; keys; slots } ->
-      let rec go i =
-        if i >= n then invalid_arg "Art.set_child: absent"
-        else if Bytes.get_uint8 keys i = c then slots.(i) <- Some node
-        else go (i + 1)
-      in
-      go 0
-  | N48 { index; slots; _ } ->
-      let s = Bytes.get_uint8 index c in
-      if s = no_slot then invalid_arg "Art.set_child: absent";
-      slots.(s) <- Some node
-  | N256 { slots; _ } -> slots.(c) <- Some node
+(* ------------------------------------------------------------------ *)
+(* Modelled cost layer                                                 *)
 
-let child_count = function
-  | N4 { n; _ } | N16 { n; _ } | N48 { n; _ } | N256 { n; _ } -> n
+let alloc_inner t ~prefix =
+  let h = alloc_handle t in
+  let koff = alloc_kids t 0 in
+  let base = h * stride in
+  A.unsafe_set t.meta (base + f_koff) koff;
+  t.prefixes.(h) <- prefix;
+  t.bytes <- t.bytes + 56;
+  let addr = t.alloc_node 56 in
+  A.unsafe_set t.meta (base + f_addr) addr;
+  if evented t then t.on_event (Node_created { addr; bytes = 56 });
+  h
 
-let iter_children_asc kids f =
-  match kids with
-  | N4 { n; keys; slots } | N16 { n; keys; slots } ->
-      for i = 0 to n - 1 do
-        match slots.(i) with
-        | Some ch -> f (Bytes.get_uint8 keys i) ch
-        | None -> ()
-      done
-  | N48 { index; slots; _ } ->
-      for c = 0 to 255 do
-        let s = Bytes.get_uint8 index c in
-        if s <> no_slot then
-          match slots.(s) with Some ch -> f c ch | None -> ()
-      done
-  | N256 { slots; _ } ->
-      for c = 0 to 255 do
-        match slots.(c) with Some ch -> f c ch | None -> ()
-      done
+(* The modelled size-class change: same bookkeeping and event order as
+   the boxed layer's [replace_kids]. *)
+let replace_modelled t h ~old_k ~new_k =
+  let old_size = msize old_k and size = msize new_k in
+  t.bytes <- t.bytes + size - old_size;
+  let old_addr = get_addr t h in
+  t.free_node ~addr:old_addr ~size:old_size;
+  if evented t then t.on_event (Node_freed { addr = old_addr; bytes = old_size });
+  let addr = t.alloc_node size in
+  A.unsafe_set t.meta ((h * stride) + f_addr) addr;
+  if evented t then t.on_event (Node_created { addr; bytes = size })
 
-let iter_children_desc kids f =
-  match kids with
-  | N4 { n; keys; slots } | N16 { n; keys; slots } ->
-      for i = n - 1 downto 0 do
-        match slots.(i) with
-        | Some ch -> f (Bytes.get_uint8 keys i) ch
-        | None -> ()
-      done
-  | N48 { index; slots; _ } ->
-      for c = 255 downto 0 do
-        let s = Bytes.get_uint8 index c in
-        if s <> no_slot then
-          match slots.(s) with Some ch -> f c ch | None -> ()
-      done
-  | N256 { slots; _ } ->
-      for c = 255 downto 0 do
-        match slots.(c) with Some ch -> f c ch | None -> ()
-      done
+(* Iterate the set bytes of [h]'s bitset in ascending order. *)
+let iter_bytes_asc t h f =
+  let base = h * stride in
+  for w = 0 to 7 do
+    let word = ref (A.unsafe_get t.meta (base + f_bits + w)) in
+    let cbase = w lsl 5 in
+    while !word <> 0 do
+      f (cbase + Bits.ctz_w !word);
+      word := !word land (!word - 1)
+    done
+  done
 
-(* Grow [inn.kids] by one adaptive size class. *)
-let grow t inn =
-  match inn.kids with
-  | N4 { n; keys; slots } ->
-      let keys' = Bytes.make 16 '\000' and slots' = Array.make 16 None in
-      Bytes.blit keys 0 keys' 0 n;
-      Array.blit slots 0 slots' 0 n;
-      replace_kids t inn (N16 { n; keys = keys'; slots = slots' })
-  | N16 { n; keys; slots } ->
-      let index = Bytes.make 256 (Char.chr no_slot) in
-      let slots' = Array.make 48 None in
-      for i = 0 to n - 1 do
-        Bytes.set_uint8 index (Bytes.get_uint8 keys i) i;
-        slots'.(i) <- slots.(i)
-      done;
-      replace_kids t inn (N48 { n; index; slots = slots' })
-  | N48 { n; index; slots } ->
-      let slots' = Array.make 256 None in
-      for c = 0 to 255 do
-        let s = Bytes.get_uint8 index c in
-        if s <> no_slot then slots'.(c) <- slots.(s)
-      done;
-      replace_kids t inn (N256 { n; slots = slots' })
-  | N256 _ -> invalid_arg "Art.grow: NODE256 cannot grow"
+(* Modelled NODE48 slot maps. On entry to class 48 — upward from 16 or
+   downward from 256 — the boxed layer rebuilt the slot array in
+   byte-ascending order; while in class 48 each added byte took the
+   lowest free physical slot. *)
+let n48_get t h =
+  match Array.unsafe_get t.n48 h with
+  | Some st -> st
+  | None -> invalid_arg "Art: missing NODE48 slot map"
 
-(* Modelled byte offset of byte [c]'s child slot within the node. *)
-let slot_off kids c =
-  match kids with
-  | N4 { n; keys; _ } | N16 { n; keys; _ } ->
-      let rec pos i =
-        if i >= n || Bytes.get_uint8 keys i = c then i else pos (i + 1)
-      in
-      16 + (pos 0 * 8)
-  | N48 { index; _ } ->
-      let s = Bytes.get_uint8 index c in
+let n48_enter t h =
+  let st = { used = 0; map = Bytes.make 256 (Char.chr no_slot) } in
+  let j = ref 0 in
+  iter_bytes_asc t h (fun c ->
+      Bytes.set_uint8 st.map c !j;
+      st.used <- st.used lor (1 lsl !j);
+      incr j);
+  t.n48.(h) <- Some st
+
+let n48_slot t h c = Bytes.get_uint8 (n48_get t h).map c
+
+let n48_assign t h c =
+  let st = n48_get t h in
+  let rec free_slot s = if (st.used lsr s) land 1 = 0 then s else free_slot (s + 1) in
+  let s = free_slot 0 in
+  st.used <- st.used lor (1 lsl s);
+  Bytes.set_uint8 st.map c s
+
+let n48_release t h c =
+  let st = n48_get t h in
+  let s = Bytes.get_uint8 st.map c in
+  st.used <- st.used land lnot (1 lsl s);
+  Bytes.set_uint8 st.map c no_slot
+
+(* ------------------------------------------------------------------ *)
+(* Physical child-block operations                                     *)
+
+(* Rank of byte [c]: set bits strictly below it, i.e. its position in
+   the dense sorted child block. *)
+let rank_of_byte t h c =
+  let base = (h * stride) + f_bits in
+  let idx = c lsr 5 in
+  let r = ref (Bits.rank_below_w (A.unsafe_get t.meta (base + idx)) (c land 31)) in
+  for w = 0 to idx - 1 do
+    r := !r + Bits.popcount_w (A.unsafe_get t.meta (base + w))
+  done;
+  !r
+
+(* Modelled byte offset of byte [c]'s child slot within the node (same
+   values the boxed layer reported). *)
+let slot_off_of t h c =
+  match mclass (get_n t h) with
+  | 4 | 16 -> 16 + (rank_of_byte t h c * 8)
+  | 48 ->
+      let s = n48_slot t h c in
       16 + 256 + (if s = no_slot then 0 else s * 8)
-  | N256 _ -> 16 + (c * 8)
+  | _ -> 16 + (c * 8)
 
-let kind_of kids =
-  match kids with N4 _ -> 4 | N16 _ -> 16 | N48 _ -> 48 | N256 _ -> 256
+let find_child t h c =
+  let meta = t.meta in
+  let base = h * stride in
+  let w = A.unsafe_get meta (base + f_bits + (c lsr 5)) in
+  if (w lsr (c land 31)) land 1 = 0 then nil
+  else begin
+    let koff = A.unsafe_get meta (base + f_koff) in
+    if A.unsafe_get meta (base + f_cls) = 6 then A.unsafe_get t.kids (koff + c)
+    else A.unsafe_get t.kids (koff + rank_of_byte t h c)
+  end
+
+let set_child_phys t h c child =
+  let base = h * stride in
+  let w = A.unsafe_get t.meta (base + f_bits + (c lsr 5)) in
+  if (w lsr (c land 31)) land 1 = 0 then invalid_arg "Art.set_child: absent";
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  if A.unsafe_get t.meta (base + f_cls) = 6 then
+    A.unsafe_set t.kids (koff + c) child
+  else A.unsafe_set t.kids (koff + rank_of_byte t h c) child
+
+let grow_phys t h =
+  let base = h * stride in
+  let n = A.unsafe_get t.meta (base + f_n) in
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  let cls' = cls + 1 in
+  let koff' = alloc_kids t cls' in
+  let kids = t.kids in
+  (if cls' = 6 then begin
+     (* dense -> byte-indexed: scatter by byte *)
+     for i = 0 to 255 do
+       A.unsafe_set kids (koff' + i) 0
+     done;
+     let r = ref 0 in
+     iter_bytes_asc t h (fun c ->
+         A.unsafe_set kids (koff' + c) (A.unsafe_get kids (koff + !r));
+         incr r)
+   end
+   else
+     for i = 0 to n - 1 do
+       A.unsafe_set kids (koff' + i) (A.unsafe_get kids (koff + i))
+     done);
+  free_kids t cls koff;
+  A.unsafe_set t.meta (base + f_cls) cls';
+  A.unsafe_set t.meta (base + f_koff) koff'
+
+(* Halve the block while occupancy is at or below a quarter, keeping a
+   2x hysteresis band so delete/insert churn does not thrash. *)
+let rec maybe_shrink_phys t h =
+  let base = h * stride in
+  let n = A.unsafe_get t.meta (base + f_n) in
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  if cls > 0 && n * 4 <= 4 lsl cls then begin
+    let koff = A.unsafe_get t.meta (base + f_koff) in
+    let cls' = cls - 1 in
+    let koff' = alloc_kids t cls' in
+    let kids = t.kids in
+    (if cls = 6 then begin
+       (* byte-indexed -> dense gather *)
+       let r = ref 0 in
+       iter_bytes_asc t h (fun c ->
+           A.unsafe_set kids (koff' + !r) (A.unsafe_get kids (koff + c));
+           incr r)
+     end
+     else
+       for i = 0 to n - 1 do
+         A.unsafe_set kids (koff' + i) (A.unsafe_get kids (koff + i))
+       done);
+    free_kids t cls koff;
+    A.unsafe_set t.meta (base + f_cls) cls';
+    A.unsafe_set t.meta (base + f_koff) koff';
+    maybe_shrink_phys t h
+  end
+
+let phys_insert t h c child =
+  let base = h * stride in
+  let n = A.unsafe_get t.meta (base + f_n) in
+  if n = 4 lsl A.unsafe_get t.meta (base + f_cls) then grow_phys t h;
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  let kids = t.kids in
+  (if cls = 6 then A.unsafe_set kids (koff + c) child
+   else begin
+     let r = rank_of_byte t h c in
+     for i = n downto r + 1 do
+       A.unsafe_set kids (koff + i) (A.unsafe_get kids (koff + i - 1))
+     done;
+     A.unsafe_set kids (koff + r) child
+   end);
+  let wi = base + f_bits + (c lsr 5) in
+  A.unsafe_set t.meta wi (A.unsafe_get t.meta wi lor (1 lsl (c land 31)));
+  A.unsafe_set t.meta (base + f_n) (n + 1);
+  t.dense_used <- t.dense_used + 1
+
+let phys_remove t h c =
+  let base = h * stride in
+  let n = A.unsafe_get t.meta (base + f_n) in
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  (if cls <> 6 then begin
+     let r = rank_of_byte t h c in
+     let kids = t.kids in
+     for i = r to n - 2 do
+       A.unsafe_set kids (koff + i) (A.unsafe_get kids (koff + i + 1))
+     done
+   end);
+  let wi = base + f_bits + (c lsr 5) in
+  A.unsafe_set t.meta wi (A.unsafe_get t.meta wi land lnot (1 lsl (c land 31)));
+  A.unsafe_set t.meta (base + f_n) (n - 1);
+  t.dense_used <- t.dense_used - 1;
+  maybe_shrink_phys t h
+
+(* ------------------------------------------------------------------ *)
+(* Structural mutations with modelled events                           *)
 
 (* [quiet] suppresses the Child_added event for children placed while a
    fresh node is being built: in C those writes are covered by the single
    whole-node persist that Node_created already represents. *)
-let rec add_child ?(quiet = false) t inn c node =
-  let added () =
-    if not quiet then
-      t.on_event
-        (Child_added
-           { addr = inn.addr; slot_off = slot_off inn.kids c; kind = kind_of inn.kids })
-  in
-  match inn.kids with
-  | N4 ({ n; keys; slots } as r) when n < 4 ->
-      let rec pos i =
-        if i < n && Bytes.get_uint8 keys i < c then pos (i + 1) else i
-      in
-      let p = pos 0 in
-      for i = n downto p + 1 do
-        Bytes.set_uint8 keys i (Bytes.get_uint8 keys (i - 1));
-        slots.(i) <- slots.(i - 1)
-      done;
-      Bytes.set_uint8 keys p c;
-      slots.(p) <- Some node;
-      r.n <- n + 1;
-      added ()
-  | N16 ({ n; keys; slots } as r) when n < 16 ->
-      let rec pos i =
-        if i < n && Bytes.get_uint8 keys i < c then pos (i + 1) else i
-      in
-      let p = pos 0 in
-      for i = n downto p + 1 do
-        Bytes.set_uint8 keys i (Bytes.get_uint8 keys (i - 1));
-        slots.(i) <- slots.(i - 1)
-      done;
-      Bytes.set_uint8 keys p c;
-      slots.(p) <- Some node;
-      r.n <- n + 1;
-      added ()
-  | N48 ({ n; index; slots } as r) when n < 48 ->
-      let rec free_slot i = if slots.(i) = None then i else free_slot (i + 1) in
-      let s = free_slot 0 in
-      Bytes.set_uint8 index c s;
-      slots.(s) <- Some node;
-      r.n <- n + 1;
-      added ()
-  | N256 ({ slots; _ } as r) ->
-      slots.(c) <- Some node;
-      r.n <- r.n + 1;
-      added ()
-  | N4 _ | N16 _ | N48 _ ->
-      grow t inn;
-      add_child ~quiet t inn c node
+let add_child ?(quiet = false) t h c child =
+  let n = get_n t h in
+  let k = mclass n and k' = mclass (n + 1) in
+  if k' <> k then begin
+    replace_modelled t h ~old_k:k ~new_k:k';
+    if k' = 48 then n48_enter t h (* 16 -> 17: sorted bytes get slots 0.. *)
+    else if k = 48 then t.n48.(h) <- None (* 48 -> 49 *)
+  end;
+  phys_insert t h c child;
+  if mclass (n + 1) = 48 then n48_assign t h c;
+  if not quiet && evented t then
+    t.on_event
+      (Child_added { addr = get_addr t h; slot_off = slot_off_of t h c; kind = k' })
 
-(* Shrink one size class when occupancy allows; called after removal. *)
-let maybe_shrink t inn =
-  match inn.kids with
-  | N16 ({ n; keys; slots } as _r) when n <= 4 ->
-      let keys' = Bytes.make 4 '\000' and slots' = Array.make 4 None in
-      Bytes.blit keys 0 keys' 0 n;
-      Array.blit slots 0 slots' 0 n;
-      replace_kids t inn (N4 { n; keys = keys'; slots = slots' })
-  | N48 { n; index; slots } when n <= 16 ->
-      let keys' = Bytes.make 16 '\000' and slots' = Array.make 16 None in
-      let j = ref 0 in
-      for c = 0 to 255 do
-        let s = Bytes.get_uint8 index c in
-        if s <> no_slot then begin
-          Bytes.set_uint8 keys' !j c;
-          slots'.(!j) <- slots.(s);
-          incr j
+let remove_child t h c =
+  let n = get_n t h in
+  let k = mclass n in
+  if evented t then
+    t.on_event
+      (Child_removed { addr = get_addr t h; slot_off = slot_off_of t h c; kind = k });
+  if k = 48 then n48_release t h c;
+  phys_remove t h c;
+  let k' = mclass (n - 1) in
+  if k' <> k then begin
+    replace_modelled t h ~old_k:k ~new_k:k';
+    if k' = 48 then n48_enter t h (* 49 -> 48: slots in byte-rank order *)
+    else if k = 48 then t.n48.(h) <- None (* 17 -> 16 *)
+  end
+
+let replace_child t h c child =
+  set_child_phys t h c child;
+  if evented t then
+    t.on_event
+      (Child_replaced
+         { addr = get_addr t h; slot_off = slot_off_of t h c; kind = mclass (get_n t h) })
+
+(* The modelled same-value pointer rewrite (see [delete]'s [rebuilt]):
+   the event is part of the contract, but the physical slot already
+   holds [child], so no write is needed. *)
+let replace_child_same t h c =
+  if evented t then
+    t.on_event
+      (Child_replaced
+         { addr = get_addr t h; slot_off = slot_off_of t h c; kind = mclass (get_n t h) })
+
+let release_inner t h =
+  let base = h * stride in
+  let n = A.unsafe_get t.meta (base + f_n) in
+  let k = mclass n in
+  let size = msize k in
+  t.bytes <- t.bytes - size;
+  let addr = A.unsafe_get t.meta (base + f_addr) in
+  t.free_node ~addr ~size;
+  if evented t then t.on_event (Node_freed { addr; bytes = size });
+  if k = 48 then t.n48.(h) <- None;
+  free_kids t (A.unsafe_get t.meta (base + f_cls)) (A.unsafe_get t.meta (base + f_koff));
+  t.dense_used <- t.dense_used - n;
+  t.prefixes.(h) <- "";
+  t.node_free <- h :: t.node_free
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers                                                   *)
+
+let iter_children_asc t h f =
+  let base = h * stride in
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  let r = ref 0 in
+  for w = 0 to 7 do
+    let word = ref (A.unsafe_get t.meta (base + f_bits + w)) in
+    let cbase = w lsl 5 in
+    while !word <> 0 do
+      let c = cbase + Bits.ctz_w !word in
+      let child =
+        if cls = 6 then A.unsafe_get t.kids (koff + c)
+        else A.unsafe_get t.kids (koff + !r)
+      in
+      incr r;
+      f c child;
+      word := !word land (!word - 1)
+    done
+  done
+
+let iter_children_desc t h f =
+  let base = h * stride in
+  let cls = A.unsafe_get t.meta (base + f_cls) in
+  let koff = A.unsafe_get t.meta (base + f_koff) in
+  let r = ref (A.unsafe_get t.meta (base + f_n)) in
+  for w = 7 downto 0 do
+    let word = A.unsafe_get t.meta (base + f_bits + w) in
+    if word <> 0 then
+      for b = 31 downto 0 do
+        if (word lsr b) land 1 = 1 then begin
+          decr r;
+          let c = (w lsl 5) + b in
+          let child =
+            if cls = 6 then A.unsafe_get t.kids (koff + c)
+            else A.unsafe_get t.kids (koff + !r)
+          in
+          f c child
         end
-      done;
-      replace_kids t inn (N16 { n; keys = keys'; slots = slots' })
-  | N256 { n; slots } when n <= 48 ->
-      let index = Bytes.make 256 (Char.chr no_slot) in
-      let slots' = Array.make 48 None in
-      let j = ref 0 in
-      for c = 0 to 255 do
-        match slots.(c) with
-        | Some ch ->
-            Bytes.set_uint8 index c !j;
-            slots'.(!j) <- Some ch;
-            incr j
-        | None -> ()
-      done;
-      replace_kids t inn (N48 { n; index; slots = slots' })
-  | N4 _ | N16 _ | N48 _ | N256 _ -> ()
+      done
+  done
 
-let remove_sorted ~n ~keys ~slots c =
-  let rec pos i =
-    if i >= n then invalid_arg "Art.remove_child: absent"
-    else if Bytes.get_uint8 keys i = c then i
-    else pos (i + 1)
+(* The single child of a node with n = 1. *)
+let only_child t h =
+  let base = h * stride in
+  let rec go w =
+    if w = 8 then invalid_arg "Art.only_child: empty node"
+    else
+      let word = A.unsafe_get t.meta (base + f_bits + w) in
+      if word = 0 then go (w + 1)
+      else begin
+        let c = (w lsl 5) + Bits.ctz_w word in
+        let koff = A.unsafe_get t.meta (base + f_koff) in
+        let child =
+          if A.unsafe_get t.meta (base + f_cls) = 6 then
+            A.unsafe_get t.kids (koff + c)
+          else A.unsafe_get t.kids koff
+        in
+        (c, child)
+      end
   in
-  let p = pos 0 in
-  for i = p to n - 2 do
-    Bytes.set_uint8 keys i (Bytes.get_uint8 keys (i + 1));
-    slots.(i) <- slots.(i + 1)
-  done;
-  slots.(n - 1) <- None
-
-let remove_child t inn c =
-  t.on_event
-    (Child_removed
-       { addr = inn.addr; slot_off = slot_off inn.kids c; kind = kind_of inn.kids });
-  (match inn.kids with
-  | N4 ({ n; keys; slots } as r) ->
-      remove_sorted ~n ~keys ~slots c;
-      r.n <- n - 1
-  | N16 ({ n; keys; slots } as r) ->
-      remove_sorted ~n ~keys ~slots c;
-      r.n <- n - 1
-  | N48 ({ n = _; index; slots } as r) ->
-      let s = Bytes.get_uint8 index c in
-      if s = no_slot then invalid_arg "Art.remove_child: absent";
-      Bytes.set_uint8 index c no_slot;
-      slots.(s) <- None;
-      r.n <- r.n - 1
-  | N256 ({ slots; _ } as r) ->
-      if slots.(c) = None then invalid_arg "Art.remove_child: absent";
-      slots.(c) <- None;
-      r.n <- r.n - 1);
-  maybe_shrink t inn
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
@@ -356,211 +635,241 @@ let prefix_matches key depth prefix =
   String.length key - depth >= plen && common_len key depth prefix 0 = plen
 
 let find t key =
-  let rec go node depth =
-    match node with
-    | Leaf l -> if String.equal l.key key then Some l.value else None
-    | Inner inn ->
-        touch t inn.addr;
-        if not (prefix_matches key depth inn.prefix) then None
-        else
-          let d = depth + String.length inn.prefix in
-          if String.length key = d then
-            match inn.here with
-            | Some l -> Some l.value
-            | None -> None
-          else begin
-            let c = Char.code key.[d] in
-            touch_child t inn c;
-            match find_child inn.kids c with
-            | None -> None
-            | Some ch -> go ch (d + 1)
-          end
+  let rec go child depth =
+    if is_leaf_word child then begin
+      let i = word_ix child in
+      if String.equal (Array.unsafe_get t.leaf_keys i) key then
+        Array.unsafe_get t.leaf_vals i
+      else None
+    end
+    else begin
+      let h = word_ix child in
+      touch t h;
+      let prefix = Array.unsafe_get t.prefixes h in
+      if not (prefix_matches key depth prefix) then None
+      else
+        let d = depth + String.length prefix in
+        if String.length key = d then begin
+          let hr = get_here t h in
+          if hr >= 0 then Array.unsafe_get t.leaf_vals hr else None
+        end
+        else begin
+          let c = Char.code (String.unsafe_get key d) in
+          touch_child t h c;
+          let ch = find_child t h c in
+          if ch = nil then None else go ch (d + 1)
+        end
+    end
   in
-  match t.root with None -> None | Some n -> go n 0
+  if t.root = nil then None else go t.root 0
 
 (* ------------------------------------------------------------------ *)
 (* Insertion                                                           *)
 
 (* Join two leaves that diverge at or after [depth] under a fresh inner
-   node; [l] is the pre-existing leaf, the new leaf holds [key]/[v]. *)
-let join_leaves t l key v depth =
-  let m = common_len l.key depth key depth in
-  let inn = alloc_inner t ~prefix:(String.sub key depth m) ~kids:(empty_n4 ()) in
+   node; [li] is the pre-existing leaf, the new leaf holds [key]/[v]. *)
+let join_leaves t li lkey key v depth =
+  let m = common_len lkey depth key depth in
+  let inn = alloc_inner t ~prefix:(String.sub key depth m) in
   let d = depth + m in
-  let place (lf : 'v leaf) =
-    if String.length lf.key = d then inn.here <- Some lf
-    else add_child ~quiet:true t inn (Char.code lf.key.[d]) (Leaf lf)
+  let place i ikey =
+    if String.length ikey = d then set_here t inn i
+    else add_child ~quiet:true t inn (Char.code ikey.[d]) (leaf_word i)
   in
-  place l;
-  place { key; value = v };
-  Inner inn
+  place li lkey;
+  let ni = alloc_leaf t key v in
+  place ni key;
+  inner_word inn
 
 let insert t key v =
   let result = ref `Inserted in
-  let rec go node depth =
-    match node with
-    | Leaf l ->
-        if String.equal l.key key then begin
-          result := `Replaced l.value;
-          l.value <- v;
-          node
-        end
-        else join_leaves t l key v depth
-    | Inner inn ->
-        touch t inn.addr;
-        let plen = String.length inn.prefix in
-        let m = common_len key depth inn.prefix 0 in
-        if m < plen then begin
-          (* split the compressed path at [m] *)
-          let parent =
-            alloc_inner t ~prefix:(String.sub inn.prefix 0 m) ~kids:(empty_n4 ())
-          in
-          let old_byte = Char.code inn.prefix.[m] in
-          inn.prefix <- String.sub inn.prefix (m + 1) (plen - m - 1);
-          t.on_event (Prefix_changed { addr = inn.addr });
-          add_child ~quiet:true t parent old_byte (Inner inn);
-          let d = depth + m in
-          if String.length key = d then parent.here <- Some { key; value = v }
-          else
-            add_child ~quiet:true t parent (Char.code key.[d])
-              (Leaf { key; value = v });
-          Inner parent
+  let rec go child depth =
+    if is_leaf_word child then begin
+      let li = word_ix child in
+      let lkey = leaf_key t li in
+      if String.equal lkey key then begin
+        result := `Replaced (leaf_value t li);
+        t.leaf_vals.(li) <- Some v;
+        child
+      end
+      else join_leaves t li lkey key v depth
+    end
+    else begin
+      let h = word_ix child in
+      touch t h;
+      let prefix = t.prefixes.(h) in
+      let plen = String.length prefix in
+      let m = common_len key depth prefix 0 in
+      if m < plen then begin
+        (* split the compressed path at [m] *)
+        let parent = alloc_inner t ~prefix:(String.sub prefix 0 m) in
+        let old_byte = Char.code prefix.[m] in
+        t.prefixes.(h) <- String.sub prefix (m + 1) (plen - m - 1);
+        if evented t then t.on_event (Prefix_changed { addr = get_addr t h });
+        add_child ~quiet:true t parent old_byte (inner_word h);
+        let d = depth + m in
+        if String.length key = d then set_here t parent (alloc_leaf t key v)
+        else
+          add_child ~quiet:true t parent
+            (Char.code key.[d])
+            (leaf_word (alloc_leaf t key v));
+        inner_word parent
+      end
+      else begin
+        let d = depth + plen in
+        if String.length key = d then begin
+          let hr = get_here t h in
+          (if hr >= 0 then begin
+             result := `Replaced (leaf_value t hr);
+             t.leaf_vals.(hr) <- Some v
+           end
+           else begin
+             set_here t h (alloc_leaf t key v);
+             if evented t then t.on_event (Here_changed { addr = get_addr t h })
+           end);
+          child
         end
         else begin
-          let d = depth + plen in
-          if String.length key = d then begin
-            (match inn.here with
-            | Some l ->
-                result := `Replaced l.value;
-                l.value <- v
-            | None ->
-                inn.here <- Some { key; value = v };
-                t.on_event (Here_changed { addr = inn.addr }));
-            node
+          let c = Char.code key.[d] in
+          touch_child t h c;
+          let ch = find_child t h c in
+          if ch <> nil then begin
+            let ch' = go ch (d + 1) in
+            if ch' <> ch then replace_child t h c ch';
+            child
           end
           else begin
-            let c = Char.code key.[d] in
-            touch_child t inn c;
-            match find_child inn.kids c with
-            | Some child ->
-                let child' = go child (d + 1) in
-                if child' != child then begin
-                  set_child inn.kids c child';
-                  t.on_event
-                    (Child_replaced
-                       {
-                         addr = inn.addr;
-                         slot_off = slot_off inn.kids c;
-                         kind = kind_of inn.kids;
-                       })
-                end;
-                node
-            | None ->
-                add_child t inn c (Leaf { key; value = v });
-                node
+            add_child t h c (leaf_word (alloc_leaf t key v));
+            child
           end
         end
+      end
+    end
   in
-  (match t.root with
-  | None ->
-      t.root <- Some (Leaf { key; value = v });
-      t.on_event (Child_added { addr = 0; slot_off = 0; kind = 0 })
-  | Some n ->
-      let n' = go n 0 in
-      if n' != n then begin
-        t.root <- Some n';
-        t.on_event (Child_replaced { addr = 0; slot_off = 0; kind = 0 })
-      end);
+  (if t.root = nil then begin
+     t.root <- leaf_word (alloc_leaf t key v);
+     if evented t then t.on_event (Child_added { addr = 0; slot_off = 0; kind = 0 })
+   end
+   else
+     let r = t.root in
+     let r' = go r 0 in
+     if r' <> r then begin
+       t.root <- r';
+       if evented t then
+         t.on_event (Child_replaced { addr = 0; slot_off = 0; kind = 0 })
+     end);
   (match !result with `Inserted -> t.count <- t.count + 1 | `Replaced _ -> ());
   !result
 
 (* ------------------------------------------------------------------ *)
 (* Deletion                                                            *)
 
-(* Restore path-compression minimality after a removal under [inn]. *)
-let collapse t inn =
-  let nkids = child_count inn.kids in
-  if nkids = 0 then begin
-    release_inner t inn;
-    match inn.here with Some l -> Some (Leaf l) | None -> None
+(* Restore path-compression minimality after a removal under [h].
+   Returns the surviving subtree as a tagged child word, or [nil]. *)
+let collapse t h =
+  let n = get_n t h in
+  if n = 0 then begin
+    let hr = get_here t h in
+    release_inner t h;
+    if hr >= 0 then leaf_word hr else nil
   end
-  else if nkids = 1 && inn.here = None then begin
-    let only = ref None in
-    iter_children_asc inn.kids (fun c ch -> only := Some (c, ch));
-    match !only with
-    | None -> assert false
-    | Some (c, ch) ->
-        release_inner t inn;
-        (match ch with
-        | Inner ci ->
-            ci.prefix <-
-              Printf.sprintf "%s%c%s" inn.prefix (Char.chr c) ci.prefix;
-            t.on_event (Prefix_changed { addr = ci.addr })
-        | Leaf _ -> ());
-        Some ch
+  else if n = 1 && get_here t h < 0 then begin
+    let c, ch = only_child t h in
+    let pfx = t.prefixes.(h) in
+    release_inner t h;
+    if not (is_leaf_word ch) then begin
+      let ci = word_ix ch in
+      t.prefixes.(ci) <-
+        Printf.sprintf "%s%c%s" pfx (Char.chr c) t.prefixes.(ci);
+      if evented t then t.on_event (Prefix_changed { addr = get_addr t ci })
+    end;
+    ch
   end
-  else Some (Inner inn)
+  else inner_word h
 
 let delete t key =
   let found = ref None in
-  let rec go node depth =
-    match node with
-    | Leaf l ->
-        if String.equal l.key key then begin
-          found := Some l.value;
-          None
-        end
-        else Some node
-    | Inner inn ->
-        touch t inn.addr;
-        if not (prefix_matches key depth inn.prefix) then Some node
-        else
-          let d = depth + String.length inn.prefix in
-          if String.length key = d then
-            match inn.here with
-            | Some l when String.equal l.key key ->
-                found := Some l.value;
-                inn.here <- None;
-                t.on_event (Here_changed { addr = inn.addr });
-                collapse t inn
-            | Some _ | None -> Some node
-          else begin
-            let c = Char.code key.[d] in
-            touch_child t inn c;
-            match find_child inn.kids c with
-            | None -> Some node
-            | Some child -> (
-                match go child (d + 1) with
-                | Some child' ->
-                    if child' != child then begin
-                      set_child inn.kids c child';
-                      t.on_event
-                        (Child_replaced
-                           {
-                             addr = inn.addr;
-                             slot_off = slot_off inn.kids c;
-                             kind = kind_of inn.kids;
-                           })
-                    end;
-                    Some node
-                | None ->
-                    remove_child t inn c;
-                    collapse t inn)
+  (* [rebuilt] reproduces a boxed-layer artifact that is now part of the
+     modelled event contract: there, [collapse] reconstructs the variant
+     word ([Some (Inner inn)]) for a node that survived a removal at its
+     own level, so the physical-inequality check in the immediate parent
+     rewrites the (unchanged) child pointer and emits Child_replaced —
+     one level up only, since that parent returns its original binding.
+     Pool handles are stable, so the survived-in-place case is flagged
+     explicitly: set by a node whose here/child removal left it alive,
+     consumed (and cleared) by its direct parent. *)
+  let rebuilt = ref false in
+  (* Returns the replacement child word, or [nil] when the subtree is
+     gone entirely (the boxed layer's [None]). *)
+  let rec go child depth =
+    if is_leaf_word child then begin
+      let li = word_ix child in
+      if String.equal (leaf_key t li) key then begin
+        found := Array.unsafe_get t.leaf_vals li;
+        free_leaf t li;
+        nil
+      end
+      else child
+    end
+    else begin
+      let h = word_ix child in
+      touch t h;
+      let prefix = t.prefixes.(h) in
+      if not (prefix_matches key depth prefix) then child
+      else
+        let d = depth + String.length prefix in
+        if String.length key = d then begin
+          let hr = get_here t h in
+          if hr >= 0 && String.equal (leaf_key t hr) key then begin
+            found := Array.unsafe_get t.leaf_vals hr;
+            free_leaf t hr;
+            set_here t h (-1);
+            if evented t then t.on_event (Here_changed { addr = get_addr t h });
+            let w = collapse t h in
+            if w = child then rebuilt := true;
+            w
           end
+          else child
+        end
+        else begin
+          let c = Char.code key.[d] in
+          touch_child t h c;
+          let ch = find_child t h c in
+          if ch = nil then child
+          else begin
+            let ch' = go ch (d + 1) in
+            let rb = !rebuilt in
+            rebuilt := false;
+            if ch' = nil then begin
+              remove_child t h c;
+              let w = collapse t h in
+              if w = child then rebuilt := true;
+              w
+            end
+            else begin
+              if ch' <> ch then replace_child t h c ch'
+              else if rb then replace_child_same t h c;
+              child
+            end
+          end
+        end
+    end
   in
-  (match t.root with
-  | None -> ()
-  | Some n -> (
-      (* physical comparison: a structural one would walk the whole tree
-         on every deletion *)
-      match go n 0 with
-      | Some n' when n' == n -> ()
-      | Some n' ->
-          t.root <- Some n';
-          t.on_event (Child_replaced { addr = 0; slot_off = 0; kind = 0 })
-      | None ->
-          t.root <- None;
-          t.on_event (Child_removed { addr = 0; slot_off = 0; kind = 0 })));
+  (if t.root <> nil then begin
+     let r = t.root in
+     let r' = go r 0 in
+     if r' = nil then begin
+       t.root <- nil;
+       if evented t then
+         t.on_event (Child_removed { addr = 0; slot_off = 0; kind = 0 })
+     end
+     else if r' <> r || !rebuilt then begin
+       t.root <- r';
+       if evented t then
+         t.on_event (Child_replaced { addr = 0; slot_off = 0; kind = 0 })
+     end;
+     rebuilt := false
+   end);
   (match !found with Some _ -> t.count <- t.count - 1 | None -> ());
   !found
 
@@ -568,14 +877,19 @@ let delete t key =
 (* Ordered traversal                                                   *)
 
 let iter t f =
-  let rec go node =
-    match node with
-    | Leaf l -> f l.key l.value
-    | Inner inn ->
-        (match inn.here with Some l -> f l.key l.value | None -> ());
-        iter_children_asc inn.kids (fun _ ch -> go ch)
+  let rec go child =
+    if is_leaf_word child then begin
+      let i = word_ix child in
+      f (leaf_key t i) (leaf_value t i)
+    end
+    else begin
+      let h = word_ix child in
+      let hr = get_here t h in
+      if hr >= 0 then f (leaf_key t hr) (leaf_value t hr);
+      iter_children_asc t h (fun _ ch -> go ch)
+    end
   in
-  match t.root with None -> () | Some n -> go n
+  if t.root <> nil then go t.root
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -583,42 +897,50 @@ let fold t ~init ~f =
   !acc
 
 let min_binding t =
-  let rec go node =
-    match node with
-    | Leaf l -> Some (l.key, l.value)
-    | Inner inn -> (
-        match inn.here with
-        | Some l -> Some (l.key, l.value)
-        | None ->
-            let first = ref None in
-            (try
-               iter_children_asc inn.kids (fun _ ch ->
-                   first := Some ch;
-                   raise Exit)
-             with Exit -> ());
-            (match !first with Some ch -> go ch | None -> None))
-  in
-  match t.root with None -> None | Some n -> go n
-
-let max_binding t =
-  let rec go node =
-    match node with
-    | Leaf l -> Some (l.key, l.value)
-    | Inner inn ->
-        let last = ref None in
+  let rec go child =
+    if is_leaf_word child then begin
+      let i = word_ix child in
+      Some (leaf_key t i, leaf_value t i)
+    end
+    else begin
+      let h = word_ix child in
+      let hr = get_here t h in
+      if hr >= 0 then Some (leaf_key t hr, leaf_value t hr)
+      else begin
+        let first = ref nil in
         (try
-           iter_children_desc inn.kids (fun _ ch ->
-               last := Some ch;
+           iter_children_asc t h (fun _ ch ->
+               first := ch;
                raise Exit)
          with Exit -> ());
-        (match !last with
-        | Some ch -> go ch
-        | None -> (
-            match inn.here with
-            | Some l -> Some (l.key, l.value)
-            | None -> None))
+        if !first = nil then None else go !first
+      end
+    end
   in
-  match t.root with None -> None | Some n -> go n
+  if t.root = nil then None else go t.root
+
+let max_binding t =
+  let rec go child =
+    if is_leaf_word child then begin
+      let i = word_ix child in
+      Some (leaf_key t i, leaf_value t i)
+    end
+    else begin
+      let h = word_ix child in
+      let last = ref nil in
+      (try
+         iter_children_desc t h (fun _ ch ->
+             last := ch;
+             raise Exit)
+       with Exit -> ());
+      if !last <> nil then go !last
+      else begin
+        let hr = get_here t h in
+        if hr >= 0 then Some (leaf_key t hr, leaf_value t hr) else None
+      end
+    end
+  in
+  if t.root = nil then None else go t.root
 
 let is_strict_prefix p s =
   String.length p < String.length s && String.sub s 0 (String.length p) = p
@@ -627,117 +949,257 @@ let range t ~lo ~hi f =
   (* Subtree keys all extend [path]; prune when the whole extension set
      lies outside [lo, hi]. *)
   let subtree_disjoint path =
-    (path > hi) || (path < lo && not (is_strict_prefix path lo))
+    path > hi || (path < lo && not (is_strict_prefix path lo))
   in
-  let rec go node path =
-    match node with
-    | Leaf l -> if lo <= l.key && l.key <= hi then f l.key l.value
-    | Inner inn ->
-        let p = path ^ inn.prefix in
-        if not (subtree_disjoint p) then begin
-          (match inn.here with
-          | Some l -> if lo <= l.key && l.key <= hi then f l.key l.value
-          | None -> ());
-          iter_children_asc inn.kids (fun c ch ->
-              let p' = p ^ String.make 1 (Char.chr c) in
-              if not (subtree_disjoint p') then go ch p')
-        end
+  let rec go child path =
+    if is_leaf_word child then begin
+      let i = word_ix child in
+      let k = leaf_key t i in
+      if lo <= k && k <= hi then f k (leaf_value t i)
+    end
+    else begin
+      let h = word_ix child in
+      let p = path ^ t.prefixes.(h) in
+      if not (subtree_disjoint p) then begin
+        let hr = get_here t h in
+        (if hr >= 0 then
+           let k = leaf_key t hr in
+           if lo <= k && k <= hi then f k (leaf_value t hr));
+        iter_children_asc t h (fun c ch ->
+            let p' = p ^ String.make 1 (Char.chr c) in
+            if not (subtree_disjoint p') then go ch p')
+      end
+    end
   in
-  match t.root with None -> () | Some n -> go n ""
+  if t.root <> nil then go t.root ""
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 
 let height t =
-  let rec go node =
-    match node with
-    | Leaf _ -> 1
-    | Inner inn ->
-        let deepest = ref 0 in
-        iter_children_asc inn.kids (fun _ ch -> deepest := max !deepest (go ch));
-        1 + !deepest
+  let rec go child =
+    if is_leaf_word child then 1
+    else begin
+      let h = word_ix child in
+      let deepest = ref 0 in
+      iter_children_asc t h (fun _ ch -> deepest := max !deepest (go ch));
+      1 + !deepest
+    end
   in
-  match t.root with None -> 0 | Some n -> go n
+  if t.root = nil then 0 else go t.root
 
 let footprint_bytes t = t.bytes
 
 let node_histogram t =
-  let n4 = ref 0 and n16 = ref 0 and n48 = ref 0 and n256 = ref 0 in
-  let rec go node =
-    match node with
-    | Leaf _ -> ()
-    | Inner inn ->
-        (match inn.kids with
-        | N4 _ -> incr n4
-        | N16 _ -> incr n16
-        | N48 _ -> incr n48
-        | N256 _ -> incr n256);
-        iter_children_asc inn.kids (fun _ ch -> go ch)
+  let n4 = ref 0 and n16 = ref 0 and n48c = ref 0 and n256 = ref 0 in
+  let rec go child =
+    if not (is_leaf_word child) then begin
+      let h = word_ix child in
+      (match mclass (get_n t h) with
+      | 4 -> incr n4
+      | 16 -> incr n16
+      | 48 -> incr n48c
+      | _ -> incr n256);
+      iter_children_asc t h (fun _ ch -> go ch)
+    end
   in
-  (match t.root with None -> () | Some n -> go n);
-  (!n4, !n16, !n48, !n256)
+  if t.root <> nil then go t.root;
+  (!n4, !n16, !n48c, !n256)
+
+type pool_stats = {
+  nodes_by_cap : (int * int) list;
+  live_nodes : int;
+  free_node_slots : int;
+  node_slots : int;
+  dense_used : int;
+  dense_reserved : int;
+  dense_slab_slots : int;
+  live_leaves : int;
+  leaf_slots : int;
+  pool_bytes : int;
+}
+
+let pool_stats t =
+  let by = Array.make 7 0 in
+  let live = ref 0 in
+  let rec go child =
+    if not (is_leaf_word child) then begin
+      let h = word_ix child in
+      let cls = A.unsafe_get t.meta ((h * stride) + f_cls) in
+      by.(cls) <- by.(cls) + 1;
+      incr live;
+      iter_children_asc t h (fun _ ch -> go ch)
+    end
+  in
+  if t.root <> nil then go t.root;
+  let live_leaves = ref 0 in
+  for i = 0 to t.leaf_top - 1 do
+    if t.leaf_vals.(i) <> None then incr live_leaves
+  done;
+  {
+    nodes_by_cap = List.init 7 (fun i -> (4 lsl i, by.(i)));
+    live_nodes = !live;
+    free_node_slots = List.length t.node_free;
+    node_slots = t.node_top;
+    dense_used = t.dense_used;
+    dense_reserved = t.dense_reserved;
+    dense_slab_slots = A.dim t.kids;
+    live_leaves = !live_leaves;
+    leaf_slots = Array.length t.leaf_vals;
+    pool_bytes =
+      8 * (A.dim t.meta + A.dim t.kids + (2 * Array.length t.leaf_vals)
+         + Array.length t.prefixes);
+  }
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
   let leaves = ref 0 in
-  let rec go node path =
-    match node with
-    | Leaf l ->
+  let live_handles = ref [] in
+  let live_leaf = Array.make (max 1 t.leaf_top) false in
+  let used_count = ref 0 and reserved_count = ref 0 in
+  let see_leaf li path here =
+    match t.leaf_vals.(li) with
+    | None -> fail "child points to freed leaf slot %d at path %S" li path
+    | Some _ ->
+        let k = t.leaf_keys.(li) in
         incr leaves;
-        (* lazy expansion: the leaf sits at the divergence point, so its
-           key extends (not necessarily equals) the consumed path *)
-        let plen = String.length path in
-        if
-          String.length l.key < plen
-          || not (String.equal (String.sub l.key 0 plen) path)
-        then fail "leaf key %S does not extend its path %S" l.key path
-    | Inner inn ->
-        let p = path ^ inn.prefix in
-        let nkids = child_count inn.kids in
-        if nkids = 0 then fail "inner node with no children at path %S" p;
-        if nkids = 1 && inn.here = None then
-          fail "non-minimal path compression at path %S" p;
-        (match inn.here with
-        | Some l ->
-            incr leaves;
-            if not (String.equal l.key p) then
-              fail "ends-here leaf %S does not match path %S" l.key p
-        | None -> ());
-        (match inn.kids with
-        | N4 { n; keys; slots } | N16 { n; keys; slots } ->
-            let cap = Array.length slots in
-            if n > cap then fail "child count %d exceeds capacity %d" n cap;
-            for i = 0 to n - 1 do
-              if slots.(i) = None then fail "hole in slot %d at path %S" i p;
-              if i > 0 && Bytes.get_uint8 keys (i - 1) >= Bytes.get_uint8 keys i
-              then fail "unsorted keys at path %S" p
-            done;
-            for i = n to cap - 1 do
-              if slots.(i) <> None then fail "stale slot %d at path %S" i p
-            done
-        | N48 { n; index; slots } ->
-            let seen = ref 0 in
-            let used = Array.make 48 false in
-            for c = 0 to 255 do
-              let s = Bytes.get_uint8 index c in
-              if s <> no_slot then begin
-                incr seen;
-                if s >= 48 then fail "NODE48 index out of range at path %S" p;
-                if used.(s) then fail "NODE48 slot %d shared at path %S" s p;
-                used.(s) <- true;
-                if slots.(s) = None then
-                  fail "NODE48 index -> empty slot at path %S" p
-              end
-            done;
-            if !seen <> n then
-              fail "NODE48 count %d <> index population %d at path %S" n !seen p
-        | N256 { n; slots } ->
-            let seen = Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots in
-            if seen <> n then
-              fail "NODE256 count %d <> population %d at path %S" n seen p);
-        iter_children_asc inn.kids (fun c ch ->
-            go ch (p ^ String.make 1 (Char.chr c)))
+        if live_leaf.(li) then fail "leaf slot %d reachable twice" li;
+        live_leaf.(li) <- true;
+        if here then begin
+          if not (String.equal k path) then
+            fail "ends-here leaf %S does not match path %S" k path
+        end
+        else begin
+          (* lazy expansion: the leaf sits at the divergence point, so
+             its key extends (not necessarily equals) the consumed path *)
+          let plen = String.length path in
+          if
+            String.length k < plen
+            || not (String.equal (String.sub k 0 plen) path)
+          then fail "leaf key %S does not extend its path %S" k path
+        end
   in
-  (match t.root with None -> () | Some n -> go n "");
-  if !leaves <> t.count then
-    fail "count %d does not match leaves %d" t.count !leaves
+  let rec go child path =
+    if is_leaf_word child then see_leaf (word_ix child) path false
+    else begin
+      let h = word_ix child in
+      let base = h * stride in
+      live_handles := h :: !live_handles;
+      let p = path ^ t.prefixes.(h) in
+      let n = A.get t.meta (base + f_n) in
+      let cls = A.get t.meta (base + f_cls) in
+      let cap = 4 lsl cls in
+      let hr = A.get t.meta (base + f_here) in
+      if n = 0 then fail "inner node with no children at path %S" p;
+      if n = 1 && hr < 0 then fail "non-minimal path compression at path %S" p;
+      let pop = ref 0 in
+      for w = 0 to 7 do
+        let word = A.get t.meta (base + f_bits + w) in
+        if word < 0 || word > 0xFFFFFFFF then
+          fail "bitset word %d out of 32-bit range at path %S" w p;
+        pop := !pop + Bits.popcount_w word
+      done;
+      if !pop <> n then
+        fail "bitset population %d <> child count %d at path %S" !pop n p;
+      if n > cap then fail "child count %d exceeds capacity %d at path %S" n cap p;
+      if cls > 0 && n * 4 <= cap then
+        fail "capacity %d not shrunk for %d children at path %S" cap n p;
+      used_count := !used_count + n;
+      reserved_count := !reserved_count + cap;
+      let k = mclass n in
+      (match t.n48.(h) with
+      | Some st ->
+          if k <> 48 then fail "NODE48 slot map on class-%d node at path %S" k p;
+          let seen = ref 0 and used = Array.make 48 false in
+          for c = 0 to 255 do
+            let s = Bytes.get_uint8 st.map c in
+            let bit =
+              (A.get t.meta (base + f_bits + (c lsr 5)) lsr (c land 31)) land 1
+            in
+            if s <> no_slot then begin
+              incr seen;
+              if bit = 0 then fail "NODE48 slot for absent byte %d at path %S" c p;
+              if s >= 48 then fail "NODE48 slot out of range at path %S" p;
+              if used.(s) then fail "NODE48 slot %d shared at path %S" s p;
+              used.(s) <- true;
+              if (st.used lsr s) land 1 = 0 then
+                fail "NODE48 used bitmap missing slot %d at path %S" s p
+            end
+            else if bit = 1 then fail "NODE48 byte %d missing a slot at path %S" c p
+          done;
+          if !seen <> n then
+            fail "NODE48 population %d <> count %d at path %S" !seen n p;
+          if Bits.popcount (Int64.of_int st.used) <> n then
+            fail "NODE48 used-bitmap population mismatch at path %S" p
+      | None -> if k = 48 then fail "class-48 node missing its slot map at path %S" p);
+      if hr >= 0 then see_leaf hr p true;
+      iter_children_asc t h (fun c ch -> go ch (p ^ String.make 1 (Char.chr c)))
+    end
+  in
+  if t.root <> nil then go t.root "";
+  if !leaves <> t.count then fail "count %d does not match leaves %d" t.count !leaves;
+  if !used_count <> t.dense_used then
+    fail "dense_used %d <> traversed %d" t.dense_used !used_count;
+  if !reserved_count <> t.dense_reserved then
+    fail "dense_reserved %d <> traversed %d" t.dense_reserved !reserved_count;
+  (* node-handle partition: live + free-listed = allocated *)
+  let seen = Array.make (max 1 t.node_top) 0 in
+  List.iter
+    (fun h ->
+      if h < 0 || h >= t.node_top then fail "live handle %d out of range" h;
+      if seen.(h) <> 0 then fail "handle %d reachable twice" h;
+      seen.(h) <- 1)
+    !live_handles;
+  List.iter
+    (fun h ->
+      if h < 0 || h >= t.node_top then fail "free handle %d out of range" h;
+      if seen.(h) <> 0 then fail "handle %d both live and free-listed" h;
+      seen.(h) <- 2)
+    t.node_free;
+  for h = 0 to t.node_top - 1 do
+    if seen.(h) = 0 then fail "handle %d leaked (neither live nor free)" h
+  done;
+  Array.iteri
+    (fun h st ->
+      if st <> None && (h >= t.node_top || seen.(h) <> 1) then
+        fail "NODE48 slot map for non-live handle %d" h)
+    t.n48;
+  (* leaf-table partition *)
+  let leaf_free_seen = Array.make (max 1 t.leaf_top) false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= t.leaf_top then fail "free leaf slot %d out of range" i;
+      if leaf_free_seen.(i) then fail "leaf slot %d freed twice" i;
+      leaf_free_seen.(i) <- true;
+      if t.leaf_vals.(i) <> None then
+        fail "free-listed leaf slot %d still populated" i)
+    t.leaf_free;
+  for i = 0 to t.leaf_top - 1 do
+    match t.leaf_vals.(i) with
+    | Some _ -> if not live_leaf.(i) then fail "leaf slot %d leaked" i
+    | None ->
+        if not leaf_free_seen.(i) then
+          fail "empty leaf slot %d missing from free list" i
+  done;
+  (* kids-arena partition: every allocated slot belongs to exactly one
+     live node or free block *)
+  let marks = Array.make (max 1 t.kids_top) 0 in
+  let mark off cap what =
+    if off < 0 || off + cap > t.kids_top then
+      fail "%s child block [%d,+%d) outside arena" what off cap;
+    for i = off to off + cap - 1 do
+      if marks.(i) <> 0 then fail "%s child block overlaps at slot %d" what i;
+      marks.(i) <- 1
+    done
+  in
+  List.iter
+    (fun h ->
+      let base = h * stride in
+      mark (A.get t.meta (base + f_koff)) (4 lsl A.get t.meta (base + f_cls)) "live")
+    !live_handles;
+  Array.iteri
+    (fun cls frees -> List.iter (fun off -> mark off (4 lsl cls) "free") frees)
+    t.kid_free;
+  for i = 0 to t.kids_top - 1 do
+    if marks.(i) = 0 then fail "kids arena slot %d leaked" i
+  done

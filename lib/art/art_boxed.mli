@@ -1,15 +1,15 @@
-(** Volatile adaptive radix tree (Leis et al., ICDE 2013) over a bitmap
-    node layer.
+(** Volatile adaptive radix tree (Leis et al., ICDE 2013) — the original
+    boxed-variant node representation ([N4/N16/N48/N256] with
+    ['v node option array] slots).
 
-    This is the DRAM-resident ART used for HART's per-prefix subtrees and,
-    with different storage policies, as the skeleton of the WOART and
-    ART+CoW baselines. Logically it implements the adaptive node classes
-    (NODE4/16/48/256), pessimistic path compression and lazy expansion;
-    physically (DESIGN.md §14) each inner node is an integer handle into
-    flat [Bigarray]-backed pools — a 256-bit membership bitset ranked by
-    popcount into a dense, capacity-doubling child block, with leaf
-    payloads spilled to a side table — so the hot path chases no GC
-    pointers and allocates nothing.
+    Retained as the comparison baseline for the bitmap node layer that
+    replaced it in {!Art} (DESIGN.md §14): [exp_art_nodes] benchmarks the
+    two side by side, and the differential tests assert that both layers
+    emit identical structural events and metered figures. The API is the
+    same as {!Art}'s minus the pool introspection.
+
+    It implements the four adaptive node types (NODE4/16/48/256),
+    pessimistic path compression and lazy expansion.
 
     Keys are arbitrary byte strings (including the empty string); unlike
     textbook ART, a key that is a strict prefix of another key is
@@ -20,11 +20,7 @@
     When built with a {!Hart_pmem.Meter.t}, every inner-node visit is
     reported as a DRAM access at the node's synthetic address and every
     node allocation/resize updates the modelled C-layout footprint, so the
-    simulated cache sees the same locality a C implementation would. The
-    modelled cost layer still follows the adaptive NODE4/16/48/256
-    classes — a pure function of the child count — so footprints, events
-    and touches are identical to what the boxed layer ({!Art_boxed})
-    produced.
+    simulated cache sees the same locality a C implementation would.
     Leaf records are deliberately {e not} metered: in HART a child pointer
     refers directly to a PM leaf, and the PM cost of validating it is
     charged by the caller (Algorithm 4 of the paper). *)
@@ -66,9 +62,9 @@ val create :
     reported to it, in address space [space] (default [Dram] — HART's
     volatile internal nodes). [alloc_node]/[free_node] override where
     node addresses come from (default: the meter's synthetic DRAM
-    allocator, or a line-aligned counter when there is no meter, so
-    every node has a distinct address either way). [on_event] receives
-    structural events (default: ignored). *)
+    allocator), letting PM-resident baselines draw node addresses from
+    their pool so footprint and cache simulation see PM. [on_event]
+    receives structural events (default: ignored). *)
 
 val count : 'v t -> int
 (** Number of keys. O(1). *)
@@ -84,7 +80,7 @@ val insert : 'v t -> string -> 'v -> [ `Inserted | `Replaced of 'v ]
 
 val delete : 'v t -> string -> 'v option
 (** [delete t key] removes and returns [key]'s binding. Nodes shrink back
-    through the adaptive classes and paths re-compress, as in the paper's
+    through the adaptive types and paths re-compress, as in the paper's
     deletion discussion. *)
 
 val min_binding : 'v t -> (string * 'v) option
@@ -110,39 +106,10 @@ val footprint_bytes : 'v t -> int
     used for the paper's Fig. 10b memory accounting. *)
 
 val node_histogram : 'v t -> int * int * int * int
-(** Counts of (NODE4, NODE16, NODE48, NODE256) inner nodes, by modelled
-    adaptive class. *)
-
-type pool_stats = {
-  nodes_by_cap : (int * int) list;
-      (** live inner nodes per physical capacity class, as
-          [(capacity, count)] for capacities 4, 8, ..., 256 *)
-  live_nodes : int;
-  free_node_slots : int;  (** free-listed (recycled) node handles *)
-  node_slots : int;  (** handles ever allocated from the meta pool *)
-  dense_used : int;  (** occupied child slots, Σ child count *)
-  dense_reserved : int;  (** slots in live nodes' blocks, Σ capacity *)
-  dense_slab_slots : int;
-      (** total child-arena slots, including free blocks and the
-          untouched tail *)
-  live_leaves : int;
-  leaf_slots : int;  (** spilled-leaf table length *)
-  pool_bytes : int;
-      (** physical bytes of the backing pools (meta + child arena +
-          leaf and prefix tables); distinct from the modelled
-          {!footprint_bytes} *)
-}
-(** Physical-layer census of the bitmap node pools, for fragmentation
-    and occupancy accounting ({!Hart_core.Hart_stats} aggregates it
-    across an instance's ARTs). *)
-
-val pool_stats : 'v t -> pool_stats
+(** Counts of (NODE4, NODE16, NODE48, NODE256) inner nodes. *)
 
 val check_invariants : 'v t -> unit
-(** Validate structural invariants (child counts vs. bitset population,
-    dense-block capacity hysteresis, modelled NODE48 slot-map
-    consistency, path-compression minimality: no inner node with a
-    single child and no ends-here leaf) and pool accounting (every node
-    handle, leaf slot and child-arena slot is exactly one of live,
-    free-listed or unallocated). Raises [Failure] with a description on
-    violation. Test use. *)
+(** Validate structural invariants (child counts, sortedness of NODE4/16
+    keys, index consistency of NODE48, path-compression minimality:
+    no inner node with a single child and no ends-here leaf). Raises
+    [Failure] with a description on violation. Test use. *)

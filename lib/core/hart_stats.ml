@@ -2,6 +2,16 @@ module Art = Hart_art.Art
 
 type node_histogram = { n4 : int; n16 : int; n48 : int; n256 : int }
 
+type bitmap_pools = {
+  nodes_by_cap : (int * int) list;
+  pool_bytes : int;
+  dense_used : int;
+  dense_reserved : int;
+  dense_occupancy : float;
+  free_node_slots : int;
+  free_leaf_slots : int;
+}
+
 type class_stats = {
   chunks : int;
   live_objects : int;
@@ -16,6 +26,7 @@ type t = {
   hash_buckets_bytes : int;
   art_nodes : node_histogram;
   art_node_bytes : int;
+  art_pools : bitmap_pools;
   max_art_height : int;
   avg_art_keys : float;
   leaf_class : class_stats;
@@ -43,6 +54,12 @@ let collect hart =
   let alloc = Hart.alloc hart in
   let hist = ref { n4 = 0; n16 = 0; n48 = 0; n256 = 0 } in
   let node_bytes = ref 0 and max_height = ref 0 and arts = ref 0 in
+  let by_cap = Array.make 7 0 in
+  let pool_bytes = ref 0
+  and dense_used = ref 0
+  and dense_reserved = ref 0
+  and free_nodes = ref 0
+  and free_leaves = ref 0 in
   Hart.iter_arts hart (fun _hk art ->
       incr arts;
       let n4, n16, n48, n256 = Art.node_histogram art in
@@ -54,13 +71,33 @@ let collect hart =
           n256 = !hist.n256 + n256;
         };
       node_bytes := !node_bytes + Art.footprint_bytes art;
-      max_height := max !max_height (Art.height art));
+      max_height := max !max_height (Art.height art);
+      let p = Art.pool_stats art in
+      List.iteri (fun i (_cap, count) -> by_cap.(i) <- by_cap.(i) + count)
+        p.Art.nodes_by_cap;
+      pool_bytes := !pool_bytes + p.Art.pool_bytes;
+      dense_used := !dense_used + p.Art.dense_used;
+      dense_reserved := !dense_reserved + p.Art.dense_reserved;
+      free_nodes := !free_nodes + p.Art.free_node_slots;
+      free_leaves := !free_leaves + (p.Art.leaf_slots - p.Art.live_leaves));
   {
     keys = Hart.count hart;
     arts = !arts;
     hash_buckets_bytes = Hart.dram_bytes hart - !node_bytes;
     art_nodes = !hist;
     art_node_bytes = !node_bytes;
+    art_pools =
+      {
+        nodes_by_cap = List.init 7 (fun i -> (4 lsl i, by_cap.(i)));
+        pool_bytes = !pool_bytes;
+        dense_used = !dense_used;
+        dense_reserved = !dense_reserved;
+        dense_occupancy =
+          (if !dense_reserved = 0 then 0.
+           else float_of_int !dense_used /. float_of_int !dense_reserved);
+        free_node_slots = !free_nodes;
+        free_leaf_slots = !free_leaves;
+      };
     max_art_height = !max_height;
     avg_art_keys =
       (if !arts = 0 then 0. else float_of_int (Hart.count hart) /. float_of_int !arts);
@@ -76,14 +113,25 @@ let pp_class ppf (label, (c : class_stats)) =
   Format.fprintf ppf "%-6s %5d chunks, %7d/%7d objects (%.0f%%), %9d bytes"
     label c.chunks c.live_objects c.capacity (100. *. c.occupancy) c.bytes
 
+let pp_pools ppf (p : bitmap_pools) =
+  Format.fprintf ppf "ART pools       ";
+  List.iter
+    (fun (cap, count) -> if count > 0 then Format.fprintf ppf "c%d=%d " cap count)
+    p.nodes_by_cap;
+  Format.fprintf ppf "(%d bytes, %d/%d slots = %.0f%% dense, %d free handles)"
+    p.pool_bytes p.dense_used p.dense_reserved
+    (100. *. p.dense_occupancy)
+    p.free_node_slots
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>keys            %d@ ARTs            %d (avg %.1f keys, max height %d)@ \
-     ART nodes       N4=%d N16=%d N48=%d N256=%d (%d bytes)@ hash buckets    \
+     ART nodes       N4=%d N16=%d N48=%d N256=%d (%d bytes)@ %a@ hash buckets    \
      %d bytes@ %a@ %a@ %a@ %a@ PM total        %d bytes@ DRAM total      %d \
      bytes@]"
     t.keys t.arts t.avg_art_keys t.max_art_height t.art_nodes.n4 t.art_nodes.n16
-    t.art_nodes.n48 t.art_nodes.n256 t.art_node_bytes t.hash_buckets_bytes
+    t.art_nodes.n48 t.art_nodes.n256 t.art_node_bytes pp_pools t.art_pools
+    t.hash_buckets_bytes
     pp_class ("leaf", t.leaf_class)
     pp_class ("val8", t.val8_class)
     pp_class ("val16", t.val16_class)

@@ -5,6 +5,22 @@
 
 type node_histogram = { n4 : int; n16 : int; n48 : int; n256 : int }
 
+type bitmap_pools = {
+  nodes_by_cap : (int * int) list;
+      (** live inner nodes per physical capacity class, summed over the
+          instance's ARTs, as [(capacity, count)] for 4, 8, ..., 256 *)
+  pool_bytes : int;  (** physical bytes of the Bigarray-backed pools *)
+  dense_used : int;  (** occupied child slots *)
+  dense_reserved : int;  (** child slots reserved by live nodes *)
+  dense_occupancy : float;  (** used / reserved, 0 when empty *)
+  free_node_slots : int;  (** recycled node handles awaiting reuse *)
+  free_leaf_slots : int;  (** unoccupied spilled-leaf table slots *)
+}
+(** Physical census of the ART bitmap node layer (DESIGN.md §14) —
+    distinct from {!node_histogram}, which counts modelled adaptive
+    classes. Delete churn shows up here as reserved-but-unused dense
+    slots and free-listed handles. *)
+
 type class_stats = {
   chunks : int;  (** chunks in the class's list *)
   live_objects : int;  (** committed bitmap bits *)
@@ -19,6 +35,7 @@ type t = {
   hash_buckets_bytes : int;
   art_nodes : node_histogram;
   art_node_bytes : int;  (** modelled C footprint of all inner nodes *)
+  art_pools : bitmap_pools;
   max_art_height : int;
   avg_art_keys : float;  (** keys per ART *)
   leaf_class : class_stats;

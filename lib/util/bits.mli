@@ -1,8 +1,15 @@
-(** Bit-level helpers shared by the persistent layouts.
+(** Bit-level helpers shared by the persistent layouts and the ART
+    bitmap node layer.
 
     The EPallocator chunk header (Fig. 2 of the paper) packs a 56-bit
     occupancy bitmap, a 6-bit next-free index and a 2-bit full indicator
-    into one 8-byte word; these helpers implement the packing. *)
+    into one 8-byte word; these helpers implement the packing. The DRAM
+    ART's bitmap nodes (DESIGN.md §14) additionally rank children by
+    popcount over their membership bitset, so {!popcount} is a
+    branchless SWAR reduction rather than a per-set-bit loop, and the
+    [_w] variants operate on 32-bit words held in a native [int] (the
+    bitset is stored as 8×32-bit words in an [int] Bigarray, since
+    64-bit SWAR mask literals exceed OCaml's 63-bit [int]). *)
 
 val test : int64 -> int -> bool
 (** [test word i] is bit [i] (0 = least significant) of [word]. *)
@@ -14,7 +21,23 @@ val clear : int64 -> int -> int64
 (** [clear word i] has bit [i] forced to 0. *)
 
 val popcount : int64 -> int
-(** Number of set bits. *)
+(** Number of set bits. Branchless SWAR; constant time. *)
+
+val rank_below : int64 -> int -> int
+(** [rank_below word i] is the number of set bits strictly below bit
+    [i], i.e. among bits \[0, i). [i] may be 64, giving {!popcount}. *)
+
+val popcount_w : int -> int
+(** {!popcount} for a 32-bit word held in a native [int] (must be
+    [< 2{^32}]). *)
+
+val rank_below_w : int -> int -> int
+(** {!rank_below} for a 32-bit word held in a native [int]; [i] may be
+    32, counting every set bit. *)
+
+val ctz_w : int -> int
+(** Trailing zeros of a non-zero 32-bit word held in a native [int]:
+    the index of its least-significant set bit. *)
 
 val lowest_zero : int64 -> width:int -> int option
 (** [lowest_zero word ~width] is the index of the least-significant zero

@@ -417,6 +417,278 @@ let qcheck_range_model =
       in
       List.rev !got = expected)
 
+(* ------------------------------------------------------------------ *)
+(* Capacity-boundary churn: the physical layer doubles at 4/8/16/32/64/
+   128 and halves at quarter occupancy, while the modelled classes flip
+   at 4/16/48. Drive single-node child counts back and forth across the
+   modelled boundaries (3<->4<->5, 15<->16<->17, 47<->48<->49) under
+   delete churn and hold the tree to the Map oracle + invariants at
+   every step.                                                          *)
+
+let byte_key c = Printf.sprintf "node%c" (Char.chr c)
+
+let check_against_model t model ctx =
+  Art.check_invariants t;
+  if Art.count t <> SMap.cardinal model then
+    Alcotest.failf "%s: count %d <> model %d" ctx (Art.count t)
+      (SMap.cardinal model);
+  SMap.iter
+    (fun k v ->
+      if Art.find t k <> Some v then Alcotest.failf "%s: lost key %S" ctx k)
+    model
+
+let test_boundary_oscillation () =
+  List.iter
+    (fun b ->
+      let t = Art.create () in
+      let model = ref SMap.empty in
+      let add c =
+        ignore (Art.insert t (byte_key c) c);
+        model := SMap.add (byte_key c) c !model
+      and del c =
+        ignore (Art.delete t (byte_key c));
+        model := SMap.remove (byte_key c) !model
+      in
+      (* fill to b-1, then oscillate b-1 <-> b+1 across the class flip,
+         deleting from both ends to exercise rank-shifted removals *)
+      for c = 0 to b - 2 do
+        add c
+      done;
+      check_against_model t !model (Printf.sprintf "fill %d" (b - 1));
+      for round = 0 to 3 do
+        add (b - 1);
+        check_against_model t !model (Printf.sprintf "b=%d round %d at b" b round);
+        add b;
+        check_against_model t !model
+          (Printf.sprintf "b=%d round %d above" b round);
+        del (if round mod 2 = 0 then b else 0);
+        check_against_model t !model
+          (Printf.sprintf "b=%d round %d back to b" b round);
+        del (if round mod 2 = 0 then b - 1 else 1);
+        check_against_model t !model
+          (Printf.sprintf "b=%d round %d below" b round);
+        (* restore the low bytes deleted on odd rounds *)
+        if round mod 2 = 1 then begin
+          add 0;
+          add 1;
+          del (b - 1);
+          del b
+        end
+      done)
+    [ 4; 16; 48 ]
+
+(* qcheck over the same regime: ops restricted to single-divergent-byte
+   keys from a 60-wide pool, so one inner node wanders across every
+   class boundary as the sequence inserts and deletes. *)
+let boundary_op_gen =
+  QCheck.Gen.(
+    let key = map byte_key (int_bound 59) in
+    frequency
+      [
+        (5, map2 (fun k v -> Insert (k, v)) key (int_bound 1000));
+        (4, map (fun k -> Delete k) key);
+        (1, map (fun k -> Find k) key);
+      ])
+
+let qcheck_boundary_churn =
+  QCheck.Test.make ~count:200
+    ~name:"single fan-out node vs Map across class boundaries"
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+       QCheck.Gen.(list_size (int_range 50 400) boundary_op_gen))
+    (fun ops ->
+      let t = Art.create () in
+      let model = ref SMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+              ignore (Art.insert t k v);
+              model := SMap.add k v !model;
+              true
+          | Delete k ->
+              let expect = SMap.find_opt k !model in
+              model := SMap.remove k !model;
+              Art.delete t k = expect
+          | Find k -> Art.find t k = SMap.find_opt k !model)
+        ops
+      &&
+      (Art.check_invariants t;
+       Art.count t = SMap.cardinal !model
+       && SMap.for_all (fun k v -> Art.find t k = Some v) !model))
+
+(* ------------------------------------------------------------------ *)
+(* Differential fidelity: the bitmap layer must be observationally
+   identical to the retained boxed layer — results, event stream
+   (addresses, slot offsets, kinds, order), simulated clock, modelled
+   footprint and histogram — on the same workload under identically
+   configured meters.                                                   *)
+
+module Boxed = Hart_art.Art_boxed
+
+let fp_new = function
+  | Art.Node_created { addr; bytes } -> Printf.sprintf "C%d:%d" addr bytes
+  | Art.Node_freed { addr; bytes } -> Printf.sprintf "F%d:%d" addr bytes
+  | Art.Child_added { addr; slot_off; kind } ->
+      Printf.sprintf "A%d:%d:%d" addr slot_off kind
+  | Art.Child_replaced { addr; slot_off; kind } ->
+      Printf.sprintf "R%d:%d:%d" addr slot_off kind
+  | Art.Child_removed { addr; slot_off; kind } ->
+      Printf.sprintf "D%d:%d:%d" addr slot_off kind
+  | Art.Prefix_changed { addr } -> Printf.sprintf "P%d" addr
+  | Art.Here_changed { addr } -> Printf.sprintf "H%d" addr
+
+let fp_boxed = function
+  | Boxed.Node_created { addr; bytes } -> Printf.sprintf "C%d:%d" addr bytes
+  | Boxed.Node_freed { addr; bytes } -> Printf.sprintf "F%d:%d" addr bytes
+  | Boxed.Child_added { addr; slot_off; kind } ->
+      Printf.sprintf "A%d:%d:%d" addr slot_off kind
+  | Boxed.Child_replaced { addr; slot_off; kind } ->
+      Printf.sprintf "R%d:%d:%d" addr slot_off kind
+  | Boxed.Child_removed { addr; slot_off; kind } ->
+      Printf.sprintf "D%d:%d:%d" addr slot_off kind
+  | Boxed.Prefix_changed { addr } -> Printf.sprintf "P%d" addr
+  | Boxed.Here_changed { addr } -> Printf.sprintf "H%d" addr
+
+let diff_workload rng n =
+  (* random ops over a smallish key universe: plenty of replaces,
+     deletes of present keys, boundary crossings and prefix splits *)
+  List.init n (fun i ->
+      let k = Printf.sprintf "%c%c%c" (Rng.char_alnum rng) (Rng.char_alnum rng)
+                (Rng.char_alnum rng) in
+      let k = String.sub k 0 (1 + Rng.int rng 3) in
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 -> Delete k
+      | 3 -> Find k
+      | _ -> Insert (k, i))
+
+let run_workload (type t e) ~insert ~delete ~find
+    ~(make : (e -> unit) -> Hart_pmem.Meter.t -> t) ~fp ops =
+  let meter = Hart_pmem.Meter.create Hart_pmem.Latency.c300_100 in
+  let events = Buffer.create 4096 in
+  let t = make (fun e -> Buffer.add_string events (fp e); Buffer.add_char events ';') meter in
+  (* per-op slices of the event stream, so a divergence names the op *)
+  let marks = ref [] in
+  let results =
+    List.map
+      (fun op ->
+        let r =
+          match op with
+          | Insert (k, v) -> (
+              match insert t k v with `Inserted -> -1 | `Replaced o -> o)
+          | Delete k -> ( match delete t k with None -> -1 | Some o -> o)
+          | Find k -> ( match find t k with None -> -1 | Some o -> o)
+        in
+        marks := Buffer.length events :: !marks;
+        r)
+      ops
+  in
+  (t, meter, Buffer.contents events, Array.of_list (List.rev !marks), results)
+
+let op_to_string = function
+  | Insert (k, v) -> Printf.sprintf "Insert %S %d" k v
+  | Delete k -> Printf.sprintf "Delete %S" k
+  | Find k -> Printf.sprintf "Find %S" k
+
+let op_slice events marks i =
+  let lo = if i = 0 then 0 else marks.(i - 1) in
+  let hi = min marks.(i) (String.length events) in
+  String.sub events lo (max 0 (hi - lo))
+
+let test_boxed_bitmap_equivalence () =
+  let rng = Rng.create 91L in
+  for round = 0 to 4 do
+    let ops = diff_workload rng 2_000 in
+    let tn, mn, en, kn, rn =
+      run_workload ~insert:Art.insert ~delete:Art.delete ~find:Art.find
+        ~make:(fun on_event meter -> Art.create ~meter ~on_event ())
+        ~fp:fp_new ops
+    in
+    let tb, mb, eb, kb, rb =
+      run_workload ~insert:Boxed.insert ~delete:Boxed.delete ~find:Boxed.find
+        ~make:(fun on_event meter -> Boxed.create ~meter ~on_event ())
+        ~fp:fp_boxed ops
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d: op results" round)
+      rb rn;
+    if not (String.equal eb en) then begin
+      (* locate the first divergent op for a useful failure message *)
+      let arr = Array.of_list ops in
+      let bad = ref None in
+      Array.iteri
+        (fun i _ ->
+          if
+            !bad = None
+            && not (String.equal (op_slice eb kb i) (op_slice en kn i))
+          then bad := Some i)
+        arr;
+      match !bad with
+      | Some i ->
+          Alcotest.failf
+            "round %d: event streams diverge at op %d (%s): boxed %S, bitmap %S"
+            round i
+            (op_to_string arr.(i))
+            (op_slice eb kb i) (op_slice en kn i)
+      | None ->
+          Alcotest.failf "round %d: event streams diverge after the last op"
+            round
+    end;
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "round %d: simulated clock" round)
+      (Hart_pmem.Meter.sim_ns mb) (Hart_pmem.Meter.sim_ns mn);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: modelled footprint" round)
+      (Boxed.footprint_bytes tb) (Art.footprint_bytes tn);
+    let hb = Boxed.node_histogram tb and hn = Art.node_histogram tn in
+    if hb <> hn then Alcotest.failf "round %d: node histograms differ" round;
+    Art.check_invariants tn;
+    Boxed.check_invariants tb
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Physical pool census                                                 *)
+
+let test_pool_stats_census () =
+  let t = Art.create () in
+  let rng = Rng.create 23L in
+  let keys = random_keys rng 3_000 in
+  List.iteri (fun i k -> ignore (Art.insert t k i)) keys;
+  (* churn: delete a third, reinsert half of those *)
+  List.iteri (fun i k -> if i mod 3 = 0 then ignore (Art.delete t k)) keys;
+  List.iteri (fun i k -> if i mod 6 = 0 then ignore (Art.insert t k i)) keys;
+  Art.check_invariants t;
+  let p = Art.pool_stats t in
+  let n4, n16, n48, n256 = Art.node_histogram t in
+  Alcotest.(check int) "by-capacity sum = live nodes"
+    p.Art.live_nodes
+    (List.fold_left (fun a (_, c) -> a + c) 0 p.Art.nodes_by_cap);
+  Alcotest.(check int) "live nodes = modelled histogram total"
+    (n4 + n16 + n48 + n256) p.Art.live_nodes;
+  Alcotest.(check int) "handle partition"
+    p.Art.node_slots
+    (p.Art.live_nodes + p.Art.free_node_slots);
+  Alcotest.(check bool) "dense used within reserved" true
+    (p.Art.dense_used <= p.Art.dense_reserved
+    && p.Art.dense_reserved <= p.Art.dense_slab_slots);
+  (* quarter-occupancy shrink hysteresis bounds waste in live blocks *)
+  Alcotest.(check bool) "dense occupancy floor" true
+    (4 * p.Art.dense_used > p.Art.dense_reserved);
+  Alcotest.(check int) "live leaves = keys" (Art.count t) p.Art.live_leaves;
+  Alcotest.(check bool) "leaf table bounded" true
+    (p.Art.live_leaves <= p.Art.leaf_slots);
+  Alcotest.(check bool) "pool bytes accounted" true (p.Art.pool_bytes > 0);
+  (* drain completely: everything returns to the free lists *)
+  List.iter (fun k -> ignore (Art.delete t k)) keys;
+  let p = Art.pool_stats t in
+  Alcotest.(check int) "no live nodes after drain" 0 p.Art.live_nodes;
+  Alcotest.(check int) "no used slots after drain" 0 p.Art.dense_used;
+  Alcotest.(check int) "no reserved slots after drain" 0 p.Art.dense_reserved;
+  Alcotest.(check int) "no live leaves after drain" 0 p.Art.live_leaves;
+  Alcotest.(check int) "all handles free-listed" p.Art.node_slots
+    p.Art.free_node_slots;
+  Art.check_invariants t
+
 let () =
   Alcotest.run "art"
     [
@@ -466,5 +738,14 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_vs_map;
           QCheck_alcotest.to_alcotest qcheck_iter_sorted;
           QCheck_alcotest.to_alcotest qcheck_range_model;
+        ] );
+      ( "bitmap layer",
+        [
+          Alcotest.test_case "class-boundary oscillation" `Quick
+            test_boundary_oscillation;
+          QCheck_alcotest.to_alcotest qcheck_boundary_churn;
+          Alcotest.test_case "boxed/bitmap observational equivalence" `Quick
+            test_boxed_bitmap_equivalence;
+          Alcotest.test_case "pool census" `Quick test_pool_stats_census;
         ] );
     ]

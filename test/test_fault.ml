@@ -127,6 +127,35 @@ let parallel_recovery_cases =
         parallel_recovery_matches_serial_space;
     ]
 
+(* Pin HART's crash-schedule space exactly: the ART node-layer rewrite
+   (bitmap/pooled DRAM representation, DESIGN.md §14) must not move a
+   single flush boundary, because the modelled PM write/flush sequence
+   is independent of how the DRAM index represents its children. Any
+   drift in these triples means the cost model changed, not just the
+   physical layout — which is a fidelity bug this PR's contract
+   forbids. *)
+let schedule_space_pin () =
+  List.iter
+    (fun (name, flushes, scheds, nested) ->
+      let name, setup, ops = find name in
+      let r = Fault.explore ~setup ~workload:name Fault.hart ops in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: flush boundaries" name)
+        flushes r.Fault.total_flushes;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: schedules" name)
+        scheds r.Fault.schedules;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: nested schedules" name)
+        nested r.Fault.nested_schedules)
+    [
+      ("update-log", 105, 105, 254);
+      ("delete-recycle", 82, 82, 130);
+      ("mixed-dense", 96, 96, 162);
+      ("chunk-unlink", 43, 43, 68);
+      ("split-chain", 189, 189, 211);
+    ]
+
 let oracle_semantics () =
   let module SMap = Map.Make (String) in
   let m = List.fold_left Fault.apply_model SMap.empty in
@@ -634,6 +663,8 @@ let () =
     [
       ("oracle", [ Alcotest.test_case "apply_model" `Quick oracle_semantics ]);
       ("hart-clean", clean_cases ~expect_nested:true Fault.hart);
+      ( "hart-schedule-pin",
+        [ Alcotest.test_case "schedule space unchanged" `Quick schedule_space_pin ] );
       ( "fptree-clean",
         clean_cases Fault.fptree
         @ [ Alcotest.test_case "fptree/split-chain repairs torn split" `Quick

@@ -349,7 +349,29 @@ let test_recycler_churn_storm () =
   in
   max_capacity "leaf" stats.Hart_core.Hart_stats.leaf_class;
   max_capacity "val8" stats.Hart_core.Hart_stats.val8_class;
-  max_capacity "val16" stats.Hart_core.Hart_stats.val16_class
+  max_capacity "val16" stats.Hart_core.Hart_stats.val16_class;
+  (* the ART bitmap node layer must survive the same storm: the physical
+     census (DESIGN.md §14) has to agree with the modelled histogram,
+     and delete churn must not defeat the shrink hysteresis (dense child
+     slots at least quarter-occupied) or accrete pool slabs past the
+     live population *)
+  let p = stats.Hart_core.Hart_stats.art_pools in
+  let h = stats.Hart_core.Hart_stats.art_nodes in
+  Alcotest.(check int) "bitmap census = modelled histogram"
+    (h.Hart_core.Hart_stats.n4 + h.Hart_core.Hart_stats.n16
+   + h.Hart_core.Hart_stats.n48 + h.Hart_core.Hart_stats.n256)
+    (List.fold_left
+       (fun a (_, c) -> a + c)
+       0 p.Hart_core.Hart_stats.nodes_by_cap);
+  require
+    (4 * p.Hart_core.Hart_stats.dense_used
+    > p.Hart_core.Hart_stats.dense_reserved)
+    "dense occupancy floor violated after churn: used %d, reserved %d"
+    p.Hart_core.Hart_stats.dense_used p.Hart_core.Hart_stats.dense_reserved;
+  require
+    (p.Hart_core.Hart_stats.free_leaf_slots <= survivors)
+    "leaf table accreted: %d free slots for %d survivors"
+    p.Hart_core.Hart_stats.free_leaf_slots survivors
 
 (* ------------------------------------------------------------------ *)
 (* Striped_mt over a toy index: the commuting contract is load-bearing  *)

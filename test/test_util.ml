@@ -117,6 +117,104 @@ let test_bits_u64_roundtrip () =
   Bits.set_u64 b 3 0x0123456789ABCDEFL;
   Alcotest.(check int64) "roundtrip" 0x0123456789ABCDEFL (Bits.get_u64 b 3)
 
+(* The SWAR popcount/rank and their 32-bit [_w] variants, checked
+   against the naive one-bit-at-a-time loop: exhaustively over every
+   16-bit word (both in the low bits and shifted to the top of the
+   range, where the multiply-fold overflow bug would bite), then over
+   random full-width samples. *)
+let naive_popcount64 w =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Bits.test w i then incr c
+  done;
+  !c
+
+let naive_rank64 w i =
+  (* bits strictly below [i], [i] <= 64 *)
+  let c = ref 0 in
+  for j = 0 to i - 1 do
+    if Bits.test w j then incr c
+  done;
+  !c
+
+let naive_popcount_w w =
+  let c = ref 0 in
+  for i = 0 to 31 do
+    if (w lsr i) land 1 = 1 then incr c
+  done;
+  !c
+
+let test_swar_exhaustive_16bit () =
+  for x = 0 to 0xFFFF do
+    let w64 = Int64.of_int x in
+    let hi = Int64.shift_left w64 48 in
+    Alcotest.(check int)
+      (Printf.sprintf "popcount %#x" x)
+      (naive_popcount64 w64) (Bits.popcount w64);
+    Alcotest.(check int)
+      (Printf.sprintf "popcount %#x << 48" x)
+      (naive_popcount64 hi) (Bits.popcount hi);
+    Alcotest.(check int)
+      (Printf.sprintf "popcount_w %#x" x)
+      (naive_popcount_w x) (Bits.popcount_w x);
+    Alcotest.(check int)
+      (Printf.sprintf "popcount_w %#x << 16" x)
+      (naive_popcount_w (x lsl 16))
+      (Bits.popcount_w (x lsl 16));
+    if x <> 0 then begin
+      let naive_ctz w =
+        let rec go i = if (w lsr i) land 1 = 1 then i else go (i + 1) in
+        go 0
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "ctz_w %#x" x)
+        (naive_ctz x) (Bits.ctz_w x);
+      Alcotest.(check int)
+        (Printf.sprintf "ctz_w %#x << 16" x)
+        (naive_ctz (x lsl 16))
+        (Bits.ctz_w (x lsl 16))
+    end
+  done
+
+let test_rank_below_exhaustive () =
+  (* every 16-bit word at both ends of the 64-bit range, every i in
+     0..64 (65 included boundary: rank over the full word) *)
+  for x = 0 to 0xFFFF do
+    let w = Int64.logor (Int64.of_int x) (Int64.shift_left (Int64.of_int x) 48) in
+    for i = 0 to 64 do
+      Alcotest.(check int)
+        (Printf.sprintf "rank_below %#x %d" x i)
+        (naive_rank64 w i) (Bits.rank_below w i)
+    done;
+    for i = 0 to 32 do
+      Alcotest.(check int)
+        (Printf.sprintf "rank_below_w %#x %d" x i)
+        (naive_popcount_w (x land ((1 lsl i) - 1)))
+        (Bits.rank_below_w x i)
+    done
+  done
+
+let qcheck_swar_random64 =
+  QCheck.Test.make ~name:"SWAR popcount/rank match naive on random int64"
+    ~count:2000
+    QCheck.(pair int64 (int_bound 64))
+    (fun (w, i) ->
+      Bits.popcount w = naive_popcount64 w
+      && Bits.rank_below w i = naive_rank64 w i)
+
+let qcheck_swar_random_w =
+  QCheck.Test.make ~name:"popcount_w/rank_below_w/ctz_w match naive on random \
+                          32-bit words"
+    ~count:2000
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_bound 32))
+    (fun (w, i) ->
+      Bits.popcount_w w = naive_popcount_w w
+      && Bits.rank_below_w w i = naive_popcount_w (w land ((1 lsl i) - 1))
+      && (w = 0
+         || Bits.ctz_w w
+            = (let rec go j = if (w lsr j) land 1 = 1 then j else go (j + 1) in
+               go 0)))
+
 let qcheck_popcount_set =
   QCheck.Test.make ~name:"popcount after set grows by 0 or 1" ~count:500
     QCheck.(pair int64 (int_bound 63))
@@ -163,6 +261,12 @@ let () =
           Alcotest.test_case "lowest_zero" `Quick test_bits_lowest_zero;
           Alcotest.test_case "lowest_one" `Quick test_bits_lowest_one;
           Alcotest.test_case "u64 roundtrip" `Quick test_bits_u64_roundtrip;
+          Alcotest.test_case "SWAR vs naive, exhaustive 16-bit" `Quick
+            test_swar_exhaustive_16bit;
+          Alcotest.test_case "rank_below vs naive, exhaustive 16-bit" `Slow
+            test_rank_below_exhaustive;
+          QCheck_alcotest.to_alcotest qcheck_swar_random64;
+          QCheck_alcotest.to_alcotest qcheck_swar_random_w;
           QCheck_alcotest.to_alcotest qcheck_popcount_set;
           QCheck_alcotest.to_alcotest qcheck_set_clear_inverse;
           QCheck_alcotest.to_alcotest qcheck_lowest_zero_is_zero;

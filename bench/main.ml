@@ -13,7 +13,7 @@
 
    Usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]
      EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation
-             parallel ycsb recovery art_nodes *)
+             parallel ycsb recovery art_nodes scrub *)
 
 module Latency = Hart_pmem.Latency
 module Keygen = Hart_workloads.Keygen
@@ -95,11 +95,11 @@ let usage () =
     "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro] \
      [--json-dir DIR]\n\
     \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation \
-     parallel ycsb recovery art_nodes\n\
+     parallel ycsb recovery art_nodes scrub\n\
     \  --json-dir DIR also writes BENCH_figs.json (every printed table) \
      and,\n\
     \  per experiment, BENCH_parallel.json / BENCH_ycsb.json / \
-     BENCH_recovery.json / BENCH_art_nodes.json.";
+     BENCH_recovery.json / BENCH_art_nodes.json / BENCH_scrub.json.";
   exit 2
 
 let () =
@@ -169,6 +169,11 @@ let () =
     Hart_harness.Exp_art_nodes.run
       ?json_path:
         (Option.map (fun d -> Filename.concat d "BENCH_art_nodes.json") !json_dir)
+      ~scale ();
+  if wants "scrub" then
+    Hart_harness.Exp_scrub.run
+      ?json_path:
+        (Option.map (fun d -> Filename.concat d "BENCH_scrub.json") !json_dir)
       ~scale ();
   (match !json_dir with
   | Some dir ->

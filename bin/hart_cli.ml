@@ -16,6 +16,7 @@ module Latency = Hart_pmem.Latency
 module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
 module Hart = Hart_core.Hart
+module Hart_error = Hart_core.Hart_error
 open Cmdliner
 
 let open_store db =
@@ -353,6 +354,110 @@ let art_nodes_cmd =
           check (the two layers must agree exactly).")
     Term.(const run $ scale $ json $ min_lookup_speedup)
 
+(* ------------------------------------------------------------------ *)
+(* fsck / scrub                                                        *)
+
+let finding_json (f : Hart_error.finding) =
+  let open Hart_harness.Report.Json in
+  Obj
+    [
+      ("site", Str (Format.asprintf "%a" Hart_error.pp_site f.Hart_error.f_site));
+      ("action", Str (Hart_error.action_name f.Hart_error.f_action));
+      ("detail", Str f.Hart_error.f_detail);
+      ("keys", List (List.map (fun k -> Str k) f.Hart_error.f_keys));
+      ("capacity", Int f.Hart_error.f_capacity);
+    ]
+
+let integrity_report ~tool ~db hart findings =
+  let repaired, quarantined, detected = Hart_error.partition findings in
+  let open Hart_harness.Report.Json in
+  Obj
+    [
+      ("tool", Str tool);
+      ("db", Str db);
+      ("keys", Int (Hart.count hart));
+      ("checksums", Bool (Hart.checksums hart));
+      ("clean", Bool (findings = []));
+      ("repaired", Int (List.length repaired));
+      ("quarantined", Int (List.length quarantined));
+      ("detected", Int (List.length detected));
+      ("findings", List (List.map finding_json findings));
+    ]
+
+let integrity_cmd ~tool ~doc ~deep =
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the integrity report as a JSON object to $(docv) \
+             (findings, partition counts, a $(b,clean) flag).")
+  in
+  let run json_out db =
+    ok_or_die
+      (try
+         if not (Sys.file_exists db) then
+           Error (Printf.sprintf "no store at %s" db)
+         else begin
+           let pool = Pmem.load (Meter.create Latency.c300_300) db in
+           (* a quarantining mount: media faults in the image become
+              findings instead of aborting the check *)
+           let hart = Hart.recover ~quarantine:true pool in
+           let findings =
+             Hart.quarantines hart
+             @ (if deep then Hart.fsck ~deep:true hart else Hart.scrub hart)
+           in
+           List.iter
+             (fun f -> Format.printf "%a@." Hart_error.pp_finding f)
+             findings;
+           let repaired, quarantined, detected =
+             Hart_error.partition findings
+           in
+           Printf.printf
+             "%s: %d key(s), %d finding(s) — %d repaired, %d quarantined, %d \
+              detected\n"
+             tool (Hart.count hart) (List.length findings)
+             (List.length repaired) (List.length quarantined)
+             (List.length detected);
+           (match json_out with
+           | None -> ()
+           | Some path ->
+               Hart_harness.Report.Json.write path
+                 (integrity_report ~tool ~db hart findings));
+           (* repairs were persisted into the pool as they were made;
+              write the healed image back *)
+           close_store pool db;
+           if detected = [] then Ok ()
+           else
+             Error
+               (Printf.sprintf "%d finding(s) detected but not repairable"
+                  (List.length detected))
+         end
+       with
+      | Hart_error.Error e -> Error (Hart_error.to_string e)
+      | Pmem.Media_poisoned { off; line } ->
+          Error
+            (Printf.sprintf "poisoned media line %d (offset %d): pool \
+                             unreadable" line off)
+      | Invalid_argument m | Failure m | Sys_error m -> Error m)
+  in
+  Cmd.v (Cmd.info tool ~doc) Term.(const run $ json_out $ db_arg)
+
+let fsck_cmd =
+  integrity_cmd ~tool:"fsck" ~deep:true
+    ~doc:
+      "Check and self-heal a store image: quarantining mount, media \
+       attribution, cross-structure invariants and the deep checksum walk. \
+       Repairs are written back; exit is nonzero only when unrepairable \
+       corruption remains."
+
+let scrub_cmd =
+  integrity_cmd ~tool:"scrub" ~deep:false
+    ~doc:
+      "Online integrity pass: fsck without the deep checksum walk — the \
+       cheap scan a store would run periodically."
+
 let fault_cmd =
   let workload =
     let all = List.map (fun (n, _, _) -> n) Hart_fault.Fault.builtin_workloads in
@@ -513,9 +618,33 @@ let fault_cmd =
              $(docv) crash schedules (CI budget); omit for the \
              exhaustive sweep.")
   in
+  let media_faults =
+    Arg.(
+      value & opt int 0
+      & info [ "media-faults" ] ~docv:"N"
+          ~doc:
+            "With $(docv) > 0, run the media-fault sweep instead: \
+             $(docv) seeded corruption sites (bit flips, line clobbers, \
+             stuck-at lines, poisoned reads) per target x workload, each \
+             mounted fault-tolerantly and checked against the oracle — \
+             every injected fault must be repaired, quarantined-and-\
+             reported, or raise a typed error; a silent wrong answer is \
+             a violation. Targets default to the media roster (all \
+             indexes plus checksummed HART).")
+  in
+  let media_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "media-json" ] ~docv:"PATH"
+          ~doc:
+            "With $(b,--media-faults), also write the full per-site \
+             sweep reports as JSON to $(docv) (FAULT_media.json \
+             format).")
+  in
   let run workload target torn adversarial json_out no_nested checkpoint_every
       keep_going domains index nested_mt shrink mt_workload gen_seeds seed
-      max_schedules =
+      max_schedules media_faults media_json =
     ok_or_die
       (try
          if domains > 1 then begin
@@ -625,6 +754,70 @@ let fault_cmd =
                  vs;
                Error (Printf.sprintf "%d violating schedule(s)" (List.length vs))
          end
+         else if media_faults > 0 then begin
+           let targets =
+             match target with
+             | None -> Hart_fault.Fault.media_targets
+             | Some n -> (
+                 match Hart_fault.Fault.find_target n with
+                 | Some t -> [ t ]
+                 | None -> failwith (Printf.sprintf "unknown target %S" n))
+           in
+           let workloads =
+             match workload with
+             | None -> Hart_fault.Fault.builtin_workloads
+             | Some n -> (
+                 match Hart_fault.Fault.find_workload n with
+                 | Some w -> [ w ]
+                 | None -> failwith (Printf.sprintf "unknown workload %S" n))
+           in
+           let reports =
+             List.concat_map
+               (fun t ->
+                 List.map
+                   (fun (name, setup, ops) ->
+                     let r =
+                       Hart_fault.Fault.explore_media ~sites:media_faults
+                         ~base_seed:seed ~setup ~keep_going ~workload:name t
+                         ops
+                     in
+                     Format.printf "%a@." Hart_fault.Fault.pp_media_report r;
+                     r)
+                   workloads)
+               targets
+           in
+           (match media_json with
+           | None -> ()
+           | Some path ->
+               let oc = open_out path in
+               output_string oc (Hart_fault.Fault.media_reports_json reports);
+               close_out oc);
+           (match json_out with
+           | None -> ()
+           | Some path ->
+               let oc = open_out path in
+               output_string oc
+                 (Hart_fault.Fault.media_violations_to_json reports);
+               close_out oc);
+           let vs =
+             List.concat_map
+               (fun r -> r.Hart_fault.Fault.m_violations)
+               reports
+           in
+           match vs with
+           | [] ->
+               print_endline "no silent wrong answers under media faults";
+               Ok ()
+           | vs ->
+               List.iter
+                 (fun v ->
+                   Printf.eprintf "violation: %s\n"
+                     (Hart_fault.Fault.violation_message v))
+                 vs;
+               Error
+                 (Printf.sprintf "%d silent-wrong-answer violation(s)"
+                    (List.length vs))
+         end
          else
          let targets =
            match target with
@@ -705,7 +898,8 @@ let fault_cmd =
     Term.(
       const run $ workload $ target $ torn $ adversarial $ json_out $ no_nested
       $ checkpoint_every $ keep_going $ domains $ index $ nested_mt $ shrink
-      $ mt_workload $ gen_seeds $ seed $ max_schedules)
+      $ mt_workload $ gen_seeds $ seed $ max_schedules $ media_faults
+      $ media_json)
 
 let () =
   let doc = "persistent key-value store over HART (simulated PM)" in
@@ -726,4 +920,6 @@ let () =
             recovery_cmd;
             art_nodes_cmd;
             fault_cmd;
+            fsck_cmd;
+            scrub_cmd;
           ]))

@@ -54,6 +54,16 @@ let write_header pool ~chunk bitmap =
   Pmem.set_u64 pool chunk (pack_header bitmap);
   Pmem.persist pool ~off:chunk ~len:8
 
+(* The hint/full byte is always written as [pack_header] of the bitmap
+   (see [set_bit]/[reset_bit]), so any disagreement is corruption — and
+   since both are pure functions of the bitmap, recomputing them is a
+   provably safe repair. *)
+let header_well_formed pool ~chunk =
+  let h = header pool ~chunk in
+  h = pack_header (bitmap_of_header h)
+
+let rewrite_header pool ~chunk = write_header pool ~chunk (bitmap pool ~chunk)
+
 let test_bit pool ~chunk ~idx = Bits.test (bitmap pool ~chunk) idx
 let set_bit pool ~chunk ~idx = write_header pool ~chunk (Bits.set (bitmap pool ~chunk) idx)
 let reset_bit pool ~chunk ~idx = write_header pool ~chunk (Bits.clear (bitmap pool ~chunk) idx)

@@ -73,6 +73,15 @@ val is_full : Hart_pmem.Pmem.t -> chunk:int -> bool
 val next_free_hint : Hart_pmem.Pmem.t -> chunk:int -> int
 val full_indicator : Hart_pmem.Pmem.t -> chunk:int -> int
 
+val header_well_formed : Hart_pmem.Pmem.t -> chunk:int -> bool
+(** Whether the hint/full byte equals its canonical recomputation from
+    the bitmap (every legitimate header write keeps them canonical, so
+    [false] means the byte was corrupted). *)
+
+val rewrite_header : Hart_pmem.Pmem.t -> chunk:int -> unit
+(** Recompute hint/full from the bitmap and persist — the repair for a
+    {!header_well_formed} failure. The bitmap itself is unchanged. *)
+
 val pnext : Hart_pmem.Pmem.t -> chunk:int -> int
 
 val set_pnext : Hart_pmem.Pmem.t -> chunk:int -> int -> unit

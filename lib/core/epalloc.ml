@@ -18,6 +18,12 @@ let cls_of_id = function
   | 3 -> Chunk.Val32
   | _ -> assert false
 
+let cls_name = function
+  | Chunk.Leaf_c -> "leaf"
+  | Chunk.Val8 -> "val8"
+  | Chunk.Val16 -> "val16"
+  | Chunk.Val32 -> "val32"
+
 (* Root block layout: magic@0, kh@8, heads@16+8*cls, micro-logs after. *)
 let head_field cls = root_off + 16 + (8 * cls_id cls)
 let log_base = root_off + 16 + (8 * n_classes)
@@ -89,6 +95,7 @@ let dom_slot () = (Domain.self () :> int) land (dom_slots - 1)
 type t = {
   pool : Pmem.t;
   kh : int;
+  checksums : bool;  (* CRC trailers on leaves, values and log words *)
   logs : Microlog.t;
   heads : int array;  (* volatile mirror of the persistent list heads *)
   class_mu : Mutex.t array;  (* one per class *)
@@ -105,6 +112,7 @@ type t = {
 
 let pool t = t.pool
 let kh t = t.kh
+let checksums t = t.checksums
 let logs t = t.logs
 
 let full_mask = (1 lsl Chunk.objs_per_chunk) - 1
@@ -170,10 +178,11 @@ let set_head t cls v =
   Pmem.persist t.pool ~off:(head_field cls) ~len:8;
   t.heads.(cls_id cls) <- v
 
-let make pool ~kh ~logs =
+let make pool ~kh ~checksums ~logs =
   {
     pool;
     kh;
+    checksums;
     logs;
     heads = Array.make n_classes 0;
     class_mu = Array.init n_classes (fun _ -> Mutex.create ());
@@ -184,19 +193,25 @@ let make pool ~kh ~logs =
     active = Array.init n_classes (fun _ -> Array.make dom_slots 0);
   }
 
-let create ?(kh = 2) pool =
+(* The kh word doubles as the pool's feature word: low byte = hash-key
+   length, bit 8 = checksummed format. Persisted so a re-opened pool
+   self-describes whether its leaves/values/log words carry CRCs. *)
+let checksums_flag = 1 lsl 8
+
+let create ?(kh = 2) ?(checksums = false) pool =
   if kh < 1 || kh > 8 then invalid_arg "Epalloc.create: kh must be in [1,8]";
   let off = Pmem.alloc pool root_bytes in
   if off <> root_off then
     invalid_arg "Epalloc.create: the root block must be the pool's first allocation";
   Pmem.set_u64 pool root_off magic;
-  Pmem.set_u64 pool (root_off + 8) (Int64.of_int kh);
+  Pmem.set_u64 pool (root_off + 8)
+    (Int64.of_int (kh lor if checksums then checksums_flag else 0));
   for id = 0 to n_classes - 1 do
     Pmem.set_u64 pool (head_field (cls_of_id id)) 0L
   done;
   Pmem.persist pool ~off:root_off ~len:(16 + (8 * n_classes));
-  let logs = Microlog.create pool ~base:log_base in
-  make pool ~kh ~logs
+  let logs = Microlog.create ~checksummed:checksums pool ~base:log_base in
+  make pool ~kh ~checksums ~logs
 
 (* Lock-free: snapshots the COW registry. The bitmap word itself is read
    without the stripe lock by [obj_bit] — an 8-byte-aligned word read
@@ -213,6 +228,22 @@ let chunk_of_obj t cls obj =
 let class_of_value_obj t obj =
   let fits cls = match chunk_of_obj t cls obj with _ -> true | exception Not_found -> false in
   List.find_opt fits [ Chunk.Val8; Chunk.Val16; Chunk.Val32 ]
+
+(* Which registered chunk (any class) covers this pool byte — including
+   its 16-byte prologue, which [chunk_of_obj] deliberately excludes.
+   fsck uses this to attribute a corrupt media line to a structure. *)
+let chunk_covering t off =
+  let rec go id =
+    if id >= n_classes then None
+    else
+      let cls = cls_of_id id in
+      let reg = Atomic.get t.registry.(id) in
+      let i = Registry.find_le reg off in
+      if i >= 0 && off < reg.(i) + Chunk.chunk_bytes cls then
+        Some (cls, reg.(i))
+      else go (id + 1)
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Allocation (Algorithm 2)                                            *)
@@ -483,41 +514,177 @@ let recover_update_log t ~slot =
    (* with PNewV unset the old value is still in place: nothing to redo *));
   Microlog.Update.reclaim logs ~slot
 
-let attach pool =
+let root_scalar_bytes = 16 + (8 * n_classes)
+
+let attach ?(bad_lines = []) ?report pool =
+  let quarantine = report <> None in
+  let emit f = match report with Some r -> r f | None -> () in
+  let bad = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace bad l ()) bad_lines;
+  let bad_span off len =
+    let last = (off + len - 1) / Pmem.line_bytes in
+    let rec go l = l <= last && (Hashtbl.mem bad l || go (l + 1)) in
+    go (off / Pmem.line_bytes)
+  in
+  (* The root scalars (magic, kh word, list heads) share their line with
+     the start of the log region; per-line ECC cannot localise damage
+     below line granularity, so a fault here is unrepairable in place —
+     raise (the mount is refused, the fault Detected). *)
+  if bad_span root_off root_scalar_bytes then
+    Hart_error.error (Root_block { off = root_off })
+      "media-corrupt line under the root scalars — pool is unmountable";
   if Pmem.get_u64 pool root_off <> magic then
-    failwith "Epalloc.attach: no valid HART root block in this pool";
-  let kh = Int64.to_int (Pmem.get_u64 pool (root_off + 8)) in
-  let logs = Microlog.attach pool ~base:log_base in
-  let t = make pool ~kh ~logs in
+    Hart_error.error (Root_block { off = root_off })
+      "bad magic %Lx (want %Lx)" (Pmem.get_u64 pool root_off) magic;
+  let kh_word = Int64.to_int (Pmem.get_u64 pool (root_off + 8)) in
+  let kh = kh_word land 0xFF in
+  let checksums = kh_word land checksums_flag <> 0 in
+  if kh < 1 || kh > 8 || kh_word land lnot (0xFF lor checksums_flag) <> 0 then
+    Hart_error.error (Root_block { off = root_off + 8 })
+      "implausible kh/feature word %#x" kh_word;
+  let logs = Microlog.attach ~checksummed:checksums pool ~base:log_base in
+  let t = make pool ~kh ~checksums ~logs in
+  (* Hardened chain walk: every pnext pointer is validated (alignment,
+     bounds, acyclicity, no overlap with the root region) before it is
+     trusted, and a chunk whose prologue line the ECC flags is refused —
+     its bitmap and pnext cannot be trusted, and walking past them could
+     silently resurrect or drop keys. Corruption here surfaces as a
+     typed error instead of an [assert]/[Failure] deep in the walk. *)
+  let seen = Hashtbl.create 64 in
   for id = 0 to n_classes - 1 do
     let cls = cls_of_id id in
     t.heads.(id) <- Int64.to_int (Pmem.get_u64 pool (head_field cls));
     let rec walk chunk =
       if chunk <> 0 then begin
-        registry_add t id chunk;
-        if not (Chunk.is_full pool ~chunk) then Hashtbl.replace t.avail.(id) chunk ();
-        walk (Chunk.pnext pool ~chunk)
+        let site = Hart_error.Chunk_meta { cls = cls_name cls; chunk } in
+        if
+          chunk land (Pmem.line_bytes - 1) <> 0
+          || chunk < root_off + root_bytes
+        then
+          Hart_error.error site "implausible chunk pointer %d in %s list"
+            chunk (cls_name cls);
+        if Hashtbl.mem seen chunk then
+          Hart_error.error site "chunk list cycle or cross-linked chunk";
+        Hashtbl.add seen chunk ();
+        if bad_span chunk 16 then
+          Hart_error.error site
+            "media-corrupt prologue line — bitmap and chain pointer \
+             untrustworthy";
+        match
+          registry_add t id chunk;
+          if not (Chunk.is_full pool ~chunk) then
+            Hashtbl.replace t.avail.(id) chunk ();
+          Chunk.pnext pool ~chunk
+        with
+        | next -> walk next
+        | exception Invalid_argument msg ->
+            Hart_error.error site "chunk metadata access out of pool: %s" msg
+        | exception Pmem.Media_poisoned { line; _ } ->
+            Hart_error.error site "chunk metadata on poisoned line %d" line
       end
     in
     walk t.heads.(id)
   done;
-  Microlog.Recycle.iter_pending logs (fun ~slot -> recover_recycle_log t ~slot);
-  Microlog.Update.iter_pending logs (fun ~slot -> recover_update_log t ~slot);
+  (* Scrub the micro-logs BEFORE replay: a record sitting on a corrupt
+     line, or failing its word CRC, must never be replayed — discarding
+     it is the torn-record treatment (the logged operation did not
+     commit). Zero+persist also reseals the line's ECC entry. *)
+  if quarantine then begin
+    let to_scrub = Hashtbl.create 8 in
+    List.iter
+      (fun (kind, slot, off) ->
+        Hashtbl.replace to_scrub (kind, slot) off)
+      (Microlog.slots_overlapping logs ~line_bytes:Pmem.line_bytes
+         ~lines:bad_lines);
+    List.iter
+      (fun (kind, slot, off) -> Hashtbl.replace to_scrub (kind, slot) off)
+      (Microlog.verify logs);
+    Hashtbl.iter
+      (fun (kind, slot) off ->
+        let was_pending = Microlog.pending logs ~kind ~slot in
+        Microlog.discard_slot logs ~kind ~slot;
+        if was_pending then
+          emit
+            {
+              Hart_error.f_site = Log_slot { kind; slot; off };
+              f_action = Quarantined;
+              f_detail =
+                "pending log record on corrupt media discarded (treated \
+                 as never committed)";
+              f_keys = [];
+              f_capacity = 1;
+            }
+        else
+          emit
+            {
+              Hart_error.f_site = Log_slot { kind; slot; off };
+              f_action = Repaired;
+              f_detail = "idle log slot rewritten to zero (line resealed)";
+              f_keys = [];
+              f_capacity = 0;
+            })
+      to_scrub
+  end;
+  (* Replay, guarded in quarantine mode: a record whose pointers do not
+     resolve to registered chunks is discarded rather than replayed into
+     arbitrary pool bytes. *)
+  let guarded kind ~slot ~off body =
+    if not quarantine then body ()
+    else
+      try body () with
+      | Hart_error.Error _ | Invalid_argument _ | Not_found
+      | Pmem.Media_poisoned _ ->
+          Microlog.discard_slot logs ~kind ~slot;
+          emit
+            {
+              Hart_error.f_site = Log_slot { kind; slot; off };
+              f_action = Quarantined;
+              f_detail = "unreplayable log record discarded";
+              f_keys = [];
+              f_capacity = 1;
+            }
+  in
+  Microlog.Recycle.iter_pending logs (fun ~slot ->
+      let off = Microlog.slot_offset logs ~kind:"recycle" ~slot in
+      guarded "recycle" ~slot ~off (fun () ->
+          (if quarantine then
+             let prev = Microlog.Recycle.pprev logs ~slot in
+             let cls = Microlog.Recycle.cls logs ~slot in
+             if
+               prev <> 0
+               && not (Registry.mem (Atomic.get t.registry.(cls_id cls)) prev)
+             then
+               Hart_error.error (Log_slot { kind = "recycle"; slot; off })
+                 "PPrev %d is no registered chunk" prev);
+          recover_recycle_log t ~slot));
+  Microlog.Update.iter_pending logs (fun ~slot ->
+      let off = Microlog.slot_offset logs ~kind:"update" ~slot in
+      guarded "update" ~slot ~off (fun () ->
+          (if quarantine then
+             let pleaf = Microlog.Update.pleaf logs ~slot in
+             if pleaf <> 0 then ignore (chunk_of_obj t Chunk.Leaf_c pleaf : int));
+          recover_update_log t ~slot));
   (* sanitize: a free leaf slot must never carry a stale value pointer
      into steady state, or a later Algorithm-2 repair of that slot could
-     free a value that has since been re-owned by another key *)
-  let rec sweep chunk =
-    if chunk <> 0 then begin
-      for idx = 0 to Chunk.objs_per_chunk - 1 do
-        if not (Chunk.test_bit pool ~chunk ~idx) then begin
-          let obj = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
-          if Leaf.p_value pool ~leaf:obj <> 0 then repair_leaf_slot t obj
-        end
-      done;
-      sweep (Chunk.pnext pool ~chunk)
-    end
-  in
-  sweep t.heads.(cls_id Chunk.Leaf_c);
+     free a value that has since been re-owned by another key. In
+     quarantine mode this sweep is skipped — a media fault can forge a
+     p_value aliasing a live key's value, so the caller must run the
+     deferred, reference-counted scan ([Hart]'s quarantining recovery)
+     instead of this eager repair. *)
+  if not quarantine then begin
+    let rec sweep chunk =
+      if chunk <> 0 then begin
+        for idx = 0 to Chunk.objs_per_chunk - 1 do
+          if not (Chunk.test_bit pool ~chunk ~idx) then begin
+            let obj = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+            if Leaf.p_value pool ~leaf:obj <> 0 then repair_leaf_slot t obj
+          end
+        done;
+        sweep (Chunk.pnext pool ~chunk)
+      end
+    in
+    sweep t.heads.(cls_id Chunk.Leaf_c)
+  end;
   t
 
 (* ------------------------------------------------------------------ *)

@@ -34,21 +34,57 @@ type t
 
 val magic : int64
 
-val create : ?kh:int -> Hart_pmem.Pmem.t -> t
+val root_off : int
+(** Pool offset of the root block (the pool's first allocation). *)
+
+val root_bytes : int
+(** Bytes of the root block: scalars + both micro-log slot arrays. *)
+
+val cls_name : Chunk.cls -> string
+(** Short class name ("leaf", "val8", …) as used in {!Hart_error.site}
+    coordinates. *)
+
+val create : ?kh:int -> ?checksums:bool -> Hart_pmem.Pmem.t -> t
 (** Format a fresh pool: root block (magic, [kh], null list heads) and
     zeroed micro-logs. [kh] is HART's hash-key length, default 2,
-    persisted for recovery. Must be the first allocation in the pool.
+    persisted for recovery. [checksums] (default false) selects the
+    checksummed object format — CRC-32 trailers on leaf keys, value
+    objects and micro-log words — recorded in the root block's feature
+    word so a re-opened pool self-describes. Must be the first
+    allocation in the pool.
     @raise Invalid_argument if [kh] is outside \[1, 8\]. *)
 
-val attach : Hart_pmem.Pmem.t -> t
+val attach :
+  ?bad_lines:int list ->
+  ?report:(Hart_error.finding -> unit) ->
+  Hart_pmem.Pmem.t ->
+  t
 (** Adopt the pool after a crash or reopen: verify the magic, rebuild the
-    volatile state by walking the chunk lists, then run the recovery
+    volatile state by walking the chunk lists (every chain pointer
+    validated — alignment, bounds, acyclicity), then run the recovery
     protocols of both micro-logs (recycle logs first, so update-log
     recovery can acquire one).
-    @raise Failure if the pool has no valid root block. *)
+
+    Passing [~report] switches on quarantine mode for media-damaged
+    pools: log records on a [bad_lines] line or failing their CRC are
+    discarded (reported via [report]) instead of replayed, replay is
+    guarded against unresolvable pointers, and the eager free-leaf-slot
+    sanitation sweep is skipped — the caller must follow with
+    [Hart]'s deferred reference-counted scan, since a forged [p_value]
+    could alias a live key's value object.
+
+    @raise Hart_error.Error when the pool cannot be mounted: bad magic,
+    implausible feature word, corrupt chunk chain, or a media fault on
+    the root-scalar line or a chunk prologue line (per-line ECC cannot
+    localise damage below line granularity, so those structures cannot
+    be trusted). *)
 
 val pool : t -> Hart_pmem.Pmem.t
 val kh : t -> int
+
+val checksums : t -> bool
+(** Whether this pool uses the checksummed object format. *)
+
 val logs : t -> Microlog.t
 
 val epmalloc : t -> Chunk.cls -> int
@@ -94,6 +130,10 @@ val chunk_of_obj : t -> Chunk.cls -> int -> int
 val class_of_value_obj : t -> int -> Chunk.cls option
 (** Which value class's chunk (if any) contains this offset — recovery
     needs it because a leaf's [p_value] does not record the class. *)
+
+val chunk_covering : t -> int -> (Chunk.cls * int) option
+(** The registered chunk (any class) whose bytes — prologue included —
+    cover this pool offset. fsck's media-fault attribution. *)
 
 val chunk_count : t -> Chunk.cls -> int
 val iter_chunks : t -> Chunk.cls -> (int -> unit) -> unit

@@ -10,6 +10,8 @@ type t = {
   kh : int;
   internal_nodes : internal_nodes;
   count : int Atomic.t;
+  quarantines : Hart_error.finding list ref;
+      (* findings accumulated by a quarantining recovery of this pool *)
 }
 
 let kh t = t.kh
@@ -17,6 +19,8 @@ let pool t = t.pool
 let alloc t = t.alloc
 let count t = Atomic.get t.count
 let art_count t = Hash_dir.length t.dir
+let quarantines t = List.rev !(t.quarantines)
+let checksums t = Epalloc.checksums t.alloc
 
 (* Ablation support (`Pm): internal nodes placed on PM with a
    WOART-style per-mutation persistence protocol, isolating the cost the
@@ -50,8 +54,9 @@ let new_art t =
         ~free_node:(fun ~addr ~size -> Pmem.free t.pool ~off:addr ~len:size)
         ~on_event:(pm_node_protocol meter) ()
 
-let create ?(kh = 2) ?dir_buckets ?(internal_nodes = `Dram) pool =
-  let alloc = Epalloc.create ~kh pool in
+let create ?(kh = 2) ?(checksums = false) ?dir_buckets ?(internal_nodes = `Dram)
+    pool =
+  let alloc = Epalloc.create ~kh ~checksums pool in
   let meter = Pmem.meter pool in
   {
     alloc;
@@ -60,6 +65,7 @@ let create ?(kh = 2) ?dir_buckets ?(internal_nodes = `Dram) pool =
     kh;
     internal_nodes;
     count = Atomic.make 0;
+    quarantines = ref [];
   }
 
 let split_key t key =
@@ -93,7 +99,7 @@ let update_leaf t ~leaf value =
   Microlog.Update.set_poldv logs ~slot old_v;
   let vcls = Value_obj.cls_for value in
   let new_v = Epalloc.epmalloc t.alloc vcls in
-  Value_obj.write t.pool ~obj:new_v value;
+  Value_obj.write ~crc:(checksums t) t.pool ~obj:new_v value;
   Microlog.Update.set_pnewv logs ~slot new_v;
   Epalloc.set_obj_bit t.alloc vcls ~obj:new_v;
   Leaf.set_p_value t.pool ~leaf new_v;
@@ -123,10 +129,10 @@ let insert t ~key ~value =
       let leaf = Epalloc.epmalloc t.alloc Chunk.Leaf_c in
       let vcls = Value_obj.cls_for value in
       let vobj = Epalloc.epmalloc t.alloc vcls in
-      Value_obj.write t.pool ~obj:vobj value;
+      Value_obj.write ~crc:(checksums t) t.pool ~obj:vobj value;
       Leaf.set_p_value t.pool ~leaf vobj;
       Epalloc.set_obj_bit t.alloc vcls ~obj:vobj;
-      Leaf.write_key t.pool ~leaf key;
+      Leaf.write_key ~crc:(checksums t) t.pool ~leaf key;
       (match Art.insert art art_key leaf with
       | `Inserted -> ()
       | `Replaced _ -> assert false (* Art.find returned None above *));
@@ -282,29 +288,233 @@ let iter_arts t f = Hash_dir.iter t.dir f
 (* ------------------------------------------------------------------ *)
 (* Recovery (Algorithm 7)                                              *)
 
-let recover pool =
-  let alloc = Epalloc.attach pool in
+let make_recovered pool alloc quarantines =
   let meter = Pmem.meter pool in
-  let t =
-    {
-      alloc;
-      pool;
-      dir = Hash_dir.create ~meter ();
-      kh = Epalloc.kh alloc;
-      internal_nodes = `Dram;
-      count = Atomic.make 0;
-    }
+  {
+    alloc;
+    pool;
+    dir = Hash_dir.create ~meter ();
+    kh = Epalloc.kh alloc;
+    internal_nodes = `Dram;
+    count = Atomic.make 0;
+    quarantines;
+  }
+
+let duplicate_leaf_error alloc ~key ~obj =
+  let chunk = Epalloc.chunk_of_obj alloc Chunk.Leaf_c obj in
+  let idx = Chunk.idx_of_obj Chunk.Leaf_c ~chunk ~obj in
+  Hart_error.error ~keys:[ key ]
+    (Leaf_slot { chunk; idx; leaf = obj })
+    "duplicate committed leaf for key %S" key
+
+(* ---- quarantining recovery machinery ------------------------------ *)
+
+(* Predicate over [off, off+len): does the span touch a flagged line? *)
+let bad_span_of_lines lines =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l ()) lines;
+  fun off len ->
+    let last = (off + len - 1) / Pmem.line_bytes in
+    let rec go l = l <= last && (Hashtbl.mem tbl l || go (l + 1)) in
+    go (off / Pmem.line_bytes)
+
+type leaf_verdict =
+  | Leaf_ok of { key : string; pv : int }
+  | Leaf_bad of { key : string option; pv : int; detail : string }
+      (* [pv] is the value offset to consider freeing — 0 when the
+         pointer itself is unreadable or untrustworthy *)
+
+(* Read-only validation of one committed leaf slot: media lines, key
+   length, key CRC, value pointer resolution, value commitment, value
+   CRC. Never writes, never raises — suitable for parallel scan
+   workers. *)
+let inspect_leaf alloc ~checksums ~bad_span ~leaf =
+  let pool = Epalloc.pool alloc in
+  try
+    let len = Leaf.key_len pool ~leaf in
+    if len < 1 || len > Leaf.max_key_len then
+      Leaf_bad
+        { key = None; pv = 0; detail = Printf.sprintf "invalid key length %d" len }
+    else begin
+      let key = Leaf.key pool ~leaf in
+      let pv = Leaf.p_value pool ~leaf in
+      if bad_span leaf Leaf.size then
+        Leaf_bad { key = Some key; pv; detail = "leaf bytes on a corrupt media line" }
+      else if checksums && not (Leaf.key_crc_ok pool ~leaf) then
+        Leaf_bad { key = Some key; pv; detail = "leaf key fails its CRC" }
+      else if pv = 0 then
+        Leaf_bad { key = Some key; pv = 0; detail = "committed leaf without a value object" }
+      else
+        match Epalloc.class_of_value_obj alloc pv with
+        | None ->
+            Leaf_bad
+              {
+                key = Some key;
+                pv = 0;
+                detail = Printf.sprintf "dangling value pointer %d" pv;
+              }
+        | Some vcls ->
+            if not (Epalloc.obj_bit alloc vcls ~obj:pv) then
+              Leaf_bad
+                {
+                  key = Some key;
+                  pv = 0;
+                  detail = Printf.sprintf "value object %d is not committed" pv;
+                }
+            else if bad_span pv (Chunk.obj_size vcls) then
+              Leaf_bad
+                { key = Some key; pv; detail = "value bytes on a corrupt media line" }
+            else if checksums && not (Value_obj.crc_ok pool ~cls:vcls ~obj:pv) then
+              Leaf_bad { key = Some key; pv; detail = "value object fails its CRC" }
+            else Leaf_ok { key; pv }
+    end
+  with
+  | Pmem.Media_poisoned { line; _ } ->
+      Leaf_bad
+        {
+          key = None;
+          pv = 0;
+          detail = Printf.sprintf "poisoned media line %d under leaf or value" line;
+        }
+  | Invalid_argument msg ->
+      Leaf_bad { key = None; pv = 0; detail = "access out of pool: " ^ msg }
+
+(* Free a value object iff it is provably exclusive: committed, and not
+   referenced by any kept (index-reachable) leaf. A corrupt leaf's
+   p_value is untrusted bytes — it may alias a live key's value object,
+   so freeing is deferred until the full scan has established the kept
+   reference set. Zeroing the object's bytes reseals its media lines
+   and leaves no stale payload behind. *)
+let free_value_exclusive alloc ~kept_values ~freed pv =
+  if pv > 0 && not (Hashtbl.mem kept_values pv) && not (Hashtbl.mem freed pv)
+  then
+    match
+      (* untrusted bytes may land inside a value chunk yet between
+         object boundaries — such an offset names no object at all *)
+      match Epalloc.class_of_value_obj alloc pv with
+      | some_cls -> some_cls
+      | exception Invalid_argument _ -> None
+    with
+    | Some vcls
+      when (try Epalloc.obj_bit alloc vcls ~obj:pv
+            with Invalid_argument _ -> false) ->
+        Hashtbl.replace freed pv ();
+        Epalloc.reset_obj_bit alloc vcls ~obj:pv;
+        let pool = Epalloc.pool alloc in
+        Pmem.set_string pool ~off:pv (String.make (Chunk.obj_size vcls) '\000');
+        Pmem.persist pool ~off:pv ~len:(Chunk.obj_size vcls)
+    | _ -> ()
+
+(* Serial application of the quarantine decisions gathered by the (maybe
+   parallel) scan: excise bad leaves, repair stale free slots, free
+   provably-exclusive values, emit findings. PM-mutating. *)
+let apply_quarantine alloc ~kept_values ~findings ~badq ~stale_free =
+  let pool = Epalloc.pool alloc in
+  let freed = Hashtbl.create 16 in
+  List.iter
+    (fun (chunk, idx, leaf, key, pv, detail) ->
+      Epalloc.reset_obj_bit alloc Chunk.Leaf_c ~obj:leaf;
+      Leaf.clear pool ~leaf;
+      Pmem.persist pool ~off:leaf ~len:Leaf.size;
+      free_value_exclusive alloc ~kept_values ~freed pv;
+      findings :=
+        {
+          Hart_error.f_site = Leaf_slot { chunk; idx; leaf };
+          f_action = Quarantined;
+          f_detail = detail;
+          f_keys = Option.to_list key;
+          f_capacity = 1;
+        }
+        :: !findings)
+    badq;
+  (* Free leaf slots still carrying a value pointer: the repair
+     [Epalloc] normally performs eagerly at attach, deferred here so it
+     can consult the kept reference set (the pointer may be forged by
+     the media fault and alias a live key's value). No finding — this is
+     ordinary crash residue, not corruption. *)
+  List.iter
+    (fun (leaf, pv) ->
+      if pv > 0 then free_value_exclusive alloc ~kept_values ~freed pv;
+      Leaf.clear pool ~leaf;
+      Pmem.persist pool ~off:leaf ~len:Leaf.size)
+    stale_free
+
+(* Quarantining serial recovery: mount a pool that may carry media
+   faults. Differences from the plain path: the ECC table is consulted
+   up front, [Epalloc.attach] runs in quarantine mode (guarded replay,
+   no eager slot repair), every committed leaf is validated before the
+   index accepts it, duplicates resolve deterministically (lower offset
+   wins) instead of aborting, and everything excised is reported in
+   {!quarantines}. *)
+let recover_quarantine pool =
+  let media = Pmem.media_verify pool in
+  let bad_lines = media.Pmem.corrupt_lines @ media.Pmem.poisoned_lines in
+  let bad_span = bad_span_of_lines bad_lines in
+  let findings = ref [] in
+  let alloc =
+    Epalloc.attach ~bad_lines ~report:(fun f -> findings := f :: !findings) pool
   in
-  Epalloc.iter_live_objs alloc Chunk.Leaf_c (fun ~obj ->
-      let key = Leaf.key pool ~leaf:obj in
+  let checksums = Epalloc.checksums alloc in
+  let t = make_recovered pool alloc findings in
+  let valid = ref [] and badq = ref [] and stale_free = ref [] in
+  Epalloc.iter_chunks alloc Chunk.Leaf_c (fun chunk ->
+      for idx = 0 to Chunk.objs_per_chunk - 1 do
+        let leaf = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+        if Chunk.test_bit pool ~chunk ~idx then (
+          match inspect_leaf alloc ~checksums ~bad_span ~leaf with
+          | Leaf_ok { key; pv } -> valid := (key, leaf, chunk, idx, pv) :: !valid
+          | Leaf_bad { key; pv; detail } ->
+              badq := (chunk, idx, leaf, key, pv, detail) :: !badq)
+        else
+          match Leaf.p_value pool ~leaf with
+          | 0 -> ()
+          | pv -> stale_free := (leaf, pv) :: !stale_free
+          | exception (Pmem.Media_poisoned _ | Invalid_argument _) ->
+              (* unreadable pointer in a free slot: clear, free nothing *)
+              stale_free := (leaf, 0) :: !stale_free
+      done);
+  (* deterministic duplicate resolution: keep the lower leaf offset *)
+  let by_key = Hashtbl.create 256 in
+  List.iter
+    (fun ((key, leaf, chunk, idx, pv) as e) ->
+      match Hashtbl.find_opt by_key key with
+      | None -> Hashtbl.replace by_key key e
+      | Some (_, leaf0, c0, i0, pv0) ->
+          let dup = "duplicate committed leaf (higher offset quarantined)" in
+          if leaf < leaf0 then begin
+            Hashtbl.replace by_key key e;
+            badq := (c0, i0, leaf0, Some key, pv0, dup) :: !badq
+          end
+          else badq := (chunk, idx, leaf, Some key, pv, dup) :: !badq)
+    !valid;
+  let kept_values = Hashtbl.create 256 in
+  Hashtbl.iter (fun _ (_, _, _, _, pv) -> Hashtbl.replace kept_values pv ()) by_key;
+  apply_quarantine alloc ~kept_values ~findings ~badq:!badq
+    ~stale_free:!stale_free;
+  Hashtbl.iter
+    (fun key (_, leaf, _, _, _) ->
       let hash_key, art_key = split_key t key in
       let art = find_or_create_art t hash_key in
-      match Art.insert art art_key obj with
+      match Art.insert art art_key leaf with
       | `Inserted -> Atomic.incr t.count
-      | `Replaced _ ->
-          failwith
-            (Printf.sprintf "Hart.recover: duplicate committed leaf for key %S" key));
+      | `Replaced _ -> assert false (* deduplicated above *))
+    by_key;
   t
+
+let recover ?(quarantine = false) pool =
+  if quarantine then recover_quarantine pool
+  else begin
+    let alloc = Epalloc.attach pool in
+    let t = make_recovered pool alloc (ref []) in
+    Epalloc.iter_live_objs alloc Chunk.Leaf_c (fun ~obj ->
+        let key = Leaf.key pool ~leaf:obj in
+        let hash_key, art_key = split_key t key in
+        let art = find_or_create_art t hash_key in
+        match Art.insert art art_key obj with
+        | `Inserted -> Atomic.incr t.count
+        | `Replaced _ -> duplicate_leaf_error alloc ~key ~obj);
+    t
+  end
 
 (* Parallel Algorithm 7. Log replay ([Epalloc.attach]) stays serial —
    micro-log replay orders PM writes — but the rebuild that follows
@@ -328,40 +538,69 @@ let recover pool =
    issues no flushes, so an armed crash ([Pmem.arm_crash]) can only fire
    inside the serial attach — nested crash-during-recovery schedules
    stay well-defined under the fault explorer. *)
-let recover_parallel ?domains pool =
+let recover_parallel ?domains ?(quarantine = false) pool =
   let d =
     match domains with
     | Some d -> d
     | None -> Domain.recommended_domain_count ()
   in
   if d < 1 then invalid_arg "Hart.recover_parallel: domains must be >= 1";
-  if d = 1 then recover pool
+  if d = 1 then recover ~quarantine pool
   else begin
-    let alloc = Epalloc.attach pool in
-    let meter = Pmem.meter pool in
-    let t =
-      {
-        alloc;
-        pool;
-        dir = Hash_dir.create ~meter ();
-        kh = Epalloc.kh alloc;
-        internal_nodes = `Dram;
-        count = Atomic.make 0;
-      }
+    (* Quarantine preamble runs serially before the fan-out: the ECC
+       scrub, the guarded attach, and the findings sink are shared
+       read-mostly state the workers must only consult. *)
+    let findings = ref [] in
+    let bad_span, alloc =
+      if not quarantine then ((fun _ _ -> false), Epalloc.attach pool)
+      else begin
+        let media = Pmem.media_verify pool in
+        let bad_lines = media.Pmem.corrupt_lines @ media.Pmem.poisoned_lines in
+        ( bad_span_of_lines bad_lines,
+          Epalloc.attach ~bad_lines
+            ~report:(fun f -> findings := f :: !findings)
+            pool )
+      end
     in
+    let checksums = Epalloc.checksums alloc in
+    let t = make_recovered pool alloc findings in
     let chunks = ref [] in
     Epalloc.iter_chunks alloc Chunk.Leaf_c (fun c -> chunks := c :: !chunks);
     let chunks = Array.of_list (List.rev !chunks) in
     let nc = Array.length chunks in
     let work = Array.init d (fun _ -> Array.init d (fun _ -> ref [])) in
+    let badq = Array.init d (fun _ -> ref []) in
+    let stale_free = Array.init d (fun _ -> ref []) in
+    (* phase 1 (scan): read-only — validation verdicts and repair
+       candidates are collected into producer-local cells; every PM
+       mutation (excision, value freeing) happens in the serial merge. *)
     let scan me =
       for ci = nc * me / d to (nc * (me + 1) / d) - 1 do
-        Chunk.iter_live pool Chunk.Leaf_c ~chunk:chunks.(ci)
-          (fun ~idx:_ ~obj ->
-            let key = Leaf.key pool ~leaf:obj in
-            let hash_key, art_key = split_key t key in
-            let cell = work.(me).(Hash_dir.hash hash_key mod d) in
-            cell := (hash_key, art_key, obj) :: !cell)
+        let chunk = chunks.(ci) in
+        if not quarantine then
+          Chunk.iter_live pool Chunk.Leaf_c ~chunk (fun ~idx:_ ~obj ->
+              let key = Leaf.key pool ~leaf:obj in
+              let hash_key, art_key = split_key t key in
+              let cell = work.(me).(Hash_dir.hash hash_key mod d) in
+              cell := (hash_key, art_key, obj, chunk, 0, 0) :: !cell)
+        else
+          for idx = 0 to Chunk.objs_per_chunk - 1 do
+            let leaf = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+            if Chunk.test_bit pool ~chunk ~idx then (
+              match inspect_leaf alloc ~checksums ~bad_span ~leaf with
+              | Leaf_ok { key; pv } ->
+                  let hash_key, art_key = split_key t key in
+                  let cell = work.(me).(Hash_dir.hash hash_key mod d) in
+                  cell := (hash_key, art_key, leaf, chunk, idx, pv) :: !cell
+              | Leaf_bad { key; pv; detail } ->
+                  badq.(me) := (chunk, idx, leaf, key, pv, detail) :: !(badq.(me)))
+            else
+              match Leaf.p_value pool ~leaf with
+              | 0 -> ()
+              | pv -> stale_free.(me) := (leaf, pv) :: !(stale_free.(me))
+              | exception (Pmem.Media_poisoned _ | Invalid_argument _) ->
+                  stale_free.(me) := (leaf, 0) :: !(stale_free.(me))
+          done
       done
     in
     let run_phase phase =
@@ -372,6 +611,45 @@ let recover_parallel ?domains pool =
       Array.iter Domain.join workers
     in
     run_phase scan;
+    (* serial quarantine merge: deduplicate (keep-lower-offset — an
+       order-independent rule, so serial and parallel recovery excise
+       identical leaves), then apply all PM mutations on this domain. *)
+    let dropped = Hashtbl.create 16 in
+    if quarantine then begin
+      let by_key = Hashtbl.create 256 in
+      let all_bad = ref [] and all_stale = ref [] in
+      Array.iter (fun r -> all_bad := !r @ !all_bad) badq;
+      Array.iter (fun r -> all_stale := !r @ !all_stale) stale_free;
+      Array.iter
+        (Array.iter (fun cell ->
+             List.iter
+               (fun (_, _, leaf, chunk, idx, pv) ->
+                 let key = Leaf.key pool ~leaf in
+                 match Hashtbl.find_opt by_key key with
+                 | None -> Hashtbl.replace by_key key (leaf, chunk, idx, pv)
+                 | Some (leaf0, c0, i0, pv0) ->
+                     let dup =
+                       "duplicate committed leaf (higher offset quarantined)"
+                     in
+                     if leaf < leaf0 then begin
+                       Hashtbl.replace by_key key (leaf, chunk, idx, pv);
+                       Hashtbl.replace dropped leaf0 ();
+                       all_bad := (c0, i0, leaf0, Some key, pv0, dup) :: !all_bad
+                     end
+                     else begin
+                       Hashtbl.replace dropped leaf ();
+                       all_bad :=
+                         (chunk, idx, leaf, Some key, pv, dup) :: !all_bad
+                     end)
+               !cell))
+        work;
+      let kept_values = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun _ (_, _, _, pv) -> Hashtbl.replace kept_values pv ())
+        by_key;
+      apply_quarantine alloc ~kept_values ~findings ~badq:!all_bad
+        ~stale_free:!all_stale
+    end;
     let built = Array.make d [] in
     let counts = Array.make d 0 in
     let build p =
@@ -379,22 +657,21 @@ let recover_parallel ?domains pool =
       let cnt = ref 0 in
       for prod = 0 to d - 1 do
         List.iter
-          (fun (hash_key, art_key, obj) ->
-            let art =
-              match Hashtbl.find_opt tbl hash_key with
-              | Some a -> a
-              | None ->
-                  let a = new_art t in
-                  Hashtbl.add tbl hash_key a;
-                  a
-            in
-            match Art.insert art art_key obj with
-            | `Inserted -> incr cnt
-            | `Replaced _ ->
-                failwith
-                  (Printf.sprintf
-                     "Hart.recover_parallel: duplicate committed leaf for key %S"
-                     (hash_key ^ art_key)))
+          (fun (hash_key, art_key, obj, _, _, _) ->
+            if not (Hashtbl.mem dropped obj) then begin
+              let art =
+                match Hashtbl.find_opt tbl hash_key with
+                | Some a -> a
+                | None ->
+                    let a = new_art t in
+                    Hashtbl.add tbl hash_key a;
+                    a
+              in
+              match Art.insert art art_key obj with
+              | `Inserted -> incr cnt
+              | `Replaced _ ->
+                  duplicate_leaf_error alloc ~key:(hash_key ^ art_key) ~obj
+            end)
           !(work.(prod).(p))
       done;
       built.(p) <- Hashtbl.fold (fun hk art acc -> (hk, art) :: acc) tbl [];
@@ -470,3 +747,387 @@ let check_integrity ?(allow_recovered_orphans = false) t =
             fail "committed value object %d is unreferenced (leak)" obj))
     [ Chunk.Val8; Chunk.Val16; Chunk.Val32 ];
   Epalloc.check_invariants t.alloc
+
+(* ------------------------------------------------------------------ *)
+(* fsck / scrub (self-healing integrity pass)                          *)
+
+(* Excise one committed leaf from both the DRAM index and PM, online:
+   remove its binding (hunting linearly when the key is unreadable),
+   clear its bit, zero+persist its bytes (resealing the covering
+   lines). The value object is NOT freed here — callers decide with
+   [free_value_exclusive] against the current reference set. *)
+let excise_leaf t ?key ~leaf () =
+  (match key with
+  | Some key -> (
+      let hash_key, art_key = split_key t key in
+      match find_art t hash_key with
+      | None -> ()
+      | Some art -> (
+          match Art.delete art art_key with
+          | Some l when l = leaf ->
+              Atomic.decr t.count;
+              if Art.is_empty art then Hash_dir.remove t.dir hash_key
+          | Some l ->
+              (* a different leaf legitimately owns this key: restore *)
+              ignore (Art.insert art art_key l)
+          | None -> ()))
+  | None -> (
+      (* key unreadable: linear hunt over the directory *)
+      let found = ref None in
+      (try
+         Hash_dir.iter t.dir (fun hk art ->
+             Art.iter art (fun ak l ->
+                 if l = leaf then begin
+                   found := Some (hk, ak);
+                   raise Exit
+                 end))
+       with Exit -> ());
+      match !found with
+      | None -> ()
+      | Some (hk, ak) -> (
+          match find_art t hk with
+          | None -> ()
+          | Some art ->
+              ignore (Art.delete art ak);
+              Atomic.decr t.count;
+              if Art.is_empty art then Hash_dir.remove t.dir hk)));
+  (match Epalloc.chunk_of_obj t.alloc Chunk.Leaf_c leaf with
+  | _ ->
+      if Epalloc.obj_bit t.alloc Chunk.Leaf_c ~obj:leaf then
+        Epalloc.reset_obj_bit t.alloc Chunk.Leaf_c ~obj:leaf
+  | exception Not_found -> ());
+  Leaf.clear t.pool ~leaf;
+  Pmem.persist t.pool ~off:leaf ~len:Leaf.size
+
+(* Reference map of the mounted index: value offset -> (key, leaf).
+   fsck's media attribution needs the reverse direction (which key owns
+   the value on this corrupt line), and the exclusivity check for value
+   freeing needs the forward set. *)
+let value_owners t =
+  let owner = Hashtbl.create 256 in
+  Hash_dir.iter t.dir (fun hk art ->
+      Art.iter art (fun ak leaf ->
+          match Leaf.p_value t.pool ~leaf with
+          | 0 -> ()
+          | pv -> Hashtbl.replace owner pv (hk ^ ak, leaf)
+          | exception Pmem.Media_poisoned _ -> ()));
+  owner
+
+let zero_span t ~off ~len =
+  Pmem.set_string t.pool ~off (String.make len '\000');
+  Pmem.persist t.pool ~off ~len
+
+let fsck ?(deep = true) t =
+  let pool = t.pool and alloc = t.alloc in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let checksums = Epalloc.checksums alloc in
+  let logs = Epalloc.logs alloc in
+  let lb = Pmem.line_bytes in
+  let root_lo = Epalloc.root_off and root_hi = Epalloc.root_off + Epalloc.root_bytes in
+  (* -------- phase 1: media attribution ---------------------------- *)
+  let media = Pmem.media_verify pool in
+  let bad_lines = media.Pmem.corrupt_lines @ media.Pmem.poisoned_lines in
+  let bad_set = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace bad_set l ()) bad_lines;
+  let detected_lines = Hashtbl.create 8 in
+  let freed = Hashtbl.create 16 in
+  let scrub_log_slot (kind, slot, off) =
+    let was_pending = Microlog.pending logs ~kind ~slot in
+    Microlog.discard_slot logs ~kind ~slot;
+    emit
+      {
+        Hart_error.f_site = Log_slot { kind; slot; off };
+        f_action = (if was_pending then Quarantined else Repaired);
+        f_detail =
+          (if was_pending then
+             "pending log record on corrupt media discarded (treated as \
+              never committed)"
+           else "idle log slot rewritten to zero (line resealed)");
+        f_keys = [];
+        f_capacity = (if was_pending then 1 else 0);
+      }
+  in
+  let quarantine_leaf_here ~owner ~leaf ~detail =
+    let key =
+      match
+        let len = Leaf.key_len pool ~leaf in
+        if len < 1 || len > Leaf.max_key_len then None
+        else Some (Leaf.key pool ~leaf)
+      with
+      | k -> k
+      | exception (Pmem.Media_poisoned _ | Invalid_argument _) -> None
+    in
+    let pv =
+      match Leaf.p_value pool ~leaf with
+      | pv -> pv
+      | exception (Pmem.Media_poisoned _ | Invalid_argument _) -> 0
+    in
+    excise_leaf t ?key ~leaf ();
+    (if pv > 0 then
+       (* exclusive unless some *other* live leaf owns this value *)
+       match Hashtbl.find_opt owner pv with
+       | Some (_, l) when l <> leaf -> ()
+       | _ ->
+           let kept_values = Hashtbl.create 1 in
+           free_value_exclusive alloc ~kept_values ~freed pv);
+    Hashtbl.remove owner pv;
+    let chunk = Epalloc.chunk_of_obj alloc Chunk.Leaf_c leaf in
+    let idx = Chunk.idx_of_obj Chunk.Leaf_c ~chunk ~obj:leaf in
+    emit
+      {
+        Hart_error.f_site = Leaf_slot { chunk; idx; leaf };
+        f_action = Quarantined;
+        f_detail = detail;
+        f_keys = Option.to_list key;
+        f_capacity = 1;
+      }
+  in
+  let owner = value_owners t in
+  List.iter
+    (fun line ->
+      let lo = line * lb in
+      if lo < root_hi && lo + lb > root_lo then begin
+        (* root block: the scalar line is unrepairable in place; log
+           lines are repaired by discarding the overlapping slots *)
+        if lo <= root_lo then begin
+          Hashtbl.replace detected_lines line ();
+          emit
+            {
+              Hart_error.f_site = Root_block { off = root_lo };
+              f_action = Detected;
+              f_detail =
+                Printf.sprintf
+                  "media fault on line %d under the root scalars" line;
+              f_keys = [];
+              f_capacity = 0;
+            }
+        end
+        else
+          List.iter scrub_log_slot
+            (Microlog.slots_overlapping logs ~line_bytes:lb ~lines:[ line ])
+      end
+      else
+        match Epalloc.chunk_covering alloc lo with
+        | None ->
+            (* unregistered space: free-list regions, allocation padding —
+               zero-fill reseals the line and nothing can reference it *)
+            zero_span t ~off:lo ~len:lb;
+            emit
+              {
+                Hart_error.f_site = Pool_line { line };
+                f_action = Repaired;
+                f_detail = "unreferenced pool line zeroed and resealed";
+                f_keys = [];
+                f_capacity = 0;
+              }
+        | Some (cls, chunk) ->
+            if line = chunk / lb then begin
+              (* prologue line: bitmap and chain pointer untrustworthy;
+                 nothing below line granularity can prove which — leave
+                 for the mount-time refusal, report the blast radius *)
+              Hashtbl.replace detected_lines line ();
+              emit
+                {
+                  Hart_error.f_site =
+                    Chunk_meta { cls = Epalloc.cls_name cls; chunk };
+                  f_action = Detected;
+                  f_detail =
+                    Printf.sprintf
+                      "media fault on prologue line %d — chunk metadata \
+                       untrustworthy"
+                      line;
+                  f_keys = [];
+                  f_capacity = Chunk.objs_per_chunk;
+                }
+            end
+            else begin
+              (* object area: quarantine live objects the line touches,
+                 zero free slots and padding *)
+              let osize = Chunk.obj_size cls in
+              let touched_live = ref false in
+              for idx = 0 to Chunk.objs_per_chunk - 1 do
+                let obj = Chunk.obj_off cls ~chunk ~idx in
+                if obj < lo + lb && obj + osize > lo then
+                  if Chunk.test_bit pool ~chunk ~idx then begin
+                    touched_live := true;
+                    if cls = Chunk.Leaf_c then
+                      quarantine_leaf_here ~owner ~leaf:obj
+                        ~detail:
+                          (Printf.sprintf
+                             "leaf bytes on media-corrupt line %d" line)
+                    else begin
+                      (* a committed value object: the key that owns it
+                         loses its value — quarantine that key *)
+                      match Hashtbl.find_opt owner obj with
+                      | Some (_, leaf) ->
+                          quarantine_leaf_here ~owner ~leaf
+                            ~detail:
+                              (Printf.sprintf
+                                 "value object @%d on media-corrupt line \
+                                  %d"
+                                 obj line)
+                      | None ->
+                          Epalloc.reset_obj_bit alloc cls ~obj;
+                          zero_span t ~off:obj ~len:osize;
+                          emit
+                            {
+                              Hart_error.f_site =
+                                Value_slot
+                                  {
+                                    cls = Epalloc.cls_name cls;
+                                    chunk;
+                                    idx;
+                                    obj;
+                                  };
+                              f_action = Repaired;
+                              f_detail =
+                                "unreferenced committed value on corrupt \
+                                 line reclaimed";
+                              f_keys = [];
+                              f_capacity = 0;
+                            }
+                    end
+                  end
+                  else zero_span t ~off:obj ~len:osize
+              done;
+              (* tail padding of the chunk's allocation *)
+              let chunk_end = chunk + Chunk.chunk_bytes cls in
+              if chunk_end < lo + lb then
+                zero_span t ~off:(max lo chunk_end)
+                  ~len:(lo + lb - max lo chunk_end);
+              if not !touched_live then
+                emit
+                  {
+                    Hart_error.f_site = Pool_line { line };
+                    f_action = Repaired;
+                    f_detail =
+                      "corrupt line touched only free slots/padding — \
+                       zeroed and resealed";
+                    f_keys = [];
+                    f_capacity = 0;
+                  }
+            end)
+    bad_lines;
+  (* -------- phase 2: cross-structure invariants ------------------- *)
+  let owner = value_owners t in
+  let reachable = Hashtbl.create 256 in
+  Hash_dir.iter t.dir (fun hk art ->
+      Art.iter art (fun ak leaf -> Hashtbl.replace reachable leaf (hk ^ ak)));
+  Epalloc.iter_chunks alloc Chunk.Leaf_c (fun chunk ->
+      for idx = 0 to Chunk.objs_per_chunk - 1 do
+        let leaf = Chunk.obj_off Chunk.Leaf_c ~chunk ~idx in
+        if Chunk.test_bit pool ~chunk ~idx then begin
+          if not (Hashtbl.mem reachable leaf) then
+            quarantine_leaf_here ~owner ~leaf
+              ~detail:"committed leaf unreachable from the index"
+        end
+        else
+          match Leaf.p_value pool ~leaf with
+          | 0 -> ()
+          | pv ->
+              (match Hashtbl.find_opt owner pv with
+              | Some _ -> () (* owned by a live key: sever only *)
+              | None ->
+                  let kept_values = Hashtbl.create 1 in
+                  free_value_exclusive alloc ~kept_values ~freed pv);
+              Leaf.clear pool ~leaf;
+              Pmem.persist pool ~off:leaf ~len:Leaf.size;
+              emit
+                {
+                  Hart_error.f_site = Leaf_slot { chunk; idx; leaf };
+                  f_action = Repaired;
+                  f_detail = "stale value reference in free leaf slot severed";
+                  f_keys = [];
+                  f_capacity = 0;
+                }
+          | exception Pmem.Media_poisoned _ -> ()
+      done);
+  (* unreferenced committed values *)
+  List.iter
+    (fun vcls ->
+      let orphans = ref [] in
+      Epalloc.iter_live_objs alloc vcls (fun ~obj ->
+          if not (Hashtbl.mem owner obj) then orphans := obj :: !orphans);
+      List.iter
+        (fun obj ->
+          Epalloc.reset_obj_bit alloc vcls ~obj;
+          zero_span t ~off:obj ~len:(Chunk.obj_size vcls);
+          let chunk = Epalloc.chunk_of_obj alloc vcls obj in
+          ignore chunk;
+          emit
+            {
+              Hart_error.f_site =
+                Value_slot
+                  {
+                    cls = Epalloc.cls_name vcls;
+                    chunk = Epalloc.chunk_of_obj alloc vcls obj;
+                    idx = Chunk.idx_of_obj vcls ~chunk ~obj;
+                    obj;
+                  };
+              f_action = Repaired;
+              f_detail = "unreferenced committed value object reclaimed";
+              f_keys = [];
+              f_capacity = 0;
+            })
+        !orphans)
+    [ Chunk.Val8; Chunk.Val16; Chunk.Val32 ];
+  (* chunk header hint/full bytes are pure functions of the bitmap:
+     recompute on mismatch (skipped when the prologue line is flagged by
+     the ECC — rewriting would reseal a line whose bitmap is garbage) *)
+  List.iter
+    (fun cls ->
+      Epalloc.iter_chunks alloc cls (fun chunk ->
+          if
+            (not (Hashtbl.mem bad_set (chunk / lb)))
+            && not (Chunk.header_well_formed pool ~chunk)
+          then begin
+            Chunk.rewrite_header pool ~chunk;
+            emit
+              {
+                Hart_error.f_site =
+                  Chunk_meta { cls = Epalloc.cls_name cls; chunk };
+                f_action = Repaired;
+                f_detail = "hint/full header byte recomputed from the bitmap";
+                f_keys = [];
+                f_capacity = 0;
+              }
+          end))
+    Chunk.all_classes;
+  (* -------- phase 3 (deep): checksum walk ------------------------- *)
+  if deep then begin
+    (if checksums then
+       let owner = value_owners t in
+       let to_check = ref [] in
+       Hash_dir.iter t.dir (fun hk art ->
+           Art.iter art (fun ak leaf -> to_check := (hk ^ ak, leaf) :: !to_check));
+       List.iter
+         (fun (_key, leaf) ->
+           match
+             inspect_leaf alloc ~checksums ~bad_span:(fun _ _ -> false) ~leaf
+           with
+           | Leaf_ok _ -> ()
+           | Leaf_bad { detail; _ } ->
+               quarantine_leaf_here ~owner ~leaf ~detail)
+         !to_check);
+    List.iter scrub_log_slot (Microlog.verify logs)
+  end;
+  (* -------- final: residual media state --------------------------- *)
+  let residual = Pmem.media_verify pool in
+  List.iter
+    (fun line ->
+      if not (Hashtbl.mem detected_lines line) then
+        emit
+          {
+            Hart_error.f_site = Pool_line { line };
+            f_action = Detected;
+            f_detail =
+              "line still fails ECC after repair (stuck-at media: writes \
+               do not take)";
+            f_keys = [];
+            f_capacity = 0;
+          })
+    (residual.Pmem.corrupt_lines @ residual.Pmem.poisoned_lines);
+  List.rev !findings
+
+let scrub t = fsck ~deep:false t

@@ -32,20 +32,40 @@ type internal_nodes = [ `Dram | `Pm ]
 
 val create :
   ?kh:int ->
+  ?checksums:bool ->
   ?dir_buckets:int ->
   ?internal_nodes:internal_nodes ->
   Hart_pmem.Pmem.t ->
   t
 (** Format the pool (must be fresh) and return an empty HART. [kh] is
     the hash-key length in bytes, default 2 as in the paper's
-    evaluation. [internal_nodes] defaults to [`Dram]. *)
+    evaluation. [checksums] (default false) formats the pool with
+    CRC-32 trailers on leaf keys, value objects and micro-log words
+    (recorded durably; a re-opened pool self-describes). The trailers
+    ride inside bytes the objects already occupy, so flush counts are
+    unchanged. [internal_nodes] defaults to [`Dram]. *)
 
-val recover : Hart_pmem.Pmem.t -> t
+val recover : ?quarantine:bool -> Hart_pmem.Pmem.t -> t
 (** Algorithm 7: adopt a pool after a crash or reboot — replay
     micro-logs, then rebuild the hash table and every ART internal node
-    by scanning the leaf chunk list. *)
+    by scanning the leaf chunk list.
 
-val recover_parallel : ?domains:int -> Hart_pmem.Pmem.t -> t
+    With [~quarantine:true] the mount tolerates media faults: the
+    pool's line-ECC table is scrubbed first, log records on corrupt
+    lines (or failing their CRCs) are discarded instead of replayed,
+    every committed leaf is validated (media lines, key length, CRCs,
+    value resolution and commitment) before the index accepts it, and
+    duplicate keys resolve deterministically (lower leaf offset wins).
+    Everything excised is reported in {!quarantines}; value objects of
+    excised leaves are freed only when provably unshared (a corrupt
+    pointer may alias a live key's value). Without [quarantine] (the
+    default) the mount assumes a crash-consistent, media-clean image
+    and raises on anomalies.
+
+    @raise Hart_error.Error on an unmountable pool (bad root block,
+    corrupt chunk chain, duplicate leaf in non-quarantine mode). *)
+
+val recover_parallel : ?domains:int -> ?quarantine:bool -> Hart_pmem.Pmem.t -> t
 (** Parallel Algorithm 7: micro-log replay stays serial, then the
     directory/ART rebuild fans the leaf-chunk scan and the per-bucket
     ART construction across [domains] [Domain.spawn] workers (default
@@ -54,7 +74,46 @@ val recover_parallel : ?domains:int -> Hart_pmem.Pmem.t -> t
     each ART is built wholly by one worker — and the result is
     observationally identical to {!recover}. [~domains:1] is exactly
     serial {!recover}.
+
+    [~quarantine:true] composes with the fan-out: workers perform the
+    (read-only) per-leaf validation in the scan phase, and all
+    quarantine PM mutations are applied in a serial merge before the
+    build phase. The keep-lower-offset duplicate rule is
+    order-independent, so parallel and serial quarantining recovery
+    excise identical leaves.
     @raise Invalid_argument if [domains < 1]. *)
+
+val quarantines : t -> Hart_error.finding list
+(** Findings accumulated by a quarantining recovery of this instance
+    (empty for instances from {!create} or plain recovery). *)
+
+val checksums : t -> bool
+(** Whether the pool uses the checksummed object format. *)
+
+val fsck : ?deep:bool -> t -> Hart_error.finding list
+(** Self-healing integrity check of the mounted store. Three phases:
+
+    - {e media attribution}: every line the pool's ECC table flags is
+      attributed to a structure (root block, log slot, chunk prologue,
+      leaf/value slot, free space) and handled per the DESIGN.md §15
+      decision table — zero+persist reseals what nothing references,
+      damaged live objects are quarantined out of the index, log
+      records discarded, and what cannot be trusted at line granularity
+      (root scalars, chunk prologues) is reported as detected;
+    - {e cross-structure invariants}: committed-but-unreachable leaves
+      are quarantined, unreferenced committed values reclaimed, stale
+      value references in free leaf slots severed, and corrupt
+      hint/full header bytes recomputed from their bitmaps;
+    - {e checksum walk} (only with [~deep:true], the default, on
+      checksummed pools): every reachable leaf's key CRC and value CRC
+      is verified, as is every micro-log word.
+
+    Returns this run's findings in discovery order — empty on a healthy
+    store. Repairs are durable (persisted) as they are made. *)
+
+val scrub : t -> Hart_error.finding list
+(** Online scrub: {!fsck} without the deep checksum walk — the cheap
+    pass a store would run periodically. *)
 
 val kh : t -> int
 val pool : t -> Hart_pmem.Pmem.t

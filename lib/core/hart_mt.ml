@@ -13,7 +13,7 @@ module S : Index_intf.S with type t = Hart.t = struct
 
   let name = "hart"
   let create pool = Hart.create pool
-  let recover = Hart.recover
+  let recover pool = Hart.recover pool
   let insert = Hart.insert
   let search = Hart.search
   let update = Hart.update

@@ -9,12 +9,20 @@
     offset 0   p_value : u64   pool offset of the value object (0 = none)
     offset 8   key_len : u8    0..24
     offset 9   key     : 24 B  key bytes, zero-padded
-    offset 33  padding to 40
+    offset 33  padding
+    offset 34  key_crc : u32   optional CRC-32 (checksummed pools only)
+    offset 38  padding to 40
     v}
 
-    The maximal key length is 24 bytes, as in the paper. *)
+    The maximal key length is 24 bytes, as in the paper. The optional
+    CRC covers the length byte plus the [key_len] live key bytes only
+    (leaf slots are recycled unscrubbed, so fixed-width coverage would
+    checksum a previous occupant's stale tail bytes). *)
 
 val max_key_len : int
+
+val size : int
+(** Bytes per leaf slot (40). *)
 
 val p_value : Hart_pmem.Pmem.t -> leaf:int -> int
 val set_p_value : Hart_pmem.Pmem.t -> leaf:int -> int -> unit
@@ -26,9 +34,21 @@ val key : Hart_pmem.Pmem.t -> leaf:int -> string
     key comparison a C implementation performs at the end of an ART
     descent). *)
 
-val write_key : Hart_pmem.Pmem.t -> leaf:int -> string -> unit
+val key_len : Hart_pmem.Pmem.t -> leaf:int -> int
+(** The raw stored length byte, unvalidated — may exceed {!max_key_len}
+    on a corrupt leaf; fsck checks it before trusting {!key}. *)
+
+val write_key : ?crc:bool -> Hart_pmem.Pmem.t -> leaf:int -> string -> unit
 (** Store and persist key and key length (Algorithm 1 lines 15–16).
+    With [~crc:true] also stores the CRC-32 trailer (same persist call;
+    the trailer shares the leaf's cache lines, so flush counts are
+    unchanged).
     @raise Invalid_argument if the key exceeds {!max_key_len}. *)
+
+val key_crc_ok : Hart_pmem.Pmem.t -> leaf:int -> bool
+(** Recompute and compare the stored key CRC (checksummed pools only;
+    meaningless on plain pools). Also [false] when the stored length
+    byte is out of range. *)
 
 val clear : Hart_pmem.Pmem.t -> leaf:int -> unit
 (** Zero the whole leaf without persisting (used when repairing a slot

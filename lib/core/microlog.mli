@@ -12,6 +12,14 @@
     Recycle-log slot: [PPrev], [PCurrent], [meta] (low bits: object
     class of the chunk being unlinked).
 
+    When the pool is formatted with checksums, every non-zero log word
+    carries a CRC-32 of its 32-bit payload in its upper half — the
+    values logged are pool offsets and class tags, all below 2{^32}, so
+    the trailer rides in the same 8-byte store and changes no flush
+    counts. A word whose trailer fails raises a typed
+    {!Hart_error.Error} at its [Log_slot] site; fsck discards such
+    records (an unverifiable log record is treated as never written).
+
     Slot acquisition is tracked by a volatile bitmask (no PM traffic)
     guarded by a mutex, so domains can acquire and reclaim slots
     concurrently; after a crash, {!attach} marks every slot that still
@@ -22,15 +30,58 @@ type t
 val n_slots : int
 (** 8 of each kind — an upper bound on concurrent writers per HART. *)
 
+val slot_bytes : int
+(** Bytes per slot (three 8-byte words). *)
+
 val region_bytes : int
 (** Bytes the two slot arrays occupy after the root-block scalars. *)
 
-val create : Hart_pmem.Pmem.t -> base:int -> t
+val create : ?checksummed:bool -> Hart_pmem.Pmem.t -> base:int -> t
 (** [create pool ~base] formats (zeroes and persists) both slot arrays
-    starting at pool offset [base]. *)
+    starting at pool offset [base]. [checksummed] (default false)
+    enables the in-word CRC trailers. *)
 
-val attach : Hart_pmem.Pmem.t -> base:int -> t
-(** Adopt existing slot arrays after a crash without modifying them. *)
+val attach : ?checksummed:bool -> Hart_pmem.Pmem.t -> base:int -> t
+(** Adopt existing slot arrays after a crash without modifying them.
+    [checksummed] must match the flag the pool was formatted with (the
+    caller reads it from the root block). *)
+
+val checksummed : t -> bool
+
+val set_acquire_timeout : t -> float option -> unit
+(** Bound on how long {!Update.acquire}/{!Recycle.acquire} may block
+    when every slot is busy. [None] (the default) blocks forever on the
+    condition variable — the historical behavior. [Some seconds] turns
+    slot-pool exhaustion into a typed {!Hart_error.Error} whose
+    [Log_stall] site dumps the held slots and their owner domains, so a
+    wedged holder is diagnosable instead of a silent hang. *)
+
+(** {1 fsck hooks} *)
+
+val verify : t -> (string * int * int) list
+(** Check every non-zero log word's CRC trailer (checksummed logs only;
+    [[]] otherwise). Returns the slots containing at least one corrupt
+    word as [(kind, slot, offset)] triples, [kind] being ["update"] or
+    ["recycle"]. Read-only; never raises. *)
+
+val slots_overlapping : t -> line_bytes:int -> lines:int list -> (string * int * int) list
+(** The slots whose 24 bytes overlap any of the given pool lines, as
+    [(kind, slot, offset)] triples — the blast radius of a media fault
+    on a log line. *)
+
+val slot_offset : t -> kind:string -> slot:int -> int
+(** Pool offset of the slot's first word. *)
+
+val pending : t -> kind:string -> slot:int -> bool
+(** Whether the slot holds an un-reclaimed record (raw non-zero key
+    word; does not verify checksums, so safe on corrupt slots). *)
+
+val discard_slot : t -> kind:string -> slot:int -> unit
+(** Zero the slot's three words, persist them (resealing the covering
+    lines), and return the slot to the volatile free set — the repair
+    for a slot that fails verification or sits on a corrupt media line.
+    Discarding a pending record is the torn-record treatment: the
+    logged operation is deemed never to have committed. *)
 
 (** Both sub-modules share the slot-handle convention: a slot is named by
     its index in \[0, n_slots). *)
@@ -39,7 +90,8 @@ module Update : sig
   val acquire : t -> int
   (** Claim a free slot; blocks until one is available when all are busy
       (deadlock-free: holders only acquire update→recycle, never the
-      reverse, so every held slot is eventually reclaimed). *)
+      reverse, so every held slot is eventually reclaimed). Subject to
+      {!set_acquire_timeout}. *)
 
   val set_pleaf : t -> slot:int -> int -> unit
   val set_poldv : t -> slot:int -> int -> unit

@@ -5,13 +5,21 @@
     so the commit granularity is a single slot. HART supports
     variable-size values through these size classes (§III-A.5). *)
 
-val write : Hart_pmem.Pmem.t -> obj:int -> string -> unit
+val write : ?crc:bool -> Hart_pmem.Pmem.t -> obj:int -> string -> unit
 (** Store payload and length, persist the object (Algorithm 1 line 12 /
-    Algorithm 3 line 5).
+    Algorithm 3 line 5). With [~crc:true], a CRC-32 of (length byte +
+    payload) is appended when the size class leaves ≥ 4 slack bytes —
+    class selection is never changed by the trailer; payloads that fill
+    their class rely on the pool's per-line ECC instead.
     @raise Invalid_argument beyond 31 bytes. *)
 
 val read : Hart_pmem.Pmem.t -> obj:int -> string
 (** Read the payload back. *)
+
+val crc_ok : Hart_pmem.Pmem.t -> cls:Chunk.cls -> obj:int -> bool
+(** Verify the stored trailer where one fits (vacuously true where none
+    does). Also [false] when the stored length byte exceeds the class's
+    payload capacity. *)
 
 val cls_for : string -> Chunk.cls
 (** The value class that stores this payload. *)

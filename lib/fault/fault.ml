@@ -1,7 +1,9 @@
 module Latency = Hart_pmem.Latency
 module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
+module Rng = Hart_util.Rng
 module Hart = Hart_core.Hart
+module Hart_error = Hart_core.Hart_error
 module Fptree = Hart_baselines.Fptree
 module Wort = Hart_baselines.Wort
 module Woart = Hart_baselines.Woart
@@ -40,6 +42,12 @@ type target = {
   target_name : string;
   fresh : unit -> instance;
   reattach : Pmem.t -> instance;
+  media_mount : (Pmem.t -> instance * Hart_error.finding list) option;
+      (* fault-tolerant mount for the media sweep: adopt a pool whose
+         device ECC may be reporting corruption, repair or quarantine
+         what it can, and report findings. [None] = the index has no
+         repair path; the sweep consults the device ECC itself and
+         refuses a corrupt image with a typed error. *)
 }
 
 (* Small pools and a small simulated LLC: the explorer clones the pool
@@ -52,7 +60,7 @@ let sorted_dump iter =
   iter (fun k v -> m := SMap.add k v !m);
   SMap.bindings !m
 
-let hart_instance pool h =
+let hart_instance ?(expect_clean = true) pool h =
   {
     pool;
     apply =
@@ -61,9 +69,34 @@ let hart_instance pool h =
       | Update (k, v) -> ignore (Hart.update h ~key:k ~value:v : bool)
       | Delete k -> ignore (Hart.delete h k : bool)
       | Search k -> ignore (Hart.search h k : string option));
-    check = (fun () -> Hart.check_integrity ~allow_recovered_orphans:true h);
+    check =
+      (fun () ->
+        Hart.check_integrity ~allow_recovered_orphans:true h;
+        (* crash schedules never involve media faults, so a quarantining
+           mount reached through this path must have found nothing — a
+           finding here means recovery misclassified a legitimate torn
+           state as corruption *)
+        if expect_clean then
+          match Hart.quarantines h with
+          | [] -> ()
+          | fs ->
+              failwith
+                (Format.asprintf
+                   "media-clean recovery produced %d quarantine finding(s): %a"
+                   (List.length fs)
+                   (Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                      Hart_error.pp_finding)
+                   fs));
     dump = (fun () -> sorted_dump (Hart.iter h));
   }
+
+(* quarantining mount + fsck, the fault-tolerant HART mount the media
+   sweep exercises; every finding of either pass is reported *)
+let hart_media_mount recover pool =
+  let h = recover pool in
+  let fs = Hart.quarantines h @ Hart.fsck h in
+  (hart_instance ~expect_clean:false pool h, fs)
 
 let hart =
   {
@@ -73,6 +106,22 @@ let hart =
         let pool = fresh_pool () in
         hart_instance pool (Hart.create pool));
     reattach = (fun pool -> hart_instance pool (Hart.recover pool));
+    media_mount = Some (hart_media_mount (Hart.recover ~quarantine:true));
+  }
+
+(* HART with the checksummed object format: CRC-32 trailers on leaf
+   keys, value objects and micro-log words. Not part of the crash-gate
+   eight (it is the same index with a flag), but swept by the media gate
+   so the deep fsck checksum walk is exercised end to end. *)
+let hart_checksummed =
+  {
+    target_name = "hart-crc";
+    fresh =
+      (fun () ->
+        let pool = fresh_pool () in
+        hart_instance pool (Hart.create ~checksums:true pool));
+    reattach = (fun pool -> hart_instance pool (Hart.recover pool));
+    media_mount = Some (hart_media_mount (Hart.recover ~quarantine:true));
   }
 
 (* Same index, but every post-crash reattach rebuilds with the
@@ -88,6 +137,10 @@ let hart_parallel_recovery ~domains =
         hart_instance pool (Hart.create pool));
     reattach =
       (fun pool -> hart_instance pool (Hart.recover_parallel ~domains pool));
+    media_mount =
+      Some
+        (hart_media_mount (fun pool ->
+             Hart.recover_parallel ~domains ~quarantine:true pool));
   }
 
 let fptree_instance pool t =
@@ -111,6 +164,7 @@ let fptree =
         let pool = fresh_pool () in
         fptree_instance pool (Fptree.create pool));
     reattach = (fun pool -> fptree_instance pool (Fptree.recover pool));
+    media_mount = None;
   }
 
 (* The six remaining baselines all expose the uniform ops record; only
@@ -138,6 +192,7 @@ let baseline_target name ~fresh ~reattach =
         let pool = fresh_pool () in
         fresh pool);
     reattach;
+    media_mount = None;
   }
 
 let wort =
@@ -185,7 +240,14 @@ let cdds_btree =
     ~reattach:(fun pool -> inst pool (Cdds_btree.recover pool))
 
 let all_targets = [ hart; fptree; wort; woart; art_cow; nv_tree; wb_tree; cdds_btree ]
-let find_target name = List.find_opt (fun t -> t.target_name = name) all_targets
+
+(* the media sweep's roster: the crash-gate eight plus the checksummed
+   HART variant, so both HART detection tiers (line ECC alone, line ECC
+   + object CRCs) face the same corruption sites *)
+let media_targets = hart_checksummed :: all_targets
+
+let find_target name =
+  List.find_opt (fun t -> t.target_name = name) media_targets
 
 exception Violation of string
 
@@ -723,3 +785,278 @@ let pp_report ppf r =
       r.checkpoint_replays;
   if r.violations <> [] then
     Format.fprintf ppf " VIOLATIONS=%d" (List.length r.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Media-fault sweep: seeded corruption of a populated durable image,
+   with a no-silent-wrong-answer oracle.
+
+   Per site: populate the target and power it off cleanly, inject one
+   seeded media fault into the durable image, mount (fault-tolerantly
+   for HART, behind a device-ECC verification for the baselines), read
+   everything back, run a small write batch, power-cycle, mount and
+   read again — a stuck line that silently swallowed a write-back only
+   becomes visible at the second mount. Every key that diverges from
+   the oracle must be accounted for by the mount's findings (by name,
+   or by residual capacity where the damage made the key unreadable);
+   a typed error anywhere is itself an accepted outcome (detection).
+   A divergence nothing accounts for is a silent wrong answer — the
+   one forbidden behaviour. *)
+
+type media_outcome =
+  | Media_repaired
+  | Media_quarantined
+  | Media_detected
+  | Media_benign
+
+let media_outcome_name = function
+  | Media_repaired -> "repaired"
+  | Media_quarantined -> "quarantined"
+  | Media_detected -> "detected"
+  | Media_benign -> "benign"
+
+type media_site = {
+  site_index : int;
+  site_fault : string;
+  site_outcome : media_outcome;
+  site_findings : int;
+}
+
+type media_report = {
+  m_target : string;
+  m_workload : string;
+  m_seed : int64;
+  m_sites : media_site list;
+  m_violations : violation list;
+}
+
+let describe_fault = function
+  | Pmem.Flip_bit { off; bit } -> Printf.sprintf "flip-bit(off=%d,bit=%d)" off bit
+  | Pmem.Flip_bits { seed; flips } ->
+      Printf.sprintf "flip-bits(seed=%Ld,flips=%d)" seed flips
+  | Pmem.Clobber_line { line; seed } ->
+      Printf.sprintf "clobber-line(line=%d,seed=%Ld)" line seed
+  | Pmem.Stuck_line { line } -> Printf.sprintf "stuck-line(line=%d)" line
+  | Pmem.Poison_line { line } -> Printf.sprintf "poison-line(line=%d)" line
+
+(* One seeded fault aimed inside the populated region. [live_bytes] is a
+   lower bound on [brk] (the bump allocator hands offsets out
+   contiguously), so the drawn line is always in-pool. *)
+let pick_fault rng pool =
+  let lines = max 3 (Pmem.live_bytes pool / Pmem.line_bytes) in
+  let line = 1 + Rng.int rng (lines - 1) in
+  match Rng.int rng 5 with
+  | 0 ->
+      Pmem.Flip_bit
+        {
+          off = (line * Pmem.line_bytes) + Rng.int rng Pmem.line_bytes;
+          bit = Rng.int rng 8;
+        }
+  | 1 -> Pmem.Flip_bits { seed = Rng.next64 rng; flips = 1 + Rng.int rng 4 }
+  | 2 -> Pmem.Clobber_line { line; seed = Rng.next64 rng }
+  | 3 -> Pmem.Stuck_line { line }
+  | _ -> Pmem.Poison_line { line }
+
+let explore_media ?(sites = 25) ?(base_seed = 0x4D454449414CL) ?(setup = [])
+    ?(keep_going = false) ~workload target ops =
+  let exception Skip_site in
+  let exception Site_detected in
+  let violations = ref [] in
+  let outcomes = ref [] in
+  let model0 =
+    List.fold_left apply_model (List.fold_left apply_model SMap.empty setup) ops
+  in
+  (* keys no builtin workload uses, for the post-mount write batch *)
+  let bk0 = "~~media0~~" and bk1 = "~~media1~~" in
+  let model2 = SMap.add bk1 (String.make 20 'q') model0 in
+  for site = 0 to sites - 1 do
+    let rng = Rng.create (Int64.add base_seed (Int64.of_int site)) in
+    (* 1. populate and power off cleanly: the durable image = the oracle *)
+    let inst0 = target.fresh () in
+    List.iter inst0.apply setup;
+    List.iter inst0.apply ops;
+    Pmem.persist_all inst0.pool;
+    Pmem.crash inst0.pool;
+    let pool = inst0.pool in
+    (* 2. one seeded media fault against the durable image *)
+    let fault = pick_fault rng pool in
+    Pmem.inject_media_fault pool fault;
+    let fault_s = describe_fault fault in
+    let viol fmt =
+      Printf.ksprintf
+        (fun s ->
+          let v =
+            {
+              v_target = target.target_name;
+              v_workload = workload;
+              v_mode = Pmem.Clean;
+              v_schedule = site;
+              v_nested = None;
+              v_op = None;
+              v_detail = Printf.sprintf "%s: %s" fault_s s;
+              v_repro = None;
+            }
+          in
+          if keep_going then begin
+            violations := v :: !violations;
+            raise Skip_site
+          end
+          else raise (Violation (violation_message v)))
+        fmt
+    in
+    let findings = ref [] in
+    let mount () =
+      match target.media_mount with
+      | Some f ->
+          let inst, fs = f pool in
+          findings := !findings @ fs;
+          inst
+      | None ->
+          (* no repair path: consult the device ECC and refuse a corrupt
+             image with a typed error rather than serving from it *)
+          let rep = Pmem.media_verify pool in
+          (match (rep.Pmem.corrupt_lines, rep.Pmem.poisoned_lines) with
+          | [], [] -> ()
+          | line :: _, _ | [], line :: _ ->
+              Hart_error.error
+                (Hart_error.Pool_line { line })
+                "device ECC reports media corruption; refusing unverified mount");
+          target.reattach pool
+    in
+    let classify () =
+      let repaired, quarantined, detected = Hart_error.partition !findings in
+      if detected <> [] then Media_detected
+      else if quarantined <> [] then Media_quarantined
+      else if repaired <> [] then Media_repaired
+      else Media_benign
+    in
+    let emit outcome =
+      outcomes :=
+        {
+          site_index = site;
+          site_fault = fault_s;
+          site_outcome = outcome;
+          site_findings = List.length !findings;
+        }
+        :: !outcomes
+    in
+    (* every divergent key must be named by a finding or absorbed by
+       residual (unidentifiable-key) capacity *)
+    let covered ~phase divergent =
+      let named = List.concat_map (fun f -> f.Hart_error.f_keys) !findings in
+      let residual =
+        List.fold_left
+          (fun a f ->
+            a
+            + max 0 (f.Hart_error.f_capacity - List.length f.Hart_error.f_keys))
+          0 !findings
+      in
+      let uncovered =
+        List.filter (fun k -> not (List.mem k named)) divergent
+      in
+      if List.length uncovered > residual then
+        viol
+          "silent wrong answer at %s: %d divergent key(s) [%s] not covered by \
+           findings (%d named, residual capacity %d)"
+          phase (List.length uncovered)
+          (String.concat ";" (List.map (Printf.sprintf "%S") uncovered))
+          (List.length named) residual
+    in
+    let divergence model got =
+      let gm = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty got in
+      let d = ref [] in
+      SMap.iter
+        (fun k v ->
+          match SMap.find_opt k gm with
+          | Some v' when String.equal v' v -> ()
+          | _ -> d := k :: !d)
+        model;
+      SMap.iter (fun k _ -> if not (SMap.mem k model) then d := k :: !d) gm;
+      !d
+    in
+    let checked ~phase inst =
+      try inst.check ()
+      with Failure msg -> viol "integrity broken at %s: %s" phase msg
+    in
+    (try
+       (* 3. fault-tolerant mount *)
+       let inst =
+         try mount ()
+         with Hart_error.Error _ | Pmem.Media_poisoned _ -> raise Site_detected
+       in
+       checked ~phase:"first mount" inst;
+       (* 4. read everything back *)
+       (match inst.dump () with
+       | got -> covered ~phase:"first mount" (divergence model0 got)
+       | exception (Hart_error.Error _ | Pmem.Media_poisoned _) ->
+           raise Site_detected);
+       (* 5. write batch: fresh inserts and a delete *)
+       (try
+          inst.apply (Insert (bk0, "mv0"));
+          inst.apply (Insert (bk1, String.make 20 'q'));
+          inst.apply (Delete bk0)
+        with Hart_error.Error _ | Pmem.Media_poisoned _ -> raise Site_detected);
+       (* 6. power-cycle and re-mount: a stuck line that swallowed one of
+          the batch's write-backs is only discoverable now *)
+       Pmem.crash pool;
+       let inst2 =
+         try mount ()
+         with Hart_error.Error _ | Pmem.Media_poisoned _ -> raise Site_detected
+       in
+       checked ~phase:"re-mount" inst2;
+       (match inst2.dump () with
+       | got -> covered ~phase:"re-mount" (divergence model2 got)
+       | exception (Hart_error.Error _ | Pmem.Media_poisoned _) ->
+           raise Site_detected);
+       emit (classify ())
+     with
+    | Site_detected -> emit Media_detected
+    | Skip_site -> emit (classify ()))
+  done;
+  {
+    m_target = target.target_name;
+    m_workload = workload;
+    m_seed = base_seed;
+    m_sites = List.rev !outcomes;
+    m_violations = List.rev !violations;
+  }
+
+let media_count outcome r =
+  List.length (List.filter (fun s -> s.site_outcome = outcome) r.m_sites)
+
+let media_site_json s =
+  Printf.sprintf {|{"site":%d,"fault":"%s","outcome":"%s","findings":%d}|}
+    s.site_index (json_escape s.site_fault)
+    (media_outcome_name s.site_outcome)
+    s.site_findings
+
+let media_report_json r =
+  Printf.sprintf
+    {|{"target":"%s","workload":"%s","seed":%Ld,"sites":%d,"repaired":%d,"quarantined":%d,"detected":%d,"benign":%d,"site_list":[%s],"violations":%s}|}
+    (json_escape r.m_target) (json_escape r.m_workload) r.m_seed
+    (List.length r.m_sites)
+    (media_count Media_repaired r)
+    (media_count Media_quarantined r)
+    (media_count Media_detected r)
+    (media_count Media_benign r)
+    (String.concat "," (List.map media_site_json r.m_sites))
+    (String.concat ""
+       (String.split_on_char '\n'
+          (violation_list_json r.m_violations)))
+
+let media_reports_json = function
+  | [] -> "[]\n"
+  | rs -> "[\n  " ^ String.concat ",\n  " (List.map media_report_json rs) ^ "\n]\n"
+
+let media_violations_to_json reports =
+  violation_list_json (List.concat_map (fun r -> r.m_violations) reports)
+
+let pp_media_report ppf r =
+  Format.fprintf ppf
+    "%-8s %-14s media sites=%d repaired=%d quarantined=%d detected=%d benign=%d"
+    r.m_target r.m_workload (List.length r.m_sites)
+    (media_count Media_repaired r)
+    (media_count Media_quarantined r)
+    (media_count Media_detected r)
+    (media_count Media_benign r);
+  if r.m_violations <> [] then
+    Format.fprintf ppf " VIOLATIONS=%d" (List.length r.m_violations)

@@ -66,10 +66,25 @@ type target = {
   target_name : string;
   fresh : unit -> instance;
   reattach : Hart_pmem.Pmem.t -> instance;
+  media_mount :
+    (Hart_pmem.Pmem.t -> instance * Hart_core.Hart_error.finding list) option;
+      (** fault-tolerant mount for the media sweep: adopt a pool whose
+          device ECC may be reporting corruption, repairing or
+          quarantining what it can, and report the findings (HART:
+          {!Hart_core.Hart.recover}[ ~quarantine:true] followed by
+          {!Hart_core.Hart.fsck}). [None] — the index has no repair
+          path; {!explore_media} then consults the device ECC itself
+          and refuses a corrupt image with a typed error. *)
 }
 
 val hart : target
 (** HART (Algorithms 1–7), [kh = 2]. *)
+
+val hart_checksummed : target
+(** HART formatted with [~checksums:true] — CRC-32 trailers on leaf
+    keys, value objects and micro-log words. Same index, second
+    detection tier; member of {!media_targets} (not {!all_targets}) so
+    the media sweep exercises the deep fsck checksum walk. *)
 
 val hart_parallel_recovery : domains:int -> target
 (** HART with every post-crash reattach running
@@ -101,8 +116,13 @@ val all_targets : target list
     "wb-tree", "cdds") — each wired to its own [recover] entry point and
     integrity check, all subject to the same prefix-consistency oracle. *)
 
+val media_targets : target list
+(** The media sweep's roster: {!all_targets} plus {!hart_checksummed},
+    so both HART detection tiers face the same corruption sites. *)
+
 val find_target : string -> target option
-(** Look a target up by its [target_name]. *)
+(** Look a target up by its [target_name] (searches {!media_targets},
+    a superset of {!all_targets}). *)
 
 exception Violation of string
 (** A crash schedule broke integrity or oracle consistency. The message
@@ -282,3 +302,74 @@ val builtin_workloads : (string * op list * op list) list
 val find_workload : string -> (string * op list * op list) option
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Media-fault sweep}
+
+    Crash schedules ask "does recovery survive losing unflushed
+    lines?"; the media sweep asks "does the store survive the durable
+    lines themselves rotting?". Per corruption site it populates the
+    target, powers off cleanly, injects one seeded
+    {!Hart_pmem.Pmem.media_fault} into the durable image, mounts
+    fault-tolerantly (HART: quarantining recovery + fsck; baselines:
+    device-ECC verification that refuses a corrupt image with a typed
+    {!Hart_core.Hart_error.Error}), reads everything back, runs a small
+    write batch, power-cycles and mounts again — a stuck line that
+    silently swallowed a write-back only becomes visible at the second
+    mount. The oracle: every key that diverges from the model must be
+    named by a finding or absorbed by residual finding capacity, and
+    any typed error is itself an accepted outcome. A divergence nothing
+    accounts for is a {e silent wrong answer} — the one forbidden
+    behaviour, reported as a {!violation}. *)
+
+type media_outcome =
+  | Media_repaired  (** findings, all repaired in place; no data lost *)
+  | Media_quarantined  (** damaged objects excised and reported *)
+  | Media_detected
+      (** typed refusal, or damage reported but not fixable in place *)
+  | Media_benign  (** the fault never became observable (e.g. a stuck
+                      line no write-back ever hit) *)
+
+val media_outcome_name : media_outcome -> string
+
+type media_site = {
+  site_index : int;
+  site_fault : string;  (** printable fault coordinates *)
+  site_outcome : media_outcome;
+  site_findings : int;  (** findings accumulated across both mounts *)
+}
+
+type media_report = {
+  m_target : string;
+  m_workload : string;
+  m_seed : int64;
+  m_sites : media_site list;
+  m_violations : violation list;  (** collected under [keep_going] *)
+}
+
+val explore_media :
+  ?sites:int ->
+  ?base_seed:int64 ->
+  ?setup:op list ->
+  ?keep_going:bool ->
+  workload:string ->
+  target ->
+  op list ->
+  media_report
+(** [explore_media ~workload target ops] runs [sites] (default 25)
+    seeded corruption sites; site [k] draws its fault from seed
+    [base_seed + k], so a report is exactly reproducible. [keep_going]
+    collects violations instead of raising on the first.
+    @raise Violation on the first silent wrong answer (unless
+    [keep_going]). *)
+
+val media_report_json : media_report -> string
+val media_reports_json : media_report list -> string
+(** A JSON array with one object per report (site list, outcome
+    counts, violations); ["[]\n"] when empty. *)
+
+val media_violations_to_json : media_report list -> string
+(** Just the violations of the given reports, in
+    {!violation_list_json} form — CI diffs this against an empty
+    baseline. *)
+
+val pp_media_report : Format.formatter -> media_report -> unit

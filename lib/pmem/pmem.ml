@@ -1,7 +1,17 @@
 exception Crash_injected
 exception Out_of_memory_pm
+exception Media_poisoned of { off : int; line : int }
 
 let line_bytes = 64
+
+type media_fault =
+  | Flip_bit of { off : int; bit : int }
+  | Flip_bits of { seed : int64; flips : int }
+  | Clobber_line of { line : int; seed : int64 }
+  | Stuck_line of { line : int }
+  | Poison_line of { line : int }
+
+type media_report = { corrupt_lines : int list; poisoned_lines : int list }
 
 type crash_mode =
   | Clean
@@ -26,7 +36,20 @@ type t = {
   mutable crash_fired : bool;  (* a crash happened since the last arm *)
   mutable total_flushes : int;  (* lifetime protocol flushes, survives Meter.reset *)
   mutable read_trace : (int, unit) Hashtbl.t option;  (* lines read while tracing *)
+  (* Media model. [line_crc] is the per-line ECC the DIMM stores alongside
+     each 64-byte line: volatile from the simulation's point of view (it
+     costs nothing on the simulated clock) and updated by every legitimate
+     write-back. Injected media faults mutate the durable image WITHOUT
+     touching it, which is exactly what makes them detectable. *)
+  mutable line_crc : int array;
+  stuck : (int, unit) Hashtbl.t;  (* lines silently dropping write-backs *)
+  poisoned : (int, unit) Hashtbl.t;  (* lines raising on any load *)
 }
+
+let crc_zero_line =
+  Hart_util.Crc32.bytes_sub (Bytes.make line_bytes '\000') ~off:0 ~len:line_bytes
+
+let crc_lines cap = (cap + line_bytes - 1) / line_bytes
 
 let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
   let capacity = max line_bytes capacity in
@@ -47,6 +70,9 @@ let create ?(capacity = 1 lsl 20) ?(max_capacity = 1 lsl 30) meter =
     crash_fired = false;
     total_flushes = 0;
     read_trace = None;
+    line_crc = Array.make (crc_lines capacity) crc_zero_line;
+    stuck = Hashtbl.create 4;
+    poisoned = Hashtbl.create 4;
   }
 
 let clone t =
@@ -60,6 +86,9 @@ let clone t =
     free_lists;
     alloc_mu = Mutex.create ();
     read_trace = None;
+    line_crc = Array.copy t.line_crc;
+    stuck = Hashtbl.copy t.stuck;
+    poisoned = Hashtbl.copy t.poisoned;
   }
 
 let meter t = t.meter
@@ -86,9 +115,12 @@ let grow t needed =
   Bytes.blit t.cache 0 cache 0 t.capacity;
   Bytes.blit t.shadow 0 shadow 0 t.capacity;
   Bytes.blit t.dirty 0 dirty 0 (Bytes.length t.dirty);
+  let line_crc = Array.make (crc_lines cap) crc_zero_line in
+  Array.blit t.line_crc 0 line_crc 0 (Array.length t.line_crc);
   t.cache <- cache;
   t.shadow <- shadow;
   t.dirty <- dirty;
+  t.line_crc <- line_crc;
   t.capacity <- cap
 
 (* [alloc]/[free] are domain-safe: brk, live and the free lists are
@@ -106,9 +138,15 @@ let alloc t size =
     | Some ({ contents = off :: rest } as cell) ->
         cell := rest;
         t.live <- t.live + rounded;
-        (* recycled space must read as zero in both views, like fresh space *)
+        (* recycled space must read as zero in both views, like fresh space;
+           the allocator's scrub is a legitimate media write, so it reseals
+           the lines' ECC and clears any read poison on them *)
         Bytes.fill t.cache off rounded '\000';
         Bytes.fill t.shadow off rounded '\000';
+        for line = off / line_bytes to (off + rounded) / line_bytes - 1 do
+          t.line_crc.(line) <- crc_zero_line;
+          Hashtbl.remove t.poisoned line
+        done;
         off
     | Some { contents = [] } | None ->
         (if t.brk + rounded > t.capacity then
@@ -179,8 +217,19 @@ let read_trace_stop t =
   t.read_trace <- None;
   List.sort_uniq compare lines
 
+(* An uncorrectable media error surfaces as an exception on the load
+   itself (a machine-check, in hardware terms). Only checked when poison
+   is actually present so the common path stays one hash-table length
+   test. *)
+let poison_check t off len =
+  if Hashtbl.length t.poisoned > 0 then
+    for line = off / line_bytes to (off + len - 1) / line_bytes do
+      if Hashtbl.mem t.poisoned line then raise (Media_poisoned { off; line })
+    done
+
 let get_u8 t off =
   check t off 1 "get_u8";
+  poison_check t off 1;
   Meter.access t.meter Pm ~addr:off ~write:false;
   trace_read t off 1;
   Bytes.get_uint8 t.cache off
@@ -192,6 +241,7 @@ let set_u8 t off v =
 
 let get_u64 t off =
   check t off 8 "get_u64";
+  poison_check t off 8;
   Meter.access t.meter Pm ~addr:off ~write:false;
   trace_read t off 8;
   Bytes.get_int64_le t.cache off
@@ -201,8 +251,21 @@ let set_u64 t off v =
   Bytes.set_int64_le t.cache off v;
   mark_written t off 8
 
+let get_u32 t off =
+  check t off 4 "get_u32";
+  poison_check t off 4;
+  Meter.access t.meter Pm ~addr:off ~write:false;
+  trace_read t off 4;
+  Int32.to_int (Bytes.get_int32_le t.cache off) land 0xFFFFFFFF
+
+let set_u32 t off v =
+  check t off 4 "set_u32";
+  Bytes.set_int32_le t.cache off (Int32.of_int v);
+  mark_written t off 4
+
 let get_string t ~off ~len =
   check t off len "get_string";
+  poison_check t off len;
   Meter.access_range t.meter Pm ~addr:off ~len ~write:false;
   trace_read t off len;
   Bytes.sub_string t.cache off len
@@ -217,8 +280,26 @@ let read_shadow_u64 t off =
   check t off 8 "read_shadow_u64";
   Bytes.get_int64_le t.shadow off
 
+(* One line's worth of data leaving the cache hierarchy for the media —
+   the only path by which the durable image legitimately changes after
+   init. A stuck line silently drops the data, but the controller still
+   reports success and records the ECC of what it MEANT to write, so the
+   loss shows up later as an ECC/content mismatch in {!media_verify}.
+   A successful full-line write-back replaces a poisoned line's cell
+   contents, clearing the poison. *)
+let writeback_line t line =
+  if Hashtbl.mem t.stuck line then
+    t.line_crc.(line) <-
+      Hart_util.Crc32.bytes_sub t.cache ~off:(line * line_bytes) ~len:line_bytes
+  else begin
+    Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
+    t.line_crc.(line) <-
+      Hart_util.Crc32.bytes_sub t.shadow ~off:(line * line_bytes) ~len:line_bytes;
+    Hashtbl.remove t.poisoned line
+  end
+
 let flush_line t line =
-  Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
+  writeback_line t line;
   dirty_clear t line;
   t.total_flushes <- t.total_flushes + 1;
   Meter.flush_line t.meter ~addr:(line * line_bytes)
@@ -236,8 +317,7 @@ let do_crash t =
       let rng = Hart_util.Rng.create seed in
       for line = 0 to (t.brk - 1) / line_bytes do
         if dirty_get t line && Hart_util.Rng.float rng 1.0 < fraction then begin
-          Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
-            line_bytes;
+          writeback_line t line;
           Meter.eviction t.meter
         end
       done
@@ -250,8 +330,7 @@ let do_crash t =
          random [Torn] draw only sometimes finds. *)
       let line = t.torn_commit_line in
       if line >= 0 && dirty_get t line then begin
-        Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
-          line_bytes;
+        writeback_line t line;
         Meter.eviction t.meter
       end
   | Torn_lines lines ->
@@ -263,8 +342,7 @@ let do_crash t =
         (fun line ->
           if line >= 0 && line <= (t.brk - 1) / line_bytes && dirty_get t line
           then begin
-            Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes)
-              line_bytes;
+            writeback_line t line;
             Meter.eviction t.meter
           end)
         lines);
@@ -336,21 +414,30 @@ let dirty_line_count t =
   done;
   !n
 
-(* Image format: magic, brk, live, free-list table, then the durable
-   bytes up to brk. Little-endian 64-bit fields. *)
+(* Image format v2: magic, version, brk, live, free-list table, the
+   durable bytes up to brk, then a trailing CRC-32 of everything before
+   it. Little-endian 64-bit fields. *)
 let image_magic = 0x48415254504F4F4CL (* "HARTPOOL" *)
+let image_version = 2L
 
 let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let w64 v =
+      let crc = ref 0 in
+      let w64_raw v =
         let b = Bytes.create 8 in
         Bytes.set_int64_le b 0 v;
-        output_bytes oc b
+        output_bytes oc b;
+        b
+      in
+      let w64 v =
+        let b = w64_raw v in
+        crc := Hart_util.Crc32.update !crc b ~off:0 ~len:8
       in
       w64 image_magic;
+      w64 image_version;
       w64 (Int64.of_int t.brk);
       w64 (Int64.of_int t.live);
       let entries =
@@ -365,7 +452,9 @@ let save t path =
           w64 (Int64.of_int size);
           w64 (Int64.of_int off))
         entries;
-      output_bytes oc (Bytes.sub t.shadow 0 t.brk))
+      output_bytes oc (Bytes.sub t.shadow 0 t.brk);
+      crc := Hart_util.Crc32.update !crc t.shadow ~off:0 ~len:t.brk;
+      ignore (w64_raw (Int64.of_int !crc) : Bytes.t))
 
 let load ?(max_capacity = 1 lsl 30) meter path =
   let ic = open_in_bin path in
@@ -373,13 +462,25 @@ let load ?(max_capacity = 1 lsl 30) meter path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let fail fmt = Printf.ksprintf failwith fmt in
-      let r64 what =
+      let crc = ref 0 in
+      let r64_raw what =
         let b = Bytes.create 8 in
         (try really_input ic b 0 8
          with End_of_file -> fail "Pmem.load: truncated image (in %s)" what);
         Bytes.get_int64_le b 0
       in
+      let r64 what =
+        let b = Bytes.create 8 in
+        (try really_input ic b 0 8
+         with End_of_file -> fail "Pmem.load: truncated image (in %s)" what);
+        crc := Hart_util.Crc32.update !crc b ~off:0 ~len:8;
+        Bytes.get_int64_le b 0
+      in
       if r64 "magic" <> image_magic then failwith "Pmem.load: bad magic";
+      let version = r64 "version" in
+      if version <> image_version then
+        fail "Pmem.load: unsupported image version %Ld (want %Ld)" version
+          image_version;
       let brk = Int64.to_int (r64 "header") in
       let live = Int64.to_int (r64 "header") in
       let n_free = Int64.to_int (r64 "header") in
@@ -422,9 +523,22 @@ let load ?(max_capacity = 1 lsl 30) meter path =
       done;
       (try really_input ic t.shadow 0 brk
        with End_of_file -> failwith "Pmem.load: truncated image (in pool data)");
+      crc := Hart_util.Crc32.update !crc t.shadow ~off:0 ~len:brk;
+      let stored = Int64.to_int (r64_raw "checksum trailer") in
+      if stored <> !crc then
+        fail "Pmem.load: image checksum mismatch (stored %x, computed %08x)"
+          stored !crc;
       if pos_in ic <> in_channel_length ic then
         failwith "Pmem.load: trailing bytes after pool data";
       Bytes.blit t.shadow 0 t.cache 0 brk;
+      (* the on-DIMM ECC reseals on mount: image-file integrity is the
+         trailer's job, detection of post-mount media faults is this
+         table's job *)
+      for line = 0 to (brk / line_bytes) - 1 do
+        t.line_crc.(line) <-
+          Hart_util.Crc32.bytes_sub t.shadow ~off:(line * line_bytes)
+            ~len:line_bytes
+      done;
       t.brk <- brk;
       t.live <- live;
       t)
@@ -432,11 +546,65 @@ let load ?(max_capacity = 1 lsl 30) meter path =
 let evict_random t rng ~fraction =
   for line = 0 to (t.brk - 1) / line_bytes do
     if dirty_get t line && Hart_util.Rng.float rng 1.0 < fraction then begin
-      Bytes.blit t.cache (line * line_bytes) t.shadow (line * line_bytes) line_bytes;
+      writeback_line t line;
       dirty_clear t line;
       Meter.eviction t.meter
     end
   done
+
+(* ------------------------------------------------------------------ *)
+(* Media faults                                                        *)
+
+let refresh_cache_line t line =
+  (* a corrupted durable line is what the next cold load returns *)
+  Bytes.blit t.shadow (line * line_bytes) t.cache (line * line_bytes) line_bytes;
+  dirty_clear t line
+
+let check_line t line op =
+  if line < 0 || (line + 1) * line_bytes > t.brk then
+    invalid_arg
+      (Printf.sprintf "Pmem.%s: line %d outside pool (brk=%d)" op line t.brk)
+
+let inject_media_fault t fault =
+  let flip off bit =
+    check t off 1 "inject_media_fault";
+    let b = Bytes.get_uint8 t.shadow off in
+    Bytes.set_uint8 t.shadow off (b lxor (1 lsl (bit land 7)));
+    refresh_cache_line t (off / line_bytes)
+  in
+  match fault with
+  | Flip_bit { off; bit } -> flip off bit
+  | Flip_bits { seed; flips } ->
+      let rng = Hart_util.Rng.create seed in
+      for _ = 1 to flips do
+        flip (Hart_util.Rng.int rng t.brk) (Hart_util.Rng.int rng 8)
+      done
+  | Clobber_line { line; seed } ->
+      check_line t line "inject_media_fault";
+      let rng = Hart_util.Rng.create seed in
+      for i = 0 to line_bytes - 1 do
+        Bytes.set_uint8 t.shadow ((line * line_bytes) + i)
+          (Hart_util.Rng.int rng 256)
+      done;
+      refresh_cache_line t line
+  | Stuck_line { line } ->
+      check_line t line "inject_media_fault";
+      Hashtbl.replace t.stuck line ()
+  | Poison_line { line } ->
+      check_line t line "inject_media_fault";
+      Hashtbl.replace t.poisoned line ()
+
+let media_verify t =
+  let corrupt = ref [] and poisoned = ref [] in
+  for line = (t.brk / line_bytes) - 1 downto 0 do
+    if Hashtbl.mem t.poisoned line then poisoned := line :: !poisoned
+    else if
+      Hart_util.Crc32.bytes_sub t.shadow ~off:(line * line_bytes)
+        ~len:line_bytes
+      <> t.line_crc.(line)
+    then corrupt := line :: !corrupt
+  done;
+  { corrupt_lines = !corrupt; poisoned_lines = !poisoned }
 
 let pp_stats ppf t =
   Format.fprintf ppf "@[<v>pool: capacity=%d brk=%d live=%d dirty_lines=%d@ %a@]"

@@ -27,6 +27,16 @@ exception Crash_injected
 exception Out_of_memory_pm
 (** Raised by {!alloc} when the pool cannot grow (capped pools). *)
 
+exception Media_poisoned of { off : int; line : int }
+(** Raised by the load accessors when the access touches a line marked
+    {!Poison_line} — the simulated machine-check of an uncorrectable
+    media read. [off] is the offset the caller asked for, [line] the
+    poisoned 64-byte line. *)
+
+val line_bytes : int
+(** Size of a cache/media line (64). Media faults, the line-ECC table
+    and flush granularity all work on these units. *)
+
 val create : ?capacity:int -> ?max_capacity:int -> Meter.t -> t
 (** [create meter] makes an empty pool (default initial capacity 1 MiB,
     growing by doubling up to [max_capacity], default 1 GiB). *)
@@ -79,6 +89,12 @@ val get_u8 : t -> int -> int
 val set_u8 : t -> int -> int -> unit
 val get_u64 : t -> int -> int64
 val set_u64 : t -> int -> int64 -> unit
+
+val get_u32 : t -> int -> int
+(** Little-endian 32-bit load, returned in \[0, 2{^32}). Used for the
+    optional CRC-32 trailers on persisted objects. *)
+
+val set_u32 : t -> int -> int -> unit
 
 val get_string : t -> off:int -> len:int -> string
 val set_string : t -> off:int -> string -> unit
@@ -183,11 +199,12 @@ val save : t -> string -> unit
 
 val load : ?max_capacity:int -> Meter.t -> string -> t
 (** Re-open a saved image (cold cache, clean dirty map). The image is
-    validated before being adopted: magic, a line-aligned [brk] within
-    [max_capacity], a sane live-byte count, and a free list whose every
-    region is a positive line-aligned span inside the pool with no two
-    regions overlapping. Truncated files and trailing garbage are
-    rejected.
+    validated before being adopted: magic, a supported format version, a
+    line-aligned [brk] within [max_capacity], a sane live-byte count, a
+    free list whose every region is a positive line-aligned span inside
+    the pool with no two regions overlapping, and a whole-image CRC-32
+    trailer that must match the preceding header + pool bytes. Truncated
+    files and trailing garbage are rejected.
     @raise Failure on a malformed or corrupt image file. *)
 
 val evict_random : t -> Hart_util.Rng.t -> fraction:float -> unit
@@ -195,5 +212,55 @@ val evict_random : t -> Hart_util.Rng.t -> fraction:float -> unit
     hardware is allowed to evict any dirty line at any time, so crash
     states must be correct under any such subset. Used by property
     tests. *)
+
+(** {1 Media faults}
+
+    Beyond torn flushes, real PM suffers media faults: bit rot, whole
+    lines returning garbage, cells that stop accepting writes, and
+    uncorrectable reads. The pool models them deterministically, and
+    pairs them with an always-on per-line CRC-32 side table — the
+    simulation's stand-in for the DIMM's per-line ECC. Every legitimate
+    write-back (flush, background eviction, torn-crash eviction,
+    allocator scrub) updates the table; injected faults mutate the
+    durable image {e without} updating it. {!media_verify} is therefore
+    a ground-truth-free detector: it reports exactly the lines whose
+    durable content no legitimate write produced. The table is volatile
+    metadata and costs nothing on the simulated clock (checksum
+    placement/cost accounting is discussed in DESIGN.md §15). *)
+
+type media_fault =
+  | Flip_bit of { off : int; bit : int }
+      (** flip bit [bit land 7] of the durable byte at [off] *)
+  | Flip_bits of { seed : int64; flips : int }
+      (** [flips] independent single-bit flips at seeded pseudo-random
+          offsets in \[0, brk) *)
+  | Clobber_line of { line : int; seed : int64 }
+      (** overwrite the whole 64-byte line with seeded garbage *)
+  | Stuck_line of { line : int }
+      (** the line silently drops all future write-backs: flushes report
+          success (and update the ECC table with the intended data, which
+          is what makes the loss detectable) but the durable image keeps
+          its old content *)
+  | Poison_line of { line : int }
+      (** uncorrectable: any load touching the line raises
+          {!Media_poisoned} until a full-line write-back replaces its
+          contents *)
+
+type media_report = { corrupt_lines : int list; poisoned_lines : int list }
+(** [corrupt_lines]: lines whose durable content disagrees with the ECC
+    table, ascending. [poisoned_lines]: lines currently raising on
+    load. The two are disjoint (a poisoned line cannot be checksummed —
+    it cannot be read at all). *)
+
+val inject_media_fault : t -> media_fault -> unit
+(** Apply one fault to the durable image (and, for content faults, to
+    the volatile view — a subsequent cold read returns the corrupted
+    line). Bounds-checked against [brk].
+    @raise Invalid_argument for out-of-pool coordinates. *)
+
+val media_verify : t -> media_report
+(** Scrub pass over every line below [brk]: recompute each line's CRC
+    and compare with the ECC table. Free on the simulated clock (the
+    device-internal scrubber the simulation assumes). *)
 
 val pp_stats : Format.formatter -> t -> unit

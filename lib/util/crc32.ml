@@ -1,0 +1,31 @@
+(* CRC-32 (IEEE), table-driven. The table is computed once at module
+   init; each entry is the CRC of the single byte [i] under the
+   reflected polynomial 0xEDB88320. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let c = ref i in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+      else c := !c lsr 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+let mask32 = 0xFFFFFFFF
+
+let update crc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.update";
+  let c = ref (crc lxor mask32) in
+  for i = off to off + len - 1 do
+    c :=
+      table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let bytes_sub b ~off ~len = update 0 b ~off ~len
+let string s = bytes_sub (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

@@ -3,6 +3,7 @@ module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
 module Rng = Hart_util.Rng
 module Chunk = Hart_core.Chunk
+module Hart_error = Hart_core.Hart_error
 module Epalloc = Hart_core.Epalloc
 module Leaf = Hart_core.Leaf
 module Value_obj = Hart_core.Value_obj
@@ -10,6 +11,7 @@ module Microlog = Hart_core.Microlog
 module Hash_dir = Hart_core.Hash_dir
 module Hart = Hart_core.Hart
 module Hart_mt = Hart_core.Hart_mt
+module Art = Hart_art.Art
 module Rwlock = Hart_core.Rwlock
 module SMap = Map.Make (String)
 
@@ -292,7 +294,7 @@ let test_epalloc_attach_rejects_garbage () =
   Alcotest.(check bool) "bad magic rejected" true
     (match Epalloc.attach pool with
     | _ -> false
-    | exception Failure _ -> true)
+    | exception Hart_error.Error { site = Hart_error.Root_block _; _ } -> true)
 
 let test_epalloc_leaf_repair () =
   (* simulate the Algorithm 1 crash window: value committed, leaf bit not
@@ -1680,6 +1682,273 @@ let test_recover_roundtrip_mixed () =
   in
   List.iter (fun tgt -> roundtrip_check tgt ops) Fault.all_targets
 
+(* ------------------------------------------------------------------ *)
+(* Image corruption: every baseline's saved image must be rejected by
+   [Pmem.load] when its trailing whole-image checksum no longer matches
+   — a corrupt trailer, a flipped body bit, or a truncation must never
+   produce a silently-wrong mounted pool.                              *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let expect_load_failure name path =
+  match Pmem.load (Meter.create Latency.c300_100) path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.failf "%s: corrupt image accepted by Pmem.load" name
+
+let test_image_corruption_all_indexes () =
+  let ops =
+    Fault.
+      [
+        Insert ("ic-a", "1");
+        Insert ("ic-b", String.make 24 'b');
+        Insert ("ic-c", "3");
+        Delete "ic-a";
+        Update ("ic-b", "two");
+      ]
+  in
+  let model = List.fold_left Fault.apply_model SMap.empty ops in
+  let path = Filename.temp_file "hart_img" ".pm" in
+  List.iter
+    (fun (tgt : Fault.target) ->
+      let name = tgt.Fault.target_name in
+      let inst = tgt.Fault.fresh () in
+      List.iter inst.Fault.apply ops;
+      Pmem.persist_all inst.Fault.pool;
+      Pmem.save inst.Fault.pool path;
+      (* the pristine image loads and the index recovers from it *)
+      let pool' = Pmem.load (Meter.create Latency.c300_100) path in
+      let r = tgt.Fault.reattach pool' in
+      r.Fault.check ();
+      Alcotest.(check (list (pair string string)))
+        (name ^ ": image round-trip")
+        (SMap.bindings model) (r.Fault.dump ());
+      let image = read_file path in
+      let len = String.length image in
+      let flipped at mask =
+        let b = Bytes.of_string image in
+        Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor mask));
+        Bytes.to_string b
+      in
+      write_file path (flipped (len - 3) 0x20);
+      expect_load_failure (name ^ ": corrupt trailer") path;
+      write_file path (flipped (len / 2) 0x01);
+      expect_load_failure (name ^ ": flipped body bit") path;
+      write_file path (String.sub image 0 (len - 5));
+      expect_load_failure (name ^ ": truncated mid-trailer") path;
+      write_file path (String.sub image 0 (len / 2));
+      expect_load_failure (name ^ ": truncated mid-body") path)
+    Fault.all_targets;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* fsck / scrub / media quarantine                                     *)
+
+let populate_hart ?checksums () =
+  let pool = fresh_pool () in
+  let h = Hart.create ?checksums pool in
+  let model = ref SMap.empty in
+  let key_of i =
+    Printf.sprintf "%c%c-fk%03d"
+      (Char.chr (97 + (i mod 7)))
+      (Char.chr (97 + (i mod 5)))
+      i
+  in
+  for i = 0 to 149 do
+    let value =
+      match i mod 3 with
+      | 0 -> Printf.sprintf "v%d" i
+      | 1 -> Printf.sprintf "value-medium-%04d" i
+      | _ -> Printf.sprintf "value-wide-padding-%08d" i
+    in
+    Hart.insert h ~key:(key_of i) ~value;
+    model := SMap.add (key_of i) value !model
+  done;
+  for i = 0 to 149 do
+    if i mod 11 = 0 then begin
+      ignore (Hart.delete h (key_of i));
+      model := SMap.remove (key_of i) !model
+    end
+  done;
+  (h, pool, !model)
+
+let test_fsck_clean_store () =
+  let h, pool, model = populate_hart () in
+  Alcotest.(check int) "no quarantines" 0 (List.length (Hart.quarantines h));
+  Alcotest.(check int) "fsck clean" 0 (List.length (Hart.fsck h));
+  Alcotest.(check int) "scrub clean" 0 (List.length (Hart.scrub h));
+  Pmem.crash pool;
+  let h' = Hart.recover ~quarantine:true pool in
+  Alcotest.(check int) "recovery quarantines nothing" 0
+    (List.length (Hart.quarantines h'));
+  Alcotest.(check int) "fsck clean after recovery" 0
+    (List.length (Hart.fsck h'));
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  Alcotest.(check int) "count intact" (SMap.cardinal model) (Hart.count h')
+
+let test_checksummed_roundtrip () =
+  let h, pool, model = populate_hart ~checksums:true () in
+  Alcotest.(check bool) "flag set" true (Hart.checksums h);
+  Alcotest.(check int) "deep fsck clean" 0
+    (List.length (Hart.fsck ~deep:true h));
+  Pmem.crash pool;
+  let h' = Hart.recover pool in
+  Alcotest.(check bool) "pool self-describes" true (Hart.checksums h');
+  Alcotest.(check (list (pair string string)))
+    "bindings survive reboot" (SMap.bindings model) (dump_hart h');
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  Alcotest.(check int) "deep fsck clean after reboot" 0
+    (List.length (Hart.fsck ~deep:true h'));
+  Pmem.crash pool;
+  let hp = Hart.recover_parallel ~domains:3 ~quarantine:true pool in
+  Alcotest.(check (list (pair string string)))
+    "parallel quarantining recovery agrees" (SMap.bindings model)
+    (dump_hart hp);
+  Alcotest.(check int) "parallel quarantines nothing" 0
+    (List.length (Hart.quarantines hp))
+
+let leaf_offsets h =
+  let offs = ref [] in
+  Hart.iter_arts h (fun _hk art ->
+      Art.iter art (fun _k off -> offs := off :: !offs));
+  List.sort_uniq compare !offs
+
+(* A live leaf's line is destroyed: the binding cannot be repaired, so
+   recovery must excise it, report it, and keep everything else intact —
+   never serve a corrupted key or value.                               *)
+let test_unrepairable_leaf_quarantined () =
+  let h, pool, model = populate_hart () in
+  Pmem.persist_all pool;
+  let victim = List.nth (leaf_offsets h) 3 in
+  Pmem.crash pool;
+  Pmem.inject_media_fault pool
+    (Pmem.Clobber_line { line = victim / Pmem.line_bytes; seed = 0xBADF00DL });
+  let h' = Hart.recover ~quarantine:true pool in
+  let qs = Hart.quarantines h' in
+  Alcotest.(check bool) "losses reported" true
+    (List.exists
+       (fun (f : Hart_error.finding) ->
+         f.Hart_error.f_action = Hart_error.Quarantined)
+       qs);
+  let lost =
+    SMap.fold
+      (fun key _ acc -> if Hart.search h' key = None then key :: acc else acc)
+      model []
+  in
+  Alcotest.(check bool) "the clobbered leaf is gone" true (lost <> []);
+  (* survivors are exact: present implies model-correct *)
+  Hart.iter h' (fun key value ->
+      match SMap.find_opt key model with
+      | Some v when v = value -> ()
+      | Some v -> Alcotest.failf "key %S: got %S, want %S" key value v
+      | None -> Alcotest.failf "fabricated key %S" key);
+  (* fsck heals the pool: the excised leaf's value object is reclaimed,
+     its lines resealed, and a second pass finds nothing left to do *)
+  ignore (Hart.fsck h');
+  Hart.check_integrity ~allow_recovered_orphans:true h';
+  Alcotest.(check int) "fsck converges" 0 (List.length (Hart.fsck h'));
+  Alcotest.(check (list int))
+    "media scrub clean after fsck" []
+    (Pmem.media_verify pool).Pmem.corrupt_lines
+
+let test_microlog_acquire_timeout () =
+  let pool = fresh_pool () in
+  let base = Pmem.alloc pool Microlog.region_bytes in
+  let logs = Microlog.create pool ~base in
+  let slots =
+    List.init Microlog.n_slots (fun _ -> Microlog.Update.acquire logs)
+  in
+  Microlog.set_acquire_timeout logs (Some 0.02);
+  (match Microlog.Update.acquire logs with
+  | _ -> Alcotest.fail "acquire should have timed out"
+  | exception
+      Hart_error.Error
+        { site = Hart_error.Log_stall { kind; waited; busy }; _ } ->
+      Alcotest.(check string) "kind" "update" kind;
+      Alcotest.(check bool) "waited recorded" true (waited >= 0.02);
+      Alcotest.(check int) "all slots dumped as busy" Microlog.n_slots
+        (List.length busy));
+  (* a reclaim un-wedges acquisition within the same timeout regime *)
+  Microlog.Update.reclaim logs ~slot:(List.hd slots);
+  let s = Microlog.Update.acquire logs in
+  Alcotest.(check int) "freed slot re-acquired" (List.hd slots) s
+
+(* k seeded media faults into a populated pool: a quarantining mount
+   plus fsck must partition every finding into {repaired, quarantined,
+   detected}, serve only model-correct bindings, and report any loss —
+   or refuse the mount with a typed error. Silent wrong answers fail.  *)
+let qcheck_media_fsck_partition =
+  QCheck.Test.make ~count:30 ~name:"media faults: fsck report partitions"
+    QCheck.(triple (int_bound 0xFFFF) (int_range 1 6) bool)
+    (fun (seed, k, checksums) ->
+      let h0, pool, model = populate_hart ~checksums () in
+      ignore h0;
+      Pmem.persist_all pool;
+      Pmem.crash pool;
+      let rng = Rng.create (Int64.of_int (0x5EED0000 + seed)) in
+      let lines = max 3 (Pmem.live_bytes pool / Pmem.line_bytes) in
+      for _ = 1 to k do
+        let line = 1 + Rng.int rng (lines - 1) in
+        let fault =
+          match Rng.int rng 5 with
+          | 0 ->
+              Pmem.Flip_bit
+                {
+                  off = (line * Pmem.line_bytes) + Rng.int rng Pmem.line_bytes;
+                  bit = Rng.int rng 8;
+                }
+          | 1 -> Pmem.Flip_bits { seed = Rng.next64 rng; flips = 1 + Rng.int rng 4 }
+          | 2 -> Pmem.Clobber_line { line; seed = Rng.next64 rng }
+          | 3 -> Pmem.Stuck_line { line }
+          | _ -> Pmem.Poison_line { line }
+        in
+        Pmem.inject_media_fault pool fault
+      done;
+      match Hart.recover ~quarantine:true pool with
+      | exception Hart_error.Error _ -> true (* typed refusal = detected *)
+      | exception Pmem.Media_poisoned _ -> true
+      | h -> (
+          try
+            let findings = Hart.quarantines h @ Hart.fsck h in
+            let repaired, quarantined, detected =
+              Hart_error.partition findings
+            in
+            if
+              List.length repaired + List.length quarantined
+              + List.length detected
+              <> List.length findings
+            then QCheck.Test.fail_report "partition is not total";
+            Hart.iter h (fun key value ->
+                match SMap.find_opt key model with
+                | Some v when v = value -> ()
+                | Some v ->
+                    QCheck.Test.fail_reportf "key %S: got %S, want %S" key
+                      value v
+                | None -> QCheck.Test.fail_reportf "fabricated key %S" key);
+            let lost =
+              SMap.fold
+                (fun key _ acc ->
+                  if Hart.search h key = None then key :: acc else acc)
+                model []
+            in
+            if lost <> [] && quarantined = [] && detected = [] then
+              QCheck.Test.fail_reportf
+                "%d keys lost but nothing quarantined or detected"
+                (List.length lost);
+            Hart.check_integrity ~allow_recovered_orphans:true h;
+            true
+          with
+          | Hart_error.Error _ | Pmem.Media_poisoned _ ->
+              true (* typed mid-walk detection is an accepted outcome *)))
+
 let () =
   Alcotest.run "core"
     [
@@ -1799,6 +2068,19 @@ let () =
             test_recover_roundtrip_single_key;
           Alcotest.test_case "all indexes: mixed ops" `Quick
             test_recover_roundtrip_mixed;
+          Alcotest.test_case "all indexes: corrupt image rejected" `Quick
+            test_image_corruption_all_indexes;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "clean store" `Quick test_fsck_clean_store;
+          Alcotest.test_case "checksummed round-trip" `Quick
+            test_checksummed_roundtrip;
+          Alcotest.test_case "unrepairable leaf quarantined" `Quick
+            test_unrepairable_leaf_quarantined;
+          Alcotest.test_case "log acquire timeout" `Quick
+            test_microlog_acquire_timeout;
+          QCheck_alcotest.to_alcotest qcheck_media_fsck_partition;
         ] );
       ( "concurrency",
         [

@@ -200,6 +200,7 @@ let detects_violation () =
           (* drop every delete: completed ops are then NOT all applied *)
           { inner with apply = (function Fault.Delete _ -> () | op -> inner.apply op) });
       reattach = Fault.hart.Fault.reattach;
+      media_mount = None;
     }
   in
   let name, setup, ops = find "delete-recycle" in
@@ -220,6 +221,7 @@ let tampered_target () =
         let inner = Fault.hart.Fault.reattach pool in
         inner.Fault.apply (Fault.Delete "ab");
         inner);
+    media_mount = None;
   }
 
 let tampered_ops =
@@ -295,6 +297,92 @@ let baseline_cases =
       ])
     baseline_targets
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Media-fault sweep                                                   *)
+
+(* Every target (the crash-gate eight plus checksummed HART) faces the
+   same seeded corruption sites; the oracle forbids exactly one thing —
+   a silent wrong answer. *)
+let media_sweep_target tgt () =
+  let name, setup, ops = find "mixed-dense" in
+  let r =
+    Fault.explore_media ~sites:6 ~keep_going:true ~setup ~workload:name tgt ops
+  in
+  Alcotest.(check int) "every site ran" 6 (List.length r.Fault.m_sites);
+  Alcotest.(check (list string)) "no silent wrong answers" []
+    (List.map Fault.violation_message r.Fault.m_violations);
+  (* not vacuous: most drawn faults corrupt content the mount must react
+     to (only an unwritten stuck line may stay benign) *)
+  Alcotest.(check bool) "some sites were non-benign" true
+    (List.exists
+       (fun s -> s.Fault.site_outcome <> Fault.Media_benign)
+       r.Fault.m_sites);
+  (* a HART-family mount must have produced findings at some site; a
+     baseline never does (it refuses with a typed error instead) *)
+  let saw_findings =
+    List.exists (fun s -> s.Fault.site_findings > 0) r.Fault.m_sites
+  in
+  Alcotest.(check bool) "findings match mount capability"
+    (tgt.Fault.media_mount <> None)
+    saw_findings
+
+(* Determinism: the same (target, seed) re-draws the same faults and
+   reaches the same per-site outcomes. *)
+let media_sweep_deterministic () =
+  let name, setup, ops = find "mixed-dense" in
+  let run () =
+    let r =
+      Fault.explore_media ~sites:4 ~keep_going:true ~setup ~workload:name
+        Fault.hart_checksummed ops
+    in
+    List.map
+      (fun s ->
+        Printf.sprintf "%d:%s:%s" s.Fault.site_index s.Fault.site_fault
+          (Fault.media_outcome_name s.Fault.site_outcome))
+      r.Fault.m_sites
+  in
+  Alcotest.(check (list string)) "replayable" (run ()) (run ())
+
+let media_sweep_roster () =
+  Alcotest.(check int) "nine media targets" 9 (List.length Fault.media_targets);
+  Alcotest.(check bool) "hart-crc resolvable" true
+    (Fault.find_target "hart-crc" <> None);
+  (* a HART-family target repairs or quarantines; a baseline only
+     detects — both without silent wrong answers *)
+  List.iter
+    (fun tgt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mount capability matches family"
+           tgt.Fault.target_name)
+        (String.length tgt.Fault.target_name >= 4
+        && String.sub tgt.Fault.target_name 0 4 = "hart")
+        (tgt.Fault.media_mount <> None))
+    Fault.media_targets
+
+let media_json () =
+  let name, setup, ops = find "update-log" in
+  let r =
+    Fault.explore_media ~sites:3 ~keep_going:true ~setup ~workload:name
+      Fault.hart ops
+  in
+  let j = Fault.media_reports_json [ r ] in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "JSON carries %s" sub)
+        true (contains ~sub j))
+    [
+      {|"target":"hart"|}; {|"workload":"update-log"|}; {|"sites":3|};
+      {|"outcome":"|}; {|"violations":[]|};
+    ];
+  Alcotest.(check string) "no violations -> empty baseline" "[]\n"
+    (Fault.media_violations_to_json [ r ])
+
 (* ------------------------------------------------------------------ *)
 (* Adversarial torn mode                                               *)
 
@@ -348,11 +436,6 @@ let adversarial_directed () =
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable violation reports                                  *)
-
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
 
 let violation_json () =
   Alcotest.(check string) "empty array diffs clean" "[]\n"
@@ -697,6 +780,20 @@ let () =
             all_targets_registered;
         ] );
       ("baselines", baseline_cases);
+      ( "media",
+        List.map
+          (fun tgt ->
+            Alcotest.test_case
+              (Printf.sprintf "%s/mixed-dense media sweep" tgt.Fault.target_name)
+              `Quick (media_sweep_target tgt))
+          Fault.media_targets
+        @ [
+            Alcotest.test_case "deterministic replay" `Quick
+              media_sweep_deterministic;
+            Alcotest.test_case "roster and capabilities" `Quick
+              media_sweep_roster;
+            Alcotest.test_case "media JSON serialization" `Quick media_json;
+          ] );
       ( "adversarial",
         [
           Alcotest.test_case "commit-line + subset passes" `Quick

@@ -1,4 +1,5 @@
 module Rng = Hart_util.Rng
+module Crc32 = Hart_util.Crc32
 module Latency = Hart_pmem.Latency
 module Meter = Hart_pmem.Meter
 module Pmem = Hart_pmem.Pmem
@@ -402,20 +403,26 @@ let qcheck_shadow_model =
 (* ------------------------------------------------------------------ *)
 (* Image-validation hardening                                          *)
 
-(* Hand-craft a pool image: magic, brk, live, free-entry table, body.
-   Mirrors the format written by [Pmem.save]. *)
-let write_image ?magic ~brk ~live ~free ?body ?(trailing = "") path =
+(* Hand-craft a v2 pool image: magic, version, brk, live, free-entry
+   table, body, trailing CRC-32 of everything before it. Mirrors the
+   format written by [Pmem.save]. [crc_delta] is xor-ed into the stored
+   trailer (non-zero = deliberately corrupt); [drop_tail] truncates that
+   many bytes off the end of the finished image. *)
+let write_image ?magic ?version ?(crc_delta = 0) ?(drop_tail = 0) ~brk ~live
+    ~free ?body ?(trailing = "") path =
   let magic = Option.value magic ~default:0x48415254504F4F4CL (* HARTPOOL *) in
+  let version = Option.value version ~default:2L in
   let body =
     match body with Some b -> b | None -> String.make (max brk 0) '\000'
   in
-  let oc = open_out_bin path in
+  let buf = Buffer.create (min (max brk 0) (1 lsl 20) + 64) in
   let w64 v =
     let b = Bytes.create 8 in
     Bytes.set_int64_le b 0 v;
-    output_bytes oc b
+    Buffer.add_bytes buf b
   in
   w64 magic;
+  w64 version;
   w64 (Int64.of_int brk);
   w64 (Int64.of_int live);
   w64 (Int64.of_int (List.length free));
@@ -424,8 +431,14 @@ let write_image ?magic ~brk ~live ~free ?body ?(trailing = "") path =
       w64 (Int64.of_int size);
       w64 (Int64.of_int off))
     free;
-  output_string oc body;
-  output_string oc trailing;
+  Buffer.add_string buf body;
+  let crc = Crc32.string (Buffer.contents buf) in
+  w64 (Int64.of_int (crc lxor crc_delta));
+  Buffer.add_string buf trailing;
+  let image = Buffer.contents buf in
+  let image = String.sub image 0 (String.length image - drop_tail) in
+  let oc = open_out_bin path in
+  output_string oc image;
   close_out oc
 
 let expect_load_failure name mk =
@@ -490,13 +503,33 @@ let test_load_rejects_truncation_and_trailing () =
       (* header promises one entry but provides half of it *)
       write_image ~brk:128 ~live:0 ~free:[] ~body:"" p;
       let oc = open_out_gen [ Open_wronly; Open_binary ] 0o600 p in
-      seek_out oc 24;
+      seek_out oc 32 (* n_free word in the v2 layout *);
       output_string oc "\001\000\000\000\000\000\000\000ABCD";
       close_out oc);
   expect_load_failure "truncated body" (fun p ->
       write_image ~brk:256 ~live:0 ~free:[] ~body:(String.make 100 'x') p);
   expect_load_failure "trailing bytes" (fun p ->
       write_image ~brk:128 ~live:0 ~free:[] ~trailing:"extra" p)
+
+let test_load_rejects_version_and_checksum () =
+  expect_load_failure "stale version" (fun p ->
+      write_image ~version:1L ~brk:128 ~live:0 ~free:[] p);
+  expect_load_failure "future version" (fun p ->
+      write_image ~version:3L ~brk:128 ~live:0 ~free:[] p);
+  expect_load_failure "corrupt checksum trailer" (fun p ->
+      write_image ~crc_delta:1 ~brk:128 ~live:0 ~free:[] p);
+  expect_load_failure "flipped body bit" (fun p ->
+      (* valid trailer computed over a different body: corrupt the body
+         after the fact, keeping the file length right *)
+      write_image ~brk:128 ~live:0 ~free:[] p;
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o600 p in
+      seek_out oc 70 (* inside the body *);
+      output_string oc "\x01";
+      close_out oc);
+  expect_load_failure "missing checksum trailer" (fun p ->
+      write_image ~drop_tail:8 ~brk:128 ~live:0 ~free:[] p);
+  expect_load_failure "image truncated mid-trailer" (fun p ->
+      write_image ~drop_tail:3 ~brk:128 ~live:0 ~free:[] p)
 
 let test_load_accepts_valid_free_list () =
   (* the validation must not reject legitimate images: disjoint entries,
@@ -512,6 +545,111 @@ let test_load_accepts_valid_free_list () =
     (List.mem (Pmem.alloc pool 64) [ 64; 192 ]);
   Alcotest.(check int) "recycles 128-byte region" 384 (Pmem.alloc pool 128);
   Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Media faults and the line-ECC side table                            *)
+
+let test_media_flip_detected_and_resealed () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 256 in
+  Pmem.set_u64 pool off 0x1122334455667788L;
+  Pmem.persist pool ~off ~len:256;
+  let r = Pmem.media_verify pool in
+  Alcotest.(check (list int)) "clean after persist" [] r.Pmem.corrupt_lines;
+  Pmem.inject_media_fault pool (Pmem.Flip_bit { off = off + 3; bit = 5 });
+  let r = Pmem.media_verify pool in
+  Alcotest.(check (list int)) "flip detected" [ off / 64 ] r.Pmem.corrupt_lines;
+  (* the rot is visible through the device, not hidden by the cache *)
+  Alcotest.(check bool) "read sees the flipped bit" true
+    (Pmem.get_u64 pool off <> 0x1122334455667788L);
+  (* rewriting the full line write-backs fresh content and reseals it *)
+  Pmem.set_string pool ~off (String.make 64 '\000');
+  Pmem.persist pool ~off ~len:64;
+  let r = Pmem.media_verify pool in
+  Alcotest.(check (list int)) "resealed by rewrite" [] r.Pmem.corrupt_lines
+
+let test_media_flips_deterministic () =
+  let mk () =
+    let pool, _ = fresh () in
+    let off = Pmem.alloc pool 1024 in
+    for i = 0 to 15 do
+      Pmem.set_u64 pool (off + (i * 64)) (Int64.of_int (i + 1))
+    done;
+    Pmem.persist pool ~off ~len:1024;
+    (pool, off)
+  in
+  let pool1, off1 = mk () and pool2, off2 = mk () in
+  Alcotest.(check int) "same layout" off1 off2;
+  Pmem.inject_media_fault pool1 (Pmem.Flip_bits { seed = 7L; flips = 5 });
+  Pmem.inject_media_fault pool2 (Pmem.Flip_bits { seed = 7L; flips = 5 });
+  let r1 = Pmem.media_verify pool1 and r2 = Pmem.media_verify pool2 in
+  Alcotest.(check (list int))
+    "same seed, same corrupt lines" r1.Pmem.corrupt_lines r2.Pmem.corrupt_lines;
+  Alcotest.(check bool) "flips landed" true (r1.Pmem.corrupt_lines <> []);
+  Pmem.inject_media_fault pool1 (Pmem.Clobber_line { line = off1 / 64; seed = 9L });
+  let r = Pmem.media_verify pool1 in
+  Alcotest.(check bool) "clobbered line flagged" true
+    (List.mem (off1 / 64) r.Pmem.corrupt_lines)
+
+let test_media_stuck_line () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool off 1L;
+  Pmem.persist pool ~off ~len:8;
+  Pmem.inject_media_fault pool (Pmem.Stuck_line { line = off / 64 });
+  (* the write-back reports success but the durable line keeps the old
+     content; the ECC table records the intended data, which is exactly
+     what makes the silent drop detectable *)
+  Pmem.set_u64 pool off 2L;
+  Pmem.persist pool ~off ~len:8;
+  Alcotest.(check int64) "volatile view has the new value" 2L
+    (Pmem.get_u64 pool off);
+  Alcotest.(check int64) "durable image kept the old" 1L
+    (Pmem.read_shadow_u64 pool off);
+  let r = Pmem.media_verify pool in
+  Alcotest.(check (list int)) "silent drop detected" [ off / 64 ]
+    r.Pmem.corrupt_lines;
+  (* a power cycle exposes the loss through the device *)
+  Pmem.crash pool;
+  Alcotest.(check int64) "old value after crash" 1L (Pmem.get_u64 pool off)
+
+let test_media_poison_line () =
+  let pool, _ = fresh () in
+  let off = Pmem.alloc pool 128 in
+  Pmem.set_u64 pool off 42L;
+  Pmem.persist pool ~off ~len:8;
+  Pmem.inject_media_fault pool (Pmem.Poison_line { line = off / 64 });
+  (match Pmem.get_u64 pool off with
+  | (_ : int64) -> Alcotest.fail "poisoned read did not raise"
+  | exception Pmem.Media_poisoned { line; _ } ->
+      Alcotest.(check int) "poisoned line reported" (off / 64) line);
+  let r = Pmem.media_verify pool in
+  Alcotest.(check (list int)) "verify lists the poison" [ off / 64 ]
+    r.Pmem.poisoned_lines;
+  Alcotest.(check (list int)) "not double-counted as corrupt" []
+    r.Pmem.corrupt_lines;
+  (* a full-line write-back replaces the contents and clears the poison *)
+  Pmem.set_string pool ~off (String.make 64 '\000');
+  Pmem.persist pool ~off ~len:64;
+  Alcotest.(check int64) "readable again" 0L (Pmem.get_u64 pool off);
+  Alcotest.(check (list int)) "unpoisoned" []
+    (Pmem.media_verify pool).Pmem.poisoned_lines
+
+let test_media_fault_bounds () =
+  let pool, _ = fresh () in
+  let rejected f =
+    match Pmem.inject_media_fault pool f with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "out-of-pool flip" true
+    (rejected (Pmem.Flip_bit { off = 1 lsl 30; bit = 0 }));
+  Alcotest.(check bool) "negative offset" true
+    (rejected (Pmem.Flip_bit { off = -1; bit = 0 }));
+  Alcotest.(check bool) "out-of-pool line" true
+    (rejected (Pmem.Clobber_line { line = 1 lsl 24; seed = 1L }));
+  Alcotest.(check bool) "out-of-pool poison" true
+    (rejected (Pmem.Poison_line { line = 1 lsl 24 }))
 
 (* ------------------------------------------------------------------ *)
 (* Flush counting, cloning, torn crash mode                            *)
@@ -722,6 +860,21 @@ let () =
             test_load_rejects_truncation_and_trailing;
           Alcotest.test_case "valid free lists still accepted" `Quick
             test_load_accepts_valid_free_list;
+          Alcotest.test_case "version and checksum trailer enforced" `Quick
+            test_load_rejects_version_and_checksum;
+        ] );
+      ( "media",
+        [
+          Alcotest.test_case "bit flip detected and resealed" `Quick
+            test_media_flip_detected_and_resealed;
+          Alcotest.test_case "seeded flips deterministic" `Quick
+            test_media_flips_deterministic;
+          Alcotest.test_case "stuck line drops write-backs" `Quick
+            test_media_stuck_line;
+          Alcotest.test_case "poisoned line raises until rewritten" `Quick
+            test_media_poison_line;
+          Alcotest.test_case "fault coordinates bounds-checked" `Quick
+            test_media_fault_bounds;
         ] );
       ( "fault-injection",
         [

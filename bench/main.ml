@@ -13,7 +13,7 @@
 
    Usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro]
      EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation
-             parallel ycsb recovery art_nodes scrub *)
+             parallel ycsb recovery art_nodes scrub server *)
 
 module Latency = Hart_pmem.Latency
 module Keygen = Hart_workloads.Keygen
@@ -95,11 +95,12 @@ let usage () =
     "usage: main.exe [--scale F] [--only EXP[,EXP...]] [--skip-micro] \
      [--json-dir DIR]\n\
     \  EXP in: fig4567 fig8 fig9 fig10a fig10b fig10c fig10d ablation \
-     parallel ycsb recovery art_nodes scrub\n\
+     parallel ycsb recovery art_nodes scrub server\n\
     \  --json-dir DIR also writes BENCH_figs.json (every printed table) \
      and,\n\
     \  per experiment, BENCH_parallel.json / BENCH_ycsb.json / \
-     BENCH_recovery.json / BENCH_art_nodes.json / BENCH_scrub.json.";
+     BENCH_recovery.json / BENCH_art_nodes.json / BENCH_scrub.json / \
+     BENCH_server.json.";
   exit 2
 
 let () =
@@ -175,6 +176,15 @@ let () =
       ?json_path:
         (Option.map (fun d -> Filename.concat d "BENCH_scrub.json") !json_dir)
       ~scale ();
+  if wants "server" then
+    ignore
+      (Hart_harness.Exp_server.run
+         ?json_path:
+           (Option.map
+              (fun d -> Filename.concat d "BENCH_server.json")
+              !json_dir)
+         ~scale ()
+        : Hart_harness.Exp_server.run_result list);
   (match !json_dir with
   | Some dir ->
       let path = Filename.concat dir "BENCH_figs.json" in

@@ -355,6 +355,124 @@ let art_nodes_cmd =
     Term.(const run $ scale $ json $ min_lookup_speedup)
 
 (* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                     *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string "/tmp/hart.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the wall-clock executor (default: the \
+             host's recommended domain count, capped at 8).")
+  in
+  let run socket domains db =
+    wrap
+      (fun _pool hart ->
+        let mt = Hart_core.Hart_mt.of_hart hart in
+        let store = Hart_server.Server.store_of_hart mt in
+        let wall = Hart_async.Scheduler.Wall.create () in
+        let stats = { Hart_server.Server.commands = 0; batches = 0 } in
+        let srv = Hart_server.Server.serve_unix ~stats ~wall ~path:socket store in
+        Printf.printf "serving %s on %s (%d key(s) loaded; ctrl-C to stop)\n%!"
+          db socket (Hart.count hart);
+        Sys.set_signal Sys.sigint
+          (Sys.Signal_handle
+             (fun _ -> try Unix.close srv with Unix.Unix_error _ -> ()));
+        Hart_async.Scheduler.Wall.run ?domains wall;
+        Printf.printf "\nserved %d command(s) in %d write batch(es); saving %s\n%!"
+          stats.Hart_server.Server.commands stats.Hart_server.Server.batches db;
+        Ok ())
+      db
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the store over a Unix-domain socket speaking a RESP subset \
+          (GET/SET/DEL/SCAN/PING/QUIT), with per-connection fibers, request \
+          pipelining and per-stripe write batching on the concurrent front \
+          end. Ctrl-C stops accepting, drains live connections and saves \
+          the pool image back to $(b,--db).")
+    Term.(const run $ socket $ domains $ db_arg)
+
+let loadgen_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Aim at a running server ($(b,hart_cli serve)) on this socket. \
+             Default: an in-process loopback store, freshly preloaded.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"Scale the per-connection request count (default 20k).")
+  in
+  let conns =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "conns" ] ~docv:"N,N,..."
+          ~doc:"Connection counts to sweep (default 1,2,4).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as JSON (BENCH_server.json format).")
+  in
+  let run socket scale conns json =
+    ok_or_die
+      (if scale <= 0. then Error "scale must be positive"
+       else begin
+         let conn_counts =
+           Option.map
+             (fun s ->
+               List.map
+                 (fun w ->
+                   match int_of_string_opt w with
+                   | Some n when n > 0 -> n
+                   | Some _ | None ->
+                       failwith
+                         (Printf.sprintf "bad --conns element %S" w))
+                 (String.split_on_char ',' s))
+             conns
+         in
+         let target =
+           match socket with
+           | None -> Hart_harness.Exp_server.Loopback
+           | Some p -> Hart_harness.Exp_server.Socket p
+         in
+         match
+           Hart_harness.Exp_server.run ?json_path:json ?conn_counts ~target
+             ~scale ()
+         with
+         | (_ : Hart_harness.Exp_server.run_result list) -> Ok ()
+         | exception Failure msg -> Error msg
+       end)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop load generator for the KV service: fixed request \
+          schedule at 70% of a per-run calibrated rate, latency measured \
+          from scheduled send to reply (queueing delay included), reported \
+          as throughput plus p50/p99/p999 per connection count.")
+    Term.(const run $ socket $ scale $ conns $ json)
+
+(* ------------------------------------------------------------------ *)
 (* fsck / scrub                                                        *)
 
 let finding_json (f : Hart_error.finding) =
@@ -902,24 +1020,45 @@ let fault_cmd =
       $ media_json)
 
 let () =
+  let commands =
+    [
+      set_cmd;
+      get_cmd;
+      del_cmd;
+      range_cmd;
+      list_cmd;
+      stats_cmd;
+      bench_cmd;
+      parallel_cmd;
+      ycsb_cmd;
+      recovery_cmd;
+      art_nodes_cmd;
+      fault_cmd;
+      fsck_cmd;
+      scrub_cmd;
+      serve_cmd;
+      loadgen_cmd;
+    ]
+  in
+  let names = List.map Cmd.name commands in
+  let listing = String.concat ", " names in
+  (* An unknown subcommand should name every available one, not just
+     suggest near-misses; cmdliner resolves unambiguous prefixes, so
+     only reject words that prefix no command at all. *)
+  (if Array.length Sys.argv > 1 then
+     let w = Sys.argv.(1) in
+     if
+       String.length w > 0
+       && w.[0] <> '-'
+       && not (List.exists (fun n -> String.starts_with ~prefix:w n) names)
+     then begin
+       Printf.eprintf "hart_cli: unknown command %S\navailable commands: %s\n"
+         w listing;
+       exit 124
+     end);
   let doc = "persistent key-value store over HART (simulated PM)" in
   let info = Cmd.info "hart_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            set_cmd;
-            get_cmd;
-            del_cmd;
-            range_cmd;
-            list_cmd;
-            stats_cmd;
-            bench_cmd;
-            parallel_cmd;
-            ycsb_cmd;
-            recovery_cmd;
-            art_nodes_cmd;
-            fault_cmd;
-            fsck_cmd;
-            scrub_cmd;
-          ]))
+  (* bare `hart_cli` shows the full help (which enumerates COMMANDS)
+     instead of a bare usage error *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit (Cmd.eval' (Cmd.group info ~default commands))

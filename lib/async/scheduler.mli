@@ -1,0 +1,108 @@
+(** Effect-handler fiber runtime: one fiber vocabulary, two executors.
+
+    Extracted from the deterministic concurrent crash explorer
+    (lib/fault), which remains its most demanding client: {!Sim}
+    reproduces the explorer's scheduling decisions bit-for-bit, so a
+    (seed, fiber set) pair replays the identical interleaving. {!Wall}
+    runs the very same fiber code across real [Domain.spawn] workers
+    with a select-based reactor — the production event loop under the
+    KV server (lib/server).
+
+    A fiber is any [unit -> unit] closure that cooperates through two
+    effects only:
+
+    - {!yield} — reschedule; the executor may run any other fiber;
+    - {!park} — block until the wake callback handed to [register] is
+      invoked (from any fiber, or any domain under {!Wall}).
+
+    The park/wake contract: the wake is armed {e before} [register]
+    runs, so calling it at any point — even synchronously inside
+    [register], when the awaited condition already holds — resumes the
+    fiber exactly once. Duplicate and stale wakes are no-ops. *)
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
+
+val yield : unit -> unit
+(** Performs {!Yield}. Must run under an executor. *)
+
+val park : ((unit -> unit) -> unit) -> unit
+(** [park register] performs {!Park}: suspends the calling fiber and
+    hands [register] a once-only wake that makes it runnable again. *)
+
+val install_sched_hook : unit -> unit
+(** Route every instrumented production yield point
+    ([Hart_util.Sched_hook]: [Pmem.persist], [Rwlock], allocator and
+    log mutexes) through {!yield}, turning them into fiber switch
+    points of the running executor. *)
+
+val uninstall_sched_hook : unit -> unit
+
+(** Deterministic single-thread executor. The caller owns the RNG (and
+    may [Rng.copy] it for replayable snapshots); fibers are stepped one
+    at a time, the RNG drawing uniformly over the runnable set in
+    ascending fiber order. *)
+module Sim : sig
+  type t
+
+  val create : ?swallow:(exn -> bool) -> rng:Hart_util.Rng.t -> unit -> t
+  (** [swallow e] decides whether a fiber dying with exception [e] is
+      absorbed (fiber marked finished, scheduling continues) or
+      re-raised out of {!run} — the explorer swallows only its injected
+      crash. Default: swallow nothing. *)
+
+  val spawn : t -> (unit -> unit) -> int
+  (** Add a fiber; returns its index (dense, in spawn order). Fibers
+      may spawn further fibers while running. *)
+
+  val current : t -> int
+  (** Index of the fiber currently (or last) stepped; [-1] before the
+      first step. Hooks that fire synchronously inside a fiber use this
+      for attribution. *)
+
+  val state : t -> int -> [ `Not_started | `Runnable | `Blocked | `Finished ]
+  (** [`Runnable] is parked at a {!Yield}; [`Blocked] is parked at a
+      {!Park} awaiting its wake. *)
+
+  val live : t -> int
+  (** Fibers not yet [`Finished]. *)
+
+  val runnable : t -> int list
+  (** Indices eligible for {!step}, ascending. *)
+
+  val step : t -> int -> unit
+  (** Run one fiber to its next park / return / raise. *)
+
+  val run : ?stop:(unit -> bool) -> ?on_step:(unit -> unit) -> t -> unit
+  (** The explorer's scheduling loop, verbatim: while [stop ()] is
+      false, call [on_step ()], then step an RNG-chosen runnable fiber;
+      return when [stop] fires or no fiber is runnable. A non-swallowed
+      fiber exception propagates out of [run] with the dying fiber
+      marked finished. *)
+end
+
+(** Wall-clock executor: fibers multiplexed across [Domain.spawn]
+    workers from a shared run queue. Wakes may be invoked from any
+    domain; fd readiness is served by a select-based reactor that one
+    worker at a time operates. *)
+module Wall : sig
+  type t
+
+  val create : unit -> t
+
+  val spawn : t -> (unit -> unit) -> unit
+  (** Enqueue a fiber; callable before {!run} and from inside running
+      fibers (e.g. an accept loop spawning per-connection fibers). *)
+
+  val run : ?domains:int -> t -> unit
+  (** Run until every spawned fiber has finished, with [domains]
+      workers (default: the host's recommended domain count, capped at
+      8). The first uncaught fiber exception aborts the loop and is
+      re-raised here. *)
+
+  val wait_readable : t -> Unix.file_descr -> unit
+  (** Park the calling fiber until [fd] looks readable. May wake
+      spuriously; callers retry their (nonblocking) I/O and re-park. *)
+
+  val wait_writable : t -> Unix.file_descr -> unit
+end

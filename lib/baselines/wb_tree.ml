@@ -703,7 +703,28 @@ module S : Hart_core.Index_intf.S with type t = t = struct
   let dram_bytes = dram_bytes
   let pm_bytes = pm_bytes
   let check_integrity ~recovered:_ t = check_integrity t
-  let stripe_of_key _ _ = 0
+
+  let in_range key = String.length key >= 1 && String.length key <= 24
+
+  let stripe_of_key t key =
+    (* hash the leaf's PM address, not the leaf record: records carry
+       the l_next chain and DRAM mirrors, which [Hashtbl.hash] would
+       wander into *)
+    Hashtbl.hash (find_leaf t t.root key).l_addr
+
   let volatile_domain_safe = false
-  let restructures _ ~op:_ ~key:_ = true
+
+  let restructures t ~op ~key =
+    match op with
+    | `Delete ->
+        (* always leaf-local: DRAM blits plus one bitmap flip; leaves
+           never merge *)
+        false
+    | `Insert | `Update ->
+        (* the bitmap-popcount invariant keeps a free physical slot
+           exactly while l_n < node_cap, so a non-full leaf absorbs the
+           out-of-place write locally; a full leaf splits, rewiring the
+           leaf chain and the DRAM inners. Out-of-range keys are
+           rejected by check_limits before touching anything. *)
+        in_range key && (find_leaf t t.root key).l_n >= node_cap
 end

@@ -1,0 +1,7 @@
+(* Concurrent wB+-tree: Striped_mt over the leaf a key routes to.
+   Deletes and non-splitting inserts/updates are leaf-local (bitmap
+   commit point, out-of-place slot writes), so they run in parallel
+   under the shared structure lock; a full leaf splits, rewiring the
+   leaf chain and the DRAM inners, and takes it exclusively. *)
+
+include Hart_core.Striped_mt.Make (Wb_tree.S)

@@ -1,0 +1,12 @@
+(** Concurrent front end to {!Wb_tree}: [Striped_mt.Make (Wb_tree.S)].
+
+    The commuting shard is the leaf a key routes to. Deletes are always
+    leaf-local (the bitmap flip is the commit point, leaves never
+    merge), and an insert or update into a leaf with [l_n < node_cap]
+    has a free physical slot for its out-of-place write — both ride the
+    shared/stripe path. A full leaf splits, rewiring the leaf chain and
+    the rebuildable DRAM inners, and holds the structure lock
+    exclusively. Crash-checked by the concurrent explorer via
+    [hart_cli fault --domains N --index wb-tree]. *)
+
+include Hart_core.Index_intf.MT with type index = Wb_tree.t

@@ -40,6 +40,7 @@ module M = Striped_mt.Make (S)
 type t = M.t
 
 let create ?kh pool = M.of_index (Hart.create ?kh pool)
+let of_hart = M.of_index
 let recover = M.recover
 
 let recover_parallel ?domains pool =
@@ -51,4 +52,5 @@ let search = M.search
 let update = M.update
 let delete = M.delete
 let rmw = M.rmw
+let apply_batch = M.apply_batch
 let count = M.count

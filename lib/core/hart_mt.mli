@@ -32,6 +32,10 @@ type t = M.t
 val create : ?kh:int -> Hart_pmem.Pmem.t -> t
 val recover : Hart_pmem.Pmem.t -> t
 
+val of_hart : Hart.t -> t
+(** Wrap an already-built (or already-recovered) HART in the striped
+    front end — the KV server's path from a loaded store file. *)
+
 val recover_parallel : ?domains:int -> Hart_pmem.Pmem.t -> t
 (** {!Hart.recover_parallel} wrapped for concurrent use: the rebuild
     itself fans out across domains, then the result is handed to the
@@ -46,6 +50,11 @@ val rmw : t -> key:string -> (string option -> string) -> unit
 (** Atomic read-modify-write: runs the function on the key's current
     value and stores the result, all under the key's ART write lock, so
     concurrent [rmw]s on the same key never lose updates. *)
+
+val apply_batch : t -> Index_intf.batch_op list -> bool array
+(** Pipelined writes grouped by ART: one write-lock acquisition per
+    touched stripe, per-op results in submission order (see
+    {!Index_intf.MT.apply_batch}). *)
 
 val count : t -> int
 (** Live keys (atomic counter read; no locking). *)

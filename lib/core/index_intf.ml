@@ -22,6 +22,10 @@
     any restructuring operation), so this contract is the only thing an
     index must get right to inherit crash-checked parallelism. *)
 
+(** One write of a pipelined batch (see {!MT.apply_batch}): an upsert
+    or a delete, identified by key. *)
+type batch_op = Bset of string * string | Bdel of string
+
 type ops = {
   name : string;
   insert : key:string -> value:string -> unit;
@@ -120,6 +124,21 @@ module type MT = sig
   val rmw : t -> key:string -> (string option -> string) -> unit
   (** Atomic read-modify-write under the key's write admission, so
       concurrent [rmw]s on the same key never lose updates. *)
+
+  val apply_batch : t -> batch_op list -> bool array
+  (** Apply a batch of writes, returning per-op results in submission
+      order ([Bset] → [true]; [Bdel] → whether the key was present).
+      When the index is [volatile_domain_safe] the ops are grouped by
+      stripe and each group runs under {e one} write-lock acquisition —
+      the pipelined server's amortisation of lock traffic. Same-key ops
+      share a stripe, so per-key order is submission order; ops on
+      distinct stripes commute by the sharding contract, so the
+      stripe-major application order is unobservable. Each op still
+      commits individually ([Mt_hook] fires once per op, and an op's
+      persists all land before the next op in its group starts), so a
+      crash mid-batch leaves a clean per-op frontier, not a torn batch.
+      Indexes needing the shared structure lock fall back to per-op
+      {!insert}/{!delete}. *)
 
   val count : t -> int
   (** No locking; exact only when quiesced. *)

@@ -110,6 +110,59 @@ module Make (I : Index_intf.S) : Index_intf.MT with type index = I.t = struct
         let value = f (I.search idx key) in
         I.insert idx ~key ~value)
 
+  let apply_one idx = function
+    | Index_intf.Bset (key, value) ->
+        I.insert idx ~key ~value;
+        true
+    | Index_intf.Bdel key -> I.delete idx key
+
+  (* Pipelined writes, one lock acquisition per touched stripe. Only
+     the domain-safe path batches: [stripe_of_key] is a pure function
+     of the key there, so grouping needs no lock, and groups hold no
+     two locks at once — no ordering cycle with concurrent batches.
+     Groups run in first-appearance order of their stripe (determinism
+     under the simulated executor); within a group, submission order. *)
+  let apply_batch t ops =
+    let ops = Array.of_list ops in
+    let res = Array.make (Array.length ops) false in
+    if I.volatile_domain_safe then begin
+      let groups = Hashtbl.create 8 in
+      let order = ref [] in
+      Array.iteri
+        (fun i op ->
+          let key =
+            match op with Index_intf.Bset (k, _) | Index_intf.Bdel k -> k
+          in
+          let s = I.stripe_of_key t.idx key land (n_stripes - 1) in
+          match Hashtbl.find_opt groups s with
+          | Some is -> is := i :: !is
+          | None ->
+              Hashtbl.add groups s (ref [ i ]);
+              order := s :: !order)
+        ops;
+      List.iter
+        (fun s ->
+          let is = List.rev !(Hashtbl.find groups s) in
+          Rwlock.with_write t.stripes.(s) (fun () ->
+              List.iter
+                (fun i ->
+                  res.(i) <- apply_one t.idx ops.(i);
+                  Mt_hook.fire ())
+                is))
+        (List.rev !order)
+    end
+    else
+      Array.iteri
+        (fun i op ->
+          res.(i) <-
+            (match op with
+            | Index_intf.Bset (key, value) ->
+                insert t ~key ~value;
+                true
+            | Index_intf.Bdel key -> delete t key))
+        ops;
+    res
+
   let count t = I.count t.idx
   let iter t f = I.iter t.idx f
   let check_integrity ~recovered t = I.check_integrity ~recovered t.idx

@@ -5,17 +5,18 @@
    single-domain, and check the durable image against a
    linearization-set oracle.
 
-   Concurrency is simulated with effect-handler fibers on ONE OS thread:
-   each "domain" is a fiber performing [Yield] at every cooperative
-   switch point ([Pmem.persist] entry, lock acquire/release — see
-   Sched_hook and Rwlock — plus an explicit op-boundary yield that makes
-   quiescent checkpoints possible), and a seeded RNG picks which
-   runnable fiber proceeds. Same (seed, schedule) pair → bit-identical
-   execution, so a violating schedule replays exactly. Real
-   [Domain.spawn] parallelism cannot be truncated at a precise flush
-   boundary or replayed; the fibers reuse the very same
-   yield-instrumented production code paths (the instrumentation is
-   inert when no scheduler is installed).
+   Concurrency is simulated with effect-handler fibers on ONE OS
+   thread, scheduled by the deterministic executor of the shared fiber
+   runtime ([Hart_async.Scheduler.Sim], extracted from this module):
+   each "domain" is a fiber yielding at every cooperative switch point
+   ([Pmem.persist] entry, lock acquire/release — see Sched_hook and
+   Rwlock — plus an explicit op-boundary yield that makes quiescent
+   checkpoints possible), and a seeded RNG picks which runnable fiber
+   proceeds. Same (seed, schedule) pair → bit-identical execution, so a
+   violating schedule replays exactly. Real [Domain.spawn] parallelism
+   cannot be truncated at a precise flush boundary or replayed; the
+   fibers reuse the very same yield-instrumented production code paths
+   (the instrumentation is inert when no scheduler is installed).
 
    The oracle. [Striped_mt] fires [Mt_hook] exactly once per completed
    mutating operation, immediately before releasing the operation's
@@ -53,9 +54,8 @@ module Index_intf = Hart_core.Index_intf
 module Hart_mt = Hart_core.Hart_mt
 module Mt_hook = Hart_core.Mt_hook
 module Rwlock = Hart_core.Rwlock
+module Scheduler = Hart_async.Scheduler
 module SMap = Map.Make (String)
-
-type _ Effect.t += Yield : unit Effect.t
 
 let fresh_pool () =
   Pmem.create ~capacity:(1 lsl 18) (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
@@ -115,7 +115,8 @@ let hart_mt = of_mt (module Hart_mt.M)
 let fptree_mt = of_mt (module Hart_baselines.Fptree_mt)
 let woart_mt = of_mt (module Hart_baselines.Woart_mt)
 let wort_mt = of_mt (module Hart_baselines.Wort_mt)
-let all_mt_targets = [ hart_mt; fptree_mt; woart_mt; wort_mt ]
+let wb_tree_mt = of_mt (module Hart_baselines.Wb_tree_mt)
+let all_mt_targets = [ hart_mt; fptree_mt; woart_mt; wort_mt; wb_tree_mt ]
 let find_mt_target name = List.find_opt (fun t -> t.mt_name = name) all_mt_targets
 
 (* ------------------------------------------------------------------ *)
@@ -136,11 +137,6 @@ type probe = {
       (* clone of the crashed durable image, taken before recovery —
          present only when requested; feeds the nested recovery sweep *)
 }
-
-type fstate =
-  | Not_started of (unit -> unit)
-  | Parked of (unit, unit) Effect.Deep.continuation
-  | Finished
 
 (* A quiescent snapshot of one deterministic execution: every fiber is
    at an op boundary (no locks held, no op partially applied), so the
@@ -190,13 +186,20 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
   let rng =
     match resume with None -> Rng.create seed | Some sn -> Rng.copy sn.sn_rng
   in
+  (* the shared runtime's deterministic executor, drawing from [rng];
+     only the injected crash is an expected fiber death *)
+  let sim =
+    Scheduler.Sim.create
+      ~swallow:(function Pmem.Crash_injected -> true | _ -> false)
+      ~rng ()
+  in
+  let current () = Scheduler.Sim.current sim in
   let committed = ref committed0 in
   let cur_op = Array.make n None in
   let acquired = Array.make n None in
   let fired = Array.make n false in
   let at_boundary = Array.make n false in
   let holders : (Rwlock.t * int) list ref = ref [] in
-  let current = ref (-1) in
   (* Attribution is by the currently scheduled fiber, not by lock
      identity: on one OS thread exactly one fiber runs between yields,
      and the hooks fire synchronously inside it. Events fired while
@@ -216,28 +219,28 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
                           (fibers %d and %d)"
                          target.mt_name
                          (snd (List.find (fun (l', _) -> l' == l) !holders))
-                         !current));
-               holders := (l, !current) :: !holders;
-               acquired.(!current) <- cur_op.(!current)
+                         (current ())));
+               holders := (l, current ()) :: !holders;
+               acquired.(current ()) <- cur_op.(current ())
              end
          | Rwlock.Write_released ->
              (* not a commit signal: the optimistic path releases and
                 retries exclusively; Mt_hook carries the commits *)
              if not (Pmem.crash_fired pool) then begin
                holders := List.filter (fun (l', _) -> not (l' == l)) !holders;
-               acquired.(!current) <- None
+               acquired.(current ()) <- None
              end
          | Rwlock.Read_acquired | Rwlock.Read_released -> ()));
   Mt_hook.install (fun () ->
       if not (Pmem.crash_fired pool) then
-        match cur_op.(!current) with
+        match cur_op.(current ()) with
         | Some op ->
             committed := Fault.apply_model !committed op;
-            fired.(!current) <- true
+            fired.(current ()) <- true
         | None -> ());
-  Sched_hook.install (fun () -> Effect.perform Yield);
+  Scheduler.install_sched_hook ();
   let finish () =
-    Sched_hook.uninstall ();
+    Scheduler.uninstall_sched_hook ();
     Mt_hook.uninstall ();
     Rwlock.set_event_hook None
   in
@@ -246,65 +249,41 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
     (match crash_at with
     | Some i -> Pmem.arm_crash ~mode pool ~after_flushes:(i - f_base)
     | None -> ());
-    let state = Array.make n Finished in
-    (* Every fiber starts Not_started, even with no ops left (resume of
-       a fiber that had completed): in the original run such a fiber is
-       parked at its final boundary yield and still consumes exactly one
+    (* Every fiber is spawned, even with no ops left (resume of a fiber
+       that had completed): in the original run such a fiber is parked
+       at its final boundary yield and still consumes exactly one
        scheduling decision before finishing — the empty loop below does
        the same, keeping the RNG stream aligned between the original
        and resumed executions. *)
     Array.iteri
       (fun i ops ->
-        state.(i) <-
-          Not_started
-            (fun () ->
+        let fiber =
+          Scheduler.Sim.spawn sim (fun () ->
               while next_op.(i) < Array.length ops do
-                  let op = ops.(next_op.(i)) in
-                  fired.(i) <- false;
-                  cur_op.(i) <- Some op;
-                  inst.mi_apply op;
-                  cur_op.(i) <- None;
-                  next_op.(i) <- next_op.(i) + 1;
-                  (* op-boundary yield: the only point where a fiber is
-                     parked with no op in progress and no lock held —
-                     checkpoints are captured when every fiber is here
-                     (or not started / finished) *)
-                  at_boundary.(i) <- true;
-                  Sched_hook.yield ();
-                  at_boundary.(i) <- false
-                done))
+                let op = ops.(next_op.(i)) in
+                fired.(i) <- false;
+                cur_op.(i) <- Some op;
+                inst.mi_apply op;
+                cur_op.(i) <- None;
+                next_op.(i) <- next_op.(i) + 1;
+                (* op-boundary yield: the only point where a fiber is
+                   parked with no op in progress and no lock held —
+                   checkpoints are captured when every fiber is here
+                   (or not started / finished) *)
+                at_boundary.(i) <- true;
+                Sched_hook.yield ();
+                at_boundary.(i) <- false
+              done)
+        in
+        assert (fiber = i))
       scr;
-    let run i f =
-      Effect.Deep.match_with f ()
-        {
-          retc = (fun () -> state.(i) <- Finished);
-          exnc =
-            (fun e ->
-              state.(i) <- Finished;
-              match e with Pmem.Crash_injected -> () | e -> raise e);
-          effc =
-            (fun (type a) (eff : a Effect.t) ->
-              match eff with
-              | Yield ->
-                  Some
-                    (fun (k : (a, unit) Effect.Deep.continuation) ->
-                      state.(i) <- Parked k)
-              | _ -> None);
-        }
-    in
-    let runnable () =
-      let r = ref [] in
-      for i = n - 1 downto 0 do
-        match state.(i) with Finished -> () | _ -> r := i :: !r
-      done;
-      !r
-    in
     let quiescent () =
       let ok = ref true in
       for i = 0 to n - 1 do
-        match state.(i) with
-        | Finished | Not_started _ -> ()
-        | Parked _ -> if not at_boundary.(i) then ok := false
+        match Scheduler.Sim.state sim i with
+        | `Finished | `Not_started -> ()
+        | `Runnable -> if not at_boundary.(i) then ok := false
+        | `Blocked -> ok := false (* explorer fibers never park *)
       done;
       !ok
     in
@@ -313,7 +292,10 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
       match (checkpoint_every, crash_at) with
       | Some k, None when k > 0 ->
           let fl = Pmem.flush_count pool - f0 in
-          if fl - !last_cp >= k && quiescent () && runnable () <> [] then begin
+          if
+            fl - !last_cp >= k && quiescent ()
+            && Scheduler.Sim.runnable sim <> []
+          then begin
             last_cp := fl;
             on_checkpoint
               {
@@ -330,26 +312,9 @@ let exec ~target ~seed ~mode ~crash_at ?resume ?checkpoint_every
        volatile progress is lost power, exactly like interrupted
        domains. (A fiber parked mid-unwind — possible only if an unwind
        finalizer spins on a lock — is abandoned the same way.) *)
-    let rec loop () =
-      if not (Pmem.crash_fired pool) then begin
-        maybe_checkpoint ();
-        match runnable () with
-        | [] -> ()
-        | rs ->
-            let j = List.nth rs (Rng.int rng (List.length rs)) in
-            current := j;
-            (match state.(j) with
-            | Not_started f -> run j f
-            | Parked k ->
-                (* the deep handler installed at [run] travels with the
-                   continuation: its effc/retc/exnc update [state.(j)]
-                   again on the next park / return / crash *)
-                Effect.Deep.continue k ()
-            | Finished -> assert false);
-            loop ()
-      end
-    in
-    loop ();
+    Scheduler.Sim.run sim
+      ~stop:(fun () -> Pmem.crash_fired pool)
+      ~on_step:maybe_checkpoint;
     let crashed = Pmem.crash_fired pool in
     let flushes = f_base + (Pmem.flush_count pool - f0) in
     Pmem.disarm_crash pool;

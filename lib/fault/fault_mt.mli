@@ -63,6 +63,11 @@ val wort_mt : mt_target
     updates (and upserts onto existing keys) commute, structural
     inserts and deletes serialize. *)
 
+val wb_tree_mt : mt_target
+(** [Wb_tree_mt] — leaf stripes over the wB+-tree; deletes and
+    non-splitting inserts/updates are leaf-local and commute, a full
+    leaf splits exclusively. *)
+
 val all_mt_targets : mt_target list
 
 val find_mt_target : string -> mt_target option

@@ -1,0 +1,320 @@
+(* Open-loop load against the pipelined KV service (lib/server) on the
+   wall-clock executor, sweeping client connection counts.
+
+   Open loop means the request schedule does not wait for the server:
+   each connection's requests have fixed send times (one every
+   [gap] ns from the connection's start), and a request's latency is
+   measured from its *scheduled* send time to its reply — queueing
+   delay from a server that falls behind counts against it, which is
+   what makes the p99/p999 tail honest (a closed-loop client would
+   politely slow down instead and hide the backlog; see the
+   coordinated-omission argument the loadgen literature makes).
+
+   The offered rate is derived per run, not hard-coded: a calibration
+   pass first blasts the same workload with every request due at t=0
+   (a fully pipelined closed loop), and the measured pass then offers
+   [utilization] (default 0.7) of the calibrated throughput. CI hosts
+   of very different speeds therefore all measure a server at a
+   comparable operating point below saturation.
+
+   Two fibers per connection — a sender pacing the schedule and a
+   receiver timing reply frames (replies are in request order per
+   connection, so frame counting suffices) — plus the per-connection
+   server fiber spawned behind the loopback, all multiplexed by
+   [Scheduler.Wall] across real domains. The same driver also aims at
+   a live Unix-socket server ([hart_cli serve]) for cross-process
+   runs; the store is then preloaded through the wire. *)
+
+module Latency = Hart_pmem.Latency
+module Pmem = Hart_pmem.Pmem
+module Meter = Hart_pmem.Meter
+module Hart_mt = Hart_core.Hart_mt
+module Rng = Hart_util.Rng
+module Scheduler = Hart_async.Scheduler
+module Server = Hart_server.Server
+module Transport = Hart_server.Transport
+module Resp = Hart_server.Resp
+module Json = Report.Json
+
+let default_ops_per_conn = 20_000
+let default_preload = 4_096
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let key i = Printf.sprintf "k%06d" i
+let enc words =
+  let b = Buffer.create 64 in
+  Resp.request b words;
+  Buffer.contents b
+
+(* 70% GET / 30% SET over the preloaded key space; a pure function of
+   (connection, pass), so calibration and measurement drive identical
+   request mixes *)
+let make_reqs ~preload ~pass ~conn ~ops =
+  let rng = Rng.create (Int64.of_int ((pass * 7919) + (conn * 104729) + 17)) in
+  Array.init ops (fun i ->
+      let k = key (Rng.int rng preload) in
+      if Rng.int rng 10 < 3 then enc [ "SET"; k; Printf.sprintf "v%07d" i ]
+      else enc [ "GET"; k ])
+
+let quit_req = lazy (enc [ "QUIT" ])
+
+type drive_result = {
+  d_achieved : float;  (* replies/s over the pass *)
+  d_lats_ns : float array;  (* per-request scheduled-send→reply *)
+}
+
+(* One pass: [conns] connections, [ops] requests each, sent open-loop
+   with [gap_ns] between scheduled sends (0 = all due at start). *)
+let drive ~connect ~conns ~ops ~gap_ns ~reqs =
+  let wall = Scheduler.Wall.create () in
+  let lats = Array.make_matrix conns ops 0. in
+  let completed = Array.make conns 0 in
+  let t_first = ref infinity and t_last = ref 0. in
+  let t_mu = Mutex.create () in
+  for j = 0 to conns - 1 do
+    let conn : Transport.conn = connect ~wall j in
+    (* written by the sender, read by the receiver: those fibers can
+       land on different domains, so the start time goes through an
+       Atomic (every reply follows a send, so the set is visible) *)
+    let t0 = Atomic.make 0. in
+    Scheduler.Wall.spawn wall (fun () ->
+        Atomic.set t0 (now_ns ());
+        Mutex.protect t_mu (fun () ->
+            t_first := Float.min !t_first (Atomic.get t0));
+        let i = ref 0 in
+        let b = Buffer.create 4096 in
+        while !i < ops do
+          let due = Atomic.get t0 +. (float_of_int !i *. gap_ns) in
+          if now_ns () < due then Scheduler.yield ()
+          else begin
+            (* everything already due leaves in one transport write *)
+            Buffer.clear b;
+            while
+              !i < ops
+              && Atomic.get t0 +. (float_of_int !i *. gap_ns) <= now_ns ()
+            do
+              Buffer.add_string b (reqs j).(!i);
+              incr i
+            done;
+            conn.write (Buffer.contents b)
+          end
+        done;
+        conn.write (Lazy.force quit_req));
+    Scheduler.Wall.spawn wall (fun () ->
+        let expect = ops + 1 (* the QUIT ack *) in
+        let got = ref 0 and eof = ref false in
+        let chunk = Bytes.create 8192 in
+        let acc = ref "" in
+        while (not !eof) && !got < expect do
+          let n = conn.read chunk 0 (Bytes.length chunk) in
+          if n = 0 then eof := true (* server gone: abandon the pass *)
+          else begin
+            acc := !acc ^ Bytes.sub_string chunk 0 n;
+            let pos = ref 0 and more = ref true in
+            while !more && !got < expect do
+              match Resp.reply_skip !acc !pos with
+              | None -> more := false
+              | Some p ->
+                  pos := p;
+                  if !got < ops then
+                    lats.(j).(!got) <-
+                      now_ns ()
+                      -. (Atomic.get t0 +. (float_of_int !got *. gap_ns));
+                  incr got
+            done;
+            acc := String.sub !acc !pos (String.length !acc - !pos)
+          end
+        done;
+        completed.(j) <- min !got ops;
+        Mutex.protect t_mu (fun () -> t_last := Float.max !t_last (now_ns ()));
+        conn.close ())
+  done;
+  Scheduler.Wall.run wall;
+  let elapsed_ns = !t_last -. !t_first in
+  let n_done = Array.fold_left ( + ) 0 completed in
+  {
+    d_achieved =
+      (if elapsed_ns > 0. then float_of_int n_done /. (elapsed_ns /. 1e9)
+       else 0.);
+    d_lats_ns =
+      Array.concat
+        (List.mapi (fun j l -> Array.sub l 0 completed.(j))
+           (Array.to_list lats));
+  }
+
+type run_result = {
+  r_conns : int;
+  r_ops : int;
+  r_calibrated : float;
+  r_offered : float;
+  r_achieved : float;
+  r_p50_us : float;
+  r_p99_us : float;
+  r_p999_us : float;
+  r_commands : int;
+  r_batches : int;
+}
+
+type target = Loopback | Socket of string
+
+(* Pre-size so [Pmem.grow] cannot fire under concurrent domains. *)
+let fresh_store ~preload ~stats =
+  let cap =
+    let need = (preload * 512) + (1 lsl 21) in
+    let rec pow2 c = if c >= need then c else pow2 (c * 2) in
+    pow2 (1 lsl 20)
+  in
+  let pool =
+    Pmem.create ~capacity:cap ~max_capacity:(2 * cap)
+      (Meter.create Latency.c300_100)
+  in
+  let t = Hart_mt.create pool in
+  for i = 0 to preload - 1 do
+    Hart_mt.insert t ~key:(key i) ~value:(Printf.sprintf "p%06d" i)
+  done;
+  let store = Server.store_of_hart t in
+  fun ~wall:w (_ : int) ->
+    Server.connect_loopback ?stats ~spawn:(Scheduler.Wall.spawn w) store
+
+let socket_connect ~path ~wall:w (_ : int) =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Transport.of_fd
+    ~wait_readable:(Scheduler.Wall.wait_readable w)
+    ~wait_writable:(Scheduler.Wall.wait_writable w)
+    fd
+
+(* A live socket server holds the store across passes; preload through
+   the wire with one blasted SET-only connection. *)
+let preload_via_wire ~path ~preload =
+  let reqs _ =
+    Array.init preload (fun i ->
+        enc [ "SET"; key i; Printf.sprintf "p%06d" i ])
+  in
+  ignore
+    (drive
+       ~connect:(socket_connect ~path)
+       ~conns:1 ~ops:preload ~gap_ns:0. ~reqs
+      : drive_result)
+
+let run_one ~target ~preload ~ops ~utilization ~conns =
+  let stats = { Server.commands = 0; batches = 0 } in
+  let connect =
+    match target with
+    | Loopback -> fresh_store ~preload ~stats:(Some stats)
+    | Socket path -> socket_connect ~path
+  in
+  let reqs_for pass =
+    let per = Array.init conns (fun j -> make_reqs ~preload ~pass ~conn:j ~ops) in
+    fun j -> per.(j)
+  in
+  let calib = drive ~connect ~conns ~ops ~gap_ns:0. ~reqs:(reqs_for 0) in
+  let offered = calib.d_achieved *. utilization in
+  let gap_ns = if offered > 0. then 1e9 *. float_of_int conns /. offered else 0. in
+  let m = drive ~connect ~conns ~ops ~gap_ns ~reqs:(reqs_for 1) in
+  let lats = m.d_lats_ns in
+  Array.sort compare lats;
+  {
+    r_conns = conns;
+    r_ops = conns * ops;
+    r_calibrated = calib.d_achieved;
+    r_offered = offered;
+    r_achieved = m.d_achieved;
+    r_p50_us = percentile lats 0.50 /. 1e3;
+    r_p99_us = percentile lats 0.99 /. 1e3;
+    r_p999_us = percentile lats 0.999 /. 1e3;
+    r_commands = stats.Server.commands;
+    r_batches = stats.Server.batches;
+  }
+
+let run ?json_path ?(conn_counts = [ 1; 2; 4 ]) ?(utilization = 0.7)
+    ?(target = Loopback) ~scale () =
+  let ops = max 256 (int_of_float (float_of_int default_ops_per_conn *. scale)) in
+  let preload =
+    max 256 (min default_preload (int_of_float (float_of_int default_preload *. scale *. 4.)))
+  in
+  let host = Domain.recommended_domain_count () in
+  let transport_name =
+    match target with Loopback -> "loopback" | Socket p -> "unix:" ^ p
+  in
+  Printf.printf
+    "\nServer open-loop load (%s): %d ops/connection, %d preloaded keys, \
+     host reports %d usable core(s).\n\
+     Offered rate = %.0f%% of a per-run fully-pipelined calibration pass; \
+     latency is scheduled-send to reply.\n"
+    transport_name ops preload host (utilization *. 100.);
+  flush stdout;
+  (match target with
+  | Socket path -> preload_via_wire ~path ~preload
+  | Loopback -> ());
+  let results =
+    List.map (fun conns -> run_one ~target ~preload ~ops ~utilization ~conns)
+      conn_counts
+  in
+  Report.print_table
+    ~title:"Server throughput and open-loop latency"
+    ~col_names:
+      [ "calib kops/s"; "offered"; "achieved"; "p50 us"; "p99 us"; "p999 us" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           ( Printf.sprintf "%d conn%s" r.r_conns
+               (if r.r_conns = 1 then "" else "s"),
+             [
+               r.r_calibrated /. 1e3;
+               r.r_offered /. 1e3;
+               r.r_achieved /. 1e3;
+               r.r_p50_us;
+               r.r_p99_us;
+               r.r_p999_us;
+             ] ))
+         results);
+  List.iter
+    (fun r ->
+      if r.r_achieved <= 0. then
+        failwith
+          (Printf.sprintf
+             "server loadgen: zero throughput at %d connection(s)" r.r_conns))
+    results;
+  flush stdout;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Json.Obj
+          [
+            ("experiment", Json.Str "server-openloop");
+            ("transport", Json.Str transport_name);
+            ("host_recommended_domains", Json.Int host);
+            ("preload_keys", Json.Int preload);
+            ("ops_per_connection", Json.Int ops);
+            ("utilization", Json.Float utilization);
+            ( "runs",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("connections", Json.Int r.r_conns);
+                         ("ops", Json.Int r.r_ops);
+                         ("calibrated_ops_per_s", Json.Float r.r_calibrated);
+                         ("offered_ops_per_s", Json.Float r.r_offered);
+                         ("achieved_ops_per_s", Json.Float r.r_achieved);
+                         ("p50_us", Json.Float r.r_p50_us);
+                         ("p99_us", Json.Float r.r_p99_us);
+                         ("p999_us", Json.Float r.r_p999_us);
+                         ("server_commands", Json.Int r.r_commands);
+                         ("server_batches", Json.Int r.r_batches);
+                       ])
+                   results) );
+          ]
+      in
+      Json.write path j;
+      Printf.printf "wrote %s\n%!" path);
+  results

@@ -1,0 +1,183 @@
+(* The RESP subset the KV service speaks: requests arrive as RESP
+   arrays of bulk strings (the only form real clients send), with an
+   inline form (`GET k\r\n`) accepted for hand-driven sessions; replies
+   use simple strings, errors, integers, bulk strings and arrays.
+
+   The parser is incremental over a flat string window: the transport
+   accumulates raw bytes and asks for as many complete commands as the
+   window holds — [Incomplete] means "read more", nothing is consumed
+   for a partial frame. Protocol errors consume through the offending
+   line so one malformed request does not wedge the connection. *)
+
+type cmd =
+  | Ping
+  | Get of string
+  | Set of string * string
+  | Del of string
+  | Scan of string * string
+  | Quit
+
+type parsed =
+  | Cmd of cmd * int  (* absolute position after the frame *)
+  | Error of string * int  (* protocol error; skip to this position *)
+  | Incomplete
+
+(* position just past the next CRLF at/after [pos], if complete *)
+let find_eol s pos =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' then Some (i + 2)
+    else go (i + 1)
+  in
+  go pos
+
+let command_of_words words pos =
+  match List.map String.uppercase_ascii words with
+  | [] -> Error ("empty command", pos)
+  | verb :: _ -> (
+      let args = List.tl words in
+      match (verb, args) with
+      | "PING", [] -> Cmd (Ping, pos)
+      | "GET", [ k ] -> Cmd (Get k, pos)
+      | "SET", [ k; v ] -> Cmd (Set (k, v), pos)
+      | "DEL", [ k ] -> Cmd (Del k, pos)
+      | "SCAN", [ lo; hi ] -> Cmd (Scan (lo, hi), pos)
+      | "QUIT", [] -> Cmd (Quit, pos)
+      | ("PING" | "GET" | "SET" | "DEL" | "SCAN" | "QUIT"), _ ->
+          Error (Printf.sprintf "wrong number of arguments for '%s'" verb, pos)
+      | _ -> Error (Printf.sprintf "unknown command '%s'" (List.hd words), pos))
+
+let parse_int s lo hi =
+  if lo >= hi then None
+  else
+    let rec go i acc neg =
+      if i >= hi then Some (if neg then -acc else acc)
+      else
+        match s.[i] with
+        | '0' .. '9' -> go (i + 1) ((acc * 10) + (Char.code s.[i] - 48)) neg
+        | '-' when i = lo -> go (i + 1) acc true
+        | _ -> None
+    in
+    go lo 0 false
+
+(* one bulk string `$len\r\npayload\r\n` at [pos] *)
+type bulk = B_incomplete | B_error of string * int | B_ok of string * int
+
+let parse_bulk s pos =
+  match find_eol s pos with
+  | None -> B_incomplete
+  | Some body ->
+      if s.[pos] <> '$' then B_error ("expected bulk string", body)
+      else (
+        match parse_int s (pos + 1) (body - 2) with
+        | None -> B_error ("bad bulk length", body)
+        | Some len when len < 0 || len > 512 * 1024 * 1024 ->
+            B_error ("bad bulk length", body)
+        | Some len ->
+            if body + len + 2 > String.length s then B_incomplete
+            else if not (s.[body + len] = '\r' && s.[body + len + 1] = '\n')
+            then B_error ("bulk string not CRLF-terminated", body + len + 2)
+            else B_ok (String.sub s body len, body + len + 2))
+
+let parse s pos =
+  if pos >= String.length s then Incomplete
+  else if s.[pos] = '*' then
+    (* RESP array of bulk strings *)
+    match find_eol s pos with
+    | None -> Incomplete
+    | Some p0 -> (
+        match parse_int s (pos + 1) (p0 - 2) with
+        | None -> Error ("bad array header", p0)
+        | Some n when n < 1 || n > 64 -> Error ("bad array length", p0)
+        | Some n ->
+            let rec elems acc p = function
+              | 0 -> command_of_words (List.rev acc) p
+              | k -> (
+                  match parse_bulk s p with
+                  | B_incomplete -> Incomplete
+                  | B_error (msg, p') -> Error (msg, p')
+                  | B_ok (w, p') -> elems (w :: acc) p' (k - 1))
+            in
+            elems [] p0 n)
+  else
+    (* inline command: words separated by spaces, CRLF-terminated *)
+    match find_eol s pos with
+    | None -> Incomplete
+    | Some p ->
+        let line = String.sub s pos (p - pos - 2) in
+        let words =
+          List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+        in
+        if words = [] then Error ("empty command", p)
+        else command_of_words words p
+
+(* ------------------------------------------------------------------ *)
+(* Reply encoding                                                       *)
+
+let ok b = Buffer.add_string b "+OK\r\n"
+let pong b = Buffer.add_string b "+PONG\r\n"
+
+let err b msg =
+  Buffer.add_string b "-ERR ";
+  Buffer.add_string b msg;
+  Buffer.add_string b "\r\n"
+
+let int b n =
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_string b "\r\n"
+
+let bulk b s =
+  Buffer.add_char b '$';
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b s;
+  Buffer.add_string b "\r\n"
+
+let null b = Buffer.add_string b "$-1\r\n"
+
+let array_header b n =
+  Buffer.add_char b '*';
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_string b "\r\n"
+
+(* client-side: encode a request as a RESP array of bulk strings *)
+let request b words =
+  array_header b (List.length words);
+  List.iter (bulk b) words
+
+(* client-side reply framing: position just past the reply starting at
+   [pos], or None while it is still incomplete. Counting frames is all
+   a pipelined client needs — reply r answers request r. *)
+let rec reply_skip s pos =
+  if pos >= String.length s then None
+  else
+    match s.[pos] with
+    | '+' | '-' | ':' -> find_eol s pos
+    | '$' -> (
+        match find_eol s pos with
+        | None -> None
+        | Some body -> (
+            match parse_int s (pos + 1) (body - 2) with
+            | None -> None
+            | Some len when len < 0 -> Some body (* null bulk *)
+            | Some len ->
+                if body + len + 2 <= String.length s then Some (body + len + 2)
+                else None))
+    | '*' -> (
+        match find_eol s pos with
+        | None -> None
+        | Some p0 -> (
+            match parse_int s (pos + 1) (p0 - 2) with
+            | None -> None
+            | Some n ->
+                let rec skip p = function
+                  | 0 -> Some p
+                  | k -> (
+                      match reply_skip s p with
+                      | None -> None
+                      | Some p' -> skip p' (k - 1))
+                in
+                skip p0 (max 0 n)))
+    | _ -> find_eol s pos

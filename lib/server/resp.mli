@@ -1,0 +1,46 @@
+(** RESP-subset wire protocol: GET / SET / DEL / SCAN / PING / QUIT.
+
+    Requests are RESP arrays of bulk strings
+    ([*2\r\n$3\r\nGET\r\n$1\r\nk\r\n]); a space-separated inline form
+    ([GET k\r\n]) is accepted for hand-driven sessions. Replies use the
+    standard simple-string / error / integer / bulk / array encodings
+    (null bulk [$-1\r\n] for a missing key). *)
+
+type cmd =
+  | Ping
+  | Get of string
+  | Set of string * string
+  | Del of string
+  | Scan of string * string  (** inclusive key range [lo, hi] *)
+  | Quit
+
+type parsed =
+  | Cmd of cmd * int
+      (** A complete command and the absolute position just past its
+          frame. *)
+  | Error of string * int
+      (** Malformed frame: the error message and the position to resume
+          parsing at (past the offending line), so one bad request does
+          not wedge the connection. *)
+  | Incomplete  (** The window holds no complete frame: read more. *)
+
+val parse : string -> int -> parsed
+(** [parse s pos] parses one command from [s] starting at [pos].
+    Nothing is consumed for a partial frame. *)
+
+val ok : Buffer.t -> unit
+val pong : Buffer.t -> unit
+val err : Buffer.t -> string -> unit
+val int : Buffer.t -> int -> unit
+val bulk : Buffer.t -> string -> unit
+val null : Buffer.t -> unit
+val array_header : Buffer.t -> int -> unit
+
+val request : Buffer.t -> string list -> unit
+(** Client side: encode one request as a RESP array of bulk strings. *)
+
+val reply_skip : string -> int -> int option
+(** Client side: [reply_skip s pos] frames the reply starting at [pos],
+    returning the position just past it, or [None] while incomplete.
+    A pipelined client only counts frames: reply [r] answers request
+    [r]. *)

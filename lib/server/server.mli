@@ -1,0 +1,50 @@
+(** Pipelined RESP-subset KV service over a striped concurrent index.
+
+    One fiber per connection; consecutive SET/DEL requests of a
+    pipelined burst are applied through
+    [Hart_core.Index_intf.MT.apply_batch] (one write-lock acquisition
+    per touched stripe) and acknowledged only after application, so
+    replies stay in request order and an acknowledged write is durable
+    and visible. SCAN serves a best-effort snapshot from the underlying
+    index (no global admission; individual bindings never tear). *)
+
+type store = {
+  s_get : string -> string option;
+  s_scan : string -> string -> (string * string) list;
+  s_batch : Hart_core.Index_intf.batch_op list -> bool array;
+}
+
+val store_of_hart : Hart_core.Hart_mt.t -> store
+
+type stats = { mutable commands : int; mutable batches : int }
+
+val serve_conn :
+  ?max_batch:int -> ?stats:stats -> store -> Transport.conn -> unit
+(** The per-connection fiber body: parse, batch, apply, reply, until
+    EOF or QUIT; closes the connection on the way out. Runs under
+    either executor; internal failures close the connection instead of
+    escaping into the executor. [max_batch] (default 256) caps how many
+    writes defer before a forced flush. *)
+
+val connect_loopback :
+  ?max_batch:int ->
+  ?stats:stats ->
+  spawn:((unit -> unit) -> unit) ->
+  store ->
+  Transport.conn
+(** In-process client connection: spawns a server fiber on the other
+    end of a loopback pair (pass [Scheduler.Sim.spawn sim] adapted or
+    [Scheduler.Wall.spawn wall]) and returns the client endpoint. *)
+
+val serve_unix :
+  ?max_batch:int ->
+  ?stats:stats ->
+  wall:Hart_async.Scheduler.Wall.t ->
+  path:string ->
+  store ->
+  Unix.file_descr
+(** Bind and listen on a Unix-domain socket, spawn the accept-loop
+    fiber on [wall] (one further fiber per accepted connection), and
+    return the listener. Close the listener to stop accepting; the
+    accept fiber then exits and [Wall.run] drains once live
+    connections finish. *)

@@ -1,0 +1,31 @@
+(** Byte-stream transports for the KV service.
+
+    A connection is a triple of closures, so the per-connection server
+    loop works unchanged over the in-process loopback (deterministic
+    tests under [Scheduler.Sim], in-process load generation under
+    [Scheduler.Wall]) and over real nonblocking sockets. *)
+
+type conn = {
+  read : bytes -> int -> int -> int;
+      (** [read b off len] parks the calling fiber until bytes are
+          available, then returns how many were copied (≥ 1), or [0] at
+          end of stream. *)
+  write : string -> unit;  (** Write the whole string (parks as needed). *)
+  close : unit -> unit;
+}
+
+val pair : unit -> conn * conn
+(** An in-process loopback: two endpoints of a full-duplex byte stream.
+    Closing either endpoint ends both directions — the peer reads what
+    was already buffered, then EOF. Single reader per direction. *)
+
+val of_fd :
+  wait_readable:(Unix.file_descr -> unit) ->
+  wait_writable:(Unix.file_descr -> unit) ->
+  Unix.file_descr ->
+  conn
+(** Wrap a socket (switched to nonblocking) into a connection that
+    parks through the given readiness waiters — under
+    [Scheduler.Wall], pass [Wall.wait_readable]/[Wall.wait_writable].
+    A peer reset/abandon reads as EOF; writes after the peer is gone
+    are silently dropped. *)

@@ -1,0 +1,361 @@
+(* The extracted fiber runtime (lib/async): determinism and fairness of
+   the simulated executor, the park/wake no-lost-wakeup contract on
+   both executors, the wall-clock executor across real domains, and the
+   loopback KV service driven deterministically under Sim. *)
+
+module Rng = Hart_util.Rng
+module Scheduler = Hart_async.Scheduler
+module Resp = Hart_server.Resp
+module Transport = Hart_server.Transport
+module Server = Hart_server.Server
+module Pmem = Hart_pmem.Pmem
+module Meter = Hart_pmem.Meter
+module Latency = Hart_pmem.Latency
+
+(* ------------------------------------------------------------------ *)
+(* Sim: determinism                                                    *)
+
+(* Run [fibers] yielding fibers under seed [seed]; the trace records
+   (fiber, step-ordinal) pairs in execution order. *)
+let sim_trace ~seed ~fibers ~yields =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create seed) () in
+  let trace = ref [] in
+  for i = 0 to fibers - 1 do
+    ignore
+      (Scheduler.Sim.spawn sim (fun () ->
+           for s = 0 to yields - 1 do
+             trace := (i, s) :: !trace;
+             Scheduler.yield ()
+           done)
+        : int)
+  done;
+  Scheduler.Sim.run sim;
+  List.rev !trace
+
+let same_seed_same_trace () =
+  let a = sim_trace ~seed:7L ~fibers:5 ~yields:20 in
+  let b = sim_trace ~seed:7L ~fibers:5 ~yields:20 in
+  Alcotest.(check bool) "bit-identical trace" true (a = b);
+  Alcotest.(check int) "complete trace" (5 * 20) (List.length a)
+
+let different_seed_different_trace () =
+  let a = sim_trace ~seed:7L ~fibers:5 ~yields:20 in
+  let c = sim_trace ~seed:8L ~fibers:5 ~yields:20 in
+  (* 100 interleaved steps agreeing across seeds would mean the RNG is
+     not consulted at all *)
+  Alcotest.(check bool) "seed matters" false (a = c)
+
+(* ------------------------------------------------------------------ *)
+(* Sim: fairness — every fiber finishes under random yields            *)
+
+let all_fibers_complete () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 99L) () in
+  let wrng = Rng.create 1234L in
+  let done_ = Array.make 16 false in
+  for i = 0 to 15 do
+    ignore
+      (Scheduler.Sim.spawn sim (fun () ->
+           for _ = 0 to Rng.int wrng 50 do
+             Scheduler.yield ()
+           done;
+           done_.(i) <- true)
+        : int)
+  done;
+  Scheduler.Sim.run sim;
+  Alcotest.(check bool) "all complete" true (Array.for_all Fun.id done_);
+  Alcotest.(check int) "none live" 0 (Scheduler.Sim.live sim)
+
+(* ------------------------------------------------------------------ *)
+(* Sim: park/wake                                                      *)
+
+let park_wake_handoff () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 3L) () in
+  let wake = ref (fun () -> assert false) in
+  let order = ref [] in
+  let consumer =
+    Scheduler.Sim.spawn sim (fun () ->
+        order := `C_parks :: !order;
+        Scheduler.park (fun w -> wake := w);
+        order := `C_woke :: !order)
+  in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         order := `P_wakes :: !order;
+         !wake ();
+         (* duplicate wake must be a no-op *)
+         !wake ())
+      : int)
+  |> ignore;
+  (* step the consumer first so it parks before the producer runs *)
+  Scheduler.Sim.step sim consumer;
+  Alcotest.(check bool) "blocked while parked" true
+    (Scheduler.Sim.state sim consumer = `Blocked);
+  Scheduler.Sim.run sim;
+  Alcotest.(check bool) "consumer resumed exactly once" true
+    (List.rev !order = [ `C_parks; `P_wakes; `C_woke ]
+    || List.rev !order = [ `P_wakes; `C_parks; `C_woke ]);
+  Alcotest.(check int) "none live" 0 (Scheduler.Sim.live sim)
+
+(* the condition already holds: register wakes synchronously, and the
+   fiber must still resume (armed-before-register contract) *)
+let park_immediate_wake () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 4L) () in
+  let resumed = ref false in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         Scheduler.park (fun w -> w ());
+         resumed := true)
+      : int);
+  Scheduler.Sim.run sim;
+  Alcotest.(check bool) "no lost wakeup" true !resumed
+
+(* a stale wake from a previous park must not resume a later park *)
+let stale_wake_ignored () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 5L) () in
+  let stale = ref (fun () -> ()) in
+  let fresh = ref (fun () -> ()) in
+  let stage = ref 0 in
+  let sleeper =
+    Scheduler.Sim.spawn sim (fun () ->
+        Scheduler.park (fun w ->
+            stale := w;
+            w ());
+        stage := 1;
+        Scheduler.park (fun w -> fresh := w);
+        stage := 2)
+  in
+  Scheduler.Sim.step sim sleeper;
+  (* finished first park synchronously, now blocked on the second *)
+  Scheduler.Sim.step sim sleeper;
+  Alcotest.(check int) "at second park" 1 !stage;
+  !stale ();
+  Alcotest.(check bool) "stale wake leaves it blocked" true
+    (Scheduler.Sim.state sim sleeper = `Blocked);
+  !fresh ();
+  Scheduler.Sim.run sim;
+  Alcotest.(check int) "fresh wake resumes" 2 !stage
+
+(* ------------------------------------------------------------------ *)
+(* Wall executor                                                       *)
+
+let wall_runs_fibers () =
+  let wall = Scheduler.Wall.create () in
+  let n = 64 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to n do
+    Scheduler.Wall.spawn wall (fun () ->
+        Scheduler.yield ();
+        Atomic.incr hits;
+        Scheduler.yield ())
+  done;
+  Scheduler.Wall.run ~domains:4 wall;
+  Alcotest.(check int) "all fibers ran" n (Atomic.get hits)
+
+let wall_park_wake_cross_fiber () =
+  let wall = Scheduler.Wall.create () in
+  let wake = Atomic.make None in
+  let got = Atomic.make false in
+  Scheduler.Wall.spawn wall (fun () ->
+      Scheduler.park (fun w -> Atomic.set wake (Some w));
+      Atomic.set got true);
+  Scheduler.Wall.spawn wall (fun () ->
+      let rec wait () =
+        match Atomic.get wake with
+        | Some w -> w ()
+        | None ->
+            Scheduler.yield ();
+            wait ()
+      in
+      wait ());
+  Scheduler.Wall.run ~domains:2 wall;
+  Alcotest.(check bool) "parked fiber woken across fibers" true
+    (Atomic.get got)
+
+let wall_propagates_failure () =
+  let wall = Scheduler.Wall.create () in
+  Scheduler.Wall.spawn wall (fun () ->
+      Scheduler.yield ();
+      failwith "fiber died");
+  Alcotest.check_raises "first failure re-raised" (Failure "fiber died")
+    (fun () -> Scheduler.Wall.run ~domains:2 wall)
+
+(* ------------------------------------------------------------------ *)
+(* RESP parser                                                         *)
+
+let resp_parse () =
+  let check_cmd s want =
+    match Resp.parse s 0 with
+    | Resp.Cmd (c, p) ->
+        Alcotest.(check bool) "cmd" true (c = want);
+        Alcotest.(check int) "consumed all" (String.length s) p
+    | Resp.Error (m, _) -> Alcotest.failf "unexpected error %s on %S" m s
+    | Resp.Incomplete -> Alcotest.failf "unexpected incomplete on %S" s
+  in
+  check_cmd "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n" (Resp.Get "k");
+  check_cmd "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nvv\r\n" (Resp.Set ("k", "vv"));
+  check_cmd "PING\r\n" Resp.Ping;
+  check_cmd "set a b\r\n" (Resp.Set ("a", "b"));
+  (* every strict prefix of a frame is Incomplete and consumes nothing *)
+  let full = "*2\r\n$3\r\nDEL\r\n$2\r\nab\r\n" in
+  for n = 0 to String.length full - 1 do
+    match Resp.parse (String.sub full 0 n) 0 with
+    | Resp.Incomplete -> ()
+    | _ -> Alcotest.failf "prefix of %d bytes not Incomplete" n
+  done;
+  (* protocol errors skip past the offending line *)
+  (match Resp.parse "BOGUS x\r\nPING\r\n" 0 with
+  | Resp.Error (_, p) -> (
+      match Resp.parse "BOGUS x\r\nPING\r\n" p with
+      | Resp.Cmd (Resp.Ping, _) -> ()
+      | _ -> Alcotest.fail "no resync after error")
+  | _ -> Alcotest.fail "unknown command not an error");
+  (* client-side framing of a reply burst *)
+  let burst = "+OK\r\n$-1\r\n:1\r\n*2\r\n$1\r\nk\r\n$1\r\nv\r\n" in
+  let rec count pos acc =
+    match Resp.reply_skip burst pos with
+    | None -> (acc, pos)
+    | Some p -> count p (acc + 1)
+  in
+  let frames, fin = count 0 0 in
+  Alcotest.(check int) "four reply frames" 4 frames;
+  Alcotest.(check int) "burst fully consumed" (String.length burst) fin
+
+(* ------------------------------------------------------------------ *)
+(* Loopback server under Sim: pipelined echo, deterministic            *)
+
+let mk_store () =
+  let pool =
+    Pmem.create ~capacity:(1 lsl 21) ~max_capacity:(1 lsl 22)
+      (Meter.create Latency.c300_100)
+  in
+  Server.store_of_hart (Hart_core.Hart_mt.create pool)
+
+let req words =
+  let b = Buffer.create 64 in
+  Resp.request b words;
+  Buffer.contents b
+
+(* Drive one pipelined burst through the loopback service under Sim and
+   return the raw reply bytes. *)
+let loopback_session ~seed burst expect_frames =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create seed) () in
+  let store = mk_store () in
+  let spawn f = ignore (Scheduler.Sim.spawn sim f : int) in
+  let out = Buffer.create 256 in
+  spawn (fun () ->
+      let c =
+        Server.connect_loopback
+          ~spawn:(fun f -> ignore (Scheduler.Sim.spawn sim f : int))
+          store
+      in
+      c.Transport.write burst;
+      let chunk = Bytes.create 256 in
+      let frames = ref 0 in
+      while !frames < expect_frames do
+        let n = c.Transport.read chunk 0 (Bytes.length chunk) in
+        if n = 0 then Alcotest.fail "server closed early";
+        Buffer.add_subbytes out chunk 0 n;
+        let s = Buffer.contents out in
+        let rec count pos acc =
+          match Resp.reply_skip s pos with
+          | None -> acc
+          | Some p -> count p (acc + 1)
+        in
+        frames := count 0 0
+      done;
+      c.Transport.close ());
+  Scheduler.Sim.run sim;
+  Buffer.contents out
+
+let loopback_pipelined_echo () =
+  let burst =
+    String.concat ""
+      [
+        req [ "PING" ];
+        req [ "SET"; "a"; "1" ];
+        req [ "SET"; "b"; "2" ];
+        req [ "GET"; "a" ];
+        req [ "DEL"; "a" ];
+        req [ "GET"; "a" ];
+        req [ "DEL"; "a" ];
+        req [ "SCAN"; "a"; "z" ];
+        req [ "QUIT" ];
+      ]
+  in
+  let want =
+    "+PONG\r\n+OK\r\n+OK\r\n$1\r\n1\r\n:1\r\n$-1\r\n:0\r\n*2\r\n$1\r\nb\r\n$1\r\n2\r\n+OK\r\n"
+  in
+  let got = loopback_session ~seed:11L burst 9 in
+  Alcotest.(check string) "replies in request order" want got;
+  (* the whole session — client, server fiber, batching — is a pure
+     function of the seed *)
+  let again = loopback_session ~seed:11L burst 9 in
+  Alcotest.(check string) "deterministic replay" want again
+
+(* split the same burst byte-by-byte across writes: the incremental
+   parser must produce the identical reply stream *)
+let loopback_fragmented () =
+  let burst = String.concat "" [ req [ "SET"; "k"; "v" ]; req [ "GET"; "k" ] ] in
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 13L) () in
+  let store = mk_store () in
+  let out = Buffer.create 64 in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         let c =
+           Server.connect_loopback
+             ~spawn:(fun f -> ignore (Scheduler.Sim.spawn sim f : int))
+             store
+         in
+         String.iter (fun ch -> c.Transport.write (String.make 1 ch)) burst;
+         let chunk = Bytes.create 64 in
+         let rec pump () =
+           let n = c.Transport.read chunk 0 (Bytes.length chunk) in
+           if n > 0 then begin
+             Buffer.add_subbytes out chunk 0 n;
+             if Buffer.length out < String.length "+OK\r\n$1\r\nv\r\n" then
+               pump ()
+           end
+         in
+         pump ();
+         c.Transport.close ())
+      : int);
+  Scheduler.Sim.run sim;
+  Alcotest.(check string) "fragmented writes parse identically"
+    "+OK\r\n$1\r\nv\r\n" (Buffer.contents out)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "same seed, bit-identical trace" `Quick
+            same_seed_same_trace;
+          Alcotest.test_case "different seed, different trace" `Quick
+            different_seed_different_trace;
+          Alcotest.test_case "all fibers complete" `Quick all_fibers_complete;
+        ] );
+      ( "park",
+        [
+          Alcotest.test_case "park/wake handoff" `Quick park_wake_handoff;
+          Alcotest.test_case "immediate wake not lost" `Quick
+            park_immediate_wake;
+          Alcotest.test_case "stale wake ignored" `Quick stale_wake_ignored;
+        ] );
+      ( "wall",
+        [
+          Alcotest.test_case "fibers across domains" `Quick wall_runs_fibers;
+          Alcotest.test_case "cross-fiber park/wake" `Quick
+            wall_park_wake_cross_fiber;
+          Alcotest.test_case "failure propagates" `Quick wall_propagates_failure;
+        ] );
+      ("resp", [ Alcotest.test_case "parser and framing" `Quick resp_parse ]);
+      ( "server",
+        [
+          Alcotest.test_case "loopback pipelined echo" `Quick
+            loopback_pipelined_echo;
+          Alcotest.test_case "fragmented request stream" `Quick
+            loopback_fragmented;
+        ] );
+    ]

@@ -814,6 +814,8 @@ let () =
             (mt_index_sweep Fault_mt.fptree_mt);
           Alcotest.test_case "woart-mt 2-domain sweep" `Quick
             (mt_index_sweep Fault_mt.woart_mt);
+          Alcotest.test_case "wb-tree-mt 2-domain sweep" `Quick
+            (mt_index_sweep Fault_mt.wb_tree_mt);
           Alcotest.test_case "same-stripe collision sweep" `Quick mt_collide;
           Alcotest.test_case "generated workloads, 3 seeds" `Quick mt_generated;
           Alcotest.test_case "nested recovery re-crash: hart" `Quick

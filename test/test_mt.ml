@@ -588,6 +588,88 @@ let test_wort_insert_serializes () =
     (r.max_in_flight <= 1)
 
 (* ------------------------------------------------------------------ *)
+(* apply_batch: stripe-grouped writes vs a Map oracle                  *)
+
+(* Semantics: per-op results in submission order (Bset always true,
+   Bdel reports presence), per-key order preserved even when grouping
+   reorders across stripes. *)
+let test_apply_batch_semantics () =
+  let module I = Hart_core.Index_intf in
+  let t = fresh_mt () in
+  let rng = Rng.create 2024L in
+  let oracle = ref SMap.empty in
+  for round = 0 to 19 do
+    let ops =
+      List.init 200 (fun i ->
+          let k = Printf.sprintf "bk%04d" (Rng.int rng 300) in
+          if Rng.int rng 4 = 0 then I.Bdel k
+          else I.Bset (k, Printf.sprintf "r%d.%d" round i))
+    in
+    let expected =
+      List.map
+        (fun op ->
+          match op with
+          | I.Bset (k, v) ->
+              oracle := SMap.add k v !oracle;
+              true
+          | I.Bdel k ->
+              let present = SMap.mem k !oracle in
+              oracle := SMap.remove k !oracle;
+              present)
+        ops
+    in
+    let res = Hart_mt.apply_batch t ops in
+    Alcotest.(check (array bool))
+      (Printf.sprintf "round %d results" round)
+      (Array.of_list expected) res
+  done;
+  SMap.iter
+    (fun k v ->
+      Alcotest.(check (option string)) ("final " ^ k) (Some v)
+        (Hart_mt.search t k))
+    !oracle;
+  Alcotest.(check int) "final count" (SMap.cardinal !oracle)
+    (Hart.count (Hart_mt.underlying t))
+
+(* Domains batching over disjoint key prefixes: the merged oracles must
+   equal the final tree, same discipline as the stress tests. *)
+let test_apply_batch_parallel () =
+  let module I = Hart_core.Index_intf in
+  let t = fresh_mt () in
+  let domains = 4 in
+  let per_domain d =
+    let rng = Rng.create (Int64.of_int (7000 + d)) in
+    let oracle = ref SMap.empty in
+    for round = 0 to 9 do
+      let ops =
+        List.init 250 (fun i ->
+            let k = Printf.sprintf "d%d.%04d" d (Rng.int rng 400) in
+            if Rng.int rng 5 = 0 then I.Bdel k
+            else I.Bset (k, Printf.sprintf "v%d.%d.%d" d round i))
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | I.Bset (k, v) -> oracle := SMap.add k v !oracle
+          | I.Bdel k -> oracle := SMap.remove k !oracle)
+        ops;
+      ignore (Hart_mt.apply_batch t ops : bool array)
+    done;
+    !oracle
+  in
+  let workers = Array.init domains (fun d -> Domain.spawn (fun () -> per_domain d)) in
+  let oracles = Array.map Domain.join workers in
+  let merged =
+    Array.fold_left (SMap.union (fun _ _ v -> Some v)) SMap.empty oracles
+  in
+  SMap.iter
+    (fun k v ->
+      Alcotest.(check (option string)) ("merged " ^ k) (Some v)
+        (Hart_mt.search t k))
+    merged;
+  Alcotest.(check int) "merged count" (SMap.cardinal merged)
+    (Hart.count (Hart_mt.underlying t));
+  Hart.check_integrity (Hart_mt.underlying t)
 
 let () =
   Alcotest.run "multi-domain"
@@ -628,5 +710,12 @@ let () =
             test_wort_insert_serializes;
           Alcotest.test_case "same toy index passes when serialised" `Quick
             test_toy_good_passes;
+        ] );
+      ( "apply_batch",
+        [
+          Alcotest.test_case "results and per-key order vs oracle" `Quick
+            test_apply_batch_semantics;
+          Alcotest.test_case "4 domains, disjoint prefixes" `Quick
+            test_apply_batch_parallel;
         ] );
     ]

@@ -707,8 +707,34 @@ let fault_cmd =
           ~doc:
             "Workload for the $(b,--domains) sweep: $(b,default) \
              (disjoint per-domain prefixes), $(b,collide) (scripted \
-             same-stripe collisions), or $(b,gen) (seeded random op \
+             same-stripe collisions), $(b,split-race) (one FPTree leaf \
+             driven past capacity so splits race fresh writers; pair \
+             with $(b,--index fptree)), or $(b,gen) (seeded random op \
              mix, swept over $(b,--gen-seeds) seeds).")
+  in
+  let server =
+    Arg.(
+      value & flag
+      & info [ "server" ]
+          ~doc:
+            "Deterministic simulation test of the full KV server stack: \
+             $(b,--clients) pipelined RESP sessions drive per-connection \
+             server fibers through a seeded simulated network (arbitrary \
+             fragmentation, partial writes, mid-session drops) over the \
+             concurrent HART; every flush boundary is crashed with \
+             requests in flight in every layer, recovered, and checked \
+             against a session-linearizability oracle (ack implies \
+             durable; unacked operations land as an admissible subset). \
+             Sweeps a clean-session and a dropped-session workload, in \
+             Clean mode plus Torn when $(b,--torn) is given.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Concurrent client sessions for the $(b,--server) sweep \
+             (2-4).")
   in
   let gen_seeds =
     Arg.(
@@ -762,10 +788,109 @@ let fault_cmd =
   in
   let run workload target torn adversarial json_out no_nested checkpoint_every
       keep_going domains index nested_mt shrink mt_workload gen_seeds seed
-      max_schedules media_faults media_json =
+      max_schedules media_faults media_json server clients =
     ok_or_die
       (try
-         if domains > 1 then begin
+         if server then begin
+           if clients < 1 || clients > 4 then
+             failwith "--clients supports 1-4 simulated sessions";
+           let keep_going = keep_going || shrink in
+           let modes =
+             match torn with
+             | None -> [ Hart_pmem.Pmem.Clean ]
+             | Some tseed ->
+                 [
+                   Hart_pmem.Pmem.Clean;
+                   Hart_pmem.Pmem.Torn { seed = tseed; fraction = 0.5 };
+                 ]
+           in
+           let workloads =
+             let setup, scripts =
+               Hart_fault.Fault_server.default_workload ~clients
+                 ~ops_per_client:28
+             in
+             let dsetup, dscripts, drops =
+               Hart_fault.Fault_server.drop_workload ~clients
+                 ~ops_per_client:28
+             in
+             [
+               ("srv-default", setup, scripts, None);
+               ("srv-drop", dsetup, dscripts, Some drops);
+             ]
+           in
+           let reports =
+             List.concat_map
+               (fun mode ->
+                 List.map
+                   (fun (name, setup, scripts, drops) ->
+                     let r =
+                       Hart_fault.Fault_server.explore ~mode ~keep_going
+                         ?max_schedules ?drops ~seed ~clients ~workload:name
+                         ~setup scripts
+                     in
+                     Format.printf "%a@." Hart_fault.Fault_server.pp_report r;
+                     if
+                       shrink && drops = None
+                       && r.Hart_fault.Fault_server.violations <> []
+                     then begin
+                       match
+                         Hart_fault.Fault_server.shrink ~mode ~seed ~setup
+                           scripts
+                       with
+                       | None ->
+                           Format.printf
+                             "shrink: violation did not reproduce under \
+                              replay@.";
+                           r
+                       | Some s ->
+                           Format.printf
+                             "shrink: %d candidate replays, %d accepted@.%a@."
+                             s.Hart_fault.Fault_mt.s_checks
+                             s.Hart_fault.Fault_mt.s_accepted
+                             Hart_fault.Fault.pp_repro
+                             s.Hart_fault.Fault_mt.s_repro;
+                           {
+                             r with
+                             Hart_fault.Fault_server.violations =
+                               List.map
+                                 (fun v ->
+                                   {
+                                     v with
+                                     Hart_fault.Fault.v_repro =
+                                       Some s.Hart_fault.Fault_mt.s_repro;
+                                   })
+                                 r.Hart_fault.Fault_server.violations;
+                           }
+                     end
+                     else r)
+                   workloads)
+               modes
+           in
+           let vs =
+             List.concat_map
+               (fun r -> r.Hart_fault.Fault_server.violations)
+               reports
+           in
+           (match json_out with
+           | None -> ()
+           | Some path ->
+               let oc = open_out path in
+               output_string oc (Hart_fault.Fault.violation_list_json vs);
+               close_out oc);
+           match vs with
+           | [] ->
+               print_endline "all server crash schedules consistent";
+               Ok ()
+           | vs ->
+               List.iter
+                 (fun v ->
+                   Printf.eprintf "violation: %s\n"
+                     (Hart_fault.Fault.violation_message v))
+                 vs;
+               Error
+                 (Printf.sprintf "%d violating schedule(s)" (List.length vs))
+         end
+         else if domains > 1 then begin
            if domains > 4 then failwith "--domains supports 2-4 simulated domains";
            let mode =
              match torn with
@@ -791,6 +916,12 @@ let fault_cmd =
                      Hart_fault.Fault_mt.collide_workload ~domains
                        ~ops_per_domain:6 );
                  ]
+             | "split-race" ->
+                 [
+                   ( "mt-split-race",
+                     Hart_fault.Fault_mt.split_race_workload ~domains
+                       ~ops_per_domain:6 );
+                 ]
              | "gen" ->
                  List.init (max 1 gen_seeds) (fun k ->
                      let s = Int64.add seed (Int64.of_int k) in
@@ -800,7 +931,8 @@ let fault_cmd =
              | w ->
                  failwith
                    (Printf.sprintf
-                      "unknown --mt-workload %S (default, collide, gen)" w)
+                      "unknown --mt-workload %S (default, collide, \
+                       split-race, gen)" w)
            in
            let keep_going = keep_going || shrink in
            let reports =
@@ -1017,7 +1149,7 @@ let fault_cmd =
       const run $ workload $ target $ torn $ adversarial $ json_out $ no_nested
       $ checkpoint_every $ keep_going $ domains $ index $ nested_mt $ shrink
       $ mt_workload $ gen_seeds $ seed $ max_schedules $ media_faults
-      $ media_json)
+      $ media_json $ server $ clients)
 
 let () =
   let commands =

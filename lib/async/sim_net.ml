@@ -1,0 +1,171 @@
+(* Seeded simulated network for the deterministic executor
+   ([Scheduler.Sim]): per-connection byte streams whose delivery the
+   simulation controls, so the server crash explorer (lib/fault) can
+   sweep crash schedules against every transport behaviour a real
+   socket exhibits —
+
+   - arbitrary fragmentation: a read returns a pseudo-random number of
+     the buffered bytes (never more than [max_chunk]), so frames split
+     at every possible byte position across schedules;
+   - delayed / partial writes: a write is delivered in pseudo-random
+     chunks with a cooperative yield between chunks, so the scheduler
+     can interleave other fibers — and a crash — mid-delivery;
+   - reordered wakeups: delivery wakes the parked reader, and the
+     executor's RNG decides when the woken fiber actually runs;
+   - mid-session drops: a connection carries an optional byte fuse;
+     once the total bytes written across both directions exhaust it,
+     the link hard-drops — both endpoints raise [Dropped] (the RST
+     analogue; buffered-but-unread bytes are lost), which is how the
+     explorer forces clients to vanish mid-pipelined-batch.
+
+   Everything is a pure function of the creation seed plus the
+   scheduling decisions, so a (seed, schedule) pair replays the exact
+   byte-level session. Single-threaded by construction: endpoints are
+   only safe under [Scheduler.Sim] (no mutexes — fibers interleave only
+   at yields and parks). *)
+
+module Rng = Hart_util.Rng
+
+exception Dropped
+
+type config = { max_chunk : int; yield_per_chunk : bool }
+
+let default_config = { max_chunk = 96; yield_per_chunk = true }
+
+(* one direction of a connection *)
+type link = {
+  buf : Buffer.t;
+  mutable rpos : int;  (* bytes of [buf] already consumed *)
+  mutable closed : bool;  (* graceful: EOF once drained *)
+  mutable waiter : (unit -> unit) option;  (* single parked reader *)
+}
+
+type conn_state = {
+  rng : Rng.t;  (* shared, per-network: draws are part of the schedule *)
+  cfg : config;
+  a2b : link;
+  b2a : link;
+  mutable fuse : int option;  (* remaining bytes before the hard drop *)
+  mutable dropped : bool;
+}
+
+type endpoint = {
+  ep_read : bytes -> int -> int -> int;
+  ep_write : string -> unit;
+  ep_close : unit -> unit;
+  ep_dropped : unit -> bool;
+}
+
+type t = { net_rng : Rng.t; net_cfg : config }
+
+let create ?(config = default_config) ~seed () =
+  if config.max_chunk < 1 then invalid_arg "Sim_net.create: max_chunk < 1";
+  { net_rng = Rng.create seed; net_cfg = config }
+
+let fresh_link () =
+  { buf = Buffer.create 256; rpos = 0; closed = false; waiter = None }
+
+let wake_link l =
+  let w = l.waiter in
+  l.waiter <- None;
+  Option.iter (fun w -> w ()) w
+
+let drop_conn st =
+  if not st.dropped then begin
+    st.dropped <- true;
+    wake_link st.a2b;
+    wake_link st.b2a
+  end
+
+(* Deliver [s] into [l] in seeded chunks, yielding between chunks so
+   the scheduler can interleave against a half-delivered write. The
+   connection fuse burns per delivered byte; exhausting it drops the
+   connection mid-delivery and raises out of the writer. *)
+let link_write st l s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    if st.dropped then raise Dropped;
+    if l.closed then off := len (* peer gone: discard the rest *)
+    else begin
+      let n = min (len - !off) (1 + Rng.int st.rng st.cfg.max_chunk) in
+      let n =
+        match st.fuse with
+        | Some left when left <= n ->
+            (* the fuse burns out inside this chunk: deliver what fits,
+               then the connection is gone *)
+            left
+        | _ -> n
+      in
+      if n > 0 then begin
+        Buffer.add_substring l.buf s !off n;
+        off := !off + n;
+        wake_link l
+      end;
+      (match st.fuse with
+      | Some left ->
+          let left = left - n in
+          st.fuse <- Some left;
+          if left <= 0 then begin
+            drop_conn st;
+            raise Dropped
+          end
+      | None -> ());
+      if !off < len && st.cfg.yield_per_chunk then Scheduler.yield ()
+    end
+  done
+
+let rec link_read st l b off len =
+  if st.dropped then raise Dropped;
+  let avail = Buffer.length l.buf - l.rpos in
+  if avail > 0 then begin
+    (* fragmentation: surface a seeded prefix of what is buffered *)
+    let n = min (min len avail) (1 + Rng.int st.rng st.cfg.max_chunk) in
+    Buffer.blit l.buf l.rpos b off n;
+    l.rpos <- l.rpos + n;
+    if l.rpos = Buffer.length l.buf then begin
+      Buffer.clear l.buf;
+      l.rpos <- 0
+    end;
+    n
+  end
+  else if l.closed then 0
+  else begin
+    Scheduler.park (fun wake ->
+        if Buffer.length l.buf - l.rpos > 0 || l.closed || st.dropped then
+          wake ()
+        else l.waiter <- Some wake);
+    link_read st l b off len
+  end
+
+let endpoint st ~inbound ~outbound =
+  {
+    ep_read = (fun b off len -> link_read st inbound b off len);
+    ep_write = (fun s -> link_write st outbound s);
+    ep_close =
+      (fun () ->
+        (* graceful close ends both directions: the peer reads EOF
+           after draining, our own reader unblocks *)
+        outbound.closed <- true;
+        inbound.closed <- true;
+        wake_link outbound;
+        wake_link inbound);
+    ep_dropped = (fun () -> st.dropped);
+  }
+
+let pair ?drop_after t =
+  (match drop_after with
+  | Some n when n < 1 -> invalid_arg "Sim_net.pair: drop_after < 1"
+  | _ -> ());
+  let st =
+    {
+      rng = t.net_rng;
+      cfg = t.net_cfg;
+      a2b = fresh_link ();
+      b2a = fresh_link ();
+      fuse = drop_after;
+      dropped = false;
+    }
+  in
+  ( endpoint st ~inbound:st.b2a ~outbound:st.a2b,
+    endpoint st ~inbound:st.a2b ~outbound:st.b2a )

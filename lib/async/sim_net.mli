@@ -1,0 +1,62 @@
+(** Seeded simulated network for {!Scheduler.Sim}.
+
+    A deterministic stand-in for a socket pair: byte streams whose
+    fragmentation, delivery timing and failure are drawn from a seeded
+    RNG, with a cooperative yield between delivered chunks so the
+    simulated executor can interleave fibers — and inject crashes —
+    mid-write. Combined with the scheduler's own seeded fiber choice,
+    a (seed, schedule) pair replays the exact byte-level session, which
+    is what lets the server crash explorer (lib/fault) enumerate and
+    shrink transport interleavings the way it already enumerates lock
+    and persist interleavings.
+
+    Endpoints are only safe under the deterministic single-threaded
+    executor: there is no internal locking, correctness relies on
+    fibers interleaving solely at yields and parks. *)
+
+exception Dropped
+(** The connection hard-dropped (its byte fuse burnt out): raised from
+    reads and writes on both endpoints, RST-style — bytes buffered but
+    not yet read are lost. Graceful {!type-endpoint} close, by
+    contrast, delivers EOF (read returning [0]) after draining. *)
+
+type config = {
+  max_chunk : int;
+      (** upper bound on read fragments and delivery chunks (bytes);
+          each actual size is drawn uniformly from [1..max_chunk] *)
+  yield_per_chunk : bool;
+      (** perform {!Scheduler.yield} between delivery chunks, making
+          each partial write a scheduling point *)
+}
+
+val default_config : config
+(** [{ max_chunk = 96; yield_per_chunk = true }] — small enough to cut
+    RESP frames at arbitrary byte positions, large enough that several
+    pipelined frames can land in one read (exercising write batching). *)
+
+type endpoint = {
+  ep_read : bytes -> int -> int -> int;
+      (** [ep_read b off len] → bytes read (≥ 1), or 0 at EOF; parks
+          until data, EOF or drop. @raise Dropped after a hard drop. *)
+  ep_write : string -> unit;
+      (** deliver the whole string in seeded chunks, yielding between
+          chunks; silently discards once the peer closed gracefully.
+          @raise Dropped if the connection drops mid-delivery. *)
+  ep_close : unit -> unit;
+      (** graceful: peer reads EOF after draining buffered bytes *)
+  ep_dropped : unit -> bool;
+}
+
+type t
+
+val create : ?config:config -> seed:int64 -> unit -> t
+(** One simulated network; all its connections draw fragmentation and
+    delivery decisions from the same seeded stream, so the draw order —
+    and therefore the byte-level behaviour — is a pure function of
+    (seed, schedule). *)
+
+val pair : ?drop_after:int -> t -> endpoint * endpoint
+(** A bidirectional connection as two endpoints. [drop_after] arms the
+    hard-drop fuse: once that many bytes have been delivered across
+    both directions in total, the connection drops mid-session and both
+    endpoints raise {!Dropped}. *)

@@ -18,3 +18,27 @@ let hook : (unit -> unit) option ref = ref None
 let install f = hook := Some f
 let uninstall () = hook := None
 let fire () = match !hook with None -> () | Some f -> f ()
+
+(* Batch-op attribution for the server crash explorer and the
+   apply_batch crash tests. [Striped_mt.apply_batch] announces each
+   batch operation by its submission index: [batch_start i] under the
+   group's write lock immediately before applying it, [fire_batch i]
+   once it is durably applied (same no-yield window as [fire], which it
+   also triggers so the plain hook keeps counting commits). Between the
+   two calls the operation is the only one of its batch that can have
+   touched PM — a crash there leaves it atomically present or absent,
+   everything started earlier committed, everything later untouched.
+   Inert unless installed; the plain hook and the batch hooks are
+   independent. *)
+
+let batch_hook : ((int -> unit) * (int -> unit)) option ref = ref None
+
+let install_batch ~start ~commit = batch_hook := Some (start, commit)
+let uninstall_batch () = batch_hook := None
+
+let batch_start i =
+  match !batch_hook with None -> () | Some (start, _) -> start i
+
+let fire_batch i =
+  (match !batch_hook with None -> () | Some (_, commit) -> commit i);
+  fire ()

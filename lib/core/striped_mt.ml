@@ -146,8 +146,9 @@ module Make (I : Index_intf.S) : Index_intf.MT with type index = I.t = struct
           Rwlock.with_write t.stripes.(s) (fun () ->
               List.iter
                 (fun i ->
+                  Mt_hook.batch_start i;
                   res.(i) <- apply_one t.idx ops.(i);
-                  Mt_hook.fire ())
+                  Mt_hook.fire_batch i)
                 is))
         (List.rev !order)
     end

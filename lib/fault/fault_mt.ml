@@ -593,34 +593,13 @@ type shrunk = {
   s_accepted : int;  (* shrink moves that preserved the violation *)
 }
 
-let shrink ?(target = hart_mt) ?(mode = Pmem.Clean) ?checkpoint_every
-    ?(budget = 400) ~seed ~setup scripts =
-  let checks = ref 0 in
-  let violates ~seed setup scripts =
-    if Array.length scripts = 0 then None
-    else begin
-      incr checks;
-      match
-        explore ~target ~mode ~keep_going:true ~stop_after_first:true
-          ?checkpoint_every ~seed ~domains:(Array.length scripts)
-          ~workload:"shrink" ~setup scripts
-      with
-      | r -> (
-          match r.violations with
-          | [] -> None
-          | v :: _ -> Some (v.Fault.v_schedule, v.Fault.v_detail))
-      | exception Fault.Violation msg ->
-          (* dry-run/oracle failure outside any crash schedule — still a
-             reproducible failure of this candidate; no crash coordinate *)
-          Some (-1, msg)
-      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
-      | exception e ->
-          (* a buggy target can corrupt itself badly enough that the
-             explorer itself trips (e.g. Not_found from a mangled
-             structure); deterministic, so still a shrinkable failure *)
-          Some (-1, Printexc.to_string e)
-    end
-  in
+(* The ddmin core, generic over how a candidate is judged: [violates]
+   replays one (seed, setup, scripts) candidate and returns the
+   violating coordinates, incrementing [checks] per replay it performs.
+   Shared with the server explorer ([Fault_server]), whose "domains"
+   are client sessions — the moves are identical, only the replay
+   engine differs. *)
+let shrink_generic ~budget ~checks ~violates ~seed ~setup scripts =
   match violates ~seed setup scripts with
   | None -> None
   | Some (sch0, det0) ->
@@ -775,6 +754,36 @@ let shrink ?(target = hart_mt) ?(mode = Pmem.Clean) ?checkpoint_every
           s_accepted = !accepted;
         }
 
+let shrink ?(target = hart_mt) ?(mode = Pmem.Clean) ?checkpoint_every
+    ?(budget = 400) ~seed ~setup scripts =
+  let checks = ref 0 in
+  let violates ~seed setup scripts =
+    if Array.length scripts = 0 then None
+    else begin
+      incr checks;
+      match
+        explore ~target ~mode ~keep_going:true ~stop_after_first:true
+          ?checkpoint_every ~seed ~domains:(Array.length scripts)
+          ~workload:"shrink" ~setup scripts
+      with
+      | r -> (
+          match r.violations with
+          | [] -> None
+          | v :: _ -> Some (v.Fault.v_schedule, v.Fault.v_detail))
+      | exception Fault.Violation msg ->
+          (* dry-run/oracle failure outside any crash schedule — still a
+             reproducible failure of this candidate; no crash coordinate *)
+          Some (-1, msg)
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e ->
+          (* a buggy target can corrupt itself badly enough that the
+             explorer itself trips (e.g. Not_found from a mangled
+             structure); deterministic, so still a shrinkable failure *)
+          Some (-1, Printexc.to_string e)
+    end
+  in
+  shrink_generic ~budget ~checks ~violates ~seed ~setup scripts
+
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                            *)
 
@@ -824,6 +833,38 @@ let collide_workload ~domains ~ops_per_domain =
         | 1 -> Fault.Insert (priv d (1 + j), Printf.sprintf "v%d.%d" d j)
         | 2 -> Fault.Insert (shared (10 + d), Printf.sprintf "n%d.%d" d j)
         | _ -> Fault.Update (priv d 0, Printf.sprintf "w%d.%d" d j))
+  in
+  (setup, Array.init domains script)
+
+(* Split-repair vs. fresh writers: the setup fills one FPTree leaf to
+   the brink ([leaf_cap] = 32; 30 keys under one shared "sp" prefix),
+   then domain 0 keeps inserting into that leaf — the overflowing
+   insert runs the split on the exclusive stripe path — while domain 1
+   writes its own prefix (distinct leaf stripe, so genuinely in flight
+   across every flush of the split) and occasionally collides into the
+   splitting leaf (a waiter, durably absent by the serialized-case
+   oracle). Under [nested:true] the recovery of every mid-split crash —
+   the torn-split repair — is itself re-crashed at each of its own
+   flush boundaries. Sized for an exhaustive sweep: test_fault pins the
+   schedule-space census so a codegen change that silently shrinks the
+   explored space fails loudly. *)
+let split_race_workload ~domains ~ops_per_domain =
+  let hot i = Printf.sprintf "sp%02d" i in
+  let priv d i = Printf.sprintf "r%d-%02d" d i in
+  let setup =
+    List.init 30 (fun i -> Fault.Insert (hot i, Printf.sprintf "s%02d" i))
+  in
+  let script d =
+    if d = 0 then
+      (* drives the leaf past capacity: inserts 30.. split the leaf *)
+      List.init ops_per_domain (fun j ->
+          Fault.Insert (hot (30 + j), Printf.sprintf "h%d" j))
+    else
+      List.init ops_per_domain (fun j ->
+          match j mod 3 with
+          | 0 -> Fault.Insert (priv d j, Printf.sprintf "v%d.%d" d j)
+          | 1 -> Fault.Update (hot (j mod 30), Printf.sprintf "c%d.%d" d j)
+          | _ -> Fault.Insert (priv d (10 + j), Printf.sprintf "w%d.%d" d j))
   in
   (setup, Array.init domains script)
 

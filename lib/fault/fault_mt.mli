@@ -97,6 +97,14 @@ type probe = {
           [Fault.nested_recovery_sweep] *)
 }
 
+val admissible_states :
+  (string * string) list -> Fault.op list -> (string * string) list list
+(** [admissible_states committed in_flight] — every subset of the
+    in-flight operations folded onto the committed model, sorted and
+    deduplicated: the linearization-set oracle's acceptable recovered
+    states. Shared with the server explorer ([Fault_server]), whose
+    in-flight set is the started-but-uncommitted batch operations. *)
+
 type report = {
   target : string;  (** [mt_name] of the explored target *)
   seed : int64;
@@ -200,6 +208,25 @@ type shrunk = {
   s_accepted : int;  (** shrink moves that preserved the violation *)
 }
 
+val shrink_generic :
+  budget:int ->
+  checks:int ref ->
+  violates:
+    (seed:int64 ->
+    Fault.op list ->
+    Fault.op list array ->
+    (int * string) option) ->
+  seed:int64 ->
+  setup:Fault.op list ->
+  Fault.op list array ->
+  shrunk option
+(** The ddmin core behind {!shrink}, generic over the replay engine:
+    [violates ~seed setup scripts] re-runs one candidate and returns
+    [Some (schedule, detail)] if it still violates, incrementing
+    [checks] once per replay it performs (the move loop stops once
+    [!checks] reaches [budget]). The server explorer ([Fault_server])
+    reuses the same moves with client sessions as the "domains". *)
+
 val shrink :
   ?target:mt_target ->
   ?mode:Hart_pmem.Pmem.crash_mode ->
@@ -235,6 +262,17 @@ val collide_workload :
     colliding operations wait for one stripe lock while private-prefix
     operations are in flight. Exercises the serialized case of the
     oracle; reports on it should show [contended > 0]. *)
+
+val split_race_workload :
+  domains:int -> ops_per_domain:int -> Fault.op list * Fault.op list array
+(** [(setup, scripts)] — the setup fills one FPTree leaf to 30 of its
+    32 slots under a shared prefix; domain 0 then inserts past capacity
+    (every overflowing insert runs a leaf split on the exclusive stripe
+    path) while the other domains keep fresh writers in flight on their
+    own leaves and occasionally collide into the splitting leaf. Under
+    [nested:true] this re-crashes the torn-split repair at each of its
+    own flush boundaries. Meaningful on {!fptree_mt} (HART has no leaf
+    splits); test_fault pins its schedule-space census. *)
 
 val gen_workload :
   seed:int64 ->

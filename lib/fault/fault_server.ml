@@ -1,0 +1,580 @@
+(* Deterministic simulation testing (DST) of the full KV server stack:
+   RESP parsing, pipelined write batching, the striped concurrent index
+   and PM persistence all under one seeded schedule, FoundationDB-style.
+
+   Per execution, [clients] sessions run against one [Hart_mt] store:
+   each client is a fiber that pipelines its whole scripted request
+   burst through a seeded simulated network connection
+   ([Hart_async.Sim_net] — arbitrary byte fragmentation, chunked
+   delivery with a yield per chunk, optional mid-session hard drops)
+   into a [Server.serve_conn] fiber, all on the deterministic executor
+   ([Scheduler.Sim]): the scheduler's RNG picks the next runnable fiber
+   at every persist, lock edge and network edge, so one (seed,
+   schedule) pair replays the exact byte-level session. A crash is
+   injected at a chosen flush boundary — with requests in flight in
+   every layer: bytes half-delivered, frames half-parsed, batches
+   half-applied — the pool is recovered single-domain, and the durable
+   image is checked against a session-linearizability oracle:
+
+   - commit order IS the linearization: [Striped_mt.apply_batch]
+     announces each batch operation through [Mt_hook.batch_start] /
+     [fire_batch] under its stripe write lock, so the committed model
+     is folded in true commit order and maps each commit back to
+     (client, write ordinal);
+   - ack ⇒ durable: a write reply parsed by its client before the
+     crash must name a committed operation (replies are only emitted
+     after [s_batch] returns), and the recovered image must contain the
+     whole committed model;
+   - unacked ops land as any admissible subset: the recovered state
+     must equal committed + S for some subset S of the started-but-
+     uncommitted batch operations (at most one per connection — it
+     holds the stripe write lock — and concurrent holders hold distinct
+     stripes, so every subset is reachable and each op is atomically
+     present or absent); ops never received, never parsed, or parked
+     behind a batch are durably absent;
+   - reads linearize: a GET must return the value at call entry or a
+     value committed to that key during the call window (the store
+     wrapper samples the commit log around the real search);
+   - replies are well-typed per request, in request order.
+
+   One sharp edge this harness exists to pin: after [Pmem] fires its
+   armed crash, subsequent persists do NOT re-raise — a fiber that
+   swallows [Crash_injected] (as [serve_conn]'s catch-all does) and
+   keeps calling the store would silently mutate the "durable" image
+   the oracle is about to judge. The store wrapper therefore re-raises
+   [Crash_injected] preemptively on every call once the crash has
+   fired: post-crash service is dead, exactly like real lost power.
+
+   Violations carry the same replayable coordinates as the index-level
+   explorer ([Fault.violation]) and shrink through the same ddmin core
+   ([Fault_mt.shrink_generic]) — client sessions play the role of
+   domains — so a failing schedule self-minimizes to a JSON reproducer. *)
+
+module Latency = Hart_pmem.Latency
+module Meter = Hart_pmem.Meter
+module Pmem = Hart_pmem.Pmem
+module Rng = Hart_util.Rng
+module Index_intf = Hart_core.Index_intf
+module Hart_mt = Hart_core.Hart_mt
+module Mt_hook = Hart_core.Mt_hook
+module Scheduler = Hart_async.Scheduler
+module Sim_net = Hart_async.Sim_net
+module Resp = Hart_server.Resp
+module Server = Hart_server.Server
+module Transport = Hart_server.Transport
+module SMap = Map.Make (String)
+
+let fresh_pool () =
+  Pmem.create ~capacity:(1 lsl 18)
+    (Meter.create ~llc_bytes:(1 lsl 16) Latency.c300_100)
+
+(* ------------------------------------------------------------------ *)
+(* One deterministic execution of the whole stack                       *)
+
+type probe = {
+  p_crashed : bool;
+  p_flushes : int;  (* measured-phase flushes performed *)
+  p_committed : (string * string) list;  (* commit-order model *)
+  p_in_flight : (int * Fault.op) list;
+      (* (client, op) started under a stripe lock, not yet committed *)
+  p_state : (string * string) list;
+      (* bindings after single-domain recovery (crashed) or quiesce *)
+  p_replies : int array;  (* per client: reply frames parsed *)
+  p_acked : int array;  (* per client: write acknowledgements parsed *)
+  p_dropped : bool array;  (* per client: session hard-dropped *)
+  p_errors : string list;
+      (* in-execution oracle failures (ack⇒durable, reply typing, read
+         linearization, premature close) — recorded, not raised: they
+         surface inside [serve_conn]'s catch-all, which would swallow
+         an exception *)
+  p_recovery_flushes : int;
+}
+
+let fault_op_of_batch = function
+  | Index_intf.Bset (k, v) -> Fault.Insert (k, v)
+  | Index_intf.Bdel k -> Fault.Delete k
+
+let exec ~mode ~seed ~crash_at ~drops ~setup scripts =
+  let n = Array.length scripts in
+  let pool = fresh_pool () in
+  let t = Hart_mt.create pool in
+  List.iter
+    (function
+      | Fault.Insert (k, v) -> Hart_mt.insert t ~key:k ~value:v
+      | Fault.Update (k, v) -> ignore (Hart_mt.update t ~key:k ~value:v : bool)
+      | Fault.Delete k -> ignore (Hart_mt.delete t k : bool)
+      | Fault.Search k -> ignore (Hart_mt.search t k : string option))
+    setup;
+  let committed = ref (List.fold_left Fault.apply_model SMap.empty setup) in
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let rng = Rng.create seed in
+  let sim =
+    Scheduler.Sim.create
+      ~swallow:(function Pmem.Crash_injected -> true | _ -> false)
+      ~rng ()
+  in
+  let current () = Scheduler.Sim.current sim in
+  (* the network draws from its own seeded stream, derived from the
+     scheduler seed so the pair replays together *)
+  let net =
+    Sim_net.create
+      ~seed:(Int64.add (Int64.mul seed 6364136223846793005L) 1442695040888963407L)
+      ()
+  in
+  (* (client, write ordinal) bookkeeping: ordinal w is the w-th write
+     request the server received on that connection — [serve_conn]
+     flushes pending writes in request order, so batch position [base +
+     i] is exactly that ordinal *)
+  let next_write = Array.make n 0 in
+  let cur_batch = Array.make (2 * n) None in  (* per server fiber *)
+  let client_of_fiber = Array.make (2 * n) (-1) in
+  let in_flight : (int, Index_intf.batch_op) Hashtbl.t = Hashtbl.create 8 in
+  let committed_w : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let commit_log = ref [] and log_n = ref 0 in
+  let replies = Array.make n 0 in
+  let acked = Array.make n 0 in
+  let dropped = Array.make n false in
+  (* Attribution is by the currently scheduled fiber: the hooks fire
+     synchronously inside the server fiber applying the batch, under
+     the group's stripe write lock. Post-crash firings are ignored — an
+     unwinding fiber must not linearize anything. *)
+  Mt_hook.install_batch
+    ~start:(fun i ->
+      if not (Pmem.crash_fired pool) then
+        match cur_batch.(current ()) with
+        | Some (c, ops, _) -> Hashtbl.replace in_flight c ops.(i)
+        | None -> ())
+    ~commit:(fun i ->
+      if not (Pmem.crash_fired pool) then
+        match cur_batch.(current ()) with
+        | Some (c, ops, base) ->
+            Hashtbl.remove in_flight c;
+            Hashtbl.replace committed_w (c, base + i) ();
+            (match ops.(i) with
+            | Index_intf.Bset (k, v) ->
+                committed := SMap.add k v !committed;
+                commit_log := (k, Some v) :: !commit_log
+            | Index_intf.Bdel k ->
+                committed := SMap.remove k !committed;
+                commit_log := (k, None) :: !commit_log);
+            incr log_n
+        | None -> ());
+  let base_store = Server.store_of_hart t in
+  (* Once the crash fires, the store is dead: [Pmem.persist] fires an
+     armed crash only once, so a later call arriving through
+     [serve_conn]'s catch-all epilogue would silently mutate the
+     crashed image. Re-raise preemptively instead. *)
+  let guard () = if Pmem.crash_fired pool then raise Pmem.Crash_injected in
+  let store =
+    {
+      Server.s_get =
+        (fun k ->
+          guard ();
+          let before = SMap.find_opt k !committed in
+          let mark = !log_n in
+          let r = base_store.Server.s_get k in
+          let in_window () =
+            let rec scan l cnt =
+              cnt > 0
+              &&
+              match l with
+              | (k', v') :: tl -> (k' = k && v' = r) || scan tl (cnt - 1)
+              | [] -> false
+            in
+            scan !commit_log (!log_n - mark)
+          in
+          if not (r = before || in_window ()) then
+            error
+              "GET %S returned %s: neither the committed value at call \
+               entry (%s) nor any value committed during the call"
+              k
+              (match r with None -> "null" | Some v -> Printf.sprintf "%S" v)
+              (match before with
+              | None -> "null"
+              | Some v -> Printf.sprintf "%S" v);
+          r);
+      s_scan = (fun lo hi -> guard (); base_store.Server.s_scan lo hi);
+      s_batch =
+        (fun ops ->
+          guard ();
+          let c = client_of_fiber.(current ()) in
+          let arr = Array.of_list ops in
+          let base = next_write.(c) in
+          cur_batch.(current ()) <- Some (c, arr, base);
+          match base_store.Server.s_batch ops with
+          | res ->
+              cur_batch.(current ()) <- None;
+              next_write.(c) <- base + Array.length arr;
+              res
+          | exception e ->
+              cur_batch.(current ()) <- None;
+              raise e);
+    }
+  in
+  let client_body c (conn : Transport.conn) script () =
+    let reqs = Array.of_list script in
+    let nreq = Array.length reqs in
+    let write_ord = Array.make (max nreq 1) None in
+    let w = ref 0 in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Fault.Insert _ | Fault.Update _ | Fault.Delete _ ->
+            write_ord.(i) <- Some !w;
+            incr w
+        | Fault.Search _ -> ())
+      reqs;
+    let payload = Buffer.create 256 in
+    Array.iter
+      (fun op ->
+        match op with
+        | Fault.Insert (k, v) | Fault.Update (k, v) ->
+            Resp.request payload [ "SET"; k; v ]
+        | Fault.Delete k -> Resp.request payload [ "DEL"; k ]
+        | Fault.Search k -> Resp.request payload [ "GET"; k ])
+      reqs;
+    let exception Closed_early in
+    (try
+       (* the whole session pipelined in one write; the simulated
+          network fragments it and yields between chunks *)
+       conn.Transport.write (Buffer.contents payload);
+       let buf = ref "" in
+       let chunk = Bytes.create 512 in
+       while replies.(c) < nreq do
+         let nr = conn.Transport.read chunk 0 (Bytes.length chunk) in
+         if nr = 0 then begin
+           error "client %d: server closed with %d of %d replies outstanding"
+             c (nreq - replies.(c)) nreq;
+           raise Closed_early
+         end;
+         buf := !buf ^ Bytes.sub_string chunk 0 nr;
+         let pos = ref 0 and more = ref true in
+         while !more && replies.(c) < nreq do
+           match Resp.reply_skip !buf !pos with
+           | Some p ->
+               let r = replies.(c) in
+               let tag = !buf.[!pos] in
+               (match (reqs.(r), tag) with
+               | (Fault.Insert _ | Fault.Update _), '+'
+               | Fault.Delete _, ':'
+               | Fault.Search _, '$' -> ()
+               | op, tg ->
+                   error "client %d: reply %d to %s has wire type '%c'" c r
+                     (Format.asprintf "%a" Fault.pp_op op)
+                     tg);
+               (match write_ord.(r) with
+               | Some o ->
+                   acked.(c) <- acked.(c) + 1;
+                   if not (Hashtbl.mem committed_w (c, o)) then
+                     error
+                       "client %d: write %d acknowledged but never \
+                        committed (ack must imply durable)"
+                       c o
+               | None -> ());
+               replies.(c) <- replies.(c) + 1;
+               pos := p
+           | None -> more := false
+         done;
+         buf := String.sub !buf !pos (String.length !buf - !pos)
+       done
+     with
+    | Transport.Dropped -> dropped.(c) <- true
+    | Closed_early -> ());
+    conn.Transport.close ()
+  in
+  Scheduler.install_sched_hook ();
+  let finish () =
+    Scheduler.uninstall_sched_hook ();
+    Mt_hook.uninstall_batch ()
+  in
+  match
+    let f0 = Pmem.flush_count pool in
+    (match crash_at with
+    | Some i -> Pmem.arm_crash ~mode pool ~after_flushes:i
+    | None -> ());
+    Array.iteri
+      (fun c script ->
+        let client_ep, server_ep = Sim_net.pair ?drop_after:drops.(c) net in
+        let sf =
+          Scheduler.Sim.spawn sim (fun () ->
+              Server.serve_conn store (Transport.of_sim_net server_ep))
+        in
+        client_of_fiber.(sf) <- c;
+        let cf =
+          Scheduler.Sim.spawn sim
+            (client_body c (Transport.of_sim_net client_ep) script)
+        in
+        assert (sf = (2 * c) && cf = (2 * c) + 1))
+      scripts;
+    Scheduler.Sim.run sim ~stop:(fun () -> Pmem.crash_fired pool);
+    let crashed = Pmem.crash_fired pool in
+    let flushes = Pmem.flush_count pool - f0 in
+    Pmem.disarm_crash pool;
+    (crashed, flushes)
+  with
+  | exception e ->
+      finish ();
+      raise e
+  | crashed, flushes ->
+      finish ();
+      let in_flight =
+        List.sort compare
+          (Hashtbl.fold
+             (fun c op acc -> (c, fault_op_of_batch op) :: acc)
+             in_flight [])
+      in
+      let r0 = Pmem.flush_count pool in
+      let state =
+        if crashed then Fault_mt.hart_mt.Fault_mt.mt_recover_dump pool
+        else begin
+          let m = ref SMap.empty in
+          Hart_mt.M.iter t (fun k v -> m := SMap.add k v !m);
+          SMap.bindings !m
+        end
+      in
+      let recovery_flushes =
+        if crashed then Pmem.flush_count pool - r0 else 0
+      in
+      {
+        p_crashed = crashed;
+        p_flushes = flushes;
+        p_committed = SMap.bindings !committed;
+        p_in_flight = in_flight;
+        p_state = state;
+        p_replies = replies;
+        p_acked = acked;
+        p_dropped = dropped;
+        p_errors = List.rev !errors;
+        p_recovery_flushes = recovery_flushes;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+
+type report = {
+  seed : int64;
+  clients : int;
+  workload : string;
+  mode : Pmem.crash_mode;
+  n_ops : int;  (* total scripted requests across all clients *)
+  total_flushes : int;  (* dry-run flush boundaries *)
+  schedules : int;  (* crash schedules explored *)
+  max_in_flight : int;  (* most in-flight batch ops at any crash *)
+  multi_in_flight : int;  (* schedules with >= 2 ops in flight *)
+  acked_writes : int;  (* write acks parsed across crashed schedules *)
+  dropped_sessions : int;  (* schedules where a session hard-dropped *)
+  recovery_flushes : int;  (* total recovery flushes across schedules *)
+  violations : Fault.violation list;
+}
+
+let no_drops n = Array.make n None
+
+let explore ?(mode = Pmem.Clean) ?(keep_going = false)
+    ?(stop_after_first = false) ?max_schedules ?drops ~seed ~clients
+    ~workload ?(setup = []) scripts =
+  if Array.length scripts <> clients then
+    invalid_arg "Fault_server.explore: scripts/clients mismatch";
+  let drops =
+    match drops with
+    | None -> no_drops clients
+    | Some d ->
+        if Array.length d <> clients then
+          invalid_arg "Fault_server.explore: drops/clients mismatch";
+        d
+  in
+  let target_name = Printf.sprintf "server@%dc" clients in
+  let violations = ref [] in
+  let viol ~schedule fmt =
+    Printf.ksprintf
+      (fun s ->
+        let v =
+          {
+            Fault.v_target = target_name;
+            v_workload = workload;
+            v_mode = mode;
+            v_schedule = schedule;
+            v_nested = None;
+            v_op = None;
+            v_detail = s;
+            v_repro = None;
+          }
+        in
+        if keep_going then violations := v :: !violations
+        else raise (Fault.Violation (Fault.violation_message v)))
+      fmt
+  in
+  (* dry run: flush-boundary census plus the crash-free session oracle —
+     every non-dropped session fully acknowledged, the quiesced store
+     equal to the commit-order model, no in-execution errors *)
+  let dry = exec ~mode ~seed ~crash_at:None ~drops ~setup scripts in
+  let fatal fmt =
+    Printf.ksprintf
+      (fun s ->
+        raise
+          (Fault.Violation
+             (Printf.sprintf "[%s/%s] %s" target_name workload s)))
+      fmt
+  in
+  (match dry.p_errors with
+  | e :: _ -> fatal "crash-free run: %s" e
+  | [] -> ());
+  if dry.p_in_flight <> [] then fatal "quiesced run left requests in flight";
+  if dry.p_state <> dry.p_committed then
+    fatal "crash-free run disagrees with its commit-order model";
+  Array.iteri
+    (fun c d ->
+      if (not d) && dry.p_replies.(c) <> List.length scripts.(c) then
+        fatal "client %d finished with %d of %d replies" c dry.p_replies.(c)
+          (List.length scripts.(c)))
+    dry.p_dropped;
+  let f = dry.p_flushes in
+  let indices =
+    match max_schedules with
+    | Some m when m > 0 && m < f ->
+        let stride = (f + m - 1) / m in
+        List.filter (fun i -> i mod stride = 0) (List.init f Fun.id)
+    | _ -> List.init f Fun.id
+  in
+  let max_in_flight = ref 0 and multi = ref 0 in
+  let acked_total = ref 0 and dropped_n = ref 0 and recovery_total = ref 0 in
+  let pp_ops ppf ops =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf (c, op) -> Format.fprintf ppf "client%d:%a" c Fault.pp_op op)
+      ppf ops
+  in
+  let exception Stop in
+  (try
+     List.iter
+       (fun i ->
+         (match exec ~mode ~seed ~crash_at:(Some i) ~drops ~setup scripts with
+         | exception Failure msg ->
+             viol ~schedule:i "recovery or integrity failed: %s" msg
+         | p ->
+             if not p.p_crashed then
+               viol ~schedule:i "never fired after %d flushes" f
+             else begin
+               let k = List.length p.p_in_flight in
+               if k > !max_in_flight then max_in_flight := k;
+               if k >= 2 then incr multi;
+               if Array.exists Fun.id p.p_dropped then incr dropped_n;
+               acked_total := !acked_total + Array.fold_left ( + ) 0 p.p_acked;
+               recovery_total := !recovery_total + p.p_recovery_flushes;
+               List.iter (fun e -> viol ~schedule:i "%s" e) p.p_errors;
+               let ok =
+                 Fault_mt.admissible_states p.p_committed
+                   (List.map snd p.p_in_flight)
+               in
+               if not (List.mem p.p_state ok) then
+                 viol ~schedule:i
+                   "recovered state is not committed-prefix + in-flight \
+                    subset (in flight: %s)"
+                   (Format.asprintf "%a" pp_ops p.p_in_flight)
+             end);
+         if stop_after_first && !violations <> [] then raise Stop)
+       indices
+   with Stop -> ());
+  {
+    seed;
+    clients;
+    workload;
+    mode;
+    n_ops = Array.fold_left (fun a s -> a + List.length s) 0 scripts;
+    total_flushes = f;
+    schedules = List.length indices;
+    max_in_flight = !max_in_flight;
+    multi_in_flight = !multi;
+    acked_writes = !acked_total;
+    dropped_sessions = !dropped_n;
+    recovery_flushes = !recovery_total;
+    violations = List.rev !violations;
+  }
+
+let probe ?(mode = Pmem.Clean) ?drops ~seed ~schedule ?(setup = []) scripts =
+  let drops =
+    match drops with None -> no_drops (Array.length scripts) | Some d -> d
+  in
+  exec ~mode ~seed ~crash_at:(Some schedule) ~drops ~setup scripts
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: the shared ddmin core, judging candidates by a bounded
+   server sweep (clients play the role of domains; dropping a "domain"
+   drops a whole client session). Drop fuses are not threaded through —
+   shrink is for the no-drop sweeps; dropped-session violations replay
+   from their (workload, seed, schedule) coordinates directly. *)
+
+let shrink ?(mode = Pmem.Clean) ?(budget = 400) ~seed ~setup scripts =
+  let checks = ref 0 in
+  let violates ~seed setup scripts =
+    if Array.length scripts = 0 then None
+    else begin
+      incr checks;
+      match
+        explore ~mode ~keep_going:true ~stop_after_first:true ~seed
+          ~clients:(Array.length scripts) ~workload:"shrink" ~setup scripts
+      with
+      | r -> (
+          match r.violations with
+          | [] -> None
+          | v :: _ -> Some (v.Fault.v_schedule, v.Fault.v_detail))
+      | exception Fault.Violation msg -> Some (-1, msg)
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> Some (-1, Printexc.to_string e)
+    end
+  in
+  Fault_mt.shrink_generic ~budget ~checks ~violates ~seed ~setup scripts
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                            *)
+
+(* Each client works its own key prefix (distinct stripes, so batch ops
+   are genuinely in flight together) plus a shared prefix (colliding
+   commits, and GETs whose answer depends on the linearization), with
+   reads interleaved so the sweep crosses crash points mid-read and
+   mid-batch alike. *)
+let default_workload ~clients ~ops_per_client =
+  let key c i = Printf.sprintf "c%d-%02d" c i in
+  let shared i = Printf.sprintf "sh%02d" i in
+  let setup =
+    Fault.Insert (shared 0, "g0")
+    :: List.init clients (fun c ->
+           Fault.Insert (key c 0, Printf.sprintf "s%d" c))
+  in
+  let script c =
+    List.init ops_per_client (fun j ->
+        match j mod 6 with
+        | 0 -> Fault.Insert (key c (1 + j), Printf.sprintf "v%d.%d" c j)
+        | 1 -> Fault.Search (shared 0)
+        | 2 -> Fault.Insert (shared (1 + c), Printf.sprintf "n%d.%d" c j)
+        | 3 -> Fault.Update (shared 0, Printf.sprintf "u%d.%d" c j)
+        | 4 -> Fault.Delete (key c 0)
+        | _ -> Fault.Search (key c (1 + j - 5)))
+  in
+  (setup, Array.init clients script)
+
+(* The same sessions, with the last client's connection armed to
+   hard-drop after [fuse] bytes (requests and replies both burn it) —
+   mid-pipelined-batch, with writes received but unacknowledged. The
+   epilogue contract says those writes still commit. *)
+let drop_workload ~clients ~ops_per_client =
+  let setup, scripts = default_workload ~clients ~ops_per_client in
+  let drops =
+    Array.init clients (fun c ->
+        if c = clients - 1 then Some 120 else None)
+  in
+  (setup, scripts, drops)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-12s %-10s mode=%a seed=%Ld ops=%d flush-boundaries=%d schedules=%d \
+     max-in-flight=%d multi-in-flight=%d acked=%d"
+    (Printf.sprintf "server@%dc" r.clients)
+    r.workload Fault.pp_mode r.mode r.seed r.n_ops r.total_flushes
+    r.schedules r.max_in_flight r.multi_in_flight r.acked_writes;
+  if r.dropped_sessions > 0 then
+    Format.fprintf ppf " dropped-sessions=%d" r.dropped_sessions;
+  if r.recovery_flushes > 0 then
+    Format.fprintf ppf " recovery-flushes=%d" r.recovery_flushes;
+  if r.violations <> [] then
+    Format.fprintf ppf " VIOLATIONS=%d" (List.length r.violations)

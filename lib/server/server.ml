@@ -127,10 +127,20 @@ let serve_conn ?(max_batch = 256) ?stats store (c : Transport.conn) =
            Buffer.clear out
          end
        end
-     done;
-     flush_writes ();
-     if Buffer.length out > 0 then c.write (Buffer.contents out)
+     done
    with _ -> () (* a dying connection must not take the executor down *));
+  (* Epilogue, on EVERY exit path — EOF, QUIT, an abrupt drop
+     ([Transport.Dropped]) or any other transport/protocol failure: a
+     write request that was fully received must still commit and be
+     durable even though its client is gone (the ack⇒durable contract
+     only strengthens this: an un-acknowledged-but-received write may
+     land, and a half-received frame never parsed, so committing the
+     parsed tail is always admissible). Each step is individually
+     guarded: a dead transport must not stop the flush, and a failing
+     flush must not leak the connection. *)
+  (try flush_writes () with _ -> ());
+  (try if Buffer.length out > 0 then c.write (Buffer.contents out)
+   with _ -> ());
   c.close ()
 
 (* ------------------------------------------------------------------ *)

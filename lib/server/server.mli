@@ -23,8 +23,13 @@ val serve_conn :
 (** The per-connection fiber body: parse, batch, apply, reply, until
     EOF or QUIT; closes the connection on the way out. Runs under
     either executor; internal failures close the connection instead of
-    escaping into the executor. [max_batch] (default 256) caps how many
-    writes defer before a forced flush. *)
+    escaping into the executor. On every exit — including an abrupt
+    client drop ([Transport.Dropped]) mid-pipelined-batch — write
+    requests that were fully received are still flushed through
+    [s_batch] before the connection closes, so they commit and become
+    durable even though their replies have nowhere to go (DESIGN.md
+    §17). [max_batch] (default 256) caps how many writes defer before
+    a forced flush. *)
 
 val connect_loopback :
   ?max_batch:int ->

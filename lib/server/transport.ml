@@ -10,9 +10,20 @@
 
    - [of_fd]: a nonblocking socket, parking on the executor's readiness
      waiters (EAGAIN → wait → retry). Only meaningful under [Wall],
-     which owns the select reactor. *)
+     which owns the select reactor.
+
+   - [of_sim_net]: a connection of the seeded simulated network
+     ([Hart_async.Sim_net]), for the deterministic server crash
+     explorer. Its hard drops surface as [Dropped].
+
+   Abrupt transport failure is part of the contract: [read]/[write] may
+   raise [Dropped] when the peer vanished without a FIN. [serve_conn]
+   treats it exactly like EOF — writes already received must still
+   commit (DESIGN.md §17). *)
 
 module Scheduler = Hart_async.Scheduler
+
+exception Dropped = Hart_async.Sim_net.Dropped
 
 type conn = {
   read : bytes -> int -> int -> int;
@@ -114,6 +125,16 @@ let pair () =
   (endpoint ~inbound:a ~outbound:b, endpoint ~inbound:b ~outbound:a)
 
 (* ------------------------------------------------------------------ *)
+(* Simulated network connection                                         *)
+
+let of_sim_net (ep : Hart_async.Sim_net.endpoint) =
+  {
+    read = ep.Hart_async.Sim_net.ep_read;
+    write = ep.Hart_async.Sim_net.ep_write;
+    close = ep.Hart_async.Sim_net.ep_close;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Nonblocking socket                                                   *)
 
 let of_fd ~wait_readable ~wait_writable fd =
@@ -134,6 +155,11 @@ let of_fd ~wait_readable ~wait_writable fd =
             Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
           ->
             0
+        | exception Unix.Unix_error _ ->
+            (* anything else (ETIMEDOUT, ENETRESET, ...) is an abrupt
+               disconnect, not a server failure: surface it as a drop so
+               the connection loop runs its commit-and-close epilogue *)
+            raise Dropped
     in
     go ()
   in
@@ -153,6 +179,7 @@ let of_fd ~wait_readable ~wait_writable fd =
           ->
             (* peer went away: drop the rest; the reader will see EOF *)
             ()
+        | exception Unix.Unix_error _ -> raise Dropped
     in
     go 0
   in

@@ -3,14 +3,23 @@
     A connection is a triple of closures, so the per-connection server
     loop works unchanged over the in-process loopback (deterministic
     tests under [Scheduler.Sim], in-process load generation under
-    [Scheduler.Wall]) and over real nonblocking sockets. *)
+    [Scheduler.Wall]), over real nonblocking sockets, and over the
+    seeded simulated network the server crash explorer drives. *)
+
+exception Dropped
+(** Abrupt disconnect ([= Hart_async.Sim_net.Dropped]): the peer
+    vanished without a FIN (RST, timeout, a simulated-network hard
+    drop). [read]/[write] may raise it on any transport; [serve_conn]
+    treats it like EOF — writes already received still commit. *)
 
 type conn = {
   read : bytes -> int -> int -> int;
       (** [read b off len] parks the calling fiber until bytes are
           available, then returns how many were copied (≥ 1), or [0] at
-          end of stream. *)
-  write : string -> unit;  (** Write the whole string (parks as needed). *)
+          end of stream. @raise Dropped on abrupt disconnect. *)
+  write : string -> unit;
+      (** Write the whole string (parks as needed).
+          @raise Dropped on abrupt disconnect. *)
   close : unit -> unit;
 }
 
@@ -18,6 +27,12 @@ val pair : unit -> conn * conn
 (** An in-process loopback: two endpoints of a full-duplex byte stream.
     Closing either endpoint ends both directions — the peer reads what
     was already buffered, then EOF. Single reader per direction. *)
+
+val of_sim_net : Hart_async.Sim_net.endpoint -> conn
+(** One side of a {!Hart_async.Sim_net} connection as a server/client
+    transport — deterministic fragmentation, chunked delivery with
+    yields, and seeded hard drops, for the DST harness (DESIGN.md
+    §17). Only meaningful under [Scheduler.Sim]. *)
 
 val of_fd :
   wait_readable:(Unix.file_descr -> unit) ->
@@ -28,4 +43,5 @@ val of_fd :
     parks through the given readiness waiters — under
     [Scheduler.Wall], pass [Wall.wait_readable]/[Wall.wait_writable].
     A peer reset/abandon reads as EOF; writes after the peer is gone
-    are silently dropped. *)
+    are silently dropped; any other socket error raises {!Dropped}
+    rather than escaping into the executor. *)

@@ -5,6 +5,8 @@
 
 module Rng = Hart_util.Rng
 module Scheduler = Hart_async.Scheduler
+module Sim_net = Hart_async.Sim_net
+module Hart_mt = Hart_core.Hart_mt
 module Resp = Hart_server.Resp
 module Transport = Hart_server.Transport
 module Server = Hart_server.Server
@@ -221,6 +223,214 @@ let resp_parse () =
   Alcotest.(check int) "burst fully consumed" (String.length burst) fin
 
 (* ------------------------------------------------------------------ *)
+(* RESP parser: properties — the incremental parser must be invariant
+   under arbitrary byte-chunk fragmentation, including across frames
+   that need error resynchronization *)
+
+type wire_item = Valid of string list | Junk of string
+
+let item_cmd = function
+  | Valid [ "PING" ] -> Resp.Ping
+  | Valid [ "GET"; k ] -> Resp.Get k
+  | Valid [ "SET"; k; v ] -> Resp.Set (k, v)
+  | Valid [ "DEL"; k ] -> Resp.Del k
+  | Valid w -> Alcotest.failf "bad generator item %s" (String.concat " " w)
+  | Junk _ -> assert false
+
+let encode_items items =
+  let b = Buffer.create 256 in
+  List.iter
+    (function
+      | Valid words -> Resp.request b words
+      | Junk w ->
+          (* an inline line whose command word is guaranteed unknown:
+             the parser must flag it and resume past the line *)
+          Buffer.add_string b "ZZZ ";
+          Buffer.add_string b w;
+          Buffer.add_string b "\r\n")
+    items;
+  Buffer.contents b
+
+(* split [s] into chunks whose sizes cycle through [cuts] *)
+let fragment cuts s =
+  let cuts = if cuts = [] then [ 1 ] else cuts in
+  let n = String.length s in
+  let rec go pos cs acc =
+    if pos >= n then List.rev acc
+    else
+      let c, cs = match cs with [] -> (List.hd cuts, cuts) | c :: tl -> (c, tl) in
+      let c = max 1 (min c (n - pos)) in
+      go (pos + c) cs (String.sub s pos c :: acc)
+  in
+  go 0 cuts []
+
+(* feed chunks through the same accumulate/parse/carry loop serve_conn
+   runs; returns the parsed tag stream and the unconsumed remainder *)
+let parse_stream chunks =
+  let pending = ref "" in
+  let out = ref [] in
+  List.iter
+    (fun chunk ->
+      let s = !pending ^ chunk in
+      pending := "";
+      let rec go pos =
+        match Resp.parse s pos with
+        | Resp.Cmd (c, p) ->
+            out := `Cmd c :: !out;
+            go p
+        | Resp.Error (_, p) ->
+            out := `Err :: !out;
+            go p
+        | Resp.Incomplete ->
+            pending := String.sub s pos (String.length s - pos)
+      in
+      go 0)
+    chunks;
+  (List.rev !out, !pending)
+
+let print_wire (items, cuts) =
+  Printf.sprintf "[%s] cuts=[%s]"
+    (String.concat "; "
+       (List.map
+          (function
+            | Valid w -> String.concat " " w
+            | Junk w -> "JUNK " ^ w)
+          items))
+    (String.concat ";" (List.map string_of_int cuts))
+
+let gen_lc = QCheck.Gen.map (fun i -> Char.chr (Char.code 'a' + i)) (QCheck.Gen.int_bound 25)
+
+let gen_key = QCheck.Gen.string_size ~gen:gen_lc QCheck.Gen.(int_range 1 8)
+let gen_value = QCheck.Gen.string_size ~gen:gen_lc QCheck.Gen.(int_range 0 10)
+
+let gen_valid =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return (Valid [ "PING" ]));
+        (3, map (fun k -> Valid [ "GET"; k ]) gen_key);
+        (4, map2 (fun k v -> Valid [ "SET"; k; v ]) gen_key gen_value);
+        (2, map (fun k -> Valid [ "DEL"; k ]) gen_key);
+      ])
+
+let gen_cuts = QCheck.Gen.(list_size (int_range 0 20) (int_range 1 17))
+
+let expect_tags items =
+  List.map
+    (function Junk _ -> `Err | v -> `Cmd (item_cmd v))
+    items
+
+let qcheck_resp_fragmentation =
+  let arb =
+    QCheck.make ~print:print_wire
+      QCheck.Gen.(pair (list_size (int_range 1 12) gen_valid) gen_cuts)
+  in
+  QCheck.Test.make ~count:300
+    ~name:"resp: any fragmentation round-trips the request stream" arb
+    (fun (items, cuts) ->
+      let burst = encode_items items in
+      let got, pending = parse_stream (fragment cuts burst) in
+      let oneshot, oneshot_pending = parse_stream [ burst ] in
+      got = expect_tags items && pending = "" && got = oneshot
+      && oneshot_pending = "")
+
+let qcheck_resp_resync =
+  let arb =
+    QCheck.make ~print:print_wire
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 1 12)
+             (frequency
+                [ (3, gen_valid); (2, map (fun w -> Junk w) gen_key) ]))
+          gen_cuts)
+  in
+  QCheck.Test.make ~count:300
+    ~name:"resp: error resync survives any fragmentation" arb
+    (fun (items, cuts) ->
+      let burst = encode_items items in
+      let got, pending = parse_stream (fragment cuts burst) in
+      (* one Error per junk line, valid commands recovered in order,
+         nothing left over *)
+      got = expect_tags items && pending = "")
+
+(* ------------------------------------------------------------------ *)
+(* Sim_net: seeded fragmentation, graceful EOF, hard drops             *)
+
+let sim_net_graceful_deterministic () =
+  let msg = String.init 700 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  let run seed =
+    let sim = Scheduler.Sim.create ~rng:(Rng.create 51L) () in
+    let net = Sim_net.create ~seed () in
+    let a, b = Sim_net.pair net in
+    let got = Buffer.create 700 in
+    let sizes = ref [] in
+    ignore
+      (Scheduler.Sim.spawn sim (fun () ->
+           a.Sim_net.ep_write msg;
+           a.Sim_net.ep_close ())
+        : int);
+    ignore
+      (Scheduler.Sim.spawn sim (fun () ->
+           let buf = Bytes.create 128 in
+           let rec pump () =
+             let n = b.Sim_net.ep_read buf 0 (Bytes.length buf) in
+             if n > 0 then begin
+               sizes := n :: !sizes;
+               Buffer.add_subbytes got buf 0 n;
+               pump ()
+             end
+           in
+           pump ())
+        : int);
+    Scheduler.Sim.run sim;
+    Alcotest.(check bool) "graceful close, not a drop" false
+      (b.Sim_net.ep_dropped ());
+    (Buffer.contents got, List.rev !sizes)
+  in
+  let m1, s1 = run 21L in
+  let m2, s2 = run 21L in
+  let _, s3 = run 22L in
+  Alcotest.(check string) "delivered intact through EOF" msg m1;
+  Alcotest.(check bool) "same net seed, same read sizes" true
+    (m1 = m2 && s1 = s2);
+  Alcotest.(check bool) "actually fragmented" true (List.length s1 > 1);
+  Alcotest.(check bool) "net seed drives fragmentation" false (s1 = s3)
+
+let sim_net_drop_loses_buffered () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 52L) () in
+  let net = Sim_net.create ~seed:23L () in
+  let a, b = Sim_net.pair ~drop_after:64 net in
+  let writer_dropped = ref false in
+  let reader_dropped = ref false in
+  let received = ref 0 in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         try a.Sim_net.ep_write (String.make 256 'x')
+         with Sim_net.Dropped -> writer_dropped := true)
+      : int);
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         let buf = Bytes.create 64 in
+         try
+           let rec pump () =
+             let n = b.Sim_net.ep_read buf 0 (Bytes.length buf) in
+             if n > 0 then begin
+               received := !received + n;
+               pump ()
+             end
+           in
+           pump ()
+         with Sim_net.Dropped -> reader_dropped := true)
+      : int);
+  Scheduler.Sim.run sim;
+  Alcotest.(check bool) "write raises mid-delivery" true !writer_dropped;
+  Alcotest.(check bool) "read raises, buffered bytes lost (RST)" true
+    !reader_dropped;
+  Alcotest.(check bool) "both endpoints flagged" true
+    (a.Sim_net.ep_dropped () && b.Sim_net.ep_dropped ());
+  Alcotest.(check bool) "fuse bounds delivery" true (!received <= 64)
+
+(* ------------------------------------------------------------------ *)
 (* Loopback server under Sim: pipelined echo, deterministic            *)
 
 let mk_store () =
@@ -324,6 +534,94 @@ let loopback_fragmented () =
     "+OK\r\n$1\r\nv\r\n" (Buffer.contents out)
 
 (* ------------------------------------------------------------------ *)
+(* serve_conn × client disconnect mid-pipelined-batch: fully received
+   writes must still commit and be durable even though their replies
+   have nowhere to go (DESIGN.md §17)                                  *)
+
+let mk_pool () =
+  Pmem.create ~capacity:(1 lsl 21) ~max_capacity:(1 lsl 22)
+    (Meter.create Latency.c300_100)
+
+let kvs = [ ("d1", "x"); ("d2", "y"); ("d3", "z") ]
+
+let burst_of kvs =
+  String.concat "" (List.map (fun (k, v) -> req [ "SET"; k; v ]) kvs)
+
+(* recover from a crash-consistent snapshot of the pool and read back *)
+let recovered_get pool k = Hart_mt.search (Hart_mt.recover (Pmem.clone pool)) k
+
+let disconnect_graceful_commits () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 61L) () in
+  let pool = mk_pool () in
+  let store = Server.store_of_hart (Hart_mt.create pool) in
+  let net = Sim_net.create ~seed:62L () in
+  let sv, cl = Sim_net.pair net in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         Server.serve_conn store (Transport.of_sim_net sv))
+      : int);
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         (* write the whole pipelined burst, then vanish without ever
+            reading a reply *)
+         cl.Sim_net.ep_write (burst_of kvs);
+         cl.Sim_net.ep_close ())
+      : int);
+  Scheduler.Sim.run sim;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) ("committed " ^ k) (Some v)
+        (store.Server.s_get k);
+      Alcotest.(check (option string)) ("durable " ^ k) (Some v)
+        (recovered_get pool k))
+    kvs
+
+let disconnect_abrupt_commits () =
+  let sim = Scheduler.Sim.create ~rng:(Rng.create 63L) () in
+  let pool = mk_pool () in
+  let store = Server.store_of_hart (Hart_mt.create pool) in
+  let net = Sim_net.create ~seed:64L () in
+  let burst = burst_of kvs in
+  (* the fuse outlives the request bytes but not the replies: the
+     connection hard-drops while the server is acknowledging, i.e.
+     after the writes were received *)
+  let sv, cl = Sim_net.pair ~drop_after:(String.length burst + 6) net in
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         Server.serve_conn store (Transport.of_sim_net sv))
+      : int);
+  ignore
+    (Scheduler.Sim.spawn sim (fun () ->
+         try
+           cl.Sim_net.ep_write burst;
+           let buf = Bytes.create 64 in
+           while cl.Sim_net.ep_read buf 0 (Bytes.length buf) > 0 do
+             ()
+           done
+         with Sim_net.Dropped -> ())
+      : int);
+  Scheduler.Sim.run sim;
+  Alcotest.(check bool) "session hard-dropped" true (sv.Sim_net.ep_dropped ());
+  (* every fully received write committed: the committed keys form a
+     prefix of the pipelined request order, and under this seed the
+     whole burst is delivered before the fuse burns *)
+  let present = List.map (fun (k, _) -> store.Server.s_get k <> None) kvs in
+  let rec is_prefix = function
+    | true :: tl -> is_prefix tl
+    | rest -> List.for_all not rest
+  in
+  Alcotest.(check bool) "committed set is a request-order prefix" true
+    (is_prefix present);
+  Alcotest.(check bool) "writes committed despite the drop" true
+    (List.exists Fun.id present);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) ("recovery agrees on " ^ k)
+        (if store.Server.s_get k <> None then Some v else None)
+        (recovered_get pool k))
+    kvs
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "async"
@@ -350,12 +648,28 @@ let () =
             wall_park_wake_cross_fiber;
           Alcotest.test_case "failure propagates" `Quick wall_propagates_failure;
         ] );
-      ("resp", [ Alcotest.test_case "parser and framing" `Quick resp_parse ]);
+      ( "resp",
+        [
+          Alcotest.test_case "parser and framing" `Quick resp_parse;
+          QCheck_alcotest.to_alcotest qcheck_resp_fragmentation;
+          QCheck_alcotest.to_alcotest qcheck_resp_resync;
+        ] );
+      ( "sim_net",
+        [
+          Alcotest.test_case "seeded fragmentation, graceful EOF" `Quick
+            sim_net_graceful_deterministic;
+          Alcotest.test_case "hard drop loses buffered bytes" `Quick
+            sim_net_drop_loses_buffered;
+        ] );
       ( "server",
         [
           Alcotest.test_case "loopback pipelined echo" `Quick
             loopback_pipelined_echo;
           Alcotest.test_case "fragmented request stream" `Quick
             loopback_fragmented;
+          Alcotest.test_case "graceful disconnect mid-batch commits" `Quick
+            disconnect_graceful_commits;
+          Alcotest.test_case "abrupt drop mid-batch commits" `Quick
+            disconnect_abrupt_commits;
         ] );
     ]

@@ -634,6 +634,97 @@ let mt_nested_hart_covers () =
     (r.Fault_mt.nested_schedules > 0);
   Alcotest.(check int) "no violations" 0 (List.length r.Fault_mt.violations)
 
+(* FPTree split-repair racing fresh writers: domain 0 drives one hot
+   leaf past capacity (leaf_cap = 32) while domain 1 keeps updating the
+   hot keys and inserting fresh private ones, so the sweep crosses
+   split, repair and recovery boundaries with writers in flight. The
+   schedule space is pinned: a silent change would mean the sweep no
+   longer explores what this test claims it does. *)
+let mt_split_race_pin () =
+  let setup, scripts =
+    Fault_mt.split_race_workload ~domains:2 ~ops_per_domain:6
+  in
+  List.iter
+    (fun mode ->
+      let r =
+        Fault_mt.explore ?mode ~target:Fault_mt.fptree_mt ~nested:true
+          ~seed:42L ~domains:2 ~workload:"mt-split-race" ~setup scripts
+      in
+      Alcotest.(check int) "pinned schedule space" 99 r.Fault_mt.total_flushes;
+      Alcotest.(check int) "full coverage" r.Fault_mt.total_flushes
+        r.Fault_mt.schedules;
+      Alcotest.(check int) "full nested coverage" r.Fault_mt.recovery_flushes
+        r.Fault_mt.nested_schedules;
+      Alcotest.(check bool) "split-side contention crossed" true
+        (r.Fault_mt.contended > 0);
+      Alcotest.(check bool) "writers in flight at crash points" true
+        (r.Fault_mt.multi_in_flight > 0);
+      Alcotest.(check int) "no violations" 0
+        (List.length r.Fault_mt.violations))
+    [ None; Some (Pmem.Torn { seed = 5L; fraction = 0.5 }) ]
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic simulation of the full KV server stack (Fault_server):
+   pipelined RESP clients over the seeded simulated network, crash at
+   every flush boundary with requests in flight in every layer, and
+   the session-linearizability oracle of DESIGN.md §17. *)
+
+module Fault_server = Hart_fault.Fault_server
+
+let srv_check_report r =
+  Alcotest.(check bool) "has flush boundaries" true
+    (r.Fault_server.total_flushes > 0);
+  Alcotest.(check int) "full coverage" r.Fault_server.total_flushes
+    r.Fault_server.schedules;
+  Alcotest.(check bool) "pipelined batch ops in flight at some crash" true
+    (r.Fault_server.max_in_flight >= 2);
+  Alcotest.(check bool) "schedules with >= 2 ops in flight" true
+    (r.Fault_server.multi_in_flight > 0);
+  Alcotest.(check bool) "write acks parsed across crashed schedules" true
+    (r.Fault_server.acked_writes > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_server.violations)
+
+let srv_sweep ?mode () =
+  let setup, scripts =
+    Fault_server.default_workload ~clients:2 ~ops_per_client:8
+  in
+  let r =
+    Fault_server.explore ?mode ~seed:11L ~clients:2 ~workload:"srv" ~setup
+      scripts
+  in
+  srv_check_report r
+
+let srv_torn_sweep () =
+  srv_sweep ~mode:(Pmem.Torn { seed = 7L; fraction = 0.5 }) ()
+
+let srv_drop_sweep () =
+  let setup, scripts, drops =
+    Fault_server.drop_workload ~clients:2 ~ops_per_client:8
+  in
+  let r =
+    Fault_server.explore ~drops ~seed:11L ~clients:2 ~workload:"srv-drop"
+      ~setup scripts
+  in
+  Alcotest.(check bool) "has flush boundaries" true
+    (r.Fault_server.total_flushes > 0);
+  Alcotest.(check int) "full coverage" r.Fault_server.total_flushes
+    r.Fault_server.schedules;
+  Alcotest.(check bool) "sessions hard-dropped mid-pipelined-batch" true
+    (r.Fault_server.dropped_sessions > 0);
+  Alcotest.(check int) "no violations" 0 (List.length r.Fault_server.violations)
+
+(* The whole stack — fragmentation, fiber choice, batching, crash — is
+   a pure function of (seed, schedule). *)
+let srv_determinism () =
+  let setup, scripts =
+    Fault_server.default_workload ~clients:2 ~ops_per_client:6
+  in
+  let p1 = Fault_server.probe ~seed:7L ~schedule:25 ~setup scripts in
+  let p2 = Fault_server.probe ~seed:7L ~schedule:25 ~setup scripts in
+  Alcotest.(check bool) "byte-level replay is identical" true (p1 = p2);
+  Alcotest.(check bool) "the armed schedule fired" true p1.Fault_server.p_crashed;
+  Alcotest.(check (list string)) "no oracle errors" [] p1.Fault_server.p_errors
+
 (* ------------------------------------------------------------------ *)
 (* Self-minimizing reproducers: re-inject the PR 3 free-before-sever
    bug (Epalloc's reservation hold degraded to a plain durable bit
@@ -741,6 +832,64 @@ let mt_no_violation_when_fixed () =
   Alcotest.(check bool) "fixed allocator passes the same sweep" false
     (mt_violates ~seed:1L ~setup scripts)
 
+(* The server sweep must catch real durability bugs end to end: the
+   same injected allocator bug, observed through RESP sessions instead
+   of direct index calls, and carved down to a minimal replayable
+   reproducer by the same delta-debugging core. *)
+
+let srv_violates ~seed ~setup scripts =
+  match
+    Fault_server.explore ~keep_going:true ~stop_after_first:true ~seed
+      ~clients:(Array.length scripts) ~workload:"srv-inject" ~setup scripts
+  with
+  | r -> r.Fault_server.violations <> []
+  | exception Fault.Violation _ -> true
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  | exception _ -> true
+
+let srv_shrink_regression () =
+  with_injected_bug (fun () ->
+      let candidates =
+        List.map
+          (fun s ->
+            ( Int64.of_int s,
+              Fault_server.default_workload ~clients:2 ~ops_per_client:8 ))
+          [ 1; 2; 3; 4; 5; 11 ]
+      in
+      match
+        List.find_opt
+          (fun (seed, (setup, scripts)) -> srv_violates ~seed ~setup scripts)
+          candidates
+      with
+      | None ->
+          Alcotest.fail "bug injection produced no violating server schedule"
+      | Some (seed, (setup, scripts)) -> (
+          match Fault_server.shrink ~seed ~setup scripts with
+          | None -> Alcotest.fail "shrinker lost the violation"
+          | Some s ->
+              let repro = s.Fault_mt.s_repro in
+              Alcotest.(check bool) "reproducer has <= 2 clients" true
+                (repro.Fault.r_domains <= 2);
+              Alcotest.(check bool)
+                (Printf.sprintf "reproducer has <= 12 ops (got %d)"
+                   (Fault.repro_ops repro))
+                true
+                (Fault.repro_ops repro <= 12);
+              let still () =
+                srv_violates ~seed:repro.Fault.r_seed
+                  ~setup:repro.Fault.r_setup repro.Fault.r_scripts
+              in
+              Alcotest.(check bool) "shrunk session still violates" true
+                (still ());
+              Alcotest.(check bool) "deterministically so" true (still ())))
+
+let srv_no_violation_when_fixed () =
+  let setup, scripts =
+    Fault_server.default_workload ~clients:2 ~ops_per_client:8
+  in
+  Alcotest.(check bool) "fixed allocator passes the same server sweep" false
+    (srv_violates ~seed:1L ~setup scripts)
+
 let () =
   Alcotest.run "fault"
     [
@@ -834,5 +983,19 @@ let () =
             mt_no_violation_when_fixed;
           Alcotest.test_case "checkpointed replay equivalence" `Quick
             mt_checkpoint_equivalence;
+          Alcotest.test_case "fptree split-race pinned nested sweep" `Quick
+            mt_split_race_pin;
+        ] );
+      ( "server-dst",
+        [
+          Alcotest.test_case "2-client exhaustive sweep" `Quick (srv_sweep ?mode:None);
+          Alcotest.test_case "2-client torn sweep" `Quick srv_torn_sweep;
+          Alcotest.test_case "hard-drop mid-batch sweep" `Quick srv_drop_sweep;
+          Alcotest.test_case "byte-level replay determinism" `Quick
+            srv_determinism;
+          Alcotest.test_case "injected bug to minimal repro" `Quick
+            srv_shrink_regression;
+          Alcotest.test_case "no violation once fixed" `Quick
+            srv_no_violation_when_fixed;
         ] );
     ]

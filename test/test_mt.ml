@@ -671,6 +671,133 @@ let test_apply_batch_parallel () =
     (Hart.count (Hart_mt.underlying t));
   Hart.check_integrity (Hart_mt.underlying t)
 
+(* ------------------------------------------------------------------ *)
+(* apply_batch × crash: enumerate a crash at every flush boundary of
+   one batch — mid-stripe-group — and assert the recovered image is an
+   admissible commit point: every op whose [Mt_hook.fire_batch] ran is
+   durably applied, the one op between [batch_start] and [fire_batch]
+   is atomically present or absent, nothing else moved, and per-key
+   the committed ops form a prefix of submission order. *)
+
+let batch_crash_pool () =
+  Pmem.create ~capacity:(1 lsl 21) ~max_capacity:(1 lsl 22)
+    (Meter.create Latency.c300_100)
+
+let test_apply_batch_crash_boundaries () =
+  let module I = Hart_core.Index_intf in
+  let setup = [ ("a1", "a0"); ("c1", "c0"); ("a2", "x0") ] in
+  (* repeated keys so per-key order is observable; delete-then-reinsert
+     of c1; spread across prefixes so stripe grouping reorders ops *)
+  let ops =
+    [
+      I.Bset ("a1", "A1");
+      I.Bset ("b1", "B1");
+      I.Bset ("a1", "A2");
+      I.Bdel "c1";
+      I.Bset ("c2", "C2");
+      I.Bset ("b1", "B2");
+      I.Bdel "a2";
+      I.Bset ("c1", "C3");
+      I.Bset ("b2", "B3");
+    ]
+  in
+  let opsa = Array.of_list ops in
+  let key_of = function I.Bset (k, _) -> k | I.Bdel k -> k in
+  let apply_one m = function
+    | I.Bset (k, v) -> SMap.add k v m
+    | I.Bdel k -> SMap.remove k m
+  in
+  let base =
+    List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty setup
+  in
+  let fresh () =
+    let pool = batch_crash_pool () in
+    let t = Hart_mt.create pool in
+    List.iter (fun (k, v) -> Hart_mt.insert t ~key:k ~value:v) setup;
+    (pool, t)
+  in
+  (* dry run: census the batch's flush boundaries and check the
+     crash-free endpoint *)
+  let pool, t = fresh () in
+  let f0 = Pmem.flush_count pool in
+  ignore (Hart_mt.apply_batch t ops : bool array);
+  let boundaries = Pmem.flush_count pool - f0 in
+  Alcotest.(check bool) "batch flushes" true (boundaries > 0);
+  let full = List.fold_left apply_one base ops in
+  let dump t =
+    let m = ref SMap.empty in
+    Hart.iter (Hart_mt.underlying t) (fun k v -> m := SMap.add k v !m);
+    !m
+  in
+  Alcotest.(check bool) "dry run reaches the full model" true
+    (SMap.equal String.equal full (dump t));
+  let in_flight_seen = ref 0 in
+  let mode_of = function
+    | 0 -> Pmem.Clean
+    | i -> Pmem.Torn { seed = Int64.of_int (900 + i); fraction = 0.5 }
+  in
+  List.iter
+    (fun mode_ix ->
+      for i = 0 to boundaries - 1 do
+        let pool, t = fresh () in
+        let fired = ref [] in
+        let started = ref None in
+        Hart_core.Mt_hook.install_batch
+          ~start:(fun j -> started := Some j)
+          ~commit:(fun j ->
+            started := None;
+            fired := j :: !fired);
+        Pmem.arm_crash ~mode:(mode_of mode_ix) pool ~after_flushes:i;
+        (match Hart_mt.apply_batch t ops with
+        | (_ : bool array) ->
+            Alcotest.failf "crash %d/%d did not fire" i boundaries
+        | exception Hart_pmem.Pmem.Crash_injected -> ());
+        Hart_core.Mt_hook.uninstall_batch ();
+        let fired_l = List.rev !fired in
+        if !started <> None then incr in_flight_seen;
+        (* recovery on the (possibly torn) durable image *)
+        let t2 = Hart_mt.recover pool in
+        Hart.check_integrity (Hart_mt.underlying t2);
+        let got = dump t2 in
+        let committed =
+          List.fold_left (fun m j -> apply_one m opsa.(j)) base fired_l
+        in
+        let admissible =
+          SMap.equal String.equal got committed
+          || match !started with
+             | None -> false
+             | Some j ->
+                 SMap.equal String.equal got (apply_one committed opsa.(j))
+        in
+        if not admissible then
+          Alcotest.failf
+            "crash %d (mode %d): recovered state is not an admissible \
+             commit point (%d committed, in-flight %s)"
+            i mode_ix (List.length fired_l)
+            (match !started with
+            | None -> "none"
+            | Some j -> key_of opsa.(j));
+        (* per-key: committed ops are a submission-order prefix *)
+        List.iter
+          (fun k ->
+            let on_k = List.filter (fun j -> key_of opsa.(j) = k) in
+            let subm = on_k (List.init (Array.length opsa) Fun.id) in
+            let comm = on_k fired_l in
+            let rec prefix = function
+              | [], _ -> true
+              | c :: cs, s :: ss when c = s -> prefix (cs, ss)
+              | _ -> false
+            in
+            if not (prefix (comm, subm)) then
+              Alcotest.failf
+                "crash %d (mode %d): commits on %s are not a \
+                 submission-order prefix" i mode_ix k)
+          [ "a1"; "b1"; "c1"; "c2"; "a2"; "b2" ]
+      done)
+    [ 0; 1 ];
+  Alcotest.(check bool) "some crashes landed mid-op (in flight)" true
+    (!in_flight_seen > 0)
+
 let () =
   Alcotest.run "multi-domain"
     [
@@ -717,5 +844,7 @@ let () =
             test_apply_batch_semantics;
           Alcotest.test_case "4 domains, disjoint prefixes" `Quick
             test_apply_batch_parallel;
+          Alcotest.test_case "crash at every flush boundary" `Quick
+            test_apply_batch_crash_boundaries;
         ] );
     ]
